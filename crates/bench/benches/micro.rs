@@ -1,0 +1,292 @@
+//! Micro-benchmarks and the DESIGN.md ablations:
+//!
+//! * solver vs event simulator (the two route engines);
+//! * negotiation targeting strategies (on-path vs 1-hop vs both);
+//! * tunnel endpoint addressing schemes (per-link / per-router / single
+//!   reserved address) — per-packet forwarding cost;
+//! * the hot primitives: the 8-step decision process, IP-in-IP
+//!   encapsulation, LPM lookups, AS-path regex matching.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use miro_bgp::decision::{select_best, RouteAttrs};
+use miro_bgp::sim::{GaoRexford, Sim};
+use miro_bgp::solver::RoutingState;
+use miro_core::export::ExportPolicy;
+use miro_core::strategy::{avoid_via_negotiation, TargetStrategy};
+use miro_dataplane::encap::{decapsulate, encapsulate, EndpointScheme};
+use miro_dataplane::ipv4::{Ipv4Addr4, Ipv4Header};
+use miro_dataplane::lpm::{Prefix, PrefixTrie};
+use miro_policy::AsPathRegex;
+use miro_topology::GenParams;
+use std::hint::black_box;
+
+fn topo() -> miro_topology::Topology {
+    GenParams {
+        name: "bench".into(),
+        num_nodes: 400,
+        target_pc_links: 720,
+        target_peer_links: 60,
+        target_sibling_links: 10,
+        lowtier_peering: false,
+        seed: 5,
+    }
+    .generate()
+}
+
+/// Ablation: closed-form stable-state solver vs event-driven simulator,
+/// same topology, same destination, same answer (asserted in the
+/// integration tests) — very different costs.
+fn bench_engines(c: &mut Criterion) {
+    let t = topo();
+    let d = t.nodes().next().expect("non-empty");
+    let mut g = c.benchmark_group("engine");
+    g.bench_function("solver_one_dest", |b| {
+        b.iter(|| black_box(RoutingState::solve(black_box(&t), d)))
+    });
+    g.bench_function("simulator_one_dest", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(black_box(&t), GaoRexford, d);
+            black_box(sim.run(1, 10_000_000))
+        })
+    });
+    g.finish();
+}
+
+/// Ablation: targeting strategies for the avoid-AS search.
+fn bench_strategies(c: &mut Criterion) {
+    let t = topo();
+    let d = t.nodes().next().expect("non-empty");
+    let st = RoutingState::solve(&t, d);
+    // A source with a long default path makes the contrast visible.
+    let src = t
+        .nodes()
+        .filter(|&x| st.path(x).map_or(0, |p| p.len()) >= 3)
+        .last()
+        .expect("long path exists");
+    let avoid = st.path(src).expect("routed")[1];
+    let mut g = c.benchmark_group("strategy");
+    for strat in [
+        TargetStrategy::OnPath,
+        TargetStrategy::OneHop,
+        TargetStrategy::OnPathThenNeighbors,
+    ] {
+        g.bench_function(strat.label(), |b| {
+            b.iter(|| {
+                black_box(avoid_via_negotiation(
+                    black_box(&st),
+                    src,
+                    avoid,
+                    ExportPolicy::RespectExport,
+                    strat,
+                    None,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Ablation: per-packet cost of the three endpoint addressing schemes.
+fn bench_endpoint_schemes(c: &mut Criterion) {
+    let inner = Ipv4Header::new(
+        Ipv4Addr4::new(10, 0, 0, 1),
+        Ipv4Addr4::new(12, 34, 56, 78),
+        6,
+        64,
+    )
+    .emit_with_payload(&[0u8; 64]);
+    let per_link = EndpointScheme::PerExitLink {
+        links: (0..8).map(|i| (i, Ipv4Addr4::new(12, 34, 56, 100 + i as u8))).collect(),
+    };
+    let per_router = EndpointScheme::PerEgressRouter {
+        routers: (0..4).map(|i| (i, Ipv4Addr4::new(12, 34, 56, 2 + i as u8))).collect(),
+    };
+    let single = EndpointScheme::SingleAddress {
+        address: Ipv4Addr4::new(12, 34, 56, 100),
+        egress_map: (0..32)
+            .map(|t| (t, vec![Ipv4Addr4::new(12, 34, 56, 2), Ipv4Addr4::new(12, 34, 56, 3)]))
+            .collect(),
+    };
+    let mut g = c.benchmark_group("endpoint_scheme");
+    for (name, scheme) in
+        [("per_exit_link", &per_link), ("per_egress_router", &per_router), ("single_address", &single)]
+    {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                // Full tunnel path: resolve endpoint, encapsulate,
+                // ingress rewrite, decapsulate.
+                let ep = scheme.advertised_endpoint(7, 1).expect("endpoint known");
+                let wire =
+                    encapsulate(black_box(&inner), Ipv4Addr4::new(9, 9, 9, 9), ep, 7).expect("fits");
+                let rewritten = scheme.ingress_rewrite(ep, 7).expect("resolvable");
+                black_box(rewritten);
+                black_box(decapsulate(wire).expect("valid"))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// The eight-step decision process (Table 2.1) over a rib-in of 16 routes.
+fn bench_decision(c: &mut Criterion) {
+    let routes: Vec<RouteAttrs> = (0..16)
+        .map(|i| RouteAttrs {
+            local_pref: 100 + (i % 3) * 50,
+            as_path_len: 2 + (i % 4),
+            med: i,
+            neighbor_as: i % 2,
+            ebgp: i % 2 == 0,
+            igp_dist: i * 3,
+            router_id: i,
+            peer_addr: 1000 - i,
+            ..RouteAttrs::default()
+        })
+        .collect();
+    c.bench_function("decision/select_best_16", |b| {
+        b.iter(|| black_box(select_best(black_box(&routes))))
+    });
+}
+
+/// Encapsulation throughput for a 1400-byte payload.
+fn bench_encap(c: &mut Criterion) {
+    let inner = Ipv4Header::new(
+        Ipv4Addr4::new(10, 0, 0, 1),
+        Ipv4Addr4::new(12, 34, 56, 78),
+        6,
+        1400,
+    )
+    .emit_with_payload(&[0xabu8; 1400]);
+    c.bench_function("encap/wrap_unwrap_1400B", |b| {
+        b.iter(|| {
+            let wire = encapsulate(
+                black_box(&inner),
+                Ipv4Addr4::new(9, 9, 9, 9),
+                Ipv4Addr4::new(8, 8, 8, 8),
+                7,
+            )
+            .expect("fits");
+            black_box(decapsulate(wire).expect("valid"))
+        })
+    });
+}
+
+/// LPM over a 10k-prefix table.
+fn bench_lpm(c: &mut Criterion) {
+    let mut trie: PrefixTrie<u32> = PrefixTrie::new();
+    for i in 0u32..10_000 {
+        trie.insert(Prefix::new(Ipv4Addr4::from_u32(i << 14), 16 + (i % 9) as u8), i);
+    }
+    let probes: Vec<Ipv4Addr4> =
+        (0u32..64).map(|i| Ipv4Addr4::from_u32(i.wrapping_mul(0x0101_4567))).collect();
+    c.bench_function("lpm/lookup_10k_table", |b| {
+        b.iter(|| {
+            for &p in &probes {
+                black_box(trie.lookup(black_box(p)));
+            }
+        })
+    });
+}
+
+/// AS-path regex matching on typical paths.
+fn bench_regex(c: &mut Criterion) {
+    let re = AsPathRegex::parse("_312_").expect("valid");
+    let wild = AsPathRegex::parse("^701 .* 88+$").expect("valid");
+    let paths: Vec<Vec<u32>> = (0..32)
+        .map(|i| vec![701, 1239 + i, 7018, if i % 3 == 0 { 312 } else { 99 }, 88, 88])
+        .collect();
+    c.bench_function("aspath_regex/match_32_paths", |b| {
+        b.iter(|| {
+            let mut hits = 0;
+            for p in &paths {
+                if re.is_match(black_box(p)) {
+                    hits += 1;
+                }
+                if wild.is_match(black_box(p)) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+}
+
+/// BGP wire codec throughput: encode + parse a realistic UPDATE.
+fn bench_bgp_wire(c: &mut Criterion) {
+    use miro_bgp::wire::{BgpMessage, PathAttributes, WirePrefix};
+    let update = BgpMessage::Update {
+        withdrawn: vec![WirePrefix::new(0x0a000000, 8)],
+        attrs: PathAttributes {
+            origin: Some(0),
+            as_path: vec![6509, 11537, 10466, 88],
+            next_hop: Some(0x01020304),
+            med: Some(10),
+            local_pref: Some(250),
+        },
+        nlri: vec![WirePrefix::new(0x80700000, 16), WirePrefix::new(0x80710b00, 24)],
+    };
+    let bytes = update.emit().expect("encodes");
+    let mut g = c.benchmark_group("bgp_wire");
+    g.bench_function("emit_update", |b| b.iter(|| black_box(update.emit().expect("ok"))));
+    g.bench_function("parse_update", |b| {
+        b.iter(|| black_box(BgpMessage::parse(black_box(&bytes)).expect("ok")))
+    });
+    g.finish();
+}
+
+/// MIRO control codec throughput: a full negotiation transcript.
+fn bench_miro_wire(c: &mut Criterion) {
+    use miro_core::negotiate::{Constraint, Message, NegotiationId};
+    let msg = Message::Request {
+        id: NegotiationId(42),
+        dest: 7,
+        constraints: vec![Constraint::AvoidAs(312), Constraint::MaxPrice(250)],
+    };
+    let bytes = miro_core::wire::emit(&msg).expect("encodes");
+    let mut g = c.benchmark_group("miro_wire");
+    g.bench_function("emit_request", |b| {
+        b.iter(|| black_box(miro_core::wire::emit(black_box(&msg)).expect("ok")))
+    });
+    g.bench_function("parse_request", |b| {
+        b.iter(|| black_box(miro_core::wire::parse(black_box(&bytes)).expect("ok")))
+    });
+    g.finish();
+}
+
+/// Wire-level BGP speakers: full session bring-up + table exchange for a
+/// three-AS line (handshake bytes, UPDATEs, convergence).
+fn bench_speaker_convergence(c: &mut Criterion) {
+    use miro_bgp::speaker::{pump, PeerConfig, Speaker};
+    use miro_bgp::wire::WirePrefix;
+    c.bench_function("speaker/line3_converge", |b| {
+        b.iter(|| {
+            let mut s1 = Speaker::new(65001, 1);
+            let mut s2 = Speaker::new(65002, 2);
+            let mut s3 = Speaker::new(65003, 3);
+            let p12 = s1.add_peer(PeerConfig::ebgp(65002, 80, false));
+            let p21 = s2.add_peer(PeerConfig::ebgp(65001, 450, true));
+            let p23 = s2.add_peer(PeerConfig::ebgp(65003, 450, true));
+            let p32 = s3.add_peer(PeerConfig::ebgp(65002, 80, false));
+            for i in 0..16u32 {
+                s3.originate(WirePrefix::new(0x0a000000 + (i << 16), 16));
+            }
+            for s in [&mut s1, &mut s2, &mut s3] {
+                s.start();
+            }
+            let mut sp = vec![s1, s2, s3];
+            pump(&mut sp, &[(0, p12, 1, p21), (1, p23, 2, p32)]);
+            black_box(sp[0].best_path(WirePrefix::new(0x0a000000, 16)))
+        })
+    });
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_engines, bench_strategies, bench_endpoint_schemes,
+              bench_decision, bench_encap, bench_lpm, bench_regex,
+              bench_bgp_wire, bench_miro_wire, bench_speaker_convergence
+}
+criterion_main!(micro);

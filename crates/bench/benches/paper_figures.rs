@@ -1,0 +1,96 @@
+//! One Criterion bench per paper *figure*: each regenerates the figure's
+//! series end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use miro_eval::avoid::sample_probes;
+use miro_eval::convergence_exp::{run_fig7_1, run_fig7_2};
+use miro_eval::datasets::{fig5_1, Dataset, EvalConfig};
+use miro_eval::{deploy, inbound, routes};
+use miro_topology::gen::DatasetPreset;
+use std::hint::black_box;
+
+fn bench_cfg() -> EvalConfig {
+    EvalConfig {
+        scale: 0.02,
+        seed: 11,
+        dest_samples: 30,
+        src_samples: 20,
+        threads: 1,
+    }
+}
+
+/// Figure 5.1: the degree CCDF over all four datasets.
+fn bench_fig5_1(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let ds = Dataset::build_all(&cfg);
+    c.bench_function("fig5_1/degree_ccdf", |b| {
+        b.iter(|| black_box(fig5_1(black_box(&ds))))
+    });
+}
+
+/// Figures 5.2/5.3: route counts (6 series: 2 scopes x 3 policies).
+fn bench_fig5_2(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let ds = Dataset::build(DatasetPreset::Gao2005, &cfg);
+    c.bench_function("fig5_2/available_routes", |b| {
+        b.iter(|| black_box(routes::fig5_2(black_box(&ds), &cfg)))
+    });
+}
+
+/// Figures 5.4/5.5: deployment curves from cached probes.
+fn bench_fig5_4(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let ds = Dataset::build(DatasetPreset::Gao2005, &cfg);
+    let probes = sample_probes(&ds, &cfg);
+    c.bench_function("fig5_4/deployment_curves", |b| {
+        b.iter(|| black_box(deploy::fig5_4(black_box(&ds), &probes)))
+    });
+}
+
+/// Figures 5.6/5.7: one stub's full power-node evaluation (the expensive
+/// inner loop: pinned-route BGP re-simulations).
+fn bench_fig5_6(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let ds = Dataset::build(DatasetPreset::Gao2005, &cfg);
+    let stub = ds
+        .topo
+        .nodes()
+        .find(|&x| ds.topo.is_multihomed_stub(x))
+        .expect("dataset has multi-homed stubs");
+    c.bench_function("fig5_6/evaluate_one_stub", |b| {
+        b.iter(|| {
+            black_box(inbound::evaluate_stub(
+                black_box(&ds.topo),
+                stub,
+                4,
+                1,
+                100 * ds.topo.num_nodes(),
+            ))
+        })
+    });
+}
+
+/// Figure 7.1: the gadget under unrestricted + Guidelines B/C.
+fn bench_fig7_1(c: &mut Criterion) {
+    c.bench_function("fig7_1/gadget_all_configs", |b| {
+        b.iter(|| black_box(run_fig7_1(black_box(100))))
+    });
+}
+
+/// Figure 7.2: the strict-policy gadget under all three configurations.
+fn bench_fig7_2(c: &mut Criterion) {
+    c.bench_function("fig7_2/gadget_all_configs", |b| {
+        b.iter(|| black_box(run_fig7_2(black_box(100))))
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_fig5_1, bench_fig5_2, bench_fig5_4, bench_fig5_6,
+              bench_fig7_1, bench_fig7_2
+}
+criterion_main!(figures);

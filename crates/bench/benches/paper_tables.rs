@@ -1,0 +1,65 @@
+//! One Criterion bench per paper *table*: each benchmark regenerates the
+//! table's data end to end (dataset -> probes -> rows), so `cargo bench`
+//! doubles as a smoke-test that every reproduction still produces
+//! paper-shaped numbers (the assertions are in the unit/integration
+//! tests; here we measure cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use miro_eval::avoid::{sample_probes, table5_2_row, table5_3_rows};
+use miro_eval::datasets::{table5_1, Dataset, EvalConfig};
+use miro_topology::gen::DatasetPreset;
+use std::hint::black_box;
+
+fn bench_cfg() -> EvalConfig {
+    EvalConfig {
+        scale: 0.02,
+        seed: 11,
+        dest_samples: 30,
+        src_samples: 20,
+        threads: 1, // single-threaded for stable measurements
+    }
+}
+
+/// Table 5.1: generate all four datasets and compute the link census.
+fn bench_table5_1(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    c.bench_function("table5_1/generate_and_census", |b| {
+        b.iter(|| {
+            let ds = Dataset::build_all(black_box(&cfg));
+            black_box(table5_1(&ds))
+        })
+    });
+}
+
+/// Table 5.2: the avoid-AS success rates for one dataset.
+fn bench_table5_2(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let ds = Dataset::build(DatasetPreset::Gao2005, &cfg);
+    c.bench_function("table5_2/probe_and_rate", |b| {
+        b.iter(|| {
+            let probes = sample_probes(black_box(&ds), &cfg);
+            black_box(table5_2_row(ds.preset.name(), &probes))
+        })
+    });
+}
+
+/// Table 5.3: negotiation-state metrics, computed from cached probes
+/// (isolates the table computation from the probing).
+fn bench_table5_3(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let ds = Dataset::build(DatasetPreset::Gao2005, &cfg);
+    let probes = sample_probes(&ds, &cfg);
+    c.bench_function("table5_3/rows_from_probes", |b| {
+        b.iter(|| black_box(table5_3_rows(black_box(&probes))))
+    });
+}
+
+criterion_group! {
+    name = tables;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_table5_1, bench_table5_2, bench_table5_3
+}
+criterion_main!(tables);

@@ -1,0 +1,40 @@
+//! BGP substrate for the MIRO reproduction.
+//!
+//! MIRO (Chapter 3) deliberately layers on top of ordinary BGP: default
+//! paths come from today's path-vector protocol, and only the *extra* paths
+//! go through MIRO negotiation. This crate is that substrate:
+//!
+//! * [`route`] - AS-level route representation and the Gao-Rexford
+//!   import/export/preference rules of section 2.2.1.
+//! * [`decision`] - the full router-level 8-step best-path selection
+//!   process of Table 2.1 (local-pref, path length, origin, MED,
+//!   eBGP-over-iBGP, IGP distance, router id, peer address).
+//! * [`solver`] - a closed-form stable-state solver: for one destination it
+//!   computes, in O(E log E), the routes every AS selects *and* the full
+//!   candidate set every AS learns from its neighbors. This is the
+//!   constructive two-phase argument inside the Gao-Rexford convergence
+//!   proof (Chapter 7.2) turned into an algorithm, extended with the
+//!   paper's sibling approximation.
+//! * [`sim`] - an event-driven, activation-based path-vector simulator
+//!   (in the style of Griffin's SPVP) with pluggable per-node ranking and
+//!   export policies. The solver answers "what does BGP converge to";
+//!   the simulator answers "does it converge, and how" - and is the engine
+//!   reused by `miro-convergence` for the Chapter 7 results.
+//!
+//! Omitted on purpose: route aggregation, MRAI timers, prefix
+//! de-aggregation and communities. The paper's evaluation operates at the
+//! one-prefix-per-AS granularity (section 5.1), which is what we model; the
+//! router-level attributes only matter inside `miro-dataplane`.
+
+pub mod decision;
+pub mod ns;
+pub mod route;
+pub mod session;
+pub mod show;
+pub mod speaker;
+pub mod sim;
+pub mod solver;
+pub mod wire;
+
+pub use route::{CandidateRoute, ExportScope};
+pub use solver::{BestRoute, RoutingState};

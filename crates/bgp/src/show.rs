@@ -1,0 +1,115 @@
+//! `show ip bgp`-style rendering of routing state — the Table 1.1 view.
+//!
+//! Table 1.1 of the dissertation shows a real BGP table: one row per
+//! candidate entry, `*` for valid, `>` for the selected best, with next
+//! hop and AS path. This module renders the AS-level solver state in
+//! that format for the examples and for operator-style debugging.
+
+use crate::solver::RoutingState;
+use miro_topology::NodeId;
+
+/// One rendered row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShowRow {
+    /// Candidate is usable (`*` in IOS output). Always true here: the
+    /// solver's candidate set is post-import-filter.
+    pub valid: bool,
+    /// Selected best (`>`).
+    pub best: bool,
+    /// Destination rendered as a synthetic prefix derived from the
+    /// destination AS (one prefix per AS, section 5.1).
+    pub prefix: String,
+    /// Next-hop AS number.
+    pub next_hop: u32,
+    /// Space-separated AS path.
+    pub as_path: String,
+}
+
+/// Synthetic prefix for a destination AS: deterministic, distinct, and
+/// readable (`10.<asn/256>.<asn%256>.0/24`).
+pub fn prefix_of(asn: u32) -> String {
+    format!("10.{}.{}.0/24", (asn >> 8) & 0xff, asn & 0xff)
+}
+
+/// Render the BGP table of `node` for the single destination `st` routes.
+pub fn show_ip_bgp(st: &RoutingState<'_>, node: NodeId) -> Vec<ShowRow> {
+    let topo = st.topology();
+    let dest_asn = topo.asn(st.dest()).0;
+    let best_path = st.path(node);
+    st.candidates(node)
+        .into_iter()
+        .map(|c| ShowRow {
+            valid: true,
+            best: Some(&c.path) == best_path.as_ref(),
+            prefix: prefix_of(dest_asn),
+            next_hop: topo.asn(c.path[0]).0,
+            as_path: c
+                .path
+                .iter()
+                .map(|&h| topo.asn(h).0.to_string())
+                .collect::<Vec<_>>()
+                .join(" "),
+        })
+        .collect()
+}
+
+/// Format rows as the classic fixed-width table.
+pub fn format_table(rows: &[ShowRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<3} {:<18} {:<10} Path", "", "Network", "Next Hop");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{}{:<2} {:<18} {:<10} {}",
+            if r.valid { "*" } else { " " },
+            if r.best { ">" } else { "" },
+            r.prefix,
+            r.next_hop,
+            r.as_path
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::RoutingState;
+    use miro_topology::gen::figure_1_1;
+
+    #[test]
+    fn renders_candidates_with_best_marker() {
+        let (t, [a, b, _c, d, _e, f]) = figure_1_1();
+        let st = RoutingState::solve(&t, f);
+        let rows = show_ip_bgp(&st, a);
+        assert_eq!(rows.len(), 2, "A learned from both providers");
+        let best: Vec<&ShowRow> = rows.iter().filter(|r| r.best).collect();
+        assert_eq!(best.len(), 1, "exactly one best route");
+        assert_eq!(best[0].next_hop, t.asn(b).0);
+        assert!(rows.iter().any(|r| r.next_hop == t.asn(d).0 && !r.best));
+        for r in &rows {
+            assert!(r.valid);
+            assert!(r.as_path.ends_with(&t.asn(f).0.to_string()));
+            assert_eq!(r.prefix, prefix_of(t.asn(f).0));
+        }
+    }
+
+    #[test]
+    fn formatted_output_looks_like_table_1_1() {
+        let (t, [a, _b, _c, _d, _e, f]) = figure_1_1();
+        let st = RoutingState::solve(&t, f);
+        let text = format_table(&show_ip_bgp(&st, a));
+        assert!(text.contains("Network"));
+        assert!(text.contains("*> "), "best row marked with *>");
+        assert!(text.lines().count() >= 3);
+    }
+
+    #[test]
+    fn prefixes_are_distinct_per_as() {
+        let mut seen = std::collections::HashSet::new();
+        for asn in [1u32, 2, 255, 256, 257, 65535] {
+            assert!(seen.insert(prefix_of(asn)), "collision at {asn}");
+        }
+    }
+}

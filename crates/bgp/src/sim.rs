@@ -1,0 +1,430 @@
+//! Event-driven, activation-based path-vector simulation.
+//!
+//! Chapter 7 models BGP/MIRO as a distributed asynchronous process:
+//! *activating* a speaker makes it re-apply import policies, re-select, and
+//! re-export (section 7.1.2). This module is that model, executable: nodes
+//! hold per-neighbor rib-in entries, a scheduler activates dirty nodes in a
+//! (seeded) random fair order, and the run either quiesces — convergence —
+//! or exceeds a step budget, which we report as divergence. The classic
+//! BGP gadgets (GOOD, DISAGREE, BAD) and the paper's Figures 7.1/7.2
+//! gadgets (in `miro-convergence`) are all expressible through the
+//! [`RankPolicy`] trait.
+//!
+//! The solver in [`crate::solver`] computes the unique Gao-Rexford stable
+//! state directly; this simulator is the ground truth it is validated
+//! against (see the cross-check test), and the only engine that can show
+//! an *unstable* configuration oscillating.
+
+use crate::route::ExportScope;
+use miro_topology::{classify_route, NodeId, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-node route ranking and export policy.
+///
+/// Paths are given from the evaluating node's perspective: `path[0]` is the
+/// next hop, `path.last()` the destination; the node itself is absent. The
+/// simulator applies the *implicit* import policy (loop rejection,
+/// section 7.1.1) before consulting the explicit one.
+pub trait RankPolicy {
+    /// Rank of `path` at `node`; **lower is better**. `None` rejects the
+    /// path outright (explicit import filter).
+    fn rank(&self, topo: &Topology, node: NodeId, path: &[NodeId]) -> Option<u64>;
+
+    /// May `node`, having selected `path`, advertise it to neighbor `to`?
+    fn export(&self, topo: &Topology, node: NodeId, to: NodeId, path: &[NodeId]) -> bool;
+}
+
+/// The conventional Gao-Rexford policy (Guideline A + the export rules of
+/// section 2.2.1), with the same deterministic tie-breaking as the solver.
+pub struct GaoRexford;
+
+impl RankPolicy for GaoRexford {
+    fn rank(&self, topo: &Topology, node: NodeId, path: &[NodeId]) -> Option<u64> {
+        let class = classify_route(topo, node, path)?;
+        let class_rank = class as u64; // Customer=0 < Peer=1 < Provider=2
+        let len = path.len() as u64;
+        let next_asn = path.first().map(|&n| topo.asn(n).0 as u64).unwrap_or(0);
+        Some(class_rank << 48 | len << 32 | next_asn)
+    }
+
+    fn export(&self, topo: &Topology, node: NodeId, to: NodeId, path: &[NodeId]) -> bool {
+        let Some(class) = classify_route(topo, node, path) else { return false };
+        let Some(rel_of_to) = topo.rel(node, to) else { return false };
+        ExportScope::allows(class, rel_of_to)
+    }
+}
+
+/// A policy given as an explicit preference table: for each node, an
+/// ordered list of full paths (most preferred first). Paths not listed are
+/// rejected. Export is unrestricted (classic SPVP gadget semantics).
+/// This is how DISAGREE / BAD-GADGET style configurations are written.
+pub struct TablePolicy {
+    /// `prefs[node]` = ordered acceptable paths for that node.
+    pub prefs: std::collections::HashMap<NodeId, Vec<Vec<NodeId>>>,
+}
+
+impl RankPolicy for TablePolicy {
+    fn rank(&self, _topo: &Topology, node: NodeId, path: &[NodeId]) -> Option<u64> {
+        if path.is_empty() {
+            return Some(0); // own prefix
+        }
+        self.prefs
+            .get(&node)?
+            .iter()
+            .position(|p| p == path)
+            .map(|i| i as u64 + 1)
+    }
+
+    fn export(&self, _topo: &Topology, _node: NodeId, _to: NodeId, _path: &[NodeId]) -> bool {
+        true
+    }
+}
+
+/// Outcome of a simulation run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Quiesced: no speaker would change its selection on activation.
+    Converged {
+        /// Activations performed before quiescence.
+        steps: usize,
+    },
+    /// The step budget was exhausted with speakers still flapping.
+    Diverged {
+        /// The budget that was exhausted.
+        steps: usize,
+    },
+}
+
+impl Outcome {
+    pub fn converged(&self) -> bool {
+        matches!(self, Outcome::Converged { .. })
+    }
+}
+
+/// Simulator state for a single destination prefix.
+pub struct Sim<'t, P: RankPolicy> {
+    topo: &'t Topology,
+    policy: P,
+    dest: NodeId,
+    /// rib_in[x][i] = latest path advertised to x by its i-th neighbor
+    /// (indices aligned with `topo.neighbors(x)`).
+    rib_in: Vec<Vec<Option<Vec<NodeId>>>>,
+    /// Selected path of each node (None = no route).
+    selected: Vec<Option<Vec<NodeId>>>,
+    /// Dirty flags + worklist.
+    dirty: Vec<bool>,
+    work: Vec<NodeId>,
+    /// Links administratively failed during the run (ordered pairs absent
+    /// from message exchange).
+    failed: std::collections::HashSet<(NodeId, NodeId)>,
+    /// Number of selection changes per node (oscillation diagnostics).
+    pub flaps: Vec<usize>,
+}
+
+impl<'t, P: RankPolicy> Sim<'t, P> {
+    /// Create a simulation in the "cold start" state: only the destination
+    /// knows its own prefix, nothing has been advertised yet.
+    pub fn new(topo: &'t Topology, policy: P, dest: NodeId) -> Self {
+        let n = topo.num_nodes();
+        let mut sim = Sim {
+            topo,
+            policy,
+            dest,
+            rib_in: (0..n).map(|x| vec![None; topo.neighbors(x as NodeId).len()]).collect(),
+            selected: vec![None; n],
+            dirty: vec![false; n],
+            work: Vec::new(),
+            failed: std::collections::HashSet::new(),
+            flaps: vec![0; n],
+        };
+        sim.selected[dest as usize] = Some(Vec::new());
+        sim.announce(dest);
+        sim
+    }
+
+    /// The destination's neighbors (and later everyone downstream) get the
+    /// new selection of `x` in their rib-in and become dirty.
+    fn announce(&mut self, x: NodeId) {
+        let sel = self.selected[x as usize].clone();
+        for &(y, _) in self.topo.neighbors(x).iter() {
+            if self.failed.contains(&(x.min(y), x.max(y))) {
+                continue;
+            }
+            let advertise = match &sel {
+                Some(p) => self.policy.export(self.topo, x, y, p),
+                None => true, // withdraw
+            };
+            // Find x's slot in y's rib-in.
+            let slot = self
+                .topo
+                .neighbors(y)
+                .iter()
+                .position(|&(n, _)| n == x)
+                .expect("adjacency is symmetric");
+            let entry = if advertise {
+                sel.as_ref().map(|p| {
+                    let mut v = Vec::with_capacity(p.len() + 1);
+                    v.push(x);
+                    v.extend_from_slice(p);
+                    v
+                })
+            } else {
+                None
+            };
+            if self.rib_in[y as usize][slot] != entry {
+                self.rib_in[y as usize][slot] = entry;
+                self.mark_dirty(y);
+            }
+        }
+    }
+
+    fn mark_dirty(&mut self, y: NodeId) {
+        if !self.dirty[y as usize] {
+            self.dirty[y as usize] = true;
+            self.work.push(y);
+        }
+    }
+
+    /// Activate node `x` (section 7.1.2): re-run import + selection; if the
+    /// selection changed, re-export. Returns whether the selection changed.
+    pub fn activate(&mut self, x: NodeId) -> bool {
+        self.dirty[x as usize] = false;
+        if x == self.dest {
+            return false; // the origin never changes its null route
+        }
+        let mut best: Option<(u64, Vec<NodeId>)> = None;
+        for p in self.rib_in[x as usize].iter().flatten() {
+            // Implicit import policy: reject loops.
+            if p.contains(&x) {
+                continue;
+            }
+            if let Some(r) = self.policy.rank(self.topo, x, p) {
+                if best.as_ref().is_none_or(|(br, _)| r < *br) {
+                    best = Some((r, p.clone()));
+                }
+            }
+        }
+        let new = best.map(|(_, p)| p);
+        if new != self.selected[x as usize] {
+            self.selected[x as usize] = new;
+            self.flaps[x as usize] += 1;
+            self.announce(x);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Run with a seeded random fair scheduler until quiescent or until
+    /// `max_steps` activations.
+    pub fn run(&mut self, seed: u64, max_steps: usize) -> Outcome {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut steps = 0;
+        while !self.work.is_empty() {
+            if steps >= max_steps {
+                return Outcome::Diverged { steps };
+            }
+            let i = rng.gen_range(0..self.work.len());
+            let x = self.work.swap_remove(i);
+            if !self.dirty[x as usize] {
+                continue;
+            }
+            self.activate(x);
+            steps += 1;
+        }
+        Outcome::Converged { steps }
+    }
+
+    /// Administratively fail the link between `a` and `b`: both sides lose
+    /// the rib-in entry learned over it and reconverge.
+    pub fn fail_link(&mut self, a: NodeId, b: NodeId) {
+        self.failed.insert((a.min(b), a.max(b)));
+        for (x, y) in [(a, b), (b, a)] {
+            if let Some(slot) =
+                self.topo.neighbors(x).iter().position(|&(n, _)| n == y)
+            {
+                if self.rib_in[x as usize][slot].take().is_some() {
+                    self.mark_dirty(x);
+                }
+            }
+        }
+    }
+
+    /// The currently selected path of `x` (next hop first, destination
+    /// last; empty for the destination itself).
+    pub fn selected(&self, x: NodeId) -> Option<&[NodeId]> {
+        self.selected[x as usize].as_deref()
+    }
+
+    /// Is any speaker still dirty?
+    pub fn quiescent(&self) -> bool {
+        self.work.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::RoutingState;
+    use miro_topology::{AsId, GenParams, TopologyBuilder};
+    use std::collections::HashMap;
+
+    #[test]
+    fn converges_on_figure_1_1_and_matches_solver() {
+        let (t, nodes) = miro_topology::gen::figure_1_1();
+        let f = nodes[5];
+        let mut sim = Sim::new(&t, GaoRexford, f);
+        let out = sim.run(1, 100_000);
+        assert!(out.converged());
+        let st = RoutingState::solve(&t, f);
+        for x in t.nodes() {
+            assert_eq!(
+                sim.selected(x).map(|p| p.to_vec()),
+                st.path(x),
+                "sim and solver disagree at node {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn sim_matches_solver_on_random_topologies_and_seeds() {
+        for topo_seed in [3u64, 4, 5] {
+            let t = GenParams::tiny(topo_seed).generate();
+            for d in t.nodes().step_by(17) {
+                let st = RoutingState::solve(&t, d);
+                for sched_seed in [11u64, 12] {
+                    let mut sim = Sim::new(&t, GaoRexford, d);
+                    assert!(sim.run(sched_seed, 10_000_000).converged());
+                    for x in t.nodes() {
+                        assert_eq!(
+                            sim.selected(x).map(|p| p.to_vec()),
+                            st.path(x),
+                            "divergence from solver: topo {topo_seed} dest {d} node {x}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Griffin's DISAGREE gadget has two stable states; the simulator must
+    /// land in one of them (it may differ by schedule, but must converge).
+    #[test]
+    fn disagree_gadget_converges_to_a_stable_state() {
+        let mut b = TopologyBuilder::new();
+        for n in [0, 1, 2] {
+            b.add_as(AsId(n));
+        }
+        b.peering(AsId(0), AsId(1));
+        b.peering(AsId(0), AsId(2));
+        b.peering(AsId(1), AsId(2));
+        let t = b.build().unwrap();
+        let d = t.node(AsId(0)).unwrap();
+        let n1 = t.node(AsId(1)).unwrap();
+        let n2 = t.node(AsId(2)).unwrap();
+        // Each of 1, 2 prefers the path through the other.
+        let mut prefs = HashMap::new();
+        prefs.insert(n1, vec![vec![n2, d], vec![d]]);
+        prefs.insert(n2, vec![vec![n1, d], vec![d]]);
+        for seed in 0..20u64 {
+            let mut sim = Sim::new(&t, TablePolicy { prefs: prefs.clone() }, d);
+            assert!(sim.run(seed, 100_000).converged());
+            // Exactly one of them gets its preferred indirect path.
+            let p1 = sim.selected(n1).unwrap().to_vec();
+            let p2 = sim.selected(n2).unwrap().to_vec();
+            let stable_a = p1 == vec![n2, d] && p2 == vec![d];
+            let stable_b = p2 == vec![n1, d] && p1 == vec![d];
+            assert!(stable_a || stable_b, "must land in a DISAGREE stable state");
+        }
+    }
+
+    /// Griffin's BAD GADGET: three nodes around a destination, each
+    /// preferring the route through its clockwise neighbor; no stable state
+    /// exists and SPVP oscillates forever.
+    #[test]
+    fn bad_gadget_diverges() {
+        let mut b = TopologyBuilder::new();
+        for n in [0, 1, 2, 3] {
+            b.add_as(AsId(n));
+        }
+        for n in [1, 2, 3] {
+            b.peering(AsId(0), AsId(n));
+        }
+        b.peering(AsId(1), AsId(2));
+        b.peering(AsId(2), AsId(3));
+        b.peering(AsId(3), AsId(1));
+        let t = b.build().unwrap();
+        let d = t.node(AsId(0)).unwrap();
+        let n = |i: u32| t.node(AsId(i)).unwrap();
+        let mut prefs = HashMap::new();
+        prefs.insert(n(1), vec![vec![n(2), d], vec![d]]);
+        prefs.insert(n(2), vec![vec![n(3), d], vec![d]]);
+        prefs.insert(n(3), vec![vec![n(1), d], vec![d]]);
+        let mut diverged = 0;
+        for seed in 0..5u64 {
+            let mut sim = Sim::new(&t, TablePolicy { prefs: prefs.clone() }, d);
+            if !sim.run(seed, 50_000).converged() {
+                diverged += 1;
+                // Oscillation shows as sustained flapping at the gadget nodes.
+                assert!(sim.flaps[n(1) as usize] > 10);
+            }
+        }
+        assert_eq!(diverged, 5, "BAD GADGET must never converge");
+    }
+
+    #[test]
+    fn link_failure_reconverges_to_alternate() {
+        let (t, nodes) = miro_topology::gen::figure_1_1();
+        let [_a, b, c, _d, e, f] = nodes;
+        let mut sim = Sim::new(&t, GaoRexford, f);
+        assert!(sim.run(7, 100_000).converged());
+        assert_eq!(sim.selected(b).unwrap(), &[e, f]);
+        // Fail E-F: B must fall over to its peer route BCF.
+        sim.fail_link(e, f);
+        assert!(sim.run(8, 100_000).converged());
+        assert_eq!(sim.selected(b).unwrap(), &[c, f]);
+        // E itself now routes via its provider B or D... via whichever
+        // re-export reaches it: E is a customer of B and D, so it hears
+        // B's new peer route (exportable to customers).
+        let pe = sim.selected(e).unwrap();
+        assert_eq!(*pe.last().unwrap(), f);
+        assert!(!pe.is_empty());
+    }
+
+    #[test]
+    fn withdrawal_propagates_when_destination_cut_off() {
+        // Chain 0 -1- 2: fail the only link to the destination; everyone
+        // must end with no route.
+        let mut b = TopologyBuilder::new();
+        for n in [0, 1, 2] {
+            b.add_as(AsId(n));
+        }
+        b.provider_customer(AsId(1), AsId(0));
+        b.provider_customer(AsId(2), AsId(1));
+        let t = b.build().unwrap();
+        let d = t.node(AsId(0)).unwrap();
+        let n1 = t.node(AsId(1)).unwrap();
+        let n2 = t.node(AsId(2)).unwrap();
+        let mut sim = Sim::new(&t, GaoRexford, d);
+        assert!(sim.run(3, 10_000).converged());
+        assert!(sim.selected(n2).is_some());
+        sim.fail_link(d, n1);
+        assert!(sim.run(4, 10_000).converged());
+        assert_eq!(sim.selected(n1), None);
+        assert_eq!(sim.selected(n2), None);
+    }
+
+    #[test]
+    fn flap_counters_stay_low_under_gao_rexford() {
+        let t = GenParams::tiny(6).generate();
+        let d = t.nodes().next().unwrap();
+        let mut sim = Sim::new(&t, GaoRexford, d);
+        assert!(sim.run(9, 1_000_000).converged());
+        // Guideline A convergence is economical: no node should flap
+        // excessively (loose bound; the point is "no sustained oscillation").
+        for x in t.nodes() {
+            assert!(sim.flaps[x as usize] < 50, "node {x} flapped {}", sim.flaps[x as usize]);
+        }
+    }
+}

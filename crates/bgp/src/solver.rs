@@ -1,0 +1,589 @@
+//! Closed-form stable-state BGP solver.
+//!
+//! For one destination prefix, computes the route every AS converges to
+//! under Gao-Rexford policies (Guideline A + conventional export rules),
+//! along with the *candidate set* each AS learns from its neighbors — the
+//! raw material MIRO negotiations draw on (section 3.4: "the existing BGP
+//! protocol already provides many candidate routes, although the alternate
+//! routes are not disseminated").
+//!
+//! The algorithm is the constructive core of the Gao-Rexford convergence
+//! proof (restated as Lemma 1 in Chapter 7.2), run as three Dijkstra-like
+//! sweeps over different edge sets:
+//!
+//! 1. **customer sweep** — climb provider and sibling links from the
+//!    destination: every AS reached selects a customer-class route
+//!    (Claims 1-2: these ASes are the "Phase-1 ASes");
+//! 2. **peer sweep** — one peer hop off a Phase-1 AS, then sibling links;
+//! 3. **provider sweep** — descend customer and sibling links from every
+//!    routed AS (the "Phase-2" activation of the proof).
+//!
+//! Each sweep assigns `(class, length, next-hop)` with deterministic
+//! tie-breaking (shortest path, then lowest next-hop AS number — the
+//! AS-level abstraction of Table 2.1's lower steps). Within a destination
+//! the solver is O(E log E); the whole-network routing state used by the
+//! Chapter 5 experiments is one solve per destination.
+
+use crate::route::{CandidateRoute, ExportScope};
+use miro_topology::{NodeId, Rel, RouteClass, Topology};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The route an AS selected: class, hop count, and next-hop AS.
+/// The full path is recovered by chasing next hops (paths are ~4 hops, so
+/// this is cheap and keeps the per-destination state at 16 bytes per AS).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BestRoute {
+    /// Business class (determines local preference and export scope).
+    pub class: RouteClass,
+    /// AS hops to the destination (0 for the destination itself).
+    pub len: u16,
+    /// Next-hop AS (the destination points at itself).
+    pub next: NodeId,
+}
+
+/// The converged routing state for a single destination prefix.
+///
+/// ```
+/// use miro_bgp::solver::RoutingState;
+/// use miro_topology::gen::figure_1_1;
+///
+/// // The paper's Figure 1.1 topology: A routes to F through B and E.
+/// let (topo, [a, b, _c, _d, e, f]) = figure_1_1();
+/// let st = RoutingState::solve(&topo, f);
+/// assert_eq!(st.path(a), Some(vec![b, e, f]));
+/// // ...and the alternate through D is in A's candidate set.
+/// assert_eq!(st.candidates(a).len(), 2);
+/// ```
+pub struct RoutingState<'t> {
+    topo: &'t Topology,
+    dest: NodeId,
+    best: Vec<Option<BestRoute>>,
+    /// Administratively failed link this state was solved without
+    /// (normalized low-high); candidates over it are suppressed too.
+    banned: Option<(NodeId, NodeId)>,
+}
+
+impl<'t> RoutingState<'t> {
+    /// Solve the stable state for destination `dest`.
+    pub fn solve(topo: &'t Topology, dest: NodeId) -> RoutingState<'t> {
+        Self::solve_masked(topo, dest, None)
+    }
+
+    /// Solve as if the link between `a` and `b` had failed — the
+    /// what-if the MIRO control plane runs when it observes a withdrawal
+    /// and must decide which tunnels to tear down (section 4.3), without
+    /// rebuilding the topology.
+    pub fn solve_without_link(
+        topo: &'t Topology,
+        dest: NodeId,
+        a: NodeId,
+        b: NodeId,
+    ) -> RoutingState<'t> {
+        Self::solve_masked(topo, dest, Some((a.min(b), a.max(b))))
+    }
+
+    fn solve_masked(
+        topo: &'t Topology,
+        dest: NodeId,
+        banned: Option<(NodeId, NodeId)>,
+    ) -> RoutingState<'t> {
+        let n = topo.num_nodes();
+        let mut best: Vec<Option<BestRoute>> = vec![None; n];
+        best[dest as usize] =
+            Some(BestRoute { class: RouteClass::Customer, len: 0, next: dest });
+
+        // A sweep relaxes offers (len, next_asn, node, next) in order;
+        // first assignment wins, implementing (shortest, lowest-ASN).
+        type Offer = Reverse<(u16, u32, NodeId, NodeId)>;
+        let mut heap: BinaryHeap<Offer> = BinaryHeap::new();
+
+        // --- Sweep 1: customer-class routes -----------------------------
+        // From a routed node u, the route extends with customer class to
+        // u's providers and u's siblings.
+        let is_banned =
+            move |x: NodeId, y: NodeId| banned == Some((x.min(y), x.max(y)));
+        let offer_up = |heap: &mut BinaryHeap<Offer>,
+                        topo: &Topology,
+                        best: &[Option<BestRoute>],
+                        u: NodeId| {
+            let bu = best[u as usize].expect("offering node is routed");
+            for &(v, rel) in topo.neighbors(u) {
+                // rel = what v is to u; climbing means v is u's provider,
+                // or v is u's sibling (transparent).
+                if (rel == Rel::Provider || rel == Rel::Sibling)
+                    && best[v as usize].is_none()
+                    && !is_banned(u, v)
+                {
+                    heap.push(Reverse((bu.len + 1, topo.asn(u).0, v, u)));
+                }
+            }
+        };
+        offer_up(&mut heap, topo, &best, dest);
+        while let Some(Reverse((len, _asn, v, u))) = heap.pop() {
+            if best[v as usize].is_some() {
+                continue;
+            }
+            best[v as usize] = Some(BestRoute { class: RouteClass::Customer, len, next: u });
+            offer_up(&mut heap, topo, &best, v);
+        }
+
+        // --- Sweep 2: peer-class routes ----------------------------------
+        // Seed: one peer hop off a customer-routed AS (peers export only
+        // customer routes). Then propagate along sibling links (siblings
+        // receive everything; class stays Peer).
+        debug_assert!(heap.is_empty());
+        let customer_routed: Vec<NodeId> = (0..n as NodeId)
+            .filter(|&x| {
+                matches!(best[x as usize], Some(b) if b.class == RouteClass::Customer)
+            })
+            .collect();
+        for &p in &customer_routed {
+            let bp = best[p as usize].expect("customer-routed");
+            for &(v, rel) in topo.neighbors(p) {
+                // rel = what v is to p; v learns p's route if v is p's peer.
+                if rel == Rel::Peer && best[v as usize].is_none() && !is_banned(p, v) {
+                    heap.push(Reverse((bp.len + 1, topo.asn(p).0, v, p)));
+                }
+            }
+        }
+        let offer_sib = |heap: &mut BinaryHeap<Offer>,
+                         topo: &Topology,
+                         best: &[Option<BestRoute>],
+                         u: NodeId| {
+            let bu = best[u as usize].expect("offering node is routed");
+            for &(v, rel) in topo.neighbors(u) {
+                if rel == Rel::Sibling && best[v as usize].is_none() && !is_banned(u, v) {
+                    heap.push(Reverse((bu.len + 1, topo.asn(u).0, v, u)));
+                }
+            }
+        };
+        while let Some(Reverse((len, _asn, v, u))) = heap.pop() {
+            if best[v as usize].is_some() {
+                continue;
+            }
+            best[v as usize] = Some(BestRoute { class: RouteClass::Peer, len, next: u });
+            offer_sib(&mut heap, topo, &best, v);
+        }
+
+        // --- Sweep 3: provider-class routes -------------------------------
+        // Seed: every routed AS offers its route to its customers
+        // (everything is exportable to customers); then propagate down
+        // customer links and across sibling links among the unrouted.
+        debug_assert!(heap.is_empty());
+        for x in 0..n as NodeId {
+            if best[x as usize].is_some() {
+                let bx = best[x as usize].expect("routed");
+                for &(v, rel) in topo.neighbors(x) {
+                    if rel == Rel::Customer && best[v as usize].is_none() && !is_banned(x, v) {
+                        heap.push(Reverse((bx.len + 1, topo.asn(x).0, v, x)));
+                    }
+                }
+            }
+        }
+        let offer_down = |heap: &mut BinaryHeap<Offer>,
+                          topo: &Topology,
+                          best: &[Option<BestRoute>],
+                          u: NodeId| {
+            let bu = best[u as usize].expect("offering node is routed");
+            for &(v, rel) in topo.neighbors(u) {
+                if (rel == Rel::Customer || rel == Rel::Sibling)
+                    && best[v as usize].is_none()
+                    && !is_banned(u, v)
+                {
+                    heap.push(Reverse((bu.len + 1, topo.asn(u).0, v, u)));
+                }
+            }
+        };
+        while let Some(Reverse((len, _asn, v, u))) = heap.pop() {
+            if best[v as usize].is_some() {
+                continue;
+            }
+            best[v as usize] = Some(BestRoute { class: RouteClass::Provider, len, next: u });
+            offer_down(&mut heap, topo, &best, v);
+        }
+
+        RoutingState { topo, dest, best, banned }
+    }
+
+    /// The destination this state routes toward.
+    pub fn dest(&self) -> NodeId {
+        self.dest
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &'t Topology {
+        self.topo
+    }
+
+    /// The selected route of `x`, if `x` can reach the destination.
+    pub fn best(&self, x: NodeId) -> Option<BestRoute> {
+        self.best[x as usize]
+    }
+
+    /// The selected AS path of `x` (next hop first, destination last;
+    /// empty for the destination itself). `None` if unreachable.
+    pub fn path(&self, x: NodeId) -> Option<Vec<NodeId>> {
+        let mut b = self.best[x as usize]?;
+        let mut out = Vec::with_capacity(b.len as usize);
+        let mut at = x;
+        while at != self.dest {
+            at = b.next;
+            out.push(at);
+            b = self.best[at as usize].expect("next hop of a routed AS is routed");
+        }
+        Some(out)
+    }
+
+    /// Does `x`'s selected path traverse `avoid`? (`false` if unreachable.)
+    pub fn path_traverses(&self, x: NodeId, avoid: NodeId) -> bool {
+        let mut at = x;
+        while at != self.dest {
+            let Some(b) = self.best[at as usize] else { return false };
+            at = b.next;
+            if at == avoid {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Would neighbor `n` export its selected route to `x` under the
+    /// conventional export rules, and is it loop-free at `x`?
+    /// Returns the candidate as `x` would install it.
+    pub fn learned_from(&self, x: NodeId, n: NodeId) -> Option<CandidateRoute> {
+        if self.banned == Some((x.min(n), x.max(n))) {
+            return None; // the session over a failed link is down
+        }
+        let bn = self.best[n as usize]?;
+        let rel_xn = self.topo.rel(n, x)?; // what x is to n: n's export decision
+        if !ExportScope::allows(bn.class, rel_xn) {
+            return None;
+        }
+        let mut path = Vec::with_capacity(bn.len as usize + 1);
+        path.push(n);
+        let mut at = n;
+        while at != self.dest {
+            let b = self.best[at as usize].expect("routed chain");
+            at = b.next;
+            if at == x {
+                return None; // loop: x already on n's path
+            }
+            path.push(at);
+        }
+        let rel_nx = self.topo.rel(x, n).expect("link exists both ways");
+        let class = ExportScope::received_class(bn.class, rel_nx);
+        Some(CandidateRoute { path, class })
+    }
+
+    /// All candidate routes `x` learns from its neighbors under normal BGP
+    /// operation — the alternate-route pool a MIRO responding AS selects
+    /// from (section 3.4). Sorted by preference (best first).
+    pub fn candidates(&self, x: NodeId) -> Vec<CandidateRoute> {
+        let mut out: Vec<CandidateRoute> = self
+            .topo
+            .neighbors(x)
+            .iter()
+            .filter_map(|&(n, _)| self.learned_from(x, n))
+            .collect();
+        out.sort_by(|a, b| crate::route::prefer(self.topo, a, b));
+        out
+    }
+
+    /// Number of ASes that can reach the destination.
+    pub fn reachable_count(&self) -> usize {
+        self.best.iter().filter(|b| b.is_some()).count()
+    }
+}
+
+/// Extract every AS's selected path toward every destination in `dests`,
+/// as (source-first, destination-last) full paths *including* the source.
+/// This is the "BGP table dump" used to feed the inference pipeline.
+pub fn as_paths_to(topo: &Topology, dests: &[NodeId]) -> Vec<Vec<miro_topology::AsId>> {
+    let mut out = Vec::new();
+    for &d in dests {
+        let st = RoutingState::solve(topo, d);
+        for x in topo.nodes() {
+            if x == d {
+                continue;
+            }
+            if let Some(p) = st.path(x) {
+                let mut full = Vec::with_capacity(p.len() + 1);
+                full.push(topo.asn(x));
+                full.extend(p.iter().map(|&n| topo.asn(n)));
+                out.push(full);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miro_topology::gen::figure_1_1;
+    use miro_topology::{AsId, GenParams, TopologyBuilder};
+
+    #[test]
+    fn figure_2_1_default_routes() {
+        // The walk-through of Figure 2.1: F originates; C and E pick direct
+        // customer routes; B picks BEF or BCF; A routes via B or D.
+        let (t, [a, b, c, d, e, f]) = figure_1_1();
+        let st = RoutingState::solve(&t, f);
+        assert_eq!(st.path(f), Some(vec![]));
+        assert_eq!(st.path(c), Some(vec![f]));
+        assert_eq!(st.path(e), Some(vec![f]));
+        // B: customer route? F is not B's customer. B's candidates: via C
+        // (peer, path CF) and via E (customer, path EF). E is B's customer,
+        // so BEF is a customer route and wins — matching the paper's story
+        // that B selects BEF.
+        assert_eq!(st.path(b), Some(vec![e, f]));
+        // D likewise selects DEF.
+        assert_eq!(st.path(d), Some(vec![e, f]));
+        // A is a customer of both B and D; both export; tie on class and
+        // length; tie-break by lower AS number (B=AS2 < D=AS4).
+        assert_eq!(st.path(a), Some(vec![b, e, f]));
+        assert_eq!(st.reachable_count(), 6);
+    }
+
+    #[test]
+    fn figure_2_1_candidate_sets() {
+        let (t, [a, b, c, d, e, f]) = figure_1_1();
+        let st = RoutingState::solve(&t, f);
+        // A learns candidates from both providers B and D.
+        let cands = st.candidates(a);
+        assert_eq!(cands.len(), 2);
+        assert!(cands.iter().any(|r| r.path == vec![b, e, f]));
+        assert!(cands.iter().any(|r| r.path == vec![d, e, f]));
+        // B learned BCF from its peer C (C's best is a customer route),
+        // even though B selected BEF — the "hidden" alternate of Figure 1.1.
+        let bc = st.candidates(b);
+        assert!(bc.iter().any(|r| r.path == vec![c, f]));
+        assert!(bc.iter().any(|r| r.path == vec![e, f]));
+        let _ = d;
+    }
+
+    #[test]
+    fn export_rules_suppress_peer_routes_to_peers() {
+        // A - B peer, B - C peer, C originates. B's route to C is a
+        // customer route? No: C is B's peer, so B's route has Peer class
+        // and must not be exported to peer A.
+        let mut bld = TopologyBuilder::new();
+        for n in [1, 2, 3] {
+            bld.add_as(AsId(n));
+        }
+        bld.peering(AsId(1), AsId(2));
+        bld.peering(AsId(2), AsId(3));
+        let t = bld.build().unwrap();
+        let (a, b, c) = (
+            t.node(AsId(1)).unwrap(),
+            t.node(AsId(2)).unwrap(),
+            t.node(AsId(3)).unwrap(),
+        );
+        let st = RoutingState::solve(&t, c);
+        assert_eq!(st.path(b), Some(vec![c]));
+        assert_eq!(st.path(a), None, "peer route must not be re-exported to a peer");
+        assert_eq!(st.learned_from(a, b), None);
+    }
+
+    #[test]
+    fn provider_routes_propagate_down() {
+        // 1 provides 2 provides 3; 1 originates d via peer 9? Simpler:
+        // 9 - 1 peer; 9 originates; 1 gets peer route; 2 and 3 get provider
+        // routes (everything is exportable to customers).
+        let mut bld = TopologyBuilder::new();
+        for n in [1, 2, 3, 9] {
+            bld.add_as(AsId(n));
+        }
+        bld.peering(AsId(9), AsId(1));
+        bld.provider_customer(AsId(1), AsId(2));
+        bld.provider_customer(AsId(2), AsId(3));
+        let t = bld.build().unwrap();
+        let (n1, n2, n3, n9) = (
+            t.node(AsId(1)).unwrap(),
+            t.node(AsId(2)).unwrap(),
+            t.node(AsId(3)).unwrap(),
+            t.node(AsId(9)).unwrap(),
+        );
+        let st = RoutingState::solve(&t, n9);
+        assert_eq!(st.best(n1).unwrap().class, RouteClass::Peer);
+        assert_eq!(st.best(n2).unwrap().class, RouteClass::Provider);
+        assert_eq!(st.best(n3).unwrap().class, RouteClass::Provider);
+        assert_eq!(st.path(n3), Some(vec![n2, n1, n9]));
+    }
+
+    #[test]
+    fn customer_route_preferred_over_shorter_peer_route() {
+        // x has: customer route of length 3, peer route of length 1.
+        // Guideline A: the customer route wins despite being longer.
+        //   d <- c1 <- c2 <- x   (chain of customer links up to x)
+        //   d - p - x with p peer of x? p must hold a customer route to d.
+        let mut bld = TopologyBuilder::new();
+        for n in [1, 2, 3, 4, 5] {
+            bld.add_as(AsId(n));
+        }
+        // d=1. Chain: 2 provider-of 1, 3 provider-of 2, 4 provider-of 3.
+        bld.provider_customer(AsId(2), AsId(1));
+        bld.provider_customer(AsId(3), AsId(2));
+        bld.provider_customer(AsId(4), AsId(3));
+        // 5 also provides 1; 5 peers with 4.
+        bld.provider_customer(AsId(5), AsId(1));
+        bld.peering(AsId(4), AsId(5));
+        let t = bld.build().unwrap();
+        let d = t.node(AsId(1)).unwrap();
+        let x = t.node(AsId(4)).unwrap();
+        let st = RoutingState::solve(&t, d);
+        let bx = st.best(x).unwrap();
+        assert_eq!(bx.class, RouteClass::Customer);
+        assert_eq!(bx.len, 3);
+        // The shorter peer path is still in the candidate set.
+        let cands = st.candidates(x);
+        assert!(cands.iter().any(|r| r.class == RouteClass::Peer && r.len() == 2));
+    }
+
+    #[test]
+    fn sibling_links_are_transparent_transit() {
+        // d=1; 2 is 1's provider; 3 sibling of 2; 4 customer of 3.
+        // 3 gets a customer-class route through its sibling; 4 gets a
+        // provider route 3 hops long.
+        let mut bld = TopologyBuilder::new();
+        for n in [1, 2, 3, 4] {
+            bld.add_as(AsId(n));
+        }
+        bld.provider_customer(AsId(2), AsId(1));
+        bld.sibling(AsId(2), AsId(3));
+        bld.provider_customer(AsId(3), AsId(4));
+        let t = bld.build().unwrap();
+        let d = t.node(AsId(1)).unwrap();
+        let s = t.node(AsId(3)).unwrap();
+        let c = t.node(AsId(4)).unwrap();
+        let st = RoutingState::solve(&t, d);
+        assert_eq!(st.best(s).unwrap().class, RouteClass::Customer);
+        assert_eq!(st.best(c).unwrap().class, RouteClass::Provider);
+        assert_eq!(st.path(c).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn peer_routes_cross_one_sibling_chain() {
+        // d=1; 2 holds customer route (provides 1); 3 peers with 2;
+        // 4 sibling of 3: 4's route class stays Peer through the sibling.
+        let mut bld = TopologyBuilder::new();
+        for n in [1, 2, 3, 4] {
+            bld.add_as(AsId(n));
+        }
+        bld.provider_customer(AsId(2), AsId(1));
+        bld.peering(AsId(2), AsId(3));
+        bld.sibling(AsId(3), AsId(4));
+        let t = bld.build().unwrap();
+        let d = t.node(AsId(1)).unwrap();
+        let n4 = t.node(AsId(4)).unwrap();
+        let st = RoutingState::solve(&t, d);
+        assert_eq!(st.best(n4).unwrap().class, RouteClass::Peer);
+        assert_eq!(st.path(n4).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn unreachable_when_policy_blocks() {
+        // Two stubs under different peers: 1-2 peer; 3 customer of 1;
+        // 4 customer of 2. 3 can reach 4: path 3-1-2-4? 1 learns 4 via
+        // peer 2 (customer route of 2: exportable to peers), then 1 exports
+        // to customer 3. Reachable. But a peer-of-peer: 5 peer of 2;
+        // 5's route to 4 via 2 is peer-class; 5 may export it only to
+        // customers... check 3 via 1 works and the graph is fully policy-
+        // connected here; craft true unreachability: 6 provider of 5? Keep
+        // it simple: isolated node is unreachable.
+        let mut bld = TopologyBuilder::new();
+        for n in [1, 2, 3] {
+            bld.add_as(AsId(n));
+        }
+        bld.peering(AsId(1), AsId(2));
+        let t = bld.build().unwrap();
+        let d = t.node(AsId(1)).unwrap();
+        let iso = t.node(AsId(3)).unwrap();
+        let st = RoutingState::solve(&t, d);
+        assert_eq!(st.path(iso), None);
+        assert_eq!(st.best(iso), None);
+        assert!(!st.path_traverses(iso, d));
+    }
+
+    #[test]
+    fn all_selected_paths_are_valley_free() {
+        let t = GenParams::tiny(21).generate();
+        for d in t.nodes().step_by(7) {
+            let st = RoutingState::solve(&t, d);
+            for x in t.nodes() {
+                if let Some(p) = st.path(x) {
+                    let mut full = vec![x];
+                    full.extend(&p);
+                    assert!(
+                        miro_topology::is_valley_free(&t, &full),
+                        "selected path must be valley-free: {full:?} to {d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_candidates_are_valley_free_and_loop_free() {
+        let t = GenParams::tiny(22).generate();
+        for d in t.nodes().step_by(11) {
+            let st = RoutingState::solve(&t, d);
+            for x in t.nodes() {
+                for r in st.candidates(x) {
+                    assert!(!r.traverses(x), "candidate must not loop through holder");
+                    let mut full = vec![x];
+                    full.extend(&r.path);
+                    assert!(miro_topology::is_valley_free(&t, &full));
+                    assert_eq!(*r.path.last().unwrap(), d);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_sorted_best_first() {
+        let t = GenParams::tiny(23).generate();
+        let d = t.nodes().next().unwrap();
+        let st = RoutingState::solve(&t, d);
+        for x in t.nodes() {
+            let c = st.candidates(x);
+            for w in c.windows(2) {
+                assert_ne!(
+                    crate::route::prefer(&t, &w[0], &w[1]),
+                    std::cmp::Ordering::Greater
+                );
+            }
+            // The selected route equals the top candidate (when any).
+            if let (Some(top), Some(b)) = (c.first(), st.best(x)) {
+                if x != d {
+                    assert_eq!(top.class, b.class);
+                    assert_eq!(top.len() as u16, b.len);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn connected_hierarchical_graph_is_fully_reachable() {
+        let t = GenParams::tiny(24).generate();
+        assert!(t.is_connected());
+        for d in t.nodes().step_by(13) {
+            let st = RoutingState::solve(&t, d);
+            assert_eq!(
+                st.reachable_count(),
+                t.num_nodes(),
+                "Gao-Rexford policies keep a connected hierarchy reachable"
+            );
+        }
+    }
+
+    #[test]
+    fn as_path_extraction_includes_source() {
+        let (t, [a, _b, _c, _d, _e, f]) = figure_1_1();
+        let paths = as_paths_to(&t, &[f]);
+        assert_eq!(paths.len(), 5);
+        assert!(paths.iter().all(|p| *p.last().unwrap() == t.asn(f)));
+        assert!(paths.iter().any(|p| p[0] == t.asn(a) && p.len() == 4));
+    }
+}

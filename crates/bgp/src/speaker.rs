@@ -1,0 +1,660 @@
+//! A wire-level BGP speaker: sessions, real UPDATE messages, rib-in,
+//! decision process, and re-advertisement — the protocol machinery of
+//! section 2.2.2 joined up, byte-for-byte.
+//!
+//! The AS-level solver and simulator answer the evaluation's questions;
+//! this speaker exists because MIRO claims *backward compatibility with
+//! deployed BGP* (section 3.2), and that claim is only credible if the
+//! reproduction actually speaks the protocol: OPEN handshakes, UPDATEs
+//! with path attributes, implicit withdraws, loop rejection on AS_PATH,
+//! and incremental re-advertisement on best-path changes. Transport is
+//! abstract: callers move the byte queues between speakers (tests pump
+//! them in-memory; a deployment would use TCP sockets).
+
+use crate::decision::{select_best, Origin, RouteAttrs};
+use crate::session::{Action, Event, Session, SessionConfig, State};
+use crate::wire::{BgpMessage, PathAttributes, WireError, WirePrefix};
+use std::collections::HashMap;
+
+/// Per-peer configuration: who we expect and how we value their routes.
+#[derive(Clone, Debug)]
+pub struct PeerConfig {
+    pub remote_as: u16,
+    /// LOCAL_PREF assigned to routes from this peer (the section 2.2.2
+    /// convention: customers 400-500, peers 200-300, providers 50-100).
+    /// Ignored for iBGP peers, whose UPDATEs carry LOCAL_PREF explicitly.
+    pub local_pref: u32,
+    /// May we advertise non-customer-learned routes to this peer? (The
+    /// export rule abstraction: `true` for customers, `false` for peers
+    /// and providers.) iBGP peers always receive the best route.
+    pub full_export: bool,
+    /// iBGP session (same AS): no AS prepending, LOCAL_PREF carried on
+    /// the wire, iBGP-learned routes never re-advertised to other iBGP
+    /// peers (full-mesh rule), and eBGP beats iBGP at decision step 5.
+    pub ibgp: bool,
+}
+
+impl PeerConfig {
+    /// An eBGP peer.
+    pub fn ebgp(remote_as: u16, local_pref: u32, full_export: bool) -> PeerConfig {
+        PeerConfig { remote_as, local_pref, full_export, ibgp: false }
+    }
+
+    /// An iBGP peer in the same AS.
+    pub fn ibgp(my_as: u16) -> PeerConfig {
+        PeerConfig { remote_as: my_as, local_pref: 0, full_export: true, ibgp: true }
+    }
+}
+
+struct Peer {
+    cfg: PeerConfig,
+    session: Session,
+    /// Bytes waiting for the transport to carry to this peer.
+    out: Vec<u8>,
+    /// Partial inbound bytes (stream reassembly).
+    inbuf: Vec<u8>,
+    /// rib-in: latest route per prefix from this peer.
+    rib_in: HashMap<WirePrefix, PathAttributes>,
+    /// What we have advertised to this peer (to withdraw on change).
+    advertised: HashMap<WirePrefix, Vec<u32>>,
+}
+
+/// One BGP speaker (a router with eBGP and/or iBGP sessions).
+///
+/// ```
+/// use miro_bgp::speaker::{pump, PeerConfig, Speaker};
+/// use miro_bgp::wire::WirePrefix;
+///
+/// let mut origin = Speaker::new(65003, 3);
+/// let mut transit = Speaker::new(65002, 2);
+/// let p_o = origin.add_peer(PeerConfig::ebgp(65002, 80, false));
+/// let p_t = transit.add_peer(PeerConfig::ebgp(65003, 450, true));
+/// let prefix = WirePrefix::new(0x0a030000, 16);
+/// origin.originate(prefix);
+/// origin.start();
+/// transit.start();
+/// let mut speakers = vec![origin, transit];
+/// pump(&mut speakers, &[(0, p_o, 1, p_t)]);
+/// assert_eq!(speakers[1].best_path(prefix), Some(vec![65003]));
+/// ```
+pub struct Speaker {
+    pub asn: u16,
+    bgp_id: u32,
+    peers: Vec<Peer>,
+    /// Prefixes this speaker originates.
+    originated: Vec<WirePrefix>,
+    /// Current best per prefix: (peer index or None for originated, attrs).
+    selected: HashMap<WirePrefix, (Option<usize>, PathAttributes)>,
+}
+
+impl Speaker {
+    pub fn new(asn: u16, bgp_id: u32) -> Speaker {
+        Speaker { asn, bgp_id, peers: Vec::new(), originated: Vec::new(), selected: HashMap::new() }
+    }
+
+    /// Register a peer; returns its index. Sessions start Idle.
+    pub fn add_peer(&mut self, cfg: PeerConfig) -> usize {
+        let session = Session::new(SessionConfig {
+            my_as: self.asn,
+            bgp_id: self.bgp_id,
+            hold_time: 90,
+            expect_as: Some(cfg.remote_as),
+        });
+        self.peers.push(Peer {
+            cfg,
+            session,
+            out: Vec::new(),
+            inbuf: Vec::new(),
+            rib_in: HashMap::new(),
+            advertised: HashMap::new(),
+        });
+        self.peers.len() - 1
+    }
+
+    /// Originate a prefix (and advertise it once sessions come up).
+    pub fn originate(&mut self, prefix: WirePrefix) {
+        self.originated.push(prefix);
+        self.selected.insert(
+            prefix,
+            (None, PathAttributes { origin: Some(0), ..Default::default() }),
+        );
+        self.readvertise(prefix);
+    }
+
+    /// Start all sessions (operator `ManualStart` + transport up).
+    pub fn start(&mut self) {
+        for i in 0..self.peers.len() {
+            let mut acts = self.peers[i].session.handle(Event::ManualStart);
+            acts.extend(self.peers[i].session.handle(Event::TransportUp));
+            self.apply_actions(i, acts);
+        }
+    }
+
+    /// Drain the bytes queued for peer `i` (the transport's job).
+    pub fn output(&mut self, i: usize) -> Vec<u8> {
+        std::mem::take(&mut self.peers[i].out)
+    }
+
+    /// Feed bytes that arrived from peer `i`.
+    pub fn input(&mut self, i: usize, bytes: &[u8]) {
+        self.peers[i].inbuf.extend_from_slice(bytes);
+        loop {
+            let parse_result = BgpMessage::parse(&self.peers[i].inbuf);
+            match parse_result {
+                Ok((msg, used)) => {
+                    self.peers[i].inbuf.drain(..used);
+                    let acts = self.peers[i].session.handle(Event::Message(msg));
+                    self.apply_actions(i, acts);
+                }
+                Err(WireError::Truncated) => break, // wait for more bytes
+                Err(e) => {
+                    self.peers[i].inbuf.clear();
+                    let acts = self.peers[i].session.handle(Event::Garbage(e));
+                    self.apply_actions(i, acts);
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Advance session timers.
+    pub fn tick(&mut self, now: u64) {
+        for i in 0..self.peers.len() {
+            let acts = self.peers[i].session.tick(now);
+            self.apply_actions(i, acts);
+        }
+    }
+
+    /// Session state of peer `i`.
+    pub fn session_state(&self, i: usize) -> State {
+        self.peers[i].session.state()
+    }
+
+    /// The selected AS path toward `prefix` (empty for originated; `None`
+    /// if unknown).
+    pub fn best_path(&self, prefix: WirePrefix) -> Option<Vec<u32>> {
+        self.selected.get(&prefix).map(|(_, a)| a.as_path.clone())
+    }
+
+    fn apply_actions(&mut self, i: usize, actions: Vec<Action>) {
+        for act in actions {
+            match act {
+                Action::Send(m) => {
+                    let bytes = m.emit().expect("session messages encode");
+                    self.peers[i].out.extend_from_slice(&bytes);
+                }
+                Action::SessionUp => {
+                    // Initial table transfer (section 2.2.2: "when a router
+                    // first connects to a neighbor, the entire BGP routing
+                    // table is transmitted").
+                    let prefixes: Vec<WirePrefix> = self.selected.keys().copied().collect();
+                    for p in prefixes {
+                        self.advertise_to(i, p);
+                    }
+                }
+                Action::SessionDown => {
+                    // Routes from this peer are invalid: re-select.
+                    let lost: Vec<WirePrefix> =
+                        self.peers[i].rib_in.keys().copied().collect();
+                    self.peers[i].rib_in.clear();
+                    self.peers[i].advertised.clear();
+                    for p in lost {
+                        self.reselect(p);
+                    }
+                }
+                Action::DeliverUpdate(BgpMessage::Update { withdrawn, attrs, nlri }) => {
+                    for p in withdrawn {
+                        self.peers[i].rib_in.remove(&p);
+                        self.reselect(p);
+                    }
+                    if !nlri.is_empty() {
+                        // Implicit import policy: reject our own AS in the
+                        // path (loop prevention, section 2.1.1).
+                        if !attrs.as_path.contains(&u32::from(self.asn)) {
+                            for p in nlri {
+                                self.peers[i].rib_in.insert(p, attrs.clone());
+                                self.reselect(p);
+                            }
+                        }
+                    }
+                }
+                Action::DeliverUpdate(_) | Action::CloseTransport => {}
+            }
+        }
+    }
+
+    /// Re-run the decision process for one prefix; re-advertise on change.
+    fn reselect(&mut self, prefix: WirePrefix) {
+        let mut cands: Vec<(Option<usize>, PathAttributes, RouteAttrs)> = Vec::new();
+        if self.originated.contains(&prefix) {
+            cands.push((
+                None,
+                PathAttributes { origin: Some(0), ..Default::default() },
+                RouteAttrs {
+                    local_pref: u32::MAX, // own prefix always wins
+                    as_path_len: 0,
+                    ..RouteAttrs::default()
+                },
+            ));
+        }
+        for (idx, peer) in self.peers.iter().enumerate() {
+            if let Some(a) = peer.rib_in.get(&prefix) {
+                cands.push((
+                    Some(idx),
+                    a.clone(),
+                    RouteAttrs {
+                        // iBGP routes carry LOCAL_PREF on the wire
+                        // (section 2.2.2); eBGP routes get it from import
+                        // configuration.
+                        local_pref: if peer.cfg.ibgp {
+                            a.local_pref.unwrap_or(100)
+                        } else {
+                            peer.cfg.local_pref
+                        },
+                        as_path_len: a.as_path.len() as u32,
+                        origin: match a.origin {
+                            Some(1) => Origin::Egp,
+                            Some(2) => Origin::Incomplete,
+                            _ => Origin::Igp,
+                        },
+                        med: a.med.unwrap_or(0),
+                        neighbor_as: u32::from(peer.cfg.remote_as),
+                        ebgp: !peer.cfg.ibgp, // decision step 5
+                        igp_dist: 0,
+                        router_id: idx as u32,
+                        peer_addr: idx as u32,
+                    },
+                ));
+            }
+        }
+        let new = select_best(&cands.iter().map(|(_, _, r)| r.clone()).collect::<Vec<_>>())
+            .map(|i| (cands[i].0, cands[i].1.clone()));
+        let old = self.selected.get(&prefix).cloned();
+        match new {
+            Some(n) => {
+                if old.as_ref() != Some(&n) {
+                    self.selected.insert(prefix, n);
+                    self.readvertise(prefix);
+                }
+            }
+            None => {
+                if old.is_some() {
+                    self.selected.remove(&prefix);
+                    self.readvertise(prefix);
+                }
+            }
+        }
+    }
+
+    /// Send the current best for `prefix` (or a withdraw) to every
+    /// established peer the export policy allows.
+    fn readvertise(&mut self, prefix: WirePrefix) {
+        for i in 0..self.peers.len() {
+            self.advertise_to(i, prefix);
+        }
+    }
+
+    fn advertise_to(&mut self, i: usize, prefix: WirePrefix) {
+        if self.peers[i].session.state() != State::Established {
+            return;
+        }
+        let selected = self.selected.get(&prefix).cloned();
+        // Export policy: full export to customers; to peers/providers only
+        // routes we originated or learned from customers. We approximate
+        // "customer-learned" as "learned from a full-export peer" — the
+        // caller encodes relationships through PeerConfig. iBGP peers get
+        // the best route unconditionally, except that iBGP-learned routes
+        // are not re-reflected to other iBGP peers (full-mesh rule).
+        let to_ibgp = self.peers[i].cfg.ibgp;
+        let exportable = match &selected {
+            None => None,
+            Some((src, attrs)) => {
+                let from_ibgp = src.is_some_and(|s| self.peers[s].cfg.ibgp);
+                let allowed = if to_ibgp {
+                    !from_ibgp // full mesh: eBGP-learned and originated only
+                } else {
+                    self.peers[i].cfg.full_export
+                        || src.is_none()
+                        || src.is_some_and(|s| {
+                            // learned from a customer (customer peers are the
+                            // ones we grant full export *to*; symmetric in the
+                            // conventional policies).
+                            self.peers[s].cfg.full_export
+                        })
+                };
+                // Never send a route back to the peer it came from, and
+                // never send a path already containing the peer's AS
+                // (for eBGP receivers).
+                let loops = src == &Some(i)
+                    || (!to_ibgp
+                        && attrs
+                            .as_path
+                            .contains(&u32::from(self.peers[i].cfg.remote_as)));
+                (allowed && !loops).then(|| attrs.clone())
+            }
+        };
+        match exportable {
+            Some(attrs) => {
+                let mut out_attrs = attrs;
+                if to_ibgp {
+                    // iBGP: no prepending; LOCAL_PREF travels; next hop is
+                    // preserved (next-hop-self simplification: our id).
+                    let lp = self
+                        .selected
+                        .get(&prefix)
+                        .and_then(|(src, a)| match src {
+                            Some(s) if self.peers[*s].cfg.ibgp => a.local_pref,
+                            Some(s) => Some(self.peers[*s].cfg.local_pref),
+                            None => Some(u32::MAX),
+                        });
+                    out_attrs.local_pref = lp;
+                } else {
+                    out_attrs.as_path.insert(0, u32::from(self.asn));
+                    out_attrs.local_pref = None; // LOCAL_PREF is iBGP-only
+                }
+                out_attrs.next_hop = Some(self.bgp_id);
+                if out_attrs.origin.is_none() {
+                    out_attrs.origin = Some(0);
+                }
+                let already = self.peers[i].advertised.get(&prefix);
+                if already == Some(&out_attrs.as_path) {
+                    return; // incremental protocol: no change, no update
+                }
+                self.peers[i].advertised.insert(prefix, out_attrs.as_path.clone());
+                let msg = BgpMessage::Update {
+                    withdrawn: vec![],
+                    attrs: out_attrs,
+                    nlri: vec![prefix],
+                };
+                let bytes = msg.emit().expect("update encodes");
+                self.peers[i].out.extend_from_slice(&bytes);
+            }
+            None => {
+                if self.peers[i].advertised.remove(&prefix).is_some() {
+                    let msg = BgpMessage::Update {
+                        withdrawn: vec![prefix],
+                        attrs: PathAttributes::default(),
+                        nlri: vec![],
+                    };
+                    let bytes = msg.emit().expect("withdraw encodes");
+                    self.peers[i].out.extend_from_slice(&bytes);
+                }
+            }
+        }
+    }
+}
+
+/// Pump bytes between speakers until nothing moves: `links` are
+/// (speaker a, peer index at a, speaker b, peer index at b) pairs.
+pub fn pump(speakers: &mut [Speaker], links: &[(usize, usize, usize, usize)]) {
+    for _ in 0..1000 {
+        let mut moved = false;
+        for &(a, pa, b, pb) in links {
+            let bytes_ab = speakers[a].output(pa);
+            if !bytes_ab.is_empty() {
+                moved = true;
+                speakers[b].input(pb, &bytes_ab);
+            }
+            let bytes_ba = speakers[b].output(pb);
+            if !bytes_ba.is_empty() {
+                moved = true;
+                speakers[a].input(pa, &bytes_ba);
+            }
+        }
+        if !moved {
+            return;
+        }
+    }
+    panic!("speakers did not quiesce within the pump budget");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn px(a: u32, len: u8) -> WirePrefix {
+        WirePrefix::new(a, len)
+    }
+
+    type Links = Vec<(usize, usize, usize, usize)>;
+
+    /// Three ASes in a line: 65001 (customer) - 65002 (transit) - 65003
+    /// (origin). Full wire-level propagation with AS_PATH growth.
+    fn line() -> (Vec<Speaker>, Links) {
+        let mut s1 = Speaker::new(65001, 1);
+        let mut s2 = Speaker::new(65002, 2);
+        let mut s3 = Speaker::new(65003, 3);
+        // s1 sees s2 as provider; s2 sees s1 as customer, s3 as customer.
+        let p12 = s1.add_peer(PeerConfig::ebgp(65002, 80, false));
+        let p21 = s2.add_peer(PeerConfig::ebgp(65001, 450, true));
+        let p23 = s2.add_peer(PeerConfig::ebgp(65003, 450, true));
+        let p32 = s3.add_peer(PeerConfig::ebgp(65002, 80, false));
+        s3.originate(px(0x0a030000, 16));
+        for s in [&mut s1, &mut s2, &mut s3] {
+            s.start();
+        }
+        (vec![s1, s2, s3], vec![(0, p12, 1, p21), (1, p23, 2, p32)])
+    }
+
+    #[test]
+    fn sessions_establish_and_routes_propagate_end_to_end() {
+        let (mut sp, links) = line();
+        pump(&mut sp, &links);
+        assert_eq!(sp[0].session_state(0), State::Established);
+        assert_eq!(sp[1].session_state(0), State::Established);
+        let p = px(0x0a030000, 16);
+        // s2 learned [65003]; s1 learned [65002, 65003] — AS_PATH grows
+        // hop by hop, exactly the Figure 2.1 walkthrough.
+        assert_eq!(sp[1].best_path(p), Some(vec![65003]));
+        assert_eq!(sp[0].best_path(p), Some(vec![65002, 65003]));
+        assert_eq!(sp[2].best_path(p), Some(vec![]), "origin's own null path");
+    }
+
+    #[test]
+    fn withdrawal_propagates_when_session_drops() {
+        let (mut sp, links) = line();
+        pump(&mut sp, &links);
+        let p = px(0x0a030000, 16);
+        assert!(sp[0].best_path(p).is_some());
+        // s2 loses its session to s3.
+        let acts = sp[1].peers[1].session.handle(Event::TransportDown);
+        sp[1].apply_actions(1, acts);
+        pump(&mut sp, &links);
+        assert_eq!(sp[1].best_path(p), None);
+        assert_eq!(sp[0].best_path(p), None, "withdraw reached the edge");
+    }
+
+    #[test]
+    fn loop_prevention_rejects_own_as() {
+        // A triangle where updates could circulate: 1 - 2 - 3 - 1, with 3
+        // originating. Everyone is everyone's customer (full export) so
+        // paths would loop forever without AS_PATH rejection.
+        let mut s1 = Speaker::new(1, 1);
+        let mut s2 = Speaker::new(2, 2);
+        let mut s3 = Speaker::new(3, 3);
+        let cfg = |asn| PeerConfig::ebgp(asn, 450, true);
+        let a12 = s1.add_peer(cfg(2));
+        let a13 = s1.add_peer(cfg(3));
+        let b21 = s2.add_peer(cfg(1));
+        let b23 = s2.add_peer(cfg(3));
+        let c31 = s3.add_peer(cfg(1));
+        let c32 = s3.add_peer(cfg(2));
+        s3.originate(px(0x0a000000, 8));
+        for s in [&mut s1, &mut s2, &mut s3] {
+            s.start();
+        }
+        let mut sp = vec![s1, s2, s3];
+        let links = vec![(0, a12, 1, b21), (0, a13, 2, c31), (1, b23, 2, c32)];
+        pump(&mut sp, &links);
+        let p = px(0x0a000000, 8);
+        // Everyone converges on the direct route (shorter path wins).
+        assert_eq!(sp[0].best_path(p), Some(vec![3]));
+        assert_eq!(sp[1].best_path(p), Some(vec![3]));
+    }
+
+    #[test]
+    fn local_pref_overrides_path_length() {
+        // s1 hears the same prefix from a provider (short path, lp 80)
+        // and a customer (longer path, lp 450): the customer route wins —
+        // Guideline A at the wire level.
+        let mut s1 = Speaker::new(100, 1);
+        let prov = s1.add_peer(PeerConfig::ebgp(200, 80, false));
+        let cust = s1.add_peer(PeerConfig::ebgp(300, 450, true));
+        // Fake the sessions up by handshaking directly.
+        let mut s2 = Speaker::new(200, 2);
+        let p2 = s2.add_peer(PeerConfig::ebgp(100, 450, true));
+        let mut s3 = Speaker::new(300, 3);
+        let p3 = s3.add_peer(PeerConfig::ebgp(100, 80, false));
+        s2.originate(px(0x0a990000, 16)); // 200 originates: path [200]
+        // 300 learns it from its own side? Simpler: 300 also originates a
+        // longer path by chaining through another AS is overkill — have
+        // 300 originate the SAME prefix (anycast-style): path via 300 is
+        // [300], same length... we need longer. Give 300 a stub child.
+        let mut s4 = Speaker::new(400, 4);
+        let p43 = s4.add_peer(PeerConfig::ebgp(300, 450, true));
+        let p34 = s3.add_peer(PeerConfig::ebgp(400, 450, true));
+        s4.originate(px(0x0a990000, 16));
+        for s in [&mut s1, &mut s2, &mut s3, &mut s4] {
+            s.start();
+        }
+        let mut sp = vec![s1, s2, s3, s4];
+        let links = vec![(0, prov, 1, p2), (0, cust, 2, p3), (2, p34, 3, p43)];
+        pump(&mut sp, &links);
+        let p = px(0x0a990000, 16);
+        // Provider offers [200] (len 1, lp 80); customer offers [300, 400]
+        // (len 2, lp 450). LOCAL_PREF dominates (decision step 1).
+        assert_eq!(sp[0].best_path(p), Some(vec![300, 400]));
+    }
+
+    #[test]
+    fn export_policy_blocks_provider_routes_to_peers() {
+        // s2 learns from its provider and must NOT re-export to another
+        // non-customer.
+        let mut s2 = Speaker::new(2, 2);
+        let from_prov = s2.add_peer(PeerConfig::ebgp(9, 80, false));
+        let to_peer = s2.add_peer(PeerConfig::ebgp(5, 250, false));
+        let mut s9 = Speaker::new(9, 9);
+        let p92 = s9.add_peer(PeerConfig::ebgp(2, 450, true));
+        let mut s5 = Speaker::new(5, 5);
+        let p52 = s5.add_peer(PeerConfig::ebgp(2, 250, false));
+        s9.originate(px(0x0a070000, 16));
+        for s in [&mut s2, &mut s9, &mut s5] {
+            s.start();
+        }
+        let mut sp = vec![s2, s9, s5];
+        let links = vec![(0, from_prov, 1, p92), (0, to_peer, 2, p52)];
+        pump(&mut sp, &links);
+        let p = px(0x0a070000, 16);
+        assert_eq!(sp[0].best_path(p), Some(vec![9]), "s2 has the route");
+        assert_eq!(sp[2].best_path(p), None, "peer must not receive a provider route");
+    }
+
+    /// Two routers of AS 100 in an iBGP full mesh; R1 has the eBGP session
+    /// to the origin. R2 must learn the route over iBGP with no AS
+    /// prepending and the LOCAL_PREF carried on the wire.
+    #[test]
+    fn ibgp_carries_local_pref_without_prepending() {
+        let mut r1 = Speaker::new(100, 1);
+        let mut r2 = Speaker::new(100, 2);
+        let mut origin = Speaker::new(200, 9);
+        let e_r1 = r1.add_peer(PeerConfig::ebgp(200, 450, true));
+        let i_r1 = r1.add_peer(PeerConfig::ibgp(100));
+        let i_r2 = r2.add_peer(PeerConfig::ibgp(100));
+        let e_o = origin.add_peer(PeerConfig::ebgp(100, 80, false));
+        let p = px(0x0a050000, 16);
+        origin.originate(p);
+        for s in [&mut r1, &mut r2, &mut origin] {
+            s.start();
+        }
+        let mut sp = vec![r1, r2, origin];
+        let links = vec![(0, e_r1, 2, e_o), (0, i_r1, 1, i_r2)];
+        pump(&mut sp, &links);
+        // R1 learned [200] over eBGP; R2 learned the SAME path over iBGP
+        // (no 100 prepended inside the AS).
+        assert_eq!(sp[0].best_path(p), Some(vec![200]));
+        assert_eq!(sp[1].best_path(p), Some(vec![200]));
+        // The iBGP rib-in carries the LOCAL_PREF R1 assigned on import.
+        let a = sp[1].peers[i_r2].rib_in.get(&p).expect("ibgp route");
+        assert_eq!(a.local_pref, Some(450));
+    }
+
+    /// Full-mesh rule: a route learned over iBGP is not re-advertised to
+    /// other iBGP peers (R3 hears nothing from R2 about R1's route).
+    #[test]
+    fn ibgp_routes_are_not_reflected() {
+        let mut r1 = Speaker::new(100, 1);
+        let mut r2 = Speaker::new(100, 2);
+        let mut r3 = Speaker::new(100, 3);
+        let mut origin = Speaker::new(200, 9);
+        let e_r1 = r1.add_peer(PeerConfig::ebgp(200, 450, true));
+        let r1_to_r2 = r1.add_peer(PeerConfig::ibgp(100));
+        let r2_to_r1 = r2.add_peer(PeerConfig::ibgp(100));
+        let r2_to_r3 = r2.add_peer(PeerConfig::ibgp(100));
+        let r3_to_r2 = r3.add_peer(PeerConfig::ibgp(100));
+        let e_o = origin.add_peer(PeerConfig::ebgp(100, 80, false));
+        let p = px(0x0a060000, 16);
+        origin.originate(p);
+        for s in [&mut r1, &mut r2, &mut r3, &mut origin] {
+            s.start();
+        }
+        let mut sp = vec![r1, r2, r3, origin];
+        // Note: deliberately NOT a full mesh (no r1-r3 session) to expose
+        // the non-reflection rule.
+        let links = vec![(0, e_r1, 3, e_o), (0, r1_to_r2, 1, r2_to_r1), (1, r2_to_r3, 2, r3_to_r2)];
+        pump(&mut sp, &links);
+        assert_eq!(sp[1].best_path(p), Some(vec![200]), "R2 got it over iBGP");
+        assert_eq!(
+            sp[2].best_path(p),
+            None,
+            "R3 must NOT hear it from R2 (that is why real iBGP needs a full mesh)"
+        );
+    }
+
+    /// Decision step 5 at wire level: a router with its own eBGP route
+    /// prefers it over an equally-good iBGP route.
+    #[test]
+    fn ebgp_beats_ibgp_at_step_5() {
+        let mut r1 = Speaker::new(100, 1);
+        let mut r2 = Speaker::new(100, 2);
+        let mut o1 = Speaker::new(200, 8);
+        let mut o2 = Speaker::new(300, 9);
+        // Both origins announce the same prefix with equal import policy.
+        let r1_e = r1.add_peer(PeerConfig::ebgp(200, 450, true));
+        let r1_i = r1.add_peer(PeerConfig::ibgp(100));
+        let r2_i = r2.add_peer(PeerConfig::ibgp(100));
+        let r2_e = r2.add_peer(PeerConfig::ebgp(300, 450, true));
+        let o1_e = o1.add_peer(PeerConfig::ebgp(100, 80, false));
+        let o2_e = o2.add_peer(PeerConfig::ebgp(100, 80, false));
+        let p = px(0x0a070000, 16);
+        o1.originate(p);
+        o2.originate(p);
+        for s in [&mut r1, &mut r2, &mut o1, &mut o2] {
+            s.start();
+        }
+        let mut sp = vec![r1, r2, o1, o2];
+        let links = vec![
+            (0, r1_e, 2, o1_e),
+            (1, r2_e, 3, o2_e),
+            (0, r1_i, 1, r2_i),
+        ];
+        pump(&mut sp, &links);
+        // Each edge router sticks to its own eBGP session -- the R2/R3
+        // phenomenon of Figure 4.1, reproduced on real messages.
+        assert_eq!(sp[0].best_path(p), Some(vec![200]));
+        assert_eq!(sp[1].best_path(p), Some(vec![300]));
+    }
+
+    #[test]
+    fn incremental_protocol_sends_no_redundant_updates() {
+        let (mut sp, links) = line();
+        pump(&mut sp, &links);
+        // Quiescent: another pump moves nothing (pump would panic on
+        // non-quiescence; explicitly check outputs are empty).
+        for s in &mut sp {
+            for i in 0..s.peers.len() {
+                assert!(s.output(i).is_empty(), "no gratuitous updates");
+            }
+        }
+        let _ = links;
+    }
+}

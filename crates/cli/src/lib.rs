@@ -1,0 +1,445 @@
+//! `miro` — an interactive / scriptable simulator shell.
+//!
+//! Operators explore MIRO the way they explore BGP: load a topology, look
+//! at tables, poke at negotiations, fail links, watch state react. The
+//! shell is line-oriented and deterministic, so sessions double as
+//! reproducible scripts (`miro < scenario.txt`).
+//!
+//! ```text
+//! miro> gen gao2005 0.01 42
+//! miro> show topology
+//! miro> show ip bgp 111 to 937
+//! miro> candidates 111 to 937
+//! miro> negotiate 111 with 222 to 937 avoid 555 budget 250 policy e
+//! miro> leases
+//! miro> fail link 333 555
+//! miro> quit
+//! ```
+//!
+//! Every command is implemented in [`Repl::exec`], which returns the
+//! response text — the binary is a thin stdin/stdout loop around it, and
+//! the tests drive it directly.
+
+use miro_bgp::show;
+use miro_bgp::solver::RoutingState;
+use miro_core::export::ExportPolicy;
+use miro_core::negotiate::Constraint;
+use miro_core::node::{Lease, MiroNetwork, ResponderConfig};
+use miro_core::strategy::avoid_via_multihop_negotiation;
+use miro_core::strategy::TargetStrategy;
+use miro_topology::gen::DatasetPreset;
+use miro_topology::{io as topo_io, AsId, NodeId, Topology};
+use std::fmt::Write as _;
+
+/// The shell state. The loaded topology is intentionally leaked
+/// (`Box::leak`): a shell session loads a handful of topologies at most,
+/// and the `'static` borrow keeps the live [`MiroNetwork`] simple.
+pub struct Repl {
+    topo: Option<&'static Topology>,
+    net: Option<MiroNetwork<'static>>,
+    clock_step: u64,
+    keepalive_timeout: u64,
+}
+
+impl Default for Repl {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Repl {
+    pub fn new() -> Repl {
+        Repl { topo: None, net: None, clock_step: 10, keepalive_timeout: 30 }
+    }
+
+    fn install(&mut self, topo: Topology) -> String {
+        let leaked: &'static Topology = Box::leak(Box::new(topo));
+        self.topo = Some(leaked);
+        self.net = Some(MiroNetwork::new(leaked));
+        format!(
+            "loaded topology: {} ASes, {} links",
+            leaked.num_nodes(),
+            leaked.num_edges()
+        )
+    }
+
+    fn node(&self, asn: u32) -> Result<(NodeId, &'static Topology), String> {
+        let topo = self.topo.ok_or("no topology loaded (use `gen` or `load`)")?;
+        let n = topo.node(AsId(asn)).ok_or(format!("unknown AS {asn}"))?;
+        Ok((n, topo))
+    }
+
+    /// Execute one command line; returns the response text.
+    pub fn exec(&mut self, line: &str) -> Result<String, String> {
+        let words: Vec<&str> = line.split_whitespace().collect();
+        let num = |s: &str| -> Result<u32, String> {
+            s.parse().map_err(|_| format!("not a number: {s:?}"))
+        };
+        match words.as_slice() {
+            [] | ["#", ..] => Ok(String::new()),
+            ["help"] => Ok(HELP.to_string()),
+            ["gen", preset, scale, seed] => {
+                let preset = match *preset {
+                    "gao2000" => DatasetPreset::Gao2000,
+                    "gao2003" => DatasetPreset::Gao2003,
+                    "gao2005" => DatasetPreset::Gao2005,
+                    "agarwal2004" => DatasetPreset::Agarwal2004,
+                    "fig1.1" | "fig1-1" => {
+                        let (t, _) = miro_topology::gen::figure_1_1();
+                        return Ok(self.install(t));
+                    }
+                    other => return Err(format!("unknown preset {other:?}")),
+                };
+                let scale: f64 = scale.parse().map_err(|_| "bad scale".to_string())?;
+                let seed: u64 = seed.parse().map_err(|_| "bad seed".to_string())?;
+                Ok(self.install(preset.params(scale, seed).generate()))
+            }
+            ["load", path] => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read {path:?}: {e}"))?;
+                let topo = topo_io::from_text(&text).map_err(|e| e.to_string())?;
+                Ok(self.install(topo))
+            }
+            ["save", path] => {
+                let topo = self.topo.ok_or("no topology loaded")?;
+                std::fs::write(path, topo_io::to_text(topo))
+                    .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+                Ok(format!("saved {} links to {path}", topo.num_edges()))
+            }
+            ["show", "topology"] => {
+                let topo = self.topo.ok_or("no topology loaded")?;
+                let census = miro_topology::stats::link_census(topo);
+                Ok(format!(
+                    "{} ASes, {} links (P/C {}, peering {}, sibling {}); \
+                     {} stubs ({} multi-homed), {} leaves",
+                    census.nodes,
+                    census.edges,
+                    census.pc_links,
+                    census.peering_links,
+                    census.sibling_links,
+                    census.stubs,
+                    census.multihomed_stubs,
+                    census.leaves
+                ))
+            }
+            ["show", "ip", "bgp", asn, "to", dest] => {
+                let (x, topo) = self.node(num(asn)?)?;
+                let (d, _) = self.node(num(dest)?)?;
+                let st = RoutingState::solve(topo, d);
+                let rows = show::show_ip_bgp(&st, x);
+                if rows.is_empty() {
+                    return Ok(format!("AS{asn} has no route to AS{dest}"));
+                }
+                Ok(show::format_table(&rows))
+            }
+            ["candidates", asn, "to", dest] => {
+                let (x, topo) = self.node(num(asn)?)?;
+                let (d, _) = self.node(num(dest)?)?;
+                let st = RoutingState::solve(topo, d);
+                let best = st.path(x);
+                let mut out = String::new();
+                for c in st.candidates(x) {
+                    let tag = if Some(&c.path) == best.as_ref() { "*" } else { " " };
+                    let _ = writeln!(
+                        out,
+                        "{tag} {:?} [{}]",
+                        c.class,
+                        c.path
+                            .iter()
+                            .map(|&h| topo.asn(h).0.to_string())
+                            .collect::<Vec<_>>()
+                            .join(" ")
+                    );
+                }
+                Ok(out)
+            }
+            ["negotiate", src, "with", responder, "to", dest, rest @ ..]
+            | ["multihop", src, "with", responder, "to", dest, rest @ ..] => {
+                let multihop = words[0] == "multihop";
+                let (s, topo) = self.node(num(src)?)?;
+                let (r, _) = self.node(num(responder)?)?;
+                let (d, _) = self.node(num(dest)?)?;
+                let mut avoid: Option<NodeId> = None;
+                let mut budget = u32::MAX;
+                let mut policy = ExportPolicy::RespectExport;
+                let mut it = rest.iter();
+                while let Some(&w) = it.next() {
+                    match w {
+                        "avoid" => {
+                            let a = num(it.next().ok_or("avoid needs an AS")?)?;
+                            avoid = Some(self.node(a)?.0);
+                        }
+                        "budget" => {
+                            budget = num(it.next().ok_or("budget needs a value")?)?;
+                        }
+                        "policy" => {
+                            policy = match *it.next().ok_or("policy needs s|e|a")? {
+                                "s" => ExportPolicy::Strict,
+                                "e" => ExportPolicy::RespectExport,
+                                "a" => ExportPolicy::Flexible,
+                                other => return Err(format!("unknown policy {other:?}")),
+                            };
+                        }
+                        other => return Err(format!("unknown option {other:?}")),
+                    }
+                }
+                let st = RoutingState::solve(topo, d);
+                if multihop {
+                    let a = avoid.ok_or("multihop needs `avoid <asn>`")?;
+                    let out = avoid_via_multihop_negotiation(
+                        &st,
+                        s,
+                        a,
+                        policy,
+                        TargetStrategy::OnPath,
+                        None,
+                    );
+                    return Ok(match out.chosen {
+                        Some((resp, route)) => format!(
+                            "success via AS{} after {} contacts / {} paths: [{}]",
+                            topo.asn(resp),
+                            out.ases_contacted,
+                            out.paths_received,
+                            route
+                                .path
+                                .iter()
+                                .map(|&h| topo.asn(h).0.to_string())
+                                .collect::<Vec<_>>()
+                                .join(" ")
+                        ),
+                        None => format!(
+                            "failed after {} contacts / {} paths",
+                            out.ases_contacted, out.paths_received
+                        ),
+                    });
+                }
+                let net = self.net.as_mut().ok_or("no topology loaded")?;
+                net.configure(r, ResponderConfig { policy, ..Default::default() });
+                let constraints: Vec<Constraint> =
+                    avoid.into_iter().map(Constraint::AvoidAs).collect();
+                match net.negotiate(&st, s, r, constraints, budget) {
+                    Ok(tid) => {
+                        let lease = net
+                            .leases()
+                            .iter()
+                            .find(|l| l.id == tid)
+                            .expect("fresh lease recorded");
+                        Ok(format!(
+                            "tunnel {} established: AS{} buys [{}] from AS{} at price {}",
+                            tid.0,
+                            topo.asn(lease.upstream),
+                            lease
+                                .path
+                                .iter()
+                                .map(|&h| topo.asn(h).0.to_string())
+                                .collect::<Vec<_>>()
+                                .join(" "),
+                            topo.asn(lease.downstream),
+                            lease.price
+                        ))
+                    }
+                    Err(e) => Err(format!("negotiation failed: {e}")),
+                }
+            }
+            ["leases"] => {
+                let topo = self.topo.ok_or("no topology loaded")?;
+                let net = self.net.as_ref().ok_or("no topology loaded")?;
+                if net.leases().is_empty() {
+                    return Ok("no live leases".to_string());
+                }
+                let mut out = String::new();
+                for Lease { id, downstream, upstream, dest, path, price, .. } in net.leases() {
+                    let _ = writeln!(
+                        out,
+                        "tunnel {}: AS{} -> AS{} for AS{} via [{}] price {}",
+                        id.0,
+                        topo.asn(*upstream),
+                        topo.asn(*downstream),
+                        topo.asn(*dest),
+                        path.iter()
+                            .map(|&h| topo.asn(h).0.to_string())
+                            .collect::<Vec<_>>()
+                            .join(" "),
+                        price
+                    );
+                }
+                Ok(out)
+            }
+            ["tick"] => {
+                let net = self.net.as_mut().ok_or("no topology loaded")?;
+                net.tick(self.clock_step, self.keepalive_timeout);
+                Ok(format!("t={} ({} lease(s) live)", net.clock, net.leases().len()))
+            }
+            ["fail", "link", a, b] => {
+                let (na, topo) = self.node(num(a)?)?;
+                let (nb, _) = self.node(num(b)?)?;
+                if topo.rel(na, nb).is_none() {
+                    return Err(format!("no link between AS{a} and AS{b}"));
+                }
+                // Rebuild the topology without the link; existing leases
+                // are re-checked against the new routing states.
+                let mut bld = miro_topology::TopologyBuilder::new();
+                for x in topo.nodes() {
+                    bld.intern_as(topo.asn(x));
+                }
+                for x in topo.nodes() {
+                    for &(y, rel) in topo.neighbors(x) {
+                        if x < y && !(x == na && y == nb) && !(x == nb && y == na) {
+                            bld.link(topo.asn(x), topo.asn(y), rel);
+                        }
+                    }
+                }
+                let new_topo = bld.build().map_err(|e| e.to_string())?;
+                // Capture live lease destinations before swapping.
+                let dests: Vec<AsId> = self
+                    .net
+                    .as_ref()
+                    .map(|n| n.leases().iter().map(|l| topo.asn(l.dest)).collect())
+                    .unwrap_or_default();
+                let before = self.net.as_ref().map(|n| n.leases().len()).unwrap_or(0);
+                let msg_prefix = self.install(new_topo);
+                // Leases do not survive a topology swap in this shell (node
+                // ids may change); report what was dropped.
+                Ok(format!(
+                    "{msg_prefix}; link AS{a}-AS{b} removed; {} lease(s) dropped (dests: {:?})",
+                    before, dests
+                ))
+            }
+            ["quit"] | ["exit"] => Ok("bye".to_string()),
+            other => Err(format!("unknown command {:?} (try `help`)", other.join(" "))),
+        }
+    }
+
+    /// Run a whole script; each line's output is prefixed with the line.
+    pub fn run_script(&mut self, script: &str) -> String {
+        let mut out = String::new();
+        for line in script.lines() {
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            let _ = writeln!(out, "miro> {trimmed}");
+            match self.exec(trimmed) {
+                Ok(s) if s.is_empty() => {}
+                Ok(s) => {
+                    let _ = writeln!(out, "{}", s.trim_end());
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "error: {e}");
+                }
+            }
+            if trimmed == "quit" || trimmed == "exit" {
+                break;
+            }
+        }
+        out
+    }
+}
+
+const HELP: &str = "\
+commands:
+  gen <gao2000|gao2003|gao2005|agarwal2004|fig1.1> <scale> <seed>
+  load <path> | save <path>
+  show topology
+  show ip bgp <asn> to <dest-asn>
+  candidates <asn> to <dest-asn>
+  negotiate <src> with <responder> to <dest> [avoid <asn>] [budget N] [policy s|e|a]
+  multihop  <src> with <responder> to <dest> avoid <asn> [policy s|e|a]
+  leases | tick | fail link <a> <b>
+  help | quit";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_1_1_session_end_to_end() {
+        let mut repl = Repl::new();
+        let out = repl.run_script(
+            "gen fig1.1 1 1\n\
+             show topology\n\
+             show ip bgp 1 to 6\n\
+             candidates 2 to 6\n\
+             negotiate 1 with 2 to 6 avoid 5 budget 250 policy e\n\
+             leases\n\
+             tick\n\
+             quit\n",
+        );
+        assert!(out.contains("6 ASes, 8 links"), "{out}");
+        assert!(out.contains("*> "), "best route rendered: {out}");
+        assert!(out.contains("tunnel 0 established"), "{out}");
+        assert!(out.contains("AS1 buys [3 6] from AS2 at price 180"), "{out}");
+        assert!(out.contains("tunnel 0: AS1 -> AS2 for AS6 via [3 6] price 180"), "{out}");
+        assert!(out.contains("bye"), "{out}");
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let mut repl = Repl::new();
+        let out = repl.run_script(
+            "show topology\n\
+             gen fig1.1 1 1\n\
+             negotiate 1 with 2 to 6 avoid 6\n\
+             frobnicate\n\
+             negotiate 99 with 2 to 6\n",
+        );
+        assert!(out.contains("error: no topology loaded"));
+        assert!(out.contains("error: negotiation failed"));
+        assert!(out.contains("error: unknown command"));
+        assert!(out.contains("error: unknown AS 99"));
+    }
+
+    #[test]
+    fn multihop_command_reports_the_composed_path() {
+        // The multihop fixture from miro-core, driven through the shell.
+        let mut repl = Repl::new();
+        let dir = std::env::temp_dir().join("miro_cli_test_topo.txt");
+        let text = "2 1 c\n2 4 c\n2 3 c\n3 4 c\n3 6 c\n4 5 c\n6 5 c\n";
+        std::fs::write(&dir, text).expect("tmp write");
+        let out = repl.run_script(&format!(
+            "load {}\nmultihop 1 with 2 to 5 avoid 4 policy e\n",
+            dir.display()
+        ));
+        assert!(out.contains("success via AS2"), "{out}");
+        assert!(out.contains("[3 6 5]"), "{out}");
+    }
+
+    #[test]
+    fn generated_datasets_work_in_the_shell() {
+        let mut repl = Repl::new();
+        let out = repl.run_script("gen gao2005 0.01 7\nshow topology\n");
+        assert!(out.contains("209 ASes"), "{out}");
+        assert!(out.contains("stubs"), "{out}");
+    }
+
+    #[test]
+    fn save_and_reload_round_trip() {
+        let mut repl = Repl::new();
+        let path = std::env::temp_dir().join("miro_cli_roundtrip.txt");
+        let script = format!(
+            "gen fig1.1 1 1\nsave {p}\nload {p}\nshow topology\n",
+            p = path.display()
+        );
+        let out = repl.run_script(&script);
+        assert!(out.contains("saved 8 links"), "{out}");
+        let shows: Vec<&str> =
+            out.lines().filter(|l| l.contains("6 ASes, 8 links")).collect();
+        assert!(shows.len() >= 2, "both loads agree: {out}");
+    }
+
+    #[test]
+    fn fail_link_reconverges_routes() {
+        let mut repl = Repl::new();
+        let out = repl.run_script(
+            "gen fig1.1 1 1\n\
+             negotiate 1 with 2 to 6 avoid 5 budget 250 policy e\n\
+             fail link 3 6\n\
+             show ip bgp 2 to 6\n",
+        );
+        // The C-F (3-6) link is gone: B's only candidate is now via E.
+        assert!(out.contains("lease(s) dropped"), "{out}");
+        let table = out.split("show ip bgp").nth(1).expect("table output");
+        assert!(table.contains("5 6"), "B routes via E after the failure: {out}");
+        assert!(!table.contains("3 6"), "the dead link is gone: {out}");
+    }
+}

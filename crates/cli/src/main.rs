@@ -1,0 +1,52 @@
+//! The `miro` binary: a thin stdin/stdout loop around [`miro_cli::Repl`].
+//!
+//! Interactive: `miro`. Scripted: `miro scenario.txt` or `miro < script`.
+
+use std::io::{BufRead, Write};
+
+fn main() {
+    let mut repl = miro_cli::Repl::new();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [] => interactive(&mut repl),
+        [path] => match std::fs::read_to_string(path) {
+            Ok(script) => print!("{}", repl.run_script(&script)),
+            Err(e) => {
+                eprintln!("cannot read {path:?}: {e}");
+                std::process::exit(2);
+            }
+        },
+        _ => {
+            eprintln!("usage: miro [script-file]");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn interactive(repl: &mut miro_cli::Repl) {
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    println!("miro shell — `help` for commands, `quit` to leave");
+    loop {
+        print!("miro> ");
+        let _ = stdout.flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+        match repl.exec(trimmed) {
+            Ok(s) if s.is_empty() => {}
+            Ok(s) => println!("{}", s.trim_end()),
+            Err(e) => println!("error: {e}"),
+        }
+        if trimmed == "quit" || trimmed == "exit" {
+            break;
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! The shell must never panic, whatever is typed at it.
+
+use miro_cli::Repl;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary command-character soup: every line gets an answer or an
+    /// error, never a panic.
+    #[test]
+    fn arbitrary_input_never_panics(line in "[a-z0-9 .#]{0,60}") {
+        let mut repl = Repl::new();
+        let _ = repl.exec(&line);
+        // Also with a topology loaded (different code paths).
+        let _ = repl.exec("gen fig1.1 1 1");
+        let _ = repl.exec(&line);
+    }
+
+    /// Structured-but-wrong commands: valid verbs with arbitrary numeric
+    /// arguments.
+    #[test]
+    fn structured_garbage_is_rejected_cleanly(
+        a in 0u32..100, b in 0u32..100, c in 0u32..100
+    ) {
+        let mut repl = Repl::new();
+        let _ = repl.exec("gen fig1.1 1 1");
+        for cmd in [
+            format!("show ip bgp {a} to {b}"),
+            format!("candidates {a} to {b}"),
+            format!("negotiate {a} with {b} to {c}"),
+            format!("negotiate {a} with {b} to {c} avoid {a} budget {b}"),
+            format!("multihop {a} with {b} to {c} avoid {b}"),
+            format!("fail link {a} {b}"),
+        ] {
+            let _ = repl.exec(&cmd); // Ok or Err, never panic
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! The Chapter 7 counter-example gadgets, reconstructed.
+//!
+//! * [`fig7_1`] — "An Example where MIRO Does Not Converge" (Figure 7.1):
+//!   ASes A, B, C are customers of provider D and peer with each other.
+//!   BGP converges (each uses its direct provider route to D, because
+//!   peers do not export provider routes), but if each AS establishes a
+//!   tunnel through its clockwise peer to D and prefers it over its BGP
+//!   route, the availability of each tunnel depends on the *selection* of
+//!   the next AS — Griffin's BAD GADGET dynamics — and no stable state
+//!   exists.
+//!
+//! * [`fig7_2`] — "An Example where MIRO Does Not Converge under Strict
+//!   Policy" (Figure 7.2): D is a customer of A, B, C, which peer in a
+//!   cycle and export everything to D. D prefers tunnel D(BA) over DA,
+//!   D(CB) over DB, and D(AC) over DC; each tunnel rides D's route to its
+//!   first downstream AS, so establishing one invalidates another, around
+//!   and around. Strict same-class export alone does not help; Guideline
+//!   D's partial order or Guideline E's pinned-BGP transport does.
+
+use crate::guidelines::{Guideline, GuidelineConfig};
+use crate::model::{Desire, TunnelSim};
+use miro_topology::{AsId, NodeId, Topology, TopologyBuilder};
+use std::collections::HashMap;
+
+/// The Figure 7.1 topology and the three tunnel desires. Returns the
+/// topology, node ids `[a, b, c, d]`, and the desires (A via B, B via C,
+/// C via A — all toward D).
+pub fn fig7_1() -> (Topology, [NodeId; 4], Vec<Desire>) {
+    let mut bld = TopologyBuilder::new();
+    let (ia, ib, ic, id) = (AsId(1), AsId(2), AsId(3), AsId(4));
+    for x in [ia, ib, ic, id] {
+        bld.add_as(x);
+    }
+    bld.provider_customer(id, ia);
+    bld.provider_customer(id, ib);
+    bld.provider_customer(id, ic);
+    bld.peering(ia, ib);
+    bld.peering(ib, ic);
+    bld.peering(ic, ia);
+    let t = bld.build_checked(true).expect("fig 7.1 topology is valid");
+    let a = t.node(ia).unwrap();
+    let b = t.node(ib).unwrap();
+    let c = t.node(ic).unwrap();
+    let d = t.node(id).unwrap();
+    // Each AS wants to reach D through its clockwise peer's *selected*
+    // route (the direct provider link).
+    let desires = vec![
+        Desire { requester: a, responder: b, dest: d, wanted: vec![d] },
+        Desire { requester: b, responder: c, dest: d, wanted: vec![d] },
+        Desire { requester: c, responder: a, dest: d, wanted: vec![d] },
+    ];
+    (t, [a, b, c, d], desires)
+}
+
+/// The Figure 7.2 topology and D's three tunnel desires. Returns the
+/// topology, node ids `[a, b, c, d]`, and the desires (D(BA), D(CB),
+/// D(AC) in that order).
+pub fn fig7_2() -> (Topology, [NodeId; 4], Vec<Desire>) {
+    let mut bld = TopologyBuilder::new();
+    let (ia, ib, ic, id) = (AsId(1), AsId(2), AsId(3), AsId(4));
+    for x in [ia, ib, ic, id] {
+        bld.add_as(x);
+    }
+    // D is a customer of all three.
+    bld.provider_customer(ia, id);
+    bld.provider_customer(ib, id);
+    bld.provider_customer(ic, id);
+    bld.peering(ia, ib);
+    bld.peering(ib, ic);
+    bld.peering(ic, ia);
+    let t = bld.build_checked(true).expect("fig 7.2 topology is valid");
+    let a = t.node(ia).unwrap();
+    let b = t.node(ib).unwrap();
+    let c = t.node(ic).unwrap();
+    let d = t.node(id).unwrap();
+    let desires = vec![
+        // D(BA): reach A via B on B's peer route BA.
+        Desire { requester: d, responder: b, dest: a, wanted: vec![a] },
+        // D(CB): reach B via C on CB.
+        Desire { requester: d, responder: c, dest: b, wanted: vec![b] },
+        // D(AC): reach C via A on AC.
+        Desire { requester: d, responder: a, dest: c, wanted: vec![c] },
+    ];
+    (t, [a, b, c, d], desires)
+}
+
+/// A Guideline-D order for the Figure 7.2 gadget that admits D(BA) and
+/// D(CB) but forbids D(AC) (B ≺ A requires... we rank C ≺ B ≺ A at D, so
+/// responder B ≺ dest A and responder C ≺ dest B hold while responder A ≺
+/// dest C fails), breaking the dependency cycle.
+pub fn fig7_2_guideline_d_config(nodes: [NodeId; 4]) -> GuidelineConfig {
+    let [a, b, c, d] = nodes;
+    let mut orders = HashMap::new();
+    orders.insert(d, vec![c, b, a]);
+    Guideline::config_with_order(orders)
+}
+
+/// Convenience: a ready-to-run simulator for either gadget under a config.
+pub fn sim_for<'t>(
+    topo: &'t Topology,
+    desires: &[Desire],
+    config: GuidelineConfig,
+) -> TunnelSim<'t> {
+    TunnelSim::new(topo, config, desires.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guidelines::Guideline;
+    use miro_bgp::solver::RoutingState;
+
+    #[test]
+    fn fig7_1_bgp_base_is_direct_provider_routes() {
+        let (t, [a, b, c, d], _) = fig7_1();
+        let st = RoutingState::solve(&t, d);
+        // Peers do not export provider routes, so each customer has only
+        // its direct route.
+        for x in [a, b, c] {
+            assert_eq!(st.path(x), Some(vec![d]));
+            assert_eq!(st.candidates(x).len(), 1);
+        }
+    }
+
+    /// The paper's divergence claim: unrestricted tunnel policy on
+    /// Figure 7.1 never converges (BAD GADGET dynamics), under any fair
+    /// schedule.
+    #[test]
+    fn gadget_fig7_1_oscillates_unrestricted() {
+        let (t, _, desires) = fig7_1();
+        for seed in 0..8u64 {
+            let mut sim = sim_for(&t, &desires, Guideline::Unrestricted.config());
+            let out = sim.run(seed, 300);
+            assert!(!out.converged(), "seed {seed}: fig 7.1 must oscillate");
+            // Sustained flapping, not a one-off transient.
+            assert!(sim.teardowns.iter().sum::<usize>() > 50);
+        }
+    }
+
+    /// Theorem 2: Guideline B makes the same configuration safe. Under B
+    /// each tunnel rides the pure BGP route (stable) and offers are pure
+    /// BGP routes (stable), so all three tunnels coexist.
+    #[test]
+    fn gadget_fig7_1_converges_under_guideline_b() {
+        let (t, _, desires) = fig7_1();
+        for seed in 0..8u64 {
+            let mut sim = sim_for(&t, &desires, Guideline::B.config());
+            assert!(sim.run(seed, 300).converged());
+            assert_eq!(sim.established_count(), 3);
+        }
+    }
+
+    /// Guideline C is Guideline B plus leaf advertisement; the dynamics
+    /// are identical (leaves re-export nothing).
+    #[test]
+    fn gadget_fig7_1_converges_under_guideline_c() {
+        let (t, _, desires) = fig7_1();
+        let mut sim = sim_for(&t, &desires, Guideline::C.config());
+        assert!(sim.run(3, 300).converged());
+        assert_eq!(sim.established_count(), 3);
+    }
+
+    #[test]
+    fn fig7_2_bgp_base_has_peer_alternates() {
+        let (t, [a, b, c, d], _) = fig7_2();
+        let st = RoutingState::solve(&t, a);
+        // D's candidates for prefix A: direct DA, plus DBA and DCA via its
+        // other providers (providers export their peer routes to
+        // customers? B's best route to A is the direct peer link BA, which
+        // it exports to customer D).
+        let cands = st.candidates(d);
+        assert!(cands.iter().any(|r| r.path == vec![a]));
+        assert!(cands.iter().any(|r| r.path == vec![b, a]));
+        assert!(cands.iter().any(|r| r.path == vec![c, a]));
+    }
+
+    /// The paper's claim: strict same-class export alone does not prevent
+    /// the Figure 7.2 oscillation when tunnels ride effective routes.
+    #[test]
+    fn gadget_fig7_2_oscillates_under_strict_effective() {
+        let (t, _, desires) = fig7_2();
+        // Strict offers + effective transport + always-prefer: the
+        // dissertation's counter-example configuration.
+        let config = GuidelineConfig {
+            offer: crate::guidelines::OfferRule::SameClassCandidates,
+            transport: crate::guidelines::TransportRule::Effective,
+            gate: crate::guidelines::PreferenceGate::Always,
+            advertise_to_leaves: false,
+        };
+        for seed in 0..8u64 {
+            let mut sim = sim_for(&t, &desires, config.clone());
+            let out = sim.run(seed, 300);
+            assert!(!out.converged(), "seed {seed}: fig 7.2 must oscillate");
+        }
+    }
+
+    /// Lemma 8 / Theorem 4: a per-AS strict partial order (Guideline D)
+    /// breaks the cycle; the run converges with the cycle-closing tunnel
+    /// D(AC) never preferred.
+    #[test]
+    fn gadget_fig7_2_converges_under_guideline_d() {
+        let (t, nodes, desires) = fig7_2();
+        let config = fig7_2_guideline_d_config(nodes);
+        for seed in 0..8u64 {
+            let mut sim = sim_for(&t, &desires, config.clone());
+            assert!(sim.run(seed, 300).converged(), "seed {seed}");
+            assert!(sim.is_established(0), "D(BA) admitted by order");
+            assert!(sim.is_established(1), "D(CB) admitted by order");
+            assert!(!sim.is_established(2), "D(AC) forbidden by order");
+        }
+    }
+
+    /// Lemma 10: pinning tunnel transport to the plain BGP route
+    /// (Guideline E) also converges — and here all three tunnels coexist,
+    /// because none rides another.
+    #[test]
+    fn gadget_fig7_2_converges_under_guideline_e() {
+        let (t, _, desires) = fig7_2();
+        for seed in 0..8u64 {
+            let mut sim = sim_for(&t, &desires, Guideline::E.config());
+            assert!(sim.run(seed, 300).converged(), "seed {seed}");
+            assert_eq!(sim.established_count(), 3);
+        }
+    }
+}

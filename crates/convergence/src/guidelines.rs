@@ -1,0 +1,213 @@
+//! The convergence guidelines of Chapter 7, decomposed into three
+//! orthogonal knobs of the tunnel layer.
+//!
+//! Reading the proofs and counter-examples operationally, what
+//! distinguishes a safe configuration from an oscillating one is:
+//!
+//! 1. **what the responder may sell** ([`OfferRule`]) — its live selection
+//!    (which can itself be a tunnel, creating dependencies), its pure BGP
+//!    route, or its same-class candidate set ("strict policy");
+//! 2. **what carries tunneled packets to the responder**
+//!    ([`TransportRule`]) — the requester's current effective route (which
+//!    can be another of its own tunnels — the Figure 7.2 oscillation), or
+//!    the plain BGP route, pinned (Guideline E's fix);
+//! 3. **when a tunnel may be preferred over BGP routes**
+//!    ([`PreferenceGate`]) — always, or only when a per-AS strict partial
+//!    order `first_downstream(r) ≺ a(r.prefix)` admits it (Guideline D's
+//!    fix).
+
+use miro_topology::NodeId;
+use std::collections::HashMap;
+
+/// What paths a responding AS offers when asked (per destination).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OfferRule {
+    /// Its current *effective* selection — BGP route or its own tunnel.
+    /// This couples tunnels to tunnels: the Figure 7.1 dynamics.
+    Selected,
+    /// Its pure BGP route only, regardless of what it itself forwards on
+    /// (Guidelines B/C: "tunnels as a higher level layer").
+    PureBgp,
+    /// Any of its BGP candidates in the same class as its best route
+    /// (the "strict policy" of section 7.3.3, used by Guidelines D/E).
+    SameClassCandidates,
+}
+
+/// What carries the requester's packets to the responding AS.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TransportRule {
+    /// The requester's current effective route toward the responder —
+    /// including its own tunnels. A tunnel becomes invalid the moment that
+    /// route changes (the dissertation's "D finds out the tunnel D(BA) is
+    /// no longer available since the BGP route DB has been replaced with
+    /// D(CB)").
+    Effective,
+    /// The plain BGP route, pinned at establishment: the requester keeps
+    /// using it for tunnel transport even if it prefers something else for
+    /// ordinary traffic. This is Guideline E's "avoid using tunnels inside
+    /// the same AS to reach the first downstream AS".
+    PinnedBgp,
+}
+
+/// When an established tunnel may be *preferred* over BGP routes.
+#[derive(Clone, Debug)]
+pub enum PreferenceGate {
+    /// Always (the counter-example configurations).
+    Always,
+    /// Guideline D: node `x` prefers a tunnel with first downstream `R`
+    /// for prefix `p` only if `R ≺_x a(p)` in `x`'s strict partial order,
+    /// here given as a rank map (lower rank ≺ higher rank; missing pairs
+    /// are incomparable and the gate refuses).
+    PartialOrder(HashMap<NodeId, HashMap<NodeId, u32>>),
+}
+
+impl PreferenceGate {
+    /// Does the gate admit node `x` preferring a tunnel via `responder`
+    /// for destination `dest` over its BGP routes?
+    pub fn admits(&self, x: NodeId, responder: NodeId, dest: NodeId) -> bool {
+        match self {
+            PreferenceGate::Always => true,
+            PreferenceGate::PartialOrder(orders) => {
+                let Some(rank) = orders.get(&x) else { return false };
+                match (rank.get(&responder), rank.get(&dest)) {
+                    (Some(r), Some(d)) => r < d,
+                    _ => false,
+                }
+            }
+        }
+    }
+}
+
+/// A complete tunnel-layer policy configuration.
+#[derive(Clone, Debug)]
+pub struct GuidelineConfig {
+    pub offer: OfferRule,
+    pub transport: TransportRule,
+    pub gate: PreferenceGate,
+    /// Guideline C: established tunnels may be advertised as BGP
+    /// candidates to leaf neighbors.
+    pub advertise_to_leaves: bool,
+}
+
+/// Named guideline presets.
+///
+/// ```
+/// use miro_convergence::{Guideline, TunnelSim};
+/// use miro_convergence::gadgets::fig7_1;
+///
+/// // The Figure 7.1 gadget oscillates unrestricted, converges under B:
+/// let (topo, _, desires) = fig7_1();
+/// let mut wild = TunnelSim::new(&topo, Guideline::Unrestricted.config(), desires.clone());
+/// assert!(!wild.run(1, 200).converged());
+/// let mut safe = TunnelSim::new(&topo, Guideline::B.config(), desires);
+/// assert!(safe.run(1, 200).converged());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Guideline {
+    /// No restriction — the counter-example configuration. May diverge.
+    Unrestricted,
+    /// Tunnels over pure BGP only, never re-advertised (Theorem 2).
+    B,
+    /// Guideline B plus advertisement to leaf nodes (Theorem 3).
+    C,
+    /// Strict policy + per-AS partial order (Lemma 8). The order must be
+    /// supplied via [`Guideline::config_with_order`].
+    D,
+    /// Strict policy + pinned-BGP transport (Lemma 10).
+    E,
+}
+
+impl Guideline {
+    /// The preset configuration (Guideline D needs an order; this variant
+    /// gives it an empty one, which admits no tunnel preference at all —
+    /// trivially safe but useless; prefer `config_with_order`).
+    pub fn config(self) -> GuidelineConfig {
+        match self {
+            Guideline::Unrestricted => GuidelineConfig {
+                offer: OfferRule::Selected,
+                transport: TransportRule::Effective,
+                gate: PreferenceGate::Always,
+                advertise_to_leaves: false,
+            },
+            Guideline::B => GuidelineConfig {
+                offer: OfferRule::PureBgp,
+                transport: TransportRule::PinnedBgp,
+                gate: PreferenceGate::Always,
+                advertise_to_leaves: false,
+            },
+            Guideline::C => GuidelineConfig {
+                offer: OfferRule::PureBgp,
+                transport: TransportRule::PinnedBgp,
+                gate: PreferenceGate::Always,
+                advertise_to_leaves: true,
+            },
+            Guideline::D => GuidelineConfig {
+                offer: OfferRule::SameClassCandidates,
+                transport: TransportRule::Effective,
+                gate: PreferenceGate::PartialOrder(HashMap::new()),
+                advertise_to_leaves: false,
+            },
+            Guideline::E => GuidelineConfig {
+                offer: OfferRule::SameClassCandidates,
+                transport: TransportRule::PinnedBgp,
+                gate: PreferenceGate::Always,
+                advertise_to_leaves: false,
+            },
+        }
+    }
+
+    /// Guideline D with an explicit per-node strict order: for each node,
+    /// the listed ASes are ranked by list position (earlier ≺ later).
+    pub fn config_with_order(orders: HashMap<NodeId, Vec<NodeId>>) -> GuidelineConfig {
+        let ranked = orders
+            .into_iter()
+            .map(|(x, list)| {
+                let rank = list
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, n)| (n, i as u32))
+                    .collect::<HashMap<_, _>>();
+                (x, rank)
+            })
+            .collect();
+        GuidelineConfig {
+            gate: PreferenceGate::PartialOrder(ranked),
+            ..Guideline::D.config()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_gate_admits() {
+        assert!(PreferenceGate::Always.admits(1, 2, 3));
+    }
+
+    #[test]
+    fn partial_order_gate() {
+        let mut orders = HashMap::new();
+        orders.insert(0u32, vec![1u32, 2, 3]);
+        let cfg = Guideline::config_with_order(orders);
+        let gate = &cfg.gate;
+        assert!(gate.admits(0, 1, 3), "1 ≺ 3");
+        assert!(!gate.admits(0, 3, 1), "3 ⊀ 1");
+        assert!(!gate.admits(0, 1, 9), "unranked dest is incomparable");
+        assert!(!gate.admits(5, 1, 3), "node without an order admits nothing");
+    }
+
+    #[test]
+    fn preset_shapes() {
+        assert_eq!(Guideline::B.config().offer, OfferRule::PureBgp);
+        assert_eq!(Guideline::B.config().transport, TransportRule::PinnedBgp);
+        assert!(Guideline::C.config().advertise_to_leaves);
+        assert_eq!(Guideline::E.config().offer, OfferRule::SameClassCandidates);
+        assert_eq!(Guideline::E.config().transport, TransportRule::PinnedBgp);
+        assert_eq!(
+            Guideline::Unrestricted.config().transport,
+            TransportRule::Effective
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! Convergence framework for MIRO (Chapter 7).
+//!
+//! MIRO layers negotiated tunnels over BGP; with more routes and richer
+//! policies, the Gao-Rexford convergence argument must be re-examined. The
+//! dissertation exhibits two counter-examples (Figures 7.1 and 7.2) where
+//! unrestricted tunnel policies oscillate forever, then proves four
+//! guidelines safe when paired with Guideline A:
+//!
+//! * **Guideline B** (section 7.3.1) - tunnels ride only pure BGP routes and
+//!   are never re-advertised: a strictly higher layer.
+//! * **Guideline C** (section 7.3.2) - tunnels may additionally be
+//!   advertised as BGP routes, but only to *leaf* ASes (which never
+//!   re-export anything).
+//! * **Guideline D** (section 7.3.3) - strict same-class export, plus a
+//!   per-AS strict partial order gating which tunnels may be preferred
+//!   over BGP routes (the Banker's-algorithm-style cycle avoidance of
+//!   section 7.4).
+//! * **Guideline E** (section 7.3.3) - strict same-class export, plus:
+//!   never build a tunnel whose transport to the first downstream AS is
+//!   itself one of your own tunnels (in practice: pin tunnel transport to
+//!   the plain BGP route).
+//!
+//! [`model`] is an executable version of the section 7.1 abstract model:
+//! per-node (BGP route, tunnel set) state, activation semantics, random
+//! fair activation sequences, quiescence and oscillation detection.
+//! [`guidelines`] encodes each guideline as a combination of offer rule,
+//! transport rule, and preference gate. [`gadgets`] reconstructs the two
+//! counter-examples so the paper's divergence claims are reproducible
+//! tests and the `fig7-1` / `fig7-2` experiments of `miro-eval`.
+
+pub mod gadgets;
+pub mod guidelines;
+pub mod model;
+
+pub use guidelines::{Guideline, GuidelineConfig, OfferRule, PreferenceGate, TransportRule};
+pub use model::{Desire, SimOutcome, TunnelSim};

@@ -1,0 +1,348 @@
+//! Executable version of the Chapter 7.1 abstract model.
+//!
+//! The BGP layer is taken at its (unique, Guideline-A) stable state from
+//! `miro-bgp`'s solver — legitimate because under every configuration we
+//! model, tunnels never feed back into non-leaf BGP selection (Guideline C
+//! advertises only to leaves, which re-export nothing). The *dynamic*
+//! object is the tunnel layer: a set of standing [`Desire`]s ("AS x wants
+//! path w via responder R to reach dest d") that each activation
+//! re-evaluates against the current global state, establishing tunnels
+//! that are offered and transport-consistent and tearing down ones that no
+//! longer are.
+//!
+//! A configuration converges when a full activation round changes nothing;
+//! the Figure 7.1/7.2 configurations have no fixed point and flap forever,
+//! which the run reports as divergence once the round budget is exhausted.
+
+use crate::guidelines::{GuidelineConfig, OfferRule, TransportRule};
+use miro_bgp::solver::RoutingState;
+use miro_topology::{NodeId, Topology};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// A standing tunnel desire: `requester` wants to reach `dest` through
+/// `responder` on the responder-held path `wanted` (next hop first, dest
+/// last), preferring the tunnel over its BGP routes when the preference
+/// gate admits.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Desire {
+    pub requester: NodeId,
+    pub responder: NodeId,
+    pub dest: NodeId,
+    /// Path as held by the responder; `wanted.last() == dest`.
+    pub wanted: Vec<NodeId>,
+}
+
+/// What a tunnel's transport rode on at establishment time.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Transport {
+    /// The plain BGP route toward the responder.
+    Bgp,
+    /// Another established tunnel of the same requester (by desire index)
+    /// — only possible under [`TransportRule::Effective`].
+    Via(usize),
+}
+
+/// Outcome of a tunnel-layer run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SimOutcome {
+    /// A full activation round produced no change.
+    Converged { rounds: usize },
+    /// The round budget ran out with tunnels still flapping.
+    Diverged { rounds: usize },
+}
+
+impl SimOutcome {
+    pub fn converged(&self) -> bool {
+        matches!(self, SimOutcome::Converged { .. })
+    }
+}
+
+/// The tunnel-layer simulator.
+pub struct TunnelSim<'t> {
+    topo: &'t Topology,
+    config: GuidelineConfig,
+    desires: Vec<Desire>,
+    states: HashMap<NodeId, RoutingState<'t>>,
+    established: Vec<Option<Transport>>,
+    /// Establish/teardown event counts per desire (flap diagnostics).
+    pub establishments: Vec<usize>,
+    pub teardowns: Vec<usize>,
+}
+
+impl<'t> TunnelSim<'t> {
+    /// Build the simulator; BGP stable states are solved eagerly for every
+    /// destination any desire touches (tunnel target or transport prefix).
+    ///
+    /// # Panics
+    /// If a desire has `responder == dest` (such a "tunnel" is just the
+    /// BGP route) or `requester == responder`.
+    pub fn new(topo: &'t Topology, config: GuidelineConfig, desires: Vec<Desire>) -> Self {
+        let mut states = HashMap::new();
+        for d in &desires {
+            assert_ne!(d.responder, d.dest, "tunnel to the destination itself");
+            assert_ne!(d.requester, d.responder, "self-negotiation");
+            states
+                .entry(d.dest)
+                .or_insert_with(|| RoutingState::solve(topo, d.dest));
+            states
+                .entry(d.responder)
+                .or_insert_with(|| RoutingState::solve(topo, d.responder));
+        }
+        let n = desires.len();
+        TunnelSim {
+            topo,
+            config,
+            desires,
+            states,
+            established: vec![None; n],
+            establishments: vec![0; n],
+            teardowns: vec![0; n],
+        }
+    }
+
+    fn bgp_path(&self, x: NodeId, dest: NodeId) -> Option<Vec<NodeId>> {
+        self.states[&dest].path(x)
+    }
+
+    /// The identity of `x`'s current effective route toward prefix `p`:
+    /// an established tunnel for `(x, p)` if one exists (established
+    /// implies gate-admitted, see `try_establish`), else the BGP route.
+    fn eff(&self, x: NodeId, p: NodeId) -> Option<Transport> {
+        for (i, d) in self.desires.iter().enumerate() {
+            if d.requester == x && d.dest == p && self.established[i].is_some() {
+                return Some(Transport::Via(i));
+            }
+        }
+        self.bgp_path(x, p).map(|_| Transport::Bgp)
+    }
+
+    /// Is desire `i`'s wanted path currently on offer from its responder?
+    fn offered(&self, i: usize) -> bool {
+        let d = &self.desires[i];
+        match self.config.offer {
+            OfferRule::Selected => {
+                // The responder only sells what it currently forwards on:
+                // its BGP route, and only while it has not itself moved to
+                // a tunnel for this prefix.
+                matches!(self.eff(d.responder, d.dest), Some(Transport::Bgp))
+                    && self.bgp_path(d.responder, d.dest).as_deref()
+                        == Some(d.wanted.as_slice())
+            }
+            OfferRule::PureBgp => {
+                self.bgp_path(d.responder, d.dest).as_deref() == Some(d.wanted.as_slice())
+            }
+            OfferRule::SameClassCandidates => {
+                let st = &self.states[&d.dest];
+                let Some(best) = st.best(d.responder) else { return false };
+                st.candidates(d.responder)
+                    .iter()
+                    .any(|c| c.class == best.class && c.path == d.wanted)
+            }
+        }
+    }
+
+    /// Current transport identity for desire `i`, if transport exists.
+    fn transport_now(&self, i: usize) -> Option<Transport> {
+        let d = &self.desires[i];
+        match self.config.transport {
+            TransportRule::PinnedBgp => self.bgp_path(d.requester, d.responder).map(|_| Transport::Bgp),
+            TransportRule::Effective => self.eff(d.requester, d.responder),
+        }
+    }
+
+    /// Does the transport chain starting at `first` (for desire `start`)
+    /// ground out in a plain BGP route? A chain that revisits a desire —
+    /// including `start` itself — is an infinite-encapsulation forwarding
+    /// loop and is never usable. (Guideline D's partial order exists
+    /// precisely to rule these out statically; under the unrestricted
+    /// configuration they form and collapse dynamically, which is the
+    /// Figure 7.2 oscillation.)
+    fn grounded(&self, start: usize, first: Transport) -> bool {
+        let mut at = first;
+        let mut visited = vec![start];
+        loop {
+            match at {
+                Transport::Bgp => return true,
+                Transport::Via(j) => {
+                    if visited.contains(&j) {
+                        return false;
+                    }
+                    visited.push(j);
+                    match self.established[j] {
+                        Some(next) => at = next,
+                        // Stale link in the chain: not usable.
+                        None => return false,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Activate node `x` (re-evaluate all its desires, in index order —
+    /// the "prefix activation order inside an AS" of the proofs). Returns
+    /// whether anything changed.
+    pub fn activate(&mut self, x: NodeId) -> bool {
+        let mut changed = false;
+        for i in 0..self.desires.len() {
+            if self.desires[i].requester != x {
+                continue;
+            }
+            // 1. Validity of an established tunnel: still offered, same
+            //    transport identity, and the transport chain still grounds
+            //    out in a BGP route.
+            if let Some(snapshot) = self.established[i] {
+                let valid = self.offered(i)
+                    && self.transport_now(i) == Some(snapshot)
+                    && self.grounded(i, snapshot);
+                if !valid {
+                    self.established[i] = None;
+                    self.teardowns[i] += 1;
+                    changed = true;
+                }
+            }
+            // 2. (Re-)establishment.
+            if self.established[i].is_none() {
+                let d = &self.desires[i];
+                let admitted =
+                    self.config.gate.admits(d.requester, d.responder, d.dest);
+                if admitted && self.offered(i) {
+                    if let Some(t) = self.transport_now(i) {
+                        if self.grounded(i, t) {
+                            self.established[i] = Some(t);
+                            self.establishments[i] += 1;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        changed
+    }
+
+    /// Run full activation rounds (every node once per round, in seeded
+    /// random order) until a round changes nothing or the budget runs out.
+    pub fn run(&mut self, seed: u64, max_rounds: usize) -> SimOutcome {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut nodes: Vec<NodeId> = self.topo.nodes().collect();
+        for round in 0..max_rounds {
+            nodes.shuffle(&mut rng);
+            let mut changed = false;
+            for &x in &nodes {
+                changed |= self.activate(x);
+            }
+            if !changed {
+                return SimOutcome::Converged { rounds: round + 1 };
+            }
+        }
+        SimOutcome::Diverged { rounds: max_rounds }
+    }
+
+    /// Is desire `i` currently established?
+    pub fn is_established(&self, i: usize) -> bool {
+        self.established[i].is_some()
+    }
+
+    /// Number of currently established tunnels.
+    pub fn established_count(&self) -> usize {
+        self.established.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Guideline C: the extra BGP candidates that established tunnels
+    /// would contribute to *leaf* neighbors of each requester — (leaf,
+    /// dest, path-from-leaf) triples. Leaves re-export nothing (all their
+    /// neighbors are providers and provider routes are not exportable
+    /// upward), so these advertisements cannot feed back into the tunnel
+    /// layer; this method materializes them for inspection and tests.
+    pub fn leaf_advertisements(&self) -> Vec<(NodeId, NodeId, Vec<NodeId>)> {
+        if !self.config.advertise_to_leaves {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for (i, d) in self.desires.iter().enumerate() {
+            if self.established[i].is_none() {
+                continue;
+            }
+            for &(leaf, _) in self.topo.neighbors(d.requester) {
+                if !self.topo.is_leaf(leaf) {
+                    continue;
+                }
+                // Path as the leaf would hold it: the requester, then the
+                // requester's BGP transport to the responder (whose last
+                // hop *is* the responder), then the responder-held wanted
+                // path (which starts at the responder's next hop).
+                let Some(transport) = self.bgp_path(d.requester, d.responder) else {
+                    continue;
+                };
+                let mut path = Vec::with_capacity(1 + transport.len() + d.wanted.len());
+                path.push(d.requester);
+                path.extend(transport);
+                path.extend(d.wanted.iter().copied());
+                out.push((leaf, d.dest, path));
+            }
+        }
+        out
+    }
+
+    /// The desires driving this simulation.
+    pub fn desires(&self) -> &[Desire] {
+        &self.desires
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guidelines::Guideline;
+    use miro_topology::gen::figure_1_1;
+
+    /// A single benign desire (the Figure 3.1 scenario: A buys BCF from B)
+    /// converges instantly under every guideline.
+    #[test]
+    fn single_desire_converges_under_all_guidelines() {
+        let (t, [a, b, c, _d, _e, f]) = figure_1_1();
+        let desire = Desire { requester: a, responder: b, dest: f, wanted: vec![c, f] };
+        for g in [Guideline::Unrestricted, Guideline::B, Guideline::E] {
+            let mut sim = TunnelSim::new(&t, g.config(), vec![desire.clone()]);
+            let out = sim.run(1, 100);
+            assert!(out.converged(), "guideline {g:?} must converge");
+        }
+        // Under B (pure BGP offers) the wanted path BCF is NOT B's BGP
+        // route (BEF is), so the tunnel is never established — but the
+        // system is still stable.
+        let mut sim = TunnelSim::new(&t, Guideline::B.config(), vec![desire.clone()]);
+        sim.run(1, 100);
+        assert!(!sim.is_established(0));
+        // Under E (same-class candidates) BCF is a peer route while B's
+        // best is a customer route: also not offered. Strict is strict.
+        let mut sim = TunnelSim::new(&t, Guideline::E.config(), vec![desire]);
+        sim.run(1, 100);
+        assert!(!sim.is_established(0));
+    }
+
+    /// Under the unrestricted rules with `Selected` offers, the same
+    /// desire *is* establishable... only if it matches B's selection.
+    /// B selects BEF, so a desire for BEF establishes and stays.
+    #[test]
+    fn selected_offer_establishes_the_selected_path() {
+        let (t, [a, b, _c, _d, e, f]) = figure_1_1();
+        let desire = Desire { requester: a, responder: b, dest: f, wanted: vec![e, f] };
+        let mut sim = TunnelSim::new(&t, Guideline::Unrestricted.config(), vec![desire]);
+        assert!(sim.run(2, 100).converged());
+        assert!(sim.is_established(0));
+        assert_eq!(sim.established_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "tunnel to the destination itself")]
+    fn desire_to_responder_prefix_rejected() {
+        let (t, [a, b, ..]) = figure_1_1();
+        let _ = TunnelSim::new(
+            &t,
+            Guideline::B.config(),
+            vec![Desire { requester: a, responder: b, dest: b, wanted: vec![] }],
+        );
+    }
+}

@@ -1,0 +1,512 @@
+//! A deployable negotiation endpoint: the Figure 4.2 exchange as an
+//! asynchronous state machine over the [`crate::wire`] byte encoding.
+//!
+//! [`crate::node::MiroNetwork`] resolves a negotiation synchronously,
+//! which is right for experiments; a real deployment talks to a remote
+//! AS over a transport that loses time and sometimes messages. This
+//! endpoint mirrors `miro-bgp::speaker`: callers feed inbound bytes and a
+//! virtual clock, drain outbound bytes, and observe state transitions —
+//! including request timeouts with bounded retry, the responder's
+//! admission checks, and post-establishment keepalive generation.
+
+use crate::export::{ExportPolicy, Offer};
+use crate::negotiate::{admissible, Constraint, Message, NegotiationId, RejectReason};
+use crate::tunnel::{Tunnel, TunnelId, TunnelManager};
+use crate::wire;
+use miro_bgp::solver::RoutingState;
+use miro_topology::{NodeId, Rel};
+
+/// Requester-side negotiation state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RequestState {
+    /// Request sent, waiting for offers.
+    AwaitingOffers { retries_left: u8 },
+    /// Accept sent, waiting for the tunnel id.
+    AwaitingEstablish,
+    /// Tunnel live.
+    Established(TunnelId),
+    /// Given up (rejected, timed out, or nothing acceptable).
+    Failed(FailReason),
+}
+
+/// Terminal failure reasons on the requester side.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FailReason {
+    Rejected(RejectReason),
+    NoneAcceptable,
+    TimedOut,
+}
+
+/// One in-flight request.
+struct Pending {
+    id: NegotiationId,
+    dest: NodeId,
+    constraints: Vec<Constraint>,
+    budget: u32,
+    state: RequestState,
+    deadline: u64,
+    /// Accepted offer index (for Accept retransmission).
+    choice: Option<usize>,
+    /// Retransmissions left across all phases.
+    retries_left: u8,
+}
+
+/// The requester endpoint: opens negotiations toward one responder and
+/// manages the resulting tunnels' keepalives.
+pub struct RequesterEndpoint {
+    next_id: u64,
+    pending: Vec<Pending>,
+    pub tunnels: TunnelManager,
+    out: Vec<u8>,
+    /// Request timeout (virtual ticks) and retry budget.
+    pub timeout: u64,
+    pub max_retries: u8,
+    /// Keepalive period for established tunnels.
+    pub keepalive_every: u64,
+    last_keepalive: u64,
+    responder: NodeId,
+}
+
+impl RequesterEndpoint {
+    pub fn new(responder: NodeId) -> Self {
+        RequesterEndpoint {
+            next_id: 0,
+            pending: Vec::new(),
+            tunnels: TunnelManager::new(),
+            out: Vec::new(),
+            timeout: 30,
+            max_retries: 2,
+            keepalive_every: 10,
+            last_keepalive: 0,
+            responder,
+        }
+    }
+
+    /// Open a negotiation; returns its id.
+    pub fn request(
+        &mut self,
+        dest: NodeId,
+        constraints: Vec<Constraint>,
+        budget: u32,
+        now: u64,
+    ) -> NegotiationId {
+        let id = NegotiationId(self.next_id);
+        self.next_id += 1;
+        let msg = Message::Request { id, dest, constraints: constraints.clone() };
+        self.out.extend(wire::emit(&msg).expect("request encodes"));
+        self.pending.push(Pending {
+            id,
+            dest,
+            constraints,
+            budget,
+            state: RequestState::AwaitingOffers { retries_left: self.max_retries },
+            deadline: now + self.timeout,
+            choice: None,
+            retries_left: self.max_retries,
+        });
+        id
+    }
+
+    /// Current state of a negotiation.
+    pub fn state(&self, id: NegotiationId) -> Option<RequestState> {
+        self.pending.iter().find(|p| p.id == id).map(|p| p.state)
+    }
+
+    /// Drain outbound bytes.
+    pub fn output(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.out)
+    }
+
+    /// Feed inbound bytes (whole or partial messages; unparseable input
+    /// is dropped — the transport's checksums are the integrity layer).
+    pub fn input(&mut self, bytes: &[u8], now: u64) {
+        let mut at = 0;
+        while at < bytes.len() {
+            match wire::parse(&bytes[at..]) {
+                Ok((msg, used)) => {
+                    at += used;
+                    self.handle(msg, now);
+                }
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn handle(&mut self, msg: Message, now: u64) {
+        match msg {
+            Message::Offers { id, offers } => {
+                let Some(p) = self.pending.iter_mut().find(|p| p.id == id) else { return };
+                if !matches!(p.state, RequestState::AwaitingOffers { .. }) {
+                    return;
+                }
+                // Re-check constraints locally (don't trust the responder)
+                // and pick best within budget.
+                let admissible_offers = admissible(&offers, &p.constraints);
+                let budget = p.budget;
+                let choice = admissible_offers
+                    .iter()
+                    .filter(|o| o.price <= budget)
+                    .min_by_key(|o| (o.route.class, o.route.len(), o.price))
+                    .and_then(|best| offers.iter().position(|o| o == best));
+                match choice {
+                    Some(c) => {
+                        p.state = RequestState::AwaitingEstablish;
+                        p.deadline = now + self.timeout;
+                        p.choice = Some(c);
+                        let msg = Message::Accept { id, choice: c };
+                        self.out.extend(wire::emit(&msg).expect("accept encodes"));
+                    }
+                    None => p.state = RequestState::Failed(FailReason::NoneAcceptable),
+                }
+            }
+            Message::Established { id, tunnel } => {
+                let Some(p) = self.pending.iter_mut().find(|p| p.id == id) else { return };
+                if p.state == RequestState::AwaitingEstablish {
+                    p.state = RequestState::Established(tunnel);
+                    self.tunnels.adopt(Tunnel {
+                        id: tunnel,
+                        peer: self.responder,
+                        dest: p.dest,
+                        path: Vec::new(), // learned paths live in the offer; the
+                        // data plane keys on the id
+                        price: 0,
+                        last_heartbeat: now,
+                    });
+                }
+            }
+            Message::Reject { id, reason } => {
+                if let Some(p) = self.pending.iter_mut().find(|p| p.id == id) {
+                    p.state = RequestState::Failed(FailReason::Rejected(reason));
+                }
+            }
+            Message::Teardown { tunnel } => {
+                self.tunnels.teardown(tunnel);
+                for p in &mut self.pending {
+                    if p.state == RequestState::Established(tunnel) {
+                        p.state = RequestState::Failed(FailReason::Rejected(
+                            RejectReason::NoCandidates,
+                        ));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Advance time: retry or fail timed-out requests, emit keepalives.
+    pub fn tick(&mut self, now: u64) {
+        for i in 0..self.pending.len() {
+            if now < self.pending[i].deadline {
+                continue;
+            }
+            match self.pending[i].state {
+                RequestState::AwaitingOffers { retries_left } if retries_left > 0 => {
+                    let p = &mut self.pending[i];
+                    p.state = RequestState::AwaitingOffers { retries_left: retries_left - 1 };
+                    p.retries_left = retries_left - 1;
+                    p.deadline = now + self.timeout;
+                    let msg = Message::Request {
+                        id: p.id,
+                        dest: p.dest,
+                        constraints: p.constraints.clone(),
+                    };
+                    self.out.extend(wire::emit(&msg).expect("request encodes"));
+                }
+                // A lost Accept or Established: retransmit the Accept (the
+                // responder answers duplicates idempotently).
+                RequestState::AwaitingEstablish if self.pending[i].retries_left > 0 => {
+                    let p = &mut self.pending[i];
+                    p.retries_left -= 1;
+                    p.deadline = now + self.timeout;
+                    let msg = Message::Accept {
+                        id: p.id,
+                        choice: p.choice.expect("accept state implies a choice"),
+                    };
+                    self.out.extend(wire::emit(&msg).expect("accept encodes"));
+                }
+                RequestState::AwaitingOffers { .. } | RequestState::AwaitingEstablish => {
+                    self.pending[i].state = RequestState::Failed(FailReason::TimedOut);
+                }
+                _ => {}
+            }
+        }
+        if now.saturating_sub(self.last_keepalive) >= self.keepalive_every {
+            self.last_keepalive = now;
+            let ids: Vec<TunnelId> = self.tunnels.iter().map(|t| t.id).collect();
+            for id in ids {
+                self.tunnels.keepalive(id, now);
+                self.out.extend(
+                    wire::emit(&Message::Keepalive { tunnel: id }).expect("keepalive encodes"),
+                );
+            }
+        }
+    }
+}
+
+/// The responder endpoint: answers requests out of a routing state under
+/// an export policy, allocates tunnel ids, expires silent tunnels.
+pub struct ResponderEndpoint<'t> {
+    node: NodeId,
+    policy: ExportPolicy,
+    /// Export relationship assumed toward this requester (the transport
+    /// identifies the peer; relationship comes from configuration).
+    toward: Rel,
+    pub max_tunnels: usize,
+    pub tunnels: TunnelManager,
+    pub tunnel_timeout: u64,
+    out: Vec<u8>,
+    /// Offers sent per negotiation (to honor Accept by index).
+    offered: Vec<(NegotiationId, NodeId, Vec<Offer>)>,
+    /// Already-granted negotiations (duplicate Accepts are re-answered
+    /// with the same tunnel id, not rejected — retransmission safety).
+    granted: Vec<(NegotiationId, TunnelId)>,
+    st: &'t RoutingState<'t>,
+}
+
+impl<'t> ResponderEndpoint<'t> {
+    pub fn new(node: NodeId, st: &'t RoutingState<'t>, policy: ExportPolicy, toward: Rel) -> Self {
+        ResponderEndpoint {
+            node,
+            policy,
+            toward,
+            max_tunnels: 1000,
+            tunnels: TunnelManager::new(),
+            tunnel_timeout: 30,
+            out: Vec::new(),
+            offered: Vec::new(),
+            granted: Vec::new(),
+            st,
+        }
+    }
+
+    pub fn output(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.out)
+    }
+
+    pub fn input(&mut self, bytes: &[u8], now: u64) {
+        let mut at = 0;
+        while at < bytes.len() {
+            match wire::parse(&bytes[at..]) {
+                Ok((msg, used)) => {
+                    at += used;
+                    self.handle(msg, now);
+                }
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn send(&mut self, msg: &Message) {
+        self.out.extend(wire::emit(msg).expect("responder messages encode"));
+    }
+
+    fn handle(&mut self, msg: Message, now: u64) {
+        match msg {
+            Message::Request { id, dest, constraints } => {
+                // Duplicate of an already-granted negotiation: replay.
+                if let Some(&(_, tid)) = self.granted.iter().find(|(g, _)| *g == id) {
+                    self.send(&Message::Established { id, tunnel: tid });
+                    return;
+                }
+                if dest != self.st.dest() {
+                    // One state per destination in this endpoint; a real
+                    // deployment shards by prefix.
+                    self.send(&Message::Reject { id, reason: RejectReason::NoCandidates });
+                    return;
+                }
+                if self.tunnels.len() >= self.max_tunnels {
+                    self.send(&Message::Reject { id, reason: RejectReason::TunnelLimit });
+                    return;
+                }
+                let offers =
+                    admissible(&self.policy.offers(self.st, self.node, self.toward), &constraints);
+                if offers.is_empty() {
+                    self.send(&Message::Reject { id, reason: RejectReason::NoCandidates });
+                    return;
+                }
+                // Idempotent re-offer on duplicate/retried requests.
+                self.offered.retain(|(oid, _, _)| *oid != id);
+                self.offered.push((id, dest, offers.clone()));
+                self.send(&Message::Offers { id, offers });
+            }
+            Message::Accept { id, choice } => {
+                // Retransmitted Accept for a granted negotiation: replay
+                // the Established instead of rejecting.
+                if let Some(&(_, tid)) = self.granted.iter().find(|(g, _)| *g == id) {
+                    self.send(&Message::Established { id, tunnel: tid });
+                    return;
+                }
+                let Some(pos) = self.offered.iter().position(|(oid, _, _)| *oid == id) else {
+                    self.send(&Message::Reject { id, reason: RejectReason::BadChoice });
+                    return;
+                };
+                let (_, dest, offers) = self.offered.remove(pos);
+                let Some(offer) = offers.get(choice) else {
+                    self.send(&Message::Reject { id, reason: RejectReason::BadChoice });
+                    return;
+                };
+                let tid = self.tunnels.establish(
+                    self.node, // peer unknown at this layer; transport-scoped
+                    dest,
+                    offer.route.path.clone(),
+                    offer.price,
+                    now,
+                );
+                self.granted.push((id, tid));
+                self.send(&Message::Established { id, tunnel: tid });
+            }
+            Message::Keepalive { tunnel } => {
+                self.tunnels.keepalive(tunnel, now);
+            }
+            Message::Teardown { tunnel } => {
+                self.tunnels.teardown(tunnel);
+            }
+            _ => {}
+        }
+    }
+
+    /// Expire silent tunnels (the soft-state sweep); emits Teardown for
+    /// each so the far side learns.
+    pub fn tick(&mut self, now: u64) {
+        for id in self.tunnels.expire(now, self.tunnel_timeout) {
+            self.send(&Message::Teardown { tunnel: id });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miro_topology::gen::figure_1_1;
+
+    fn world() -> (miro_topology::Topology, [NodeId; 6]) {
+        figure_1_1()
+    }
+
+    #[test]
+    fn wire_level_negotiation_end_to_end() {
+        let (t, [_a, b, _c, _d, e, f]) = world();
+        let st = RoutingState::solve(&t, f);
+        let mut req = RequesterEndpoint::new(b);
+        let mut resp = ResponderEndpoint::new(b, &st, ExportPolicy::RespectExport, Rel::Customer);
+        let id = req.request(f, vec![Constraint::AvoidAs(e)], 250, 0);
+        // Transport: requester -> responder -> requester.
+        resp.input(&req.output(), 0);
+        req.input(&resp.output(), 0);
+        // Offers arrived; accept went out; deliver it.
+        resp.input(&req.output(), 1);
+        req.input(&resp.output(), 1);
+        match req.state(id) {
+            Some(RequestState::Established(tid)) => {
+                assert!(req.tunnels.get(tid).is_some());
+                assert!(resp.tunnels.get(tid).is_some());
+            }
+            other => panic!("expected established, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lost_request_is_retried_then_times_out() {
+        let (t, [_a, b, _c, _d, e, f]) = world();
+        let st = RoutingState::solve(&t, f);
+        let _ = &st;
+        let mut req = RequesterEndpoint::new(b);
+        let id = req.request(f, vec![Constraint::AvoidAs(e)], 250, 0);
+        let first = req.output();
+        assert!(!first.is_empty());
+        // The transport eats everything. Timeout -> retry (twice) -> fail.
+        req.tick(30);
+        assert!(!req.output().is_empty(), "first retry");
+        assert_eq!(
+            req.state(id),
+            Some(RequestState::AwaitingOffers { retries_left: 1 })
+        );
+        req.tick(60);
+        assert!(!req.output().is_empty(), "second retry");
+        req.tick(90);
+        assert_eq!(req.state(id), Some(RequestState::Failed(FailReason::TimedOut)));
+    }
+
+    #[test]
+    fn duplicate_requests_are_idempotent_at_the_responder() {
+        let (t, [_a, b, _c, _d, e, f]) = world();
+        let st = RoutingState::solve(&t, f);
+        let mut req = RequesterEndpoint::new(b);
+        let mut resp = ResponderEndpoint::new(b, &st, ExportPolicy::RespectExport, Rel::Customer);
+        let id = req.request(f, vec![Constraint::AvoidAs(e)], 250, 0);
+        let request_bytes = req.output();
+        // The request arrives twice (retry raced the response).
+        resp.input(&request_bytes, 0);
+        let first_offers = resp.output();
+        resp.input(&request_bytes, 1);
+        let second_offers = resp.output();
+        assert!(!first_offers.is_empty() && !second_offers.is_empty());
+        // The requester processes one response; the duplicate is ignored
+        // (its state machine has moved on).
+        req.input(&first_offers, 2);
+        req.input(&second_offers, 2);
+        resp.input(&req.output(), 3);
+        req.input(&resp.output(), 3);
+        assert!(matches!(req.state(id), Some(RequestState::Established(_))));
+        assert_eq!(resp.tunnels.len(), 1, "exactly one tunnel despite the dup");
+    }
+
+    #[test]
+    fn responder_rejections_reach_the_requester() {
+        let (t, [_a, b, _c, _d, e, f]) = world();
+        let st = RoutingState::solve(&t, f);
+        let mut req = RequesterEndpoint::new(b);
+        // Strict policy: B has no same-class alternates (see export tests).
+        let mut resp = ResponderEndpoint::new(b, &st, ExportPolicy::Strict, Rel::Customer);
+        let id = req.request(f, vec![Constraint::AvoidAs(e)], 250, 0);
+        resp.input(&req.output(), 0);
+        req.input(&resp.output(), 0);
+        assert_eq!(
+            req.state(id),
+            Some(RequestState::Failed(FailReason::Rejected(RejectReason::NoCandidates)))
+        );
+    }
+
+    #[test]
+    fn keepalives_keep_the_responder_side_alive_and_silence_kills() {
+        let (t, [_a, b, _c, _d, e, f]) = world();
+        let st = RoutingState::solve(&t, f);
+        let mut req = RequesterEndpoint::new(b);
+        let mut resp = ResponderEndpoint::new(b, &st, ExportPolicy::RespectExport, Rel::Customer);
+        let id = req.request(f, vec![Constraint::AvoidAs(e)], 250, 0);
+        resp.input(&req.output(), 0);
+        req.input(&resp.output(), 0);
+        resp.input(&req.output(), 0);
+        req.input(&resp.output(), 0);
+        assert!(matches!(req.state(id), Some(RequestState::Established(_))));
+        // Healthy: keepalives flow every 10 ticks.
+        for now in [10u64, 20, 30, 40] {
+            req.tick(now);
+            resp.input(&req.output(), now);
+            resp.tick(now);
+        }
+        assert_eq!(resp.tunnels.len(), 1);
+        // Silence: the requester stops; the responder reaps at timeout and
+        // notifies; the requester tears its side down on the Teardown.
+        resp.tick(100);
+        let teardown = resp.output();
+        assert!(!teardown.is_empty());
+        req.input(&teardown, 100);
+        assert_eq!(resp.tunnels.len(), 0);
+        assert!(req.tunnels.is_empty());
+    }
+
+    #[test]
+    fn budget_filtering_happens_requester_side_too() {
+        let (t, [_a, b, _c, _d, e, f]) = world();
+        let st = RoutingState::solve(&t, f);
+        let mut req = RequesterEndpoint::new(b);
+        let mut resp = ResponderEndpoint::new(b, &st, ExportPolicy::RespectExport, Rel::Customer);
+        // Budget below the 180 peer-route price.
+        let id = req.request(f, vec![Constraint::AvoidAs(e)], 100, 0);
+        resp.input(&req.output(), 0);
+        req.input(&resp.output(), 0);
+        assert_eq!(req.state(id), Some(RequestState::Failed(FailReason::NoneAcceptable)));
+        assert!(resp.tunnels.is_empty());
+    }
+}

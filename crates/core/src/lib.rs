@@ -1,0 +1,37 @@
+//! MIRO: multi-path interdomain routing (the paper's primary contribution).
+//!
+//! MIRO keeps BGP's path-vector default routes and adds, on top (Chapter 3):
+//!
+//! * **pull-based supplemental route retrieval** - an AS that is unhappy
+//!   with its default path *asks* another AS for alternates instead of
+//!   having every alternate flooded to everyone (section 3.2);
+//! * **bilateral negotiation** between arbitrary - not necessarily
+//!   adjacent - AS pairs (section 3.3), implemented as an explicit
+//!   request/offer/accept/establish state machine ([`negotiate`],
+//!   Figure 4.2);
+//! * **selective export**: the responding AS controls which alternates it
+//!   reveals (section 3.4). The three policy levels studied by the
+//!   evaluation - strict `/s`, respect-export `/e`, most-flexible `/a` -
+//!   are [`export::ExportPolicy`];
+//! * **tunnels** bound to negotiated paths in the data plane
+//!   (section 3.5), managed as soft state with keepalives and torn down on
+//!   route changes (section 4.3) by [`tunnel::TunnelManager`]. (The actual
+//!   packet encapsulation lives in `miro-dataplane`.)
+//!
+//! [`strategy`] hosts the requester side: whom to ask (on-path vs 1-hop,
+//! section 6.2.1) and the avoid-AS search loop whose success rates are
+//! Table 5.2. [`node`] wires everything into a small control-plane
+//! message-passing harness with a virtual clock.
+
+pub mod endpoint;
+pub mod export;
+pub mod negotiate;
+pub mod node;
+pub mod strategy;
+pub mod tunnel;
+pub mod wire;
+
+pub use export::{ExportPolicy, Offer};
+pub use negotiate::{Constraint, NegotiationError, NegotiationId};
+pub use strategy::{AvoidOutcome, TargetStrategy};
+pub use tunnel::{TunnelId, TunnelManager};

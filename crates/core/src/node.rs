@@ -1,0 +1,597 @@
+//! An in-process control-plane harness: MIRO nodes exchanging the
+//! Figure 4.2 message sequence over a virtual clock.
+//!
+//! `miro-eval` uses the pure functions in [`crate::strategy`] directly for
+//! speed; this harness exists to exercise the *protocol* — admission
+//! control, pricing, the four-message handshake, soft-state keepalives,
+//! and teardown on route change — end to end, the way a deployment would
+//! run it. The examples print its message log as a negotiation transcript.
+
+use crate::export::ExportPolicy;
+use crate::negotiate::{
+    admissible, Constraint, Message, NegotiationError, NegotiationId, RejectReason,
+};
+use crate::strategy::export_rel_toward;
+use crate::tunnel::{Tunnel, TunnelId, TunnelManager};
+use miro_bgp::solver::RoutingState;
+use miro_topology::{NodeId, Topology};
+
+/// Responder-side configuration (section 6.2.1's negotiation rules).
+#[derive(Clone, Debug)]
+pub struct ResponderConfig {
+    /// Which alternates to reveal.
+    pub policy: ExportPolicy,
+    /// `when tunnel_number < N` admission gate (section 6.3 example: 1000).
+    pub max_tunnels: usize,
+    /// `accept negotiation from any`, or only from an allow list.
+    pub accept_any: bool,
+    /// The allow list used when `accept_any` is false.
+    pub allow: Vec<NodeId>,
+    /// Markup added to every offer's base (class-derived) price — the
+    /// knob the section 6.2.2 economic lifecycle turns: "whenever one of
+    /// the parties is no longer satisfied with the price, the tunnel will
+    /// be terminated, then the requesting AS will re-negotiate a new
+    /// tunnel using a new price if needed".
+    pub price_markup: u32,
+}
+
+impl Default for ResponderConfig {
+    fn default() -> Self {
+        ResponderConfig {
+            policy: ExportPolicy::RespectExport,
+            max_tunnels: 1000,
+            accept_any: true,
+            allow: Vec::new(),
+            price_markup: 0,
+        }
+    }
+}
+
+/// A live lease in the network ledger: who sold what to whom.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Lease {
+    /// Id assigned by the downstream (responding) AS.
+    pub id: TunnelId,
+    /// The responding AS (tunnel egress; owns the id space).
+    pub downstream: NodeId,
+    /// The requesting AS (tunnel ingress).
+    pub upstream: NodeId,
+    /// Destination prefix served.
+    pub dest: NodeId,
+    /// The alternate path sold, as held by the downstream AS.
+    pub path: Vec<NodeId>,
+    /// The upstream's default path to the downstream at establishment
+    /// time; if this changes, the upstream tears the tunnel down
+    /// (section 4.3).
+    pub upstream_path: Vec<NodeId>,
+    /// Agreed price.
+    pub price: u32,
+    /// The upstream's budget at negotiation time (for re-negotiation).
+    pub budget: u32,
+    /// The constraints the lease was negotiated under.
+    pub constraints: Vec<Constraint>,
+}
+
+/// The whole-network control-plane harness.
+pub struct MiroNetwork<'t> {
+    topo: &'t Topology,
+    /// Virtual clock, advanced by [`MiroNetwork::tick`].
+    pub clock: u64,
+    configs: Vec<ResponderConfig>,
+    managers: Vec<TunnelManager>,
+    leases: Vec<Lease>,
+    next_neg: u64,
+    /// Transcript of every message "sent": (from, to, message).
+    pub log: Vec<(NodeId, NodeId, Message)>,
+}
+
+impl<'t> MiroNetwork<'t> {
+    pub fn new(topo: &'t Topology) -> Self {
+        let n = topo.num_nodes();
+        MiroNetwork {
+            topo,
+            clock: 0,
+            configs: vec![ResponderConfig::default(); n],
+            managers: (0..n).map(|_| TunnelManager::new()).collect(),
+            leases: Vec::new(),
+            next_neg: 0,
+            log: Vec::new(),
+        }
+    }
+
+    /// Replace one AS's responder configuration.
+    pub fn configure(&mut self, node: NodeId, config: ResponderConfig) {
+        self.configs[node as usize] = config;
+    }
+
+    /// The live leases ledger (id order).
+    pub fn leases(&self) -> &[Lease] {
+        &self.leases
+    }
+
+    /// A node's tunnel table.
+    pub fn tunnels(&self, node: NodeId) -> &TunnelManager {
+        &self.managers[node as usize]
+    }
+
+    /// Run one full negotiation (Figure 4.2) between `requester` and
+    /// `responder` for destination `st.dest()`. On success the tunnel is
+    /// installed on both sides and a [`Lease`] recorded.
+    ///
+    /// `max_price` is the requester's budget (section 6.3: "maximum cost
+    /// 250"); offers above it are unacceptable even if they satisfy the
+    /// constraints.
+    pub fn negotiate(
+        &mut self,
+        st: &RoutingState<'_>,
+        requester: NodeId,
+        responder: NodeId,
+        constraints: Vec<Constraint>,
+        max_price: u32,
+    ) -> Result<TunnelId, NegotiationError> {
+        self.negotiate_with(st, requester, responder, constraints, max_price, false)
+    }
+
+    /// The downstream-initiated variant (section 3.3's reverse scenario /
+    /// the inbound-traffic-control application of section 5.4): the
+    /// requester — typically the *destination* — asks the responder to
+    /// switch its own selected route, so the offer pool is the responder's
+    /// full candidate set (class-restricted under the strict policy) rather
+    /// than its export-filtered alternates.
+    pub fn negotiate_switch(
+        &mut self,
+        st: &RoutingState<'_>,
+        requester: NodeId,
+        responder: NodeId,
+        constraints: Vec<Constraint>,
+        max_price: u32,
+    ) -> Result<TunnelId, NegotiationError> {
+        self.negotiate_with(st, requester, responder, constraints, max_price, true)
+    }
+
+    fn negotiate_with(
+        &mut self,
+        st: &RoutingState<'_>,
+        requester: NodeId,
+        responder: NodeId,
+        constraints: Vec<Constraint>,
+        max_price: u32,
+        switch: bool,
+    ) -> Result<TunnelId, NegotiationError> {
+        if requester == responder {
+            return Err(NegotiationError::SelfNegotiation);
+        }
+        let id = NegotiationId(self.next_neg);
+        self.next_neg += 1;
+        self.log.push((
+            requester,
+            responder,
+            Message::Request { id, dest: st.dest(), constraints: constraints.clone() },
+        ));
+
+        // Responder admission (section 6.2.1).
+        let cfg = self.configs[responder as usize].clone();
+        if !cfg.accept_any && !cfg.allow.contains(&requester) {
+            self.log.push((responder, requester, Message::Reject {
+                id,
+                reason: RejectReason::NotAllowed,
+            }));
+            return Err(NegotiationError::Rejected(RejectReason::NotAllowed));
+        }
+        if self.managers[responder as usize].len() >= cfg.max_tunnels {
+            self.log.push((responder, requester, Message::Reject {
+                id,
+                reason: RejectReason::TunnelLimit,
+            }));
+            return Err(NegotiationError::Rejected(RejectReason::TunnelLimit));
+        }
+
+        // Responder builds and filters offers (section 6.2.2: requester
+        // constraints are folded into the responder's candidate filtering).
+        let pool = if switch {
+            cfg.policy.switch_offers(st, responder)
+        } else {
+            let toward = export_rel_toward(st, requester, responder);
+            cfg.policy.offers(st, responder, toward)
+        };
+        let pool: Vec<_> = pool
+            .into_iter()
+            .map(|mut o| {
+                o.price += cfg.price_markup;
+                o
+            })
+            .collect();
+        let offers = admissible(&pool, &constraints);
+        if offers.is_empty() {
+            self.log.push((responder, requester, Message::Reject {
+                id,
+                reason: RejectReason::NoCandidates,
+            }));
+            return Err(NegotiationError::Rejected(RejectReason::NoCandidates));
+        }
+        self.log.push((responder, requester, Message::Offers { id, offers: offers.clone() }));
+
+        // Requester evaluates: best by (class, length, price), within budget.
+        let choice = offers
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.price <= max_price)
+            .min_by_key(|(_, o)| (o.route.class, o.route.len(), o.price))
+            .map(|(i, _)| i);
+        let Some(choice) = choice else {
+            return Err(NegotiationError::NoneAcceptable);
+        };
+        self.log.push((requester, responder, Message::Accept { id, choice }));
+
+        // Handshake completes: downstream allocates the id, both install.
+        let offer = &offers[choice];
+        let now = self.clock;
+        let tid = self.managers[responder as usize].establish(
+            requester,
+            st.dest(),
+            offer.route.path.clone(),
+            offer.price,
+            now,
+        );
+        let adopted = self.managers[requester as usize].adopt(Tunnel {
+            id: tid,
+            peer: responder,
+            dest: st.dest(),
+            path: offer.route.path.clone(),
+            price: offer.price,
+            last_heartbeat: now,
+        });
+        debug_assert!(adopted || requester == responder);
+        self.leases.push(Lease {
+            id: tid,
+            downstream: responder,
+            upstream: requester,
+            dest: st.dest(),
+            path: offer.route.path.clone(),
+            upstream_path: st.path(requester).unwrap_or_default(),
+            price: offer.price,
+            budget: max_price,
+            constraints,
+        });
+        self.log.push((responder, requester, Message::Established { id, tunnel: tid }));
+        Ok(tid)
+    }
+
+    /// Advance the virtual clock. Every live lease exchanges a keepalive
+    /// (section 4.3's heartbeat), then both sides expire anything stale —
+    /// so in the healthy case this is a no-op apart from time moving.
+    pub fn tick(&mut self, dt: u64, keepalive_timeout: u64) {
+        self.clock += dt;
+        let clock = self.clock;
+        for lease in &self.leases {
+            // Upstream pings downstream; both refresh.
+            self.log.push((lease.upstream, lease.downstream, Message::Keepalive {
+                tunnel: lease.id,
+            }));
+            self.managers[lease.downstream as usize].keepalive(lease.id, clock);
+            self.managers[lease.upstream as usize].keepalive(lease.id, clock);
+        }
+        for m in &mut self.managers {
+            m.expire(clock, keepalive_timeout);
+        }
+        self.leases.retain(|l| {
+            self.managers[l.downstream as usize].get(l.id).is_some()
+        });
+    }
+
+    /// Simulate a silent upstream failure: the upstream stops sending
+    /// keepalives for `lease_id`; after `timeout` the downstream reaps the
+    /// tunnel (the "idle tunnels in the downstream ASes" scenario of
+    /// section 4.3 where the teardown message itself cannot be delivered).
+    pub fn silence(&mut self, lease_id: TunnelId, dt: u64, keepalive_timeout: u64) {
+        self.clock += dt;
+        let clock = self.clock;
+        for lease in &self.leases {
+            if lease.id == lease_id {
+                continue;
+            }
+            self.managers[lease.downstream as usize].keepalive(lease.id, clock);
+            self.managers[lease.upstream as usize].keepalive(lease.id, clock);
+        }
+        for m in &mut self.managers {
+            m.expire(clock, keepalive_timeout);
+        }
+        self.leases.retain(|l| {
+            self.managers[l.downstream as usize].get(l.id).is_some()
+        });
+    }
+
+    /// Routes changed (e.g. a link failed and BGP reconverged): re-check
+    /// every lease for `st.dest()` against the new state and tear down
+    /// invalidated tunnels on both sides (section 4.3). A lease survives
+    /// only if the sold path is still in the downstream's candidate set
+    /// *and* the upstream's default path to the downstream is unchanged.
+    pub fn routes_changed(&mut self, st: &RoutingState<'_>) {
+        let dest = st.dest();
+        let mut dead: Vec<usize> = Vec::new();
+        for (i, lease) in self.leases.iter().enumerate() {
+            if lease.dest != dest {
+                continue;
+            }
+            let still_offered = st
+                .candidates(lease.downstream)
+                .iter()
+                .any(|c| c.path == lease.path);
+            let upstream_ok = st.path(lease.upstream).as_deref()
+                == Some(lease.upstream_path.as_slice())
+                || lease.upstream_path.is_empty();
+            if !still_offered || !upstream_ok {
+                dead.push(i);
+            }
+        }
+        for &i in dead.iter().rev() {
+            let lease = self.leases.remove(i);
+            self.managers[lease.downstream as usize].teardown(lease.id);
+            self.managers[lease.upstream as usize].teardown(lease.id);
+            self.log.push((lease.downstream, lease.upstream, Message::Teardown {
+                tunnel: lease.id,
+            }));
+        }
+    }
+
+    /// The topology this network runs over.
+    pub fn topology(&self) -> &'t Topology {
+        self.topo
+    }
+
+    /// The section 6.2.2 economic lifecycle: `responder` changes its price
+    /// markup. Every live lease it sold for `st.dest()` is re-quoted; a
+    /// lease whose new price still fits the upstream's original budget is
+    /// updated in place (the parties simply agree on the new number),
+    /// otherwise the tunnel is torn down and the upstream immediately
+    /// re-negotiates under the new schedule — which may land on a
+    /// different (cheaper) alternate or fail, leaving it on the default
+    /// path. Returns `(lease id, replacement id if any)` per affected
+    /// lease.
+    pub fn reprice(
+        &mut self,
+        st: &RoutingState<'_>,
+        responder: NodeId,
+        new_markup: u32,
+    ) -> Vec<(TunnelId, Option<TunnelId>)> {
+        let old_markup = self.configs[responder as usize].price_markup;
+        self.configs[responder as usize].price_markup = new_markup;
+        let affected: Vec<Lease> = self
+            .leases
+            .iter()
+            .filter(|l| l.downstream == responder && l.dest == st.dest())
+            .cloned()
+            .collect();
+        let mut out = Vec::new();
+        for lease in affected {
+            let base = lease.price - old_markup.min(lease.price);
+            let new_price = base + new_markup;
+            if new_price <= lease.budget {
+                // Both parties accept the adjustment; no teardown.
+                for l in &mut self.leases {
+                    if l.id == lease.id && l.downstream == responder {
+                        l.price = new_price;
+                    }
+                }
+                continue;
+            }
+            // Dissatisfied party: terminate, then re-negotiate.
+            self.leases.retain(|l| !(l.id == lease.id && l.downstream == responder));
+            self.managers[lease.downstream as usize].teardown(lease.id);
+            self.managers[lease.upstream as usize].teardown(lease.id);
+            self.log.push((lease.downstream, lease.upstream, Message::Teardown {
+                tunnel: lease.id,
+            }));
+            let replacement = self
+                .negotiate(st, lease.upstream, responder, lease.constraints.clone(), lease.budget)
+                .ok();
+            out.push((lease.id, replacement));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miro_topology::gen::figure_1_1;
+
+    fn setup() -> (miro_topology::Topology, [NodeId; 6]) {
+        figure_1_1()
+    }
+
+    #[test]
+    fn full_handshake_installs_both_sides() {
+        let (t, [a, b, c, _d, e, f]) = setup();
+        let st = RoutingState::solve(&t, f);
+        let mut net = MiroNetwork::new(&t);
+        let tid = net
+            .negotiate(&st, a, b, vec![Constraint::AvoidAs(e)], 250)
+            .unwrap();
+        // Ledger and both tunnel tables agree.
+        assert_eq!(net.leases().len(), 1);
+        let lease = &net.leases()[0];
+        assert_eq!(lease.path, vec![c, f]);
+        assert_eq!((lease.upstream, lease.downstream), (a, b));
+        assert!(net.tunnels(a).get(tid).is_some());
+        assert!(net.tunnels(b).get(tid).is_some());
+        // Message sequence matches Figure 4.2.
+        let kinds: Vec<&'static str> = net
+            .log
+            .iter()
+            .map(|(_, _, m)| match m {
+                Message::Request { .. } => "request",
+                Message::Offers { .. } => "offers",
+                Message::Accept { .. } => "accept",
+                Message::Established { .. } => "established",
+                _ => "other",
+            })
+            .collect();
+        assert_eq!(kinds, vec!["request", "offers", "accept", "established"]);
+    }
+
+    #[test]
+    fn admission_allow_list() {
+        let (t, [a, b, _c, d, e, f]) = setup();
+        let st = RoutingState::solve(&t, f);
+        let mut net = MiroNetwork::new(&t);
+        net.configure(b, ResponderConfig { accept_any: false, allow: vec![d], ..Default::default() });
+        let err = net.negotiate(&st, a, b, vec![Constraint::AvoidAs(e)], 250);
+        assert_eq!(err, Err(NegotiationError::Rejected(RejectReason::NotAllowed)));
+        assert!(net.leases().is_empty());
+    }
+
+    #[test]
+    fn tunnel_limit_rejects() {
+        let (t, [a, b, _c, d, e, f]) = setup();
+        let st = RoutingState::solve(&t, f);
+        let mut net = MiroNetwork::new(&t);
+        net.configure(b, ResponderConfig { max_tunnels: 1, ..Default::default() });
+        net.negotiate(&st, a, b, vec![Constraint::AvoidAs(e)], 250).unwrap();
+        let err = net.negotiate(&st, d, b, vec![Constraint::AvoidAs(e)], 250);
+        assert_eq!(err, Err(NegotiationError::Rejected(RejectReason::TunnelLimit)));
+    }
+
+    #[test]
+    fn no_candidates_rejects() {
+        let (t, [a, b, _c, _d, _e, f]) = setup();
+        let st = RoutingState::solve(&t, f);
+        let mut net = MiroNetwork::new(&t);
+        // Avoiding F itself is impossible: every route ends at F.
+        let err = net.negotiate(&st, a, b, vec![Constraint::AvoidAs(f)], 250);
+        assert_eq!(err, Err(NegotiationError::Rejected(RejectReason::NoCandidates)));
+    }
+
+    #[test]
+    fn budget_too_small_is_none_acceptable() {
+        let (t, [a, b, _c, _d, e, f]) = setup();
+        let st = RoutingState::solve(&t, f);
+        let mut net = MiroNetwork::new(&t);
+        // BCF is a peer route priced at 180; a budget of 150 can't buy it.
+        let err = net.negotiate(&st, a, b, vec![Constraint::AvoidAs(e)], 150);
+        assert_eq!(err, Err(NegotiationError::NoneAcceptable));
+        assert!(net.leases().is_empty());
+    }
+
+    #[test]
+    fn keepalives_keep_tunnels_alive_and_silence_kills() {
+        let (t, [a, b, _c, _d, e, f]) = setup();
+        let st = RoutingState::solve(&t, f);
+        let mut net = MiroNetwork::new(&t);
+        let tid = net.negotiate(&st, a, b, vec![Constraint::AvoidAs(e)], 250).unwrap();
+        for _ in 0..10 {
+            net.tick(10, 30);
+        }
+        assert_eq!(net.leases().len(), 1, "healthy tunnel survives ticking");
+        // Upstream goes silent for longer than the timeout.
+        net.silence(tid, 31, 30);
+        assert!(net.leases().is_empty(), "soft state must expire");
+        assert!(net.tunnels(b).get(tid).is_none());
+    }
+
+    #[test]
+    fn route_change_triggers_teardown() {
+        let (t, [a, b, _c, _d, e, f]) = setup();
+        let st = RoutingState::solve(&t, f);
+        let mut net = MiroNetwork::new(&t);
+        let tid = net.negotiate(&st, a, b, vec![Constraint::AvoidAs(e)], 250).unwrap();
+        // Unchanged state: nothing happens.
+        net.routes_changed(&st);
+        assert_eq!(net.leases().len(), 1);
+        // Now simulate the C-F link failing: recompute on a topology
+        // without it; B no longer has the BCF candidate.
+        let mut bld = miro_topology::TopologyBuilder::new();
+        for n in 1..=6 {
+            bld.add_as(miro_topology::AsId(n));
+        }
+        let id = miro_topology::AsId;
+        bld.provider_customer(id(2), id(1));
+        bld.provider_customer(id(4), id(1));
+        bld.provider_customer(id(2), id(5));
+        bld.provider_customer(id(4), id(5));
+        bld.peering(id(2), id(3));
+        bld.provider_customer(id(5), id(6));
+        bld.peering(id(3), id(5)); // C-F link absent
+        let t2 = bld.build().unwrap();
+        let f2 = t2.node(id(6)).unwrap();
+        let st2 = RoutingState::solve(&t2, f2);
+        net.routes_changed(&st2);
+        assert!(net.leases().is_empty());
+        assert!(net.tunnels(a).get(tid).is_none());
+        assert!(net.tunnels(b).get(tid).is_none());
+        assert!(net
+            .log
+            .iter()
+            .any(|(_, _, m)| matches!(m, Message::Teardown { .. })));
+    }
+
+    #[test]
+    fn repricing_within_budget_updates_in_place() {
+        let (t, [a, b, _c, _d, e, f]) = setup();
+        let st = RoutingState::solve(&t, f);
+        let mut net = MiroNetwork::new(&t);
+        // BCF is a peer route: base price 180, budget 250.
+        let tid = net.negotiate(&st, a, b, vec![Constraint::AvoidAs(e)], 250).unwrap();
+        let outcomes = net.reprice(&st, b, 40); // 180 + 40 = 220 <= 250
+        assert!(outcomes.is_empty(), "no teardown needed");
+        assert_eq!(net.leases()[0].id, tid);
+        assert_eq!(net.leases()[0].price, 220);
+    }
+
+    #[test]
+    fn repricing_beyond_budget_tears_down_and_renegotiates() {
+        let (t, [a, b, _c, _d, e, f]) = setup();
+        let st = RoutingState::solve(&t, f);
+        let mut net = MiroNetwork::new(&t);
+        let tid = net.negotiate(&st, a, b, vec![Constraint::AvoidAs(e)], 250).unwrap();
+        // 180 + 100 = 280 > 250: the only admissible offer is now too
+        // expensive even fresh, so re-negotiation fails and A falls back
+        // to the default path.
+        let outcomes = net.reprice(&st, b, 100);
+        assert_eq!(outcomes, vec![(tid, None)]);
+        assert!(net.leases().is_empty());
+        assert!(net.tunnels(a).get(tid).is_none());
+        assert!(net.tunnels(b).get(tid).is_none());
+        assert!(net.log.iter().any(|(_, _, m)| matches!(m, Message::Teardown { .. })));
+        // Cooling the price back down lets A buy again (fresh negotiation).
+        net.configure(b, ResponderConfig { price_markup: 0, ..Default::default() });
+        assert!(net.negotiate(&st, a, b, vec![Constraint::AvoidAs(e)], 250).is_ok());
+    }
+
+    #[test]
+    fn markup_prices_flow_into_offers() {
+        let (t, [a, b, _c, _d, e, f]) = setup();
+        let st = RoutingState::solve(&t, f);
+        let mut net = MiroNetwork::new(&t);
+        net.configure(b, ResponderConfig { price_markup: 30, ..Default::default() });
+        net.negotiate(&st, a, b, vec![Constraint::AvoidAs(e)], 250).unwrap();
+        assert_eq!(net.leases()[0].price, 210, "base 180 + markup 30");
+    }
+
+    #[test]
+    fn self_negotiation_refused() {
+        let (t, [a, ..]) = setup();
+        let st = RoutingState::solve(&t, a);
+        let mut net = MiroNetwork::new(&t);
+        assert_eq!(
+            net.negotiate(&st, a, a, vec![], 100),
+            Err(NegotiationError::SelfNegotiation)
+        );
+    }
+
+    #[test]
+    fn downstream_initiated_negotiation_for_inbound_control() {
+        // Section 3.3's reverse scenario: F asks B to move traffic off the
+        // EF link. Modeled as F requesting from B an alternate toward F
+        // itself that avoids E.
+        let (t, [_a, b, c, _d, e, f]) = setup();
+        let st = RoutingState::solve(&t, f);
+        let mut net = MiroNetwork::new(&t);
+        let tid = net.negotiate_switch(&st, f, b, vec![Constraint::AvoidAs(e)], 250).unwrap();
+        let lease = &net.leases()[0];
+        assert_eq!(lease.upstream, f);
+        assert_eq!(lease.downstream, b);
+        assert_eq!(lease.path, vec![c, f]);
+        let _ = tid;
+    }
+}

@@ -1,0 +1,307 @@
+//! Soft-state tunnel management (sections 3.5 and 4.3).
+//!
+//! After a successful negotiation, the responding (downstream) AS assigns a
+//! tunnel identifier — unique only within itself — and both sides install
+//! state. A tunnel stays alive while keepalives flow; it is torn down
+//! actively when either side's relevant route changes (the upstream's path
+//! *to* the downstream AS, or the downstream's path to the destination), or
+//! passively when the heartbeat timer expires (the "idle tunnels in the
+//! downstream ASes" problem of section 4.3).
+//!
+//! Time is a virtual `u64` tick supplied by the caller, so the whole
+//! control plane is deterministic and simulable.
+
+use miro_topology::NodeId;
+use std::collections::HashMap;
+
+/// Downstream-scoped tunnel identifier (the "7" of Figures 3.1 and 4.2).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TunnelId(pub u32);
+
+/// One endpoint's record of a live tunnel.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Tunnel {
+    /// The id the downstream AS assigned.
+    pub id: TunnelId,
+    /// The AS at the other end of the tunnel.
+    pub peer: NodeId,
+    /// Destination prefix (AS-level) the tunnel serves.
+    pub dest: NodeId,
+    /// The negotiated path, *as held by the downstream AS* (next hop
+    /// first, destination last).
+    pub path: Vec<NodeId>,
+    /// Agreed price per the negotiation.
+    pub price: u32,
+    /// Virtual time of the last keepalive seen (or establishment).
+    pub last_heartbeat: u64,
+}
+
+/// Why a tunnel was torn down — reported so callers (and tests) can tell
+/// active teardown from soft-state expiry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TeardownReason {
+    /// Keepalives stopped arriving (section 4.3 soft state).
+    Expired,
+    /// The route underpinning the tunnel changed or failed.
+    RouteChange,
+    /// The peer asked for teardown.
+    PeerRequest,
+}
+
+/// Tunnel table of one AS (either side of the relationship uses the same
+/// structure; the downstream side is also the id allocator).
+///
+/// ```
+/// use miro_core::tunnel::TunnelManager;
+///
+/// let mut mgr = TunnelManager::new();
+/// let id = mgr.establish(/*peer*/ 7, /*dest*/ 9, vec![3, 9], /*price*/ 180, /*now*/ 0);
+/// mgr.keepalive(id, 25);
+/// assert!(mgr.expire(/*now*/ 30, /*timeout*/ 10).is_empty(), "fresh heartbeat");
+/// let dead = mgr.expire(/*now*/ 99, /*timeout*/ 10);
+/// assert_eq!(dead, vec![id], "silence kills the soft state");
+/// ```
+#[derive(Default, Debug)]
+pub struct TunnelManager {
+    next: u32,
+    live: HashMap<TunnelId, Tunnel>,
+    /// History of (id, reason), for diagnostics and tests.
+    pub torn_down: Vec<(TunnelId, TeardownReason)>,
+}
+
+impl TunnelManager {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Downstream side: allocate an id and install state.
+    pub fn establish(
+        &mut self,
+        peer: NodeId,
+        dest: NodeId,
+        path: Vec<NodeId>,
+        price: u32,
+        now: u64,
+    ) -> TunnelId {
+        let id = TunnelId(self.next);
+        self.next += 1;
+        self.live.insert(
+            id,
+            Tunnel { id, peer, dest, path, price, last_heartbeat: now },
+        );
+        id
+    }
+
+    /// Upstream side: install state under the id the downstream assigned.
+    /// Returns `false` (and installs nothing) if the id is already taken —
+    /// ids are scoped to the *downstream* AS, so an upstream AS tracking
+    /// tunnels to several downstreams must key by (peer, id); this manager
+    /// models one peer relationship per entry and treats collisions as
+    /// caller error.
+    pub fn adopt(&mut self, tunnel: Tunnel) -> bool {
+        if self.live.contains_key(&tunnel.id) {
+            return false;
+        }
+        self.live.insert(tunnel.id, tunnel);
+        true
+    }
+
+    /// Record a heartbeat for `id` at time `now`.
+    pub fn keepalive(&mut self, id: TunnelId, now: u64) -> bool {
+        match self.live.get_mut(&id) {
+            Some(t) => {
+                t.last_heartbeat = now;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Tear down every tunnel whose last heartbeat is older than
+    /// `now - timeout`. Returns the expired ids.
+    pub fn expire(&mut self, now: u64, timeout: u64) -> Vec<TunnelId> {
+        let dead: Vec<TunnelId> = self
+            .live
+            .values()
+            .filter(|t| now.saturating_sub(t.last_heartbeat) > timeout)
+            .map(|t| t.id)
+            .collect();
+        for id in &dead {
+            self.live.remove(id);
+            self.torn_down.push((*id, TeardownReason::Expired));
+        }
+        let mut dead = dead;
+        dead.sort_unstable();
+        dead
+    }
+
+    /// The downstream AS observed that its route to `dest` changed and no
+    /// longer matches what tunnels were sold on: tear down every tunnel to
+    /// `dest` whose negotiated path is not `still_valid` (section 4.3:
+    /// "AS B will tear down the tunnel if the path BCF to the destination
+    /// prefix fails"). Pass `None` when the destination became unreachable.
+    pub fn on_route_change(
+        &mut self,
+        dest: NodeId,
+        still_valid: Option<&[NodeId]>,
+    ) -> Vec<TunnelId> {
+        let dead: Vec<TunnelId> = self
+            .live
+            .values()
+            .filter(|t| t.dest == dest && Some(t.path.as_slice()) != still_valid)
+            .map(|t| t.id)
+            .collect();
+        for id in &dead {
+            self.live.remove(id);
+            self.torn_down.push((*id, TeardownReason::RouteChange));
+        }
+        let mut dead = dead;
+        dead.sort_unstable();
+        dead
+    }
+
+    /// The upstream AS observed its path *toward* `peer` changed: every
+    /// tunnel through that peer dies (section 4.3: "AS A will tear down
+    /// the tunnel if the path AB changes").
+    pub fn on_peer_path_change(&mut self, peer: NodeId) -> Vec<TunnelId> {
+        let dead: Vec<TunnelId> =
+            self.live.values().filter(|t| t.peer == peer).map(|t| t.id).collect();
+        for id in &dead {
+            self.live.remove(id);
+            self.torn_down.push((*id, TeardownReason::RouteChange));
+        }
+        let mut dead = dead;
+        dead.sort_unstable();
+        dead
+    }
+
+    /// Peer-requested teardown.
+    pub fn teardown(&mut self, id: TunnelId) -> bool {
+        if self.live.remove(&id).is_some() {
+            self.torn_down.push((id, TeardownReason::PeerRequest));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Look up a live tunnel.
+    pub fn get(&self, id: TunnelId) -> Option<&Tunnel> {
+        self.live.get(&id)
+    }
+
+    /// Number of live tunnels (drives the `tunnel_number < N` admission
+    /// rule of section 6.3).
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Iterate live tunnels in id order (deterministic).
+    pub fn iter(&self) -> impl Iterator<Item = &Tunnel> {
+        let mut v: Vec<&Tunnel> = self.live.values().collect();
+        v.sort_by_key(|t| t.id);
+        v.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mgr_with_two() -> TunnelManager {
+        let mut m = TunnelManager::new();
+        m.establish(1, 9, vec![2, 9], 120, 0);
+        m.establish(1, 8, vec![3, 8], 180, 0);
+        m
+    }
+
+    #[test]
+    fn establish_allocates_fresh_ids() {
+        let mut m = TunnelManager::new();
+        let a = m.establish(1, 9, vec![9], 0, 0);
+        let b = m.establish(2, 9, vec![9], 0, 0);
+        assert_ne!(a, b);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(a).unwrap().peer, 1);
+    }
+
+    #[test]
+    fn keepalive_refreshes_and_expire_reaps() {
+        let mut m = mgr_with_two();
+        let ids: Vec<TunnelId> = m.iter().map(|t| t.id).collect();
+        assert!(m.keepalive(ids[0], 50));
+        // Timeout 30 at t=60: tunnel 0 heartbeat at 50 (age 10, lives);
+        // tunnel 1 heartbeat at 0 (age 60, dies).
+        let dead = m.expire(60, 30);
+        assert_eq!(dead, vec![ids[1]]);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.torn_down, vec![(ids[1], TeardownReason::Expired)]);
+        // Unknown id keepalive is reported.
+        assert!(!m.keepalive(ids[1], 70));
+    }
+
+    #[test]
+    fn route_change_tears_down_mismatched_tunnels() {
+        let mut m = TunnelManager::new();
+        let a = m.establish(1, 9, vec![2, 9], 0, 0);
+        let b = m.establish(4, 9, vec![3, 9], 0, 0);
+        let c = m.establish(5, 8, vec![3, 8], 0, 0);
+        // Our route to 9 is now [2, 9]: tunnel b (sold on [3, 9]) dies,
+        // tunnel a survives, tunnel c (other dest) untouched.
+        let dead = m.on_route_change(9, Some(&[2, 9]));
+        assert_eq!(dead, vec![b]);
+        assert!(m.get(a).is_some());
+        assert!(m.get(c).is_some());
+        // Destination unreachable: everything to 9 dies.
+        let dead = m.on_route_change(9, None);
+        assert_eq!(dead, vec![a]);
+    }
+
+    #[test]
+    fn peer_path_change_kills_all_tunnels_through_peer() {
+        let mut m = TunnelManager::new();
+        let a = m.establish(1, 9, vec![2, 9], 0, 0);
+        let _b = m.establish(1, 8, vec![2, 8], 0, 0);
+        let c = m.establish(2, 9, vec![3, 9], 0, 0);
+        let dead = m.on_peer_path_change(1);
+        assert_eq!(dead.len(), 2);
+        assert!(dead.contains(&a));
+        assert!(m.get(c).is_some());
+    }
+
+    #[test]
+    fn explicit_teardown() {
+        let mut m = mgr_with_two();
+        let id = m.iter().next().unwrap().id;
+        assert!(m.teardown(id));
+        assert!(!m.teardown(id), "double teardown is reported");
+        assert_eq!(m.torn_down.last(), Some(&(id, TeardownReason::PeerRequest)));
+    }
+
+    #[test]
+    fn adopt_rejects_id_collisions() {
+        let mut m = TunnelManager::new();
+        let t = Tunnel {
+            id: TunnelId(7),
+            peer: 1,
+            dest: 9,
+            path: vec![9],
+            price: 0,
+            last_heartbeat: 0,
+        };
+        assert!(m.adopt(t.clone()));
+        assert!(!m.adopt(t));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn iteration_is_id_ordered() {
+        let m = mgr_with_two();
+        let ids: Vec<u32> = m.iter().map(|t| t.id.0).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+}

@@ -1,0 +1,422 @@
+//! Wire encoding of the MIRO control-plane messages (Figure 4.2).
+//!
+//! The dissertation runs negotiations over "a persistent TCP connection"
+//! just like BGP (the RCP variant of section 4.1 centralizes the
+//! endpoint, not the protocol), so a deployable implementation needs a
+//! concrete message encoding. Format, in the BGP style:
+//!
+//! ```text
+//!   0      3 4       5 6      7 8
+//!   +-------+---------+--------+----
+//!   | MIRO  | version | type   | length (u16, total) | body...
+//!   +-------+---------+--------+----
+//! ```
+//!
+//! AS paths travel as 32-bit AS numbers (MIRO postdates 16-bit
+//! exhaustion; the BGP compatibility constraints of `miro-bgp::wire` do
+//! not apply to MIRO's own channel).
+
+use crate::export::Offer;
+use crate::negotiate::{Constraint, Message, NegotiationId, RejectReason};
+use crate::tunnel::TunnelId;
+use miro_bgp::route::CandidateRoute;
+use miro_topology::RouteClass;
+
+const MAGIC: &[u8; 4] = b"MIRO";
+const VERSION: u8 = 1;
+/// Fixed header: magic + version + type + length.
+pub const HEADER_LEN: usize = 8;
+
+/// Decode errors.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MiroWireError {
+    Truncated,
+    BadMagic,
+    BadVersion(u8),
+    BadType(u8),
+    Malformed(&'static str),
+    /// A length field exceeds the encodable range.
+    Overflow(&'static str),
+}
+
+impl std::fmt::Display for MiroWireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MiroWireError::Truncated => write!(f, "truncated message"),
+            MiroWireError::BadMagic => write!(f, "bad magic"),
+            MiroWireError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            MiroWireError::BadType(t) => write!(f, "unknown message type {t}"),
+            MiroWireError::Malformed(w) => write!(f, "malformed {w}"),
+            MiroWireError::Overflow(w) => write!(f, "{w} too large to encode"),
+        }
+    }
+}
+
+impl std::error::Error for MiroWireError {}
+
+fn class_tag(c: RouteClass) -> u8 {
+    match c {
+        RouteClass::Customer => 0,
+        RouteClass::Peer => 1,
+        RouteClass::Provider => 2,
+    }
+}
+
+fn class_from(t: u8) -> Result<RouteClass, MiroWireError> {
+    match t {
+        0 => Ok(RouteClass::Customer),
+        1 => Ok(RouteClass::Peer),
+        2 => Ok(RouteClass::Provider),
+        _ => Err(MiroWireError::Malformed("route class")),
+    }
+}
+
+/// Encode one control message.
+pub fn emit(msg: &Message) -> Result<Vec<u8>, MiroWireError> {
+    let mut body = Vec::new();
+    let ty: u8 = match msg {
+        Message::Request { id, dest, constraints } => {
+            body.extend_from_slice(&id.0.to_be_bytes());
+            body.extend_from_slice(&dest.to_be_bytes());
+            let n: u16 = constraints
+                .len()
+                .try_into()
+                .map_err(|_| MiroWireError::Overflow("constraint count"))?;
+            body.extend_from_slice(&n.to_be_bytes());
+            for c in constraints {
+                match *c {
+                    Constraint::AvoidAs(x) => {
+                        body.push(0);
+                        body.extend_from_slice(&x.to_be_bytes());
+                    }
+                    Constraint::MaxLen(l) => {
+                        body.push(1);
+                        let l: u16 = l
+                            .try_into()
+                            .map_err(|_| MiroWireError::Overflow("max length"))?;
+                        body.extend_from_slice(&l.to_be_bytes());
+                    }
+                    Constraint::MaxPrice(p) => {
+                        body.push(2);
+                        body.extend_from_slice(&p.to_be_bytes());
+                    }
+                }
+            }
+            1
+        }
+        Message::Offers { id, offers } => {
+            body.extend_from_slice(&id.0.to_be_bytes());
+            let n: u16 = offers
+                .len()
+                .try_into()
+                .map_err(|_| MiroWireError::Overflow("offer count"))?;
+            body.extend_from_slice(&n.to_be_bytes());
+            for o in offers {
+                body.extend_from_slice(&o.price.to_be_bytes());
+                body.push(class_tag(o.route.class));
+                let len: u8 = o
+                    .route
+                    .path
+                    .len()
+                    .try_into()
+                    .map_err(|_| MiroWireError::Overflow("path length"))?;
+                body.push(len);
+                for &hop in &o.route.path {
+                    body.extend_from_slice(&hop.to_be_bytes());
+                }
+            }
+            2
+        }
+        Message::Accept { id, choice } => {
+            body.extend_from_slice(&id.0.to_be_bytes());
+            let c: u16 = (*choice)
+                .try_into()
+                .map_err(|_| MiroWireError::Overflow("choice"))?;
+            body.extend_from_slice(&c.to_be_bytes());
+            3
+        }
+        Message::Established { id, tunnel } => {
+            body.extend_from_slice(&id.0.to_be_bytes());
+            body.extend_from_slice(&tunnel.0.to_be_bytes());
+            4
+        }
+        Message::Reject { id, reason } => {
+            body.extend_from_slice(&id.0.to_be_bytes());
+            body.push(match reason {
+                RejectReason::TunnelLimit => 0,
+                RejectReason::NotAllowed => 1,
+                RejectReason::NoCandidates => 2,
+                RejectReason::BadChoice => 3,
+            });
+            5
+        }
+        Message::Keepalive { tunnel } => {
+            body.extend_from_slice(&tunnel.0.to_be_bytes());
+            6
+        }
+        Message::Teardown { tunnel } => {
+            body.extend_from_slice(&tunnel.0.to_be_bytes());
+            7
+        }
+    };
+    let total = HEADER_LEN + body.len();
+    let total16: u16 =
+        total.try_into().map_err(|_| MiroWireError::Overflow("message"))?;
+    let mut out = Vec::with_capacity(total);
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    out.push(ty);
+    out.extend_from_slice(&total16.to_be_bytes());
+    out.extend_from_slice(&body);
+    Ok(out)
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], MiroWireError> {
+        if self.at + n > self.data.len() {
+            return Err(MiroWireError::Truncated);
+        }
+        let s = &self.data[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, MiroWireError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, MiroWireError> {
+        let s = self.take(2)?;
+        Ok(u16::from_be_bytes([s[0], s[1]]))
+    }
+    fn u32(&mut self) -> Result<u32, MiroWireError> {
+        let s = self.take(4)?;
+        Ok(u32::from_be_bytes([s[0], s[1], s[2], s[3]]))
+    }
+    fn u64(&mut self) -> Result<u64, MiroWireError> {
+        let s = self.take(8)?;
+        Ok(u64::from_be_bytes(s.try_into().expect("length checked")))
+    }
+    fn done(&self) -> bool {
+        self.at == self.data.len()
+    }
+}
+
+/// Decode one control message from the front of `data`; returns it and
+/// the bytes consumed.
+pub fn parse(data: &[u8]) -> Result<(Message, usize), MiroWireError> {
+    if data.len() < HEADER_LEN {
+        return Err(MiroWireError::Truncated);
+    }
+    if &data[..4] != MAGIC {
+        return Err(MiroWireError::BadMagic);
+    }
+    if data[4] != VERSION {
+        return Err(MiroWireError::BadVersion(data[4]));
+    }
+    let ty = data[5];
+    let total = u16::from_be_bytes([data[6], data[7]]) as usize;
+    if total < HEADER_LEN {
+        return Err(MiroWireError::Malformed("length field"));
+    }
+    if data.len() < total {
+        return Err(MiroWireError::Truncated);
+    }
+    let mut r = Reader { data: &data[HEADER_LEN..total], at: 0 };
+    let msg = match ty {
+        1 => {
+            let id = NegotiationId(r.u64()?);
+            let dest = r.u32()?;
+            let n = r.u16()?;
+            let mut constraints = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                let tag = r.u8()?;
+                constraints.push(match tag {
+                    0 => Constraint::AvoidAs(r.u32()?),
+                    1 => Constraint::MaxLen(r.u16()? as usize),
+                    2 => Constraint::MaxPrice(r.u32()?),
+                    _ => return Err(MiroWireError::Malformed("constraint tag")),
+                });
+            }
+            Message::Request { id, dest, constraints }
+        }
+        2 => {
+            let id = NegotiationId(r.u64()?);
+            let n = r.u16()?;
+            let mut offers = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                let price = r.u32()?;
+                let class = class_from(r.u8()?)?;
+                let len = r.u8()? as usize;
+                let mut path = Vec::with_capacity(len);
+                for _ in 0..len {
+                    path.push(r.u32()?);
+                }
+                offers.push(Offer { route: CandidateRoute { path, class }, price });
+            }
+            Message::Offers { id, offers }
+        }
+        3 => Message::Accept { id: NegotiationId(r.u64()?), choice: r.u16()? as usize },
+        4 => Message::Established {
+            id: NegotiationId(r.u64()?),
+            tunnel: TunnelId(r.u32()?),
+        },
+        5 => {
+            let id = NegotiationId(r.u64()?);
+            let reason = match r.u8()? {
+                0 => RejectReason::TunnelLimit,
+                1 => RejectReason::NotAllowed,
+                2 => RejectReason::NoCandidates,
+                3 => RejectReason::BadChoice,
+                _ => return Err(MiroWireError::Malformed("reject reason")),
+            };
+            Message::Reject { id, reason }
+        }
+        6 => Message::Keepalive { tunnel: TunnelId(r.u32()?) },
+        7 => Message::Teardown { tunnel: TunnelId(r.u32()?) },
+        t => return Err(MiroWireError::BadType(t)),
+    };
+    if !r.done() {
+        return Err(MiroWireError::Malformed("trailing bytes"));
+    }
+    Ok((msg, total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Message> {
+        vec![
+            Message::Request {
+                id: NegotiationId(42),
+                dest: 7,
+                constraints: vec![
+                    Constraint::AvoidAs(312),
+                    Constraint::MaxLen(5),
+                    Constraint::MaxPrice(250),
+                ],
+            },
+            Message::Offers {
+                id: NegotiationId(42),
+                offers: vec![
+                    Offer {
+                        route: CandidateRoute {
+                            path: vec![3, 6, 7],
+                            class: RouteClass::Peer,
+                        },
+                        price: 180,
+                    },
+                    Offer {
+                        route: CandidateRoute { path: vec![], class: RouteClass::Customer },
+                        price: 0,
+                    },
+                ],
+            },
+            Message::Accept { id: NegotiationId(42), choice: 1 },
+            Message::Established { id: NegotiationId(42), tunnel: TunnelId(7) },
+            Message::Reject { id: NegotiationId(9), reason: RejectReason::NoCandidates },
+            Message::Keepalive { tunnel: TunnelId(7) },
+            Message::Teardown { tunnel: TunnelId(7) },
+        ]
+    }
+
+    #[test]
+    fn every_message_round_trips() {
+        for m in samples() {
+            let bytes = emit(&m).expect("encodes");
+            let (parsed, used) = parse(&bytes).expect("own output parses");
+            assert_eq!(parsed, m);
+            assert_eq!(used, bytes.len());
+        }
+    }
+
+    #[test]
+    fn stream_of_messages_reassembles() {
+        let mut stream = Vec::new();
+        for m in samples() {
+            stream.extend(emit(&m).expect("encodes"));
+        }
+        let mut at = 0;
+        let mut count = 0;
+        while at < stream.len() {
+            let (_, used) = parse(&stream[at..]).expect("parses in sequence");
+            at += used;
+            count += 1;
+        }
+        assert_eq!(count, samples().len());
+    }
+
+    #[test]
+    fn header_violations_rejected() {
+        let bytes = emit(&Message::Keepalive { tunnel: TunnelId(1) }).unwrap();
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert_eq!(parse(&bad).unwrap_err(), MiroWireError::BadMagic);
+        let mut bad = bytes.clone();
+        bad[4] = 9;
+        assert_eq!(parse(&bad).unwrap_err(), MiroWireError::BadVersion(9));
+        let mut bad = bytes.clone();
+        bad[5] = 99;
+        assert_eq!(parse(&bad).unwrap_err(), MiroWireError::BadType(99));
+        assert_eq!(parse(&bytes[..4]).unwrap_err(), MiroWireError::Truncated);
+    }
+
+    #[test]
+    fn truncated_bodies_rejected() {
+        for m in samples() {
+            let bytes = emit(&m).unwrap();
+            for cut in HEADER_LEN..bytes.len() {
+                // Shortened buffer with the original length field: must be
+                // Truncated, never a panic or a wrong parse.
+                assert_eq!(
+                    parse(&bytes[..cut]).unwrap_err(),
+                    MiroWireError::Truncated,
+                    "cut at {cut}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_within_length_rejected() {
+        let mut bytes = emit(&Message::Accept { id: NegotiationId(1), choice: 0 }).unwrap();
+        // Grow the length field past the real body.
+        bytes.push(0xee);
+        let total = bytes.len() as u16;
+        bytes[6..8].copy_from_slice(&total.to_be_bytes());
+        assert_eq!(
+            parse(&bytes).unwrap_err(),
+            MiroWireError::Malformed("trailing bytes")
+        );
+    }
+
+    #[test]
+    fn bad_enum_tags_rejected() {
+        // Corrupt the constraint tag of a Request.
+        let m = Message::Request {
+            id: NegotiationId(1),
+            dest: 2,
+            constraints: vec![Constraint::AvoidAs(3)],
+        };
+        let mut bytes = emit(&m).unwrap();
+        let tag_at = HEADER_LEN + 8 + 4 + 2;
+        bytes[tag_at] = 7;
+        assert_eq!(
+            parse(&bytes).unwrap_err(),
+            MiroWireError::Malformed("constraint tag")
+        );
+    }
+
+    #[test]
+    fn arbitrary_garbage_never_panics() {
+        for seed in 0u8..100 {
+            let data: Vec<u8> =
+                (0..48).map(|i| seed.wrapping_mul(37).wrapping_add(i * 3)).collect();
+            let _ = parse(&data);
+        }
+    }
+}

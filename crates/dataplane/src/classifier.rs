@@ -1,0 +1,221 @@
+//! Traffic-splitting policies at the tunnel ingress (section 3.5).
+//!
+//! The upstream AS does not push *all* traffic into a tunnel: it installs
+//! classifiers matching header fields (addresses, ports, type-of-service)
+//! to send, say, real-time traffic over the low-latency negotiated path
+//! and best-effort traffic over the default route; and it can split load
+//! across several paths by hashing flows, as in multi-path forwarding
+//! within an AS (the TeXCP-style splitting the paper cites).
+
+use crate::ipv4::Ipv4Addr4;
+use crate::lpm::Prefix;
+
+/// The 5-tuple-plus-TOS a classifier sees.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct FlowKey {
+    pub src: Ipv4Addr4,
+    pub dst: Ipv4Addr4,
+    pub src_port: u16,
+    pub dst_port: u16,
+    pub protocol: u8,
+    pub tos: u8,
+}
+
+/// Where a classified packet goes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Action {
+    /// Follow the default (BGP) path.
+    Default,
+    /// Enter the tunnel with this id.
+    Tunnel(u32),
+    /// Drop (policy filtering — the "filter data packets based on their
+    /// contents" motivation of section 1.1 at header granularity).
+    Drop,
+}
+
+/// One match clause; `None` fields are wildcards.
+#[derive(Clone, Debug, Default)]
+pub struct Match {
+    pub src: Option<Prefix>,
+    pub dst: Option<Prefix>,
+    pub dst_port: Option<(u16, u16)>,
+    pub protocol: Option<u8>,
+    pub tos: Option<u8>,
+}
+
+impl Match {
+    pub fn matches(&self, k: &FlowKey) -> bool {
+        self.src.is_none_or(|p| p.covers(k.src))
+            && self.dst.is_none_or(|p| p.covers(k.dst))
+            && self.dst_port.is_none_or(|(lo, hi)| (lo..=hi).contains(&k.dst_port))
+            && self.protocol.is_none_or(|p| p == k.protocol)
+            && self.tos.is_none_or(|t| t == k.tos)
+    }
+}
+
+/// An ordered rule list; first match wins, default action if none match.
+pub struct Classifier {
+    rules: Vec<(Match, Action)>,
+}
+
+impl Classifier {
+    pub fn new(rules: Vec<(Match, Action)>) -> Self {
+        Classifier { rules }
+    }
+
+    pub fn classify(&self, k: &FlowKey) -> Action {
+        self.rules
+            .iter()
+            .find(|(m, _)| m.matches(k))
+            .map(|&(_, a)| a)
+            .unwrap_or(Action::Default)
+    }
+
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+}
+
+/// Deterministic flow hashing (FNV-1a over the flow key) splitting flows
+/// across weighted paths. All packets of one flow take the same path —
+/// the property that keeps TCP in order.
+pub struct HashSplitter {
+    /// (weight, path id); weights need not be normalized.
+    paths: Vec<(u32, u32)>,
+    total: u64,
+}
+
+impl HashSplitter {
+    /// # Panics
+    /// If `paths` is empty or all weights are zero.
+    pub fn new(paths: Vec<(u32, u32)>) -> Self {
+        let total: u64 = paths.iter().map(|&(w, _)| w as u64).sum();
+        assert!(total > 0, "splitter needs at least one positive weight");
+        HashSplitter { paths, total }
+    }
+
+    fn hash(k: &FlowKey) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |b: u8| {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        };
+        for b in k.src.0.iter().chain(&k.dst.0) {
+            eat(*b);
+        }
+        for b in k.src_port.to_be_bytes().iter().chain(&k.dst_port.to_be_bytes()) {
+            eat(*b);
+        }
+        eat(k.protocol);
+        // FNV's low bits are weak (they would bias `% total`); finish with
+        // a murmur3-style avalanche so every bit of the key reaches every
+        // bit of the hash.
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+        h ^= h >> 33;
+        h
+    }
+
+    /// The path id this flow maps to.
+    pub fn path_for(&self, k: &FlowKey) -> u32 {
+        let mut slot = Self::hash(k) % self.total;
+        for &(w, id) in &self.paths {
+            if slot < w as u64 {
+                return id;
+            }
+            slot -= w as u64;
+        }
+        unreachable!("slot within total weight")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(dst_port: u16, tos: u8) -> FlowKey {
+        FlowKey {
+            src: Ipv4Addr4::new(10, 0, 0, 1),
+            dst: Ipv4Addr4::new(12, 34, 56, 78),
+            src_port: 5555,
+            dst_port,
+            protocol: 6,
+            tos,
+        }
+    }
+
+    #[test]
+    fn first_match_wins_default_otherwise() {
+        // Section 3.5's example policy: real-time (low TOS delay bit ->
+        // here tos=0xb8) via the tunnel, everything else default.
+        let c = Classifier::new(vec![
+            (Match { tos: Some(0xb8), ..Default::default() }, Action::Tunnel(7)),
+            (
+                Match { dst_port: Some((0, 1023)), ..Default::default() },
+                Action::Drop,
+            ),
+        ]);
+        assert_eq!(c.classify(&key(80, 0xb8)), Action::Tunnel(7), "rule order");
+        assert_eq!(c.classify(&key(80, 0)), Action::Drop);
+        assert_eq!(c.classify(&key(8080, 0)), Action::Default);
+    }
+
+    #[test]
+    fn prefix_and_protocol_matching() {
+        let c = Classifier::new(vec![(
+            Match {
+                dst: Some(Prefix::new(Ipv4Addr4::new(12, 34, 0, 0), 16)),
+                protocol: Some(17),
+                ..Default::default()
+            },
+            Action::Tunnel(9),
+        )]);
+        let mut k = key(53, 0);
+        k.protocol = 17;
+        assert_eq!(c.classify(&k), Action::Tunnel(9));
+        k.dst = Ipv4Addr4::new(99, 0, 0, 1);
+        assert_eq!(c.classify(&k), Action::Default);
+    }
+
+    #[test]
+    fn splitter_is_deterministic_per_flow() {
+        let s = HashSplitter::new(vec![(1, 100), (1, 200)]);
+        let k = key(80, 0);
+        let p = s.path_for(&k);
+        for _ in 0..10 {
+            assert_eq!(s.path_for(&k), p, "same flow, same path");
+        }
+    }
+
+    #[test]
+    fn splitter_respects_weights_roughly() {
+        // 3:1 weights should land near 75/25 over many flows.
+        let s = HashSplitter::new(vec![(3, 1), (1, 2)]);
+        let mut first = 0;
+        let n = 4000;
+        for i in 0..n {
+            let mut k = key(1024 + (i % 50000) as u16, 0);
+            k.src = Ipv4Addr4::from_u32(0x0a000000 + i);
+            if s.path_for(&k) == 1 {
+                first += 1;
+            }
+        }
+        let frac = first as f64 / n as f64;
+        assert!(
+            (0.68..0.82).contains(&frac),
+            "3:1 split should be near 75%: {frac}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive weight")]
+    fn zero_weight_splitter_rejected() {
+        let _ = HashSplitter::new(vec![(0, 1)]);
+    }
+}

@@ -1,0 +1,322 @@
+//! IP-in-IP encapsulation with the MIRO shim, and the three
+//! tunnel-endpoint addressing schemes of section 4.2.
+//!
+//! On tunnel entry the upstream AS wraps the original packet in a new
+//! outer IPv4 header addressed to the downstream AS's tunnel endpoint;
+//! between the two sits an 8-byte MIRO shim carrying the tunnel
+//! identifier (needed because an egress router may serve many tunnels and
+//! must pick the right exit link — "directed forwarding"). On exit, shim
+//! and outer header are stripped to reveal the original packet, possibly
+//! itself another tunnel ("a tunnel inside another tunnel").
+
+use crate::ipv4::{Ipv4Addr4, Ipv4Error, Ipv4Header, PROTO_MIRO};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Errors from tunnel encapsulation/decapsulation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EncapError {
+    /// Outer or inner IPv4 header failed to parse.
+    Ip(Ipv4Error),
+    /// The outer protocol is not the MIRO shim.
+    NotMiro,
+    /// Shim truncated or bad magic.
+    BadShim,
+    /// Inner packet exceeds what the 16-bit total-length field can carry.
+    TooLarge,
+}
+
+impl From<Ipv4Error> for EncapError {
+    fn from(e: Ipv4Error) -> Self {
+        EncapError::Ip(e)
+    }
+}
+
+impl std::fmt::Display for EncapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EncapError::Ip(e) => write!(f, "ip: {e}"),
+            EncapError::NotMiro => write!(f, "outer protocol is not MIRO"),
+            EncapError::BadShim => write!(f, "malformed MIRO shim"),
+            EncapError::TooLarge => write!(f, "inner packet too large"),
+        }
+    }
+}
+
+impl std::error::Error for EncapError {}
+
+/// The 8-byte MIRO shim: magic, version, flags, tunnel id.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MiroShim {
+    pub tunnel_id: u32,
+    pub flags: u8,
+}
+
+impl MiroShim {
+    pub const LEN: usize = 8;
+    const MAGIC: u8 = 0x4d; // 'M'
+    const VERSION: u8 = 1;
+
+    pub fn emit(&self, buf: &mut BytesMut) {
+        buf.put_u8(Self::MAGIC);
+        buf.put_u8(Self::VERSION);
+        buf.put_u8(self.flags);
+        buf.put_u8(0); // reserved
+        buf.put_u32(self.tunnel_id);
+    }
+
+    pub fn parse(data: &mut Bytes) -> Result<MiroShim, EncapError> {
+        if data.len() < Self::LEN {
+            return Err(EncapError::BadShim);
+        }
+        let magic = data.get_u8();
+        let version = data.get_u8();
+        let flags = data.get_u8();
+        let _reserved = data.get_u8();
+        let tunnel_id = data.get_u32();
+        if magic != Self::MAGIC || version != Self::VERSION {
+            return Err(EncapError::BadShim);
+        }
+        Ok(MiroShim { tunnel_id, flags })
+    }
+}
+
+/// Wrap `inner` (a complete IPv4 packet) for tunnel `tunnel_id` toward
+/// `endpoint`, sourced from `ingress`.
+pub fn encapsulate(
+    inner: &Bytes,
+    ingress: Ipv4Addr4,
+    endpoint: Ipv4Addr4,
+    tunnel_id: u32,
+) -> Result<Bytes, EncapError> {
+    let payload_len = MiroShim::LEN + inner.len();
+    if payload_len > (u16::MAX as usize) - Ipv4Header::LEN {
+        return Err(EncapError::TooLarge);
+    }
+    let outer = Ipv4Header::new(ingress, endpoint, PROTO_MIRO, payload_len as u16);
+    let mut buf = BytesMut::with_capacity(Ipv4Header::LEN + payload_len);
+    outer.emit(&mut buf);
+    MiroShim { tunnel_id, flags: 0 }.emit(&mut buf);
+    buf.put_slice(inner);
+    Ok(buf.freeze())
+}
+
+/// Strip the outer header and shim; returns (outer header, shim, inner
+/// packet bytes).
+pub fn decapsulate(packet: Bytes) -> Result<(Ipv4Header, MiroShim, Bytes), EncapError> {
+    let (outer, mut payload) = Ipv4Header::parse(packet)?;
+    if outer.protocol != PROTO_MIRO {
+        return Err(EncapError::NotMiro);
+    }
+    let shim = MiroShim::parse(&mut payload)?;
+    Ok((outer, shim, payload))
+}
+
+/// The three ways a downstream AS can name its tunnel endpoint
+/// (section 4.2), with the trade-offs the paper discusses.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EndpointScheme {
+    /// One reserved address per **exit link**: the exit is encoded in the
+    /// destination address itself; the egress router needs no shim lookup
+    /// but internal topology is exposed and addresses are consumed per
+    /// link.
+    PerExitLink {
+        /// (exit link id, address) pairs.
+        links: Vec<(u32, Ipv4Addr4)>,
+    },
+    /// One address per **egress router**: fewer addresses, but the egress
+    /// router must map tunnel id -> exit link (directed forwarding).
+    PerEgressRouter {
+        /// (router id, address) pairs.
+        routers: Vec<(u32, Ipv4Addr4)>,
+    },
+    /// One reserved address for **all tunnels**: nothing internal is
+    /// revealed, the AS can re-home tunnels freely, but every ingress
+    /// router must rewrite the destination to the chosen egress — a
+    /// data-plane modification at all ingresses.
+    SingleAddress {
+        address: Ipv4Addr4,
+        /// tunnel id -> candidate egress router addresses; the ingress
+        /// picks the IGP-closest (here: the first).
+        egress_map: Vec<(u32, Vec<Ipv4Addr4>)>,
+    },
+}
+
+impl EndpointScheme {
+    /// The address the downstream AS advertises for `tunnel_id` (what the
+    /// upstream puts in the outer header).
+    pub fn advertised_endpoint(&self, tunnel_id: u32, exit_link: u32) -> Option<Ipv4Addr4> {
+        match self {
+            EndpointScheme::PerExitLink { links } => links
+                .iter()
+                .find(|&&(l, _)| l == exit_link)
+                .map(|&(_, a)| a),
+            EndpointScheme::PerEgressRouter { routers } => {
+                // The egress router owning the exit link; caller passes the
+                // router id in `exit_link`'s upper bits by convention — we
+                // model it as router id == exit_link / 16.
+                let router = exit_link / 16;
+                routers.iter().find(|&&(r, _)| r == router).map(|&(_, a)| a)
+            }
+            EndpointScheme::SingleAddress { address, egress_map } => {
+                egress_map.iter().find(|&&(t, _)| t == tunnel_id)?;
+                Some(*address)
+            }
+        }
+    }
+
+    /// Ingress-side rewriting (only the single-address scheme does any):
+    /// returns the concrete egress address for a packet to `dst` with
+    /// `tunnel_id`, or `dst` unchanged.
+    pub fn ingress_rewrite(&self, dst: Ipv4Addr4, tunnel_id: u32) -> Option<Ipv4Addr4> {
+        match self {
+            EndpointScheme::SingleAddress { address, egress_map } if dst == *address => {
+                egress_map
+                    .iter()
+                    .find(|&&(t, _)| t == tunnel_id)
+                    .and_then(|(_, routers)| routers.first().copied())
+            }
+            _ => Some(dst),
+        }
+    }
+
+    /// Does this scheme expose internal structure to the upstream AS?
+    /// (The section 4.2 trade-off the ablation bench measures alongside
+    /// per-packet cost.)
+    pub fn exposes_internal_topology(&self) -> bool {
+        !matches!(self, EndpointScheme::SingleAddress { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ipv4::PROTO_IPIP;
+
+    fn inner_packet() -> Bytes {
+        Ipv4Header::new(
+            Ipv4Addr4::new(10, 1, 1, 1),
+            Ipv4Addr4::new(12, 34, 56, 78),
+            6,
+            5,
+        )
+        .emit_with_payload(b"hello")
+    }
+
+    #[test]
+    fn encap_decap_round_trip() {
+        let inner = inner_packet();
+        let pkt = encapsulate(
+            &inner,
+            Ipv4Addr4::new(10, 9, 9, 9),
+            Ipv4Addr4::new(12, 34, 56, 102),
+            7,
+        )
+        .unwrap();
+        let (outer, shim, got) = decapsulate(pkt).unwrap();
+        assert_eq!(outer.dst, Ipv4Addr4::new(12, 34, 56, 102));
+        assert_eq!(outer.protocol, PROTO_MIRO);
+        assert_eq!(shim.tunnel_id, 7);
+        assert_eq!(got, inner);
+        // The revealed inner packet parses as the original.
+        let (ih, payload) = Ipv4Header::parse(got).unwrap();
+        assert_eq!(ih.dst, Ipv4Addr4::new(12, 34, 56, 78));
+        assert_eq!(&payload[..], b"hello");
+    }
+
+    #[test]
+    fn nested_tunnels() {
+        // "a tunnel inside another tunnel" (section 4.2).
+        let inner = inner_packet();
+        let t1 = encapsulate(&inner, Ipv4Addr4::new(1, 1, 1, 1), Ipv4Addr4::new(2, 2, 2, 2), 7)
+            .unwrap();
+        let t2 =
+            encapsulate(&t1, Ipv4Addr4::new(3, 3, 3, 3), Ipv4Addr4::new(4, 4, 4, 4), 9).unwrap();
+        let (_, shim2, peeled) = decapsulate(t2).unwrap();
+        assert_eq!(shim2.tunnel_id, 9);
+        let (_, shim1, orig) = decapsulate(peeled).unwrap();
+        assert_eq!(shim1.tunnel_id, 7);
+        assert_eq!(orig, inner);
+    }
+
+    #[test]
+    fn non_miro_outer_rejected() {
+        let inner = inner_packet();
+        let outer = Ipv4Header::new(
+            Ipv4Addr4::new(1, 1, 1, 1),
+            Ipv4Addr4::new(2, 2, 2, 2),
+            PROTO_IPIP,
+            inner.len() as u16,
+        );
+        let pkt = outer.emit_with_payload(&inner);
+        assert_eq!(decapsulate(pkt).unwrap_err(), EncapError::NotMiro);
+    }
+
+    #[test]
+    fn corrupt_shim_rejected() {
+        let inner = inner_packet();
+        let pkt = encapsulate(&inner, Ipv4Addr4::new(1, 1, 1, 1), Ipv4Addr4::new(2, 2, 2, 2), 7)
+            .unwrap();
+        let mut bad = BytesMut::from(&pkt[..]);
+        bad[Ipv4Header::LEN] = 0x00; // clobber the magic
+        assert_eq!(decapsulate(bad.freeze()).unwrap_err(), EncapError::BadShim);
+    }
+
+    #[test]
+    fn per_exit_link_scheme() {
+        let s = EndpointScheme::PerExitLink {
+            links: vec![
+                (1, Ipv4Addr4::new(12, 34, 56, 101)),
+                (2, Ipv4Addr4::new(12, 34, 56, 102)),
+            ],
+        };
+        assert_eq!(
+            s.advertised_endpoint(7, 2),
+            Some(Ipv4Addr4::new(12, 34, 56, 102))
+        );
+        assert_eq!(s.advertised_endpoint(7, 9), None);
+        assert!(s.exposes_internal_topology());
+        // No rewriting.
+        let d = Ipv4Addr4::new(12, 34, 56, 101);
+        assert_eq!(s.ingress_rewrite(d, 7), Some(d));
+    }
+
+    #[test]
+    fn single_address_scheme_rewrites_at_ingress() {
+        let reserved = Ipv4Addr4::new(12, 34, 56, 100);
+        let s = EndpointScheme::SingleAddress {
+            address: reserved,
+            egress_map: vec![(7, vec![Ipv4Addr4::new(12, 34, 56, 2), Ipv4Addr4::new(12, 34, 56, 3)])],
+        };
+        assert_eq!(s.advertised_endpoint(7, 0), Some(reserved));
+        assert_eq!(s.advertised_endpoint(8, 0), None, "unknown tunnel");
+        assert_eq!(
+            s.ingress_rewrite(reserved, 7),
+            Some(Ipv4Addr4::new(12, 34, 56, 2)),
+            "ingress replaces the reserved address (the R1 example)"
+        );
+        assert!(!s.exposes_internal_topology());
+        // Other destinations pass through untouched.
+        let other = Ipv4Addr4::new(9, 9, 9, 9);
+        assert_eq!(s.ingress_rewrite(other, 7), Some(other));
+    }
+
+    #[test]
+    fn per_egress_router_scheme() {
+        let s = EndpointScheme::PerEgressRouter {
+            routers: vec![(0, Ipv4Addr4::new(12, 34, 56, 2)), (1, Ipv4Addr4::new(12, 34, 56, 3))],
+        };
+        // Exit link 17 belongs to router 1 under the /16 convention.
+        assert_eq!(s.advertised_endpoint(7, 17), Some(Ipv4Addr4::new(12, 34, 56, 3)));
+        assert!(s.exposes_internal_topology());
+    }
+
+    #[test]
+    fn oversized_inner_rejected() {
+        let big = Bytes::from(vec![0u8; u16::MAX as usize]);
+        assert_eq!(
+            encapsulate(&big, Ipv4Addr4::new(1, 1, 1, 1), Ipv4Addr4::new(2, 2, 2, 2), 1)
+                .unwrap_err(),
+            EncapError::TooLarge
+        );
+    }
+}

@@ -1,0 +1,240 @@
+//! Longest-prefix-match forwarding table (binary trie).
+//!
+//! BGP's destination-based forwarding (section 2.1.1) performs a
+//! longest-prefix match on the destination address: `12.34.56.78` matches
+//! `12.34.0.0/16` unless a more specific `12.34.56.0/24` exists. This is
+//! also how multi-homed stubs today hack inbound control by announcing
+//! smaller subnets (section 1.2 footnote), so the experiments comparing
+//! MIRO against that practice need a real LPM.
+
+use crate::ipv4::Ipv4Addr4;
+
+/// A prefix: address plus mask length.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Prefix {
+    pub addr: Ipv4Addr4,
+    pub len: u8,
+}
+
+impl Prefix {
+    /// Construct, canonicalizing host bits to zero. Panics if `len > 32`.
+    pub fn new(addr: Ipv4Addr4, len: u8) -> Prefix {
+        assert!(len <= 32, "prefix length out of range");
+        let raw = addr.to_u32();
+        let masked = if len == 0 { 0 } else { raw & (!0u32 << (32 - len)) };
+        Prefix { addr: Ipv4Addr4::from_u32(masked), len }
+    }
+
+    /// Does this prefix cover `addr`?
+    pub fn covers(&self, addr: Ipv4Addr4) -> bool {
+        if self.len == 0 {
+            return true;
+        }
+        let mask = !0u32 << (32 - self.len);
+        (addr.to_u32() & mask) == self.addr.to_u32()
+    }
+}
+
+impl std::fmt::Display for Prefix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.addr, self.len)
+    }
+}
+
+#[derive(Default)]
+struct Node<T> {
+    children: [Option<Box<Node<T>>>; 2],
+    value: Option<T>,
+}
+
+/// A binary trie keyed by IPv4 prefixes.
+///
+/// ```
+/// use miro_dataplane::ipv4::Ipv4Addr4;
+/// use miro_dataplane::lpm::{Prefix, PrefixTrie};
+///
+/// // The Table 1.1 situation: a /24 shadows the /16 it sits inside.
+/// let mut t = PrefixTrie::new();
+/// t.insert(Prefix::new(Ipv4Addr4::new(128, 112, 0, 0), 16), "via 10466");
+/// t.insert(Prefix::new(Ipv4Addr4::new(128, 113, 11, 0), 24), "via 3754");
+/// let (p, next) = t.lookup(Ipv4Addr4::new(128, 113, 11, 9)).unwrap();
+/// assert_eq!(*next, "via 3754");
+/// assert_eq!(p.len, 24);
+/// ```
+pub struct PrefixTrie<T> {
+    root: Node<T>,
+    len: usize,
+}
+
+impl<T> Default for PrefixTrie<T> {
+    fn default() -> Self {
+        PrefixTrie { root: Node { children: [None, None], value: None }, len: 0 }
+    }
+}
+
+impl<T> PrefixTrie<T> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored prefixes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert (or replace) the entry for `prefix`. Returns the previous
+    /// value if the prefix was already present.
+    pub fn insert(&mut self, prefix: Prefix, value: T) -> Option<T> {
+        let bits = prefix.addr.to_u32();
+        let mut node = &mut self.root;
+        for i in 0..prefix.len {
+            let b = ((bits >> (31 - i)) & 1) as usize;
+            node = node.children[b]
+                .get_or_insert_with(|| Box::new(Node { children: [None, None], value: None }));
+        }
+        let old = node.value.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Remove the entry for exactly `prefix`.
+    pub fn remove(&mut self, prefix: Prefix) -> Option<T> {
+        let bits = prefix.addr.to_u32();
+        let mut node = &mut self.root;
+        for i in 0..prefix.len {
+            let b = ((bits >> (31 - i)) & 1) as usize;
+            node = node.children[b].as_deref_mut()?;
+        }
+        let old = node.value.take();
+        if old.is_some() {
+            self.len -= 1;
+        }
+        old
+    }
+
+    /// Longest-prefix match: the most specific entry covering `addr`.
+    pub fn lookup(&self, addr: Ipv4Addr4) -> Option<(Prefix, &T)> {
+        let bits = addr.to_u32();
+        let mut node = &self.root;
+        let mut best: Option<(u8, &T)> = node.value.as_ref().map(|v| (0, v));
+        for i in 0..32u8 {
+            let b = ((bits >> (31 - i)) & 1) as usize;
+            match node.children[b].as_deref() {
+                Some(next) => {
+                    node = next;
+                    if let Some(v) = node.value.as_ref() {
+                        best = Some((i + 1, v));
+                    }
+                }
+                None => break,
+            }
+        }
+        best.map(|(len, v)| (Prefix::new(addr, len), v))
+    }
+
+    /// Exact-match lookup.
+    pub fn get(&self, prefix: Prefix) -> Option<&T> {
+        let bits = prefix.addr.to_u32();
+        let mut node = &self.root;
+        for i in 0..prefix.len {
+            let b = ((bits >> (31 - i)) & 1) as usize;
+            node = node.children[b].as_deref()?;
+        }
+        node.value.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(a: u8, b: u8, c: u8, d: u8, len: u8) -> Prefix {
+        Prefix::new(Ipv4Addr4::new(a, b, c, d), len)
+    }
+
+    #[test]
+    fn longest_match_wins() {
+        // The Table 1.1 / section 2.1.1 example: a /24 shadows the /16.
+        let mut t = PrefixTrie::new();
+        t.insert(p(12, 34, 0, 0, 16), "via-16");
+        t.insert(p(12, 34, 56, 0, 24), "via-24");
+        let hit = t.lookup(Ipv4Addr4::new(12, 34, 56, 78)).unwrap();
+        assert_eq!(*hit.1, "via-24");
+        assert_eq!(hit.0, p(12, 34, 56, 0, 24));
+        let hit = t.lookup(Ipv4Addr4::new(12, 34, 99, 1)).unwrap();
+        assert_eq!(*hit.1, "via-16");
+        assert!(t.lookup(Ipv4Addr4::new(99, 0, 0, 1)).is_none());
+    }
+
+    #[test]
+    fn default_route() {
+        let mut t = PrefixTrie::new();
+        t.insert(p(0, 0, 0, 0, 0), "default");
+        t.insert(p(10, 0, 0, 0, 8), "ten");
+        assert_eq!(*t.lookup(Ipv4Addr4::new(1, 2, 3, 4)).unwrap().1, "default");
+        assert_eq!(*t.lookup(Ipv4Addr4::new(10, 2, 3, 4)).unwrap().1, "ten");
+    }
+
+    #[test]
+    fn insert_replace_remove() {
+        let mut t = PrefixTrie::new();
+        assert_eq!(t.insert(p(10, 0, 0, 0, 8), 1), None);
+        assert_eq!(t.insert(p(10, 0, 0, 0, 8), 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(p(10, 0, 0, 0, 8)), Some(&2));
+        assert_eq!(t.remove(p(10, 0, 0, 0, 8)), Some(2));
+        assert_eq!(t.remove(p(10, 0, 0, 0, 8)), None);
+        assert!(t.is_empty());
+        assert!(t.lookup(Ipv4Addr4::new(10, 1, 1, 1)).is_none());
+    }
+
+    #[test]
+    fn host_bits_canonicalized() {
+        assert_eq!(p(12, 34, 56, 78, 16), p(12, 34, 0, 0, 16));
+        let mut t = PrefixTrie::new();
+        t.insert(p(12, 34, 56, 78, 16), "x");
+        assert_eq!(t.get(p(12, 34, 0, 0, 16)), Some(&"x"));
+    }
+
+    #[test]
+    fn covers() {
+        assert!(p(128, 112, 0, 0, 16).covers(Ipv4Addr4::new(128, 112, 7, 7)));
+        assert!(!p(128, 112, 0, 0, 16).covers(Ipv4Addr4::new(128, 113, 7, 7)));
+        assert!(p(0, 0, 0, 0, 0).covers(Ipv4Addr4::new(255, 255, 255, 255)));
+    }
+
+    #[test]
+    fn removing_specific_falls_back_to_general() {
+        let mut t = PrefixTrie::new();
+        t.insert(p(12, 34, 0, 0, 16), "general");
+        t.insert(p(12, 34, 56, 0, 24), "specific");
+        t.remove(p(12, 34, 56, 0, 24));
+        assert_eq!(*t.lookup(Ipv4Addr4::new(12, 34, 56, 78)).unwrap().1, "general");
+    }
+
+    #[test]
+    fn dense_insertion_lookup_agrees_with_linear_scan() {
+        let mut t = PrefixTrie::new();
+        let mut table = Vec::new();
+        for i in 0u32..200 {
+            let pr = Prefix::new(Ipv4Addr4::from_u32(i << 22), (8 + (i % 17)) as u8);
+            t.insert(pr, i);
+            table.push((pr, i));
+        }
+        for probe in (0u32..=u32::MAX).step_by(0x0123_4567) {
+            let addr = Ipv4Addr4::from_u32(probe);
+            let expect = table
+                .iter()
+                .filter(|(pr, _)| pr.covers(addr))
+                .max_by_key(|(pr, _)| pr.len)
+                .map(|&(_, v)| v);
+            assert_eq!(t.lookup(addr).map(|(_, &v)| v), expect, "addr {addr}");
+        }
+    }
+}

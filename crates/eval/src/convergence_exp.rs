@@ -1,0 +1,98 @@
+//! Figures 7.1 and 7.2 as runnable experiments: the counter-example
+//! gadgets executed under each guideline, reporting convergence outcome
+//! and flap counts.
+
+use miro_convergence::gadgets::{fig7_1, fig7_2, fig7_2_guideline_d_config, sim_for};
+use miro_convergence::{Guideline, SimOutcome};
+use serde::Serialize;
+
+/// One gadget-under-config run.
+#[derive(Serialize, Clone, Debug)]
+pub struct GadgetRun {
+    pub config: String,
+    pub converged: bool,
+    pub rounds: usize,
+    pub establishments: usize,
+    pub teardowns: usize,
+    pub tunnels_up: usize,
+}
+
+fn run_one(
+    topo: &miro_topology::Topology,
+    desires: &[miro_convergence::Desire],
+    label: &str,
+    config: miro_convergence::GuidelineConfig,
+    rounds: usize,
+) -> GadgetRun {
+    let mut sim = sim_for(topo, desires, config);
+    let out = sim.run(1, rounds);
+    GadgetRun {
+        config: label.to_string(),
+        converged: out.converged(),
+        rounds: match out {
+            SimOutcome::Converged { rounds } | SimOutcome::Diverged { rounds } => rounds,
+        },
+        establishments: sim.establishments.iter().sum(),
+        teardowns: sim.teardowns.iter().sum(),
+        tunnels_up: sim.established_count(),
+    }
+}
+
+/// Figure 7.1: the BAD-GADGET-style configuration, raw and under
+/// Guidelines B and C.
+pub fn run_fig7_1(budget_rounds: usize) -> Vec<GadgetRun> {
+    let (t, _, desires) = fig7_1();
+    vec![
+        run_one(&t, &desires, "unrestricted", Guideline::Unrestricted.config(), budget_rounds),
+        run_one(&t, &desires, "guideline B", Guideline::B.config(), budget_rounds),
+        run_one(&t, &desires, "guideline C", Guideline::C.config(), budget_rounds),
+    ]
+}
+
+/// Figure 7.2: the strict-policy counter-example, raw and under
+/// Guidelines D and E.
+pub fn run_fig7_2(budget_rounds: usize) -> Vec<GadgetRun> {
+    let (t, nodes, desires) = fig7_2();
+    let strict_effective = miro_convergence::GuidelineConfig {
+        offer: miro_convergence::OfferRule::SameClassCandidates,
+        transport: miro_convergence::TransportRule::Effective,
+        gate: miro_convergence::PreferenceGate::Always,
+        advertise_to_leaves: false,
+    };
+    vec![
+        run_one(&t, &desires, "strict, no order (unrestricted)", strict_effective, budget_rounds),
+        run_one(&t, &desires, "guideline D (partial order)", fig7_2_guideline_d_config(nodes), budget_rounds),
+        run_one(&t, &desires, "guideline E (pinned BGP)", Guideline::E.config(), budget_rounds),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_1_outcomes_match_the_paper() {
+        let runs = run_fig7_1(200);
+        assert!(!runs[0].converged, "unrestricted must oscillate");
+        assert!(runs[1].converged, "guideline B must converge");
+        assert!(runs[2].converged, "guideline C must converge");
+        assert_eq!(runs[1].tunnels_up, 3);
+    }
+
+    #[test]
+    fn fig7_2_outcomes_match_the_paper() {
+        let runs = run_fig7_2(200);
+        assert!(!runs[0].converged, "strict alone must oscillate");
+        assert!(runs[1].converged, "guideline D must converge");
+        assert!(runs[2].converged, "guideline E must converge");
+        assert_eq!(runs[1].tunnels_up, 2, "the order forbids the cycle-closer");
+        assert_eq!(runs[2].tunnels_up, 3, "pinned transport allows all three");
+    }
+
+    #[test]
+    fn oscillation_flap_counts_scale_with_budget() {
+        let short = run_fig7_1(50);
+        let long = run_fig7_1(500);
+        assert!(long[0].teardowns > short[0].teardowns * 5);
+    }
+}

@@ -1,0 +1,162 @@
+//! Figures 5.4/5.5: incremental deployment.
+//!
+//! Only a fraction of ASes speak MIRO; the requester can negotiate only
+//! with deployed on-path ASes. Adoption proceeds in decreasing node-degree
+//! order ("the likely scenario where the nodes with higher degree adopt
+//! MIRO first"), with a low-degree-first control showing edge-first
+//! deployment is ineffective. The y-axis normalizes negotiated successes
+//! to ubiquitous deployment under the most flexible policy, over the
+//! triples single-path routing cannot satisfy.
+
+use crate::avoid::TripleProbe;
+use crate::datasets::Dataset;
+use miro_topology::stats::nodes_by_degree_desc;
+use serde::Serialize;
+
+/// The adoption fractions swept (log-ish scale, as in the figure).
+pub const ADOPTION_FRACTIONS: [f64; 10] =
+    [0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0];
+
+/// One deployment curve: per adoption fraction, the benefit ratio.
+#[derive(Serialize, Clone, Debug)]
+pub struct DeployCurve {
+    pub label: String,
+    /// (fraction of ASes deployed, fraction of the full-deployment
+    /// flexible-policy gain achieved).
+    pub points: Vec<(f64, f64)>,
+}
+
+/// The Figure 5.4/5.5 result for one dataset.
+#[derive(Serialize, Clone, Debug)]
+pub struct DeployResult {
+    pub dataset: String,
+    /// Three curves (one per policy), high-degree-first adoption.
+    pub by_degree: Vec<DeployCurve>,
+    /// Control: flexible policy, lowest-degree-first adoption.
+    pub low_degree_first: DeployCurve,
+}
+
+fn mask_for(order: &[miro_topology::NodeId], n_nodes: usize, k: usize) -> Vec<bool> {
+    let mut mask = vec![false; n_nodes];
+    for &x in order.iter().take(k) {
+        mask[x as usize] = true;
+    }
+    mask
+}
+
+/// Run the experiment from pre-computed probes (shared with Table 5.2/5.3).
+pub fn fig5_4(ds: &Dataset, probes: &[TripleProbe]) -> DeployResult {
+    let order = nodes_by_degree_desc(&ds.topo);
+    let n = ds.topo.num_nodes();
+    // Base: full deployment, flexible policy, over single-path failures.
+    let need: Vec<&TripleProbe> = probes.iter().filter(|p| !p.single).collect();
+    let base = need.iter().filter(|p| p.success(2, None)).count().max(1);
+
+    let curve = |label: String, order: &[miro_topology::NodeId], policy: usize| {
+        let points = ADOPTION_FRACTIONS
+            .iter()
+            .map(|&f| {
+                let k = ((n as f64 * f).ceil() as usize).max(1).min(n);
+                let mask = mask_for(order, n, k);
+                let wins = need
+                    .iter()
+                    .filter(|p| !p.single && p.success(policy, Some(&mask)))
+                    .count();
+                (f, wins as f64 / base as f64)
+            })
+            .collect();
+        DeployCurve { label, points }
+    };
+
+    let by_degree = (0..3)
+        .map(|p| {
+            curve(
+                format!("high-degree first {}", ["/s", "/e", "/a"][p]),
+                &order,
+                p,
+            )
+        })
+        .collect();
+    let mut reversed = order.clone();
+    reversed.reverse();
+    let low_degree_first =
+        curve("low-degree first /a".to_string(), &reversed, 2);
+    DeployResult {
+        dataset: ds.preset.name().to_string(),
+        by_degree,
+        low_degree_first,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::avoid::sample_probes;
+    use crate::datasets::EvalConfig;
+    use miro_topology::gen::DatasetPreset;
+
+    fn run() -> DeployResult {
+        let cfg = EvalConfig::test_tiny();
+        let ds = Dataset::build(DatasetPreset::Gao2005, &cfg);
+        let probes = sample_probes(&ds, &cfg);
+        fig5_4(&ds, &probes)
+    }
+
+    #[test]
+    fn curves_are_monotone_in_adoption() {
+        let r = run();
+        for c in r.by_degree.iter().chain([&r.low_degree_first]) {
+            for w in c.points.windows(2) {
+                assert!(
+                    w[0].1 <= w[1].1 + 1e-9,
+                    "{}: more deployment cannot hurt: {:?}",
+                    c.label,
+                    c.points
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flexible_full_deployment_reaches_one() {
+        let r = run();
+        let last = r.by_degree[2].points.last().unwrap();
+        assert!((last.1 - 1.0).abs() < 1e-9, "ratio at 100% /a must be 1.0");
+    }
+
+    #[test]
+    fn high_degree_first_beats_low_degree_first() {
+        // The paper's headline: a handful of well-connected adopters give
+        // most of the benefit, while edge-first deployment gives almost
+        // nothing until nearly everyone has deployed.
+        let r = run();
+        let hi = &r.by_degree[2].points; // /a, high-degree first
+        let lo = &r.low_degree_first.points;
+        // At 5% adoption, high-degree-first should deliver a large share
+        // of the gain, low-degree-first very little.
+        let at = |pts: &[(f64, f64)], f: f64| {
+            pts.iter().find(|p| (p.0 - f).abs() < 1e-12).unwrap().1
+        };
+        assert!(
+            at(hi, 0.05) > 0.3,
+            "top-5% adopters should yield much of the gain: {}",
+            at(hi, 0.05)
+        );
+        assert!(
+            at(lo, 0.05) < at(hi, 0.05),
+            "edge-first must trail core-first"
+        );
+        assert!(at(lo, 0.05) < 0.35, "edge-first gain stays small: {}", at(lo, 0.05));
+    }
+
+    #[test]
+    fn policy_order_preserved_under_deployment() {
+        let r = run();
+        for i in 0..ADOPTION_FRACTIONS.len() {
+            let s = r.by_degree[0].points[i].1;
+            let e = r.by_degree[1].points[i].1;
+            let a = r.by_degree[2].points[i].1;
+            assert!(s <= e + 1e-9 && e <= a + 1e-9);
+        }
+    }
+}

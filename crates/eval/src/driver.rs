@@ -1,0 +1,122 @@
+//! Shared experiment plumbing: seeded sampling and per-destination
+//! parallel sharding.
+//!
+//! Every Chapter 5 experiment has the same outer shape — pick sample
+//! destinations, solve the BGP stable state once per destination, then
+//! evaluate many sources against it. Destinations are independent, so we
+//! shard them over `crossbeam` scoped threads (no async runtime: this is
+//! pure CPU-bound work).
+
+use miro_bgp::solver::RoutingState;
+use miro_topology::{NodeId, Topology};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Sample `n` distinct destinations (fewer if the graph is smaller).
+pub fn sample_dests(topo: &Topology, n: usize, seed: u64) -> Vec<NodeId> {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let mut all: Vec<NodeId> = topo.nodes().collect();
+    all.shuffle(&mut rng);
+    all.truncate(n);
+    all
+}
+
+/// Sample `n` distinct sources, excluding `dest`.
+pub fn sample_srcs(topo: &Topology, dest: NodeId, n: usize, seed: u64) -> Vec<NodeId> {
+    let mut rng = StdRng::seed_from_u64(seed ^ (dest as u64) << 20);
+    let mut all: Vec<NodeId> = topo.nodes().filter(|&x| x != dest).collect();
+    all.shuffle(&mut rng);
+    all.truncate(n);
+    all
+}
+
+/// Derive a per-destination RNG deterministically.
+pub fn rng_for(seed: u64, dest: NodeId, salt: u64) -> StdRng {
+    StdRng::seed_from_u64(seed ^ (dest as u64).wrapping_mul(0x0100_0000_01b3) ^ salt)
+}
+
+/// Solve each destination's routing state and map `f` over them in
+/// parallel; results come back in destination order.
+pub fn par_over_dests<T, F>(
+    topo: &Topology,
+    dests: &[NodeId],
+    threads: usize,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(NodeId, &RoutingState<'_>) -> T + Sync,
+{
+    let threads = threads.max(1);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let collected = std::sync::Mutex::new(Vec::with_capacity(dests.len()));
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= dests.len() {
+                    break;
+                }
+                let d = dests[i];
+                let st = RoutingState::solve(topo, d);
+                let out = f(d, &st);
+                collected.lock().expect("results lock").push((i, out));
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    let mut collected = collected.into_inner().expect("results lock");
+    collected.sort_by_key(|&(i, _)| i);
+    collected.into_iter().map(|(_, out)| out).collect()
+}
+
+/// Uniform random element (seeded) — tiny convenience used by samplers.
+pub fn pick<'a, T>(rng: &mut StdRng, slice: &'a [T]) -> Option<&'a T> {
+    if slice.is_empty() {
+        None
+    } else {
+        Some(&slice[rng.gen_range(0..slice.len())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miro_topology::GenParams;
+
+    #[test]
+    fn sampling_is_deterministic_and_distinct() {
+        let t = GenParams::tiny(1).generate();
+        let a = sample_dests(&t, 10, 42);
+        let b = sample_dests(&t, 10, 42);
+        assert_eq!(a, b);
+        let mut s = a.clone();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), a.len());
+        assert_ne!(sample_dests(&t, 10, 43), a);
+    }
+
+    #[test]
+    fn src_sampling_excludes_dest() {
+        let t = GenParams::tiny(2).generate();
+        let d = 5;
+        let srcs = sample_srcs(&t, d, 1000, 9);
+        assert!(!srcs.contains(&d));
+        assert_eq!(srcs.len(), t.num_nodes() - 1);
+    }
+
+    #[test]
+    fn par_over_dests_matches_serial() {
+        let t = GenParams::tiny(3).generate();
+        let dests = sample_dests(&t, 8, 5);
+        let par = par_over_dests(&t, &dests, 4, |d, st| (d, st.reachable_count()));
+        let ser = par_over_dests(&t, &dests, 1, |d, st| (d, st.reachable_count()));
+        assert_eq!(par, ser);
+        assert_eq!(par.len(), 8);
+        for (i, &(d, _)) in par.iter().enumerate() {
+            assert_eq!(d, dests[i], "results in destination order");
+        }
+    }
+}

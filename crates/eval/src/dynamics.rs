@@ -1,0 +1,161 @@
+//! Convergence-dynamics instrumentation (beyond the paper's figures,
+//! indexed in DESIGN.md): how expensive is convergence, and what do the
+//! safety guidelines cost?
+//!
+//! The dissertation proves *that* MIRO converges under Guidelines B-E;
+//! an operator deciding whether to deploy also wants to know *how fast*
+//! and at what message cost. This experiment measures, across topology
+//! scales: (a) activations for plain BGP to converge (event simulator),
+//! (b) activation rounds for the tunnel layer to quiesce under each
+//! guideline, and (c) the tunnel-layer establish/teardown churn.
+
+use crate::datasets::{Dataset, EvalConfig};
+use crate::driver;
+use miro_bgp::sim::{GaoRexford, Sim};
+use miro_bgp::solver::RoutingState;
+use miro_convergence::{Desire, Guideline, TunnelSim};
+use miro_topology::NodeId;
+use rand::Rng;
+use serde::Serialize;
+
+/// One measurement row.
+#[derive(Serialize, Clone, Debug)]
+pub struct DynamicsRow {
+    pub label: String,
+    pub nodes: usize,
+    /// Mean BGP activations to converge, per destination.
+    pub bgp_activations_mean: f64,
+    /// Tunnel-layer rounds to quiesce under Guideline B / E.
+    pub tunnel_rounds_b: usize,
+    pub tunnel_rounds_e: usize,
+    /// Establish + teardown events under Guideline E (churn).
+    pub tunnel_churn_e: usize,
+}
+
+/// Random realistic desires (sampled from actual candidate sets).
+fn sample_desires(ds: &Dataset, cfg: &EvalConfig, count: usize) -> Vec<Desire> {
+    let mut rng = driver::rng_for(cfg.seed, 1, 0xD1);
+    let nodes: Vec<NodeId> = ds.topo.nodes().collect();
+    let mut out = Vec::new();
+    let mut guard = 0;
+    while out.len() < count && guard < count * 100 {
+        guard += 1;
+        let dest = nodes[rng.gen_range(0..nodes.len())];
+        let req = nodes[rng.gen_range(0..nodes.len())];
+        if req == dest {
+            continue;
+        }
+        let st = RoutingState::solve(&ds.topo, dest);
+        let Some(path) = st.path(req) else { continue };
+        if path.len() < 2 {
+            continue;
+        }
+        let responder = path[rng.gen_range(0..path.len() - 1)];
+        if responder == dest || responder == req {
+            continue;
+        }
+        let cands = st.candidates(responder);
+        if cands.is_empty() {
+            continue;
+        }
+        let wanted = cands[rng.gen_range(0..cands.len())].path.clone();
+        out.push(Desire { requester: req, responder, dest, wanted });
+    }
+    out
+}
+
+/// Measure one dataset.
+pub fn measure(ds: &Dataset, cfg: &EvalConfig, desire_count: usize) -> DynamicsRow {
+    // (a) BGP activations, averaged over sampled destinations.
+    let dests = driver::sample_dests(&ds.topo, cfg.dest_samples.min(20), cfg.seed ^ 0xD7);
+    let mut total_steps = 0usize;
+    for &d in &dests {
+        let mut sim = Sim::new(&ds.topo, GaoRexford, d);
+        match sim.run(cfg.seed, 100_000_000) {
+            miro_bgp::sim::Outcome::Converged { steps } => total_steps += steps,
+            miro_bgp::sim::Outcome::Diverged { .. } => {
+                unreachable!("Gao-Rexford policies always converge")
+            }
+        }
+    }
+    // (b)+(c) Tunnel-layer rounds under B and E.
+    let desires = sample_desires(ds, cfg, desire_count);
+    let run = |g: Guideline| {
+        let mut sim = TunnelSim::new(&ds.topo, g.config(), desires.clone());
+        let out = sim.run(cfg.seed ^ 0xD9, 1000);
+        let rounds = match out {
+            miro_convergence::SimOutcome::Converged { rounds } => rounds,
+            miro_convergence::SimOutcome::Diverged { rounds } => rounds,
+        };
+        let churn: usize = sim.establishments.iter().sum::<usize>()
+            + sim.teardowns.iter().sum::<usize>();
+        (rounds, churn)
+    };
+    let (rounds_b, _) = run(Guideline::B);
+    let (rounds_e, churn_e) = run(Guideline::E);
+    DynamicsRow {
+        label: ds.preset.name().to_string(),
+        nodes: ds.topo.num_nodes(),
+        bgp_activations_mean: total_steps as f64 / dests.len().max(1) as f64,
+        tunnel_rounds_b: rounds_b,
+        tunnel_rounds_e: rounds_e,
+        tunnel_churn_e: churn_e,
+    }
+}
+
+/// Sweep scales for one preset.
+pub fn sweep(
+    preset: miro_topology::gen::DatasetPreset,
+    cfg: &EvalConfig,
+    scales: &[f64],
+) -> Vec<DynamicsRow> {
+    scales
+        .iter()
+        .map(|&s| {
+            let mut c = cfg.clone();
+            c.scale = s;
+            let ds = Dataset::build(preset, &c);
+            let mut row = measure(&ds, &c, 16);
+            row.label = format!("{} @ {:.0}%", row.label, s * 100.0);
+            row
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miro_topology::gen::DatasetPreset;
+
+    #[test]
+    fn dynamics_scale_sanely() {
+        let cfg = EvalConfig::test_tiny();
+        let rows = sweep(DatasetPreset::Gao2005, &cfg, &[0.008, 0.016]);
+        assert_eq!(rows.len(), 2);
+        // More nodes, more activations.
+        assert!(rows[1].nodes > rows[0].nodes);
+        assert!(
+            rows[1].bgp_activations_mean > rows[0].bgp_activations_mean,
+            "{rows:?}"
+        );
+        // Tunnel layers quiesce in a handful of rounds (the proofs'
+        // constructive sequences are 2-4 phases; random schedules take a
+        // few more).
+        for r in &rows {
+            assert!(r.tunnel_rounds_b <= 20, "{r:?}");
+            assert!(r.tunnel_rounds_e <= 20, "{r:?}");
+            assert!(r.bgp_activations_mean >= r.nodes as f64 * 0.9,
+                "every node activates at least about once: {r:?}");
+        }
+    }
+
+    #[test]
+    fn guideline_b_is_never_chattier_than_e() {
+        // B never stacks tunnels, so it cannot out-churn E by much; both
+        // stay near the desire count.
+        let cfg = EvalConfig::test_tiny();
+        let ds = Dataset::build(DatasetPreset::Gao2005, &cfg);
+        let row = measure(&ds, &cfg, 12);
+        assert!(row.tunnel_churn_e <= 12 * 6, "bounded churn: {row:?}");
+    }
+}

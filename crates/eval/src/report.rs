@@ -1,0 +1,114 @@
+//! Plain-text rendering of tables and curve series, in the paper's
+//! row/column format, plus JSON persistence of raw results.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// Render a simple aligned table.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String]| {
+        for (i, c) in cells.iter().enumerate() {
+            let _ = write!(out, "{:<width$}  ", c, width = widths[i]);
+        }
+        let _ = writeln!(out);
+    };
+    line(&mut out, &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+    let _ = writeln!(out, "{}", "-".repeat(total));
+    for row in rows {
+        line(&mut out, row);
+    }
+    out
+}
+
+/// Render a percentage with one decimal.
+pub fn pct(v: f64) -> String {
+    format!("{v:.1}%")
+}
+
+/// Render a curve as `x -> y` pairs, one per line.
+pub fn curve(label: &str, points: &[(f64, f64)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{label}:");
+    for (x, y) in points {
+        let _ = writeln!(out, "  {:>7.3}  ->  {:.3}", x, y);
+    }
+    out
+}
+
+/// An ASCII CDF sketch for a sorted sample: percentile points.
+pub fn cdf_summary(label: &str, sorted: &[u32]) -> String {
+    if sorted.is_empty() {
+        return format!("{label}: (empty)\n");
+    }
+    let p = |q: usize| sorted[(q * (sorted.len() - 1)) / 100];
+    format!(
+        "{label}: p5={} p25={} p50={} p75={} p95={} max={}\n",
+        p(5),
+        p(25),
+        p(50),
+        p(75),
+        p(95),
+        sorted[sorted.len() - 1]
+    )
+}
+
+/// Persist a result as JSON under `target/eval/<name>.json` (best effort;
+/// experiment output must not fail because the directory is read-only).
+pub fn persist<T: Serialize>(name: &str, value: &T) -> Option<std::path::PathBuf> {
+    let dir = std::path::Path::new("target").join("eval");
+    std::fs::create_dir_all(&dir).ok()?;
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).ok()?;
+    std::fs::write(&path, json).ok()?;
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer-name".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].starts_with("longer-name"));
+        // The value column starts at the same offset in every row.
+        let col = lines[3].find("22").unwrap();
+        assert!(lines[2].len() >= col);
+    }
+
+    #[test]
+    fn cdf_summary_percentiles() {
+        let s: Vec<u32> = (0..=100).collect();
+        let out = cdf_summary("x", &s);
+        assert!(out.contains("p50=50"));
+        assert!(out.contains("max=100"));
+        assert_eq!(cdf_summary("y", &[]), "y: (empty)\n");
+    }
+
+    #[test]
+    fn pct_and_curve_format() {
+        assert_eq!(pct(12.345), "12.3%");
+        let c = curve("c", &[(0.5, 0.25)]);
+        assert!(c.contains("0.500"));
+        assert!(c.contains("0.250"));
+    }
+}

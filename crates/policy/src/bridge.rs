@@ -1,0 +1,181 @@
+//! Bridge from the Chapter 6 policy language to the live MIRO control
+//! plane: a parsed configuration *drives* negotiations.
+//!
+//! Section 4.3 envisions exactly this split: "each AS defines a set of
+//! local policies regarding tunnel management, and then some software on
+//! the routers or end hosts can automatically monitor current routing
+//! situations and conduct the negotiations. This is similar to the
+//! current BGP protocol, where BGP policies are defined by human
+//! operators and actual path selections are performed by programs on
+//! routers." [`run_policy`] is that software: it evaluates the
+//! requester's route-maps against its current candidate set, and for
+//! every fired trigger executes the negotiation through
+//! [`miro_core::node::MiroNetwork`], honoring the configured budget,
+//! avoid set, and target list.
+
+use crate::eval::{PolicyEngine, PolicyRoute, Trigger};
+use miro_bgp::solver::RoutingState;
+use miro_core::negotiate::{Constraint, NegotiationError};
+use miro_core::node::MiroNetwork;
+use miro_core::tunnel::TunnelId;
+use miro_topology::{AsId, NodeId};
+
+/// The outcome of executing one fired trigger.
+#[derive(Debug)]
+pub struct TriggerOutcome {
+    pub trigger: Trigger,
+    /// Per contacted target (in configuration order): the result.
+    pub attempts: Vec<(NodeId, Result<TunnelId, NegotiationError>)>,
+    /// The first successful tunnel, if any.
+    pub tunnel: Option<TunnelId>,
+}
+
+/// Evaluate route-map `map_name` for `requester` against its live BGP
+/// candidate set and execute any fired negotiations. Returns the
+/// surviving policy routes and per-trigger outcomes.
+pub fn run_policy(
+    engine: &PolicyEngine,
+    net: &mut MiroNetwork<'_>,
+    st: &RoutingState<'_>,
+    requester: NodeId,
+    map_name: &str,
+) -> (Vec<PolicyRoute>, Vec<TriggerOutcome>) {
+    let topo = st.topology();
+    // The candidate set as the policy layer sees it: AS-number paths
+    // with conventional local preferences.
+    let routes: Vec<PolicyRoute> = st
+        .candidates(requester)
+        .into_iter()
+        .map(|c| PolicyRoute {
+            path: c.path.iter().map(|&h| topo.asn(h).0).collect(),
+            local_pref: c.class.local_pref(),
+        })
+        .collect();
+    let (kept, triggers) = engine.apply_route_map(map_name, &routes);
+
+    let mut outcomes = Vec::new();
+    for trigger in triggers {
+        let constraints: Vec<Constraint> = trigger
+            .avoid
+            .iter()
+            .filter_map(|&asn| topo.node(AsId(asn)))
+            .map(Constraint::AvoidAs)
+            .collect();
+        let budget = trigger.max_cost.unwrap_or(u32::MAX);
+        let mut attempts = Vec::new();
+        let mut tunnel = None;
+        for &target_asn in &trigger.targets {
+            let Some(target) = topo.node(AsId(target_asn)) else { continue };
+            let r = net.negotiate(st, requester, target, constraints.clone(), budget);
+            let ok = r.is_ok();
+            attempts.push((target, r));
+            if ok {
+                tunnel = attempts.last().and_then(|(_, r)| r.as_ref().ok().copied());
+                break; // one tunnel satisfies the objective (section 7.4)
+            }
+        }
+        outcomes.push(TriggerOutcome { trigger, attempts, tunnel });
+    }
+    (kept, outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_config;
+    use miro_topology::gen::figure_1_1;
+
+    /// The full Chapter 6 loop on Figure 1.1: AS A (ASN 1) configured to
+    /// avoid AS E (ASN 5) toward F; the trigger fires, the bridge
+    /// negotiates with B (ASN 2), and the BCF tunnel comes up — all from
+    /// configuration text.
+    #[test]
+    fn configuration_text_drives_a_real_negotiation() {
+        let (topo, [a, b, c, _d, _e, f]) = figure_1_1();
+        let config_text = "\
+router bgp 1
+route-map AVOID_AS permit 10
+match empty path 200
+try negotiation NEG-5
+ip as-path access-list 200 deny _5_
+ip as-path access-list 200 permit .*
+negotiation NEG-5
+match all path _5_
+start negotiation #1 with maximum cost 250
+";
+        let engine = PolicyEngine::new(parse_config(config_text).expect("parses"));
+        let st = RoutingState::solve(&topo, f);
+        let mut net = MiroNetwork::new(&topo);
+        let (kept, outcomes) = run_policy(&engine, &mut net, &st, a, "AVOID_AS");
+        assert!(kept.is_empty(), "both candidates cross AS 5");
+        assert_eq!(outcomes.len(), 1);
+        let out = &outcomes[0];
+        assert_eq!(out.trigger.avoid, vec![5]);
+        // Targets mined from the matching candidate paths: B (2) and D (4)
+        // precede E (5) on A's candidates.
+        assert_eq!(out.trigger.targets, vec![2, 4]);
+        let tid = out.tunnel.expect("negotiation succeeded");
+        let lease = &net.leases()[0];
+        assert_eq!(lease.id, tid);
+        assert_eq!(lease.upstream, a);
+        assert_eq!(lease.downstream, b);
+        assert_eq!(lease.path, vec![c, f], "the BCF alternate");
+        assert_eq!(lease.budget, 250, "budget from `maximum cost`");
+    }
+
+    /// When the budget is below every offer, the bridge tries each target
+    /// and reports the failures faithfully.
+    #[test]
+    fn insufficient_budget_fails_all_targets() {
+        let (topo, [a, ..]) = figure_1_1();
+        let f = topo.node(miro_topology::AsId(6)).expect("F");
+        let config_text = "\
+router bgp 1
+route-map AVOID_AS permit 10
+match empty path 200
+try negotiation NEG-5
+ip as-path access-list 200 deny _5_
+ip as-path access-list 200 permit .*
+negotiation NEG-5
+match all path _5_
+start negotiation #1 with maximum cost 10
+";
+        let engine = PolicyEngine::new(parse_config(config_text).expect("parses"));
+        let st = RoutingState::solve(&topo, f);
+        let mut net = MiroNetwork::new(&topo);
+        let (_, outcomes) = run_policy(&engine, &mut net, &st, a, "AVOID_AS");
+        let out = &outcomes[0];
+        assert!(out.tunnel.is_none());
+        assert_eq!(out.attempts.len(), 2, "both targets were tried");
+        assert!(net.leases().is_empty());
+    }
+
+    /// A clean candidate suppresses the trigger entirely: no negotiation
+    /// traffic is generated (the pull-based economy of section 3.2).
+    #[test]
+    fn no_trigger_no_messages() {
+        let (topo, [_a, b, ..]) = figure_1_1();
+        let f = topo.node(miro_topology::AsId(6)).expect("F");
+        // B avoiding AS 3 (C): B's best BEF already avoids it.
+        let config_text = "\
+router bgp 2
+route-map AVOID_AS permit 10
+match empty path 200
+try negotiation NEG-3
+route-map AVOID_AS permit 20
+match as-path 200
+ip as-path access-list 200 deny _3_
+ip as-path access-list 200 permit .*
+negotiation NEG-3
+match all path _3_
+start negotiation #1 with maximum cost 250
+";
+        let engine = PolicyEngine::new(parse_config(config_text).expect("parses"));
+        let st = RoutingState::solve(&topo, f);
+        let mut net = MiroNetwork::new(&topo);
+        let (kept, outcomes) = run_policy(&engine, &mut net, &st, b, "AVOID_AS");
+        assert!(!kept.is_empty(), "the clean BEF candidate survives");
+        assert!(outcomes.is_empty());
+        assert!(net.log.is_empty(), "zero control-plane overhead");
+    }
+}

@@ -1,0 +1,30 @@
+//! The routing-policy layer of Chapter 6: a Cisco-style AS-path regex
+//! engine and the dissertation's "imaginary extended route-map"
+//! configuration language, parsed and executed.
+//!
+//! The paper deliberately does not standardize a policy language
+//! ("the underlying mechanisms should give users maximum flexibility"),
+//! but Chapter 6.3 works a complete example in an extended route-map
+//! syntax. This crate implements that dialect:
+//!
+//! * [`aspath`] - `ip as-path access-list`-style regular expressions over
+//!   AS paths (`_312_`, `^701 .*$`, ...), with a from-scratch backtracking
+//!   matcher (no regex crate);
+//! * [`parse`] - tokenizer and parser for the configuration statements of
+//!   sections 6.1 and 6.3 (`router bgp`, `route-map`, `ip as-path
+//!   access-list`, `negotiation`, `accept negotiation`, `negotiation
+//!   filter`);
+//! * [`eval`] - execution semantics: route-map application over candidate
+//!   routes, the `match empty path` negotiation trigger, target selection
+//!   from `match all path`, and responder-side offer filtering/pricing
+//!   (`filter permit local_pref > N` / `set tunnel_cost C`) - bridged to
+//!   the `miro-core` negotiation machinery.
+
+pub mod aspath;
+pub mod bridge;
+pub mod eval;
+pub mod parse;
+
+pub use aspath::AsPathRegex;
+pub use eval::{PolicyEngine, Trigger};
+pub use parse::{parse_config, Config, ParseError};

@@ -1,0 +1,658 @@
+//! The annotated AS graph.
+//!
+//! [`Topology`] is immutable once built: the evaluation harness builds one
+//! graph per dataset and then runs hundreds of thousands of routing
+//! computations against it, so the representation is optimized for reads
+//! (dense `u32` node indices, flat adjacency vectors) and constructed
+//! through a validating [`TopologyBuilder`].
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A public Autonomous System number, as carried in BGP AS paths.
+///
+/// The dissertation (Chapter 1) describes 16-bit AS numbers with 32-bit
+/// numbers being introduced; we use `u32` throughout.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AsId(pub u32);
+
+impl fmt::Debug for AsId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+impl fmt::Display for AsId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Dense index of an AS inside one [`Topology`].
+///
+/// All hot-path data structures (routing tables, candidate sets, traffic
+/// counters) are `Vec`s indexed by `NodeId`; the mapping to the sparse
+/// [`AsId`] space happens only at the edges of the system.
+pub type NodeId = u32;
+
+/// What a neighbor *is to me* across one inter-AS link (section 2.2.1).
+///
+/// Relationships are stored from the perspective of the node that owns the
+/// adjacency list: if `x`'s entry for `y` says [`Rel::Customer`], then `y`
+/// pays `x` for transit, and `y`'s entry for `x` must say [`Rel::Provider`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Rel {
+    /// The neighbor is my customer (it pays me for transit).
+    Customer,
+    /// The neighbor is my provider (I pay it for transit).
+    Provider,
+    /// Settlement-free peer: we exchange our customers' traffic only.
+    Peer,
+    /// Sibling: same institution; mutual full transit.
+    Sibling,
+}
+
+impl Rel {
+    /// The same link seen from the other endpoint.
+    pub fn reverse(self) -> Rel {
+        match self {
+            Rel::Customer => Rel::Provider,
+            Rel::Provider => Rel::Customer,
+            Rel::Peer => Rel::Peer,
+            Rel::Sibling => Rel::Sibling,
+        }
+    }
+
+    /// Short single-letter tag used by the text serialization format.
+    pub fn tag(self) -> char {
+        match self {
+            Rel::Customer => 'c',
+            Rel::Provider => 'p',
+            Rel::Peer => 'e',
+            Rel::Sibling => 's',
+        }
+    }
+
+    /// Inverse of [`Rel::tag`].
+    pub fn from_tag(c: char) -> Option<Rel> {
+        match c {
+            'c' => Some(Rel::Customer),
+            'p' => Some(Rel::Provider),
+            'e' => Some(Rel::Peer),
+            's' => Some(Rel::Sibling),
+            _ => None,
+        }
+    }
+}
+
+/// Errors detected while building a topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// The same AS number was registered twice.
+    DuplicateAs(AsId),
+    /// An edge references an AS that was never registered.
+    UnknownAs(AsId),
+    /// A self-loop was declared.
+    SelfLoop(AsId),
+    /// The same unordered pair was given two conflicting relationships.
+    ConflictingEdge(AsId, AsId),
+    /// The provider-customer subgraph contains a cycle, so the graph is not
+    /// hierarchical (section 7.1.3 requires a DAG for the convergence results).
+    ProviderCycle(AsId),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::DuplicateAs(a) => write!(f, "duplicate AS {a}"),
+            TopologyError::UnknownAs(a) => write!(f, "edge references unknown AS {a}"),
+            TopologyError::SelfLoop(a) => write!(f, "self loop at AS {a}"),
+            TopologyError::ConflictingEdge(a, b) => {
+                write!(f, "conflicting relationship declared for link {a}-{b}")
+            }
+            TopologyError::ProviderCycle(a) => {
+                write!(f, "customer-provider cycle through AS {a}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// Builder that accumulates ASes and annotated links, then validates.
+///
+/// Validation enforces: unique AS numbers, known endpoints, no self-loops,
+/// reciprocal relationship consistency, and (optionally) acyclicity of the
+/// customer-provider subgraph.
+///
+/// ```
+/// use miro_topology::{AsId, Rel, TopologyBuilder};
+///
+/// let mut b = TopologyBuilder::new();
+/// for asn in [701, 7018, 88] {
+///     b.add_as(AsId(asn));
+/// }
+/// b.peering(AsId(701), AsId(7018));          // two tier-1 peers
+/// b.provider_customer(AsId(7018), AsId(88)); // 7018 provides 88
+/// let topo = b.build_checked(true).unwrap();
+///
+/// let stub = topo.node(AsId(88)).unwrap();
+/// assert!(topo.is_leaf(stub));
+/// let t1 = topo.node(AsId(701)).unwrap();
+/// assert_eq!(topo.rel(stub, topo.node(AsId(7018)).unwrap()), Some(Rel::Provider));
+/// assert_eq!(topo.peers(t1).count(), 1);
+/// ```
+#[derive(Default)]
+pub struct TopologyBuilder {
+    asns: Vec<AsId>,
+    index: HashMap<AsId, NodeId>,
+    // Edges stored once, from the lower NodeId's perspective.
+    edges: HashMap<(NodeId, NodeId), Rel>,
+    conflict: Option<(AsId, AsId)>,
+    duplicate: Option<AsId>,
+    unknown: Option<AsId>,
+    self_loop: Option<AsId>,
+}
+
+impl TopologyBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register an AS. Returns its dense node id.
+    pub fn add_as(&mut self, asn: AsId) -> NodeId {
+        if let Some(&id) = self.index.get(&asn) {
+            self.duplicate = Some(asn);
+            return id;
+        }
+        let id = self.asns.len() as NodeId;
+        self.asns.push(asn);
+        self.index.insert(asn, id);
+        id
+    }
+
+    /// Register an AS if new, otherwise return the existing id. Unlike
+    /// [`TopologyBuilder::add_as`] this never flags a duplicate.
+    pub fn intern_as(&mut self, asn: AsId) -> NodeId {
+        if let Some(&id) = self.index.get(&asn) {
+            return id;
+        }
+        let id = self.asns.len() as NodeId;
+        self.asns.push(asn);
+        self.index.insert(asn, id);
+        id
+    }
+
+    /// Declare that `b` is `rel` *to* `a` — e.g. `link(a, b, Rel::Customer)`
+    /// means `b` is a customer of `a`.
+    pub fn link(&mut self, a: AsId, b: AsId, rel: Rel) -> &mut Self {
+        if a == b {
+            self.self_loop = Some(a);
+            return self;
+        }
+        let (Some(&ia), Some(&ib)) = (self.index.get(&a), self.index.get(&b)) else {
+            self.unknown = Some(if self.index.contains_key(&a) { b } else { a });
+            return self;
+        };
+        // Normalize to the lower node id's perspective.
+        let (key, stored) = if ia < ib { ((ia, ib), rel) } else { ((ib, ia), rel.reverse()) };
+        if let Some(&prev) = self.edges.get(&key) {
+            if prev != stored {
+                self.conflict = Some((a, b));
+            }
+            return self;
+        }
+        self.edges.insert(key, stored);
+        self
+    }
+
+    /// Convenience: declare a customer-provider link (`customer` pays
+    /// `provider`).
+    pub fn provider_customer(&mut self, provider: AsId, customer: AsId) -> &mut Self {
+        self.link(provider, customer, Rel::Customer)
+    }
+
+    /// Convenience: declare a settlement-free peering link.
+    pub fn peering(&mut self, a: AsId, b: AsId) -> &mut Self {
+        self.link(a, b, Rel::Peer)
+    }
+
+    /// Convenience: declare a sibling link.
+    pub fn sibling(&mut self, a: AsId, b: AsId) -> &mut Self {
+        self.link(a, b, Rel::Sibling)
+    }
+
+    /// Validate and freeze. `require_hierarchy` additionally checks that the
+    /// customer-provider subgraph is a DAG (the standing assumption of the
+    /// Chapter 7 convergence results).
+    pub fn build_checked(self, require_hierarchy: bool) -> Result<Topology, TopologyError> {
+        if let Some(a) = self.duplicate {
+            return Err(TopologyError::DuplicateAs(a));
+        }
+        if let Some(a) = self.unknown {
+            return Err(TopologyError::UnknownAs(a));
+        }
+        if let Some(a) = self.self_loop {
+            return Err(TopologyError::SelfLoop(a));
+        }
+        if let Some((a, b)) = self.conflict {
+            return Err(TopologyError::ConflictingEdge(a, b));
+        }
+        let n = self.asns.len();
+        let mut neighbors: Vec<Vec<(NodeId, Rel)>> = vec![Vec::new(); n];
+        for (&(ia, ib), &rel) in &self.edges {
+            neighbors[ia as usize].push((ib, rel));
+            neighbors[ib as usize].push((ia, rel.reverse()));
+        }
+        // Deterministic iteration order regardless of HashMap internals.
+        for list in &mut neighbors {
+            list.sort_unstable_by_key(|&(id, _)| id);
+        }
+        let topo = Topology { asns: self.asns, index: self.index, neighbors };
+        if require_hierarchy {
+            if let Some(node) = topo.find_provider_cycle() {
+                return Err(TopologyError::ProviderCycle(topo.asn(node)));
+            }
+        }
+        Ok(topo)
+    }
+
+    /// Validate and freeze without the hierarchy check.
+    pub fn build(self) -> Result<Topology, TopologyError> {
+        self.build_checked(false)
+    }
+}
+
+/// An immutable, validated AS-level topology with relationship annotations.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    asns: Vec<AsId>,
+    index: HashMap<AsId, NodeId>,
+    neighbors: Vec<Vec<(NodeId, Rel)>>,
+}
+
+impl Topology {
+    /// Number of ASes.
+    pub fn num_nodes(&self) -> usize {
+        self.asns.len()
+    }
+
+    /// Number of inter-AS links (each unordered pair counted once).
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// All node ids, `0..num_nodes`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.asns.len() as NodeId
+    }
+
+    /// The AS number of a node.
+    pub fn asn(&self, id: NodeId) -> AsId {
+        self.asns[id as usize]
+    }
+
+    /// Look up the dense id of an AS number.
+    pub fn node(&self, asn: AsId) -> Option<NodeId> {
+        self.index.get(&asn).copied()
+    }
+
+    /// Neighbors of `id` with the relationship each neighbor is *to* `id`.
+    pub fn neighbors(&self, id: NodeId) -> &[(NodeId, Rel)] {
+        &self.neighbors[id as usize]
+    }
+
+    /// The relationship `b` is to `a`, if the link exists.
+    pub fn rel(&self, a: NodeId, b: NodeId) -> Option<Rel> {
+        self.neighbors[a as usize]
+            .binary_search_by_key(&b, |&(id, _)| id)
+            .ok()
+            .map(|i| self.neighbors[a as usize][i].1)
+    }
+
+    /// Degree (total neighbor count) of a node.
+    pub fn degree(&self, id: NodeId) -> usize {
+        self.neighbors[id as usize].len()
+    }
+
+    /// Customers of `id`.
+    pub fn customers(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.neighbors(id)
+            .iter()
+            .filter(|&&(_, r)| r == Rel::Customer)
+            .map(|&(n, _)| n)
+    }
+
+    /// Providers of `id`.
+    pub fn providers(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.neighbors(id)
+            .iter()
+            .filter(|&&(_, r)| r == Rel::Provider)
+            .map(|&(n, _)| n)
+    }
+
+    /// Peers of `id`.
+    pub fn peers(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.neighbors(id)
+            .iter()
+            .filter(|&&(_, r)| r == Rel::Peer)
+            .map(|&(n, _)| n)
+    }
+
+    /// Siblings of `id`.
+    pub fn siblings(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.neighbors(id)
+            .iter()
+            .filter(|&&(_, r)| r == Rel::Sibling)
+            .map(|&(n, _)| n)
+    }
+
+    /// A *leaf node* in the sense of section 7.3.2: an AS that acts only as a
+    /// customer in every one of its inter-AS agreements.
+    pub fn is_leaf(&self, id: NodeId) -> bool {
+        !self.neighbors(id).is_empty()
+            && self.neighbors(id).iter().all(|&(_, r)| r == Rel::Provider)
+    }
+
+    /// A *stub AS*: no customers (it provides transit to nobody). Stubs may
+    /// still have peers; leaf nodes are the stricter notion.
+    pub fn is_stub(&self, id: NodeId) -> bool {
+        self.customers(id).next().is_none()
+    }
+
+    /// A multi-homed stub: a stub with at least two providers (section 5.4's
+    /// study population).
+    pub fn is_multihomed_stub(&self, id: NodeId) -> bool {
+        self.is_stub(id) && self.providers(id).count() >= 2
+    }
+
+    /// Is the graph connected when edges are taken as undirected?
+    pub fn is_connected(&self) -> bool {
+        let n = self.num_nodes();
+        if n == 0 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0 as NodeId];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(x) = stack.pop() {
+            for &(y, _) in self.neighbors(x) {
+                if !seen[y as usize] {
+                    seen[y as usize] = true;
+                    count += 1;
+                    stack.push(y);
+                }
+            }
+        }
+        count == n
+    }
+
+    /// Whether `dst` stays reachable from `src` after deleting `avoid`
+    /// (ignoring all policy). This is exactly the paper's feasibility test
+    /// for the avoid-AS application: "a depth-first search algorithm is run
+    /// on the graph to identify those nodes" (section 5.3.1). Source routing
+    /// succeeds if and only if this returns `true`.
+    pub fn reachable_avoiding(&self, src: NodeId, dst: NodeId, avoid: NodeId) -> bool {
+        if src == avoid || dst == avoid {
+            return false;
+        }
+        if src == dst {
+            return true;
+        }
+        let mut seen = vec![false; self.num_nodes()];
+        seen[src as usize] = true;
+        seen[avoid as usize] = true; // never enter the avoided AS
+        let mut stack = vec![src];
+        while let Some(x) = stack.pop() {
+            for &(y, _) in self.neighbors(x) {
+                if y == dst {
+                    return true;
+                }
+                if !seen[y as usize] {
+                    seen[y as usize] = true;
+                    stack.push(y);
+                }
+            }
+        }
+        false
+    }
+
+    /// Topological order of the customer->provider DAG (customers first).
+    /// Sibling and peer edges are ignored. Returns `None` if the
+    /// provider-customer subgraph has a cycle.
+    pub fn customer_to_provider_order(&self) -> Option<Vec<NodeId>> {
+        // Kahn's algorithm over edges customer -> provider.
+        let n = self.num_nodes();
+        let mut indeg = vec![0usize; n]; // number of customers
+        for x in self.nodes() {
+            indeg[x as usize] = self.customers(x).count();
+        }
+        let mut queue: Vec<NodeId> =
+            self.nodes().filter(|&x| indeg[x as usize] == 0).collect();
+        // Deterministic order.
+        queue.sort_unstable();
+        let mut order = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let x = queue[head];
+            head += 1;
+            order.push(x);
+            for p in self.providers(x) {
+                indeg[p as usize] -= 1;
+                if indeg[p as usize] == 0 {
+                    queue.push(p);
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+
+    fn find_provider_cycle(&self) -> Option<NodeId> {
+        if self.customer_to_provider_order().is_some() {
+            return None;
+        }
+        // Find some node on a cycle for the error message: any node whose
+        // in-degree never drained.
+        let n = self.num_nodes();
+        let mut indeg = vec![0usize; n];
+        for x in self.nodes() {
+            indeg[x as usize] = self.customers(x).count();
+        }
+        let mut queue: Vec<NodeId> =
+            self.nodes().filter(|&x| indeg[x as usize] == 0).collect();
+        let mut head = 0;
+        let mut drained = vec![false; n];
+        while head < queue.len() {
+            let x = queue[head];
+            head += 1;
+            drained[x as usize] = true;
+            for p in self.providers(x) {
+                indeg[p as usize] -= 1;
+                if indeg[p as usize] == 0 {
+                    queue.push(p);
+                }
+            }
+        }
+        self.nodes().find(|&x| !drained[x as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn four_node() -> Topology {
+        // D provides to A and B; A-B peer; B provides to C.
+        let mut b = TopologyBuilder::new();
+        for n in [1, 2, 3, 4] {
+            b.add_as(AsId(n));
+        }
+        b.provider_customer(AsId(4), AsId(1));
+        b.provider_customer(AsId(4), AsId(2));
+        b.peering(AsId(1), AsId(2));
+        b.provider_customer(AsId(2), AsId(3));
+        b.build_checked(true).unwrap()
+    }
+
+    #[test]
+    fn builds_and_reports_sizes() {
+        let t = four_node();
+        assert_eq!(t.num_nodes(), 4);
+        assert_eq!(t.num_edges(), 4);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn reciprocal_relationships() {
+        let t = four_node();
+        let a = t.node(AsId(1)).unwrap();
+        let d = t.node(AsId(4)).unwrap();
+        assert_eq!(t.rel(a, d), Some(Rel::Provider)); // D is A's provider
+        assert_eq!(t.rel(d, a), Some(Rel::Customer)); // A is D's customer
+    }
+
+    #[test]
+    fn peer_is_symmetric() {
+        let t = four_node();
+        let a = t.node(AsId(1)).unwrap();
+        let b = t.node(AsId(2)).unwrap();
+        assert_eq!(t.rel(a, b), Some(Rel::Peer));
+        assert_eq!(t.rel(b, a), Some(Rel::Peer));
+    }
+
+    #[test]
+    fn missing_link_is_none() {
+        let t = four_node();
+        let a = t.node(AsId(1)).unwrap();
+        let c = t.node(AsId(3)).unwrap();
+        assert_eq!(t.rel(a, c), None);
+    }
+
+    #[test]
+    fn leaf_and_stub_census() {
+        let t = four_node();
+        let a = t.node(AsId(1)).unwrap();
+        let c = t.node(AsId(3)).unwrap();
+        let d = t.node(AsId(4)).unwrap();
+        assert!(t.is_stub(a)); // A has no customers (peer + provider only)
+        assert!(!t.is_leaf(a)); // ... but A peers, so not a leaf
+        assert!(t.is_leaf(c));
+        assert!(!t.is_stub(d));
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut b = TopologyBuilder::new();
+        b.add_as(AsId(1));
+        b.link(AsId(1), AsId(1), Rel::Peer);
+        assert_eq!(b.build().unwrap_err(), TopologyError::SelfLoop(AsId(1)));
+    }
+
+    #[test]
+    fn duplicate_as_rejected() {
+        let mut b = TopologyBuilder::new();
+        b.add_as(AsId(7));
+        b.add_as(AsId(7));
+        assert_eq!(b.build().unwrap_err(), TopologyError::DuplicateAs(AsId(7)));
+    }
+
+    #[test]
+    fn conflicting_edge_rejected() {
+        let mut b = TopologyBuilder::new();
+        b.add_as(AsId(1));
+        b.add_as(AsId(2));
+        b.peering(AsId(1), AsId(2));
+        b.provider_customer(AsId(1), AsId(2));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            TopologyError::ConflictingEdge(_, _)
+        ));
+    }
+
+    #[test]
+    fn redeclaring_same_edge_is_fine() {
+        let mut b = TopologyBuilder::new();
+        b.add_as(AsId(1));
+        b.add_as(AsId(2));
+        b.provider_customer(AsId(1), AsId(2));
+        // Same fact from the other side.
+        b.link(AsId(2), AsId(1), Rel::Provider);
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn provider_cycle_detected() {
+        let mut b = TopologyBuilder::new();
+        for n in [1, 2, 3] {
+            b.add_as(AsId(n));
+        }
+        b.provider_customer(AsId(1), AsId(2));
+        b.provider_customer(AsId(2), AsId(3));
+        b.provider_customer(AsId(3), AsId(1));
+        assert!(matches!(
+            b.build_checked(true).unwrap_err(),
+            TopologyError::ProviderCycle(_)
+        ));
+        // Without the hierarchy requirement the same graph is accepted.
+        let mut b = TopologyBuilder::new();
+        for n in [1, 2, 3] {
+            b.add_as(AsId(n));
+        }
+        b.provider_customer(AsId(1), AsId(2));
+        b.provider_customer(AsId(2), AsId(3));
+        b.provider_customer(AsId(3), AsId(1));
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn unknown_endpoint_rejected() {
+        let mut b = TopologyBuilder::new();
+        b.add_as(AsId(1));
+        b.peering(AsId(1), AsId(99));
+        assert_eq!(b.build().unwrap_err(), TopologyError::UnknownAs(AsId(99)));
+    }
+
+    #[test]
+    fn reachability_avoiding_cut_node() {
+        // Chain 1 - 2 - 3: node 2 separates 1 from 3.
+        let mut b = TopologyBuilder::new();
+        for n in [1, 2, 3] {
+            b.add_as(AsId(n));
+        }
+        b.provider_customer(AsId(2), AsId(1));
+        b.provider_customer(AsId(2), AsId(3));
+        let t = b.build().unwrap();
+        let (n1, n2, n3) = (
+            t.node(AsId(1)).unwrap(),
+            t.node(AsId(2)).unwrap(),
+            t.node(AsId(3)).unwrap(),
+        );
+        assert!(!t.reachable_avoiding(n1, n3, n2));
+        assert!(t.reachable_avoiding(n1, n2, n3));
+    }
+
+    #[test]
+    fn reachability_avoiding_with_detour() {
+        let t = four_node();
+        let a = t.node(AsId(1)).unwrap();
+        let b = t.node(AsId(2)).unwrap();
+        let d = t.node(AsId(4)).unwrap();
+        // A can reach B either directly (peer) or via D.
+        assert!(t.reachable_avoiding(a, b, d));
+    }
+
+    #[test]
+    fn topological_order_respects_hierarchy() {
+        let t = four_node();
+        let order = t.customer_to_provider_order().unwrap();
+        let pos: std::collections::HashMap<_, _> =
+            order.iter().enumerate().map(|(i, &x)| (x, i)).collect();
+        // Every customer precedes its provider.
+        for x in t.nodes() {
+            for p in t.providers(x) {
+                assert!(pos[&x] < pos[&p], "customer must precede provider");
+            }
+        }
+    }
+}

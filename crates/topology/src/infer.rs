@@ -1,0 +1,477 @@
+//! AS-relationship inference from observed AS paths.
+//!
+//! The paper annotates its topologies by running two published inference
+//! algorithms over RouteViews BGP tables (section 5.1): the Gao (2001)
+//! algorithm and the Subramanian/Agarwal et al. (2002) rank-based
+//! algorithm. We implement both from scratch so the full measurement
+//! pipeline — AS paths in, annotated graph out — can be exercised and its
+//! imperfections studied (the paper notes "even the best inference
+//! algorithms are imperfect" and compares results across both).
+//!
+//! Inputs are bare AS paths (`Vec<AsId>`, source first). Use
+//! `miro-bgp`'s solver to produce realistic paths from a ground-truth
+//! topology, then [`gao_infer`]/[`agarwal_infer`] to re-annotate, and
+//! [`agreement`] to quantify inference accuracy.
+
+use crate::graph::{AsId, Rel, Topology, TopologyBuilder};
+use std::collections::HashMap;
+
+/// Parse a RouteViews-style AS-path dump: one path per line, AS numbers
+/// whitespace-separated, `#` comments and blanks ignored, AS-path
+/// prepending collapsed (consecutive duplicates merged, as inference
+/// should see topology, not traffic engineering).
+///
+/// ```
+/// let paths = miro_topology::infer::paths_from_text(
+///     "# vantage 1\n701 1239 7018 88 88 88\n701 3549 88\n",
+/// ).unwrap();
+/// assert_eq!(paths.len(), 2);
+/// assert_eq!(paths[0].len(), 4, "prepending collapsed");
+/// ```
+pub fn paths_from_text(text: &str) -> Result<Vec<Vec<AsId>>, String> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut path: Vec<AsId> = Vec::new();
+        for tok in line.split_whitespace() {
+            let asn: u32 = tok
+                .parse()
+                .map_err(|_| format!("line {}: bad AS number {:?}", i + 1, tok))?;
+            // Collapse prepending.
+            if path.last() != Some(&AsId(asn)) {
+                path.push(AsId(asn));
+            }
+        }
+        if !path.is_empty() {
+            out.push(path);
+        }
+    }
+    Ok(out)
+}
+
+/// Degree of each AS as observed in the path set (number of distinct
+/// neighbors it appears adjacent to).
+pub fn observed_degrees(paths: &[Vec<AsId>]) -> HashMap<AsId, usize> {
+    let mut adj: HashMap<AsId, std::collections::HashSet<AsId>> = HashMap::new();
+    for p in paths {
+        for w in p.windows(2) {
+            if w[0] == w[1] {
+                continue;
+            }
+            adj.entry(w[0]).or_default().insert(w[1]);
+            adj.entry(w[1]).or_default().insert(w[0]);
+        }
+    }
+    adj.into_iter().map(|(a, s)| (a, s.len())).collect()
+}
+
+/// Tunable knobs of the Gao algorithm.
+#[derive(Clone, Copy, Debug)]
+pub struct GaoParams {
+    /// Sibling threshold `L`: if transit votes exist in both directions and
+    /// neither exceeds `L` times the other, the link is a sibling link.
+    pub sibling_ratio: f64,
+    /// Peering degree ratio `R`: the two endpoints of a candidate peering
+    /// edge must have degrees within a factor `R` of each other.
+    pub peer_degree_ratio: f64,
+}
+
+impl Default for GaoParams {
+    fn default() -> Self {
+        GaoParams { sibling_ratio: 3.0, peer_degree_ratio: 8.0 }
+    }
+}
+
+/// The Gao (2001) relationship-inference algorithm.
+///
+/// Phase 1: find each path's *top provider* (its highest-degree AS) and cast
+/// transit votes — every link left of the top is customer-to-provider,
+/// every link right of it provider-to-customer.
+/// Phase 2: classify each link from its votes — one-directional votes give
+/// provider-customer, balanced bidirectional votes give sibling.
+/// Phase 3: links adjacent to a path's top whose endpoint degrees are
+/// within a factor `R`, with no transit evidence in either direction strong
+/// enough to force a hierarchy, are re-labeled peering.
+pub fn gao_infer(paths: &[Vec<AsId>], params: GaoParams) -> Topology {
+    let deg = observed_degrees(paths);
+    let d = |a: AsId| *deg.get(&a).unwrap_or(&0);
+
+    // transit[(u, v)] = number of path positions asserting "v provides
+    // transit to u" (i.e. the link was traversed climbing from u to v).
+    let mut transit: HashMap<(AsId, AsId), u32> = HashMap::new();
+    // How often each edge appears in any path at all.
+    let mut appearances: HashMap<(AsId, AsId), u32> = HashMap::new();
+    // Candidate peering votes: one per path, for the edge between the
+    // summit and its *higher-degree* path neighbor (Gao's phase 3: a true
+    // peering link spans the two tops; a provider-customer link adjacent
+    // to the summit loses the candidacy to the other side).
+    let mut peer_candidate: HashMap<(AsId, AsId), u32> = HashMap::new();
+
+    for p in paths {
+        if p.len() < 2 {
+            continue;
+        }
+        for w in p.windows(2) {
+            *appearances.entry(norm(w[0], w[1])).or_insert(0) += 1;
+        }
+        // Index of the highest-degree AS (the path's summit).
+        let top = (0..p.len())
+            .max_by_key(|&i| (d(p[i]), std::cmp::Reverse(p[i])))
+            .expect("non-empty path");
+        for i in 0..p.len() - 1 {
+            let (u, v) = (p[i], p[i + 1]);
+            if i < top {
+                // climbing: v provides u
+                *transit.entry((u, v)).or_insert(0) += 1;
+            } else {
+                // descending: u provides v
+                *transit.entry((v, u)).or_insert(0) += 1;
+            }
+        }
+        // One peering candidate per path: the summit's higher-degree
+        // neighbor side.
+        let left = top.checked_sub(1).map(|j| p[j]);
+        let right = (top + 1 < p.len()).then(|| p[top + 1]);
+        let side = match (left, right) {
+            (Some(l), Some(r)) => Some(if d(l) >= d(r) { l } else { r }),
+            (Some(l), None) => Some(l),
+            (None, Some(r)) => Some(r),
+            (None, None) => None,
+        };
+        if let Some(s) = side {
+            *peer_candidate.entry(norm(p[top], s)).or_insert(0) += 1;
+        }
+    }
+    let edge_seen: std::collections::HashSet<(AsId, AsId)> =
+        appearances.keys().copied().collect();
+
+    let mut b = TopologyBuilder::new();
+    let mut sorted_edges: Vec<(AsId, AsId)> = edge_seen.into_iter().collect();
+    sorted_edges.sort_unstable();
+    for (u, v) in sorted_edges {
+        b.intern_as(u);
+        b.intern_as(v);
+        let up = *transit.get(&(u, v)).unwrap_or(&0) as f64; // v provides u
+        let down = *transit.get(&(v, u)).unwrap_or(&0) as f64; // u provides v
+        let rel_of_v_to_u = if up > 0.0 && down > 0.0 {
+            let hi = up.max(down);
+            let lo = up.min(down);
+            if hi <= params.sibling_ratio * lo {
+                Rel::Sibling
+            } else if up > down {
+                Rel::Provider
+            } else {
+                Rel::Customer
+            }
+        } else if up > 0.0 {
+            Rel::Provider
+        } else {
+            Rel::Customer
+        };
+        // Peering re-labeling: a true peering link is the summit-spanning
+        // link of (almost) every path it appears in, so its candidacy
+        // count approaches its appearance count; a provider-customer link
+        // adjacent to the summit loses most candidacies to the other,
+        // higher-degree side.
+        let cand = *peer_candidate.get(&norm(u, v)).unwrap_or(&0) as f64;
+        let seen = *appearances.get(&norm(u, v)).unwrap_or(&0) as f64;
+        let (du, dv) = (d(u).max(1) as f64, d(v).max(1) as f64);
+        let comparable =
+            du / dv <= params.peer_degree_ratio && dv / du <= params.peer_degree_ratio;
+        let rel = if rel_of_v_to_u != Rel::Sibling
+            && comparable
+            && cand > 0.0
+            && 2.0 * cand >= seen
+        {
+            Rel::Peer
+        } else {
+            rel_of_v_to_u
+        };
+        b.link(u, v, rel);
+    }
+    b.build().expect("inference output is structurally valid")
+}
+
+/// Tunable knobs of the Agarwal/Subramanian rank-based algorithm.
+#[derive(Clone, Copy, Debug)]
+pub struct AgarwalParams {
+    /// Two ASes whose log-degree ranks differ by less than this are placed
+    /// in the same level, making their link a peering link.
+    pub same_level_band: f64,
+    /// Minimum observed degree for an AS to participate in peering.
+    pub min_peer_degree: usize,
+}
+
+impl Default for AgarwalParams {
+    fn default() -> Self {
+        AgarwalParams { same_level_band: 0.35, min_peer_degree: 3 }
+    }
+}
+
+/// The Subramanian/Agarwal et al. (2002) rank-based inference.
+///
+/// Each AS gets a rank (log of observed degree — the published algorithm's
+/// multi-vantage level assignment is dominated by degree in practice); a
+/// link between same-level ASes is a peering link, otherwise the
+/// higher-ranked AS is the provider. Transit votes (as in Gao phase 1) that
+/// fire in both directions mark siblings. The paper observes this algorithm
+/// finds more peering and fewer sibling links than Gao's (Table 5.1), which
+/// this construction reproduces.
+pub fn agarwal_infer(paths: &[Vec<AsId>], params: AgarwalParams) -> Topology {
+    let deg = observed_degrees(paths);
+    let d = |a: AsId| *deg.get(&a).unwrap_or(&0);
+    let rank = |a: AsId| (d(a).max(1) as f64).ln();
+
+    let mut transit: HashMap<(AsId, AsId), u32> = HashMap::new();
+    let mut edge_seen: std::collections::HashSet<(AsId, AsId)> =
+        std::collections::HashSet::new();
+    for p in paths {
+        if p.len() < 2 {
+            continue;
+        }
+        let top = (0..p.len())
+            .max_by_key(|&i| (d(p[i]), std::cmp::Reverse(p[i])))
+            .expect("non-empty path");
+        for i in 0..p.len() - 1 {
+            let (u, v) = (p[i], p[i + 1]);
+            edge_seen.insert(norm(u, v));
+            if i < top {
+                *transit.entry((u, v)).or_insert(0) += 1;
+            } else {
+                *transit.entry((v, u)).or_insert(0) += 1;
+            }
+        }
+    }
+
+    let mut b = TopologyBuilder::new();
+    let mut sorted_edges: Vec<(AsId, AsId)> = edge_seen.into_iter().collect();
+    sorted_edges.sort_unstable();
+    for (u, v) in sorted_edges {
+        b.intern_as(u);
+        b.intern_as(v);
+        let up = *transit.get(&(u, v)).unwrap_or(&0);
+        let down = *transit.get(&(v, u)).unwrap_or(&0);
+        let rel = if up > 0 && down > 0 && up.min(down) * 2 >= up.max(down) {
+            // Strong bidirectional transit: sibling. The 2x band is much
+            // narrower than Gao's L, so fewer siblings — as in Table 5.1.
+            Rel::Sibling
+        } else if (rank(u) - rank(v)).abs() < params.same_level_band
+            && d(u) >= params.min_peer_degree
+            && d(v) >= params.min_peer_degree
+        {
+            Rel::Peer
+        } else if rank(v) > rank(u) {
+            Rel::Provider // v is u's provider
+        } else {
+            Rel::Customer
+        };
+        b.link(u, v, rel);
+    }
+    b.build().expect("inference output is structurally valid")
+}
+
+/// Fraction (0..=1) of links present in both topologies whose relationship
+/// labels agree. Links present in only one topology are ignored.
+pub fn agreement(truth: &Topology, inferred: &Topology) -> f64 {
+    let mut total = 0usize;
+    let mut agree = 0usize;
+    for x in truth.nodes() {
+        for &(y, rel) in truth.neighbors(x) {
+            if y < x {
+                continue;
+            }
+            let (ax, ay) = (truth.asn(x), truth.asn(y));
+            let (Some(ix), Some(iy)) = (inferred.node(ax), inferred.node(ay)) else {
+                continue;
+            };
+            let Some(irel) = inferred.rel(ix, iy) else { continue };
+            total += 1;
+            if irel == rel {
+                agree += 1;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        agree as f64 / total as f64
+    }
+}
+
+fn norm(a: AsId, b: AsId) -> (AsId, AsId) {
+    if a < b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // A small hierarchy: 1 and 2 are tier-1 peers (degree 4 each);
+    // 10, 11, 13 customers of 1; 12, 14, 15 customers of 2;
+    // 20 customer of 10; 21 customer of 12.
+    // Paths are what BGP would produce (valley-free, up-peer-down).
+    fn sample_paths() -> Vec<Vec<AsId>> {
+        let p = |v: &[u32]| v.iter().map(|&x| AsId(x)).collect::<Vec<_>>();
+        vec![
+            p(&[20, 10, 1, 11]),
+            p(&[20, 10, 1, 2, 12]),
+            p(&[20, 10, 1, 2, 12, 21]),
+            p(&[11, 1, 2, 12]),
+            p(&[11, 1, 10, 20]),
+            p(&[21, 12, 2, 1, 10, 20]),
+            p(&[21, 12, 2, 1, 11]),
+            p(&[10, 1, 2, 12]),
+            p(&[12, 2, 1, 11]),
+            p(&[12, 2, 1, 10, 20]),
+            p(&[13, 1, 2, 14]),
+            p(&[14, 2, 1, 13]),
+            p(&[15, 2, 1, 13]),
+        ]
+    }
+
+    /// Toy graphs have flat degrees, so narrow the peer ratio band below
+    /// the provider/customer degree gap (4 vs 2) of the fixture.
+    fn tight_params() -> GaoParams {
+        GaoParams { peer_degree_ratio: 1.9, ..GaoParams::default() }
+    }
+
+    #[test]
+    fn observed_degree_counts_distinct_neighbors() {
+        let deg = observed_degrees(&sample_paths());
+        assert_eq!(deg[&AsId(1)], 4); // neighbors 10, 11, 13, 2
+        assert_eq!(deg[&AsId(20)], 1);
+        assert_eq!(deg[&AsId(2)], 4); // neighbors 1, 12, 14, 15
+    }
+
+    #[test]
+    fn gao_recovers_hierarchy() {
+        let t = gao_infer(&sample_paths(), tight_params());
+        let n = |a: u32| t.node(AsId(a)).unwrap();
+        // 1 provides 10 and 11.
+        assert_eq!(t.rel(n(10), n(1)), Some(Rel::Provider));
+        assert_eq!(t.rel(n(11), n(1)), Some(Rel::Provider));
+        // 10 provides 20.
+        assert_eq!(t.rel(n(20), n(10)), Some(Rel::Provider));
+        // 2 provides 12.
+        assert_eq!(t.rel(n(12), n(2)), Some(Rel::Provider));
+    }
+
+    #[test]
+    fn gao_finds_tier1_peering() {
+        let t = gao_infer(&sample_paths(), tight_params());
+        let n = |a: u32| t.node(AsId(a)).unwrap();
+        assert_eq!(
+            t.rel(n(1), n(2)),
+            Some(Rel::Peer),
+            "the summit link between comparable-degree tops should be peering"
+        );
+    }
+
+    #[test]
+    fn gao_finds_siblings_from_bidirectional_transit() {
+        // 5 and 6 transit for each other: with summits 7 and 9 (degree 4)
+        // on either side, the 5-6 link is climbed in both directions.
+        let p = |v: &[u32]| v.iter().map(|&x| AsId(x)).collect::<Vec<_>>();
+        let paths = vec![
+            // Degree padding: make 7 and 9 the high-degree summits.
+            p(&[71, 7]),
+            p(&[72, 7]),
+            p(&[73, 7]),
+            p(&[91, 9]),
+            p(&[92, 9]),
+            p(&[93, 9]),
+            p(&[5, 6, 9]), // summit 9: the 5->6 hop climbs (6 provides 5)
+            p(&[6, 5, 7]), // summit 7: the 6->5 hop climbs (5 provides 6)
+        ];
+        let t = gao_infer(&paths, GaoParams::default());
+        let n = |a: u32| t.node(AsId(a)).unwrap();
+        assert_eq!(t.rel(n(5), n(6)), Some(Rel::Sibling));
+    }
+
+    #[test]
+    fn agarwal_recovers_hierarchy_and_peering() {
+        let t = agarwal_infer(&sample_paths(), AgarwalParams::default());
+        let n = |a: u32| t.node(AsId(a)).unwrap();
+        assert_eq!(t.rel(n(20), n(10)), Some(Rel::Provider));
+        // 1 and 2 have equal degree (4): same level, hence peering.
+        assert_eq!(t.rel(n(1), n(2)), Some(Rel::Peer));
+    }
+
+    #[test]
+    fn agreement_is_one_for_identical() {
+        let t = gao_infer(&sample_paths(), GaoParams::default());
+        assert!((agreement(&t, &t) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn agreement_counts_common_links_only() {
+        let a = gao_infer(&sample_paths(), GaoParams::default());
+        // An unrelated graph shares no links: agreement over zero links = 0.
+        let mut b = TopologyBuilder::new();
+        b.intern_as(AsId(7000));
+        b.intern_as(AsId(7001));
+        b.peering(AsId(7000), AsId(7001));
+        let b = b.build().unwrap();
+        assert_eq!(agreement(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn inference_handles_empty_and_trivial_input() {
+        let t = gao_infer(&[], GaoParams::default());
+        assert_eq!(t.num_nodes(), 0);
+        let t = agarwal_infer(&[vec![AsId(1)]], AgarwalParams::default());
+        assert_eq!(t.num_edges(), 0);
+    }
+}
+
+#[cfg(test)]
+mod path_text_tests {
+    use super::*;
+
+    #[test]
+    fn parses_dump_with_comments_and_prepending() {
+        let paths = paths_from_text(
+            "# RouteViews-ish dump\n\n701 1239 7018 88 88 88\n701 3549 88\n",
+        )
+        .unwrap();
+        assert_eq!(paths.len(), 2);
+        assert_eq!(
+            paths[0],
+            vec![AsId(701), AsId(1239), AsId(7018), AsId(88)],
+            "prepending collapsed"
+        );
+    }
+
+    #[test]
+    fn rejects_garbage_with_line_numbers() {
+        let err = paths_from_text("701 88\n701 banana\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn pipeline_from_text_dump() {
+        // A dump in, an annotated graph out: the external-data entry into
+        // the inference pipeline.
+        let dump = "\
+20 10 1 11
+20 10 1 2 12
+11 1 2 12
+21 12 2 1 10 20
+12 2 1 11
+13 1 2 14
+14 2 1 13
+15 2 1 13
+";
+        let paths = paths_from_text(dump).unwrap();
+        let t = gao_infer(&paths, GaoParams { peer_degree_ratio: 1.9, ..Default::default() });
+        let n = |a: u32| t.node(AsId(a)).unwrap();
+        assert_eq!(t.rel(n(20), n(10)), Some(Rel::Provider));
+    }
+}

@@ -1,0 +1,179 @@
+//! (De)serialization of annotated AS graphs.
+//!
+//! Two formats:
+//!
+//! * a line-oriented text format in the spirit of the CAIDA AS-relationship
+//!   files the measurement community uses (`<asn> <asn> <tag>` where the tag
+//!   says what the *second* AS is to the first), and
+//! * JSON via `serde`, used by the evaluation harness to cache datasets.
+
+use crate::graph::{AsId, Rel, Topology, TopologyBuilder, TopologyError};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Errors from parsing the text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Line did not have three whitespace-separated fields.
+    BadLine(usize),
+    /// An AS number field was not a number.
+    BadAsn(usize),
+    /// Unknown relationship tag.
+    BadTag(usize, char),
+    /// The resulting edge set failed topology validation.
+    Invalid(TopologyError),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadLine(l) => write!(f, "line {l}: expected `<asn> <asn> <tag>`"),
+            ParseError::BadAsn(l) => write!(f, "line {l}: bad AS number"),
+            ParseError::BadTag(l, c) => write!(f, "line {l}: unknown relationship tag {c:?}"),
+            ParseError::Invalid(e) => write!(f, "invalid topology: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serialize to the text format. Each link appears once, from the
+/// lower-numbered AS's perspective; lines are sorted, so equal topologies
+/// serialize identically.
+pub fn to_text(topo: &Topology) -> String {
+    let mut lines: Vec<String> = Vec::with_capacity(topo.num_edges());
+    for x in topo.nodes() {
+        for &(y, rel) in topo.neighbors(x) {
+            let (ax, ay) = (topo.asn(x), topo.asn(y));
+            if ax < ay {
+                lines.push(format!("{} {} {}", ax, ay, rel.tag()));
+            }
+        }
+    }
+    lines.sort();
+    let mut out = String::new();
+    for l in lines {
+        let _ = writeln!(out, "{l}");
+    }
+    out
+}
+
+/// Parse the text format. Blank lines and `#` comments are ignored.
+pub fn from_text(text: &str) -> Result<Topology, ParseError> {
+    let mut b = TopologyBuilder::new();
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(a), Some(c), Some(t)) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(ParseError::BadLine(lineno));
+        };
+        if parts.next().is_some() {
+            return Err(ParseError::BadLine(lineno));
+        }
+        let a: u32 = a.parse().map_err(|_| ParseError::BadAsn(lineno))?;
+        let c: u32 = c.parse().map_err(|_| ParseError::BadAsn(lineno))?;
+        let tag = t.chars().next().filter(|_| t.len() == 1);
+        let rel = tag
+            .and_then(Rel::from_tag)
+            .ok_or(ParseError::BadTag(lineno, t.chars().next().unwrap_or('?')))?;
+        b.intern_as(AsId(a));
+        b.intern_as(AsId(c));
+        b.link(AsId(a), AsId(c), rel);
+    }
+    b.build().map_err(ParseError::Invalid)
+}
+
+/// Serde-friendly mirror of a topology.
+#[derive(Serialize, Deserialize, Clone, Debug, PartialEq, Eq)]
+pub struct TopologyDoc {
+    /// `[a, b, tag]` triples; tag as in [`Rel::tag`].
+    pub links: Vec<(u32, u32, char)>,
+    /// ASes with no links (so empty graphs round-trip).
+    pub isolated: Vec<u32>,
+}
+
+impl TopologyDoc {
+    /// Capture a topology.
+    pub fn of(topo: &Topology) -> TopologyDoc {
+        let mut links = Vec::with_capacity(topo.num_edges());
+        let mut isolated = Vec::new();
+        for x in topo.nodes() {
+            if topo.neighbors(x).is_empty() {
+                isolated.push(topo.asn(x).0);
+            }
+            for &(y, rel) in topo.neighbors(x) {
+                let (ax, ay) = (topo.asn(x), topo.asn(y));
+                if ax < ay {
+                    links.push((ax.0, ay.0, rel.tag()));
+                }
+            }
+        }
+        links.sort_unstable();
+        isolated.sort_unstable();
+        TopologyDoc { links, isolated }
+    }
+
+    /// Rebuild the topology.
+    pub fn build(&self) -> Result<Topology, ParseError> {
+        let mut b = TopologyBuilder::new();
+        for &asn in &self.isolated {
+            b.intern_as(AsId(asn));
+        }
+        for &(x, y, tag) in &self.links {
+            let rel = Rel::from_tag(tag).ok_or(ParseError::BadTag(0, tag))?;
+            b.intern_as(AsId(x));
+            b.intern_as(AsId(y));
+            b.link(AsId(x), AsId(y), rel);
+        }
+        b.build().map_err(ParseError::Invalid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::GenParams;
+
+    #[test]
+    fn text_round_trip() {
+        let t = GenParams::tiny(9).generate();
+        let text = to_text(&t);
+        let u = from_text(&text).unwrap();
+        assert_eq!(to_text(&u), text);
+        assert_eq!(t.num_nodes(), u.num_nodes());
+        assert_eq!(t.num_edges(), u.num_edges());
+    }
+
+    #[test]
+    fn text_parses_comments_and_blanks() {
+        let t = from_text("# header\n\n1 2 c\n2 3 e\n").unwrap();
+        assert_eq!(t.num_nodes(), 3);
+        assert_eq!(t.num_edges(), 2);
+        let (a, b) = (t.node(AsId(1)).unwrap(), t.node(AsId(2)).unwrap());
+        assert_eq!(t.rel(a, b), Some(Rel::Customer));
+    }
+
+    #[test]
+    fn text_rejects_garbage() {
+        assert!(matches!(from_text("1 2"), Err(ParseError::BadLine(1))));
+        assert!(matches!(from_text("x 2 c"), Err(ParseError::BadAsn(1))));
+        assert!(matches!(from_text("1 2 z"), Err(ParseError::BadTag(1, 'z'))));
+        assert!(matches!(from_text("1 2 c d"), Err(ParseError::BadLine(1))));
+        assert!(matches!(from_text("1 1 c"), Err(ParseError::Invalid(_))));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let t = GenParams::tiny(11).generate();
+        let doc = TopologyDoc::of(&t);
+        let json = serde_json::to_string(&doc).unwrap();
+        let doc2: TopologyDoc = serde_json::from_str(&json).unwrap();
+        assert_eq!(doc, doc2);
+        let u = doc2.build().unwrap();
+        assert_eq!(to_text(&t), to_text(&u));
+    }
+}

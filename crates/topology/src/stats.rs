@@ -1,0 +1,166 @@
+//! Topology statistics backing Table 5.1 and Figure 5.1.
+
+use crate::graph::{NodeId, Rel, Topology};
+
+/// Per-dataset attribute row, as in Table 5.1.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LinkCensus {
+    /// Number of ASes.
+    pub nodes: usize,
+    /// Total inter-AS links.
+    pub edges: usize,
+    /// Provider-customer links.
+    pub pc_links: usize,
+    /// Peer-peer links.
+    pub peering_links: usize,
+    /// Sibling links.
+    pub sibling_links: usize,
+    /// Stub ASes (no customers).
+    pub stubs: usize,
+    /// Multi-homed stubs (stub with >= 2 providers) — the section 5.4 cohort.
+    pub multihomed_stubs: usize,
+    /// Leaf ASes (only providers; section 7.3.2's notion).
+    pub leaves: usize,
+}
+
+/// Count nodes and links by class.
+pub fn link_census(topo: &Topology) -> LinkCensus {
+    let mut pc = 0;
+    let mut peer = 0;
+    let mut sib = 0;
+    for x in topo.nodes() {
+        for &(y, rel) in topo.neighbors(x) {
+            if y < x {
+                continue; // count each link once
+            }
+            match rel {
+                Rel::Customer | Rel::Provider => pc += 1,
+                Rel::Peer => peer += 1,
+                Rel::Sibling => sib += 1,
+            }
+        }
+    }
+    LinkCensus {
+        nodes: topo.num_nodes(),
+        edges: topo.num_edges(),
+        pc_links: pc,
+        peering_links: peer,
+        sibling_links: sib,
+        stubs: topo.nodes().filter(|&x| topo.is_stub(x)).count(),
+        multihomed_stubs: topo.nodes().filter(|&x| topo.is_multihomed_stub(x)).count(),
+        leaves: topo.nodes().filter(|&x| topo.is_leaf(x)).count(),
+    }
+}
+
+/// One point of the Figure 5.1 curve: `count` nodes have degree >= `degree`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DegreePoint {
+    pub degree: usize,
+    /// Number of nodes with at least this degree.
+    pub count: usize,
+    /// Same as a fraction of all nodes.
+    pub fraction_permille: u32,
+}
+
+/// Complementary cumulative degree distribution (Figure 5.1): for each
+/// distinct degree value, how many nodes have at least that degree.
+pub fn degree_ccdf(topo: &Topology) -> Vec<DegreePoint> {
+    let n = topo.num_nodes();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut degs: Vec<usize> = topo.nodes().map(|x| topo.degree(x)).collect();
+    degs.sort_unstable();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < degs.len() {
+        let d = degs[i];
+        let count = degs.len() - i; // nodes with degree >= d
+        out.push(DegreePoint {
+            degree: d,
+            count,
+            fraction_permille: ((count * 1000) / n) as u32,
+        });
+        while i < degs.len() && degs[i] == d {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Nodes sorted by decreasing degree (ties broken by ascending AS number,
+/// for determinism). This is the adoption order used by the incremental-
+/// deployment experiment (section 5.3.3: "in order of decreasing node degree
+/// to capture the likely scenario where the nodes with higher degree adopt
+/// MIRO first").
+pub fn nodes_by_degree_desc(topo: &Topology) -> Vec<NodeId> {
+    let mut v: Vec<NodeId> = topo.nodes().collect();
+    v.sort_by_key(|&x| (std::cmp::Reverse(topo.degree(x)), topo.asn(x)));
+    v
+}
+
+/// The `k` highest-degree nodes ("power node" candidates / early adopters).
+pub fn top_degree_nodes(topo: &Topology, k: usize) -> Vec<NodeId> {
+    let mut v = nodes_by_degree_desc(topo);
+    v.truncate(k);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::GenParams;
+    use crate::graph::{AsId, TopologyBuilder};
+
+    #[test]
+    fn census_matches_construction() {
+        let mut b = TopologyBuilder::new();
+        for n in 1..=5 {
+            b.add_as(AsId(n));
+        }
+        b.provider_customer(AsId(1), AsId(2));
+        b.provider_customer(AsId(1), AsId(3));
+        b.peering(AsId(2), AsId(3));
+        b.sibling(AsId(4), AsId(5));
+        b.provider_customer(AsId(2), AsId(4));
+        let t = b.build().unwrap();
+        let c = link_census(&t);
+        assert_eq!(c.nodes, 5);
+        assert_eq!(c.edges, 5);
+        assert_eq!(c.pc_links, 3);
+        assert_eq!(c.peering_links, 1);
+        assert_eq!(c.sibling_links, 1);
+        assert_eq!(c.pc_links + c.peering_links + c.sibling_links, c.edges);
+    }
+
+    #[test]
+    fn ccdf_is_monotone_and_starts_at_all_nodes() {
+        let t = GenParams::tiny(5).generate();
+        let ccdf = degree_ccdf(&t);
+        assert_eq!(ccdf[0].count, t.num_nodes());
+        for w in ccdf.windows(2) {
+            assert!(w[0].degree < w[1].degree);
+            assert!(w[0].count > w[1].count);
+        }
+        // The highest-degree point covers at least one node.
+        assert!(ccdf.last().unwrap().count >= 1);
+    }
+
+    #[test]
+    fn degree_ordering_is_deterministic_and_sorted() {
+        let t = GenParams::tiny(5).generate();
+        let order = nodes_by_degree_desc(&t);
+        assert_eq!(order.len(), t.num_nodes());
+        for w in order.windows(2) {
+            assert!(t.degree(w[0]) >= t.degree(w[1]));
+        }
+        assert_eq!(order, nodes_by_degree_desc(&t));
+        assert_eq!(top_degree_nodes(&t, 3), order[..3].to_vec());
+    }
+
+    #[test]
+    fn empty_topology_ccdf() {
+        let t = TopologyBuilder::new().build().unwrap();
+        assert!(degree_ccdf(&t).is_empty());
+    }
+}

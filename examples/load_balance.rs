@@ -1,0 +1,134 @@
+//! Inbound traffic engineering at a multi-homed stub (sections 3.3 and
+//! 5.4): the stub finds a "power node", negotiates a route switch, and we
+//! measure how much traffic actually moves between its provider links —
+//! plus the tunnel-ingress traffic splitting of section 3.5.
+//!
+//! ```sh
+//! cargo run --release --example load_balance
+//! ```
+
+use miro_bgp::solver::RoutingState;
+use miro_dataplane::classifier::{Action, Classifier, FlowKey, HashSplitter, Match};
+use miro_dataplane::ipv4::Ipv4Addr4;
+use miro_eval::inbound::evaluate_stub;
+use miro_topology::gen::DatasetPreset;
+
+fn main() {
+    let topo = DatasetPreset::Gao2005.params(0.03, 7).generate();
+    println!(
+        "Synthetic 'Gao 2005' at 3% scale: {} ASes, {} links.\n",
+        topo.num_nodes(),
+        topo.num_edges()
+    );
+
+    // Pick the multi-homed stub with the most skewed incoming load.
+    let mut best: Option<(miro_topology::NodeId, usize)> = None;
+    for d in topo.nodes().filter(|&x| topo.is_multihomed_stub(x)).take(200) {
+        let st = RoutingState::solve(&topo, d);
+        let mut loads: std::collections::HashMap<_, usize> = Default::default();
+        for s in topo.nodes() {
+            if s == d {
+                continue;
+            }
+            if let Some(p) = st.path(s) {
+                let entry = if p.len() >= 2 { p[p.len() - 2] } else { s };
+                *loads.entry(entry).or_insert(0) += 1;
+            }
+        }
+        if loads.len() >= 2 {
+            let max = *loads.values().max().expect("non-empty");
+            let min = *loads.values().min().expect("non-empty");
+            let skew = max - min;
+            if best.is_none_or(|(_, s)| skew > s) {
+                best = Some((d, skew));
+            }
+        }
+    }
+    let (stub, _) = best.expect("some multi-homed stub exists");
+    let st = RoutingState::solve(&topo, stub);
+    println!("Stub AS{} has providers:", topo.asn(stub));
+    let mut loads: std::collections::HashMap<_, usize> = Default::default();
+    let mut total = 0usize;
+    for s in topo.nodes() {
+        if s == stub {
+            continue;
+        }
+        if let Some(p) = st.path(s) {
+            total += 1;
+            let entry = if p.len() >= 2 { p[p.len() - 2] } else { s };
+            *loads.entry(entry).or_insert(0) += 1;
+        }
+    }
+    let mut load_list: Vec<_> = loads.iter().collect();
+    load_list.sort_by_key(|&(_, &l)| std::cmp::Reverse(l));
+    for (prov, l) in &load_list {
+        println!(
+            "  link AS{} -> AS{}: {} of {} source ASes ({:.0}%)",
+            topo.asn(**prov),
+            topo.asn(stub),
+            l,
+            total,
+            100.0 * **l as f64 / total as f64
+        );
+    }
+
+    println!("\nSearching for a power node (the section 5.4 application)...");
+    let outcome = evaluate_stub(&topo, stub, 8, 2, 200 * topo.num_nodes())
+        .expect("stub has sources");
+    let names = [["strict", "flexible"], ["convert_all", "independent"]];
+    for pi in 0..2 {
+        for mi in 0..2 {
+            println!(
+                "  {:<9} / {:<12}: best power node can move {:>5.1}% of incoming traffic",
+                names[0][pi],
+                names[1][mi],
+                100.0 * outcome.best_moved[pi][mi]
+            );
+        }
+    }
+    println!(
+        "  best power node degree {}, {} hop(s) from the stub\n",
+        outcome.power_degree, outcome.power_distance
+    );
+
+    // ---- Section 3.5: the ingress splits traffic across paths ---------
+    println!("Tunnel-ingress traffic splitting (section 3.5):");
+    let classifier = Classifier::new(vec![
+        // Real-time traffic (EF DSCP) takes the low-latency tunnel.
+        (Match { tos: Some(0xb8), ..Default::default() }, Action::Tunnel(7)),
+        // Bulk HTTP stays on the (cheap) default route.
+        (Match { dst_port: Some((80, 80)), ..Default::default() }, Action::Default),
+    ]);
+    let mk = |tos, port, host| FlowKey {
+        src: Ipv4Addr4::new(10, 0, 0, host),
+        dst: Ipv4Addr4::new(12, 34, 56, 78),
+        src_port: 40000,
+        dst_port: port,
+        protocol: 6,
+        tos,
+    };
+    println!("  voice flow (tos 0xb8)  -> {:?}", classifier.classify(&mk(0xb8, 5060, 1)));
+    println!("  web flow   (port 80)   -> {:?}", classifier.classify(&mk(0, 80, 2)));
+    println!("  other flow             -> {:?}", classifier.classify(&mk(0, 9999, 3)));
+
+    let splitter = HashSplitter::new(vec![(2, 7), (1, 8)]); // 2:1 over tunnels 7 and 8
+    let mut counts = [0usize; 2];
+    for h in 0..600u32 {
+        let k = FlowKey {
+            src: Ipv4Addr4::from_u32(0x0a00_0000 + h),
+            dst: Ipv4Addr4::new(12, 34, 56, 78),
+            src_port: 40000,
+            dst_port: 443,
+            protocol: 6,
+            tos: 0,
+        };
+        match splitter.path_for(&k) {
+            7 => counts[0] += 1,
+            _ => counts[1] += 1,
+        }
+    }
+    println!(
+        "  hash-splitting 600 flows 2:1 across tunnels 7/8 -> {} / {} (flows sticky per path)",
+        counts[0], counts[1]
+    );
+}

@@ -1,0 +1,105 @@
+//! Chapter 6 in action: parse the dissertation's extended route-map
+//! configuration, watch the `match empty path` trigger fire, and run the
+//! negotiation it requests with responder-side pricing.
+//!
+//! ```sh
+//! cargo run --example policy_lab
+//! ```
+
+use miro_policy::eval::{PolicyRoute, PolicyEngine};
+use miro_policy::parse_config;
+use miro_topology::RouteClass;
+
+const REQUESTER_CONFIG: &str = "\
+router bgp 100
+!
+route-map AVOID_AS permit 10
+match empty path 200
+try negotiation NEG-312
+!
+ip as-path access-list 200 deny _312_
+ip as-path access-list 200 permit .*
+!
+negotiation NEG-312
+match all path _312_
+start negotiation #1 with maximum cost 250
+";
+
+const RESPONDER_CONFIG: &str = "\
+router bgp 150
+!
+accept negotiation from any
+when tunnel_number < 1000
+!
+negotiation filter FILTER-1
+filter permit local_pref > 400
+set tunnel_cost 120
+filter permit local_pref > 200
+set tunnel_cost 180
+";
+
+fn main() {
+    println!("== Requester (AS 100) configuration ==\n{REQUESTER_CONFIG}");
+    let requester = PolicyEngine::new(parse_config(REQUESTER_CONFIG).expect("parses"));
+    println!("== Responder (AS 150) configuration ==\n{RESPONDER_CONFIG}");
+    let responder = PolicyEngine::new(parse_config(RESPONDER_CONFIG).expect("parses"));
+
+    // AS 100's BGP candidates toward some prefix: both go through AS 312.
+    let candidates = vec![
+        PolicyRoute { path: vec![150, 312, 700], local_pref: 450 },
+        PolicyRoute { path: vec![250, 312, 700], local_pref: 250 },
+    ];
+    println!("AS 100's candidates toward AS 700:");
+    for c in &candidates {
+        println!("  path {:?} local-pref {}", c.path, c.local_pref);
+    }
+
+    let (kept, triggers) = requester.apply_route_map("AVOID_AS", &candidates);
+    println!("\nAfter route-map AVOID_AS: {} route(s) survive the 'no AS 312' intent.", kept.len());
+    assert!(kept.is_empty());
+    let trigger = &triggers[0];
+    println!(
+        "Trigger fired: negotiation {:?}, avoid {:?}, budget {:?}, candidate targets {:?}",
+        trigger.negotiation, trigger.avoid, trigger.max_cost, trigger.targets
+    );
+
+    // The requester contacts the first target (AS 150). The responder's
+    // candidate routes for the prefix, by class:
+    println!("\nAS 150's own candidates (class -> conventional local-pref):");
+    let responder_routes = [
+        (vec![800, 700], RouteClass::Customer),
+        (vec![650, 700], RouteClass::Peer),
+        (vec![900, 650, 700], RouteClass::Provider),
+    ];
+    for (path, class) in &responder_routes {
+        println!("  {:?}: {:?} (lp {})", path, class, class.local_pref());
+    }
+
+    println!("\nResponder admission for AS 100 with 3 live tunnels: {}",
+        responder.admits(100, 3));
+
+    println!("\nPriced offers through FILTER-1 (avoiding 312, within budget {}):",
+        trigger.max_cost.expect("budget set"));
+    let mut offers = Vec::new();
+    for (path, class) in &responder_routes {
+        if path.contains(&312) {
+            continue;
+        }
+        match responder.price("FILTER-1", class.local_pref()) {
+            Some(cost) if cost <= trigger.max_cost.unwrap_or(u32::MAX) => {
+                println!("  OFFER  {:?} at cost {}", path, cost);
+                offers.push((path.clone(), cost));
+            }
+            Some(cost) => println!("  (too expensive: {:?} at {})", path, cost),
+            None => println!("  (not for sale: {:?} — {:?} routes are filtered)", path, class),
+        }
+    }
+    let (best_path, best_cost) = offers
+        .iter()
+        .min_by_key(|(_, c)| *c)
+        .expect("at least one offer");
+    println!(
+        "\nAS 100 accepts {:?} at cost {} -> tunnel established; traffic to AS 700 now avoids AS 312.",
+        best_path, best_cost
+    );
+}

@@ -1,0 +1,40 @@
+//! Keep the shipped demo scenario honest: run `data/demo.miro` through
+//! the shell and check the narrative beats.
+
+#[test]
+fn demo_scenario_plays_through() {
+    let script = std::fs::read_to_string(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/data/demo.miro"),
+    )
+    .expect("demo scenario ships with the repo");
+    // Rebase the `load` path onto the manifest dir so the test is
+    // cwd-independent.
+    let script = script.replace(
+        "load data/figure_1_1.txt",
+        &format!("load {}/data/figure_1_1.txt", env!("CARGO_MANIFEST_DIR")),
+    );
+    let mut repl = miro_cli::Repl::new();
+    let out = repl.run_script(&script);
+    assert!(out.contains("loaded topology: 6 ASes, 8 links"), "{out}");
+    assert!(out.contains("tunnel 0 established"), "{out}");
+    assert!(out.contains("AS1 buys [3 6] from AS2 at price 180"), "{out}");
+    assert!(out.contains("lease(s) dropped"), "{out}");
+    assert!(!out.contains("error:"), "scenario must be clean: {out}");
+    assert!(out.trim_end().ends_with("bye"), "{out}");
+}
+
+/// The shipped figure_1_1.txt matches the programmatic figure_1_1().
+#[test]
+fn shipped_topology_file_matches_the_figure()  {
+    let text = std::fs::read_to_string(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/data/figure_1_1.txt"),
+    )
+    .expect("data file ships with the repo");
+    let from_file = miro_topology::io::from_text(&text).expect("parses");
+    let (programmatic, _) = miro_topology::gen::figure_1_1();
+    assert_eq!(
+        miro_topology::io::to_text(&from_file),
+        miro_topology::io::to_text(&programmatic),
+        "data/figure_1_1.txt drifted from gen::figure_1_1()"
+    );
+}

@@ -1,0 +1,314 @@
+//! End-to-end integration: control plane (negotiation) and data plane
+//! (encapsulation + intra-AS forwarding) working together across crates,
+//! on the paper's running example.
+
+use miro_bgp::solver::RoutingState;
+use miro_core::negotiate::Constraint;
+use miro_core::node::MiroNetwork;
+use miro_dataplane::encap;
+use miro_dataplane::intra::{figure_4_1, Forwarded};
+use miro_dataplane::ipv4::{Ipv4Addr4, Ipv4Header};
+use miro_dataplane::lpm::Prefix;
+use miro_topology::gen::figure_1_1;
+
+/// Negotiate the Figure 3.1 tunnel, then push a packet through the
+/// negotiated path using the wire-format encapsulation: the decapsulated
+/// bytes at the downstream AS must be the original packet, and the shim
+/// must carry the leased tunnel id.
+#[test]
+fn negotiated_tunnel_carries_real_packets() {
+    let (topo, [a, b, c, _d, e, f]) = figure_1_1();
+    let st = RoutingState::solve(&topo, f);
+    let mut net = MiroNetwork::new(&topo);
+    let tid = net
+        .negotiate(&st, a, b, vec![Constraint::AvoidAs(e)], 250)
+        .expect("paper example succeeds");
+    let lease = &net.leases()[0];
+    assert_eq!(lease.path, vec![c, f], "the negotiated alternate is BCF");
+
+    // Data plane: A encapsulates toward B's endpoint with the leased id.
+    let payload = b"probe";
+    let inner = Ipv4Header::new(
+        Ipv4Addr4::new(10, 0, 0, 1),
+        Ipv4Addr4::new(12, 34, 56, 78),
+        17,
+        payload.len() as u16,
+    )
+    .emit_with_payload(payload);
+    let endpoint = Ipv4Addr4::new(20, 0, 0, 2);
+    let wire = encap::encapsulate(&inner, Ipv4Addr4::new(10, 0, 0, 254), endpoint, tid.0)
+        .expect("fits");
+    let (outer, shim, revealed) = encap::decapsulate(wire).expect("well-formed");
+    assert_eq!(outer.dst, endpoint);
+    assert_eq!(shim.tunnel_id, tid.0);
+    assert_eq!(revealed, inner);
+}
+
+/// The Figure 4.1 story joined up: the AS fabric's iBGP produces distinct
+/// selections at distinct routers; MIRO sells the non-default path; the
+/// tunnel ends at the right edge router; directed forwarding overrides
+/// the default exit.
+#[test]
+fn intra_as_fabric_honors_miro_tunnel() {
+    let u_prefix = Prefix::new(Ipv4Addr4::new(60, 0, 0, 0), 8);
+    let mut fabric = figure_4_1(u_prefix);
+    // The fabric knows both VU and WU even though each router selects one.
+    let alternates = fabric.valid_as_paths(u_prefix);
+    assert_eq!(alternates.len(), 2);
+
+    // MIRO control plane decision (abstracted): the customer leased the
+    // VU path with tunnel id 7; install directed forwarding at R2.
+    fabric.router_mut(1).tunnel_table.insert(7, 20);
+
+    let inner = Ipv4Header::new(
+        Ipv4Addr4::new(10, 1, 1, 1),
+        Ipv4Addr4::new(60, 1, 2, 3),
+        6,
+        3,
+    )
+    .emit_with_payload(b"abc");
+    let wire = encap::encapsulate(
+        &inner,
+        Ipv4Addr4::new(10, 1, 1, 254),
+        fabric.router(1).addr,
+        7,
+    )
+    .expect("fits");
+    match fabric.forward(0, wire) {
+        Forwarded::TunnelExit { link, inner: got, endpoint_router } => {
+            assert_eq!(link, 20, "directed forwarding picks the V exit link");
+            assert_eq!(endpoint_router, 1);
+            assert_eq!(got, inner);
+        }
+        other => panic!("expected tunnel exit, got {other:?}"),
+    }
+
+    // Non-tunneled traffic to the same prefix still follows the default.
+    let plain = Ipv4Header::new(
+        Ipv4Addr4::new(10, 1, 1, 1),
+        Ipv4Addr4::new(60, 9, 9, 9),
+        6,
+        0,
+    )
+    .emit_with_payload(b"");
+    match fabric.forward(0, plain) {
+        Forwarded::Exit { link, .. } => assert_eq!(link, 20, "R1 defaults via R2 (IGP)"),
+        other => panic!("expected plain exit, got {other:?}"),
+    }
+}
+
+/// Keepalive lifecycle across the network harness: healthy tunnels
+/// survive arbitrary ticking, silent peers expire, and the ledger and
+/// per-node tables never disagree.
+#[test]
+fn tunnel_soft_state_is_consistent() {
+    let (topo, [a, b, _c, d, e, f]) = figure_1_1();
+    let st = RoutingState::solve(&topo, f);
+    let mut net = MiroNetwork::new(&topo);
+    // D is neither adjacent to B nor on a default path through it, so the
+    // conservative /e export would refuse it; B sells flexibly here.
+    net.configure(
+        b,
+        miro_core::node::ResponderConfig {
+            policy: miro_core::export::ExportPolicy::Flexible,
+            ..Default::default()
+        },
+    );
+    let t1 = net.negotiate(&st, a, b, vec![Constraint::AvoidAs(e)], 250).expect("ok");
+    let t2 = net.negotiate(&st, d, b, vec![Constraint::AvoidAs(e)], 250).expect("ok");
+    assert_ne!(t1, t2);
+    for _ in 0..20 {
+        net.tick(5, 30);
+        for lease in net.leases() {
+            assert!(net.tunnels(lease.downstream).get(lease.id).is_some());
+            assert!(net.tunnels(lease.upstream).get(lease.id).is_some());
+        }
+    }
+    assert_eq!(net.leases().len(), 2);
+    // t1's upstream goes silent; only t1 dies.
+    net.silence(t1, 31, 30);
+    assert_eq!(net.leases().len(), 1);
+    assert_eq!(net.leases()[0].id, t2);
+    assert!(net.tunnels(a).get(t1).is_none());
+    assert!(net.tunnels(b).get(t1).is_none());
+}
+
+/// The complete data-plane story across two ASes: the upstream AS
+/// classifies traffic (section 3.5), encapsulates the matching flows
+/// toward the downstream AS's RCP-granted tunnel (sections 4.1-4.3), the
+/// packet crosses the inter-AS link through a lossy transport, and the
+/// downstream fabric decapsulates and directed-forwards out the
+/// negotiated exit link while default traffic keeps the default exit.
+#[test]
+fn cross_as_walk_classifier_tunnel_rcp() {
+    use miro_dataplane::classifier::{Action, Classifier, FlowKey, Match};
+    use miro_dataplane::fault::{FaultyLink, LinkEvent};
+    use miro_dataplane::rcp::Rcp;
+    
+    // Downstream AS X: the Figure 4.1 fabric under an RCP controller.
+    let u_prefix = miro_dataplane::lpm::Prefix::new(Ipv4Addr4::new(60, 0, 0, 0), 8);
+    let mut rcp = Rcp::new(figure_4_1(u_prefix));
+    // The MIRO negotiation concluded on the VU path; the controller
+    // grants the tunnel and installs directed forwarding.
+    let tid = rcp.grant_tunnel(u_prefix, &[500, 600], 0).expect("VU is sellable");
+    let endpoint = rcp.fabric().router(rcp.tunnel(tid).expect("live").egress_router).addr;
+
+    // Upstream AS Y: voice traffic takes the tunnel, the rest defaults.
+    let classifier = Classifier::new(vec![(
+        Match { tos: Some(0xb8), ..Default::default() },
+        Action::Tunnel(tid),
+    )]);
+    let mut link = FaultyLink::new(7, 0, 0); // clean link for the walk
+
+    let send = |tos: u8, rcp: &Rcp, classifier: &Classifier, link: &mut FaultyLink| {
+        let mut hdr = Ipv4Header::new(
+            Ipv4Addr4::new(10, 9, 9, 9),
+            Ipv4Addr4::new(60, 1, 2, 3),
+            17,
+            5,
+        );
+        hdr.dscp_ecn = tos;
+        let inner = hdr.emit_with_payload(b"voice");
+        let key = FlowKey {
+            src: hdr.src,
+            dst: hdr.dst,
+            src_port: 4000,
+            dst_port: 5060,
+            protocol: 17,
+            tos,
+        };
+        let wire = match classifier.classify(&key) {
+            Action::Tunnel(id) => {
+                encap::encapsulate(&inner, Ipv4Addr4::new(10, 9, 9, 254), endpoint, id)
+                    .expect("fits")
+            }
+            Action::Default => inner.clone(),
+            Action::Drop => panic!("unexpected drop"),
+        };
+        match link.transmit(wire) {
+            LinkEvent::Delivered(pkt) => rcp.forward(0, pkt),
+            other => panic!("clean link must deliver: {other:?}"),
+        }
+    };
+
+    // Voice flow: through the tunnel, out the V link (20).
+    match send(0xb8, &rcp, &classifier, &mut link) {
+        miro_dataplane::intra::Forwarded::TunnelExit { link, inner, .. } => {
+            assert_eq!(link, 20, "negotiated exit");
+            let (h, payload) = Ipv4Header::parse(inner).expect("intact");
+            assert_eq!(h.dscp_ecn, 0xb8);
+            assert_eq!(&payload[..], b"voice");
+        }
+        other => panic!("voice must take the tunnel: {other:?}"),
+    }
+    // Best-effort flow: destination-based forwarding on the default exit.
+    match send(0, &rcp, &classifier, &mut link) {
+        miro_dataplane::intra::Forwarded::Exit { link, .. } => {
+            assert_eq!(link, 20, "R1 defaults via R2 (IGP tie-break)")
+        }
+        other => panic!("default traffic exits normally: {other:?}"),
+    }
+
+    // The controller's health monitor reaps the tunnel when keepalives
+    // stop; tunneled packets then go nowhere while default traffic is
+    // unaffected — the soft-state guarantee of section 4.3, at packet
+    // granularity.
+    rcp.health_sweep(100, 30);
+    match send(0xb8, &rcp, &classifier, &mut link) {
+        miro_dataplane::intra::Forwarded::NoRoute => {}
+        other => panic!("expired tunnel must drop: {other:?}"),
+    }
+    match send(0, &rcp, &classifier, &mut link) {
+        miro_dataplane::intra::Forwarded::Exit { .. } => {}
+        other => panic!("default path unaffected by tunnel expiry: {other:?}"),
+    }
+}
+
+/// Wire-format interop: a negotiation transcript captured from the
+/// in-process harness re-encodes through the MIRO control codec and
+/// parses back identically — the byte stream a TCP deployment would see.
+#[test]
+fn negotiation_transcript_round_trips_on_the_wire() {
+    let (topo, [a, b, _c, _d, e, f]) = figure_1_1();
+    let st = RoutingState::solve(&topo, f);
+    let mut net = MiroNetwork::new(&topo);
+    net.negotiate(&st, a, b, vec![Constraint::AvoidAs(e)], 250).expect("ok");
+    net.tick(10, 30);
+    let mut stream = Vec::new();
+    for (_, _, msg) in &net.log {
+        stream.extend(miro_core::wire::emit(msg).expect("every message encodes"));
+    }
+    let mut at = 0;
+    let mut decoded = Vec::new();
+    while at < stream.len() {
+        let (msg, used) = miro_core::wire::parse(&stream[at..]).expect("parses");
+        decoded.push(msg);
+        at += used;
+    }
+    let originals: Vec<_> = net.log.iter().map(|(_, _, m)| m.clone()).collect();
+    assert_eq!(decoded, originals);
+    assert!(decoded.len() >= 5, "request, offers, accept, established, keepalive");
+}
+
+/// The deployable endpoints over a lossy transport: 30% of control
+/// messages are dropped, yet the requester's retry machinery still lands
+/// the tunnel (or fails cleanly when the budget of retries runs out).
+#[test]
+fn endpoint_negotiation_survives_message_loss() {
+    use miro_core::endpoint::{RequesterEndpoint, RequestState, ResponderEndpoint};
+    use miro_core::export::ExportPolicy;
+    use miro_dataplane::fault::{FaultyLink, LinkEvent};
+    use miro_topology::Rel;
+
+    let (topo, [_a, b, _c, _d, e, f]) = figure_1_1();
+    let st = RoutingState::solve(&topo, f);
+    let mut successes = 0;
+    let mut attempts = 0;
+    for seed in 0..20u64 {
+        let mut req = RequesterEndpoint::new(b);
+        req.max_retries = 8; // a lossy channel earns a real retry budget
+        req.timeout = 10;
+        let mut resp = ResponderEndpoint::new(b, &st, ExportPolicy::RespectExport, Rel::Customer);
+        // A 30%-lossy control channel in each direction. MIRO control
+        // messages are self-contained datagrams here, so a drop loses
+        // whole messages, never partial bytes.
+        let mut to_resp = FaultyLink::new(seed, 300, 0);
+        let mut to_req = FaultyLink::new(seed ^ 0xBEEF, 300, 0);
+        let id = req.request(f, vec![Constraint::AvoidAs(e)], 250, 0);
+        attempts += 1;
+        for now in 0..200u64 {
+            req.tick(now);
+            let bytes = req.output();
+            if !bytes.is_empty() {
+                if let LinkEvent::Delivered(pkt) = to_resp.transmit(bytes.into()) {
+                    resp.input(&pkt, now);
+                }
+            }
+            let bytes = resp.output();
+            if !bytes.is_empty() {
+                if let LinkEvent::Delivered(pkt) = to_req.transmit(bytes.into()) {
+                    req.input(&pkt, now);
+                }
+            }
+            if matches!(
+                req.state(id),
+                Some(RequestState::Established(_)) | Some(RequestState::Failed(_))
+            ) {
+                break;
+            }
+        }
+        match req.state(id) {
+            Some(RequestState::Established(tid)) => {
+                successes += 1;
+                assert!(resp.tunnels.get(tid).is_some(), "both sides agree");
+            }
+            Some(RequestState::Failed(_)) => {} // clean failure: acceptable
+            other => panic!("negotiation must terminate, got {other:?}"),
+        }
+    }
+    // With 8 retransmissions against 30% loss, nearly all must succeed.
+    assert!(
+        successes * 10 >= attempts * 8,
+        "only {successes}/{attempts} negotiations survived 30% loss"
+    );
+}
