@@ -27,6 +27,7 @@
 //! router-level attributes only matter inside `miro-dataplane`.
 
 pub mod decision;
+pub mod engine;
 pub mod ns;
 pub mod route;
 pub mod session;

@@ -1,0 +1,235 @@
+//! `miro bench-solver` — whole-network solve timing at three scales.
+//!
+//! For each scale, generates a Gao2005-shaped topology and solves the
+//! stable state for *every* destination twice:
+//!
+//! * **bucket** — the CSR bucket-queue engine behind
+//!   [`miro_bgp::engine::par_over_dests`]: per-thread scratch arenas,
+//!   generation-stamped clearing, lock-free deterministic merge;
+//! * **heap** — the retained [`miro_bgp::solver::reference`] engine,
+//!   driven the way the pre-CSR code drove it: a fresh `BinaryHeap` and
+//!   routing table allocated per destination, results pushed through a
+//!   shared `Mutex<Vec>`.
+//!
+//! Both runs use the same thread count, and the bench asserts their
+//! outputs agree before reporting. Results are written to
+//! `BENCH_solver.json` (see `--out`) so CI can track the perf trajectory.
+
+use miro_bgp::engine::par_over_dests;
+use miro_bgp::solver::reference;
+use miro_topology::gen::DatasetPreset;
+use miro_topology::{NodeId, Topology};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// (name, Gao2005 scale factor, timing repetitions, part of `--scale all`).
+/// `tiny` exists so tests and smoke scripts can exercise the full code
+/// path in milliseconds; it is excluded from `all`.
+const SCALES: &[(&str, f64, u32, bool)] = &[
+    ("tiny", 0.01, 1, false),
+    ("small", 0.05, 3, true),
+    ("medium", 0.5, 1, true),
+    ("large", 1.0, 1, true),
+];
+
+/// Generation seed: fixed so runs are comparable across machines and PRs.
+const SEED: u64 = 42;
+
+struct ScaleRow {
+    name: &'static str,
+    factor: f64,
+    reps: u32,
+    nodes: usize,
+    edges: usize,
+    bucket: Duration,
+    heap: Duration,
+}
+
+impl ScaleRow {
+    fn speedup(&self) -> f64 {
+        self.heap.as_secs_f64() / self.bucket.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Entry point for `miro bench-solver [--scale S] [--threads N] [--out P]`.
+/// Returns the human-readable report; the JSON lands in `--out`
+/// (default `BENCH_solver.json`).
+pub fn run(args: &[String]) -> Result<String, String> {
+    let mut scale = "all".to_string();
+    let mut threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut out_path = "BENCH_solver.json".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut val = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or(format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--scale" => scale = val("--scale")?,
+            "--threads" => {
+                threads = val("--threads")?
+                    .parse()
+                    .map_err(|_| "--threads needs a number".to_string())?;
+            }
+            "--out" => out_path = val("--out")?,
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    let threads = threads.max(1);
+
+    let selected: Vec<_> = if scale == "all" {
+        SCALES.iter().filter(|&&(_, _, _, in_all)| in_all).collect()
+    } else {
+        let found = SCALES.iter().find(|&&(name, ..)| name == scale);
+        vec![found.ok_or_else(|| {
+            let names: Vec<&str> = SCALES.iter().map(|&(n, ..)| n).collect();
+            format!("unknown scale {scale:?} (expected all|{})", names.join("|"))
+        })?]
+    };
+
+    let mut report = format!("bench-solver: whole-network solves, {threads} thread(s)\n");
+    let mut rows = Vec::new();
+    for &&(name, factor, reps, _) in &selected {
+        let topo = DatasetPreset::Gao2005.params(factor, SEED).generate();
+        let dests: Vec<NodeId> = topo.nodes().collect();
+        let (bucket, heap) = time_engines(&topo, &dests, threads, reps);
+        let row = ScaleRow {
+            name,
+            factor,
+            reps,
+            nodes: topo.num_nodes(),
+            edges: topo.num_edges(),
+            bucket,
+            heap,
+        };
+        let _ = writeln!(
+            report,
+            "  {:<6} {:>6} nodes {:>6} links | bucket {:>9.2} ms | heap {:>9.2} ms | {:.2}x",
+            row.name,
+            row.nodes,
+            row.edges,
+            row.bucket.as_secs_f64() * 1e3,
+            row.heap.as_secs_f64() * 1e3,
+            row.speedup()
+        );
+        rows.push(row);
+    }
+
+    let json = to_json(threads, &rows);
+    std::fs::write(&out_path, &json).map_err(|e| format!("cannot write {out_path:?}: {e}"))?;
+    let _ = writeln!(report, "wrote {out_path}");
+    Ok(report)
+}
+
+/// Time both engines over every destination; returns the best-of-`reps`
+/// wall time for (bucket, heap). Panics if the engines ever disagree.
+fn time_engines(
+    topo: &Topology,
+    dests: &[NodeId],
+    threads: usize,
+    reps: u32,
+) -> (Duration, Duration) {
+    let mut bucket = Duration::MAX;
+    let mut heap = Duration::MAX;
+    let mut check: Option<(Vec<usize>, Vec<usize>)> = None;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        let fast = par_over_dests(topo, dests, threads, |_, st| st.reachable_count());
+        bucket = bucket.min(t0.elapsed());
+
+        let t0 = Instant::now();
+        let slow = heap_whole_network(topo, dests, threads);
+        heap = heap.min(t0.elapsed());
+        check = Some((fast, slow));
+    }
+    let (fast, slow) = check.expect("at least one rep");
+    assert_eq!(fast, slow, "bucket and heap engines disagreed");
+    (bucket, heap)
+}
+
+/// The pre-CSR driver shape: heap solver, fresh allocations per solve,
+/// results pushed through a shared mutex, sorted back into order.
+fn heap_whole_network(topo: &Topology, dests: &[NodeId], threads: usize) -> Vec<usize> {
+    let threads = threads.max(1).min(dests.len().max(1));
+    let results: Mutex<Vec<(usize, usize)>> = Mutex::new(Vec::with_capacity(dests.len()));
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= dests.len() {
+                    break;
+                }
+                let st = reference::solve(topo, dests[i]);
+                let count = st.reachable_count();
+                results.lock().expect("bench mutex").push((i, count));
+            });
+        }
+    });
+    let mut v = results.into_inner().expect("bench mutex");
+    v.sort_unstable_by_key(|&(i, _)| i);
+    v.into_iter().map(|(_, c)| c).collect()
+}
+
+fn to_json(threads: usize, rows: &[ScaleRow]) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"solver-whole-network\",");
+    let _ = writeln!(out, "  \"engine\": \"csr-bucket-queue\",");
+    let _ = writeln!(out, "  \"baseline\": \"heap-per-solve-alloc\",");
+    let _ = writeln!(out, "  \"preset\": \"gao2005\",");
+    let _ = writeln!(out, "  \"seed\": {SEED},");
+    let _ = writeln!(out, "  \"threads\": {threads},");
+    let _ = writeln!(out, "  \"scales\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"scale\": \"{}\", \"gao2005_scale\": {}, \"nodes\": {}, \"edges\": {}, \
+             \"dests\": {}, \"reps\": {}, \"bucket_ms\": {:.3}, \"heap_ms\": {:.3}, \
+             \"speedup\": {:.2}}}{comma}",
+            r.name,
+            r.factor,
+            r.nodes,
+            r.edges,
+            r.nodes,
+            r.reps,
+            r.bucket.as_secs_f64() * 1e3,
+            r.heap.as_secs_f64() * 1e3,
+            r.speedup()
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_scale_end_to_end() {
+        let out_path = std::env::temp_dir().join("miro_bench_solver_test.json");
+        let args: Vec<String> = vec![
+            "--scale".into(),
+            "tiny".into(),
+            "--threads".into(),
+            "2".into(),
+            "--out".into(),
+            out_path.display().to_string(),
+        ];
+        let report = run(&args).expect("bench runs");
+        assert!(report.contains("tiny"), "{report}");
+        let json = std::fs::read_to_string(&out_path).expect("json written");
+        assert!(json.contains("\"speedup\""), "{json}");
+        assert!(json.contains("\"nodes\": 209"), "{json}");
+    }
+
+    #[test]
+    fn unknown_scale_is_an_error() {
+        let args: Vec<String> = vec!["--scale".into(), "galactic".into()];
+        let err = run(&args).unwrap_err();
+        assert!(err.contains("unknown scale"), "{err}");
+    }
+}

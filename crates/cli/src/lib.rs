@@ -20,6 +20,8 @@
 //! response text — the binary is a thin stdin/stdout loop around it, and
 //! the tests drive it directly.
 
+pub mod bench;
+
 use miro_bgp::show;
 use miro_bgp::solver::RoutingState;
 use miro_core::export::ExportPolicy;

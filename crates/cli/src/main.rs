@@ -1,6 +1,9 @@
-//! The `miro` binary: a thin stdin/stdout loop around [`miro_cli::Repl`].
+//! The `miro` binary: a thin stdin/stdout loop around [`miro_cli::Repl`],
+//! plus the `bench-solver` performance smoke.
 //!
 //! Interactive: `miro`. Scripted: `miro scenario.txt` or `miro < script`.
+//! Benchmark: `miro bench-solver [--scale tiny|small|medium|large|all]
+//! [--threads N] [--out BENCH_solver.json]`.
 
 use std::io::{BufRead, Write};
 
@@ -9,6 +12,15 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.as_slice() {
         [] => interactive(&mut repl),
+        [cmd, rest @ ..] if cmd == "bench-solver" => {
+            match miro_cli::bench::run(rest) {
+                Ok(report) => print!("{report}"),
+                Err(e) => {
+                    eprintln!("bench-solver: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
         [path] => match std::fs::read_to_string(path) {
             Ok(script) => print!("{}", repl.run_script(&script)),
             Err(e) => {
@@ -17,7 +29,7 @@ fn main() {
             }
         },
         _ => {
-            eprintln!("usage: miro [script-file]");
+            eprintln!("usage: miro [script-file | bench-solver [options]]");
             std::process::exit(2);
         }
     }

@@ -47,11 +47,11 @@ impl FaultyLink {
 
     /// Transmit one packet.
     pub fn transmit(&mut self, packet: Bytes) -> LinkEvent {
-        if self.rng.gen_range(0..1000) < self.drop_permille {
+        if self.rng.gen_range(0..1000u32) < self.drop_permille {
             self.dropped += 1;
             return LinkEvent::Dropped;
         }
-        if !packet.is_empty() && self.rng.gen_range(0..1000) < self.corrupt_permille {
+        if !packet.is_empty() && self.rng.gen_range(0..1000u32) < self.corrupt_permille {
             let idx = self.rng.gen_range(0..packet.len());
             let mut buf = BytesMut::from(&packet[..]);
             // Flip a random non-zero bit pattern so the byte always changes.

@@ -4,8 +4,8 @@
 //! Every Chapter 5 experiment has the same outer shape — pick sample
 //! destinations, solve the BGP stable state once per destination, then
 //! evaluate many sources against it. Destinations are independent, so we
-//! shard them over `crossbeam` scoped threads (no async runtime: this is
-//! pure CPU-bound work).
+//! shard them over scoped threads (no async runtime: this is pure
+//! CPU-bound work).
 
 use miro_bgp::solver::RoutingState;
 use miro_topology::{NodeId, Topology};
@@ -48,27 +48,7 @@ where
     T: Send,
     F: Fn(NodeId, &RoutingState<'_>) -> T + Sync,
 {
-    let threads = threads.max(1);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let collected = std::sync::Mutex::new(Vec::with_capacity(dests.len()));
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= dests.len() {
-                    break;
-                }
-                let d = dests[i];
-                let st = RoutingState::solve(topo, d);
-                let out = f(d, &st);
-                collected.lock().expect("results lock").push((i, out));
-            });
-        }
-    })
-    .expect("worker thread panicked");
-    let mut collected = collected.into_inner().expect("results lock");
-    collected.sort_by_key(|&(i, _)| i);
-    collected.into_iter().map(|(_, out)| out).collect()
+    miro_bgp::engine::par_over_dests(topo, dests, threads, f)
 }
 
 /// Uniform random element (seeded) — tiny convenience used by samplers.

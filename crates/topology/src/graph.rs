@@ -248,7 +248,28 @@ impl TopologyBuilder {
         for list in &mut neighbors {
             list.sort_unstable_by_key(|&(id, _)| id);
         }
-        let topo = Topology { asns: self.asns, index: self.index, neighbors };
+
+        // Flatten into CSR form: one contiguous adjacency array plus
+        // per-node offsets, and a second copy of the neighbor ids grouped
+        // by relationship class (see `Topology::class_slice`).
+        let total: usize = neighbors.iter().map(Vec::len).sum();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut adj = Vec::with_capacity(total);
+        let mut part = Vec::with_capacity(total);
+        let mut part_off = Vec::with_capacity(4 * n + 1);
+        offsets.push(0u32);
+        part_off.push(0u32);
+        for list in &neighbors {
+            adj.extend_from_slice(list);
+            offsets.push(adj.len() as u32);
+            // Class partitions in the fixed order Provider, Sibling,
+            // Customer, Peer; each keeps the sorted-by-id order of `list`.
+            for class in [Rel::Provider, Rel::Sibling, Rel::Customer, Rel::Peer] {
+                part.extend(list.iter().filter(|&&(_, r)| r == class).map(|&(y, _)| y));
+                part_off.push(part.len() as u32);
+            }
+        }
+        let topo = Topology { asns: self.asns, index: self.index, offsets, adj, part, part_off };
         if require_hierarchy {
             if let Some(node) = topo.find_provider_cycle() {
                 return Err(TopologyError::ProviderCycle(topo.asn(node)));
@@ -264,12 +285,36 @@ impl TopologyBuilder {
 }
 
 /// An immutable, validated AS-level topology with relationship annotations.
+///
+/// Adjacency is stored twice, both in flat CSR (compressed sparse row)
+/// form so traversals touch contiguous memory instead of chasing one heap
+/// allocation per node:
+///
+/// * `offsets`/`adj` — node `i`'s neighbors, sorted by id, are
+///   `adj[offsets[i]..offsets[i+1]]`. Backs [`Topology::neighbors`] and the
+///   binary-searched [`Topology::rel`].
+/// * `part_off`/`part` — the same neighbor ids grouped per node by
+///   relationship class in the fixed order Provider, Sibling, Customer,
+///   Peer. Each routing sweep's edge set (providers+siblings going up,
+///   siblings+customers going down, peers sideways) is then one contiguous
+///   slice: see [`Topology::up_neighbors`] and friends.
 #[derive(Clone, Debug)]
 pub struct Topology {
     asns: Vec<AsId>,
     index: HashMap<AsId, NodeId>,
-    neighbors: Vec<Vec<(NodeId, Rel)>>,
+    offsets: Vec<u32>,
+    adj: Vec<(NodeId, Rel)>,
+    part: Vec<NodeId>,
+    part_off: Vec<u32>,
 }
+
+/// Index of each relationship class inside a node's `part` partition. The
+/// order makes both sweep unions (`Provider+Sibling`, `Sibling+Customer`)
+/// contiguous.
+const CLASS_PROVIDER: usize = 0;
+const CLASS_SIBLING: usize = 1;
+const CLASS_CUSTOMER: usize = 2;
+const CLASS_PEER: usize = 3;
 
 impl Topology {
     /// Number of ASes.
@@ -279,7 +324,7 @@ impl Topology {
 
     /// Number of inter-AS links (each unordered pair counted once).
     pub fn num_edges(&self) -> usize {
-        self.neighbors.iter().map(Vec::len).sum::<usize>() / 2
+        self.adj.len() / 2
     }
 
     /// All node ids, `0..num_nodes`.
@@ -297,54 +342,91 @@ impl Topology {
         self.index.get(&asn).copied()
     }
 
-    /// Neighbors of `id` with the relationship each neighbor is *to* `id`.
+    /// Neighbors of `id` with the relationship each neighbor is *to* `id`,
+    /// sorted by neighbor id.
+    #[inline]
     pub fn neighbors(&self, id: NodeId) -> &[(NodeId, Rel)] {
-        &self.neighbors[id as usize]
+        &self.adj[self.offsets[id as usize] as usize..self.offsets[id as usize + 1] as usize]
     }
 
     /// The relationship `b` is to `a`, if the link exists.
     pub fn rel(&self, a: NodeId, b: NodeId) -> Option<Rel> {
-        self.neighbors[a as usize]
-            .binary_search_by_key(&b, |&(id, _)| id)
+        let list = self.neighbors(a);
+        list.binary_search_by_key(&b, |&(id, _)| id)
             .ok()
-            .map(|i| self.neighbors[a as usize][i].1)
+            .map(|i| list[i].1)
     }
 
     /// Degree (total neighbor count) of a node.
+    #[inline]
     pub fn degree(&self, id: NodeId) -> usize {
-        self.neighbors[id as usize].len()
+        (self.offsets[id as usize + 1] - self.offsets[id as usize]) as usize
+    }
+
+    /// One class partition of `id`'s neighbors: classes `lo..hi` in the
+    /// Provider, Sibling, Customer, Peer order.
+    #[inline]
+    fn class_slice(&self, id: NodeId, lo: usize, hi: usize) -> &[NodeId] {
+        let base = 4 * id as usize;
+        &self.part[self.part_off[base + lo] as usize..self.part_off[base + hi] as usize]
+    }
+
+    /// Neighbors a route propagates to on the way *up* the hierarchy:
+    /// providers and siblings, one contiguous slice.
+    #[inline]
+    pub fn up_neighbors(&self, id: NodeId) -> &[NodeId] {
+        self.class_slice(id, CLASS_PROVIDER, CLASS_CUSTOMER)
+    }
+
+    /// Neighbors a route propagates to on the way *down*: siblings and
+    /// customers, one contiguous slice.
+    #[inline]
+    pub fn down_neighbors(&self, id: NodeId) -> &[NodeId] {
+        self.class_slice(id, CLASS_SIBLING, CLASS_PEER)
+    }
+
+    /// Provider neighbors of `id` as a contiguous slice.
+    #[inline]
+    pub fn provider_neighbors(&self, id: NodeId) -> &[NodeId] {
+        self.class_slice(id, CLASS_PROVIDER, CLASS_SIBLING)
+    }
+
+    /// Sibling neighbors of `id` as a contiguous slice.
+    #[inline]
+    pub fn sibling_neighbors(&self, id: NodeId) -> &[NodeId] {
+        self.class_slice(id, CLASS_SIBLING, CLASS_CUSTOMER)
+    }
+
+    /// Customer neighbors of `id` as a contiguous slice.
+    #[inline]
+    pub fn customer_neighbors(&self, id: NodeId) -> &[NodeId] {
+        self.class_slice(id, CLASS_CUSTOMER, CLASS_PEER)
+    }
+
+    /// Peer neighbors of `id` as a contiguous slice.
+    #[inline]
+    pub fn peer_neighbors(&self, id: NodeId) -> &[NodeId] {
+        self.class_slice(id, CLASS_PEER, CLASS_PEER + 1)
     }
 
     /// Customers of `id`.
     pub fn customers(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.neighbors(id)
-            .iter()
-            .filter(|&&(_, r)| r == Rel::Customer)
-            .map(|&(n, _)| n)
+        self.customer_neighbors(id).iter().copied()
     }
 
     /// Providers of `id`.
     pub fn providers(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.neighbors(id)
-            .iter()
-            .filter(|&&(_, r)| r == Rel::Provider)
-            .map(|&(n, _)| n)
+        self.provider_neighbors(id).iter().copied()
     }
 
     /// Peers of `id`.
     pub fn peers(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.neighbors(id)
-            .iter()
-            .filter(|&&(_, r)| r == Rel::Peer)
-            .map(|&(n, _)| n)
+        self.peer_neighbors(id).iter().copied()
     }
 
     /// Siblings of `id`.
     pub fn siblings(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.neighbors(id)
-            .iter()
-            .filter(|&&(_, r)| r == Rel::Sibling)
-            .map(|&(n, _)| n)
+        self.sibling_neighbors(id).iter().copied()
     }
 
     /// A *leaf node* in the sense of section 7.3.2: an AS that acts only as a
@@ -640,6 +722,39 @@ mod tests {
         let d = t.node(AsId(4)).unwrap();
         // A can reach B either directly (peer) or via D.
         assert!(t.reachable_avoiding(a, b, d));
+    }
+
+    #[test]
+    fn csr_partitions_cover_all_neighbors() {
+        let t = four_node();
+        for x in t.nodes() {
+            let mut from_classes: Vec<NodeId> = t
+                .provider_neighbors(x)
+                .iter()
+                .chain(t.sibling_neighbors(x))
+                .chain(t.customer_neighbors(x))
+                .chain(t.peer_neighbors(x))
+                .copied()
+                .collect();
+            from_classes.sort_unstable();
+            let all: Vec<NodeId> = t.neighbors(x).iter().map(|&(y, _)| y).collect();
+            assert_eq!(from_classes, all, "partitions partition the adjacency");
+            assert_eq!(
+                t.up_neighbors(x).len(),
+                t.provider_neighbors(x).len() + t.sibling_neighbors(x).len()
+            );
+            assert_eq!(
+                t.down_neighbors(x).len(),
+                t.sibling_neighbors(x).len() + t.customer_neighbors(x).len()
+            );
+            for &y in t.up_neighbors(x) {
+                assert!(matches!(t.rel(x, y), Some(Rel::Provider | Rel::Sibling)));
+            }
+            for &y in t.down_neighbors(x) {
+                assert!(matches!(t.rel(x, y), Some(Rel::Sibling | Rel::Customer)));
+            }
+            assert_eq!(t.degree(x), t.neighbors(x).len());
+        }
     }
 
     #[test]

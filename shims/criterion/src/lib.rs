@@ -1,0 +1,180 @@
+//! Offline shim for `criterion`.
+//!
+//! A minimal wall-clock harness exposing the API surface the `miro-bench`
+//! benches use: `Criterion::default()` with builder knobs, `bench_function`,
+//! `benchmark_group`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros. Each benchmark is warmed up, then timed for
+//! roughly `measurement_time`, and a mean-per-iteration line is printed.
+//! No statistics, plots, or baselines.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Benchmark harness configuration + runner.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            result: None,
+        };
+        f(&mut b);
+        if let Some((iters, total)) = b.result {
+            let per_iter = total / iters.max(1) as u32;
+            println!("{name:<48} {per_iter:>12.2?}/iter ({iters} iters in {total:.2?})");
+        }
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, prefix: name.to_string() }
+    }
+
+    /// Upstream parses CLI filters here; the shim runs everything.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+/// Named group: prefixes benchmark ids, like upstream's `group/name`.
+pub struct BenchmarkGroup<'c> {
+    c: &'c mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let id = format!("{}/{}", self.prefix, name);
+        self.c.bench_function(&id, f);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.c.sample_size = n.max(1);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget is spent, estimating cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            std_black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed() / warm_iters.max(1) as u32;
+
+        // Aim for sample_size batches filling the measurement budget.
+        let target = (self.measurement_time.as_nanos()
+            / per_iter.as_nanos().max(1))
+        .clamp(self.sample_size as u128, 1_000_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..target {
+            std_black_box(routine());
+        }
+        self.result = Some((target, start.elapsed()));
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $cfg.configure_from_args();
+            $($target(&mut c);)+
+            c.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| runs = black_box(runs + 1)));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn group_prefixes_and_finishes() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        let mut g = c.benchmark_group("g");
+        g.bench_function("one", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+}

@@ -1,0 +1,408 @@
+//! Offline shim for `proptest`.
+//!
+//! Implements the subset this workspace's property tests use: integer-range
+//! and `any::<T>()` strategies, tuples, `collection::vec`, `prop_map`,
+//! simple `"[class]{m,n}"` string patterns, and the `proptest!` /
+//! `prop_assert*` macros. Cases are generated from a deterministic RNG
+//! seeded by the test's module path; there is **no shrinking** — a failing
+//! case panics with the plain assertion message.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Deterministic generator backing all strategies (splitmix64).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed ^ 0x9e37_79b9_7f4a_7c15 }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Seed a [`TestRng`] from a test name (FNV-1a), so every property test has
+/// its own reproducible stream.
+pub fn test_rng(name: &str) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    TestRng::new(h)
+}
+
+/// Failure value a property body can return (`return Err(...)` /
+/// `prop_assert!` in upstream). The shim's runner panics on it.
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError { msg: msg.into() }
+    }
+
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+/// Run-loop configuration; only the case count is honored.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of random values of type `Value`.
+pub trait Strategy {
+    type Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types with a whole-domain strategy, via [`any`].
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy over `T`'s whole domain.
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($t:ident . $idx:tt),+))*) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10, L.11)
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for a `Vec` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.new_value(rng);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+/// `&str` patterns of the shape `"[class]{m,n}"` (optionally a sequence of
+/// such atoms, literals allowed) act as string strategies, like upstream's
+/// regex-literal support.
+impl Strategy for &str {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self)
+            .unwrap_or_else(|| panic!("proptest shim: unsupported string pattern {self:?}"));
+        let mut out = String::new();
+        for (chars, lo, hi) in &atoms {
+            let n = *lo + (rng.next_u64() as usize) % (hi - lo + 1);
+            for _ in 0..n {
+                out.push(chars[(rng.next_u64() as usize) % chars.len()]);
+            }
+        }
+        out
+    }
+}
+
+/// Parse a simple regex subset: sequence of `[class]` or literal-char atoms,
+/// each with an optional `{m,n}` / `{n}` repeat. Returns
+/// `(alphabet, min, max)` per atom, or `None` on anything fancier.
+fn parse_pattern(pat: &str) -> Option<Vec<(Vec<char>, usize, usize)>> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let alphabet = if chars[i] == '[' {
+            let close = chars[i..].iter().position(|&c| c == ']')? + i;
+            let mut set = Vec::new();
+            let class = &chars[i + 1..close];
+            let mut j = 0;
+            while j < class.len() {
+                if j + 2 < class.len() && class[j + 1] == '-' {
+                    let (a, b) = (class[j] as u32, class[j + 2] as u32);
+                    for c in a..=b {
+                        set.push(char::from_u32(c)?);
+                    }
+                    j += 3;
+                } else {
+                    set.push(class[j]);
+                    j += 1;
+                }
+            }
+            i = close + 1;
+            set
+        } else if chars[i] == '{' || chars[i] == '}' {
+            return None;
+        } else {
+            let c = chars[i];
+            i += 1;
+            vec![c]
+        };
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..].iter().position(|&c| c == '}')? + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((a, b)) => (a.parse().ok()?, b.parse().ok()?),
+                None => {
+                    let n = body.parse().ok()?;
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        if alphabet.is_empty() || hi < lo {
+            return None;
+        }
+        atoms.push((alphabet, lo, hi));
+    }
+    Some(atoms)
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { (<$crate::ProptestConfig as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                let ($($p,)+) =
+                    ($($crate::Strategy::new_value(&($s), &mut __rng),)+);
+                // The body runs in a Result context so upstream-style
+                // `return Err(TestCaseError::...)` compiles.
+                #[allow(clippy::redundant_closure_call)]
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = __outcome {
+                    panic!("property case {__case} failed: {e}");
+                }
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_rng("ranges");
+        for _ in 0..1000 {
+            let v = Strategy::new_value(&(3u32..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let s = Strategy::new_value(&(-5i32..6), &mut rng);
+            assert!((-5..6).contains(&s));
+        }
+    }
+
+    #[test]
+    fn string_pattern_generates_from_class() {
+        let mut rng = crate::test_rng("pattern");
+        for _ in 0..200 {
+            let s = Strategy::new_value(&"[a-c0-1 .]{0,6}", &mut rng);
+            assert!(s.len() <= 6);
+            assert!(s.chars().all(|c| "abc01 .".contains(c)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_binds_tuples_and_vecs(
+            (a, b) in (0u8..10, 0u8..10),
+            v in crate::collection::vec(any::<u16>(), 0..5),
+            mut w in crate::collection::vec(1u32..4, 1..3),
+        ) {
+            prop_assert!(a < 10 && b < 10);
+            prop_assert!(v.len() < 5);
+            w.push(1);
+            prop_assert!(w.iter().all(|&x| (1..4).contains(&x)));
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Hand-rolled (no `syn`/`quote` available offline) derive macros for the
+//! local JSON-only `serde` shim. Supports exactly what this workspace
+//! derives on: non-generic structs with named fields.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving type: name + named field list.
+struct StructDef {
+    name: String,
+    fields: Vec<String>,
+}
+
+fn parse_struct(input: TokenStream) -> StructDef {
+    let mut iter = input.into_iter().peekable();
+    // Skip outer attributes (`#[...]`, including doc comments) and
+    // visibility, then expect `struct <Name> { ... }`.
+    let mut name = None;
+    let mut body = None;
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Attribute: consume the following bracket group.
+                let _ = iter.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                // Possible `pub(...)` restriction group.
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        let _ = iter.next();
+                    }
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                match iter.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => panic!("serde shim derive: expected struct name, got {other:?}"),
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                panic!("serde shim derive: generic structs are not supported")
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                body = Some(g.stream());
+                break;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" || id.to_string() == "union" => {
+                panic!("serde shim derive: only named-field structs are supported")
+            }
+            _ => {}
+        }
+    }
+    let name = name.expect("serde shim derive: no struct found");
+    let body = body.unwrap_or_else(|| {
+        panic!("serde shim derive: struct {name} must have named fields")
+    });
+
+    // Split the body on top-level commas. Parenthesized/bracketed types are
+    // single Group tokens, but generic arguments (`Map<K, V>`) are not —
+    // track angle-bracket depth so their commas don't split fields.
+    let mut fields = Vec::new();
+    let mut chunk: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in body {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if let Some(f) = field_name(&chunk) {
+                    fields.push(f);
+                }
+                chunk.clear();
+                continue;
+            }
+            _ => {}
+        }
+        chunk.push(tt);
+    }
+    if let Some(f) = field_name(&chunk) {
+        fields.push(f);
+    }
+    StructDef { name, fields }
+}
+
+/// Extract the field name from one comma-separated field chunk:
+/// `[attrs] [pub[(..)]] <ident> : <type..>`.
+fn field_name(chunk: &[TokenTree]) -> Option<String> {
+    let mut i = 0;
+    while i < chunk.len() {
+        match &chunk[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // attr + group
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = chunk.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) => {
+                // Must be followed by `:` to be a named field.
+                match chunk.get(i + 1) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {
+                        return Some(id.to_string());
+                    }
+                    _ => panic!(
+                        "serde shim derive: tuple structs are not supported \
+                         (field starting at {id})"
+                    ),
+                }
+            }
+            other => panic!("serde shim derive: unexpected token {other}"),
+        }
+    }
+    None
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = parse_struct(input);
+    let mut writes = String::new();
+    for (i, f) in def.fields.iter().enumerate() {
+        if i > 0 {
+            writes.push_str("out.push(',');\n");
+        }
+        writes.push_str(&format!(
+            "::serde::write_json_key(\"{f}\", out);\n\
+             ::serde::Serialize::write_json(&self.{f}, out);\n"
+        ));
+    }
+    let code = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn write_json(&self, out: &mut ::std::string::String) {{\n\
+                 out.push('{{');\n\
+                 {writes}\
+                 out.push('}}');\n\
+             }}\n\
+         }}",
+        name = def.name,
+    );
+    code.parse().expect("serde shim derive: generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = parse_struct(input);
+    let mut inits = String::new();
+    for f in &def.fields {
+        inits.push_str(&format!(
+            "{f}: ::serde::Deserialize::from_value(::serde::obj_field(v, \"{f}\")?)?,\n"
+        ));
+    }
+    let code = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})\n\
+             }}\n\
+         }}",
+        name = def.name,
+    );
+    code.parse().expect("serde shim derive: generated impl parses")
+}
