@@ -154,6 +154,17 @@ impl Session {
             (_, Event::Message(BgpMessage::Notification { .. })) => {
                 self.reset(&mut actions, None);
             }
+            (State::Idle, Event::Garbage(_)) => {
+                // No transport is up in Idle: there is nothing to notify
+                // or close, and nothing to reset. Stray bytes surfacing
+                // here (e.g. a late read after teardown) are ignored.
+            }
+            (State::Connecting, Event::Garbage(_)) => {
+                // The transport may exist but no BGP exchange has begun;
+                // close it quietly rather than emit a NOTIFICATION into a
+                // stream the peer never synchronized.
+                self.reset(&mut actions, None);
+            }
             (_, Event::Garbage(_)) => {
                 // Message header error: code 1.
                 self.reset(&mut actions, Some((1, 0)));
@@ -358,6 +369,111 @@ mod tests {
             Action::Send(BgpMessage::Notification { code: 5, .. })
         )));
         assert_eq!(a.state(), State::Idle);
+    }
+
+    /// The full action triple for garbage arriving mid-Established:
+    /// NOTIFICATION (header error, code 1) to the peer, the routing
+    /// process told the session is down, and the transport closed — in a
+    /// usable order (notify while the transport still exists).
+    #[test]
+    fn garbage_mid_established_notifies_then_downs_then_closes() {
+        let (mut a, mut b) = pair();
+        run_handshake(&mut a, &mut b);
+        let actions = a.handle(Event::Garbage(WireError::Truncated));
+        let notify = actions.iter().position(|x| {
+            matches!(x, Action::Send(BgpMessage::Notification { code: 1, .. }))
+        });
+        let down = actions.iter().position(|x| matches!(x, Action::SessionDown));
+        let close = actions.iter().position(|x| matches!(x, Action::CloseTransport));
+        let (notify, down, close) = (
+            notify.expect("NOTIFICATION emitted"),
+            down.expect("SessionDown emitted"),
+            close.expect("CloseTransport emitted"),
+        );
+        assert!(notify < close, "notify before the transport goes away");
+        assert!(down < close, "routing process informed before close");
+        assert_eq!(a.state(), State::Idle);
+    }
+
+    /// Garbage while Idle (no transport) or Connecting (no BGP exchange
+    /// yet) must not fling NOTIFICATIONs at a peer that never
+    /// synchronized.
+    #[test]
+    fn garbage_before_synchronization_is_quiet() {
+        let (mut a, _b) = pair();
+        // Idle: complete no-op.
+        assert!(a.handle(Event::Garbage(WireError::BadMarker)).is_empty());
+        assert_eq!(a.state(), State::Idle);
+        // Connecting: quiet close, no NOTIFICATION.
+        a.handle(Event::ManualStart);
+        let actions = a.handle(Event::Garbage(WireError::BadMarker));
+        assert!(!actions.iter().any(|x| matches!(x, Action::Send(_))));
+        assert!(actions.contains(&Action::CloseTransport));
+        assert_eq!(a.state(), State::Idle);
+    }
+
+    /// `hold_time: 0` disables the hold timer entirely (RFC 4271 §4.2): a
+    /// silent peer never expires, and no keepalives are emitted.
+    #[test]
+    fn zero_hold_time_never_expires() {
+        let mut a = Session::new(SessionConfig {
+            my_as: 100,
+            bgp_id: 1,
+            hold_time: 0,
+            expect_as: Some(200),
+        });
+        let mut b = Session::new(SessionConfig {
+            my_as: 200,
+            bgp_id: 2,
+            hold_time: 0,
+            expect_as: Some(100),
+        });
+        run_handshake(&mut a, &mut b);
+        assert_eq!(a.state(), State::Established);
+        assert_eq!(a.negotiated_hold_time(), 0);
+        for t in 1..=10_000 {
+            assert!(a.tick(t).is_empty(), "tick {t} must be a no-op");
+        }
+        assert_eq!(a.state(), State::Established);
+    }
+
+    /// A transport flap in the middle of the OPEN exchange: quiet reset
+    /// (the peer is gone; a NOTIFICATION has nowhere to go, and the
+    /// session was never Established so no SessionDown), and the machine
+    /// restarts cleanly through a full second handshake.
+    #[test]
+    fn transport_flap_during_opensent_recovers() {
+        let (mut a, mut b) = pair();
+        a.handle(Event::ManualStart);
+        a.handle(Event::TransportUp);
+        assert_eq!(a.state(), State::OpenSent);
+        let actions = a.handle(Event::TransportDown);
+        assert!(!actions.iter().any(|x| matches!(x, Action::Send(_))));
+        assert!(!actions.contains(&Action::SessionDown), "was never up");
+        assert!(actions.contains(&Action::CloseTransport));
+        assert_eq!(a.state(), State::Idle);
+        // Second attempt from scratch succeeds.
+        run_handshake(&mut a, &mut b);
+        assert_eq!(a.state(), State::Established);
+        assert_eq!(b.state(), State::Established);
+    }
+
+    /// The hold timer races a KEEPALIVE sitting in the receive buffer:
+    /// once expiry has reset the session to Idle, the late KEEPALIVE is
+    /// ignored (the transport is no longer considered synchronized) and
+    /// does not resurrect or corrupt the machine.
+    #[test]
+    fn late_keepalive_after_hold_expiry_is_ignored() {
+        let (mut a, mut b) = pair();
+        run_handshake(&mut a, &mut b);
+        let actions = a.tick(31); // hold 30 expired
+        assert!(actions.contains(&Action::SessionDown));
+        assert_eq!(a.state(), State::Idle);
+        // The KEEPALIVE that was already in flight arrives now.
+        assert!(a.handle(Event::Message(BgpMessage::Keepalive)).is_empty());
+        assert_eq!(a.state(), State::Idle);
+        // And the timer stays quiet afterwards (hold reset to 0).
+        assert!(a.tick(100).is_empty());
     }
 
     #[test]

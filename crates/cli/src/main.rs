@@ -4,6 +4,8 @@
 //! Interactive: `miro`. Scripted: `miro scenario.txt` or `miro < script`.
 //! Benchmark: `miro bench-solver [--scale tiny|small|medium|large|all]
 //! [--threads N] [--out BENCH_solver.json]`.
+//! Robustness: `miro resilience [--seed N] [--scale F] [--pairs N]
+//! [--out RESILIENCE.json] [--check-floor PCT]`.
 
 use std::io::{BufRead, Write};
 
@@ -21,6 +23,15 @@ fn main() {
                 }
             }
         }
+        [cmd, rest @ ..] if cmd == "resilience" => {
+            match miro_eval::resilience::run(rest) {
+                Ok(report) => print!("{report}"),
+                Err(e) => {
+                    eprintln!("resilience: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
         [path] => match std::fs::read_to_string(path) {
             Ok(script) => print!("{}", repl.run_script(&script)),
             Err(e) => {
@@ -29,7 +40,7 @@ fn main() {
             }
         },
         _ => {
-            eprintln!("usage: miro [script-file | bench-solver [options]]");
+            eprintln!("usage: miro [script-file | bench-solver [options] | resilience [options]]");
             std::process::exit(2);
         }
     }

@@ -1,0 +1,319 @@
+//! A deterministic unreliable message channel — the control-plane
+//! generalization of the data plane's `FaultyLink`.
+//!
+//! MIRO's §4.3 soft-state machinery (retransmits, keepalives, idle-tunnel
+//! expiry) only means something if the control channel can actually lose,
+//! duplicate, reorder, and delay messages. [`FaultyChannel`] is that
+//! channel: generic over the message type so the same fault model carries
+//! typed Figure-4.2 negotiation messages here and raw `Bytes` packets in
+//! `miro-dataplane` (which re-exports it from its `fault` module — the
+//! dependency points dataplane → core, so the shared model lives here).
+//!
+//! Faults are rolled from a seeded RNG with per-mille knobs, and delivery
+//! runs on the same virtual clock as the rest of the control plane, so
+//! every experiment is exactly reproducible: same seed, same knobs, same
+//! schedule of drops and duplicates.
+
+use miro_topology::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Fault knobs, all probabilities in 1/1000 so configurations are exact
+/// integers (the `FaultyLink` convention).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultConfig {
+    /// Probability a sent message is silently discarded.
+    pub drop_permille: u32,
+    /// Probability a surviving message is delivered twice (the copy gets
+    /// an independently drawn delay, so duplicates typically arrive apart
+    /// and often out of order).
+    pub dup_permille: u32,
+    /// Probability a surviving message is held back an extra 1–3 ticks on
+    /// top of its base delay, landing after messages sent later.
+    pub reorder_permille: u32,
+    /// Base delivery delay, drawn uniformly from `delay_min..=delay_max`
+    /// ticks per transmission.
+    pub delay_min: u64,
+    pub delay_max: u64,
+}
+
+impl FaultConfig {
+    /// The perfect channel: instant, exactly-once, in-order delivery.
+    /// A reliability layer running over this must behave exactly like the
+    /// synchronous harness it replaces.
+    pub const PERFECT: FaultConfig = FaultConfig {
+        drop_permille: 0,
+        dup_permille: 0,
+        reorder_permille: 0,
+        delay_min: 0,
+        delay_max: 0,
+    };
+
+    /// A lossy channel with the given drop/duplicate/reorder rates and a
+    /// small (0–2 tick) base delay jitter.
+    pub fn lossy(drop_permille: u32, dup_permille: u32, reorder_permille: u32) -> FaultConfig {
+        FaultConfig {
+            drop_permille,
+            dup_permille,
+            reorder_permille,
+            delay_min: 0,
+            delay_max: 2,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.drop_permille <= 1000
+                && self.dup_permille <= 1000
+                && self.reorder_permille <= 1000,
+            "per-mille knobs must be <= 1000"
+        );
+        assert!(self.delay_min <= self.delay_max, "delay_min must be <= delay_max");
+    }
+}
+
+/// A message in flight or delivered: who sent it, to whom, and the payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Envelope<T> {
+    pub from: NodeId,
+    pub to: NodeId,
+    pub msg: T,
+}
+
+/// What the channel did with every transmission so far. The accounting
+/// invariant is `sent + duplicated == delivered + dropped + in_flight`:
+/// every enqueued copy (original or duplicate) is eventually either
+/// delivered or was dropped at send time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Messages handed to [`FaultyChannel::send`].
+    pub sent: usize,
+    /// Envelopes returned by [`FaultyChannel::deliver_due`].
+    pub delivered: usize,
+    /// Messages discarded at send time.
+    pub dropped: usize,
+    /// Extra copies enqueued by the duplication fault.
+    pub duplicated: usize,
+    /// Messages that took the reorder (extra-delay) path.
+    pub reordered: usize,
+}
+
+struct InFlight<T> {
+    deliver_at: u64,
+    /// Enqueue order; tie-break so equal-tick deliveries are stable.
+    order: u64,
+    env: Envelope<T>,
+}
+
+/// The unreliable channel itself. All sends and deliveries run on a
+/// caller-supplied virtual clock; the channel never blocks.
+pub struct FaultyChannel<T> {
+    rng: StdRng,
+    cfg: FaultConfig,
+    queue: Vec<InFlight<T>>,
+    order: u64,
+    pub stats: ChannelStats,
+}
+
+impl<T: Clone> FaultyChannel<T> {
+    pub fn new(seed: u64, cfg: FaultConfig) -> FaultyChannel<T> {
+        cfg.validate();
+        FaultyChannel {
+            rng: StdRng::seed_from_u64(seed),
+            cfg,
+            queue: Vec::new(),
+            order: 0,
+            stats: ChannelStats::default(),
+        }
+    }
+
+    /// Swap the fault configuration mid-run (e.g. to model an outage
+    /// starting after tunnels are established). In-flight messages keep
+    /// their already-drawn delivery times.
+    pub fn set_fault(&mut self, cfg: FaultConfig) {
+        cfg.validate();
+        self.cfg = cfg;
+    }
+
+    pub fn fault(&self) -> FaultConfig {
+        self.cfg
+    }
+
+    fn roll(&mut self, permille: u32) -> bool {
+        permille > 0 && self.rng.gen_range(0..1000u32) < permille
+    }
+
+    fn enqueue(&mut self, deliver_at: u64, env: Envelope<T>) {
+        let order = self.order;
+        self.order += 1;
+        self.queue.push(InFlight { deliver_at, order, env });
+    }
+
+    /// Transmit one message at virtual time `now`. The message is dropped,
+    /// delayed, duplicated, and/or reordered per the configured knobs;
+    /// surviving copies become visible to [`FaultyChannel::deliver_due`]
+    /// once the clock reaches their delivery tick.
+    pub fn send(&mut self, now: u64, from: NodeId, to: NodeId, msg: T) {
+        self.stats.sent += 1;
+        if self.roll(self.cfg.drop_permille) {
+            self.stats.dropped += 1;
+            return;
+        }
+        let base = self.rng.gen_range(self.cfg.delay_min..=self.cfg.delay_max);
+        let extra = if self.roll(self.cfg.reorder_permille) {
+            self.stats.reordered += 1;
+            // At least one extra tick so the message genuinely lands after
+            // traffic sent at the same instant, even with zero base delay.
+            self.rng.gen_range(1..=3u64)
+        } else {
+            0
+        };
+        let env = Envelope { from, to, msg };
+        if self.roll(self.cfg.dup_permille) {
+            self.stats.duplicated += 1;
+            let dup_delay = self.rng.gen_range(self.cfg.delay_min..=self.cfg.delay_max + 3);
+            self.enqueue(now + dup_delay, env.clone());
+        }
+        self.enqueue(now + base + extra, env);
+    }
+
+    /// Drain every message whose delivery tick has arrived, ordered by
+    /// (delivery tick, enqueue order). With [`FaultConfig::PERFECT`] this
+    /// returns sends in exactly the order they were made.
+    pub fn deliver_due(&mut self, now: u64) -> Vec<Envelope<T>> {
+        let mut due: Vec<InFlight<T>> = Vec::new();
+        let mut i = 0;
+        while i < self.queue.len() {
+            if self.queue[i].deliver_at <= now {
+                due.push(self.queue.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        due.sort_by_key(|m| (m.deliver_at, m.order));
+        self.stats.delivered += due.len();
+        due.into_iter().map(|m| m.env).collect()
+    }
+
+    /// Copies enqueued but not yet delivered.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when nothing is waiting for delivery.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain_all(ch: &mut FaultyChannel<u32>, until: u64) -> Vec<u32> {
+        let mut got = Vec::new();
+        for t in 0..=until {
+            got.extend(ch.deliver_due(t).into_iter().map(|e| e.msg));
+        }
+        got
+    }
+
+    #[test]
+    fn perfect_channel_is_instant_exactly_once_in_order() {
+        let mut ch: FaultyChannel<u32> = FaultyChannel::new(1, FaultConfig::PERFECT);
+        for m in 0..50 {
+            ch.send(0, 1, 2, m);
+        }
+        let got: Vec<u32> = ch.deliver_due(0).into_iter().map(|e| e.msg).collect();
+        assert_eq!(got, (0..50).collect::<Vec<u32>>());
+        assert!(ch.is_idle());
+        assert_eq!(ch.stats.sent, 50);
+        assert_eq!(ch.stats.delivered, 50);
+        assert_eq!(ch.stats.dropped + ch.stats.duplicated + ch.stats.reordered, 0);
+    }
+
+    #[test]
+    fn drop_rate_is_roughly_honored_and_accounted() {
+        let mut ch: FaultyChannel<u32> = FaultyChannel::new(2, FaultConfig::lossy(200, 0, 0));
+        for m in 0..2000 {
+            ch.send(0, 1, 2, m);
+        }
+        let rate = ch.stats.dropped as f64 / 2000.0;
+        assert!((0.15..0.25).contains(&rate), "drop rate {rate}");
+        let got = drain_all(&mut ch, 10);
+        assert_eq!(got.len(), 2000 - ch.stats.dropped);
+        assert_eq!(
+            ch.stats.sent + ch.stats.duplicated,
+            ch.stats.delivered + ch.stats.dropped
+        );
+    }
+
+    #[test]
+    fn duplicates_arrive_twice() {
+        let mut ch: FaultyChannel<u32> = FaultyChannel::new(3, FaultConfig {
+            dup_permille: 1000,
+            ..FaultConfig::PERFECT
+        });
+        ch.send(0, 1, 2, 7);
+        let got = drain_all(&mut ch, 10);
+        assert_eq!(got, vec![7, 7]);
+        assert_eq!(ch.stats.duplicated, 1);
+    }
+
+    #[test]
+    fn reordering_actually_reorders() {
+        // Every message gets the extra-delay path with zero base delay: a
+        // message sent at t and one sent at t+3 can swap.
+        let cfg = FaultConfig {
+            reorder_permille: 500,
+            ..FaultConfig::PERFECT
+        };
+        let mut ch: FaultyChannel<u32> = FaultyChannel::new(4, cfg);
+        for m in 0..200u32 {
+            ch.send(u64::from(m), 1, 2, m);
+        }
+        let got = drain_all(&mut ch, 300);
+        assert_eq!(got.len(), 200, "nothing lost");
+        assert!(got.windows(2).any(|w| w[0] > w[1]), "some inversion observed");
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..200).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let cfg = FaultConfig::lossy(300, 200, 200);
+        let mut a: FaultyChannel<u32> = FaultyChannel::new(9, cfg);
+        let mut b: FaultyChannel<u32> = FaultyChannel::new(9, cfg);
+        for m in 0..200 {
+            a.send(u64::from(m % 17), 1, 2, m);
+            b.send(u64::from(m % 17), 1, 2, m);
+        }
+        for t in 0..40 {
+            assert_eq!(a.deliver_due(t), b.deliver_due(t));
+        }
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn mid_run_fault_swap_applies_to_new_sends_only() {
+        let mut ch: FaultyChannel<u32> = FaultyChannel::new(5, FaultConfig {
+            delay_min: 5,
+            delay_max: 5,
+            ..FaultConfig::PERFECT
+        });
+        ch.send(0, 1, 2, 1);
+        ch.set_fault(FaultConfig { drop_permille: 1000, ..FaultConfig::PERFECT });
+        ch.send(0, 1, 2, 2); // dropped under the new config
+        let got = drain_all(&mut ch, 10);
+        assert_eq!(got, vec![1], "in-flight message kept its schedule");
+        assert_eq!(ch.stats.dropped, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "per-mille")]
+    fn out_of_range_knobs_are_rejected() {
+        let _: FaultyChannel<u32> =
+            FaultyChannel::new(0, FaultConfig { drop_permille: 1001, ..FaultConfig::PERFECT });
+    }
+}

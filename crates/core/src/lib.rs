@@ -21,17 +21,25 @@
 //! [`strategy`] hosts the requester side: whom to ask (on-path vs 1-hop,
 //! section 6.2.1) and the avoid-AS search loop whose success rates are
 //! Table 5.2. [`node`] wires everything into a small control-plane
-//! message-passing harness with a virtual clock.
+//! message-passing harness with a virtual clock — over a perfect channel.
+//! [`chan`] provides the seeded unreliable channel (drop / duplicate /
+//! reorder / delay) and [`reliable`] reruns the Figure-4.2 handshake over
+//! it with sequence numbers, retransmit/backoff timers, duplicate-safe
+//! handlers, and graceful fallback to the BGP default path.
 
+pub mod chan;
 pub mod endpoint;
 pub mod export;
 pub mod negotiate;
 pub mod node;
+pub mod reliable;
 pub mod strategy;
 pub mod tunnel;
 pub mod wire;
 
+pub use chan::{ChannelStats, Envelope, FaultConfig, FaultyChannel};
 pub use export::{ExportPolicy, Offer};
 pub use negotiate::{Constraint, NegotiationError, NegotiationId};
+pub use reliable::{FailReason, FallbackEvent, NegotiationOutcome, ReliabilityConfig, ReliableNet};
 pub use strategy::{AvoidOutcome, TargetStrategy};
 pub use tunnel::{TunnelId, TunnelManager};

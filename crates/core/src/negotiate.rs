@@ -83,6 +83,11 @@ pub enum Message {
     Keepalive { tunnel: crate::tunnel::TunnelId },
     /// Active teardown (route change, policy change, or lost interest).
     Teardown { tunnel: crate::tunnel::TunnelId },
+    /// Requester's acknowledgment of `Established`, closing the handshake
+    /// on an unreliable channel (the responder retransmits `Established`
+    /// until it sees this; see [`crate::reliable`]). On a perfect channel
+    /// it is pure bookkeeping.
+    Ack { id: NegotiationId },
 }
 
 /// Why a negotiation was refused.

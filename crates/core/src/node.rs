@@ -72,6 +72,58 @@ pub struct Lease {
     pub constraints: Vec<Constraint>,
 }
 
+/// Responder-side decision, shared by this synchronous harness and the
+/// unreliable-channel harness in [`crate::reliable`]: admission control
+/// (section 6.2.1), then the policy-filtered, markup-priced,
+/// constraint-admissible offer set (section 6.2.2). `live_tunnels` is the
+/// responder's current tunnel count for the `tunnel_number < N` gate.
+pub fn responder_offers(
+    cfg: &ResponderConfig,
+    live_tunnels: usize,
+    st: &RoutingState<'_>,
+    requester: NodeId,
+    responder: NodeId,
+    constraints: &[Constraint],
+    switch: bool,
+) -> Result<Vec<crate::export::Offer>, RejectReason> {
+    if !cfg.accept_any && !cfg.allow.contains(&requester) {
+        return Err(RejectReason::NotAllowed);
+    }
+    if live_tunnels >= cfg.max_tunnels {
+        return Err(RejectReason::TunnelLimit);
+    }
+    let pool = if switch {
+        cfg.policy.switch_offers(st, responder)
+    } else {
+        let toward = export_rel_toward(st, requester, responder);
+        cfg.policy.offers(st, responder, toward)
+    };
+    let pool: Vec<_> = pool
+        .into_iter()
+        .map(|mut o| {
+            o.price += cfg.price_markup;
+            o
+        })
+        .collect();
+    let offers = admissible(&pool, constraints);
+    if offers.is_empty() {
+        return Err(RejectReason::NoCandidates);
+    }
+    Ok(offers)
+}
+
+/// Requester-side choice, shared with [`crate::reliable`]: the best offer
+/// by (class, length, price) whose price fits the budget, as an index into
+/// `offers`.
+pub fn choose_offer(offers: &[crate::export::Offer], max_price: u32) -> Option<usize> {
+    offers
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| o.price <= max_price)
+        .min_by_key(|(_, o)| (o.route.class, o.route.len(), o.price))
+        .map(|(i, _)| i)
+}
+
 /// The whole-network control-plane harness.
 pub struct MiroNetwork<'t> {
     topo: &'t Topology,
@@ -169,56 +221,29 @@ impl<'t> MiroNetwork<'t> {
             Message::Request { id, dest: st.dest(), constraints: constraints.clone() },
         ));
 
-        // Responder admission (section 6.2.1).
+        // Responder decides: admission (section 6.2.1), then policy- and
+        // constraint-filtered offers (section 6.2.2). Shared verbatim with
+        // the unreliable-channel harness in [`crate::reliable`].
         let cfg = self.configs[responder as usize].clone();
-        if !cfg.accept_any && !cfg.allow.contains(&requester) {
-            self.log.push((responder, requester, Message::Reject {
-                id,
-                reason: RejectReason::NotAllowed,
-            }));
-            return Err(NegotiationError::Rejected(RejectReason::NotAllowed));
-        }
-        if self.managers[responder as usize].len() >= cfg.max_tunnels {
-            self.log.push((responder, requester, Message::Reject {
-                id,
-                reason: RejectReason::TunnelLimit,
-            }));
-            return Err(NegotiationError::Rejected(RejectReason::TunnelLimit));
-        }
-
-        // Responder builds and filters offers (section 6.2.2: requester
-        // constraints are folded into the responder's candidate filtering).
-        let pool = if switch {
-            cfg.policy.switch_offers(st, responder)
-        } else {
-            let toward = export_rel_toward(st, requester, responder);
-            cfg.policy.offers(st, responder, toward)
+        let offers = match responder_offers(
+            &cfg,
+            self.managers[responder as usize].len(),
+            st,
+            requester,
+            responder,
+            &constraints,
+            switch,
+        ) {
+            Ok(offers) => offers,
+            Err(reason) => {
+                self.log.push((responder, requester, Message::Reject { id, reason }));
+                return Err(NegotiationError::Rejected(reason));
+            }
         };
-        let pool: Vec<_> = pool
-            .into_iter()
-            .map(|mut o| {
-                o.price += cfg.price_markup;
-                o
-            })
-            .collect();
-        let offers = admissible(&pool, &constraints);
-        if offers.is_empty() {
-            self.log.push((responder, requester, Message::Reject {
-                id,
-                reason: RejectReason::NoCandidates,
-            }));
-            return Err(NegotiationError::Rejected(RejectReason::NoCandidates));
-        }
         self.log.push((responder, requester, Message::Offers { id, offers: offers.clone() }));
 
         // Requester evaluates: best by (class, length, price), within budget.
-        let choice = offers
-            .iter()
-            .enumerate()
-            .filter(|(_, o)| o.price <= max_price)
-            .min_by_key(|(_, o)| (o.route.class, o.route.len(), o.price))
-            .map(|(i, _)| i);
-        let Some(choice) = choice else {
+        let Some(choice) = choose_offer(&offers, max_price) else {
             return Err(NegotiationError::NoneAcceptable);
         };
         self.log.push((requester, responder, Message::Accept { id, choice }));

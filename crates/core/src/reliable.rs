@@ -1,0 +1,1036 @@
+//! The Figure-4.2 negotiation made correct over an unreliable control
+//! channel (the §4.3 soft-state design, finally exercised under failure).
+//!
+//! [`MiroNetwork`](crate::node::MiroNetwork) delivers every message
+//! instantly and exactly once; this module reruns the same protocol over a
+//! [`FaultyChannel`] that drops, duplicates, reorders, and delays. The
+//! reliability layer on top is deliberately classical:
+//!
+//! * **sequence numbers** — every transmission carries a fresh sequence
+//!   number; receivers suppress exact duplicates (the channel's
+//!   duplication fault) while retransmissions get new numbers and are
+//!   absorbed by idempotent handlers instead;
+//! * **retransmit timers with exponential backoff** — the requester
+//!   re-sends `Request`/`Accept`, the responder re-sends `Established`,
+//!   each up to [`ReliabilityConfig::max_retries`] times with the interval
+//!   doubling from [`ReliabilityConfig::retransmit_base`];
+//! * **idempotent handlers** — a replayed `Accept` never allocates a
+//!   second tunnel (the responder replays the recorded `Established`), a
+//!   replayed `Established` is re-`Ack`ed, and a replayed `Teardown` is a
+//!   no-op;
+//! * **graceful fallback** — when retries are exhausted the requester
+//!   surfaces a typed [`FailReason::RetriesExhausted`] outcome and
+//!   *degrades to the BGP default path* (the paper's core guarantee: MIRO
+//!   only ever adds to BGP, so losing a negotiation costs nothing but the
+//!   alternate). Every fallback is recorded as a [`FallbackEvent`].
+//!
+//! Keepalives ride the same lossy bus: each side of a live tunnel
+//! heartbeats the other every [`ReliabilityConfig::keepalive_interval`]
+//! ticks and expires it after [`ReliabilityConfig::keepalive_timeout`]
+//! ticks of silence — the timeout exceeds three intervals, so a tunnel
+//! survives transient loss but dies cleanly under a sustained outage, on
+//! both sides, with a best-effort `Teardown` to hurry the peer along.
+//!
+//! Orphan safety: if the responder establishes but the requester has
+//! already fallen back (or its `Ack` never lands), the orphan tunnel is
+//! reaped by soft-state expiry — exactly the "idle tunnels in the
+//! downstream ASes" scenario §4.3 designed for.
+
+use crate::chan::{Envelope, FaultConfig, FaultyChannel};
+use crate::negotiate::{Constraint, Message, NegotiationError, NegotiationId, RejectReason};
+use crate::node::{choose_offer, responder_offers, Lease, ResponderConfig};
+use crate::tunnel::{Tunnel, TunnelId, TunnelManager};
+use miro_bgp::solver::RoutingState;
+use miro_topology::{NodeId, Topology};
+use std::collections::{BTreeMap, HashSet};
+
+/// Timer constants of the reliability layer, in virtual ticks.
+#[derive(Clone, Copy, Debug)]
+pub struct ReliabilityConfig {
+    /// Ticks before the first retransmission; doubles on every retry.
+    pub retransmit_base: u64,
+    /// Retransmissions per handshake stage before giving up.
+    pub max_retries: u32,
+    /// Keepalive period per tunnel side.
+    pub keepalive_interval: u64,
+    /// Soft-state expiry after this much heartbeat silence. Must exceed
+    /// `keepalive_interval` (it defaults to 3.5x) so a tunnel survives
+    /// transient keepalive loss.
+    pub keepalive_timeout: u64,
+}
+
+impl Default for ReliabilityConfig {
+    fn default() -> Self {
+        ReliabilityConfig {
+            retransmit_base: 4,
+            max_retries: 5,
+            keepalive_interval: 10,
+            keepalive_timeout: 35,
+        }
+    }
+}
+
+/// A control message as it travels the bus: payload plus a per-transmission
+/// sequence number for duplicate suppression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SeqMessage {
+    pub seq: u64,
+    pub msg: Message,
+}
+
+/// Which handshake stage ran out of retries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// No `Offers`/`Reject` ever arrived for our `Request`.
+    Request,
+    /// No `Established` ever arrived for our `Accept`.
+    Accept,
+}
+
+/// Why a negotiation over the unreliable channel did not produce a tunnel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailReason {
+    /// The responder said no (semantic failure, same as the synchronous
+    /// harness).
+    Rejected(RejectReason),
+    /// Offers arrived but none fit the budget.
+    NoneAcceptable,
+    /// The channel ate our retries at the given stage.
+    RetriesExhausted(Stage),
+}
+
+/// Terminal record of one negotiation attempt.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NegotiationOutcome {
+    pub id: NegotiationId,
+    pub requester: NodeId,
+    pub responder: NodeId,
+    pub dest: NodeId,
+    pub result: Result<TunnelId, FailReason>,
+    /// Virtual time the `Request` was first sent / the outcome settled.
+    pub started_at: u64,
+    pub finished_at: u64,
+    /// Requester-side retransmissions spent on this negotiation.
+    pub retransmits: u32,
+}
+
+impl NegotiationOutcome {
+    /// Handshake latency in virtual ticks, retries included.
+    pub fn latency(&self) -> u64 {
+        self.finished_at - self.started_at
+    }
+}
+
+/// Observability record: a requester fell back to its BGP default path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FallbackEvent {
+    pub id: NegotiationId,
+    pub requester: NodeId,
+    pub dest: NodeId,
+    pub reason: FailReason,
+    /// The default path the requester degrades to (empty when the
+    /// destination is unreachable by BGP too — then there is no service,
+    /// negotiated or not, and nothing MIRO can make worse).
+    pub default_path: Vec<NodeId>,
+    pub at: u64,
+}
+
+#[derive(Clone, Debug)]
+enum ReqState {
+    AwaitOffers,
+    AwaitEstablished,
+    Done(TunnelId),
+    /// Terminal failure; the reason lives in the recorded
+    /// [`NegotiationOutcome`].
+    Failed,
+}
+
+struct ReqSession {
+    id: NegotiationId,
+    requester: NodeId,
+    responder: NodeId,
+    dest: NodeId,
+    max_price: u32,
+    state: ReqState,
+    /// What to retransmit (the last handshake message we sent).
+    last_msg: Message,
+    last_send: u64,
+    retries: u32,
+    backoff: u64,
+    retransmits_total: u32,
+    started_at: u64,
+}
+
+#[derive(Clone, Debug)]
+enum RespState {
+    /// Replied with `Offers` (or a terminal `Reject`); waiting for
+    /// `Accept` — the requester's retransmit timer drives this stage.
+    Offered,
+    /// Tunnel allocated; retransmitting `Established` until `Ack`.
+    Established(TunnelId),
+    /// `Ack` seen, or retries exhausted (soft state covers the rest).
+    Closed,
+}
+
+struct RespSession {
+    id: NegotiationId,
+    requester: NodeId,
+    responder: NodeId,
+    state: RespState,
+    /// Replayed verbatim when the session sees a duplicate of the message
+    /// it already answered — the negotiation never moves backwards.
+    last_reply: Message,
+    last_send: u64,
+    retries: u32,
+    backoff: u64,
+}
+
+/// The whole-network harness over the unreliable bus. One instance drives
+/// negotiations and tunnel soft state for the destination of the
+/// [`RoutingState`] passed to [`ReliableNet::tick`].
+pub struct ReliableNet<'t> {
+    topo: &'t Topology,
+    /// Virtual clock, advanced one tick per [`ReliableNet::tick`].
+    pub clock: u64,
+    bus: FaultyChannel<SeqMessage>,
+    rel: ReliabilityConfig,
+    configs: Vec<ResponderConfig>,
+    managers: Vec<TunnelManager>,
+    leases: Vec<Lease>,
+    req_sessions: Vec<ReqSession>,
+    resp_sessions: BTreeMap<NegotiationId, RespSession>,
+    /// Every tunnel id ever allocated per negotiation — more than one
+    /// entry for the same id would be a double-establish.
+    session_tunnels: BTreeMap<NegotiationId, Vec<TunnelId>>,
+    next_neg: u64,
+    next_seq: u64,
+    /// Per-receiver sets of sequence numbers already processed.
+    seen: Vec<HashSet<u64>>,
+    /// Channel-duplicated transmissions suppressed by sequence numbers.
+    pub duplicates_suppressed: usize,
+    outcomes: Vec<NegotiationOutcome>,
+    fallbacks: Vec<FallbackEvent>,
+    /// Transcript of every message handed to the bus (pre-fault).
+    pub log: Vec<(NodeId, NodeId, Message)>,
+}
+
+impl<'t> ReliableNet<'t> {
+    pub fn new(topo: &'t Topology, fault: FaultConfig, seed: u64) -> Self {
+        Self::with_reliability(topo, fault, seed, ReliabilityConfig::default())
+    }
+
+    pub fn with_reliability(
+        topo: &'t Topology,
+        fault: FaultConfig,
+        seed: u64,
+        rel: ReliabilityConfig,
+    ) -> Self {
+        let n = topo.num_nodes();
+        ReliableNet {
+            topo,
+            clock: 0,
+            bus: FaultyChannel::new(seed, fault),
+            rel,
+            configs: vec![ResponderConfig::default(); n],
+            managers: (0..n).map(|_| TunnelManager::new()).collect(),
+            leases: Vec::new(),
+            req_sessions: Vec::new(),
+            resp_sessions: BTreeMap::new(),
+            session_tunnels: BTreeMap::new(),
+            next_neg: 0,
+            next_seq: 0,
+            seen: vec![HashSet::new(); n],
+            duplicates_suppressed: 0,
+            outcomes: Vec::new(),
+            fallbacks: Vec::new(),
+            log: Vec::new(),
+        }
+    }
+
+    /// Replace one AS's responder configuration.
+    pub fn configure(&mut self, node: NodeId, config: ResponderConfig) {
+        self.configs[node as usize] = config;
+    }
+
+    /// Change the channel fault model mid-run (e.g. start an outage after
+    /// establishment).
+    pub fn set_fault(&mut self, fault: FaultConfig) {
+        self.bus.set_fault(fault);
+    }
+
+    /// Channel accounting (drops, duplicates, reorders, in-flight).
+    pub fn channel_stats(&self) -> crate::chan::ChannelStats {
+        self.bus.stats
+    }
+
+    /// The live leases ledger (establishment order).
+    pub fn leases(&self) -> &[Lease] {
+        &self.leases
+    }
+
+    /// A node's tunnel table.
+    pub fn tunnels(&self, node: NodeId) -> &TunnelManager {
+        &self.managers[node as usize]
+    }
+
+    /// Terminal negotiation records, in settlement order.
+    pub fn outcomes(&self) -> &[NegotiationOutcome] {
+        &self.outcomes
+    }
+
+    /// Every recorded degrade-to-default event.
+    pub fn fallbacks(&self) -> &[FallbackEvent] {
+        &self.fallbacks
+    }
+
+    /// Number of negotiations that allocated more than one tunnel — the
+    /// invariant the duplicate-safe handlers exist to keep at zero.
+    pub fn double_establish_count(&self) -> usize {
+        self.session_tunnels.values().filter(|v| v.len() > 1).count()
+    }
+
+    /// The topology this network runs over.
+    pub fn topology(&self) -> &'t Topology {
+        self.topo
+    }
+
+    fn post(&mut self, from: NodeId, to: NodeId, msg: Message) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.log.push((from, to, msg.clone()));
+        self.bus.send(self.clock, from, to, SeqMessage { seq, msg });
+    }
+
+    /// Begin a negotiation (Figure 4.2 step 1) for `st.dest()`. The
+    /// handshake then progresses inside [`ReliableNet::tick`]; watch
+    /// [`ReliableNet::outcomes`] for the result.
+    pub fn start(
+        &mut self,
+        st: &RoutingState<'_>,
+        requester: NodeId,
+        responder: NodeId,
+        constraints: Vec<Constraint>,
+        max_price: u32,
+    ) -> Result<NegotiationId, NegotiationError> {
+        if requester == responder {
+            return Err(NegotiationError::SelfNegotiation);
+        }
+        let id = NegotiationId(self.next_neg);
+        self.next_neg += 1;
+        let msg = Message::Request { id, dest: st.dest(), constraints };
+        self.post(requester, responder, msg.clone());
+        self.req_sessions.push(ReqSession {
+            id,
+            requester,
+            responder,
+            dest: st.dest(),
+            max_price,
+            state: ReqState::AwaitOffers,
+            last_msg: msg,
+            last_send: self.clock,
+            retries: 0,
+            backoff: self.rel.retransmit_base,
+            retransmits_total: 0,
+            started_at: self.clock,
+        });
+        Ok(id)
+    }
+
+    /// All handshakes (both sides) have reached a terminal state. Tunnel
+    /// soft state may still be live — keepalives keep flowing.
+    pub fn handshakes_settled(&self) -> bool {
+        self.req_sessions
+            .iter()
+            .all(|s| matches!(s.state, ReqState::Done(_) | ReqState::Failed))
+            && self
+                .resp_sessions
+                .values()
+                .all(|s| matches!(s.state, RespState::Offered | RespState::Closed))
+            && self.bus.is_idle()
+    }
+
+    /// Tick until every handshake settles (or `max_ticks` elapse); returns
+    /// the number of ticks consumed.
+    pub fn run_until_settled(&mut self, st: &RoutingState<'_>, max_ticks: u64) -> u64 {
+        let start = self.clock;
+        while !self.handshakes_settled() && self.clock - start < max_ticks {
+            self.tick(st);
+        }
+        self.clock - start
+    }
+
+    /// One tick of virtual time: deliver due messages (duplicate-
+    /// suppressed), run retransmit timers, heartbeat live tunnels, expire
+    /// stale soft state.
+    pub fn tick(&mut self, st: &RoutingState<'_>) {
+        self.clock += 1;
+        let due = self.bus.deliver_due(self.clock);
+        for Envelope { from, to, msg } in due {
+            if !self.seen[to as usize].insert(msg.seq) {
+                self.duplicates_suppressed += 1;
+                continue;
+            }
+            self.handle(st, from, to, msg.msg);
+        }
+        self.requester_timers(st);
+        self.responder_timers();
+        self.heartbeat();
+        self.expire_soft_state();
+    }
+
+    fn handle(&mut self, st: &RoutingState<'_>, from: NodeId, to: NodeId, msg: Message) {
+        match msg {
+            Message::Request { id, dest, constraints } => {
+                self.on_request(st, from, to, id, dest, &constraints)
+            }
+            Message::Offers { id, offers } => self.on_offers(st, from, to, id, offers),
+            Message::Reject { id, reason } => self.on_reject(st, to, id, reason),
+            Message::Accept { id, choice } => self.on_accept(st, from, to, id, choice),
+            Message::Established { id, tunnel } => self.on_established(st, from, to, id, tunnel),
+            Message::Ack { id } => {
+                if let Some(sess) = self.resp_sessions.get_mut(&id) {
+                    if sess.responder == to {
+                        sess.state = RespState::Closed;
+                    }
+                }
+            }
+            Message::Keepalive { tunnel } => {
+                // Refresh on *receipt* only: a heartbeat that the channel
+                // eats refreshes nobody, which is the whole point.
+                self.managers[to as usize].keepalive(tunnel, self.clock);
+            }
+            Message::Teardown { tunnel } => {
+                // Idempotent: unknown or replayed ids are a no-op.
+                self.managers[to as usize].teardown(tunnel);
+                self.leases.retain(|l| {
+                    !(l.id == tunnel
+                        && ((l.downstream == from && l.upstream == to)
+                            || (l.downstream == to && l.upstream == from)))
+                });
+            }
+        }
+    }
+
+    /// Responder, step 1 -> 2: answer a `Request` with `Offers` or
+    /// `Reject`. A duplicate `Request` (channel dup of a retransmission)
+    /// replays whatever this session already answered.
+    fn on_request(
+        &mut self,
+        st: &RoutingState<'_>,
+        from: NodeId,
+        to: NodeId,
+        id: NegotiationId,
+        dest: NodeId,
+        constraints: &[Constraint],
+    ) {
+        debug_assert_eq!(dest, st.dest(), "one ReliableNet drives one destination");
+        if let Some(sess) = self.resp_sessions.get(&id) {
+            if sess.responder == to {
+                let replay = sess.last_reply.clone();
+                self.post(to, from, replay);
+            }
+            return;
+        }
+        let cfg = self.configs[to as usize].clone();
+        let reply = match responder_offers(
+            &cfg,
+            self.managers[to as usize].len(),
+            st,
+            from,
+            to,
+            constraints,
+            false,
+        ) {
+            Ok(offers) => Message::Offers { id, offers },
+            Err(reason) => Message::Reject { id, reason },
+        };
+        self.resp_sessions.insert(id, RespSession {
+            id,
+            requester: from,
+            responder: to,
+            state: RespState::Offered,
+            last_reply: reply.clone(),
+            last_send: self.clock,
+            retries: 0,
+            backoff: self.rel.retransmit_base,
+        });
+        self.post(to, from, reply);
+    }
+
+    /// Requester, step 2 -> 3: pick an offer and `Accept` it.
+    fn on_offers(
+        &mut self,
+        st: &RoutingState<'_>,
+        from: NodeId,
+        to: NodeId,
+        id: NegotiationId,
+        offers: Vec<crate::export::Offer>,
+    ) {
+        let Some(i) = self.req_sessions.iter().position(|s| s.id == id && s.requester == to)
+        else {
+            return;
+        };
+        if !matches!(self.req_sessions[i].state, ReqState::AwaitOffers) {
+            // Duplicate of an Offers we already answered: the Accept
+            // retransmit timer (or the established tunnel) covers us.
+            return;
+        }
+        let max_price = self.req_sessions[i].max_price;
+        match choose_offer(&offers, max_price) {
+            Some(choice) => {
+                let msg = Message::Accept { id, choice };
+                self.post(to, from, msg.clone());
+                let s = &mut self.req_sessions[i];
+                s.state = ReqState::AwaitEstablished;
+                s.last_msg = msg;
+                s.last_send = self.clock;
+                s.retries = 0;
+                s.backoff = self.rel.retransmit_base;
+            }
+            None => {
+                // Semantic failure: budget too small. No retry can fix it.
+                self.fail_requester(i, FailReason::NoneAcceptable, Some(st));
+            }
+        }
+    }
+
+    fn on_reject(&mut self, st: &RoutingState<'_>, to: NodeId, id: NegotiationId, reason: RejectReason) {
+        let Some(i) = self.req_sessions.iter().position(|s| s.id == id && s.requester == to)
+        else {
+            return;
+        };
+        if matches!(self.req_sessions[i].state, ReqState::Done(_) | ReqState::Failed) {
+            return;
+        }
+        self.fail_requester(i, FailReason::Rejected(reason), Some(st));
+    }
+
+    /// Responder, step 3 -> 4: allocate the tunnel exactly once and report
+    /// `Established`. A replayed `Accept` for an established session
+    /// replays the recorded `Established` — it never double-establishes.
+    fn on_accept(
+        &mut self,
+        st: &RoutingState<'_>,
+        from: NodeId,
+        to: NodeId,
+        id: NegotiationId,
+        choice: usize,
+    ) {
+        let Some(sess) = self.resp_sessions.get(&id) else { return };
+        if sess.responder != to || sess.requester != from {
+            return;
+        }
+        match sess.state {
+            // Idempotent replay paths: the tunnel this session allocated
+            // (if any) is reported again with the SAME id — never a new
+            // allocation.
+            RespState::Established(tid) => {
+                self.post(to, from, Message::Established { id, tunnel: tid });
+                return;
+            }
+            RespState::Closed => {
+                if let Some(&tid) = self.session_tunnels.get(&id).and_then(|v| v.first()) {
+                    self.post(to, from, Message::Established { id, tunnel: tid });
+                }
+                return;
+            }
+            RespState::Offered => {}
+        }
+        // State is Offered: the first Accept to arrive wins.
+        let Message::Offers { offers, .. } = sess.last_reply.clone() else {
+            // Session was rejected; a (stale) Accept replays the Reject.
+            let replay = sess.last_reply.clone();
+            self.post(to, from, replay);
+            return;
+        };
+        let Some(offer) = offers.get(choice) else {
+            let reply = Message::Reject { id, reason: RejectReason::BadChoice };
+            let sess = self.resp_sessions.get_mut(&id).expect("session exists");
+            sess.last_reply = reply.clone();
+            self.post(to, from, reply);
+            return;
+        };
+        let now = self.clock;
+        let tid = self.managers[to as usize].establish(
+            from,
+            st.dest(),
+            offer.route.path.clone(),
+            offer.price,
+            now,
+        );
+        self.session_tunnels.entry(id).or_default().push(tid);
+        self.leases.push(Lease {
+            id: tid,
+            downstream: to,
+            upstream: from,
+            dest: st.dest(),
+            path: offer.route.path.clone(),
+            upstream_path: st.path(from).unwrap_or_default(),
+            price: offer.price,
+            budget: 0, // unknown to the responder; requester-side record
+            constraints: Vec::new(),
+        });
+        let reply = Message::Established { id, tunnel: tid };
+        let sess = self.resp_sessions.get_mut(&id).expect("session exists");
+        sess.state = RespState::Established(tid);
+        sess.last_reply = reply.clone();
+        sess.last_send = now;
+        sess.retries = 0;
+        sess.backoff = self.rel.retransmit_base;
+        self.post(to, from, reply);
+    }
+
+    /// Requester, step 4: adopt the tunnel (once) and `Ack`. Duplicates
+    /// re-`Ack`; an `Established` arriving after we already fell back is
+    /// declined with a `Teardown` so the responder's orphan dies fast.
+    fn on_established(
+        &mut self,
+        st: &RoutingState<'_>,
+        from: NodeId,
+        to: NodeId,
+        id: NegotiationId,
+        tunnel: TunnelId,
+    ) {
+        let Some(i) = self.req_sessions.iter().position(|s| s.id == id && s.requester == to)
+        else {
+            return;
+        };
+        match self.req_sessions[i].state {
+            ReqState::AwaitEstablished => {}
+            ReqState::Done(adopted) => {
+                if adopted == tunnel {
+                    self.post(to, from, Message::Ack { id });
+                } else {
+                    // A different id for the same session can only be a
+                    // confused responder; decline the stray allocation.
+                    self.post(to, from, Message::Teardown { tunnel });
+                }
+                return;
+            }
+            ReqState::Failed => {
+                self.post(to, from, Message::Teardown { tunnel });
+                return;
+            }
+            ReqState::AwaitOffers => return, // impossible per causality; ignore
+        }
+        // Find what was sold from the responder's lease record.
+        let lease = self
+            .leases
+            .iter()
+            .find(|l| l.id == tunnel && l.downstream == from && l.upstream == to)
+            .cloned();
+        let (path, price) = match lease {
+            Some(l) => (l.path, l.price),
+            None => (Vec::new(), 0), // responder restarted; adopt id only
+        };
+        if self.managers[to as usize].get(tunnel).is_none() {
+            self.managers[to as usize].adopt(Tunnel {
+                id: tunnel,
+                peer: from,
+                dest: st.dest(),
+                path,
+                price,
+                last_heartbeat: self.clock,
+            });
+        }
+        let s = &mut self.req_sessions[i];
+        s.state = ReqState::Done(tunnel);
+        let outcome = NegotiationOutcome {
+            id,
+            requester: s.requester,
+            responder: s.responder,
+            dest: s.dest,
+            result: Ok(tunnel),
+            started_at: s.started_at,
+            finished_at: self.clock,
+            retransmits: s.retransmits_total,
+        };
+        self.outcomes.push(outcome);
+        self.post(to, from, Message::Ack { id });
+    }
+
+    /// Terminal failure on the requester side: record the outcome and the
+    /// graceful degrade to the BGP default path.
+    fn fail_requester(&mut self, i: usize, reason: FailReason, st: Option<&RoutingState<'_>>) {
+        let s = &mut self.req_sessions[i];
+        s.state = ReqState::Failed;
+        let outcome = NegotiationOutcome {
+            id: s.id,
+            requester: s.requester,
+            responder: s.responder,
+            dest: s.dest,
+            result: Err(reason),
+            started_at: s.started_at,
+            finished_at: self.clock,
+            retransmits: s.retransmits_total,
+        };
+        let fallback = FallbackEvent {
+            id: s.id,
+            requester: s.requester,
+            dest: s.dest,
+            reason,
+            default_path: st.and_then(|st| st.path(s.requester)).unwrap_or_default(),
+            at: self.clock,
+        };
+        self.outcomes.push(outcome);
+        self.fallbacks.push(fallback);
+    }
+
+    fn requester_timers(&mut self, st: &RoutingState<'_>) {
+        let now = self.clock;
+        let max_retries = self.rel.max_retries;
+        let mut resend: Vec<(NodeId, NodeId, Message)> = Vec::new();
+        let mut exhausted: Vec<usize> = Vec::new();
+        for (i, s) in self.req_sessions.iter_mut().enumerate() {
+            if !matches!(s.state, ReqState::AwaitOffers | ReqState::AwaitEstablished) {
+                continue;
+            }
+            if now.saturating_sub(s.last_send) < s.backoff {
+                continue;
+            }
+            if s.retries >= max_retries {
+                exhausted.push(i);
+                continue;
+            }
+            s.retries += 1;
+            s.retransmits_total += 1;
+            s.backoff *= 2;
+            s.last_send = now;
+            resend.push((s.requester, s.responder, s.last_msg.clone()));
+        }
+        for (from, to, msg) in resend {
+            self.post(from, to, msg);
+        }
+        for i in exhausted {
+            let stage = match self.req_sessions[i].state {
+                ReqState::AwaitOffers => Stage::Request,
+                _ => Stage::Accept,
+            };
+            self.fail_requester(i, FailReason::RetriesExhausted(stage), Some(st));
+        }
+    }
+
+    fn responder_timers(&mut self) {
+        let now = self.clock;
+        let max_retries = self.rel.max_retries;
+        let mut resend: Vec<(NodeId, NodeId, Message)> = Vec::new();
+        for s in self.resp_sessions.values_mut() {
+            let RespState::Established(tid) = s.state else { continue };
+            if now.saturating_sub(s.last_send) < s.backoff {
+                continue;
+            }
+            if s.retries >= max_retries {
+                // Give up retransmitting; if the requester truly never
+                // heard us, its missing keepalives expire the orphan.
+                s.state = RespState::Closed;
+                continue;
+            }
+            s.retries += 1;
+            s.backoff *= 2;
+            s.last_send = now;
+            resend.push((s.responder, s.requester, Message::Established { id: s.id, tunnel: tid }));
+        }
+        for (from, to, msg) in resend {
+            self.post(from, to, msg);
+        }
+    }
+
+    /// Symmetric §4.3 heartbeats through the lossy bus: each side of every
+    /// live tunnel pings the other; state refreshes only on receipt.
+    fn heartbeat(&mut self) {
+        if self.rel.keepalive_interval == 0 || !self.clock.is_multiple_of(self.rel.keepalive_interval)
+        {
+            return;
+        }
+        let pings: Vec<(NodeId, NodeId, TunnelId)> = self
+            .leases
+            .iter()
+            .flat_map(|l| {
+                [(l.upstream, l.downstream, l.id), (l.downstream, l.upstream, l.id)]
+            })
+            .collect();
+        for (from, to, id) in pings {
+            // Only ping for tunnels we still hold ourselves.
+            if self.managers[from as usize].get(id).is_some() {
+                self.post(from, to, Message::Keepalive { tunnel: id });
+            }
+        }
+    }
+
+    fn expire_soft_state(&mut self) {
+        let now = self.clock;
+        let timeout = self.rel.keepalive_timeout;
+        let mut teardowns: Vec<(NodeId, NodeId, TunnelId)> = Vec::new();
+        for n in 0..self.managers.len() {
+            // Capture peers before expiry removes the records.
+            let stale: Vec<(TunnelId, NodeId)> = self.managers[n]
+                .iter()
+                .filter(|t| now.saturating_sub(t.last_heartbeat) > timeout)
+                .map(|t| (t.id, t.peer))
+                .collect();
+            if stale.is_empty() {
+                continue;
+            }
+            self.managers[n].expire(now, timeout);
+            for (id, peer) in stale {
+                // Best-effort: hurry the peer along (may itself be lost;
+                // the peer's own timer is the backstop).
+                teardowns.push((n as NodeId, peer, id));
+            }
+        }
+        for (from, to, id) in teardowns {
+            self.post(from, to, Message::Teardown { tunnel: id });
+            self.leases.retain(|l| {
+                !(l.id == id
+                    && ((l.downstream == from && l.upstream == to)
+                        || (l.downstream == to && l.upstream == from)))
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::MiroNetwork;
+    use miro_topology::gen::figure_1_1;
+
+    fn setup() -> (Topology, [NodeId; 6]) {
+        figure_1_1()
+    }
+
+    fn kinds(log: &[(NodeId, NodeId, Message)]) -> Vec<&'static str> {
+        log.iter()
+            .map(|(_, _, m)| match m {
+                Message::Request { .. } => "request",
+                Message::Offers { .. } => "offers",
+                Message::Accept { .. } => "accept",
+                Message::Established { .. } => "established",
+                Message::Ack { .. } => "ack",
+                Message::Reject { .. } => "reject",
+                Message::Keepalive { .. } => "keepalive",
+                Message::Teardown { .. } => "teardown",
+            })
+            .collect()
+    }
+
+    /// On a perfect channel the reliability layer is transparent: same
+    /// tunnel, same path, same price as the synchronous harness, and the
+    /// transcript is Figure 4.2 plus the closing Ack.
+    #[test]
+    fn perfect_channel_matches_synchronous_harness() {
+        let (t, [a, b, _c, _d, e, f]) = setup();
+        let st = RoutingState::solve(&t, f);
+
+        let mut sync_net = MiroNetwork::new(&t);
+        let sync_tid =
+            sync_net.negotiate(&st, a, b, vec![Constraint::AvoidAs(e)], 250).unwrap();
+        let sync_lease = sync_net.leases()[0].clone();
+
+        let mut net = ReliableNet::new(&t, FaultConfig::PERFECT, 1);
+        let id = net.start(&st, a, b, vec![Constraint::AvoidAs(e)], 250).unwrap();
+        let ticks = net.run_until_settled(&st, 50);
+        assert!(ticks <= 6, "perfect channel settles in a handful of ticks: {ticks}");
+
+        assert_eq!(net.outcomes().len(), 1);
+        let out = &net.outcomes()[0];
+        assert_eq!(out.id, id);
+        assert_eq!(out.result, Ok(sync_tid), "same downstream id allocation");
+        assert_eq!(out.retransmits, 0, "no retransmissions on a perfect channel");
+        let lease = &net.leases()[0];
+        assert_eq!(lease.path, sync_lease.path);
+        assert_eq!(lease.price, sync_lease.price);
+        assert_eq!((lease.upstream, lease.downstream), (a, b));
+        assert!(net.tunnels(a).get(sync_tid).is_some());
+        assert!(net.tunnels(b).get(sync_tid).is_some());
+        assert_eq!(
+            kinds(&net.log)[..5],
+            ["request", "offers", "accept", "established", "ack"]
+        );
+        assert!(net.fallbacks().is_empty());
+        assert_eq!(net.double_establish_count(), 0);
+    }
+
+    /// Semantic rejections surface the same reasons as the synchronous
+    /// harness, now as typed outcomes with a recorded fallback.
+    #[test]
+    fn rejections_record_fallback_to_default_path() {
+        let (t, [a, b, _c, d, e, f]) = setup();
+        let st = RoutingState::solve(&t, f);
+        let mut net = ReliableNet::new(&t, FaultConfig::PERFECT, 2);
+        net.configure(b, ResponderConfig {
+            accept_any: false,
+            allow: vec![d],
+            ..Default::default()
+        });
+        let id = net.start(&st, a, b, vec![Constraint::AvoidAs(e)], 250).unwrap();
+        net.run_until_settled(&st, 50);
+        assert_eq!(
+            net.outcomes()[0].result,
+            Err(FailReason::Rejected(RejectReason::NotAllowed))
+        );
+        let fb = &net.fallbacks()[0];
+        assert_eq!(fb.id, id);
+        assert_eq!(fb.requester, a);
+        assert_eq!(
+            fb.default_path,
+            st.path(a).unwrap(),
+            "the requester degrades to its BGP default path"
+        );
+        assert!(net.leases().is_empty());
+    }
+
+    /// A channel that eats everything: retries back off, then the
+    /// requester gives up and falls back. Nothing is ever established.
+    #[test]
+    fn total_blackout_exhausts_retries_and_falls_back() {
+        let (t, [a, b, _c, _d, e, f]) = setup();
+        let st = RoutingState::solve(&t, f);
+        let mut net = ReliableNet::new(&t, FaultConfig {
+            drop_permille: 1000,
+            ..FaultConfig::PERFECT
+        }, 3);
+        net.start(&st, a, b, vec![Constraint::AvoidAs(e)], 250).unwrap();
+        let ticks = net.run_until_settled(&st, 2_000);
+        // 5 retries with doubling backoff from 4: 4+8+16+32+64+128 ticks.
+        assert!(ticks < 300, "bounded retries actually bound time: {ticks}");
+        assert_eq!(
+            net.outcomes()[0].result,
+            Err(FailReason::RetriesExhausted(Stage::Request))
+        );
+        assert_eq!(net.outcomes()[0].retransmits, 5);
+        assert_eq!(net.fallbacks().len(), 1);
+        assert!(net.leases().is_empty());
+        assert!(net.tunnels(a).is_empty() && net.tunnels(b).is_empty());
+    }
+
+    /// Moderate loss: retransmits push the handshake through.
+    #[test]
+    fn lossy_channel_succeeds_via_retransmit() {
+        let (t, [a, b, _c, _d, e, f]) = setup();
+        let st = RoutingState::solve(&t, f);
+        let mut ok = 0;
+        for seed in 0..50u64 {
+            let mut net = ReliableNet::new(&t, FaultConfig::lossy(100, 50, 100), seed);
+            net.start(&st, a, b, vec![Constraint::AvoidAs(e)], 250).unwrap();
+            net.run_until_settled(&st, 2_000);
+            assert_eq!(net.double_establish_count(), 0, "seed {seed}");
+            match net.outcomes()[0].result {
+                Ok(tid) => {
+                    ok += 1;
+                    assert!(net.tunnels(a).get(tid).is_some(), "seed {seed}");
+                    assert!(net.tunnels(b).get(tid).is_some(), "seed {seed}");
+                }
+                Err(_) => {
+                    assert_eq!(net.fallbacks().len(), 1, "failure recorded: seed {seed}");
+                }
+            }
+        }
+        assert!(ok >= 48, "10% loss overwhelmingly succeeds via retransmit: {ok}/50");
+    }
+
+    /// Every message duplicated: exactly one tunnel, tables agree, and the
+    /// sequence layer (not luck) absorbed the copies.
+    #[test]
+    fn full_duplication_never_double_establishes() {
+        let (t, [a, b, _c, _d, e, f]) = setup();
+        let st = RoutingState::solve(&t, f);
+        let mut net = ReliableNet::new(&t, FaultConfig {
+            dup_permille: 1000,
+            delay_min: 0,
+            delay_max: 2,
+            ..FaultConfig::PERFECT
+        }, 7);
+        net.start(&st, a, b, vec![Constraint::AvoidAs(e)], 250).unwrap();
+        net.run_until_settled(&st, 500);
+        assert!(net.outcomes()[0].result.is_ok());
+        assert_eq!(net.leases().len(), 1);
+        assert_eq!(net.double_establish_count(), 0);
+        assert_eq!(net.tunnels(a).len(), 1);
+        assert_eq!(net.tunnels(b).len(), 1);
+        assert!(net.duplicates_suppressed > 0, "the sequence layer did real work");
+    }
+
+    /// §4.3 under real loss: a tunnel survives transient keepalive loss
+    /// (timeout > interval), and expires cleanly on both sides — ledger
+    /// included — under a sustained outage.
+    #[test]
+    fn keepalive_soft_state_survives_transient_loss_and_expires_under_outage() {
+        let (t, [a, b, _c, _d, e, f]) = setup();
+        let st = RoutingState::solve(&t, f);
+        let mut net = ReliableNet::new(&t, FaultConfig::lossy(100, 0, 100), 11);
+        net.start(&st, a, b, vec![Constraint::AvoidAs(e)], 250).unwrap();
+        net.run_until_settled(&st, 2_000);
+        let tid = net.outcomes()[0].result.expect("established");
+        // 10% keepalive loss for 200 ticks: with timeout 35 and interval
+        // 10, expiry needs ~3 consecutive losses on a side — survives.
+        for _ in 0..200 {
+            net.tick(&st);
+        }
+        assert_eq!(net.leases().len(), 1, "tunnel survives transient loss");
+        assert!(net.tunnels(a).get(tid).is_some());
+        assert!(net.tunnels(b).get(tid).is_some());
+        // Total outage: both sides expire their soft state.
+        net.set_fault(FaultConfig { drop_permille: 1000, ..FaultConfig::PERFECT });
+        for _ in 0..100 {
+            net.tick(&st);
+        }
+        assert!(net.leases().is_empty(), "ledger reaped");
+        assert!(net.tunnels(a).get(tid).is_none(), "upstream expired");
+        assert!(net.tunnels(b).get(tid).is_none(), "downstream expired");
+    }
+
+    /// A late `Established` after the requester already fell back is
+    /// declined with a `Teardown`: no half-open tunnel survives.
+    #[test]
+    fn late_established_after_fallback_is_torn_down() {
+        let (t, [a, b, _c, _d, e, f]) = setup();
+        let st = RoutingState::solve(&t, f);
+        // Fast-exhausting requester so the race is easy to hit: one retry,
+        // 1-tick base.
+        let rel = ReliabilityConfig {
+            retransmit_base: 1,
+            max_retries: 1,
+            ..Default::default()
+        };
+        let mut hit = false;
+        for seed in 0..200u64 {
+            let mut net = ReliableNet::with_reliability(
+                &t,
+                FaultConfig { drop_permille: 450, delay_min: 0, delay_max: 4, dup_permille: 0, reorder_permille: 0 },
+                seed,
+                rel,
+            );
+            net.start(&st, a, b, vec![Constraint::AvoidAs(e)], 250).unwrap();
+            net.run_until_settled(&st, 400);
+            let failed = net.outcomes()[0].result.is_err();
+            let responder_established = !net.tunnels(b).is_empty() || !net
+                .tunnels(b)
+                .torn_down
+                .is_empty();
+            if failed && responder_established {
+                hit = true;
+                // Let teardown / soft-state expiry finish the cleanup.
+                for _ in 0..80 {
+                    net.tick(&st);
+                }
+                assert!(net.tunnels(a).is_empty(), "seed {seed}: requester clean");
+                assert!(net.tunnels(b).is_empty(), "seed {seed}: orphan reaped");
+                assert!(net.leases().is_empty(), "seed {seed}: ledger clean");
+            }
+        }
+        assert!(hit, "the fallback-vs-established race was actually exercised");
+    }
+
+    /// Self-negotiation is refused exactly like the synchronous harness.
+    #[test]
+    fn self_negotiation_refused() {
+        let (t, [a, ..]) = setup();
+        let st = RoutingState::solve(&t, a);
+        let mut net = ReliableNet::new(&t, FaultConfig::PERFECT, 0);
+        assert_eq!(
+            net.start(&st, a, a, vec![], 100),
+            Err(NegotiationError::SelfNegotiation)
+        );
+    }
+}

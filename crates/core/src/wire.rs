@@ -158,6 +158,10 @@ pub fn emit(msg: &Message) -> Result<Vec<u8>, MiroWireError> {
             body.extend_from_slice(&tunnel.0.to_be_bytes());
             7
         }
+        Message::Ack { id } => {
+            body.extend_from_slice(&id.0.to_be_bytes());
+            8
+        }
     };
     let total = HEADER_LEN + body.len();
     let total16: u16 =
@@ -277,6 +281,7 @@ pub fn parse(data: &[u8]) -> Result<(Message, usize), MiroWireError> {
         }
         6 => Message::Keepalive { tunnel: TunnelId(r.u32()?) },
         7 => Message::Teardown { tunnel: TunnelId(r.u32()?) },
+        8 => Message::Ack { id: NegotiationId(r.u64()?) },
         t => return Err(MiroWireError::BadType(t)),
     };
     if !r.done() {
@@ -321,6 +326,7 @@ mod tests {
             Message::Reject { id: NegotiationId(9), reason: RejectReason::NoCandidates },
             Message::Keepalive { tunnel: TunnelId(7) },
             Message::Teardown { tunnel: TunnelId(7) },
+            Message::Ack { id: NegotiationId(42) },
         ]
     }
 

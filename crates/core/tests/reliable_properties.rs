@@ -1,0 +1,81 @@
+//! Property-based tests for the reliability layer: under arbitrary
+//! duplication, reordering, and delay (but no loss), every negotiation
+//! completes, no negotiation ever owns two tunnels, and the requester and
+//! responder tunnel tables agree at quiescence.
+//!
+//! Loss is excluded on purpose: with `drop_permille: 0` retries cannot
+//! exhaust, so completion is a *hard* invariant rather than a
+//! probability; the lossy regimes are covered by seeded unit tests in
+//! `miro_core::reliable` and the `miro resilience` sweep.
+
+use miro_bgp::solver::RoutingState;
+use miro_core::chan::FaultConfig;
+use miro_core::negotiate::Constraint;
+use miro_core::reliable::ReliableNet;
+use miro_topology::gen::figure_1_1;
+use proptest::prelude::*;
+
+proptest! {
+    /// Duplicate/reorder-safety: two concurrent negotiations toward the
+    /// same destination settle into exactly one tunnel each, with both
+    /// endpoint tables holding exactly the leases in the ledger.
+    #[test]
+    fn duplication_and_reordering_never_corrupt_state(
+        seed in 0u64..300,
+        dup in 0u32..501,
+        reorder in 0u32..501,
+        delay_max in 0u64..5,
+    ) {
+        let (t, [a, b, _c, _d, e, f]) = figure_1_1();
+        let st = RoutingState::solve(&t, f);
+        let fault = FaultConfig {
+            drop_permille: 0,
+            dup_permille: dup,
+            reorder_permille: reorder,
+            delay_min: 0,
+            delay_max,
+        };
+        let mut net = ReliableNet::new(&t, fault, seed);
+        // The two pairs that negotiate successfully in Figure 1.1 toward
+        // f, both against the same responder so its table sees
+        // interleaved (and possibly duplicated/reordered) sessions.
+        let id_a = net.start(&st, a, b, vec![Constraint::AvoidAs(e)], 250).unwrap();
+        let id_d = net.start(&st, e, b, vec![], 250).unwrap();
+        let ticks = net.run_until_settled(&st, 3_000);
+        prop_assert!(net.handshakes_settled(), "must settle, took {} ticks", ticks);
+
+        // With zero loss nothing can exhaust: both handshakes complete.
+        prop_assert_eq!(net.outcomes().len(), 2);
+        for out in net.outcomes() {
+            prop_assert!(out.result.is_ok(), "no-loss channel cannot fail: {:?}", out);
+        }
+        prop_assert!(net.fallbacks().is_empty());
+        prop_assert_eq!(net.double_establish_count(), 0);
+
+        // The ledger holds exactly one lease per negotiation...
+        prop_assert_eq!(net.leases().len(), 2);
+        let tid_a = net.outcomes().iter().find(|o| o.id == id_a).unwrap().result.unwrap();
+        let tid_d = net.outcomes().iter().find(|o| o.id == id_d).unwrap().result.unwrap();
+        prop_assert_ne!(tid_a, tid_d, "responder allocates distinct ids");
+
+        // ...and requester/responder tables agree at quiescence: each
+        // requester holds its tunnel, the responder holds both, and the
+        // paired records match on peer, path, and price.
+        prop_assert_eq!(net.tunnels(a).len(), 1);
+        prop_assert_eq!(net.tunnels(e).len(), 1);
+        prop_assert_eq!(net.tunnels(b).len(), 2);
+        for (req, tid) in [(a, tid_a), (e, tid_d)] {
+            let up = net.tunnels(req).get(tid).expect("requester side holds the tunnel");
+            let down = net.tunnels(b).get(tid).expect("responder side holds the tunnel");
+            prop_assert_eq!(up.peer, b);
+            prop_assert_eq!(down.peer, req);
+            prop_assert_eq!(&up.path, &down.path);
+            prop_assert_eq!(up.price, down.price);
+        }
+        // The negotiated constraint is honored end to end.
+        prop_assert!(
+            !net.tunnels(a).get(tid_a).unwrap().path.contains(&e),
+            "AvoidAs constraint honored"
+        );
+    }
+}

@@ -2,10 +2,19 @@
 //! corrupting link wrapper with seeded randomness, used to demonstrate
 //! that no corrupted packet survives the codecs undetected and that
 //! tunnel soft state recovers from loss.
+//!
+//! The richer fault model — drop + duplicate + reorder + delay on a
+//! virtual clock, generic over the payload type — lives in
+//! [`miro_core::chan`] (the dependency points dataplane → core) and is
+//! re-exported here so data-plane users find both under one roof:
+//! `FaultyChannel<Bytes>` faults raw packets exactly as it faults typed
+//! control messages.
 
 use bytes::{Bytes, BytesMut};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+pub use miro_core::chan::{ChannelStats, Envelope, FaultConfig, FaultyChannel};
 
 /// What the faulty link did to a packet.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -45,7 +54,21 @@ impl FaultyLink {
         }
     }
 
+    /// Total packets transmitted; always `delivered + dropped + corrupted`
+    /// (every packet ends in exactly one counter).
+    pub fn total(&self) -> usize {
+        self.delivered + self.dropped + self.corrupted
+    }
+
     /// Transmit one packet.
+    ///
+    /// Contract for **empty packets**: an empty packet can be dropped but
+    /// never corrupted — there is no byte to flip — so a surviving empty
+    /// packet is always `Delivered` and counted as such, even at
+    /// `corrupt_permille == 1000`. The corruption RNG draw is skipped
+    /// entirely for empty packets (short-circuit on `is_empty`), keeping
+    /// the fault schedule of non-empty traffic independent of interleaved
+    /// zero-length sends.
     pub fn transmit(&mut self, packet: Bytes) -> LinkEvent {
         if self.rng.gen_range(0..1000u32) < self.drop_permille {
             self.dropped += 1;
@@ -166,5 +189,60 @@ mod tests {
         for _ in 0..50 {
             assert_eq!(a.transmit(tunnel_packet()), b.transmit(tunnel_packet()));
         }
+    }
+
+    /// The documented empty-packet contract: an empty packet is never
+    /// `Corrupted`, even with corruption forced to certainty — a surviving
+    /// empty packet is always `Delivered` and counted.
+    #[test]
+    fn empty_packets_are_never_corrupted() {
+        let mut link = FaultyLink::new(5, 0, 1000); // corrupt everything
+        for _ in 0..200 {
+            assert!(matches!(link.transmit(Bytes::new()), LinkEvent::Delivered(p) if p.is_empty()));
+        }
+        assert_eq!(link.delivered, 200);
+        assert_eq!(link.corrupted, 0);
+        assert_eq!(link.total(), 200);
+    }
+
+    /// Empty packets still face the drop roll, and the counters always
+    /// partition the traffic: `total() == transmissions` whatever the mix.
+    #[test]
+    fn counters_partition_all_traffic() {
+        let mut link = FaultyLink::new(6, 400, 700);
+        for i in 0..3000 {
+            // Interleave empty and real packets.
+            let pkt = if i % 3 == 0 { Bytes::new() } else { tunnel_packet() };
+            link.transmit(pkt);
+            assert_eq!(link.total(), i + 1);
+        }
+        assert_eq!(link.delivered + link.dropped + link.corrupted, 3000);
+        assert!(link.dropped > 0 && link.corrupted > 0, "both faults exercised");
+    }
+
+    /// The shared control/data fault model re-exported from
+    /// `miro_core::chan` carries raw `Bytes` just as well as typed
+    /// messages: packets come back byte-identical, and the channel stats
+    /// balance.
+    #[test]
+    fn faulty_channel_carries_raw_packets() {
+        let mut ch: FaultyChannel<Bytes> = FaultyChannel::new(7, FaultConfig::lossy(200, 100, 150));
+        let pkt = tunnel_packet();
+        for t in 0..500u64 {
+            ch.send(t, 1, 2, pkt.clone());
+        }
+        let mut got = 0;
+        for t in 0..520u64 {
+            for env in ch.deliver_due(t) {
+                assert_eq!((env.from, env.to), (1, 2));
+                assert_eq!(env.msg, pkt, "payload survives the channel unmodified");
+                got += 1;
+            }
+        }
+        assert!(ch.is_idle());
+        let s = ch.stats;
+        assert_eq!(got, s.delivered);
+        assert_eq!(s.sent + s.duplicated, s.delivered + s.dropped);
+        assert!(s.dropped > 0 && s.duplicated > 0, "faults exercised");
     }
 }

@@ -11,6 +11,7 @@
 //! | Figures 5.4/5.5 (incremental deployment) | [`deploy`] | `fig5-4` |
 //! | Figures 5.6/5.7 (inbound traffic control) | [`inbound`] | `fig5-6` |
 //! | Figure 7.1 / 7.2 gadget runs | [`convergence_exp`] | `fig7-1`, `fig7-2` |
+//! | Control-plane robustness sweep | [`resilience`] | `miro resilience` |
 //!
 //! Experiments are seeded and deterministic; sample sizes and the
 //! topology scale are configurable (the paper's full-size topologies and
@@ -27,6 +28,7 @@ pub mod driver;
 pub mod dynamics;
 pub mod inbound;
 pub mod report;
+pub mod resilience;
 pub mod routes;
 
 pub use datasets::{Dataset, EvalConfig};

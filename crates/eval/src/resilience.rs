@@ -1,0 +1,360 @@
+//! `miro resilience` — control-plane robustness under an unreliable
+//! channel.
+//!
+//! Sweeps the [`miro_core::chan::FaultyChannel`] fault knobs (drop /
+//! duplicate / reorder) over a Gao2005-shaped topology and measures what
+//! the [`miro_core::reliable`] layer delivers at each point:
+//!
+//! * **negotiation success rate** — handshakes completed via
+//!   retransmit/backoff, over pairs known to succeed on a perfect channel
+//!   (so loss measures the reliability layer, not semantic rejects);
+//! * **handshake latency** — virtual ticks from first `Request` to the
+//!   terminal outcome, mean and p95;
+//! * **fallbacks** — every exhausted negotiation must surface a typed
+//!   failure and degrade to the BGP default path (asserted, not hoped);
+//! * **double establishes** — must be zero at every fault level;
+//! * **tunnel survival** — fraction of established tunnels still alive
+//!   after a further stretch of lossy keepalive traffic.
+//!
+//! The sweep is seeded and deterministic; results go to `RESILIENCE.json`
+//! (next to `BENCH_solver.json`) so CI can pin a success floor with
+//! `--check-floor`.
+
+use crate::report;
+use miro_bgp::solver::RoutingState;
+use miro_core::chan::FaultConfig;
+use miro_core::node::MiroNetwork;
+use miro_core::reliable::ReliableNet;
+use miro_topology::gen::DatasetPreset;
+use miro_topology::{NodeId, Topology};
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// Drop rates swept, in per-mille. Duplication rides at half the drop
+/// rate and reordering at the full drop rate, so one axis describes the
+/// whole channel. The 100‰ point (10% drop + 5% dup + 10% reorder) is the
+/// acceptance point `--check-floor` pins.
+const DROP_SWEEP: &[u32] = &[0, 50, 100, 200, 300];
+
+/// Ticks of continued lossy keepalive traffic after the handshakes
+/// settle, for the survival measurement. Several times the keepalive
+/// timeout (35), so sustained-loss expiry has room to show.
+const SURVIVAL_TICKS: u64 = 200;
+
+/// Per-sweep-point hard cap on settling time; generous next to the worst
+/// retransmit schedule (~256 ticks at the default backoff ladder).
+const MAX_SETTLE_TICKS: u64 = 2_000;
+
+#[derive(Serialize)]
+pub struct SweepPoint {
+    pub drop_permille: u32,
+    pub dup_permille: u32,
+    pub reorder_permille: u32,
+    pub attempted: usize,
+    pub succeeded: usize,
+    pub success_rate: f64,
+    /// Typed failures, each with a recorded degrade-to-default event.
+    pub fallbacks: usize,
+    /// Negotiations that allocated more than one tunnel (must be 0).
+    pub double_established: usize,
+    pub mean_latency_ticks: f64,
+    pub p95_latency_ticks: u64,
+    /// Requester-side retransmissions across all handshakes.
+    pub retransmits: u32,
+    /// Channel duplicates absorbed by the sequence layer.
+    pub duplicates_suppressed: usize,
+    pub settle_ticks: u64,
+    /// Tunnels still alive after [`SURVIVAL_TICKS`] more lossy ticks.
+    pub tunnels_surviving: usize,
+    pub survival_rate: f64,
+}
+
+#[derive(Serialize)]
+pub struct ResilienceReport {
+    pub seed: u64,
+    pub scale: f64,
+    pub nodes: usize,
+    pub pairs: usize,
+    pub points: Vec<SweepPoint>,
+}
+
+/// Entry point for `miro resilience [--seed N] [--scale F] [--pairs N]
+/// [--out PATH] [--check-floor PCT]`. Returns the human-readable report;
+/// JSON lands in `--out` (default `RESILIENCE.json`). With
+/// `--check-floor`, errors if the success rate at the 10%-drop point
+/// falls below `PCT` percent — the CI fault-injection gate.
+pub fn run(args: &[String]) -> Result<String, String> {
+    let mut seed: u64 = 20060911;
+    let mut scale: f64 = 0.01;
+    let mut pairs: usize = 40;
+    let mut out_path = "RESILIENCE.json".to_string();
+    let mut floor: Option<f64> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut val = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or(format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--seed" => seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--scale" => scale = val("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?,
+            "--pairs" => pairs = val("--pairs")?.parse().map_err(|e| format!("--pairs: {e}"))?,
+            "--out" => out_path = val("--out")?,
+            "--check-floor" => {
+                floor = Some(
+                    val("--check-floor")?.parse().map_err(|e| format!("--check-floor: {e}"))?,
+                )
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+
+    let topo = DatasetPreset::Gao2005.params(scale, seed).generate();
+    let (dest, candidates) = workable_pairs(&topo, pairs, seed);
+    if candidates.is_empty() {
+        return Err("no negotiable pairs found; raise --scale".to_string());
+    }
+    let st = RoutingState::solve(&topo, dest);
+
+    let mut points = Vec::new();
+    for &drop in DROP_SWEEP {
+        let (dup, reorder) = (drop / 2, drop);
+        points.push(sweep_point(&topo, &st, &candidates, drop, dup, reorder, seed));
+    }
+
+    let report = ResilienceReport {
+        seed,
+        scale,
+        nodes: topo.num_nodes(),
+        pairs: candidates.len(),
+        points,
+    };
+
+    let json = serde_json::to_string_pretty(&report)
+        .map_err(|e| format!("serialize: {e}"))?;
+    std::fs::write(&out_path, json).map_err(|e| format!("write {out_path}: {e}"))?;
+    report::persist("resilience", &report);
+
+    let mut out = render(&report);
+    let _ = writeln!(out, "\nJSON written to {out_path}");
+
+    if let Some(floor) = floor {
+        let gate = report
+            .points
+            .iter()
+            .find(|p| p.drop_permille == 100)
+            .ok_or("sweep has no 10%-drop point to gate on")?;
+        let got = gate.success_rate * 100.0;
+        if got < floor {
+            return Err(format!(
+                "fault-injection floor violated: success {got:.1}% < {floor:.1}% \
+                 at 10% drop / 5% dup / 10% reorder"
+            ));
+        }
+        let _ = writeln!(out, "floor check: {got:.1}% >= {floor:.1}% at 10% drop — ok");
+    }
+    Ok(out)
+}
+
+/// Pick (requester, responder) pairs that negotiate successfully on a
+/// perfect channel, plus the destination they share: the sweep then
+/// measures only channel effects. Responders are drawn from each
+/// requester's default path (the paper's on-path strategy).
+fn workable_pairs(topo: &Topology, want: usize, seed: u64) -> (NodeId, Vec<(NodeId, NodeId)>) {
+    let n = topo.num_nodes() as NodeId;
+    // A deterministic, seed-shifted scan over destinations; the first
+    // destination yielding enough workable pairs wins.
+    let mut best: (NodeId, Vec<(NodeId, NodeId)>) = (0, Vec::new());
+    for probe in 0..8u64 {
+        let dest = ((seed.wrapping_add(probe * 7919)) % u64::from(n)) as NodeId;
+        let st = RoutingState::solve(topo, dest);
+        let mut net = MiroNetwork::new(topo);
+        let mut found = Vec::new();
+        for req in 0..n {
+            if found.len() >= want {
+                break;
+            }
+            if req == dest {
+                continue;
+            }
+            let Some(path) = st.path(req) else { continue };
+            // First on-path AS beyond the requester, destination excluded.
+            let Some(&resp) = path.iter().skip(1).find(|&&x| x != dest && x != req) else {
+                continue;
+            };
+            if net.negotiate(&st, req, resp, Vec::new(), 1_000).is_ok() {
+                found.push((req, resp));
+            }
+        }
+        if found.len() > best.1.len() {
+            best = (dest, found);
+        }
+        if best.1.len() >= want {
+            break;
+        }
+    }
+    best
+}
+
+fn sweep_point(
+    topo: &Topology,
+    st: &RoutingState<'_>,
+    pairs: &[(NodeId, NodeId)],
+    drop: u32,
+    dup: u32,
+    reorder: u32,
+    seed: u64,
+) -> SweepPoint {
+    let fault = FaultConfig::lossy(drop, dup, reorder);
+    let mut net = ReliableNet::new(topo, fault, seed ^ u64::from(drop));
+    for &(req, resp) in pairs {
+        net.start(st, req, resp, Vec::new(), 1_000)
+            .expect("pre-screened pairs are never self-negotiations");
+        // Stagger starts so retransmit timers do not all fire in lockstep.
+        net.tick(st);
+    }
+    let settle_ticks = net.run_until_settled(st, MAX_SETTLE_TICKS);
+
+    let outcomes = net.outcomes();
+    assert_eq!(outcomes.len(), pairs.len(), "every negotiation reaches a terminal state");
+    let succeeded = outcomes.iter().filter(|o| o.result.is_ok()).count();
+    let failed = outcomes.len() - succeeded;
+    // The robustness contract: every failure is a typed, recorded
+    // fallback to the BGP default path — never a silent loss of service.
+    assert_eq!(net.fallbacks().len(), failed, "each failure records its fallback");
+
+    let mut latencies: Vec<u64> = outcomes
+        .iter()
+        .filter(|o| o.result.is_ok())
+        .map(|o| o.latency())
+        .collect();
+    latencies.sort_unstable();
+    let mean = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().sum::<u64>() as f64 / latencies.len() as f64
+    };
+    let p95 = latencies
+        .get((latencies.len().saturating_sub(1)) * 95 / 100)
+        .copied()
+        .unwrap_or(0);
+    let retransmits: u32 = outcomes.iter().map(|o| o.retransmits).sum();
+    let double_established = net.double_establish_count();
+    assert_eq!(double_established, 0, "duplicate-safe handlers never double-establish");
+
+    // Survival: keep the channel lossy and let keepalives fight it.
+    for _ in 0..SURVIVAL_TICKS {
+        net.tick(st);
+    }
+    let tunnels_surviving = net.leases().len();
+
+    SweepPoint {
+        drop_permille: drop,
+        dup_permille: dup,
+        reorder_permille: reorder,
+        attempted: pairs.len(),
+        succeeded,
+        success_rate: succeeded as f64 / pairs.len() as f64,
+        fallbacks: failed,
+        double_established,
+        mean_latency_ticks: mean,
+        p95_latency_ticks: p95,
+        retransmits,
+        duplicates_suppressed: net.duplicates_suppressed,
+        settle_ticks,
+        tunnels_surviving,
+        survival_rate: if succeeded == 0 {
+            0.0
+        } else {
+            tunnels_surviving as f64 / succeeded as f64
+        },
+    }
+}
+
+fn render(r: &ResilienceReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "resilience sweep — Gao2005 scale {} ({} nodes), {} pairs, seed {}",
+        r.scale, r.nodes, r.pairs, r.seed
+    );
+    let rows: Vec<Vec<String>> = r
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{}", p.drop_permille),
+                format!("{}", p.dup_permille),
+                format!("{}", p.reorder_permille),
+                format!("{}/{}", p.succeeded, p.attempted),
+                report::pct(p.success_rate * 100.0),
+                format!("{:.1}", p.mean_latency_ticks),
+                format!("{}", p.p95_latency_ticks),
+                format!("{}", p.retransmits),
+                format!("{}", p.fallbacks),
+                report::pct(p.survival_rate * 100.0),
+            ]
+        })
+        .collect();
+    out.push_str(&report::table(
+        &[
+            "drop\u{2030}", "dup\u{2030}", "reord\u{2030}", "ok", "success",
+            "lat(mean)", "lat(p95)", "rexmit", "fallback", "survival",
+        ],
+        &rows,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("miro-resilience-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn tiny_sweep_end_to_end() {
+        let out = tmp("tiny.json");
+        let args: Vec<String> =
+            ["--pairs", "6", "--out", &out, "--seed", "7"].iter().map(|s| s.to_string()).collect();
+        let report = run(&args).expect("sweep runs");
+        assert!(report.contains("success"), "human table rendered");
+        let json = std::fs::read_to_string(&out).expect("JSON written");
+        let parsed: serde_json::JsonValue = serde_json::from_str(&json).expect("valid JSON");
+        let serde_json::JsonValue::Obj(top) = &parsed else { panic!("top-level object") };
+        let serde_json::JsonValue::Arr(points) = &top["points"] else { panic!("points array") };
+        assert_eq!(points.len(), DROP_SWEEP.len());
+        let num = |p: &serde_json::JsonValue, key: &str| -> f64 {
+            let serde_json::JsonValue::Obj(o) = p else { panic!("point object") };
+            let serde_json::JsonValue::Num(n) = o[key] else { panic!("{key} numeric") };
+            n
+        };
+        // Perfect-channel point: everything succeeds, nothing retransmits.
+        assert_eq!(num(&points[0], "drop_permille"), 0.0);
+        assert_eq!(num(&points[0], "success_rate"), 1.0);
+        assert_eq!(num(&points[0], "retransmits"), 0.0);
+        for p in points {
+            assert_eq!(num(p, "double_established"), 0.0);
+        }
+    }
+
+    #[test]
+    fn impossible_floor_fails_the_gate() {
+        let out = tmp("floor.json");
+        let args: Vec<String> = ["--pairs", "6", "--out", &out, "--seed", "7", "--check-floor", "101"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = run(&args).expect_err("101% floor cannot be met");
+        assert!(err.contains("floor violated"), "typed gate failure: {err}");
+    }
+
+    #[test]
+    fn unknown_argument_is_rejected() {
+        let args = vec!["--bogus".to_string()];
+        assert!(run(&args).is_err());
+    }
+}
