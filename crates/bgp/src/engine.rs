@@ -12,10 +12,80 @@
 //! after the first destination a worker allocates nothing per solve: the
 //! routing table, stamps, and bucket storage are recycled between
 //! destinations (generation-stamped, so there is no O(V) clear either).
+//!
+//! [`par_over_dests_whatif`] layers the what-if cache on top: each worker
+//! additionally owns a [`DeltaScratch`], and the per-destination closure
+//! can answer failed-link variants through the incremental delta path
+//! instead of full re-solves.
 
-use crate::solver::{RoutingState, SolveScratch};
+use crate::solver::{DeltaScratch, FailedLink, RoutingState, SolveScratch};
 use miro_topology::{NodeId, Topology};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Counters for one destination's what-if sweep (see [`WhatIf`]).
+#[derive(Clone, Copy, Default, Debug)]
+pub struct WhatIfStats {
+    /// What-if variants answered against this base solve.
+    pub what_ifs: usize,
+    /// Variants whose link the base routing tree never used — answered
+    /// straight from the cached base with zero recomputation.
+    pub skipped: usize,
+    /// Total nodes recomputed across all variants.
+    pub recomputed: usize,
+}
+
+/// The what-if cache: one unmasked base solve per destination, with every
+/// failed-link variant answered through the incremental delta path
+/// ([`RoutingState::with_failed_link`]). Variants whose link the base
+/// solution never touches — the common case in Table 5.2-style sweeps —
+/// cost O(1) beyond candidate suppression.
+pub struct WhatIf<'s, 't> {
+    base: RoutingState<'t>,
+    delta: &'s mut DeltaScratch,
+    stats: WhatIfStats,
+}
+
+impl<'s, 't> WhatIf<'s, 't> {
+    pub fn new(base: RoutingState<'t>, delta: &'s mut DeltaScratch) -> WhatIf<'s, 't> {
+        WhatIf { base, delta, stats: WhatIfStats::default() }
+    }
+
+    /// The cached unmasked solve.
+    pub fn base(&self) -> &RoutingState<'t> {
+        &self.base
+    }
+
+    /// Answer one failed-link variant: `f` sees the incrementally
+    /// re-solved state (plus its cone statistics) and the base is
+    /// restored before this returns.
+    pub fn without_link<R>(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        f: impl FnOnce(&FailedLink<'_, 't>) -> R,
+    ) -> R {
+        let guard = self.base.with_failed_link(a, b, self.delta);
+        let recomputed = guard.recomputed();
+        let out = f(&guard);
+        drop(guard);
+        self.stats.what_ifs += 1;
+        self.stats.recomputed += recomputed;
+        if recomputed == 0 {
+            self.stats.skipped += 1;
+        }
+        out
+    }
+
+    /// Counters accumulated over every [`WhatIf::without_link`] call.
+    pub fn stats(&self) -> WhatIfStats {
+        self.stats
+    }
+
+    /// Take the base solve back (e.g. to recycle its storage).
+    pub fn into_base(self) -> RoutingState<'t> {
+        self.base
+    }
+}
 
 /// Solve each destination's routing state and map `f` over them; results
 /// come back in destination order regardless of thread count or schedule.
@@ -24,15 +94,33 @@ where
     T: Send,
     F: Fn(NodeId, &RoutingState<'_>) -> T + Sync,
 {
+    par_over_dests_whatif(topo, dests, threads, |d, wi| f(d, wi.base()))
+}
+
+/// [`par_over_dests`] with the what-if cache: `f` gets a mutable
+/// [`WhatIf`] holding the destination's base solve, and can answer any
+/// number of failed-link variants through the per-thread delta scratch.
+pub fn par_over_dests_whatif<T, F>(
+    topo: &Topology,
+    dests: &[NodeId],
+    threads: usize,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(NodeId, &mut WhatIf<'_, '_>) -> T + Sync,
+{
     let threads = threads.max(1).min(dests.len().max(1));
     if threads == 1 {
         let mut scratch = SolveScratch::new();
+        let mut delta = DeltaScratch::new();
         return dests
             .iter()
             .map(|&d| {
                 let st = RoutingState::solve_into(topo, d, &mut scratch);
-                let out = f(d, &st);
-                st.recycle(&mut scratch);
+                let mut wi = WhatIf::new(st, &mut delta);
+                let out = f(d, &mut wi);
+                wi.into_base().recycle(&mut scratch);
                 out
             })
             .collect();
@@ -45,6 +133,7 @@ where
                 scope.spawn(|| {
                     let mut local: Vec<(usize, T)> = Vec::new();
                     let mut scratch = SolveScratch::new();
+                    let mut delta = DeltaScratch::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= dests.len() {
@@ -52,8 +141,9 @@ where
                         }
                         let d = dests[i];
                         let st = RoutingState::solve_into(topo, d, &mut scratch);
-                        local.push((i, f(d, &st)));
-                        st.recycle(&mut scratch);
+                        let mut wi = WhatIf::new(st, &mut delta);
+                        local.push((i, f(d, &mut wi)));
+                        wi.into_base().recycle(&mut scratch);
                     }
                     local
                 })
@@ -123,5 +213,68 @@ mod tests {
         let t = GenParams::tiny(9).generate();
         let out = par_over_dests(&t, &[], 4, |d, _| d);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn whatif_variants_match_full_masked_solves() {
+        let t = GenParams::tiny(11).generate();
+        let dests: Vec<NodeId> = t.nodes().take(6).collect();
+        // For each destination, fail the first hop of the three
+        // highest-numbered routed nodes and record the rerouted paths.
+        let probe = |d: NodeId, wi: &mut WhatIf<'_, '_>| {
+            let mut victims: Vec<(NodeId, NodeId)> = t
+                .nodes()
+                .filter(|&v| v != d)
+                .filter_map(|v| wi.base().best(v).map(|b| (v, b.next)))
+                .collect();
+            victims.truncate(3);
+            let mut sig = Vec::new();
+            for (v, hop) in victims {
+                sig.push(wi.without_link(v, hop, |failed| {
+                    (failed.recomputed(), failed.path(v), failed.reachable_count())
+                }));
+            }
+            (sig, wi.stats().what_ifs)
+        };
+        let serial = par_over_dests_whatif(&t, &dests, 1, probe);
+        assert_eq!(par_over_dests_whatif(&t, &dests, 4, probe), serial);
+
+        // Spot-check against the full masked solve.
+        let d = dests[0];
+        let mut delta = crate::solver::DeltaScratch::new();
+        let mut base = RoutingState::solve(&t, d);
+        let v = t.nodes().find(|&v| v != d).unwrap();
+        let hop = base.best(v).unwrap().next;
+        let full = RoutingState::solve_without_link(&t, d, v, hop);
+        let failed = base.with_failed_link(v, hop, &mut delta);
+        for x in t.nodes() {
+            assert_eq!(failed.best(x), full.best(x));
+        }
+    }
+
+    #[test]
+    fn whatif_skips_links_off_the_base_tree() {
+        let t = GenParams::tiny(12).generate();
+        let d = t.nodes().next().unwrap();
+        let out = par_over_dests_whatif(&t, &[d], 1, |d, wi| {
+            // A link between two non-adjacent-to-the-tree... any edge
+            // whose endpoints both route *around* it: pick a node pair
+            // where neither routes via the other.
+            let off = t
+                .nodes()
+                .flat_map(|x| t.neighbors(x).iter().map(move |&(y, _)| (x, y)))
+                .find(|&(x, y)| {
+                    x < y
+                        && wi.base().best(x).is_some_and(|b| b.next != y)
+                        && wi.base().best(y).is_some_and(|b| b.next != x)
+                })
+                .expect("some edge is off the routing tree");
+            wi.without_link(off.0, off.1, |failed| assert!(failed.is_noop()));
+            let _ = d;
+            wi.stats()
+        });
+        assert_eq!(out[0].what_ifs, 1);
+        assert_eq!(out[0].skipped, 1);
+        assert_eq!(out[0].recomputed, 0);
     }
 }

@@ -42,7 +42,7 @@
 //! [`RoutingState::recycle`] and allocate nothing in the steady state.
 
 use crate::route::{CandidateRoute, ExportScope};
-use miro_topology::{NodeId, RouteClass, Topology};
+use miro_topology::{NodeId, Rel, RouteClass, Topology};
 
 /// The route an AS selected: class, hop count, and next-hop AS.
 /// The full path is recovered by chasing next hops (paths are ~4 hops, so
@@ -131,6 +131,84 @@ impl SolveScratch {
         self.live = 0;
         self.gen
     }
+
+    /// Size the offer/tie-break machinery for topology size `n` without
+    /// touching the routing table or its generation. Delta re-solves run
+    /// against a table owned by an existing [`RoutingState`]; only the
+    /// bucket queue and per-bucket pending state are borrowed from here.
+    fn begin_aux(&mut self, n: usize) {
+        if self.pend_asn.len() != n {
+            self.pend_asn.clear();
+            self.pend_asn.resize(n, 0);
+            self.pend_next.clear();
+            self.pend_next.resize(n, 0);
+            self.pend_stamp.clear();
+            self.pend_stamp.resize(n, 0);
+            self.pend_gen = 0;
+        }
+        self.routed.clear();
+    }
+}
+
+/// Scratch arena for incremental re-solves
+/// ([`RoutingState::with_failed_link`]).
+///
+/// Layers on [`SolveScratch`]: the inner scratch provides the bucket
+/// queue and tie-break arenas (its own routing table stays empty — delta
+/// sweeps run against the table owned by the base state), and the undo
+/// log records every invalidated node's base assignment so the guard can
+/// restore the base solve in O(cone). Consecutive deltas against one
+/// base reuse all storage and allocate nothing in the steady state.
+pub struct DeltaScratch {
+    /// `(node, base assignment)` for every changed node: the cone in BFS
+    /// order, then any downstream nodes reached by the improvement wave.
+    undo: Vec<(NodeId, BestRoute)>,
+    /// `logged[v] == logged_gen` iff `v` is already in the undo log.
+    logged: Vec<u32>,
+    logged_gen: u32,
+    inner: SolveScratch,
+}
+
+impl DeltaScratch {
+    pub fn new() -> DeltaScratch {
+        DeltaScratch {
+            undo: Vec::new(),
+            logged: Vec::new(),
+            logged_gen: 0,
+            inner: SolveScratch::new(),
+        }
+    }
+
+    /// Open a fresh undo generation sized for `n` nodes.
+    fn begin(&mut self, n: usize) {
+        self.undo.clear();
+        if self.logged.len() != n {
+            self.logged.clear();
+            self.logged.resize(n, 0);
+            self.logged_gen = 0;
+        }
+        self.logged_gen = self.logged_gen.wrapping_add(1);
+        if self.logged_gen == 0 {
+            self.logged.fill(0);
+            self.logged_gen = 1;
+        }
+        self.inner.begin_aux(n);
+    }
+
+    /// Record `v`'s pre-delta assignment (once) so the guard can restore it.
+    #[inline]
+    fn log(&mut self, v: NodeId, old: BestRoute) {
+        if self.logged[v as usize] != self.logged_gen {
+            self.logged[v as usize] = self.logged_gen;
+            self.undo.push((v, old));
+        }
+    }
+}
+
+impl Default for DeltaScratch {
+    fn default() -> DeltaScratch {
+        DeltaScratch::new()
+    }
 }
 
 impl Default for SolveScratch {
@@ -202,6 +280,33 @@ impl Sweep<'_> {
                 }
                 self.buckets[lvl].push((v, u));
                 self.live += 1;
+            }
+        }
+    }
+
+    /// Inject the boundary offers of one delta sweep: for every cone node
+    /// `v` still unrouted, every settled neighbor `u` whose
+    /// (relationship-of-`u`-to-`v`, class) passes `from` offers its route,
+    /// at the same hop level `offer_from` would have used. Settled cone
+    /// nodes re-routed by an earlier delta sweep participate with their
+    /// updated assignment, matching what the full run would deliver.
+    fn seed(&mut self, cone: &[(NodeId, BestRoute)], from: impl Fn(Rel, BestRoute) -> bool) {
+        for &(v, _) in cone {
+            if self.stamp[v as usize] == self.gen {
+                continue; // re-settled by an earlier delta sweep
+            }
+            for &(u, rel) in self.topo.neighbors(v) {
+                if self.stamp[u as usize] == self.gen
+                    && from(rel, self.best[u as usize])
+                    && !self.is_banned(u, v)
+                {
+                    let lvl = self.best[u as usize].len as usize + 1;
+                    if self.buckets.len() <= lvl {
+                        self.buckets.resize_with(lvl + 1, Vec::new);
+                    }
+                    self.buckets[lvl].push((v, u));
+                    self.live += 1;
+                }
             }
         }
     }
@@ -498,6 +603,326 @@ impl<'t> RoutingState<'t> {
     /// Number of ASes that can reach the destination.
     pub fn reachable_count(&self) -> usize {
         self.stamp.iter().filter(|&&s| s == self.gen).count()
+    }
+
+    /// Incremental what-if: view this state as if the link between `a`
+    /// and `b` had failed, recomputing only the routing subtree that
+    /// hung off the dead link (the *cone*) plus the downstream nodes its
+    /// re-routing improves, instead of re-running the full three-sweep
+    /// solve.
+    ///
+    /// Returns an RAII guard that dereferences to the re-solved state;
+    /// dropping it restores the base solve in O(cone). When the link is
+    /// not on the base routing tree the delta is a no-op (the base
+    /// solution provably cannot change — non-winning offers have no side
+    /// effects) and only candidate suppression over the dead session is
+    /// applied.
+    ///
+    /// The base must be an unmasked solve, and one failure is viewed at
+    /// a time. Leaking the guard (`std::mem::forget`) leaves the state
+    /// in the failed configuration permanently.
+    pub fn with_failed_link<'a>(
+        &'a mut self,
+        a: NodeId,
+        b: NodeId,
+        scratch: &'a mut DeltaScratch,
+    ) -> FailedLink<'a, 't> {
+        assert!(self.banned.is_none(), "delta re-solve requires an unmasked base solve");
+        assert_ne!(a, b, "a link joins two distinct ASes");
+        let disconnected = delta_apply(self, a, b, scratch);
+        FailedLink { st: self, scratch, disconnected }
+    }
+}
+
+/// Apply the failed-link delta to `st` in place, logging every change to
+/// `scratch.undo`. Returns how many cone nodes lost reachability.
+fn delta_apply(
+    st: &mut RoutingState<'_>,
+    a: NodeId,
+    b: NodeId,
+    scratch: &mut DeltaScratch,
+) -> usize {
+    scratch.begin(st.topo.num_nodes());
+    st.banned = Some((a.min(b), a.max(b)));
+
+    // Which endpoint routes *through* the dead link? At most one can:
+    // its parent's own path never descends back into the subtree. If
+    // neither does, the base run never used the link and the solution is
+    // unchanged — the mask set above suppresses candidates over the dead
+    // session, which is all `solve_without_link` would differ by.
+    let gen = st.gen;
+    let child = if st.stamp[a as usize] == gen && st.best[a as usize].next == b {
+        a
+    } else if st.stamp[b as usize] == gen && st.best[b as usize].next == a {
+        b
+    } else {
+        return 0;
+    };
+
+    // --- Cone discovery -------------------------------------------------
+    // The invalidated cone is the routing subtree rooted at `child`: a
+    // node loses its route iff its next-hop chain crosses the dead link.
+    // Walk parent pointers breadth-first (v joins the cone iff its next
+    // hop already did), logging each base assignment and un-assigning the
+    // node by aging its stamp (any value != gen reads as unrouted).
+    let dead = gen.wrapping_sub(1);
+    scratch.log(child, st.best[child as usize]);
+    st.stamp[child as usize] = dead;
+    let mut head = 0;
+    while head < scratch.undo.len() {
+        let (x, _) = scratch.undo[head];
+        head += 1;
+        for &(v, _) in st.topo.neighbors(x) {
+            if st.stamp[v as usize] == gen && st.best[v as usize].next == x {
+                scratch.log(v, st.best[v as usize]);
+                st.stamp[v as usize] = dead;
+            }
+        }
+    }
+
+    // --- Cone re-solve --------------------------------------------------
+    // Re-run the three sweeps restricted to the cone. Everything outside
+    // keeps its base assignment and acts as the intact boundary; each
+    // sweep is seeded with exactly the offers the full masked run would
+    // deliver into the cone from settled nodes, so winners and tie-breaks
+    // come out bit-for-bit identical.
+    let cone = scratch.undo.len();
+    let (undo, inner) = (&scratch.undo, &mut scratch.inner);
+    let mut sw = Sweep {
+        topo: st.topo,
+        banned: st.banned,
+        gen,
+        best: &mut st.best,
+        stamp: &mut st.stamp,
+        routed: &mut inner.routed,
+        buckets: &mut inner.buckets,
+        live: 0,
+        pend_asn: &mut inner.pend_asn,
+        pend_next: &mut inner.pend_next,
+        pend_stamp: &mut inner.pend_stamp,
+        pend_gen: &mut inner.pend_gen,
+        winners: &mut inner.winners,
+    };
+
+    // Sweep 1: every customer-routed AS climbs provider/sibling links, so
+    // a settled u offers into cone node v iff u is v's customer or
+    // sibling and holds a customer-class route.
+    sw.seed(undo, |rel, bu| {
+        matches!(rel, Rel::Customer | Rel::Sibling) && bu.class == RouteClass::Customer
+    });
+    sw.drain(RouteClass::Customer, Edges::Up);
+
+    // Sweep 2: customer-routed ASes offer one peer hop; peer-class routes
+    // then propagate along sibling links.
+    sw.seed(undo, |rel, bu| match rel {
+        Rel::Peer => bu.class == RouteClass::Customer,
+        Rel::Sibling => bu.class == RouteClass::Peer,
+        _ => false,
+    });
+    sw.drain(RouteClass::Peer, Edges::Sibling);
+
+    // Sweep 3: every routed AS offers to its customers (any class);
+    // provider-class routes then descend customer and sibling links.
+    sw.seed(undo, |rel, bu| match rel {
+        Rel::Provider => true,
+        Rel::Sibling => bu.class == RouteClass::Provider,
+        _ => false,
+    });
+    sw.drain(RouteClass::Provider, Edges::Down);
+
+    let disconnected = cone - sw.routed.len();
+
+    // --- Improvement wave -----------------------------------------------
+    // Losing a link can *shorten* routes outside the cone: a cone node
+    // demoted across sweeps (e.g. peer-class via the dead link to a
+    // shorter provider-class fallback) now delivers its sweep-3 offers at
+    // an earlier hop level, and nodes below it may switch to the better
+    // offer. Only sweep-3 deliveries can ever improve — customer-class
+    // levels are plain BFS distances over a shrinking edge set, and
+    // peer-class levels derive from them — so the wave is exactly a
+    // bucket-queue relaxation of provider-class routes down customer and
+    // sibling links, seeded by every re-settled cone node and propagated
+    // from every node whose route got strictly shorter.
+    improve_wave(st, scratch);
+
+    disconnected
+}
+
+/// Phase 2 of the delta re-solve: relax provider-class improvements down
+/// customer/sibling links, starting from the re-settled cone nodes.
+fn improve_wave(st: &mut RoutingState<'_>, scratch: &mut DeltaScratch) {
+    let topo = st.topo;
+    let gen = st.gen;
+    let banned = st.banned;
+    let is_banned = |x: NodeId, y: NodeId| banned == Some((x.min(y), x.max(y)));
+
+    // A node can take a sweep-3 offer at level `lvl` only if it already
+    // holds a provider-class route no shorter than `lvl`.
+    let eligible = |best: &[BestRoute], stamp: &[u32], x: NodeId, lvl: usize| {
+        stamp[x as usize] == gen
+            && best[x as usize].class == RouteClass::Provider
+            && best[x as usize].len as usize >= lvl
+    };
+
+    let DeltaScratch { undo, logged, logged_gen, inner } = scratch;
+    let mut live = 0usize;
+
+    // Seeds: the sweep-3 deliveries of every re-settled cone node — to
+    // its customers at any class, to its siblings when provider-class.
+    // Deliveries identical to the base solve's are rejected by the beat
+    // test below, so seeding unconditionally is safe.
+    for i in 0..inner.routed.len() {
+        let v = inner.routed[i];
+        let bv = st.best[v as usize];
+        let lvl = bv.len as usize + 1;
+        for &(x, rel) in topo.neighbors(v) {
+            let delivers = match rel {
+                Rel::Customer => true, // x is v's customer
+                Rel::Sibling => bv.class == RouteClass::Provider,
+                _ => false,
+            };
+            if delivers && !is_banned(v, x) && eligible(&st.best, &st.stamp, x, lvl) {
+                if inner.buckets.len() <= lvl {
+                    inner.buckets.resize_with(lvl + 1, Vec::new);
+                }
+                inner.buckets[lvl].push((x, v));
+                live += 1;
+            }
+        }
+    }
+
+    let mut lvl = 1;
+    while live > 0 {
+        debug_assert!(lvl < inner.buckets.len(), "live offers beyond last bucket");
+        if inner.buckets[lvl].is_empty() {
+            lvl += 1;
+            continue;
+        }
+        let mut bucket = std::mem::take(&mut inner.buckets[lvl]);
+        live -= bucket.len();
+
+        // Pass 1: per target, the lowest-ASN offerer must also beat the
+        // incumbent route — which competes on ASN when it has this exact
+        // length (the full run's bucket would contain it too).
+        inner.pend_gen = inner.pend_gen.wrapping_add(1);
+        if inner.pend_gen == 0 {
+            inner.pend_stamp.fill(0);
+            inner.pend_gen = 1;
+        }
+        let pg = inner.pend_gen;
+        inner.winners.clear();
+        for &(x, u) in &bucket {
+            let xi = x as usize;
+            if !eligible(&st.best, &st.stamp, x, lvl) {
+                continue; // stale offer: x already improved past this level
+            }
+            let asn = topo.asn(u).0;
+            if inner.pend_stamp[xi] != pg {
+                let bx = st.best[xi];
+                let (inc_asn, inc_next) = if bx.len as usize == lvl {
+                    (topo.asn(bx.next).0, bx.next)
+                } else {
+                    (u32::MAX, bx.next)
+                };
+                inner.pend_stamp[xi] = pg;
+                inner.winners.push(x);
+                if asn < inc_asn {
+                    inner.pend_asn[xi] = asn;
+                    inner.pend_next[xi] = u;
+                } else {
+                    inner.pend_asn[xi] = inc_asn;
+                    inner.pend_next[xi] = inc_next;
+                }
+            } else if asn < inner.pend_asn[xi] {
+                inner.pend_asn[xi] = asn;
+                inner.pend_next[xi] = u;
+            }
+        }
+        bucket.clear();
+        inner.buckets[lvl] = bucket;
+
+        // Pass 2: apply improvements; strictly shorter routes propagate.
+        for i in 0..inner.winners.len() {
+            let x = inner.winners[i];
+            let xi = x as usize;
+            let bx = st.best[xi];
+            let next = inner.pend_next[xi];
+            if next == bx.next && bx.len as usize == lvl {
+                continue; // the incumbent won
+            }
+            if logged[xi] != *logged_gen {
+                logged[xi] = *logged_gen;
+                undo.push((x, bx));
+            }
+            let shortened = bx.len as usize > lvl;
+            st.best[xi] =
+                BestRoute { class: RouteClass::Provider, len: lvl as u16, next };
+            if shortened {
+                let nxt = lvl + 1;
+                for &(y, rel) in topo.neighbors(x) {
+                    if matches!(rel, Rel::Customer | Rel::Sibling)
+                        && !is_banned(x, y)
+                        && eligible(&st.best, &st.stamp, y, nxt)
+                    {
+                        if inner.buckets.len() <= nxt {
+                            inner.buckets.resize_with(nxt + 1, Vec::new);
+                        }
+                        inner.buckets[nxt].push((y, x));
+                        live += 1;
+                    }
+                }
+            }
+        }
+        lvl += 1;
+    }
+}
+
+/// RAII view of a [`RoutingState`] with one link incrementally failed
+/// (see [`RoutingState::with_failed_link`]). Dereferences to the
+/// re-solved state; dropping it restores the base solve.
+pub struct FailedLink<'a, 't> {
+    st: &'a mut RoutingState<'t>,
+    scratch: &'a mut DeltaScratch,
+    disconnected: usize,
+}
+
+impl<'t> std::ops::Deref for FailedLink<'_, 't> {
+    type Target = RoutingState<'t>;
+
+    fn deref(&self) -> &RoutingState<'t> {
+        self.st
+    }
+}
+
+impl FailedLink<'_, '_> {
+    /// Nodes whose base route the failure changed: the invalidated cone
+    /// plus any downstream nodes the improvement wave reached. Zero when
+    /// the link was off the base routing tree — the skip case where the
+    /// answer is served straight from the base solve.
+    pub fn recomputed(&self) -> usize {
+        self.scratch.undo.len()
+    }
+
+    /// Was the failed link absent from the base routing tree?
+    pub fn is_noop(&self) -> bool {
+        self.scratch.undo.is_empty()
+    }
+
+    /// Cone nodes that lost reachability entirely under the failure.
+    pub fn disconnected(&self) -> usize {
+        self.disconnected
+    }
+}
+
+impl Drop for FailedLink<'_, '_> {
+    fn drop(&mut self) {
+        let gen = self.st.gen;
+        for &(v, old) in &self.scratch.undo {
+            self.st.best[v as usize] = old;
+            self.st.stamp[v as usize] = gen;
+        }
+        self.scratch.undo.clear();
+        self.st.banned = None;
     }
 }
 
@@ -944,6 +1369,129 @@ mod tests {
     }
 
     #[test]
+    fn delta_reroutes_figure_2_1_after_tree_link_failure() {
+        // Figure 2.1: A routes to F via B,E, so (B,E) is on the routing
+        // tree. Failing it invalidates the subtree under B (B and A); E
+        // keeps its direct customer route.
+        let (t, [a, b, _c, d, e, f]) = figure_1_1();
+        let mut delta = DeltaScratch::new();
+        let mut base = RoutingState::solve(&t, f);
+        {
+            let failed = base.with_failed_link(b, e, &mut delta);
+            let full = RoutingState::solve_without_link(&t, f, b, e);
+            assert!(!failed.is_noop());
+            assert!(failed.recomputed() >= 1);
+            assert_eq!(failed.disconnected(), 0);
+            for x in t.nodes() {
+                assert_eq!(failed.best(x), full.best(x), "node {x}");
+            }
+            // A now reaches F through D (B's path got longer, D wins ties
+            // or B re-routes via its peer — either way paths agree).
+            assert_eq!(failed.path(a), full.path(a));
+            assert_eq!(failed.path(e), Some(vec![f]));
+            let _ = d;
+        }
+        // The guard restored the base solve bit-for-bit.
+        let fresh = RoutingState::solve(&t, f);
+        for x in t.nodes() {
+            assert_eq!(base.best(x), fresh.best(x));
+        }
+        assert_eq!(base.path(a), Some(vec![b, e, f]));
+    }
+
+    #[test]
+    fn delta_is_noop_for_links_off_the_routing_tree() {
+        // (B,C) is a peering the base tree to F never uses: the delta must
+        // recompute nothing, yet still suppress candidates over the dead
+        // session exactly like the full masked solve.
+        let (t, [_a, b, c, _d, _e, f]) = figure_1_1();
+        let mut delta = DeltaScratch::new();
+        let mut base = RoutingState::solve(&t, f);
+        let failed = base.with_failed_link(b, c, &mut delta);
+        assert!(failed.is_noop());
+        assert_eq!(failed.recomputed(), 0);
+        let full = RoutingState::solve_without_link(&t, f, b, c);
+        for x in t.nodes() {
+            assert_eq!(failed.best(x), full.best(x));
+            assert_eq!(failed.candidates(x), full.candidates(x));
+        }
+    }
+
+    #[test]
+    fn delta_cut_link_disconnects_the_subtree() {
+        // Chain 3 -> 2 -> 1 (each provides the next): failing (1,2) cuts
+        // both 2 and 3 off from destination 1.
+        let mut bld = TopologyBuilder::new();
+        for n in [1, 2, 3] {
+            bld.add_as(AsId(n));
+        }
+        bld.provider_customer(AsId(2), AsId(1));
+        bld.provider_customer(AsId(3), AsId(2));
+        let t = bld.build().unwrap();
+        let (n1, n2, n3) = (
+            t.node(AsId(1)).unwrap(),
+            t.node(AsId(2)).unwrap(),
+            t.node(AsId(3)).unwrap(),
+        );
+        let mut delta = DeltaScratch::new();
+        let mut base = RoutingState::solve(&t, n1);
+        assert_eq!(base.reachable_count(), 3);
+        {
+            let failed = base.with_failed_link(n1, n2, &mut delta);
+            assert_eq!(failed.recomputed(), 2);
+            assert_eq!(failed.disconnected(), 2);
+            assert_eq!(failed.best(n2), None);
+            assert_eq!(failed.best(n3), None);
+            assert_eq!(failed.reachable_count(), 1);
+        }
+        assert_eq!(base.reachable_count(), 3);
+        assert_eq!(base.path(n3), Some(vec![n2, n1]));
+    }
+
+    #[test]
+    fn delta_matches_full_masked_solve_on_every_edge() {
+        // Exhaustive deterministic sweep: every edge of a generated graph,
+        // several destinations, one DeltaScratch shared throughout
+        // (exercises allocation-free consecutive deltas against one base).
+        let t = GenParams::tiny(31).generate();
+        let mut scratch = SolveScratch::new();
+        let mut full_scratch = SolveScratch::new();
+        let mut delta = DeltaScratch::new();
+        for d in t.nodes().step_by(9) {
+            let mut base = RoutingState::solve_into(&t, d, &mut scratch);
+            for x in t.nodes() {
+                for &(y, _) in t.neighbors(x) {
+                    if x >= y {
+                        continue; // each undirected edge once
+                    }
+                    let failed = base.with_failed_link(x, y, &mut delta);
+                    let full =
+                        RoutingState::solve_without_link_into(&t, d, x, y, &mut full_scratch);
+                    for v in t.nodes() {
+                        assert_eq!(
+                            failed.best(v),
+                            full.best(v),
+                            "dest {d} edge ({x},{y}) node {v}"
+                        );
+                    }
+                    drop(failed);
+                    full.recycle(&mut full_scratch);
+                }
+            }
+            base.recycle(&mut scratch);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unmasked base")]
+    fn delta_rejects_masked_base() {
+        let (t, [_a, b, _c, _d, e, f]) = figure_1_1();
+        let mut delta = DeltaScratch::new();
+        let mut masked = RoutingState::solve_without_link(&t, f, b, e);
+        let _ = masked.with_failed_link(b, e, &mut delta);
+    }
+
+    #[test]
     fn scratch_survives_topology_size_change() {
         let small = GenParams::tiny(41).generate();
         let big = GenParams::tiny(42).generate();
@@ -1029,6 +1577,44 @@ mod equivalence {
                 let fast = RoutingState::solve_without_link(&t, dest, a, b);
                 let slow = reference::solve_without_link(&t, dest, a, b);
                 assert_identical(&fast, &slow);
+            }
+        }
+
+        /// The incremental delta re-solve is bit-for-bit identical to the
+        /// heap oracle *and* to the full masked bucket solve, on arbitrary
+        /// graphs and arbitrary failed links — including cut links that
+        /// disconnect the destination and links absent from the base
+        /// routing tree (which must be recompute-free no-ops). Consecutive
+        /// deltas share one base and one scratch; every drop must restore
+        /// the base solve exactly.
+        #[test]
+        fn delta_matches_oracle_and_full_masked_solve(
+            edges in proptest::collection::vec((0u32..N, 0u32..N, 0u8..4), 0..90),
+            dest_raw in 0u32..N,
+            links in proptest::collection::vec((0u32..N, 0u32..N), 1..6),
+        ) {
+            let t = build(edges);
+            let dest = dest_raw % t.num_nodes() as u32;
+            let mut scratch = SolveScratch::new();
+            let mut delta = DeltaScratch::new();
+            let mut base = RoutingState::solve_into(&t, dest, &mut scratch);
+            for (a, b) in links {
+                if a == b {
+                    continue;
+                }
+                let on_tree = base.best(a).is_some_and(|r| r.next == b)
+                    || base.best(b).is_some_and(|r| r.next == a);
+                {
+                    let failed = base.with_failed_link(a, b, &mut delta);
+                    let full = RoutingState::solve_without_link(&t, dest, a, b);
+                    let slow = reference::solve_without_link(&t, dest, a, b);
+                    assert_identical(&failed, &full);
+                    assert_identical(&failed, &slow);
+                    prop_assert_eq!(failed.is_noop(), !on_tree);
+                }
+                // Dropping the guard restored the base bit-for-bit.
+                let fresh = RoutingState::solve(&t, dest);
+                assert_identical(&base, &fresh);
             }
         }
 

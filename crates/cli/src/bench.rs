@@ -14,9 +14,18 @@
 //! Both runs use the same thread count, and the bench asserts their
 //! outputs agree before reporting. Results are written to
 //! `BENCH_solver.json` (see `--out`) so CI can track the perf trajectory.
+//!
+//! The `delta` suite times the what-if workload on top: for each sampled
+//! destination, one cached base solve plus N random single-link tree
+//! failures answered via the incremental delta engine
+//! ([`RoutingState::with_failed_link`]), against the same failures
+//! answered by full masked re-solves (`solve_without_link_into`, itself
+//! allocation-free). Both paths answer the same query per event and the
+//! bench asserts the answers agree. `--check-delta-speedup F` turns the
+//! reported speedup into a hard gate for CI.
 
 use miro_bgp::engine::par_over_dests;
-use miro_bgp::solver::reference;
+use miro_bgp::solver::{reference, DeltaScratch, RoutingState, SolveScratch};
 use miro_topology::gen::DatasetPreset;
 use miro_topology::{NodeId, Topology};
 use std::fmt::Write as _;
@@ -53,13 +62,39 @@ impl ScaleRow {
     }
 }
 
-/// Entry point for `miro bench-solver [--scale S] [--threads N] [--out P]`.
-/// Returns the human-readable report; the JSON lands in `--out`
-/// (default `BENCH_solver.json`).
+/// The what-if suite result for one scale.
+struct DeltaRow {
+    name: &'static str,
+    dests: usize,
+    events: usize,
+    /// Total nodes re-routed across every event.
+    recomputed: usize,
+    incremental: Duration,
+    full: Duration,
+}
+
+impl DeltaRow {
+    fn speedup(&self) -> f64 {
+        self.full.as_secs_f64() / self.incremental.as_secs_f64().max(1e-12)
+    }
+
+    fn mean_cone(&self) -> f64 {
+        self.recomputed as f64 / self.events.max(1) as f64
+    }
+}
+
+/// Hard cap on `--threads`: beyond this the run is certainly a typo, and
+/// `std::thread::scope` would happily spawn them all.
+const MAX_THREADS: usize = 1024;
+
+/// Entry point for `miro bench-solver [--scale S] [--threads N] [--out P]
+/// [--check-delta-speedup F]`. Returns the human-readable report; the
+/// JSON lands in `--out` (default `BENCH_solver.json`).
 pub fn run(args: &[String]) -> Result<String, String> {
     let mut scale = "all".to_string();
     let mut threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut out_path = "BENCH_solver.json".to_string();
+    let mut check_delta: Option<f64> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut val = |name: &str| -> Result<String, String> {
@@ -73,10 +108,20 @@ pub fn run(args: &[String]) -> Result<String, String> {
                     .map_err(|_| "--threads needs a number".to_string())?;
             }
             "--out" => out_path = val("--out")?,
+            "--check-delta-speedup" => {
+                check_delta = Some(val("--check-delta-speedup")?.parse().map_err(|_| {
+                    "--check-delta-speedup needs a number".to_string()
+                })?);
+            }
             other => return Err(format!("unknown option {other:?}")),
         }
     }
-    let threads = threads.max(1);
+    if threads == 0 {
+        return Err("--threads must be at least 1".to_string());
+    }
+    if threads > MAX_THREADS {
+        return Err(format!("--threads {threads} is absurd (max {MAX_THREADS})"));
+    }
 
     let selected: Vec<_> = if scale == "all" {
         SCALES.iter().filter(|&&(_, _, _, in_all)| in_all).collect()
@@ -90,6 +135,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
 
     let mut report = format!("bench-solver: whole-network solves, {threads} thread(s)\n");
     let mut rows = Vec::new();
+    let mut delta_rows = Vec::new();
     for &&(name, factor, reps, _) in &selected {
         let topo = DatasetPreset::Gao2005.params(factor, SEED).generate();
         let dests: Vec<NodeId> = topo.nodes().collect();
@@ -114,11 +160,37 @@ pub fn run(args: &[String]) -> Result<String, String> {
             row.speedup()
         );
         rows.push(row);
+
+        let drow = time_delta_suite(name, &topo, reps);
+        let _ = writeln!(
+            report,
+            "  {:<6} delta: {} dests x {} failures | incremental {:>9.2} ms | full {:>9.2} ms | {:.2}x | mean cone {:.1}",
+            drow.name,
+            drow.dests,
+            drow.events / drow.dests.max(1),
+            drow.incremental.as_secs_f64() * 1e3,
+            drow.full.as_secs_f64() * 1e3,
+            drow.speedup(),
+            drow.mean_cone(),
+        );
+        delta_rows.push(drow);
     }
 
-    let json = to_json(threads, &rows);
+    let json = to_json(threads, &rows, &delta_rows);
     std::fs::write(&out_path, &json).map_err(|e| format!("cannot write {out_path:?}: {e}"))?;
     let _ = writeln!(report, "wrote {out_path}");
+
+    if let Some(floor) = check_delta {
+        for d in &delta_rows {
+            if d.speedup() < floor {
+                return Err(format!(
+                    "delta speedup regression at scale {:?}: {:.2}x < required {floor}x",
+                    d.name,
+                    d.speedup()
+                ));
+            }
+        }
+    }
     Ok(report)
 }
 
@@ -172,7 +244,117 @@ fn heap_whole_network(topo: &Topology, dests: &[NodeId], threads: usize) -> Vec<
     v.into_iter().map(|(_, c)| c).collect()
 }
 
-fn to_json(threads: usize, rows: &[ScaleRow]) -> String {
+/// Deterministic, dependency-free PRNG for event sampling.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Failures per destination in the delta suite.
+const DELTA_EVENTS: usize = 16;
+/// Destinations sampled by the delta suite (fewer on tiny graphs).
+const DELTA_DESTS: usize = 256;
+
+/// One what-if query's answer, folded into a checksum so the compiler
+/// cannot discard the work and the two paths can be compared.
+fn query_sig(st: &RoutingState<'_>, v: NodeId) -> u64 {
+    match st.best(v) {
+        None => 0x9e37,
+        Some(r) => ((r.class as u64) << 40) ^ ((r.len as u64) << 20) ^ r.next as u64,
+    }
+}
+
+/// Time the what-if workload both ways. The planning pass (picking which
+/// tree links to fail) and the equivalence spot-checks are untimed; the
+/// incremental timing covers the per-destination base solve *plus* every
+/// delta, since that base is the cache the approach has to pay for.
+fn time_delta_suite(name: &'static str, topo: &Topology, reps: u32) -> DeltaRow {
+    let n = topo.num_nodes();
+    let stride = (n / DELTA_DESTS).max(1);
+    let dests: Vec<NodeId> = (0..n as NodeId).step_by(stride).take(DELTA_DESTS).collect();
+
+    // Plan: for each destination, up to DELTA_EVENTS links its routing
+    // tree provably uses (node -> its next hop).
+    let mut scratch = SolveScratch::new();
+    let mut plan: Vec<(NodeId, Vec<(NodeId, NodeId)>)> = Vec::with_capacity(dests.len());
+    for &d in &dests {
+        let base = RoutingState::solve_into(topo, d, &mut scratch);
+        let mut rng = SEED ^ (d as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        let mut events = Vec::with_capacity(DELTA_EVENTS);
+        let mut tries = 0;
+        while events.len() < DELTA_EVENTS && tries < DELTA_EVENTS * 8 {
+            tries += 1;
+            let v = (xorshift(&mut rng) % n as u64) as NodeId;
+            if v == d {
+                continue;
+            }
+            if let Some(b) = base.best(v) {
+                events.push((v, b.next));
+            }
+        }
+        base.recycle(&mut scratch);
+        if !events.is_empty() {
+            plan.push((d, events));
+        }
+    }
+    let events: usize = plan.iter().map(|(_, e)| e.len()).sum();
+
+    // Untimed equivalence spot-checks: delta answers == full answers.
+    let mut delta = DeltaScratch::new();
+    for (d, evs) in plan.iter().take(4) {
+        let mut base = RoutingState::solve_into(topo, *d, &mut scratch);
+        let (a, b) = evs[0];
+        let full = RoutingState::solve_without_link(topo, *d, a, b);
+        let failed = base.with_failed_link(a, b, &mut delta);
+        for x in topo.nodes() {
+            assert_eq!(failed.best(x), full.best(x), "delta diverged from full re-solve");
+        }
+        drop(failed);
+        base.recycle(&mut scratch);
+    }
+
+    let mut incremental = Duration::MAX;
+    let mut full = Duration::MAX;
+    let mut recomputed = 0;
+    let mut check: Option<(u64, u64)> = None;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        let mut inc_sig = 0u64;
+        recomputed = 0;
+        for (d, evs) in &plan {
+            let mut base = RoutingState::solve_into(topo, *d, &mut scratch);
+            for &(a, b) in evs {
+                let failed = base.with_failed_link(a, b, &mut delta);
+                recomputed += failed.recomputed();
+                inc_sig = inc_sig.wrapping_add(query_sig(&failed, a));
+                drop(failed);
+            }
+            base.recycle(&mut scratch);
+        }
+        incremental = incremental.min(t0.elapsed());
+
+        let t0 = Instant::now();
+        let mut full_sig = 0u64;
+        for (d, evs) in &plan {
+            for &(a, b) in evs {
+                let st = RoutingState::solve_without_link_into(topo, *d, a, b, &mut scratch);
+                full_sig = full_sig.wrapping_add(query_sig(&st, a));
+                st.recycle(&mut scratch);
+            }
+        }
+        full = full.min(t0.elapsed());
+        check = Some((inc_sig, full_sig));
+    }
+    let (inc_sig, full_sig) = check.expect("at least one rep");
+    assert_eq!(inc_sig, full_sig, "incremental and full what-if answers disagreed");
+    DeltaRow { name, dests: plan.len(), events, recomputed, incremental, full }
+}
+
+fn to_json(threads: usize, rows: &[ScaleRow], delta_rows: &[DeltaRow]) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"bench\": \"solver-whole-network\",");
     let _ = writeln!(out, "  \"engine\": \"csr-bucket-queue\",");
@@ -199,6 +381,24 @@ fn to_json(threads: usize, rows: &[ScaleRow]) -> String {
             r.speedup()
         );
     }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"delta\": [");
+    for (i, r) in delta_rows.iter().enumerate() {
+        let comma = if i + 1 < delta_rows.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"scale\": \"{}\", \"dests\": {}, \"events\": {}, \
+             \"mean_cone\": {:.2}, \"incremental_ms\": {:.3}, \"full_ms\": {:.3}, \
+             \"delta_speedup\": {:.2}}}{comma}",
+            r.name,
+            r.dests,
+            r.events,
+            r.mean_cone(),
+            r.incremental.as_secs_f64() * 1e3,
+            r.full.as_secs_f64() * 1e3,
+            r.speedup()
+        );
+    }
     let _ = writeln!(out, "  ]");
     out.push_str("}\n");
     out
@@ -221,9 +421,12 @@ mod tests {
         ];
         let report = run(&args).expect("bench runs");
         assert!(report.contains("tiny"), "{report}");
+        assert!(report.contains("delta:"), "{report}");
         let json = std::fs::read_to_string(&out_path).expect("json written");
         assert!(json.contains("\"speedup\""), "{json}");
         assert!(json.contains("\"nodes\": 209"), "{json}");
+        assert!(json.contains("\"delta_speedup\""), "{json}");
+        assert!(json.contains("\"mean_cone\""), "{json}");
     }
 
     #[test]
@@ -231,5 +434,38 @@ mod tests {
         let args: Vec<String> = vec!["--scale".into(), "galactic".into()];
         let err = run(&args).unwrap_err();
         assert!(err.contains("unknown scale"), "{err}");
+    }
+
+    #[test]
+    fn zero_threads_is_an_error() {
+        let args: Vec<String> =
+            vec!["--scale".into(), "tiny".into(), "--threads".into(), "0".into()];
+        let err = run(&args).unwrap_err();
+        assert!(err.contains("--threads must be at least 1"), "{err}");
+    }
+
+    #[test]
+    fn absurd_threads_is_an_error() {
+        let args: Vec<String> =
+            vec!["--scale".into(), "tiny".into(), "--threads".into(), "65536".into()];
+        let err = run(&args).unwrap_err();
+        assert!(err.contains("absurd"), "{err}");
+    }
+
+    #[test]
+    fn unreachable_delta_floor_fails_the_gate() {
+        let out_path = std::env::temp_dir().join("miro_bench_solver_gate_test.json");
+        let args: Vec<String> = vec![
+            "--scale".into(),
+            "tiny".into(),
+            "--threads".into(),
+            "2".into(),
+            "--out".into(),
+            out_path.display().to_string(),
+            "--check-delta-speedup".into(),
+            "1e9".into(),
+        ];
+        let err = run(&args).unwrap_err();
+        assert!(err.contains("delta speedup regression"), "{err}");
     }
 }

@@ -18,7 +18,7 @@
 use crate::avoid::TripleProbe;
 use crate::datasets::{Dataset, EvalConfig};
 use crate::driver;
-use miro_bgp::solver::RoutingState;
+use miro_bgp::solver::{RoutingState, SolveScratch};
 use miro_core::export::ExportPolicy;
 use miro_core::strategy::{
     avoid_via_multihop_negotiation, avoid_via_negotiation, TargetStrategy,
@@ -72,8 +72,11 @@ pub fn architecture_comparison(
     let dests = driver::sample_dests(&ds.topo, cfg.dest_samples, cfg.seed ^ 0xAB);
     let mut counts = [0usize; 6];
     let mut total = 0usize;
+    // The relay states above must all stay alive at once, but the
+    // per-destination state is transient — recycle its storage.
+    let mut scratch = SolveScratch::new();
     for &d in &dests {
-        let st = RoutingState::solve(&ds.topo, d);
+        let st = RoutingState::solve_into(&ds.topo, d, &mut scratch);
         let mut rng = driver::rng_for(cfg.seed, d, 0xAB1);
         for src in driver::sample_srcs(&ds.topo, d, cfg.src_samples / 2, cfg.seed ^ 0xAB2) {
             let Some(path) = st.path(src) else { continue };
@@ -129,6 +132,7 @@ pub fn architecture_comparison(
                 counts[5] += 1;
             }
         }
+        st.recycle(&mut scratch);
     }
     let names = [
         "single-path BGP",
@@ -233,8 +237,9 @@ pub fn deaggregation_cost(topo: &miro_topology::Topology, split_bits: u32) -> (u
 pub fn multihop_gain(probes: &[TripleProbe], ds: &Dataset) -> (usize, usize) {
     let mut direct = 0;
     let mut multi = 0;
+    let mut scratch = SolveScratch::new();
     for p in probes.iter().filter(|p| !p.single) {
-        let st = RoutingState::solve(&ds.topo, p.dest);
+        let st = RoutingState::solve_into(&ds.topo, p.dest, &mut scratch);
         if avoid_via_negotiation(
             &st,
             p.src,
@@ -259,6 +264,7 @@ pub fn multihop_gain(probes: &[TripleProbe], ds: &Dataset) -> (usize, usize) {
         {
             multi += 1;
         }
+        st.recycle(&mut scratch);
     }
     (direct, multi)
 }

@@ -17,7 +17,7 @@
 
 use crate::datasets::{Dataset, EvalConfig};
 use crate::driver;
-use miro_bgp::solver::RoutingState;
+use miro_bgp::engine::WhatIf;
 use miro_core::export::ExportPolicy;
 use miro_core::negotiate::Constraint;
 use miro_core::strategy::{export_rel_toward, TargetStrategy};
@@ -37,6 +37,14 @@ pub struct TripleProbe {
     pub single: bool,
     /// Source routing (graph feasibility) succeeds.
     pub source: bool,
+    /// After failing the link entering the offender on the source's
+    /// default path, BGP's reconverged route still reaches the
+    /// destination.
+    pub reroute_reaches: bool,
+    /// ...and that reconverged route also happens to avoid the AS — the
+    /// "wait for a fault" baseline the negotiation columns are compared
+    /// against.
+    pub reroute_avoids: bool,
     /// On-path responders in contact order.
     pub responders: Vec<ResponderProbe>,
 }
@@ -84,29 +92,61 @@ impl TripleProbe {
     }
 }
 
-/// Probe one triple against a solved routing state.
+/// Probe one triple against a destination's what-if cache. All the
+/// negotiation columns read the cached base solve; the reroute columns
+/// fail the link entering the offender on `src`'s default path and read
+/// the incrementally re-solved state.
 pub fn probe_triple(
-    st: &RoutingState<'_>,
+    wi: &mut WhatIf<'_, '_>,
     src: NodeId,
     avoid: NodeId,
 ) -> TripleProbe {
-    let topo = st.topology();
-    let single = st.candidates(src).iter().any(|c| !c.traverses(avoid));
-    let source = topo.reachable_avoiding(src, st.dest(), avoid);
-    let mut responders = Vec::new();
-    for responder in TargetStrategy::OnPath.targets(st, src, Some(avoid)) {
-        let toward = export_rel_toward(st, src, responder);
-        let constraint = Constraint::AvoidAs(avoid);
-        let mut offers = [0u32; 3];
-        let mut success = [false; 3];
-        for (i, policy) in ExportPolicy::ALL.iter().enumerate() {
-            let os = policy.offers(st, responder, toward);
-            offers[i] = os.len() as u32;
-            success[i] = os.iter().any(|o| constraint.admits(o));
+    let (dest, single, source, responders, failed_link) = {
+        let st = wi.base();
+        let topo = st.topology();
+        let single = st.candidates(src).iter().any(|c| !c.traverses(avoid));
+        let source = topo.reachable_avoiding(src, st.dest(), avoid);
+        let mut responders = Vec::new();
+        for responder in TargetStrategy::OnPath.targets(st, src, Some(avoid)) {
+            let toward = export_rel_toward(st, src, responder);
+            let constraint = Constraint::AvoidAs(avoid);
+            let mut offers = [0u32; 3];
+            let mut success = [false; 3];
+            for (i, policy) in ExportPolicy::ALL.iter().enumerate() {
+                let os = policy.offers(st, responder, toward);
+                offers[i] = os.len() as u32;
+                success[i] = os.iter().any(|o| constraint.admits(o));
+            }
+            responders.push(ResponderProbe { node: responder, offers, success });
         }
-        responders.push(ResponderProbe { node: responder, offers, success });
+        // The link carrying the default path into the offender: the hop
+        // before `avoid` on src's path (src itself if the offender is the
+        // first hop).
+        let failed_link = st.path(src).and_then(|path| {
+            let i = path.iter().position(|&x| x == avoid)?;
+            Some((if i == 0 { src } else { path[i - 1] }, avoid))
+        });
+        (st.dest(), single, source, responders, failed_link)
+    };
+    let (reroute_reaches, reroute_avoids) = match failed_link {
+        // Offender not on the default path at all: nothing to fail, the
+        // default route already satisfies both conditions.
+        None => (true, true),
+        Some((prev, next)) => wi.without_link(prev, next, |failed| {
+            let reaches = failed.best(src).is_some();
+            (reaches, reaches && !failed.path_traverses(src, avoid))
+        }),
+    };
+    TripleProbe {
+        src,
+        dest,
+        avoid,
+        single,
+        source,
+        reroute_reaches,
+        reroute_avoids,
+        responders,
     }
-    TripleProbe { src, dest: st.dest(), avoid, single, source, responders }
 }
 
 /// Sample and probe triples for one dataset. Destinations shard across
@@ -114,11 +154,11 @@ pub fn probe_triple(
 /// eligible AS to avoid.
 pub fn sample_probes(ds: &Dataset, cfg: &EvalConfig) -> Vec<TripleProbe> {
     let dests = driver::sample_dests(&ds.topo, cfg.dest_samples, cfg.seed);
-    let per_dest = driver::par_over_dests(&ds.topo, &dests, cfg.threads, |d, st| {
+    let per_dest = driver::par_over_dests_whatif(&ds.topo, &dests, cfg.threads, |d, wi| {
         let mut rng = driver::rng_for(cfg.seed, d, 0x5_301);
         let mut out = Vec::new();
         for src in driver::sample_srcs(&ds.topo, d, cfg.src_samples, cfg.seed ^ 0xabc) {
-            let Some(path) = st.path(src) else { continue };
+            let Some(path) = wi.base().path(src) else { continue };
             if path.len() < 2 {
                 continue; // no intermediate AS to avoid
             }
@@ -133,7 +173,7 @@ pub fn sample_probes(ds: &Dataset, cfg: &EvalConfig) -> Vec<TripleProbe> {
                 continue;
             }
             let avoid = eligible[rng.gen_range(0..eligible.len())];
-            out.push(probe_triple(st, src, avoid));
+            out.push(probe_triple(wi, src, avoid));
         }
         out
     });
@@ -150,6 +190,10 @@ pub struct Table52Row {
     pub multi_e_pct: f64,
     pub multi_a_pct: f64,
     pub source_pct: f64,
+    /// Fraction whose post-failure BGP reroute happens to avoid the AS —
+    /// the passive "break the link and pray" baseline MIRO negotiation is
+    /// measured against.
+    pub reroute_pct: f64,
 }
 
 /// Compute the Table 5.2 row for one dataset from its probes.
@@ -164,6 +208,7 @@ pub fn table5_2_row(name: &str, probes: &[TripleProbe]) -> Table52Row {
         multi_e_pct: pct(probes.iter().filter(|p| p.success(1, None)).count()),
         multi_a_pct: pct(probes.iter().filter(|p| p.success(2, None)).count()),
         source_pct: pct(probes.iter().filter(|p| p.source).count()),
+        reroute_pct: pct(probes.iter().filter(|p| p.reroute_avoids).count()),
     }
 }
 
@@ -257,6 +302,37 @@ mod tests {
                 assert!(p.source, "negotiated success but graph says impossible?");
             }
         }
+    }
+
+    #[test]
+    fn reroute_success_implies_source_success() {
+        // A post-failure route that avoids the AS is a concrete path in
+        // the graph avoiding the AS.
+        let (_, probes) = small_probes();
+        let mut rerouted = 0;
+        for p in &probes {
+            assert!(!p.reroute_avoids || p.reroute_reaches);
+            if p.reroute_avoids {
+                rerouted += 1;
+                assert!(p.source, "reroute avoids the AS but graph says impossible?");
+            }
+        }
+        assert!(rerouted > 0, "some probe must reroute around its offender");
+    }
+
+    #[test]
+    fn passive_reroute_trails_negotiation() {
+        // Failing one link only sometimes dodges the AS; negotiating for
+        // an avoiding path under the flexible policy must do better.
+        let (ds, probes) = small_probes();
+        let row = table5_2_row(ds.preset.name(), &probes);
+        assert!(row.reroute_pct <= row.source_pct + 1e-9);
+        assert!(
+            row.reroute_pct < row.multi_a_pct,
+            "reroute {} should trail multi/a {}",
+            row.reroute_pct,
+            row.multi_a_pct
+        );
     }
 
     #[test]

@@ -34,6 +34,10 @@ pub struct DeployResult {
     pub by_degree: Vec<DeployCurve>,
     /// Control: flexible policy, lowest-degree-first adoption.
     pub low_degree_first: DeployCurve,
+    /// Deployment-independent floor: the fraction of the full-deployment
+    /// gain that plain BGP already delivers by rerouting around a failed
+    /// link into the offender — what an operator gets with zero adoption.
+    pub reroute_floor: f64,
 }
 
 fn mask_for(order: &[miro_topology::NodeId], n_nodes: usize, k: usize) -> Vec<bool> {
@@ -81,10 +85,13 @@ pub fn fig5_4(ds: &Dataset, probes: &[TripleProbe]) -> DeployResult {
     reversed.reverse();
     let low_degree_first =
         curve("low-degree first /a".to_string(), &reversed, 2);
+    let reroute_floor = need.iter().filter(|p| p.reroute_avoids).count() as f64
+        / base as f64;
     DeployResult {
         dataset: ds.preset.name().to_string(),
         by_degree,
         low_degree_first,
+        reroute_floor,
     }
 }
 
@@ -147,6 +154,19 @@ mod tests {
             "edge-first must trail core-first"
         );
         assert!(at(lo, 0.05) < 0.35, "edge-first gain stays small: {}", at(lo, 0.05));
+    }
+
+    #[test]
+    fn reroute_floor_is_a_partial_gain() {
+        // Passive rerouting recovers some but not all of the negotiated
+        // gain — otherwise deployment curves would be pointless.
+        let r = run();
+        assert!(r.reroute_floor >= 0.0);
+        assert!(
+            r.reroute_floor < 1.0,
+            "a single link failure cannot match full negotiation: {}",
+            r.reroute_floor
+        );
     }
 
     #[test]

@@ -51,6 +51,22 @@ where
     miro_bgp::engine::par_over_dests(topo, dests, threads, f)
 }
 
+/// [`par_over_dests`] with the what-if cache: the closure can answer any
+/// number of failed-link variants per destination through the
+/// incremental delta path instead of full re-solves.
+pub fn par_over_dests_whatif<T, F>(
+    topo: &Topology,
+    dests: &[NodeId],
+    threads: usize,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(NodeId, &mut miro_bgp::engine::WhatIf<'_, '_>) -> T + Sync,
+{
+    miro_bgp::engine::par_over_dests_whatif(topo, dests, threads, f)
+}
+
 /// Uniform random element (seeded) — tiny convenience used by samplers.
 pub fn pick<'a, T>(rng: &mut StdRng, slice: &'a [T]) -> Option<&'a T> {
     if slice.is_empty() {

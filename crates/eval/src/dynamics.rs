@@ -12,7 +12,7 @@
 use crate::datasets::{Dataset, EvalConfig};
 use crate::driver;
 use miro_bgp::sim::{GaoRexford, Sim};
-use miro_bgp::solver::RoutingState;
+use miro_bgp::solver::{RoutingState, SolveScratch};
 use miro_convergence::{Desire, Guideline, TunnelSim};
 use miro_topology::NodeId;
 use rand::Rng;
@@ -38,6 +38,7 @@ fn sample_desires(ds: &Dataset, cfg: &EvalConfig, count: usize) -> Vec<Desire> {
     let nodes: Vec<NodeId> = ds.topo.nodes().collect();
     let mut out = Vec::new();
     let mut guard = 0;
+    let mut scratch = SolveScratch::new();
     while out.len() < count && guard < count * 100 {
         guard += 1;
         let dest = nodes[rng.gen_range(0..nodes.len())];
@@ -45,21 +46,25 @@ fn sample_desires(ds: &Dataset, cfg: &EvalConfig, count: usize) -> Vec<Desire> {
         if req == dest {
             continue;
         }
-        let st = RoutingState::solve(&ds.topo, dest);
-        let Some(path) = st.path(req) else { continue };
-        if path.len() < 2 {
-            continue;
-        }
-        let responder = path[rng.gen_range(0..path.len() - 1)];
-        if responder == dest || responder == req {
-            continue;
-        }
-        let cands = st.candidates(responder);
-        if cands.is_empty() {
-            continue;
-        }
-        let wanted = cands[rng.gen_range(0..cands.len())].path.clone();
-        out.push(Desire { requester: req, responder, dest, wanted });
+        let st = RoutingState::solve_into(&ds.topo, dest, &mut scratch);
+        let desire = (|| {
+            let path = st.path(req)?;
+            if path.len() < 2 {
+                return None;
+            }
+            let responder = path[rng.gen_range(0..path.len() - 1)];
+            if responder == dest || responder == req {
+                return None;
+            }
+            let cands = st.candidates(responder);
+            if cands.is_empty() {
+                return None;
+            }
+            let wanted = cands[rng.gen_range(0..cands.len())].path.clone();
+            Some(Desire { requester: req, responder, dest, wanted })
+        })();
+        st.recycle(&mut scratch);
+        out.extend(desire);
     }
     out
 }

@@ -13,6 +13,7 @@
 //!   fig5-6     Inbound traffic control (Figures 5.6/5.7)
 //!   fig7-1     Convergence gadget, Figure 7.1
 //!   fig7-2     Convergence gadget, Figure 7.2
+//!   failures   Single-link failure sweep (incremental delta engine)
 //!   all        Everything above
 //!
 //! Options:
@@ -80,7 +81,7 @@ fn run(args: &[String]) -> Result<(), String> {
     match command.as_str() {
         "help" | "--help" | "-h" => {
             println!("miro-eval: regenerate the MIRO paper's tables and figures");
-            println!("commands: table5-1 fig5-1 fig5-2 table5-2 table5-3 fig5-4 fig5-6 fig7-1 fig7-2 ablations dynamics all");
+            println!("commands: table5-1 fig5-1 fig5-2 table5-2 table5-3 fig5-4 fig5-6 fig7-1 fig7-2 failures ablations dynamics all");
             println!("options: --scale F --seed N --dests N --srcs N --threads N --dataset S");
         }
         "table5-1" => cmd_table5_1(&build(&presets)),
@@ -92,6 +93,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "fig5-6" => cmd_fig5_6(&build(&presets), &cfg),
         "fig7-1" => cmd_fig7(1),
         "fig7-2" => cmd_fig7(2),
+        "failures" => cmd_failures(&build(&presets), &cfg),
         "ablations" => cmd_ablations(&build(&presets), &cfg),
         "dynamics" => cmd_dynamics(&cfg, only.unwrap_or(DatasetPreset::Gao2005)),
         "all" => {
@@ -180,7 +182,7 @@ fn cmd_avoid(datasets: &[Dataset], cfg: &EvalConfig, t52: bool, t53: bool, f54: 
         if t52 {
             let row = avoid::table5_2_row(ds.preset.name(), &probes);
             println!(
-                "Table 5.2 [{}] ({} triples): Single {}  Multi/s {}  Multi/e {}  Multi/a {}  Source {}",
+                "Table 5.2 [{}] ({} triples): Single {}  Multi/s {}  Multi/e {}  Multi/a {}  Source {}  Reroute {}",
                 row.name,
                 row.triples,
                 report::pct(row.single_pct),
@@ -188,6 +190,7 @@ fn cmd_avoid(datasets: &[Dataset], cfg: &EvalConfig, t52: bool, t53: bool, f54: 
                 report::pct(row.multi_e_pct),
                 report::pct(row.multi_a_pct),
                 report::pct(row.source_pct),
+                report::pct(row.reroute_pct),
             );
             report::persist(&format!("table5-2-{}", ds.preset.name().replace(' ', "-")), &row);
         }
@@ -274,6 +277,37 @@ fn cmd_ablations(datasets: &[Dataset], cfg: &EvalConfig) {
         );
         println!();
     }
+}
+
+fn cmd_failures(datasets: &[Dataset], cfg: &EvalConfig) {
+    println!("Single-link failure sweep (incremental delta engine)\n");
+    let rows: Vec<convergence_exp::FailureSweepRow> = datasets
+        .iter()
+        .map(|ds| convergence_exp::failure_sweep(ds, cfg, 16))
+        .collect();
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.dataset.clone(),
+                r.events.to_string(),
+                r.tree_events.to_string(),
+                r.skipped.to_string(),
+                format!("{:.1}", r.mean_cone),
+                r.max_cone.to_string(),
+                r.disconnected.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        report::table(
+            &["Dataset", "Events", "On-tree", "Skipped", "Mean cone", "Max cone", "Disconnected"],
+            &body
+        )
+    );
+    report::persist("failures", &rows);
+    println!();
 }
 
 fn cmd_dynamics(cfg: &EvalConfig, preset: DatasetPreset) {
@@ -367,6 +401,14 @@ mod tests {
         ))
         .is_ok());
         assert!(run(&args("fig7-1")).is_ok());
+    }
+
+    #[test]
+    fn failure_sweep_runs_through_cli() {
+        assert!(run(&args(
+            "--scale 0.008 --dests 8 --srcs 4 --threads 2 --dataset gao2000 failures"
+        ))
+        .is_ok());
     }
 
     #[test]

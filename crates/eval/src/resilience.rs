@@ -21,7 +21,7 @@
 //! `--check-floor`.
 
 use crate::report;
-use miro_bgp::solver::RoutingState;
+use miro_bgp::solver::{RoutingState, SolveScratch};
 use miro_core::chan::FaultConfig;
 use miro_core::node::MiroNetwork;
 use miro_core::reliable::ReliableNet;
@@ -164,9 +164,10 @@ fn workable_pairs(topo: &Topology, want: usize, seed: u64) -> (NodeId, Vec<(Node
     // A deterministic, seed-shifted scan over destinations; the first
     // destination yielding enough workable pairs wins.
     let mut best: (NodeId, Vec<(NodeId, NodeId)>) = (0, Vec::new());
+    let mut scratch = SolveScratch::new();
     for probe in 0..8u64 {
         let dest = ((seed.wrapping_add(probe * 7919)) % u64::from(n)) as NodeId;
-        let st = RoutingState::solve(topo, dest);
+        let st = RoutingState::solve_into(topo, dest, &mut scratch);
         let mut net = MiroNetwork::new(topo);
         let mut found = Vec::new();
         for req in 0..n {
@@ -185,6 +186,7 @@ fn workable_pairs(topo: &Topology, want: usize, seed: u64) -> (NodeId, Vec<(Node
                 found.push((req, resp));
             }
         }
+        st.recycle(&mut scratch);
         if found.len() > best.1.len() {
             best = (dest, found);
         }
