@@ -1,6 +1,7 @@
-//! `miro bench-solver` — whole-network solve timing at three scales.
+//! `miro bench-solver` — whole-network solve timing across scales, from
+//! the 209-node smoke graph up to the 70k-AS `internet` preset.
 //!
-//! For each scale, generates a Gao2005-shaped topology and solves the
+//! For each scale, generates the preset topology and solves the
 //! stable state for *every* destination twice:
 //!
 //! * **bucket** — the CSR bucket-queue engine behind
@@ -33,14 +34,69 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-/// (name, Gao2005 scale factor, timing repetitions, part of `--scale all`).
-/// `tiny` exists so tests and smoke scripts can exercise the full code
-/// path in milliseconds; it is excluded from `all`.
-const SCALES: &[(&str, f64, u32, bool)] = &[
-    ("tiny", 0.01, 1, false),
-    ("small", 0.05, 3, true),
-    ("medium", 0.5, 1, true),
-    ("large", 1.0, 1, true),
+/// One benchmark scale. `tiny` exists so tests and smoke scripts can
+/// exercise the full code path in milliseconds; `internet` is the
+/// RouteViews-shaped 70k-AS graph and is run on demand (`--scale
+/// internet`), not as part of `all` — a whole-network bucket sweep over
+/// 70k destinations is minutes of work, not CI material.
+struct Scale {
+    name: &'static str,
+    preset: DatasetPreset,
+    /// Multiplier on the preset's calibrated node count.
+    factor: f64,
+    /// Timing repetitions (best-of).
+    reps: u32,
+    /// Included in `--scale all`.
+    in_all: bool,
+    /// The heap baseline solves every `heap_stride`-th destination. 1
+    /// means the full sweep; `internet` samples, because the per-solve
+    /// allocating baseline would take roughly an hour there while the
+    /// bucket engine finishes in minutes. Speedups are normalized
+    /// per-destination, so sampled and full rows stay comparable.
+    heap_stride: usize,
+}
+
+const SCALES: &[Scale] = &[
+    Scale {
+        name: "tiny",
+        preset: DatasetPreset::Gao2005,
+        factor: 0.01,
+        reps: 1,
+        in_all: false,
+        heap_stride: 1,
+    },
+    Scale {
+        name: "small",
+        preset: DatasetPreset::Gao2005,
+        factor: 0.05,
+        reps: 3,
+        in_all: true,
+        heap_stride: 1,
+    },
+    Scale {
+        name: "medium",
+        preset: DatasetPreset::Gao2005,
+        factor: 0.5,
+        reps: 1,
+        in_all: true,
+        heap_stride: 1,
+    },
+    Scale {
+        name: "large",
+        preset: DatasetPreset::Gao2005,
+        factor: 1.0,
+        reps: 1,
+        in_all: true,
+        heap_stride: 1,
+    },
+    Scale {
+        name: "internet",
+        preset: DatasetPreset::InternetScale,
+        factor: 1.0,
+        reps: 1,
+        in_all: false,
+        heap_stride: 64,
+    },
 ];
 
 /// Generation seed: fixed so runs are comparable across machines and PRs.
@@ -48,17 +104,26 @@ const SEED: u64 = 42;
 
 struct ScaleRow {
     name: &'static str,
+    preset: &'static str,
     factor: f64,
     reps: u32,
     nodes: usize,
     edges: usize,
     bucket: Duration,
+    /// Destinations the heap baseline actually solved (== `nodes` when
+    /// `heap_stride` is 1).
+    heap_dests: usize,
     heap: Duration,
 }
 
 impl ScaleRow {
+    /// Per-destination speedup, so sampled heap rows compare fairly
+    /// against the full bucket sweep. Collapses to total/total when the
+    /// heap ran every destination.
     fn speedup(&self) -> f64 {
-        self.heap.as_secs_f64() / self.bucket.as_secs_f64().max(1e-12)
+        let heap_per = self.heap.as_secs_f64() / self.heap_dests.max(1) as f64;
+        let bucket_per = self.bucket.as_secs_f64() / self.nodes.max(1) as f64;
+        heap_per / bucket_per.max(1e-12)
     }
 }
 
@@ -88,19 +153,21 @@ impl DeltaRow {
 const MAX_THREADS: usize = 1024;
 
 /// Entry point for `miro bench-solver [--scale S] [--threads N] [--out P]
-/// [--check-delta-speedup F]`. Returns the human-readable report; the
-/// JSON lands in `--out` (default `BENCH_solver.json`).
+/// [--check-delta-speedup F] [--list]`. Returns the human-readable
+/// report; the JSON lands in `--out` (default `BENCH_solver.json`).
 pub fn run(args: &[String]) -> Result<String, String> {
     let mut scale = "all".to_string();
     let mut threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut out_path = "BENCH_solver.json".to_string();
     let mut check_delta: Option<f64> = None;
+    let mut list = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut val = |name: &str| -> Result<String, String> {
             it.next().cloned().ok_or(format!("{name} needs a value"))
         };
         match arg.as_str() {
+            "--list" => list = true,
             "--scale" => scale = val("--scale")?,
             "--threads" => {
                 threads = val("--threads")?
@@ -123,48 +190,79 @@ pub fn run(args: &[String]) -> Result<String, String> {
         return Err(format!("--threads {threads} is absurd (max {MAX_THREADS})"));
     }
 
-    let selected: Vec<_> = if scale == "all" {
-        SCALES.iter().filter(|&&(_, _, _, in_all)| in_all).collect()
-    } else {
-        let found = SCALES.iter().find(|&&(name, ..)| name == scale);
-        vec![found.ok_or_else(|| {
-            let names: Vec<&str> = SCALES.iter().map(|&(n, ..)| n).collect();
-            format!("unknown scale {scale:?} (expected all|{})", names.join("|"))
-        })?]
-    };
+    if list {
+        let mut out = String::from("bench-solver scales:\n");
+        for sc in SCALES {
+            let _ = writeln!(
+                out,
+                "  {:<8} preset={:<12} factor={:<5} reps={} in_all={} heap_stride={}",
+                sc.name,
+                preset_slug(sc.preset),
+                sc.factor,
+                sc.reps,
+                sc.in_all,
+                sc.heap_stride
+            );
+        }
+        return Ok(out);
+    }
+
+    // `--scale` accepts a comma-separated list; `all` expands to the
+    // CI-sized scales, so `--scale all,internet` records everything.
+    let mut selected: Vec<&Scale> = Vec::new();
+    for part in scale.split(',') {
+        if part == "all" {
+            selected.extend(SCALES.iter().filter(|sc| sc.in_all));
+        } else {
+            let found = SCALES.iter().find(|sc| sc.name == part);
+            selected.push(found.ok_or_else(|| {
+                let names: Vec<&str> = SCALES.iter().map(|sc| sc.name).collect();
+                format!("unknown scale {part:?} (expected all|{})", names.join("|"))
+            })?);
+        }
+    }
 
     let mut report = format!("bench-solver: whole-network solves, {threads} thread(s)\n");
     let mut rows = Vec::new();
     let mut delta_rows = Vec::new();
-    for &&(name, factor, reps, _) in &selected {
-        let topo = DatasetPreset::Gao2005.params(factor, SEED).generate();
+    for sc in selected {
+        let topo = sc.preset.params(sc.factor, SEED).generate();
         let dests: Vec<NodeId> = topo.nodes().collect();
-        let (bucket, heap) = time_engines(&topo, &dests, threads, reps);
+        let (bucket, heap, heap_dests) =
+            time_engines(&topo, &dests, threads, sc.reps, sc.heap_stride);
         let row = ScaleRow {
-            name,
-            factor,
-            reps,
+            name: sc.name,
+            preset: preset_slug(sc.preset),
+            factor: sc.factor,
+            reps: sc.reps,
             nodes: topo.num_nodes(),
             edges: topo.num_edges(),
             bucket,
+            heap_dests,
             heap,
+        };
+        let sampled = if heap_dests == row.nodes {
+            String::new()
+        } else {
+            format!(" (heap sampled {heap_dests} dests)")
         };
         let _ = writeln!(
             report,
-            "  {:<6} {:>6} nodes {:>6} links | bucket {:>9.2} ms | heap {:>9.2} ms | {:.2}x",
+            "  {:<8} {:>6} nodes {:>6} links | bucket {:>9.2} ms | heap {:>9.2} ms | {:.2}x{}",
             row.name,
             row.nodes,
             row.edges,
             row.bucket.as_secs_f64() * 1e3,
             row.heap.as_secs_f64() * 1e3,
-            row.speedup()
+            row.speedup(),
+            sampled
         );
         rows.push(row);
 
-        let drow = time_delta_suite(name, &topo, reps);
+        let drow = time_delta_suite(sc.name, &topo, sc.reps);
         let _ = writeln!(
             report,
-            "  {:<6} delta: {} dests x {} failures | incremental {:>9.2} ms | full {:>9.2} ms | {:.2}x | mean cone {:.1}",
+            "  {:<8} delta: {} dests x {} failures | incremental {:>9.2} ms | full {:>9.2} ms | {:.2}x | mean cone {:.1}",
             drow.name,
             drow.dests,
             drow.events / drow.dests.max(1),
@@ -194,14 +292,32 @@ pub fn run(args: &[String]) -> Result<String, String> {
     Ok(report)
 }
 
-/// Time both engines over every destination; returns the best-of-`reps`
-/// wall time for (bucket, heap). Panics if the engines ever disagree.
+/// JSON/report identifier for a preset, matching the historical
+/// `"preset": "gao2005"` spelling.
+fn preset_slug(preset: DatasetPreset) -> &'static str {
+    match preset {
+        DatasetPreset::Gao2000 => "gao2000",
+        DatasetPreset::Gao2003 => "gao2003",
+        DatasetPreset::Gao2005 => "gao2005",
+        DatasetPreset::Agarwal2004 => "agarwal2004",
+        DatasetPreset::InternetScale => "internet70k",
+    }
+}
+
+/// Time both engines; the bucket engine always sweeps every destination,
+/// the heap baseline solves every `heap_stride`-th one. Returns the
+/// best-of-`reps` wall times plus how many destinations the heap run
+/// covered, and panics if the engines disagree on any destination both
+/// solved.
 fn time_engines(
     topo: &Topology,
     dests: &[NodeId],
     threads: usize,
     reps: u32,
-) -> (Duration, Duration) {
+    heap_stride: usize,
+) -> (Duration, Duration, usize) {
+    let heap_dests: Vec<NodeId> =
+        dests.iter().copied().step_by(heap_stride.max(1)).collect();
     let mut bucket = Duration::MAX;
     let mut heap = Duration::MAX;
     let mut check: Option<(Vec<usize>, Vec<usize>)> = None;
@@ -211,13 +327,19 @@ fn time_engines(
         bucket = bucket.min(t0.elapsed());
 
         let t0 = Instant::now();
-        let slow = heap_whole_network(topo, dests, threads);
+        let slow = heap_whole_network(topo, &heap_dests, threads);
         heap = heap.min(t0.elapsed());
         check = Some((fast, slow));
     }
     let (fast, slow) = check.expect("at least one rep");
-    assert_eq!(fast, slow, "bucket and heap engines disagreed");
-    (bucket, heap)
+    for (i, s) in slow.iter().enumerate() {
+        let full_idx = i * heap_stride.max(1);
+        assert_eq!(
+            fast[full_idx], *s,
+            "bucket and heap engines disagreed at destination index {full_idx}"
+        );
+    }
+    (bucket, heap, heap_dests.len())
 }
 
 /// The pre-CSR driver shape: heap solver, fresh allocations per solve,
@@ -359,7 +481,6 @@ fn to_json(threads: usize, rows: &[ScaleRow], delta_rows: &[DeltaRow]) -> String
     let _ = writeln!(out, "  \"bench\": \"solver-whole-network\",");
     let _ = writeln!(out, "  \"engine\": \"csr-bucket-queue\",");
     let _ = writeln!(out, "  \"baseline\": \"heap-per-solve-alloc\",");
-    let _ = writeln!(out, "  \"preset\": \"gao2005\",");
     let _ = writeln!(out, "  \"seed\": {SEED},");
     let _ = writeln!(out, "  \"threads\": {threads},");
     let _ = writeln!(out, "  \"scales\": [");
@@ -367,14 +488,18 @@ fn to_json(threads: usize, rows: &[ScaleRow], delta_rows: &[DeltaRow]) -> String
         let comma = if i + 1 < rows.len() { "," } else { "" };
         let _ = writeln!(
             out,
-            "    {{\"scale\": \"{}\", \"gao2005_scale\": {}, \"nodes\": {}, \"edges\": {}, \
-             \"dests\": {}, \"reps\": {}, \"bucket_ms\": {:.3}, \"heap_ms\": {:.3}, \
+            "    {{\"scale\": \"{}\", \"preset\": \"{}\", \"preset_scale\": {}, \
+             \"nodes\": {}, \"edges\": {}, \
+             \"dests\": {}, \"heap_dests\": {}, \"reps\": {}, \
+             \"bucket_ms\": {:.3}, \"heap_ms\": {:.3}, \
              \"speedup\": {:.2}}}{comma}",
             r.name,
+            r.preset,
             r.factor,
             r.nodes,
             r.edges,
             r.nodes,
+            r.heap_dests,
             r.reps,
             r.bucket.as_secs_f64() * 1e3,
             r.heap.as_secs_f64() * 1e3,
@@ -427,6 +552,17 @@ mod tests {
         assert!(json.contains("\"nodes\": 209"), "{json}");
         assert!(json.contains("\"delta_speedup\""), "{json}");
         assert!(json.contains("\"mean_cone\""), "{json}");
+    }
+
+    #[test]
+    fn list_shows_every_scale_without_running() {
+        let report = run(&["--list".into()]).expect("--list works");
+        for sc in SCALES {
+            assert!(report.contains(sc.name), "{report}");
+        }
+        assert!(report.contains("internet"), "{report}");
+        assert!(report.contains("internet70k"), "{report}");
+        assert!(report.contains("heap_stride=64"), "{report}");
     }
 
     #[test]

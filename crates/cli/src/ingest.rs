@@ -1,0 +1,158 @@
+//! `miro ingest <file>` — stream a real-world AS-relationship snapshot
+//! into the JSON cache the evaluation harness consumes.
+//!
+//! The input is any file [`miro_topology::io::stream`] understands: the
+//! repo's whitespace format or the CAIDA/RouteViews `as1|as2|rel` format,
+//! with `#` comments, auto-detected per line. The parse is allocation-free
+//! per line and single-pass; ASNs are remapped to dense node ids as they
+//! are first seen. The output is an [`IngestCache`] JSON document —
+//! topology plus provenance plus the [`ParseStats`] counters — which
+//! `miro-eval --cache` loads in place of a generated preset.
+//!
+//! `--check` parses and validates without writing anything, which is what
+//! CI wants: prove the golden fixture still ingests cleanly, leave no
+//! artifacts behind.
+
+use miro_topology::io::stream::{self, IngestCache};
+use miro_topology::io::TopologyDoc;
+use std::fmt::Write as _;
+use std::io::BufReader;
+
+const USAGE: &str = "usage: miro ingest <file> [--out cache.json] [--name LABEL] [--check]";
+
+/// Entry point for `miro ingest`. Returns the human-readable report.
+pub fn run(args: &[String]) -> Result<String, String> {
+    let mut file: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut name: Option<String> = None;
+    let mut check = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut val = |n: &str| -> Result<String, String> {
+            it.next().cloned().ok_or(format!("{n} needs a value"))
+        };
+        match arg.as_str() {
+            "--out" => out_path = Some(val("--out")?),
+            "--name" => name = Some(val("--name")?),
+            "--check" => check = true,
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other:?}\n{USAGE}"))
+            }
+            other => {
+                if file.is_some() {
+                    return Err(format!("more than one input file\n{USAGE}"));
+                }
+                file = Some(other.to_string());
+            }
+        }
+    }
+    let path = file.ok_or(USAGE.to_string())?;
+
+    let f = std::fs::File::open(&path).map_err(|e| format!("cannot open {path:?}: {e}"))?;
+    let (topo, stats) =
+        stream::parse(BufReader::new(f)).map_err(|e| format!("{path}: {e}"))?;
+
+    let census = miro_topology::stats::link_census(&topo);
+    let mut report = format!(
+        "ingested {path}: {} lines ({} comments/blanks), {} bytes\n",
+        stats.lines, stats.comments, stats.bytes
+    );
+    let _ = writeln!(
+        report,
+        "  accepted {} edges over {} ASes; dropped {} duplicate(s), {} self-loop(s)",
+        stats.edges, stats.nodes, stats.duplicate_edges, stats.self_loops
+    );
+    let _ = writeln!(
+        report,
+        "  link mix: {} P/C, {} peering, {} sibling; {} stubs ({} multi-homed)",
+        census.pc_links,
+        census.peering_links,
+        census.sibling_links,
+        census.stubs,
+        census.multihomed_stubs
+    );
+
+    if check {
+        let _ = writeln!(report, "check ok (no cache written)");
+        return Ok(report);
+    }
+
+    let label = name.unwrap_or_else(|| {
+        std::path::Path::new(&path)
+            .file_name()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.clone())
+    });
+    let cache = IngestCache {
+        name: label.clone(),
+        source: path.clone(),
+        stats,
+        topology: TopologyDoc::of(&topo),
+    };
+    let json = serde_json::to_string_pretty(&cache)
+        .map_err(|e| format!("cannot serialize cache: {e}"))?;
+    let out_path = out_path.unwrap_or_else(|| format!("{path}.cache.json"));
+    std::fs::write(&out_path, json)
+        .map_err(|e| format!("cannot write {out_path:?}: {e}"))?;
+    let _ = writeln!(report, "wrote {out_path} (dataset {label:?})");
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str, content: &str) -> std::path::PathBuf {
+        let p = std::env::temp_dir().join(name);
+        std::fs::write(&p, content).expect("tmp write");
+        p
+    }
+
+    #[test]
+    fn ingest_writes_a_loadable_cache() {
+        let input = tmp("miro_ingest_test.txt", "# caida style\n1|2|-1\n2|3|-1\n1|3|0\n");
+        let out = std::env::temp_dir().join("miro_ingest_test.cache.json");
+        let args: Vec<String> = vec![
+            input.display().to_string(),
+            "--out".into(),
+            out.display().to_string(),
+            "--name".into(),
+            "unit".into(),
+        ];
+        let report = run(&args).expect("ingest works");
+        assert!(report.contains("accepted 3 edges over 3 ASes"), "{report}");
+        let json = std::fs::read_to_string(&out).expect("cache written");
+        let cache: IngestCache = serde_json::from_str(&json).expect("cache parses");
+        assert_eq!(cache.name, "unit");
+        assert_eq!(cache.stats.edges, 3);
+        let topo = cache.topology.build().expect("topology rebuilds");
+        assert_eq!(topo.num_nodes(), 3);
+        assert_eq!(topo.num_edges(), 3);
+    }
+
+    #[test]
+    fn check_mode_writes_nothing() {
+        let input = tmp("miro_ingest_check.txt", "1 2 c\n2 3 c\n");
+        let out = format!("{}.cache.json", input.display());
+        let _ = std::fs::remove_file(&out);
+        let args: Vec<String> = vec![input.display().to_string(), "--check".into()];
+        let report = run(&args).expect("check works");
+        assert!(report.contains("check ok"), "{report}");
+        assert!(!std::path::Path::new(&out).exists(), "no cache file in check mode");
+    }
+
+    #[test]
+    fn parse_errors_carry_file_and_line() {
+        let input = tmp("miro_ingest_bad.txt", "1 2 c\n1|2|7\n");
+        let err = run(&[input.display().to_string()]).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(err.contains("relationship code 7"), "{err}");
+    }
+
+    #[test]
+    fn missing_file_and_bad_flags_are_errors() {
+        assert!(run(&[]).unwrap_err().contains("usage:"));
+        let err = run(&["--frob".into()]).unwrap_err();
+        assert!(err.contains("unknown option"), "{err}");
+    }
+}

@@ -21,6 +21,7 @@
 //! the tests drive it directly.
 
 pub mod bench;
+pub mod ingest;
 
 use miro_bgp::show;
 use miro_bgp::solver::RoutingState;
@@ -86,6 +87,7 @@ impl Repl {
                     "gao2003" => DatasetPreset::Gao2003,
                     "gao2005" => DatasetPreset::Gao2005,
                     "agarwal2004" => DatasetPreset::Agarwal2004,
+                    "internet" => DatasetPreset::InternetScale,
                     "fig1.1" | "fig1-1" => {
                         let (t, _) = miro_topology::gen::figure_1_1();
                         return Ok(self.install(t));
@@ -97,9 +99,12 @@ impl Repl {
                 Ok(self.install(preset.params(scale, seed).generate()))
             }
             ["load", path] => {
-                let text = std::fs::read_to_string(path)
+                // The streaming parser, so the shell can load real CAIDA
+                // snapshots (either text format, lenient about dups).
+                let f = std::fs::File::open(path)
                     .map_err(|e| format!("cannot read {path:?}: {e}"))?;
-                let topo = topo_io::from_text(&text).map_err(|e| e.to_string())?;
+                let (topo, _) = topo_io::stream::parse(std::io::BufReader::new(f))
+                    .map_err(|e| e.to_string())?;
                 Ok(self.install(topo))
             }
             ["save", path] => {
@@ -340,7 +345,7 @@ impl Repl {
 
 const HELP: &str = "\
 commands:
-  gen <gao2000|gao2003|gao2005|agarwal2004|fig1.1> <scale> <seed>
+  gen <gao2000|gao2003|gao2005|agarwal2004|internet|fig1.1> <scale> <seed>
   load <path> | save <path>
   show topology
   show ip bgp <asn> to <dest-asn>

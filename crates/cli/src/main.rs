@@ -2,10 +2,11 @@
 //! plus the `bench-solver` performance smoke.
 //!
 //! Interactive: `miro`. Scripted: `miro scenario.txt` or `miro < script`.
-//! Benchmark: `miro bench-solver [--scale tiny|small|medium|large|all]
-//! [--threads N] [--out BENCH_solver.json]`.
+//! Benchmark: `miro bench-solver [--scale tiny|small|medium|large|internet|all]
+//! [--threads N] [--out BENCH_solver.json] [--list]`.
 //! Robustness: `miro resilience [--seed N] [--scale F] [--pairs N]
 //! [--out RESILIENCE.json] [--check-floor PCT]`.
+//! Ingest: `miro ingest <file> [--out cache.json] [--name LABEL] [--check]`.
 
 use std::io::{BufRead, Write};
 
@@ -19,6 +20,15 @@ fn main() {
                 Ok(report) => print!("{report}"),
                 Err(e) => {
                     eprintln!("bench-solver: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        [cmd, rest @ ..] if cmd == "ingest" => {
+            match miro_cli::ingest::run(rest) {
+                Ok(report) => print!("{report}"),
+                Err(e) => {
+                    eprintln!("ingest: {e}");
                     std::process::exit(2);
                 }
             }
@@ -40,7 +50,10 @@ fn main() {
             }
         },
         _ => {
-            eprintln!("usage: miro [script-file | bench-solver [options] | resilience [options]]");
+            eprintln!(
+                "usage: miro [script-file | bench-solver [options] | \
+                 resilience [options] | ingest <file> [options]]"
+            );
             std::process::exit(2);
         }
     }

@@ -325,7 +325,7 @@ mod tests {
         // Failing one link only sometimes dodges the AS; negotiating for
         // an avoiding path under the flexible policy must do better.
         let (ds, probes) = small_probes();
-        let row = table5_2_row(ds.preset.name(), &probes);
+        let row = table5_2_row(ds.name(), &probes);
         assert!(row.reroute_pct <= row.source_pct + 1e-9);
         assert!(
             row.reroute_pct < row.multi_a_pct,
@@ -338,7 +338,7 @@ mod tests {
     #[test]
     fn table_shape_matches_paper_ordering() {
         let (ds, probes) = small_probes();
-        let row = table5_2_row(ds.preset.name(), &probes);
+        let row = table5_2_row(ds.name(), &probes);
         assert!(row.single_pct <= row.multi_s_pct);
         assert!(row.multi_s_pct <= row.multi_e_pct + 1e-9);
         assert!(row.multi_e_pct <= row.multi_a_pct + 1e-9);

@@ -151,7 +151,7 @@ pub fn failure_sweep(
     }
     let tree_events = events - skipped;
     FailureSweepRow {
-        dataset: ds.preset.name().to_string(),
+        dataset: ds.name().to_string(),
         dests: dests.len(),
         events,
         tree_events,

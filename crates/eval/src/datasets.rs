@@ -47,24 +47,50 @@ impl EvalConfig {
     }
 }
 
-/// One generated dataset with its census.
+/// One dataset with its census: either generated from a Table 5.1 preset
+/// or loaded from a `miro ingest` JSON cache of a real snapshot.
 pub struct Dataset {
-    pub preset: DatasetPreset,
+    name: String,
     pub topo: Topology,
     pub census: LinkCensus,
 }
 
 impl Dataset {
+    /// The label experiments stamp on result tables: the preset name for
+    /// generated datasets, the ingest label for cached ones.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
     /// Generate one preset at the configured scale.
     pub fn build(preset: DatasetPreset, cfg: &EvalConfig) -> Dataset {
         let topo = preset.params(cfg.scale, cfg.seed).generate();
-        let census = link_census(&topo);
-        Dataset { preset, topo, census }
+        Dataset::from_topology(preset.name(), topo)
     }
 
     /// All four Table 5.1 datasets.
     pub fn build_all(cfg: &EvalConfig) -> Vec<Dataset> {
         DatasetPreset::ALL.iter().map(|&p| Dataset::build(p, cfg)).collect()
+    }
+
+    /// Wrap an already-built topology (ingested or synthetic).
+    pub fn from_topology(name: &str, topo: Topology) -> Dataset {
+        let census = link_census(&topo);
+        Dataset { name: name.to_string(), topo, census }
+    }
+
+    /// Load a `miro ingest` JSON cache. The experiments then run on the
+    /// real snapshot instead of a generated stand-in.
+    pub fn load_cache(path: &str) -> Result<Dataset, String> {
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read cache {path:?}: {e}"))?;
+        let cache: miro_topology::io::stream::IngestCache = serde_json::from_str(&json)
+            .map_err(|e| format!("cache {path:?} is not an ingest cache: {e}"))?;
+        let topo = cache
+            .topology
+            .build()
+            .map_err(|e| format!("cache {path:?} holds an invalid topology: {e}"))?;
+        Ok(Dataset::from_topology(&cache.name, topo))
     }
 }
 
@@ -84,7 +110,7 @@ pub fn table5_1(datasets: &[Dataset]) -> Vec<Table51Row> {
     datasets
         .iter()
         .map(|d| Table51Row {
-            name: d.preset.name().to_string(),
+            name: d.name().to_string(),
             nodes: d.census.nodes,
             edges: d.census.edges,
             pc_links: d.census.pc_links,
@@ -106,7 +132,7 @@ pub fn fig5_1(datasets: &[Dataset]) -> Vec<Fig51Series> {
     datasets
         .iter()
         .map(|d| Fig51Series {
-            name: d.preset.name().to_string(),
+            name: d.name().to_string(),
             points: degree_ccdf(&d.topo)
                 .into_iter()
                 .map(|DegreePoint { degree, count, .. }| (degree, count))

@@ -88,7 +88,7 @@ pub fn fig5_4(ds: &Dataset, probes: &[TripleProbe]) -> DeployResult {
     let reroute_floor = need.iter().filter(|p| p.reroute_avoids).count() as f64
         / base as f64;
     DeployResult {
-        dataset: ds.preset.name().to_string(),
+        dataset: ds.name().to_string(),
         by_degree,
         low_degree_first,
         reroute_floor,

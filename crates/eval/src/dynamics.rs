@@ -99,7 +99,7 @@ pub fn measure(ds: &Dataset, cfg: &EvalConfig, desire_count: usize) -> DynamicsR
     let (rounds_b, _) = run(Guideline::B);
     let (rounds_e, churn_e) = run(Guideline::E);
     DynamicsRow {
-        label: ds.preset.name().to_string(),
+        label: ds.name().to_string(),
         nodes: ds.topo.num_nodes(),
         bgp_activations_mean: total_steps as f64 / dests.len().max(1) as f64,
         tunnel_rounds_b: rounds_b,

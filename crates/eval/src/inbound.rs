@@ -231,7 +231,7 @@ pub fn fig5_6(ds: &Dataset, cfg: &EvalConfig) -> InboundResult {
         });
     let outcomes: Vec<StubOutcome> = outcomes.into_iter().flatten().collect();
     InboundResult {
-        dataset: ds.preset.name().to_string(),
+        dataset: ds.name().to_string(),
         stubs_evaluated: outcomes.len(),
         outcomes,
     }

@@ -23,6 +23,7 @@
 //!   --srcs N      Sampled sources per destination    [default: 60]
 //!   --threads N   Worker threads                     [default: CPUs]
 //!   --dataset S   Restrict to one dataset (gao2000|gao2003|gao2005|agarwal2004)
+//!   --cache P     Run on a `miro ingest` JSON cache instead of generated presets
 //! ```
 
 use miro_eval::datasets::{fig5_1, table5_1, Dataset, EvalConfig};
@@ -45,6 +46,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut cfg = EvalConfig::default();
     let mut command: Option<String> = None;
     let mut only: Option<DatasetPreset> = None;
+    let mut cache: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut next = |name: &str| {
@@ -65,6 +67,7 @@ fn run(args: &[String]) -> Result<(), String> {
                     other => return Err(format!("unknown dataset {other:?}")),
                 })
             }
+            "--cache" => cache = Some(next("--cache")?),
             "--help" | "-h" => command = Some("help".to_string()),
             c if !c.starts_with('-') && command.is_none() => command = Some(c.to_string()),
             other => return Err(format!("unknown argument {other:?}")),
@@ -74,30 +77,34 @@ fn run(args: &[String]) -> Result<(), String> {
     let presets: Vec<DatasetPreset> =
         only.map(|p| vec![p]).unwrap_or_else(|| DatasetPreset::ALL.to_vec());
 
-    let build = |presets: &[DatasetPreset]| -> Vec<Dataset> {
-        presets.iter().map(|&p| Dataset::build(p, &cfg)).collect()
+    // `--cache` swaps the generated presets for one ingested snapshot.
+    let build = |presets: &[DatasetPreset]| -> Result<Vec<Dataset>, String> {
+        match &cache {
+            Some(path) => Ok(vec![Dataset::load_cache(path)?]),
+            None => Ok(presets.iter().map(|&p| Dataset::build(p, &cfg)).collect()),
+        }
     };
 
     match command.as_str() {
         "help" | "--help" | "-h" => {
             println!("miro-eval: regenerate the MIRO paper's tables and figures");
             println!("commands: table5-1 fig5-1 fig5-2 table5-2 table5-3 fig5-4 fig5-6 fig7-1 fig7-2 failures ablations dynamics all");
-            println!("options: --scale F --seed N --dests N --srcs N --threads N --dataset S");
+            println!("options: --scale F --seed N --dests N --srcs N --threads N --dataset S --cache P");
         }
-        "table5-1" => cmd_table5_1(&build(&presets)),
-        "fig5-1" => cmd_fig5_1(&build(&presets)),
-        "fig5-2" => cmd_fig5_2(&build(&presets), &cfg),
-        "table5-2" => cmd_avoid(&build(&presets), &cfg, true, false, false),
-        "table5-3" => cmd_avoid(&build(&presets), &cfg, false, true, false),
-        "fig5-4" => cmd_avoid(&build(&presets), &cfg, false, false, true),
-        "fig5-6" => cmd_fig5_6(&build(&presets), &cfg),
+        "table5-1" => cmd_table5_1(&build(&presets)?),
+        "fig5-1" => cmd_fig5_1(&build(&presets)?),
+        "fig5-2" => cmd_fig5_2(&build(&presets)?, &cfg),
+        "table5-2" => cmd_avoid(&build(&presets)?, &cfg, true, false, false),
+        "table5-3" => cmd_avoid(&build(&presets)?, &cfg, false, true, false),
+        "fig5-4" => cmd_avoid(&build(&presets)?, &cfg, false, false, true),
+        "fig5-6" => cmd_fig5_6(&build(&presets)?, &cfg),
         "fig7-1" => cmd_fig7(1),
         "fig7-2" => cmd_fig7(2),
-        "failures" => cmd_failures(&build(&presets), &cfg),
-        "ablations" => cmd_ablations(&build(&presets), &cfg),
+        "failures" => cmd_failures(&build(&presets)?, &cfg),
+        "ablations" => cmd_ablations(&build(&presets)?, &cfg),
         "dynamics" => cmd_dynamics(&cfg, only.unwrap_or(DatasetPreset::Gao2005)),
         "all" => {
-            let ds = build(&presets);
+            let ds = build(&presets)?;
             cmd_table5_1(&ds);
             cmd_fig5_1(&ds);
             cmd_fig5_2(&ds, &cfg);
@@ -171,7 +178,7 @@ fn cmd_fig5_2(datasets: &[Dataset], cfg: &EvalConfig) {
                 report::cdf_summary("routes", &s.counts)
             );
         }
-        report::persist(&format!("fig5-2-{}", ds.preset.name().replace(' ', "-")), &r);
+        report::persist(&format!("fig5-2-{}", ds.name().replace(' ', "-")), &r);
         println!();
     }
 }
@@ -180,7 +187,7 @@ fn cmd_avoid(datasets: &[Dataset], cfg: &EvalConfig, t52: bool, t53: bool, f54: 
     for ds in datasets {
         let probes = avoid::sample_probes(ds, cfg);
         if t52 {
-            let row = avoid::table5_2_row(ds.preset.name(), &probes);
+            let row = avoid::table5_2_row(ds.name(), &probes);
             println!(
                 "Table 5.2 [{}] ({} triples): Single {}  Multi/s {}  Multi/e {}  Multi/a {}  Source {}  Reroute {}",
                 row.name,
@@ -192,11 +199,11 @@ fn cmd_avoid(datasets: &[Dataset], cfg: &EvalConfig, t52: bool, t53: bool, f54: 
                 report::pct(row.source_pct),
                 report::pct(row.reroute_pct),
             );
-            report::persist(&format!("table5-2-{}", ds.preset.name().replace(' ', "-")), &row);
+            report::persist(&format!("table5-2-{}", ds.name().replace(' ', "-")), &row);
         }
         if t53 {
             let rows = avoid::table5_3_rows(&probes);
-            println!("Table 5.3 [{}]:", ds.preset.name());
+            println!("Table 5.3 [{}]:", ds.name());
             let body: Vec<Vec<String>> = rows
                 .iter()
                 .map(|r| {
@@ -212,7 +219,7 @@ fn cmd_avoid(datasets: &[Dataset], cfg: &EvalConfig, t52: bool, t53: bool, f54: 
                 "{}",
                 report::table(&["Policy", "Success Rate", "AS#/tuple", "Path#/tuple"], &body)
             );
-            report::persist(&format!("table5-3-{}", ds.preset.name().replace(' ', "-")), &rows);
+            report::persist(&format!("table5-3-{}", ds.name().replace(' ', "-")), &rows);
         }
         if f54 {
             let r = deploy::fig5_4(ds, &probes);
@@ -220,7 +227,7 @@ fn cmd_avoid(datasets: &[Dataset], cfg: &EvalConfig, t52: bool, t53: bool, f54: 
             for c in r.by_degree.iter().chain([&r.low_degree_first]) {
                 print!("{}", report::curve(&c.label, &c.points));
             }
-            report::persist(&format!("fig5-4-{}", ds.preset.name().replace(' ', "-")), &r);
+            report::persist(&format!("fig5-4-{}", ds.name().replace(' ', "-")), &r);
         }
         println!();
     }
@@ -246,7 +253,7 @@ fn cmd_fig5_6(datasets: &[Dataset], cfg: &EvalConfig) {
             one * 100.0,
             two * 100.0
         );
-        report::persist(&format!("fig5-6-{}", ds.preset.name().replace(' ', "-")), &r);
+        report::persist(&format!("fig5-6-{}", ds.name().replace(' ', "-")), &r);
         println!();
     }
 }
@@ -255,7 +262,7 @@ fn cmd_ablations(datasets: &[Dataset], cfg: &EvalConfig) {
     use miro_eval::ablations;
     println!("Ablations (DESIGN.md): architectures, strategies, state cost\n");
     for ds in datasets {
-        println!("[{}]", ds.preset.name());
+        println!("[{}]", ds.name());
         let arch = ablations::architecture_comparison(ds, cfg, 8);
         println!("  avoid-AS success by architecture (same triples):");
         for r in &arch {
@@ -272,7 +279,7 @@ fn cmd_ablations(datasets: &[Dataset], cfg: &EvalConfig) {
              table entries; one MIRO tunnel adds {miro}."
         );
         report::persist(
-            &format!("ablations-{}", ds.preset.name().replace(' ', "-")),
+            &format!("ablations-{}", ds.name().replace(' ', "-")),
             &(arch, strats),
         );
         println!();
@@ -409,6 +416,29 @@ mod tests {
             "--scale 0.008 --dests 8 --srcs 4 --threads 2 --dataset gao2000 failures"
         ))
         .is_ok());
+    }
+
+    #[test]
+    fn cache_option_runs_experiments_on_an_ingested_snapshot() {
+        use miro_topology::io::stream::{IngestCache, ParseStats};
+        use miro_topology::io::TopologyDoc;
+        let topo = DatasetPreset::Gao2000.params(0.012, 7).generate();
+        let cache = IngestCache {
+            name: "unit-cache".into(),
+            source: "test".into(),
+            stats: ParseStats::default(),
+            topology: TopologyDoc::of(&topo),
+        };
+        let path = std::env::temp_dir().join("miro_eval_cache_test.json");
+        std::fs::write(&path, serde_json::to_string(&cache).unwrap()).unwrap();
+        assert!(run(&args(&format!(
+            "--cache {} --dests 8 --srcs 4 --threads 2 table5-1",
+            path.display()
+        )))
+        .is_ok());
+        assert!(run(&args("--cache /nonexistent.json table5-1"))
+            .unwrap_err()
+            .contains("cannot read cache"));
     }
 
     #[test]

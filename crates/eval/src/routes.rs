@@ -84,7 +84,7 @@ pub fn fig5_2(ds: &Dataset, cfg: &EvalConfig) -> RoutesResult {
             }
         })
         .collect();
-    RoutesResult { dataset: ds.preset.name().to_string(), series }
+    RoutesResult { dataset: ds.name().to_string(), series }
 }
 
 #[cfg(test)]

@@ -19,7 +19,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
-/// The four dataset presets of Table 5.1.
+/// The four dataset presets of Table 5.1, plus a RouteViews-scale preset.
 ///
 /// `scale = 1.0` matches the paper's node counts; the default evaluation
 /// scale of `0.1` keeps experiments laptop-sized while preserving the
@@ -34,6 +34,13 @@ pub enum DatasetPreset {
     Gao2005,
     /// "Agarwal 2004": 16921 nodes, 38282 edges (34552 P/C, 3553 peer, 177 sibling).
     Agarwal2004,
+    /// Full-Internet scale, calibrated to a present-day RouteViews/CAIDA
+    /// snapshot rather than Table 5.1: 70000 nodes, ~349k edges with the
+    /// same ~90/8/1.5% P/C / peering / sibling split and tier shape. Not
+    /// part of [`DatasetPreset::ALL`] — the Table 5.1 experiments do not
+    /// use it; `miro ingest` substitutes and `bench-solver internet`
+    /// measures at this size.
+    InternetScale,
 }
 
 impl DatasetPreset {
@@ -52,16 +59,21 @@ impl DatasetPreset {
             DatasetPreset::Gao2003 => "Gao 2003",
             DatasetPreset::Gao2005 => "Gao 2005",
             DatasetPreset::Agarwal2004 => "Agarwal 2004",
+            DatasetPreset::InternetScale => "Internet 70k",
         }
     }
 
-    /// Paper's (nodes, P/C links, peering links, sibling links).
+    /// Calibration targets: (nodes, P/C links, peering links, sibling
+    /// links). For the four Table 5.1 presets these are the paper's
+    /// counts; for [`DatasetPreset::InternetScale`] they approximate a
+    /// full RouteViews-derived snapshot with the same relationship mix.
     pub fn paper_counts(self) -> (usize, usize, usize, usize) {
         match self {
             DatasetPreset::Gao2000 => (8829, 16531, 1031, 231),
             DatasetPreset::Gao2003 => (16130, 30649, 3062, 520),
             DatasetPreset::Gao2005 => (20930, 40558, 3753, 687),
             DatasetPreset::Agarwal2004 => (16921, 34552, 3553, 177),
+            DatasetPreset::InternetScale => (70000, 315900, 28000, 5250),
         }
     }
 
@@ -209,37 +221,30 @@ impl GenParams {
             }
         }
 
-        // Degree-proportional pick from a candidate pool.
-        fn pick_pref(rng: &mut StdRng, pool: &[usize], deg: &[usize]) -> usize {
-            let total: usize = pool.iter().map(|&i| deg[i]).sum();
-            let mut t = rng.gen_range(0..total.max(1));
-            for &i in pool {
-                if t < deg[i] {
-                    return i;
-                }
-                t -= deg[i];
-            }
-            *pool.last().expect("pool must be non-empty")
-        }
-
         // 2. Tier-2: 2-4 tier-1 providers each.
+        let mut pool = PrefPool::new(&tier1, &deg, n);
         for &x in &tier2 {
             let k = rng.gen_range(2..=4usize.min(tier1.len()));
             for _ in 0..k {
-                let p = pick_pref(&mut rng, &tier1, &deg);
+                let p = pool.pick(&mut rng);
                 if add_pc(&mut b, &mut deg, &mut edges, p, x) {
                     pc_links += 1;
+                    pool.bump(p);
+                    pool.bump(x);
                 }
             }
         }
 
         // 3. Tier-3: 1-3 providers from tier 2 (preferential).
+        let mut pool = PrefPool::new(&tier2, &deg, n);
         for &x in &tier3 {
             let k = rng.gen_range(1..=3usize);
             for _ in 0..k {
-                let p = pick_pref(&mut rng, &tier2, &deg);
+                let p = pool.pick(&mut rng);
                 if add_pc(&mut b, &mut deg, &mut edges, p, x) {
                     pc_links += 1;
+                    pool.bump(p);
+                    pool.bump(x);
                 }
             }
         }
@@ -247,28 +252,34 @@ impl GenParams {
         // 4. Stubs: ~60% multi-homed, providers from tiers 2-3.
         let transit_pool: Vec<usize> =
             tier2.iter().chain(tier3.iter()).copied().collect();
+        let mut pool = PrefPool::new(&transit_pool, &deg, n);
         for &x in &stubs {
             let k = if rng.gen_bool(0.6) { rng.gen_range(2..=3usize) } else { 1 };
             for _ in 0..k {
-                let p = pick_pref(&mut rng, &transit_pool, &deg);
+                let p = pool.pick(&mut rng);
                 if add_pc(&mut b, &mut deg, &mut edges, p, x) {
                     pc_links += 1;
+                    pool.bump(p);
+                    pool.bump(x);
                 }
             }
         }
 
         // Top up provider-customer links toward the target: extra
-        // multi-homing for random stubs / tier-3 nodes.
+        // multi-homing for random stubs / tier-3 nodes. (Same pool as
+        // phase 4, carried over with its degree counts.)
         let fringe: Vec<usize> = tier3.iter().chain(stubs.iter()).copied().collect();
         let mut guard = 0;
         while pc_links < self.target_pc_links && guard < self.target_pc_links * 20 {
             guard += 1;
             let x = *fringe.choose(&mut rng).expect("fringe non-empty");
-            let p = pick_pref(&mut rng, &transit_pool, &deg);
+            let p = pool.pick(&mut rng);
             // Keep the hierarchy: provider must be in a strictly higher tier
             // slot (lower index) than the customer.
             if p < x && add_pc(&mut b, &mut deg, &mut edges, p, x) {
                 pc_links += 1;
+                pool.bump(p);
+                pool.bump(x);
             }
         }
 
@@ -284,13 +295,16 @@ impl GenParams {
         } else {
             tier2.iter().chain(tier3.iter()).copied().collect()
         };
+        let mut pool = PrefPool::new(&peer_pool, &deg, n);
         let mut guard = 0;
         while peer_links < self.target_peer_links && guard < self.target_peer_links * 40 {
             guard += 1;
-            let x = pick_pref(&mut rng, &peer_pool, &deg);
-            let y = pick_pref(&mut rng, &peer_pool, &deg);
+            let x = pool.pick(&mut rng);
+            let y = pool.pick(&mut rng);
             if add_peer(&mut b, &mut deg, &mut edges, x, y) {
                 peer_links += 1;
+                pool.bump(x);
+                pool.bump(y);
             }
         }
 
@@ -317,6 +331,85 @@ impl GenParams {
 
         b.build_checked(true)
             .expect("generator must produce a valid hierarchical topology")
+    }
+}
+
+/// Degree-proportional sampler over one fixed candidate pool.
+///
+/// A Fenwick (binary-indexed) tree over the pool members' degrees makes
+/// each preferential-attachment pick O(log |pool|) where the old linear
+/// walk was O(|pool|) — the difference between ~1 s and ~20 min of
+/// generation at the [`DatasetPreset::InternetScale`] preset (~350k picks
+/// over a 21k-node transit pool). The draw is bit-for-bit identical to
+/// the walk it replaced: one `gen_range(0..total)` call, then the first
+/// pool position whose cumulative degree exceeds the draw, so seeds keep
+/// producing the same graphs as before the change.
+struct PrefPool {
+    /// Pool members, in pick-priority order.
+    members: Vec<usize>,
+    /// `pos[node] + 1` = Fenwick index of the node, or `u32::MAX` if the
+    /// node is not in this pool (degree bumps for non-members are no-ops).
+    pos: Vec<u32>,
+    /// Fenwick tree over member degrees (1-based).
+    tree: Vec<usize>,
+    total: usize,
+}
+
+impl PrefPool {
+    /// Snapshot the current degrees of `pool`'s members. Later increments
+    /// must be reported through [`PrefPool::bump`].
+    fn new(pool: &[usize], deg: &[usize], n: usize) -> PrefPool {
+        let mut pos = vec![u32::MAX; n];
+        let mut tree = vec![0usize; pool.len() + 1];
+        let mut total = 0;
+        for (i, &node) in pool.iter().enumerate() {
+            pos[node] = i as u32;
+            tree[i + 1] = deg[node];
+            total += deg[node];
+        }
+        // In-place Fenwick construction.
+        for i in 1..tree.len() {
+            let j = i + (i & i.wrapping_neg());
+            if j < tree.len() {
+                tree[j] += tree[i];
+            }
+        }
+        PrefPool { members: pool.to_vec(), pos, tree, total }
+    }
+
+    /// Record a +1 degree change; no-op if `node` is not a member.
+    fn bump(&mut self, node: usize) {
+        let p = self.pos[node];
+        if p == u32::MAX {
+            return;
+        }
+        let mut i = p as usize + 1;
+        while i < self.tree.len() {
+            self.tree[i] += 1;
+            i += i & i.wrapping_neg();
+        }
+        self.total += 1;
+    }
+
+    /// Draw a member with probability proportional to its degree (the
+    /// last member if all degrees are zero, mirroring the linear walk).
+    fn pick(&self, rng: &mut StdRng) -> usize {
+        let mut t = rng.gen_range(0..self.total.max(1));
+        let len = self.members.len();
+        let mut idx = 0usize; // number of members whose cumulative sum <= t
+        let mut step = len.next_power_of_two();
+        while step > 0 {
+            let next = idx + step;
+            if next <= len && self.tree[next] <= t {
+                t -= self.tree[next];
+                idx = next;
+            }
+            step >>= 1;
+        }
+        self.members
+            .get(idx)
+            .copied()
+            .unwrap_or_else(|| *self.members.last().expect("pool must be non-empty"))
     }
 }
 
@@ -433,6 +526,68 @@ mod tests {
             max > 10 * median.max(1),
             "tier-1 degree ({max}) should dwarf the median ({median})"
         );
+    }
+
+    #[test]
+    fn pref_pool_matches_linear_walk() {
+        // The retired O(|pool|) walk, kept as the oracle.
+        fn linear(t: usize, pool: &[usize], deg: &[usize]) -> usize {
+            let mut t = t;
+            for &i in pool {
+                if t < deg[i] {
+                    return i;
+                }
+                t -= deg[i];
+            }
+            *pool.last().unwrap()
+        }
+        let mut rng = StdRng::seed_from_u64(99);
+        for trial in 0..200 {
+            let n = 3 + (trial % 37);
+            let pool: Vec<usize> = (0..n).collect();
+            let mut deg: Vec<usize> = (0..n).map(|_| rng.gen_range(0..5usize)).collect();
+            let mut pp = PrefPool::new(&pool, &deg, n);
+            for _ in 0..20 {
+                let total: usize = pool.iter().map(|&i| deg[i]).sum();
+                assert_eq!(pp.total, total);
+                let t = rng.gen_range(0..total.max(1));
+                // Drive both from the same draw (pick() consumes the rng,
+                // so feed it a clone).
+                let mut probe = StdRng::seed_from_u64(trial as u64 * 31 + t as u64);
+                let picked = PrefPool::pick(&pp, &mut probe);
+                let mut replay = StdRng::seed_from_u64(trial as u64 * 31 + t as u64);
+                let drawn = replay.gen_range(0..total.max(1));
+                assert_eq!(picked, linear(drawn, &pool, &deg), "n={n} t={drawn}");
+                // Mutate a random member and keep the tree in sync.
+                let bumped = rng.gen_range(0..n);
+                deg[bumped] += 1;
+                pp.bump(bumped);
+            }
+        }
+    }
+
+    #[test]
+    fn internet_scale_preset_is_valid_when_scaled_down() {
+        // 1% of the full preset: 700 nodes, ~3.5k edges — the full 70k
+        // graph is exercised by `bench-solver internet`, not unit tests.
+        let p = DatasetPreset::InternetScale.params(0.01, 11);
+        assert_eq!(p.num_nodes, 700);
+        let t = p.generate();
+        assert!(t.is_connected());
+        assert!(t.customer_to_provider_order().is_some());
+        let census = crate::stats::link_census(&t);
+        assert!(census.pc_links > 10 * census.peering_links.max(1) / 2, "P/C dominates");
+        assert!(census.stubs * 2 > census.nodes, "stub majority");
+    }
+
+    #[test]
+    fn internet_scale_is_not_in_table_5_1() {
+        assert!(!DatasetPreset::ALL.contains(&DatasetPreset::InternetScale));
+        assert_eq!(DatasetPreset::InternetScale.name(), "Internet 70k");
+        let (nodes, pc, peer, sib) = DatasetPreset::InternetScale.paper_counts();
+        assert_eq!(nodes, 70000);
+        let edges = pc + peer + sib;
+        assert!((340_000..360_000).contains(&edges), "~350k edges: {edges}");
     }
 
     #[test]

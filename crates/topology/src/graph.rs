@@ -85,6 +85,28 @@ impl Rel {
     }
 }
 
+/// What happened to one edge declaration handed to
+/// [`TopologyBuilder::try_link`].
+///
+/// Unlike [`TopologyBuilder::link`], which latches the first problem and
+/// reports it at [`TopologyBuilder::build`] time, `try_link` tells the
+/// caller immediately — the streaming ingest path uses this to count
+/// duplicates, drop self-loops, and abort on conflicts *with the offending
+/// line still in hand*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkOutcome {
+    /// A new edge was recorded.
+    Added,
+    /// The same unordered pair was already declared with the same
+    /// relationship; nothing was recorded.
+    Duplicate,
+    /// The same unordered pair was already declared with a *different*
+    /// relationship; nothing was recorded and the builder is unchanged.
+    Conflict,
+    /// Both endpoints are the same AS; nothing was recorded.
+    SelfLoop,
+}
+
 /// Errors detected while building a topology.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TopologyError {
@@ -204,6 +226,31 @@ impl TopologyBuilder {
         }
         self.edges.insert(key, stored);
         self
+    }
+
+    /// Declare that `b` is `rel` *to* `a`, interning both endpoints, and
+    /// report what happened instead of latching an error for `build`.
+    ///
+    /// This is the single-pass entry point for streaming ingest: AS numbers
+    /// are remapped to dense node ids as they are first seen, duplicates
+    /// and self-loops are reported (not recorded), and a conflicting
+    /// redeclaration leaves the builder untouched so the caller can attach
+    /// its own source location to the error.
+    pub fn try_link(&mut self, a: AsId, b: AsId, rel: Rel) -> LinkOutcome {
+        if a == b {
+            return LinkOutcome::SelfLoop;
+        }
+        let ia = self.intern_as(a);
+        let ib = self.intern_as(b);
+        let (key, stored) = if ia < ib { ((ia, ib), rel) } else { ((ib, ia), rel.reverse()) };
+        match self.edges.get(&key) {
+            Some(&prev) if prev == stored => LinkOutcome::Duplicate,
+            Some(_) => LinkOutcome::Conflict,
+            None => {
+                self.edges.insert(key, stored);
+                LinkOutcome::Added
+            }
+        }
     }
 
     /// Convenience: declare a customer-provider link (`customer` pays
@@ -685,6 +732,26 @@ mod tests {
         b.provider_customer(AsId(2), AsId(3));
         b.provider_customer(AsId(3), AsId(1));
         assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn try_link_reports_outcomes_without_latching() {
+        let mut b = TopologyBuilder::new();
+        assert_eq!(b.try_link(AsId(1), AsId(2), Rel::Customer), LinkOutcome::Added);
+        // Same fact, same side.
+        assert_eq!(b.try_link(AsId(1), AsId(2), Rel::Customer), LinkOutcome::Duplicate);
+        // Same fact, other side (normalized before comparison).
+        assert_eq!(b.try_link(AsId(2), AsId(1), Rel::Provider), LinkOutcome::Duplicate);
+        // Different fact for the same pair.
+        assert_eq!(b.try_link(AsId(1), AsId(2), Rel::Peer), LinkOutcome::Conflict);
+        assert_eq!(b.try_link(AsId(3), AsId(3), Rel::Peer), LinkOutcome::SelfLoop);
+        // None of the above latched an error: the builder still builds,
+        // with only the one recorded edge (and interned endpoints).
+        let t = b.build().unwrap();
+        assert_eq!(t.num_edges(), 1);
+        assert_eq!(t.num_nodes(), 2, "self-loop endpoints are not interned");
+        let (a, c) = (t.node(AsId(1)).unwrap(), t.node(AsId(2)).unwrap());
+        assert_eq!(t.rel(a, c), Some(Rel::Customer));
     }
 
     #[test]

@@ -1,11 +1,21 @@
 //! (De)serialization of annotated AS graphs.
 //!
-//! Two formats:
+//! Three formats:
 //!
 //! * a line-oriented text format in the spirit of the CAIDA AS-relationship
 //!   files the measurement community uses (`<asn> <asn> <tag>` where the tag
-//!   says what the *second* AS is to the first), and
+//!   says what the *second* AS is to the first),
+//! * the real CAIDA/RouteViews `as1|as2|rel` format, via the allocation-free
+//!   streaming loader in [`stream`] (which also reads the format above), and
 //! * JSON via `serde`, used by the evaluation harness to cache datasets.
+//!
+//! [`from_text`] here is the strict whole-string parser: any self-loop or
+//! duplicate is a hard error, which is what generated fixtures deserve.
+//! [`stream::parse`] is the lenient, `BufRead`-based ingest path for
+//! multi-megabyte real-world snapshots; see the module docs for how the
+//! two differ.
+
+pub mod stream;
 
 use crate::graph::{AsId, Rel, Topology, TopologyBuilder, TopologyError};
 use serde::{Deserialize, Serialize};

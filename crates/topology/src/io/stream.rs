@@ -1,0 +1,516 @@
+//! Streaming ingest of real-world AS-relationship snapshots.
+//!
+//! [`from_text`](super::from_text) is fine for generated fixtures, but it
+//! wants the whole file in one `String` and allocates per line — at
+//! RouteViews scale (~70k ASes, ~350k edges, tens of MB of text) that is
+//! the wrong shape. This module parses from any [`BufRead`] line by line
+//! into a [`TopologyBuilder`] with **zero per-line allocation**: one
+//! reusable byte buffer, field splitting and integer parsing directly on
+//! `&[u8]`, and AS numbers remapped to dense node ids by the builder's
+//! single-pass interner as they are first seen.
+//!
+//! Two record formats are auto-detected per line:
+//!
+//! * the repo's whitespace format `<asn> <asn> <tag>` (tags as in
+//!   [`Rel::tag`]: `c`/`p`/`e`/`s`), and
+//! * the CAIDA AS-relationship format `<as1>|<as2>|<rel>` where `-1`
+//!   means *as1 is a provider of as2*, `0` means peering, and `1` means
+//!   sibling (the serial-2 files' trailing `|<source>` field is ignored).
+//!
+//! `#` comments and blank lines are skipped; CRLF line endings and a
+//! missing final newline are accepted. Real snapshots contain junk, so the
+//! parser is lenient where the strict loader is not: exact duplicate edges
+//! and self-loops are *counted and dropped* (see [`ParseStats`]) rather
+//! than rejected. A duplicate edge with a **conflicting** relationship is
+//! still an error — silently picking one annotation would corrupt every
+//! policy computation downstream.
+//!
+//! Errors carry the 1-based line number and the byte offset of the start
+//! of the offending line, so `dataset.txt:193417` style messages point at
+//! the actual record even in a 30 MB file.
+
+use super::TopologyDoc;
+use crate::graph::{AsId, LinkOutcome, Rel, Topology, TopologyBuilder, TopologyError};
+use serde::{Deserialize, Serialize};
+use std::io::BufRead;
+
+/// Summary counters for one streaming parse.
+#[derive(Serialize, Deserialize, Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ParseStats {
+    /// Total lines seen, including comments and blanks.
+    pub lines: usize,
+    /// Comment and blank lines skipped.
+    pub comments: usize,
+    /// Edge records accepted into the builder.
+    pub edges: usize,
+    /// Exact duplicate edge declarations dropped.
+    pub duplicate_edges: usize,
+    /// Self-loop records dropped.
+    pub self_loops: usize,
+    /// Distinct ASes interned.
+    pub nodes: usize,
+    /// Total bytes consumed from the reader.
+    pub bytes: u64,
+}
+
+/// Where and why a streaming parse failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending record (0 for end-of-input
+    /// conditions such as [`ErrorKind::Empty`]).
+    pub line: usize,
+    /// Byte offset of the start of that line.
+    pub offset: u64,
+    pub kind: ErrorKind,
+}
+
+/// The failure class of a [`ParseError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The line did not have the expected number of fields (covers a
+    /// truncated final record: `1 2` with the tag cut off).
+    BadLine,
+    /// An AS-number field was not a decimal number.
+    BadAsn,
+    /// An AS-number field was numeric but exceeds `u32::MAX`.
+    AsnOverflow,
+    /// Unknown single-letter relationship tag (whitespace format).
+    BadTag(char),
+    /// Unknown numeric relationship code (CAIDA format expects -1, 0, 1).
+    BadRel(i64),
+    /// The same AS pair was declared twice with different relationships.
+    ConflictingEdge(AsId, AsId),
+    /// No edge records at all (only comments/blanks, or nothing).
+    Empty,
+    /// The accumulated edge set failed topology validation.
+    Invalid(TopologyError),
+    /// The underlying reader failed.
+    Io(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let at = format_args!("line {} (byte {})", self.line, self.offset);
+        match &self.kind {
+            ErrorKind::BadLine => {
+                write!(f, "{at}: expected `<asn> <asn> <tag>` or `<as1>|<as2>|<rel>`")
+            }
+            ErrorKind::BadAsn => write!(f, "{at}: bad AS number"),
+            ErrorKind::AsnOverflow => write!(f, "{at}: AS number exceeds u32::MAX"),
+            ErrorKind::BadTag(c) => write!(f, "{at}: unknown relationship tag {c:?}"),
+            ErrorKind::BadRel(r) => {
+                write!(f, "{at}: unknown CAIDA relationship code {r} (expected -1, 0 or 1)")
+            }
+            ErrorKind::ConflictingEdge(a, b) => {
+                write!(f, "{at}: conflicting relationship redeclared for link {a}-{b}")
+            }
+            ErrorKind::Empty => write!(f, "no edge records in input"),
+            ErrorKind::Invalid(e) => write!(f, "invalid topology: {e}"),
+            ErrorKind::Io(e) => write!(f, "{at}: read error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// The JSON cache `miro ingest` writes and `miro-eval --cache` loads:
+/// the parsed topology plus enough provenance to label result tables.
+#[derive(Serialize, Deserialize, Clone, Debug)]
+pub struct IngestCache {
+    /// Dataset label (defaults to the source file name).
+    pub name: String,
+    /// Where the snapshot came from.
+    pub source: String,
+    /// Parse counters recorded at ingest time.
+    pub stats: ParseStats,
+    /// The annotated graph itself.
+    pub topology: TopologyDoc,
+}
+
+/// Parse a snapshot from any buffered reader. Returns the validated
+/// topology plus the [`ParseStats`] counters.
+///
+/// The hot loop reuses one line buffer and parses fields straight from the
+/// bytes — no per-line `String`s, no `split_whitespace` collect. An input
+/// with no edge records at all yields [`ErrorKind::Empty`]: ingesting an
+/// empty snapshot is always a mistake, and catching it here beats
+/// reporting "0 routes reachable" three experiment stages later.
+pub fn parse<R: BufRead>(mut reader: R) -> Result<(Topology, ParseStats), ParseError> {
+    let mut b = TopologyBuilder::new();
+    let mut stats = ParseStats::default();
+    let mut buf: Vec<u8> = Vec::with_capacity(256);
+    let mut offset = 0u64;
+    let mut lineno = 0usize;
+    loop {
+        buf.clear();
+        let line_start = offset;
+        let n = reader.read_until(b'\n', &mut buf).map_err(|e| ParseError {
+            line: lineno + 1,
+            offset: line_start,
+            kind: ErrorKind::Io(e.to_string()),
+        })?;
+        if n == 0 {
+            break;
+        }
+        offset += n as u64;
+        lineno += 1;
+        stats.lines += 1;
+        // Strip the newline and any CRLF carriage return.
+        let mut line: &[u8] = &buf;
+        if line.last() == Some(&b'\n') {
+            line = &line[..line.len() - 1];
+        }
+        if line.last() == Some(&b'\r') {
+            line = &line[..line.len() - 1];
+        }
+        let line = trim_ascii(line);
+        if line.is_empty() || line[0] == b'#' {
+            stats.comments += 1;
+            continue;
+        }
+        let err = |kind| ParseError { line: lineno, offset: line_start, kind };
+        let (a, c, rel) = if line.contains(&b'|') {
+            parse_caida(line).map_err(err)?
+        } else {
+            parse_whitespace(line).map_err(err)?
+        };
+        match b.try_link(AsId(a), AsId(c), rel) {
+            LinkOutcome::Added => stats.edges += 1,
+            LinkOutcome::Duplicate => stats.duplicate_edges += 1,
+            LinkOutcome::SelfLoop => stats.self_loops += 1,
+            LinkOutcome::Conflict => {
+                return Err(err(ErrorKind::ConflictingEdge(AsId(a.min(c)), AsId(a.max(c)))))
+            }
+        }
+    }
+    stats.bytes = offset;
+    if stats.edges == 0 && stats.self_loops == 0 && stats.duplicate_edges == 0 {
+        return Err(ParseError { line: 0, offset, kind: ErrorKind::Empty });
+    }
+    let topo = b.build().map_err(|e| ParseError {
+        line: 0,
+        offset,
+        kind: ErrorKind::Invalid(e),
+    })?;
+    stats.nodes = topo.num_nodes();
+    Ok((topo, stats))
+}
+
+/// Convenience wrapper for in-memory text (tests, proptests).
+pub fn parse_str(text: &str) -> Result<(Topology, ParseStats), ParseError> {
+    parse(std::io::Cursor::new(text.as_bytes()))
+}
+
+/// One whitespace-format record: `<asn> <asn> <tag>`.
+fn parse_whitespace(line: &[u8]) -> Result<(u32, u32, Rel), ErrorKind> {
+    let mut fields = Fields::new(line, |b| b == b' ' || b == b'\t');
+    let (Some(fa), Some(fc), Some(ft)) = (fields.next(), fields.next(), fields.next()) else {
+        return Err(ErrorKind::BadLine);
+    };
+    if fields.next().is_some() {
+        return Err(ErrorKind::BadLine);
+    }
+    let a = parse_u32(fa)?;
+    let c = parse_u32(fc)?;
+    if ft.len() != 1 {
+        return Err(ErrorKind::BadTag(first_char(ft)));
+    }
+    let rel = Rel::from_tag(ft[0] as char).ok_or(ErrorKind::BadTag(ft[0] as char))?;
+    Ok((a, c, rel))
+}
+
+/// One CAIDA record: `<as1>|<as2>|<rel>[|<source>]` — the relationship
+/// code is what *as2 is to as1* after mapping: -1 provider→customer,
+/// 0 peer, 1 sibling.
+fn parse_caida(line: &[u8]) -> Result<(u32, u32, Rel), ErrorKind> {
+    let mut fields = Fields::new(line, |b| b == b'|');
+    let (Some(fa), Some(fc), Some(fr)) = (fields.next(), fields.next(), fields.next()) else {
+        return Err(ErrorKind::BadLine);
+    };
+    // serial-2 files append `|<source>` (e.g. `|bgp`); ignore one trailing
+    // field, reject anything beyond that.
+    let _source = fields.next();
+    if fields.next().is_some() {
+        return Err(ErrorKind::BadLine);
+    }
+    let a = parse_u32(trim_ascii(fa))?;
+    let c = parse_u32(trim_ascii(fc))?;
+    let rel = match parse_i64(trim_ascii(fr))? {
+        // as1 is a provider of as2: as2 is as1's customer.
+        -1 => Rel::Customer,
+        0 => Rel::Peer,
+        1 => Rel::Sibling,
+        other => return Err(ErrorKind::BadRel(other)),
+    };
+    Ok((a, c, rel))
+}
+
+/// Split on a delimiter predicate, skipping empty fields for whitespace
+/// runs but preserving them for `|` (an empty `||` field is bad input).
+struct Fields<'a, F: Fn(u8) -> bool> {
+    rest: &'a [u8],
+    is_delim: F,
+    skip_empty: bool,
+    done: bool,
+}
+
+impl<'a, F: Fn(u8) -> bool> Fields<'a, F> {
+    fn new(line: &'a [u8], is_delim: F) -> Self {
+        // Whitespace splitting collapses runs; `|` splitting must not.
+        let skip_empty = is_delim(b' ');
+        Fields { rest: line, is_delim, skip_empty, done: false }
+    }
+}
+
+impl<'a, F: Fn(u8) -> bool> Iterator for Fields<'a, F> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        if self.skip_empty {
+            while let Some(&b) = self.rest.first() {
+                if (self.is_delim)(b) {
+                    self.rest = &self.rest[1..];
+                } else {
+                    break;
+                }
+            }
+            if self.rest.is_empty() {
+                return None;
+            }
+        } else if self.done {
+            return None;
+        }
+        let end = self
+            .rest
+            .iter()
+            .position(|&b| (self.is_delim)(b))
+            .unwrap_or(self.rest.len());
+        let field = &self.rest[..end];
+        if end < self.rest.len() {
+            self.rest = &self.rest[end + 1..];
+        } else {
+            self.rest = &[];
+            self.done = true;
+        }
+        Some(field)
+    }
+}
+
+fn trim_ascii(mut s: &[u8]) -> &[u8] {
+    while let Some(&b) = s.first() {
+        if b.is_ascii_whitespace() {
+            s = &s[1..];
+        } else {
+            break;
+        }
+    }
+    while let Some(&b) = s.last() {
+        if b.is_ascii_whitespace() {
+            s = &s[..s.len() - 1];
+        } else {
+            break;
+        }
+    }
+    s
+}
+
+/// Decimal `u32` from bytes, distinguishing "not a number" from
+/// "a number too large for an AS number".
+fn parse_u32(s: &[u8]) -> Result<u32, ErrorKind> {
+    if s.is_empty() {
+        return Err(ErrorKind::BadAsn);
+    }
+    let mut v: u64 = 0;
+    for &b in s {
+        if !b.is_ascii_digit() {
+            return Err(ErrorKind::BadAsn);
+        }
+        v = v * 10 + (b - b'0') as u64;
+        if v > u32::MAX as u64 {
+            // Keep consuming digits? No — the verdict cannot change.
+            return Err(ErrorKind::AsnOverflow);
+        }
+    }
+    Ok(v as u32)
+}
+
+/// Decimal `i64` (optional leading `-`) for the CAIDA relationship code.
+fn parse_i64(s: &[u8]) -> Result<i64, ErrorKind> {
+    let (neg, digits) = match s.first() {
+        Some(&b'-') => (true, &s[1..]),
+        _ => (false, s),
+    };
+    if digits.is_empty() || digits.len() > 18 {
+        return Err(ErrorKind::BadLine);
+    }
+    let mut v: i64 = 0;
+    for &b in digits {
+        if !b.is_ascii_digit() {
+            return Err(ErrorKind::BadLine);
+        }
+        v = v * 10 + (b - b'0') as i64;
+    }
+    Ok(if neg { -v } else { v })
+}
+
+fn first_char(s: &[u8]) -> char {
+    s.first().map(|&b| b as char).unwrap_or('?')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::GenParams;
+    use crate::io::to_text;
+
+    #[test]
+    fn parses_whitespace_format_like_from_text() {
+        let t = GenParams::tiny(5).generate();
+        let text = to_text(&t);
+        let (u, stats) = parse_str(&text).unwrap();
+        assert_eq!(to_text(&u), text);
+        assert_eq!(stats.edges, t.num_edges());
+        assert_eq!(stats.nodes, t.num_nodes());
+        assert_eq!(stats.duplicate_edges, 0);
+        assert_eq!(stats.bytes, text.len() as u64);
+    }
+
+    #[test]
+    fn parses_caida_format() {
+        // 701 provides 88 and 99; 701-1239 peer; 88-99 siblings.
+        let text = "# CAIDA-ish header\n701|88|-1\n701|99|-1\n701|1239|0\n88|99|1\n";
+        let (t, stats) = parse_str(text).unwrap();
+        assert_eq!(stats.edges, 4);
+        assert_eq!(stats.comments, 1);
+        let n = |a: u32| t.node(AsId(a)).unwrap();
+        assert_eq!(t.rel(n(88), n(701)), Some(Rel::Provider));
+        assert_eq!(t.rel(n(701), n(1239)), Some(Rel::Peer));
+        assert_eq!(t.rel(n(88), n(99)), Some(Rel::Sibling));
+    }
+
+    #[test]
+    fn caida_serial2_source_field_is_ignored() {
+        let (t, _) = parse_str("1|2|-1|bgp\n1|3|0|mlp\n").unwrap();
+        assert_eq!(t.num_edges(), 2);
+        // ... but a fifth field is still garbage.
+        let err = parse_str("1|2|-1|bgp|x\n").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::BadLine);
+    }
+
+    #[test]
+    fn mixed_formats_in_one_file() {
+        let (t, _) = parse_str("1 2 c\n1|3|0\n").unwrap();
+        assert_eq!(t.num_edges(), 2);
+    }
+
+    #[test]
+    fn duplicates_and_self_loops_are_counted_and_dropped() {
+        let text = "1 2 c\n1 2 c\n2 1 p\n3 3 e\n1 4 e\n";
+        let (t, stats) = parse_str(text).unwrap();
+        assert_eq!(t.num_edges(), 2);
+        assert_eq!(stats.duplicate_edges, 2, "both restatements counted");
+        assert_eq!(stats.self_loops, 1);
+        assert!(t.node(AsId(3)).is_none(), "self-loop endpoints are not interned");
+    }
+
+    #[test]
+    fn missing_final_newline_is_fine() {
+        let (t, stats) = parse_str("1 2 c\n3 4 e").unwrap();
+        assert_eq!(t.num_edges(), 2);
+        assert_eq!(stats.lines, 2);
+    }
+
+    // --- the malformed-input matrix -------------------------------------
+
+    #[test]
+    fn truncated_last_line_reports_bad_line_with_location() {
+        // The tag of the final record was cut off mid-write.
+        let err = parse_str("1 2 c\n3 4").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::BadLine);
+        assert_eq!(err.line, 2);
+        assert_eq!(err.offset, 6, "second line starts at byte 6");
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "{msg}");
+        assert!(msg.contains("byte 6"), "{msg}");
+    }
+
+    #[test]
+    fn crlf_endings_parse_cleanly() {
+        let (t, stats) = parse_str("# dos file\r\n1 2 c\r\n3|4|0\r\n").unwrap();
+        assert_eq!(t.num_edges(), 2);
+        assert_eq!(stats.comments, 1);
+        // A lone CR must not leak into the tag field.
+        assert_eq!(t.rel(t.node(AsId(1)).unwrap(), t.node(AsId(2)).unwrap()), Some(Rel::Customer));
+    }
+
+    #[test]
+    fn conflicting_duplicate_is_an_error_at_the_offending_line() {
+        let err = parse_str("1 2 c\n5 6 e\n2 1 c\n").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::ConflictingEdge(AsId(1), AsId(2)));
+        assert_eq!(err.line, 3);
+        assert_eq!(err.offset, 12);
+        // CAIDA-format conflicts too.
+        let err = parse_str("1|2|-1\n1|2|0\n").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::ConflictingEdge(AsId(1), AsId(2)));
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn asn_beyond_u32_reports_overflow_not_bad_asn() {
+        // 4294967296 == u32::MAX + 1.
+        let err = parse_str("4294967296 2 c\n").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::AsnOverflow);
+        assert_eq!(err.line, 1);
+        // ... while u32::MAX itself is a legal (if reserved) AS number.
+        let (t, _) = parse_str("4294967295 2 c\n").unwrap();
+        assert!(t.node(AsId(u32::MAX)).is_some());
+        // Non-numeric stays BadAsn.
+        let err = parse_str("banana 2 c\n").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::BadAsn);
+        // CAIDA side of the same distinction.
+        let err = parse_str("4294967296|2|-1\n").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::AsnOverflow);
+    }
+
+    #[test]
+    fn empty_inputs_report_empty() {
+        for text in ["", "\n\n", "# only comments\n# here\n", "   \n"] {
+            let err = parse_str(text).unwrap_err();
+            assert_eq!(err.kind, ErrorKind::Empty, "input {text:?}");
+            assert_eq!(err.line, 0);
+        }
+    }
+
+    #[test]
+    fn bad_tags_and_rels_are_distinct_errors() {
+        let err = parse_str("1 2 z\n").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::BadTag('z'));
+        let err = parse_str("1 2 cc\n").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::BadTag('c'));
+        let err = parse_str("1|2|7\n").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::BadRel(7));
+        let err = parse_str("1|2|-2\n").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::BadRel(-2));
+        let err = parse_str("1||-1\n").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::BadAsn, "empty CAIDA field");
+        let err = parse_str("1 2 c d\n").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::BadLine, "too many fields");
+    }
+
+    #[test]
+    fn ingest_cache_round_trips_through_json() {
+        let (t, stats) = parse_str("1 2 c\n2 3 e\n").unwrap();
+        let cache = IngestCache {
+            name: "sample".to_string(),
+            source: "unit test".to_string(),
+            stats,
+            topology: TopologyDoc::of(&t),
+        };
+        let json = serde_json::to_string(&cache).unwrap();
+        let back: IngestCache = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.name, "sample");
+        assert_eq!(back.stats, stats);
+        let u = back.topology.build().unwrap();
+        assert_eq!(to_text(&t), to_text(&u));
+    }
+}

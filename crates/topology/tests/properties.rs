@@ -1,8 +1,31 @@
 //! Property-based tests for the topology substrate.
 
-use miro_topology::io::{from_text, to_text, TopologyDoc};
+use miro_topology::io::{from_text, stream, to_text, TopologyDoc};
 use miro_topology::{is_valley_free, AsId, GenParams, Rel, Topology, TopologyBuilder};
 use proptest::prelude::*;
+
+/// Render a topology in the CAIDA `as1|as2|rel` format. The builder's
+/// `link(a, b, rel)` convention says `rel` is what *b is to a*, so a
+/// `Customer` annotation maps to `a|b|-1` (a provides b) and a
+/// `Provider` annotation flips the endpoints.
+fn to_caida_text(t: &Topology) -> String {
+    let mut lines: Vec<String> = Vec::with_capacity(t.num_edges());
+    for x in t.nodes() {
+        for &(y, rel) in t.neighbors(x) {
+            let (ax, ay) = (t.asn(x).0, t.asn(y).0);
+            if ax < ay {
+                lines.push(match rel {
+                    Rel::Customer => format!("{ax}|{ay}|-1"),
+                    Rel::Provider => format!("{ay}|{ax}|-1"),
+                    Rel::Peer => format!("{ax}|{ay}|0"),
+                    Rel::Sibling => format!("{ax}|{ay}|1"),
+                });
+            }
+        }
+    }
+    lines.sort();
+    lines.join("\n")
+}
 
 /// Strategy: an arbitrary valid annotated topology (connected not
 /// required) over up to 24 ASes with consistent reciprocal relationships
@@ -54,6 +77,46 @@ proptest! {
         let u = doc2.build().expect("valid");
         prop_assert_eq!(t.num_nodes(), u.num_nodes());
         prop_assert_eq!(to_text(&t), to_text(&u));
+    }
+
+    /// The streaming parser agrees with the strict whole-string parser on
+    /// every valid serialized topology (the zero-edge case is the one
+    /// documented divergence: `stream::parse` refuses empty inputs).
+    #[test]
+    fn stream_parse_agrees_with_from_text(t in arb_topology()) {
+        let text = to_text(&t);
+        match stream::parse_str(&text) {
+            Ok((u, stats)) => {
+                let v = from_text(&text).expect("strict parser accepts its own format");
+                prop_assert_eq!(to_text(&u), to_text(&v));
+                prop_assert_eq!(u.num_nodes(), v.num_nodes());
+                prop_assert_eq!(stats.edges, t.num_edges());
+                prop_assert_eq!(stats.duplicate_edges, 0);
+                prop_assert_eq!(stats.self_loops, 0);
+                prop_assert_eq!(stats.bytes as usize, text.len());
+            }
+            Err(e) => {
+                prop_assert_eq!(t.num_edges(), 0, "only empty inputs may fail: {}", e);
+                prop_assert_eq!(e.kind, stream::ErrorKind::Empty);
+            }
+        }
+    }
+
+    /// The CAIDA rendering of any topology parses back to the same graph,
+    /// and doubling every record changes nothing but the duplicate count.
+    #[test]
+    fn caida_format_round_trips_and_dedups(t in arb_topology()) {
+        let caida = to_caida_text(&t);
+        if t.num_edges() == 0 { return Ok(()); }
+        let (u, stats) = stream::parse_str(&caida).expect("caida rendering parses");
+        prop_assert_eq!(to_text(&u), to_text(&t));
+        prop_assert_eq!(stats.edges, t.num_edges());
+
+        let doubled: String = caida.lines().flat_map(|l| [l, "\n", l, "\n"]).collect();
+        let (w, stats2) = stream::parse_str(&doubled).expect("doubled records parse");
+        prop_assert_eq!(to_text(&w), to_text(&t));
+        prop_assert_eq!(stats2.edges, t.num_edges());
+        prop_assert_eq!(stats2.duplicate_edges, t.num_edges());
     }
 
     /// Reciprocity: rel(a, b) is always the reverse of rel(b, a).

@@ -31,7 +31,7 @@ fn table5_2_default_scale_matches_experiments_md() {
     for (preset, single, s, e, a, source) in expected {
         let ds = Dataset::build(preset, &cfg);
         let probes = sample_probes(&ds, &cfg);
-        let row = table5_2_row(ds.preset.name(), &probes);
+        let row = table5_2_row(ds.name(), &probes);
         let close = |got: f64, want: f64| (got - want).abs() <= 3.0;
         assert!(close(row.single_pct, single), "{preset:?} single: {row:?}");
         assert!(close(row.multi_s_pct, s), "{preset:?} /s: {row:?}");

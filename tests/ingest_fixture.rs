@@ -1,0 +1,77 @@
+//! Golden-fixture test for the streaming ingest path.
+//!
+//! `data/caida_sample.txt` is a hand-written snapshot in the real CAIDA
+//! `as1|as2|rel` grammar (see its header for provenance). This test pins
+//! the parse down to exact counters, checks the graph's shape, and runs
+//! the paper's measurement pipeline over it: solver paths in, Gao and
+//! Agarwal relationship inference out, both agreeing with the fixture's
+//! ground-truth annotations.
+
+use miro_bgp::solver::as_paths_to;
+use miro_topology::infer::{agarwal_infer, agreement, gao_infer, AgarwalParams, GaoParams};
+use miro_topology::io::stream;
+use miro_topology::stats::link_census;
+use miro_topology::{AsId, Topology};
+use std::io::BufReader;
+
+const FIXTURE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/data/caida_sample.txt");
+
+fn load() -> (Topology, stream::ParseStats) {
+    let f = std::fs::File::open(FIXTURE).expect("fixture present");
+    stream::parse(BufReader::new(f)).expect("fixture parses")
+}
+
+#[test]
+fn fixture_parses_with_exact_counters() {
+    let (topo, stats) = load();
+    assert_eq!(stats.edges, 23, "distinct links");
+    assert_eq!(stats.duplicate_edges, 1, "the planted duplicate");
+    assert_eq!(stats.self_loops, 1, "the planted self-loop");
+    assert_eq!(stats.nodes, 16);
+    // Every non-comment line is one of the records above.
+    assert_eq!(stats.lines, stats.comments + 23 + 1 + 1);
+    assert_eq!(topo.num_nodes(), 16);
+    assert_eq!(topo.num_edges(), 23);
+    // The self-loop's AS never enters the graph.
+    assert!(topo.node(AsId(7)).is_none(), "self-loop endpoint must not be interned");
+}
+
+#[test]
+fn fixture_census_and_degrees_match_the_header() {
+    let (topo, _) = load();
+    let census = link_census(&topo);
+    assert_eq!(census.pc_links, 18);
+    assert_eq!(census.peering_links, 4);
+    assert_eq!(census.sibling_links, 1);
+    assert_eq!(census.stubs, 8);
+    assert_eq!(census.multihomed_stubs, 2);
+    let deg = |asn: u32| topo.neighbors(topo.node(AsId(asn)).expect("present")).len();
+    assert_eq!(deg(10), 6, "AS 10: two providers, a peer, a sibling, two customers");
+    assert_eq!(deg(20), 6);
+    let max_deg = topo.nodes().map(|x| topo.neighbors(x).len()).max().unwrap();
+    assert_eq!(max_deg, 6);
+    assert_eq!(deg(400), 1, "singly-homed stub");
+    // The hierarchy is a DAG — providers can be topologically ordered.
+    assert!(topo.customer_to_provider_order().is_some());
+}
+
+#[test]
+fn fixture_supports_the_inference_pipeline() {
+    let (truth, _) = load();
+    let dests: Vec<_> = truth.nodes().collect();
+    let paths = as_paths_to(&truth, &dests);
+    assert!(paths.len() >= 16 * 15 / 2, "paths from every vantage: {}", paths.len());
+    let gao = gao_infer(&paths, GaoParams::default());
+    let aga = agarwal_infer(&paths, AgarwalParams::default());
+    // The pipeline is deterministic, so these pin today's exact scores
+    // (0.565 / 0.652 / 0.652) with a little slack. Gao's degree-ratio
+    // heuristics are tuned for Internet-sized graphs, so its agreement
+    // on a 16-node fixture sits well below the ~0.8 it reaches at scale.
+    let gao_acc = agreement(&truth, &gao);
+    let aga_acc = agreement(&truth, &aga);
+    assert!(gao_acc > 0.55, "Gao agreement on the fixture: {gao_acc}");
+    assert!(aga_acc > 0.6, "Agarwal agreement on the fixture: {aga_acc}");
+    // The two algorithms broadly agree with each other as well.
+    let cross = agreement(&gao, &aga);
+    assert!(cross > 0.6, "Gao vs Agarwal cross-agreement: {cross}");
+}

@@ -38,7 +38,7 @@ fn table5_2_shape_on_all_datasets() {
         let ds = Dataset::build(preset, &cfg);
         let probes = sample_probes(&ds, &cfg);
         assert!(probes.len() > 150, "{preset:?}: {} triples", probes.len());
-        let row = table5_2_row(ds.preset.name(), &probes);
+        let row = table5_2_row(ds.name(), &probes);
         assert!(row.single_pct < row.multi_s_pct, "{row:?}");
         assert!(row.multi_s_pct <= row.multi_e_pct + 1e-9, "{row:?}");
         assert!(row.multi_e_pct <= row.multi_a_pct + 1e-9, "{row:?}");

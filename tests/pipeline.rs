@@ -136,6 +136,55 @@ fn failure_reconvergence_matches_fresh_solve() {
     }
 }
 
+/// The full ingest pipeline, end to end: a CAIDA-format snapshot on disk
+/// -> `miro ingest` (the actual CLI entry point) -> JSON cache ->
+/// `miro-eval`'s dataset loader -> a whole-network what-if solve over
+/// the loaded graph.
+#[test]
+fn ingest_cache_feeds_the_eval_pipeline() {
+    let fixture = concat!(env!("CARGO_MANIFEST_DIR"), "/data/caida_sample.txt");
+    let cache = std::env::temp_dir().join("miro_pipeline_ingest.cache.json");
+    let report = miro_cli::ingest::run(&[
+        fixture.to_string(),
+        "--out".into(),
+        cache.display().to_string(),
+        "--name".into(),
+        "caida-sample".into(),
+    ])
+    .expect("ingest succeeds");
+    assert!(report.contains("accepted 23 edges over 16 ASes"), "{report}");
+
+    let ds = miro_eval::datasets::Dataset::load_cache(&cache.display().to_string())
+        .expect("cache loads");
+    assert_eq!(ds.name(), "caida-sample");
+    assert_eq!(ds.census.nodes, 16);
+    assert_eq!(ds.census.edges, 23);
+
+    // One solve per destination through the parallel what-if engine; for
+    // each, knock out the destination's first tree link and confirm the
+    // delta answer matches a full masked re-solve.
+    let topo = &ds.topo;
+    let dests: Vec<_> = topo.nodes().collect();
+    let checks = miro_bgp::engine::par_over_dests_whatif(topo, &dests, 2, |d, wi| {
+        let reachable = wi.base().reachable_count();
+        let Some((v, next)) = topo
+            .nodes()
+            .filter(|&v| v != d)
+            .find_map(|v| wi.base().best(v).map(|r| (v, r.next)))
+        else {
+            return (reachable, true);
+        };
+        let delta_best = wi.without_link(v, next, |st| st.best(v));
+        let full = RoutingState::solve_without_link(topo, d, v, next);
+        (reachable, delta_best == full.best(v))
+    });
+    assert_eq!(checks.len(), 16);
+    for (reachable, delta_ok) in checks {
+        assert_eq!(reachable, 16, "the fixture is connected");
+        assert!(delta_ok, "what-if delta must match the masked re-solve");
+    }
+}
+
 /// `solve_without_link` agrees with a fresh solve on the edited topology
 /// for every link incident to sampled destinations — the cheap what-if
 /// the control plane uses on withdrawals.
