@@ -38,7 +38,7 @@ fn bench_table5_2(c: &mut Criterion) {
     c.bench_function("table5_2/probe_and_rate", |b| {
         b.iter(|| {
             let probes = sample_probes(black_box(&ds), &cfg);
-            black_box(table5_2_row(ds.preset.name(), &probes))
+            black_box(table5_2_row(ds.name(), &probes))
         })
     });
 }

@@ -87,6 +87,22 @@ impl<'s, 't> WhatIf<'s, 't> {
     }
 }
 
+/// Partition `num_dests` destinations into fixed-size contiguous blocks:
+/// the dispatch unit of the sharded whole-table service (`miro
+/// shard-solve`). Block `b` covers destination indices
+/// `b*block_size .. min((b+1)*block_size, num_dests)`; the final block may
+/// be short. Both the coordinator and its workers derive block extents
+/// from this one function, so an `(block_id, start, len)` assignment means
+/// the same destinations on both sides of the protocol.
+pub fn dest_blocks(
+    num_dests: usize,
+    block_size: usize,
+) -> impl ExactSizeIterator<Item = std::ops::Range<usize>> {
+    let bs = block_size.max(1);
+    let blocks = num_dests.div_ceil(bs);
+    (0..blocks).map(move |b| (b * bs)..((b + 1) * bs).min(num_dests))
+}
+
 /// Solve each destination's routing state and map `f` over them; results
 /// come back in destination order regardless of thread count or schedule.
 pub fn par_over_dests<T, F>(topo: &Topology, dests: &[NodeId], threads: usize, f: F) -> Vec<T>
@@ -206,6 +222,21 @@ mod tests {
         for (i, &(d, _)) in out.iter().enumerate() {
             assert_eq!(d, dests[i]);
         }
+    }
+
+    #[test]
+    fn dest_blocks_tile_the_destination_space() {
+        for (n, bs) in [(0usize, 4usize), (1, 4), (4, 4), (5, 4), (12, 1), (7, 100)] {
+            let blocks: Vec<_> = dest_blocks(n, bs).collect();
+            assert_eq!(blocks.len(), n.div_ceil(bs.max(1)), "n={n} bs={bs}");
+            let flat: Vec<usize> = blocks.iter().cloned().flatten().collect();
+            assert_eq!(flat, (0..n).collect::<Vec<_>>(), "n={n} bs={bs}");
+            for r in &blocks[..blocks.len().saturating_sub(1)] {
+                assert_eq!(r.len(), bs, "only the last block may be short");
+            }
+        }
+        // A zero block size is clamped, not a divide-by-zero.
+        assert_eq!(dest_blocks(3, 0).count(), 3);
     }
 
     #[test]

@@ -61,6 +61,24 @@ pub struct BestRoute {
 /// go through the generation stamp).
 const UNROUTED: BestRoute = BestRoute { class: RouteClass::Customer, len: 0, next: 0 };
 
+/// Next-hop sentinel for an unrouted AS in an extracted route-table row.
+pub const UNROUTED_NEXT: u32 = u32::MAX;
+/// Hop-count sentinel for an unrouted AS in an extracted route-table row.
+pub const UNROUTED_HOPS: u16 = u16::MAX;
+/// Class-code sentinel for an unrouted AS in an extracted route-table row.
+pub const UNROUTED_CLASS: u8 = 0xFF;
+
+/// Stable single-byte encoding of a [`RouteClass`] for binary route
+/// tables. The codes are part of the `RouteTableSet` on-disk format —
+/// do not renumber without bumping that format's version.
+pub fn route_class_code(c: RouteClass) -> u8 {
+    match c {
+        RouteClass::Customer => 0,
+        RouteClass::Peer => 1,
+        RouteClass::Provider => 2,
+    }
+}
+
 /// Reusable per-thread solve arena.
 ///
 /// Holds the routing table, its generation stamps, the bucket queue, and
@@ -605,6 +623,35 @@ impl<'t> RoutingState<'t> {
         self.stamp.iter().filter(|&&s| s == self.gen).count()
     }
 
+    /// Extract this solve as one route-table row: for every AS `x`, its
+    /// next hop, business class code ([`route_class_code`]), and AS-hop
+    /// count toward the destination. Unrouted ASes get the `UNROUTED_*`
+    /// sentinels. The three slices must each hold `num_nodes` entries;
+    /// sharded whole-table solves (`miro shard-solve`) call this per
+    /// destination to fill the columnar [`RouteTableSet`] blocks.
+    ///
+    /// [`RouteTableSet`]: https://docs.rs/miro-shard
+    pub fn write_table_row(&self, next: &mut [u32], hops: &mut [u16], class: &mut [u8]) {
+        let n = self.topo.num_nodes();
+        assert_eq!(next.len(), n, "next column sized to the topology");
+        assert_eq!(hops.len(), n, "hops column sized to the topology");
+        assert_eq!(class.len(), n, "class column sized to the topology");
+        for x in 0..n {
+            match self.best(x as NodeId) {
+                Some(b) => {
+                    next[x] = b.next;
+                    hops[x] = b.len;
+                    class[x] = route_class_code(b.class);
+                }
+                None => {
+                    next[x] = UNROUTED_NEXT;
+                    hops[x] = UNROUTED_HOPS;
+                    class[x] = UNROUTED_CLASS;
+                }
+            }
+        }
+    }
+
     /// Incremental what-if: view this state as if the link between `a`
     /// and `b` had failed, recomputing only the routing subtree that
     /// hung off the dead link (the *cone*) plus the downstream nodes its
@@ -1117,6 +1164,35 @@ mod tests {
         // length; tie-break by lower AS number (B=AS2 < D=AS4).
         assert_eq!(st.path(a), Some(vec![b, e, f]));
         assert_eq!(st.reachable_count(), 6);
+    }
+
+    #[test]
+    fn table_row_extraction_matches_best() {
+        let t = GenParams::tiny(23).generate();
+        let n = t.num_nodes();
+        let d = t.nodes().nth(5).unwrap();
+        // A masked solve so at least some ASes can be unrouted.
+        let victim = t.nodes().find(|&v| v != d).unwrap();
+        let hop = RoutingState::solve(&t, d).best(victim).unwrap().next;
+        let st = RoutingState::solve_without_link(&t, d, victim, hop);
+        let (mut next, mut hops, mut class) = (vec![0u32; n], vec![0u16; n], vec![0u8; n]);
+        st.write_table_row(&mut next, &mut hops, &mut class);
+        for x in t.nodes() {
+            match st.best(x) {
+                Some(b) => {
+                    assert_eq!(next[x as usize], b.next);
+                    assert_eq!(hops[x as usize], b.len);
+                    assert_eq!(class[x as usize], route_class_code(b.class));
+                }
+                None => {
+                    assert_eq!(next[x as usize], UNROUTED_NEXT);
+                    assert_eq!(hops[x as usize], UNROUTED_HOPS);
+                    assert_eq!(class[x as usize], UNROUTED_CLASS);
+                }
+            }
+        }
+        assert_eq!(next[d as usize], d, "destination points at itself");
+        assert_eq!(hops[d as usize], 0);
     }
 
     #[test]

@@ -39,6 +39,7 @@ use std::time::{Duration, Instant};
 /// RouteViews-shaped 70k-AS graph and is run on demand (`--scale
 /// internet`), not as part of `all` — a whole-network bucket sweep over
 /// 70k destinations is minutes of work, not CI material.
+#[derive(Debug)]
 struct Scale {
     name: &'static str,
     preset: DatasetPreset,
@@ -148,6 +149,26 @@ impl DeltaRow {
     }
 }
 
+/// The sharded whole-table suite result for one scale (only with
+/// `--shard-workers N`, which needs the real `miro` binary on argv[0]
+/// so workers can be spawned — the default 0 skips it).
+struct ShardRow {
+    name: &'static str,
+    workers: usize,
+    dests: usize,
+    blocks: usize,
+    deaths: usize,
+    sharded: Duration,
+    single: Duration,
+    bytes: usize,
+}
+
+impl ShardRow {
+    fn speedup(&self) -> f64 {
+        self.single.as_secs_f64() / self.sharded.as_secs_f64().max(1e-12)
+    }
+}
+
 /// Hard cap on `--threads`: beyond this the run is certainly a typo, and
 /// `std::thread::scope` would happily spawn them all.
 const MAX_THREADS: usize = 1024;
@@ -160,6 +181,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
     let mut threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut out_path = "BENCH_solver.json".to_string();
     let mut check_delta: Option<f64> = None;
+    let mut shard_workers = 0usize;
     let mut list = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -179,6 +201,11 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 check_delta = Some(val("--check-delta-speedup")?.parse().map_err(|_| {
                     "--check-delta-speedup needs a number".to_string()
                 })?);
+            }
+            "--shard-workers" => {
+                shard_workers = val("--shard-workers")?
+                    .parse()
+                    .map_err(|_| "--shard-workers needs a number".to_string())?;
             }
             other => return Err(format!("unknown option {other:?}")),
         }
@@ -207,24 +234,12 @@ pub fn run(args: &[String]) -> Result<String, String> {
         return Ok(out);
     }
 
-    // `--scale` accepts a comma-separated list; `all` expands to the
-    // CI-sized scales, so `--scale all,internet` records everything.
-    let mut selected: Vec<&Scale> = Vec::new();
-    for part in scale.split(',') {
-        if part == "all" {
-            selected.extend(SCALES.iter().filter(|sc| sc.in_all));
-        } else {
-            let found = SCALES.iter().find(|sc| sc.name == part);
-            selected.push(found.ok_or_else(|| {
-                let names: Vec<&str> = SCALES.iter().map(|sc| sc.name).collect();
-                format!("unknown scale {part:?} (expected all|{})", names.join("|"))
-            })?);
-        }
-    }
+    let selected = select_scales(&scale)?;
 
     let mut report = format!("bench-solver: whole-network solves, {threads} thread(s)\n");
     let mut rows = Vec::new();
     let mut delta_rows = Vec::new();
+    let mut shard_rows = Vec::new();
     for sc in selected {
         let topo = sc.preset.params(sc.factor, SEED).generate();
         let dests: Vec<NodeId> = topo.nodes().collect();
@@ -272,9 +287,26 @@ pub fn run(args: &[String]) -> Result<String, String> {
             drow.mean_cone(),
         );
         delta_rows.push(drow);
+
+        if shard_workers > 0 {
+            let srow = time_shard_suite(sc, &topo, shard_workers, threads)?;
+            let _ = writeln!(
+                report,
+                "  {:<8} shard: {} dests / {} blocks over {} workers | sharded {:>9.2} ms | single {:>9.2} ms | {:.2}x | deaths {}",
+                srow.name,
+                srow.dests,
+                srow.blocks,
+                srow.workers,
+                srow.sharded.as_secs_f64() * 1e3,
+                srow.single.as_secs_f64() * 1e3,
+                srow.speedup(),
+                srow.deaths,
+            );
+            shard_rows.push(srow);
+        }
     }
 
-    let json = to_json(threads, &rows, &delta_rows);
+    let json = to_json(threads, &rows, &delta_rows, &shard_rows);
     std::fs::write(&out_path, &json).map_err(|e| format!("cannot write {out_path:?}: {e}"))?;
     let _ = writeln!(report, "wrote {out_path}");
 
@@ -290,6 +322,34 @@ pub fn run(args: &[String]) -> Result<String, String> {
         }
     }
     Ok(report)
+}
+
+/// Resolve `--scale`: a comma-separated list of scale names, where `all`
+/// expands to the CI-sized scales (`--scale all,internet` records
+/// everything). Repeats are deduplicated — `all,internet,internet` runs
+/// the internet row once — but an unknown name anywhere in the list is
+/// still an error, even alongside valid ones.
+fn select_scales(scale: &str) -> Result<Vec<&'static Scale>, String> {
+    let mut selected: Vec<&'static Scale> = Vec::new();
+    let mut push = |sc: &'static Scale| {
+        if !selected.iter().any(|have| std::ptr::eq(*have, sc)) {
+            selected.push(sc);
+        }
+    };
+    for part in scale.split(',') {
+        if part == "all" {
+            for sc in SCALES.iter().filter(|sc| sc.in_all) {
+                push(sc);
+            }
+        } else {
+            let found = SCALES.iter().find(|sc| sc.name == part).ok_or_else(|| {
+                let names: Vec<&str> = SCALES.iter().map(|sc| sc.name).collect();
+                format!("unknown scale {part:?} (expected all|{})", names.join("|"))
+            })?;
+            push(found);
+        }
+    }
+    Ok(selected)
 }
 
 /// JSON/report identifier for a preset, matching the historical
@@ -476,7 +536,108 @@ fn time_delta_suite(name: &'static str, topo: &Topology, reps: u32) -> DeltaRow 
     DeltaRow { name, dests: plan.len(), events, recomputed, incremental, full }
 }
 
-fn to_json(threads: usize, rows: &[ScaleRow], delta_rows: &[DeltaRow]) -> String {
+/// Destinations the shard suite samples per scale (full table on graphs
+/// at or under this size).
+const SHARD_DESTS: usize = 512;
+
+/// Run the whole-table workload through `miro shard-solve`'s coordinator
+/// (spawning real `shard-worker` subprocesses of this same binary) and
+/// through one in-process `par_over_dests` reference, assert the merged
+/// bytes are identical, and report both wall times.
+fn time_shard_suite(
+    sc: &Scale,
+    topo: &Topology,
+    workers: usize,
+    threads: usize,
+) -> Result<ShardRow, String> {
+    use miro_shard::coordinator::{self, JobSpec, ProcessSpawner};
+    use miro_shard::format::RouteTableSet;
+
+    let sample = SHARD_DESTS.min(topo.num_nodes());
+    let dests = miro_shard::sample_dests(topo.num_nodes(), sample);
+    let block_size = dests.len().div_ceil(workers * 4).max(1);
+    let spec_args = miro_shard::TopoSpec::Preset {
+        preset: preset_slug_cli(sc.preset).to_string(),
+        factor: sc.factor,
+        seed: SEED,
+    };
+    let program = std::env::current_exe()
+        .map_err(|e| format!("cannot locate the miro binary for shard workers: {e}"))?;
+    let mut worker_args = vec!["shard-worker".to_string()];
+    worker_args.extend(spec_args.to_args());
+    worker_args.extend([
+        "--dests".into(),
+        sample.to_string(),
+        "--threads".into(),
+        (threads / workers).max(1).to_string(),
+        "--heartbeat-ms".into(),
+        "250".into(),
+    ]);
+    let dir = std::env::temp_dir().join(format!("miro_bench_shard_{}_{}", sc.name, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let job = JobSpec {
+        dests: dests.clone(),
+        num_nodes: topo.num_nodes() as u32,
+        num_edges: topo.num_edges() as u32,
+        block_size,
+        workers,
+        state_dir: dir.join("state"),
+        out_path: dir.join("table.mirt"),
+        resume: false,
+        heartbeat_deadline: Duration::from_millis(10_000),
+        respawn_budget: workers,
+        chaos_kill_after: None,
+        chaos_stop_after: None,
+        progress: None,
+    };
+    let t0 = Instant::now();
+    let mut spawner = ProcessSpawner { program, args: worker_args };
+    let rep = coordinator::run(&job, &mut spawner)?;
+    let sharded = t0.elapsed();
+
+    let t0 = Instant::now();
+    let reference = RouteTableSet::from_solves(topo, &dests, threads).encode();
+    let single = t0.elapsed();
+
+    let merged = std::fs::read(&job.out_path)
+        .map_err(|e| format!("cannot read merged shard table: {e}"))?;
+    if merged != reference {
+        return Err(format!(
+            "shard suite: merged table ({} bytes) differs from in-process reference ({} bytes) at scale {:?}",
+            merged.len(),
+            reference.len(),
+            sc.name
+        ));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(ShardRow {
+        name: sc.name,
+        workers,
+        dests: dests.len(),
+        blocks: rep.blocks,
+        deaths: rep.deaths,
+        sharded,
+        single,
+        bytes: merged.len(),
+    })
+}
+
+/// The preset spelling `miro shard-worker --preset` accepts (the
+/// `internet` scale's JSON slug is `internet70k`, but the CLI spells it
+/// `internet`).
+fn preset_slug_cli(preset: DatasetPreset) -> &'static str {
+    match preset {
+        DatasetPreset::InternetScale => "internet",
+        other => preset_slug(other),
+    }
+}
+
+fn to_json(
+    threads: usize,
+    rows: &[ScaleRow],
+    delta_rows: &[DeltaRow],
+    shard_rows: &[ShardRow],
+) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"bench\": \"solver-whole-network\",");
     let _ = writeln!(out, "  \"engine\": \"csr-bucket-queue\",");
@@ -521,6 +682,26 @@ fn to_json(threads: usize, rows: &[ScaleRow], delta_rows: &[DeltaRow]) -> String
             r.mean_cone(),
             r.incremental.as_secs_f64() * 1e3,
             r.full.as_secs_f64() * 1e3,
+            r.speedup()
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"shard\": [");
+    for (i, r) in shard_rows.iter().enumerate() {
+        let comma = if i + 1 < shard_rows.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"scale\": \"{}\", \"workers\": {}, \"dests\": {}, \"blocks\": {}, \
+             \"deaths\": {}, \"table_bytes\": {}, \"sharded_ms\": {:.3}, \"single_ms\": {:.3}, \
+             \"shard_speedup\": {:.2}}}{comma}",
+            r.name,
+            r.workers,
+            r.dests,
+            r.blocks,
+            r.deaths,
+            r.bytes,
+            r.sharded.as_secs_f64() * 1e3,
+            r.single.as_secs_f64() * 1e3,
             r.speedup()
         );
     }
@@ -570,6 +751,26 @@ mod tests {
         let args: Vec<String> = vec!["--scale".into(), "galactic".into()];
         let err = run(&args).unwrap_err();
         assert!(err.contains("unknown scale"), "{err}");
+    }
+
+    #[test]
+    fn scale_lists_dedupe_but_still_reject_unknown_names() {
+        let names = |scales: Vec<&'static Scale>| -> Vec<&'static str> {
+            scales.into_iter().map(|sc| sc.name).collect()
+        };
+        // `all` expands once; the explicit repeats of `internet` collapse.
+        assert_eq!(
+            names(select_scales("all,internet,internet").unwrap()),
+            vec!["small", "medium", "large", "internet"]
+        );
+        // Repeats inside and across `all` collapse too.
+        assert_eq!(names(select_scales("small,all,small").unwrap()), vec![
+            "small", "medium", "large"
+        ]);
+        assert_eq!(names(select_scales("tiny,tiny").unwrap()), vec!["tiny"]);
+        // An unknown name is an error even when valid names surround it.
+        let err = select_scales("all,galactic,internet").unwrap_err();
+        assert!(err.contains("galactic"), "{err}");
     }
 
     #[test]

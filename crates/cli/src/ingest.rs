@@ -83,12 +83,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
             .map(|s| s.to_string_lossy().into_owned())
             .unwrap_or_else(|| path.clone())
     });
-    let cache = IngestCache {
-        name: label.clone(),
-        source: path.clone(),
-        stats,
-        topology: TopologyDoc::of(&topo),
-    };
+    let cache = IngestCache::new(label.clone(), path.clone(), stats, TopologyDoc::of(&topo));
     let json = serde_json::to_string_pretty(&cache)
         .map_err(|e| format!("cannot serialize cache: {e}"))?;
     let out_path = out_path.unwrap_or_else(|| format!("{path}.cache.json"));
@@ -122,7 +117,8 @@ mod tests {
         let report = run(&args).expect("ingest works");
         assert!(report.contains("accepted 3 edges over 3 ASes"), "{report}");
         let json = std::fs::read_to_string(&out).expect("cache written");
-        let cache: IngestCache = serde_json::from_str(&json).expect("cache parses");
+        let cache = IngestCache::from_json(&json).expect("cache parses");
+        assert_eq!(cache.format_version, miro_topology::io::stream::CACHE_FORMAT_VERSION);
         assert_eq!(cache.name, "unit");
         assert_eq!(cache.stats.edges, 3);
         let topo = cache.topology.build().expect("topology rebuilds");

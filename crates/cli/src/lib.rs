@@ -22,6 +22,7 @@
 
 pub mod bench;
 pub mod ingest;
+pub mod shard_cmd;
 
 use miro_bgp::show;
 use miro_bgp::solver::RoutingState;

@@ -33,6 +33,23 @@ fn main() {
                 }
             }
         }
+        [cmd, rest @ ..] if cmd == "shard-solve" => {
+            match miro_cli::shard_cmd::run_solve(rest) {
+                Ok(report) => print!("{report}"),
+                Err(e) => {
+                    eprintln!("shard-solve: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        // Hidden: the worker half of shard-solve, spawned by the
+        // coordinator with the protocol on stdin/stdout.
+        [cmd, rest @ ..] if cmd == "shard-worker" => {
+            if let Err(e) = miro_cli::shard_cmd::run_worker(rest) {
+                eprintln!("shard-worker: {e}");
+                std::process::exit(3);
+            }
+        }
         [cmd, rest @ ..] if cmd == "resilience" => {
             match miro_eval::resilience::run(rest) {
                 Ok(report) => print!("{report}"),
@@ -52,7 +69,8 @@ fn main() {
         _ => {
             eprintln!(
                 "usage: miro [script-file | bench-solver [options] | \
-                 resilience [options] | ingest <file> [options]]"
+                 resilience [options] | ingest <file> [options] | \
+                 shard-solve [options]]"
             );
             std::process::exit(2);
         }

@@ -1,0 +1,315 @@
+//! `miro shard-solve` / `miro shard-worker` — the CLI face of the
+//! sharded whole-table solve service ([`miro_shard`]).
+//!
+//! `shard-solve` runs the coordinator: it spawns `--workers` copies of
+//! this same binary as `shard-worker` subprocesses (a hidden verb),
+//! speaks the framed protocol over their stdin/stdout, checkpoints every
+//! completed block under `--state`, and merges the result into one
+//! binary `RouteTableSet` at `--out`. Kill it mid-run and
+//! `shard-solve --resume` picks up where the manifest left off.
+//!
+//! ```text
+//! miro shard-solve --preset gao2005 --factor 0.5 --workers 4 \
+//!     --dests 2048 --block-size 64 --out table.mirt --verify
+//! ```
+
+use miro_shard::coordinator::{self, JobSpec, ProcessSpawner};
+use miro_shard::format::RouteTableSet;
+use miro_shard::worker::{self, WorkerConfig};
+use miro_shard::{sample_dests, TopoSpec};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Topology + destination-sample options shared by both verbs.
+#[derive(Debug)]
+struct TopoArgs {
+    spec: TopoSpec,
+    dests: usize,
+}
+
+/// Everything `shard-solve` accepts.
+#[derive(Debug)]
+struct SolveArgs {
+    topo: TopoArgs,
+    workers: usize,
+    block_size: usize,
+    threads: usize,
+    out: PathBuf,
+    state: Option<PathBuf>,
+    resume: bool,
+    heartbeat_ms: u64,
+    deadline_ms: u64,
+    respawn: Option<usize>,
+    verify: bool,
+    quiet: bool,
+    chaos_kill_after: Option<u32>,
+    chaos_stop_after: Option<u32>,
+}
+
+fn parse_topo(
+    preset: Option<String>,
+    factor: Option<f64>,
+    seed: Option<u64>,
+    cache: Option<String>,
+    dests: usize,
+) -> Result<TopoArgs, String> {
+    let spec = match (cache, preset) {
+        (Some(_), Some(_)) => return Err("--cache and --preset are mutually exclusive".into()),
+        (Some(path), None) => {
+            if factor.is_some() || seed.is_some() {
+                return Err("--factor/--seed only apply to --preset topologies".into());
+            }
+            TopoSpec::Cache { path }
+        }
+        (None, preset) => TopoSpec::Preset {
+            preset: preset.unwrap_or_else(|| "gao2005".into()),
+            factor: factor.unwrap_or(1.0),
+            seed: seed.unwrap_or(42),
+        },
+    };
+    Ok(TopoArgs { spec, dests })
+}
+
+fn parse_solve(args: &[String]) -> Result<SolveArgs, String> {
+    let (mut preset, mut factor, mut seed, mut cache) = (None, None, None, None);
+    let mut dests = 0usize;
+    let mut workers = 4usize;
+    let mut block_size = 64usize;
+    let mut threads = 0usize;
+    let mut out = PathBuf::from("shard_table.mirt");
+    let mut state = None;
+    let mut resume = false;
+    let mut heartbeat_ms = 250u64;
+    let mut deadline_ms = 10_000u64;
+    let mut respawn = None;
+    let mut verify = false;
+    let mut quiet = false;
+    let (mut chaos_kill_after, mut chaos_stop_after) = (None, None);
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut val = || {
+            it.next().cloned().ok_or_else(|| format!("{arg} needs a value"))
+        };
+        match arg.as_str() {
+            "--preset" => preset = Some(val()?),
+            "--factor" => factor = Some(parse_num(&val()?, "--factor")?),
+            "--seed" => seed = Some(parse_num(&val()?, "--seed")?),
+            "--cache" => cache = Some(val()?),
+            "--dests" => dests = parse_num(&val()?, "--dests")?,
+            "--workers" => workers = parse_num(&val()?, "--workers")?,
+            "--block-size" => block_size = parse_num(&val()?, "--block-size")?,
+            "--threads" => threads = parse_num(&val()?, "--threads")?,
+            "--out" => out = PathBuf::from(val()?),
+            "--state" => state = Some(PathBuf::from(val()?)),
+            "--resume" => resume = true,
+            "--heartbeat-ms" => heartbeat_ms = parse_num(&val()?, "--heartbeat-ms")?,
+            "--deadline-ms" => deadline_ms = parse_num(&val()?, "--deadline-ms")?,
+            "--respawn" => respawn = Some(parse_num(&val()?, "--respawn")?),
+            "--verify" => verify = true,
+            "--quiet" => quiet = true,
+            "--chaos-kill-after" => chaos_kill_after = Some(parse_num(&val()?, "--chaos-kill-after")?),
+            "--chaos-stop-after" => chaos_stop_after = Some(parse_num(&val()?, "--chaos-stop-after")?),
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    if workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+    if block_size == 0 {
+        return Err("--block-size must be at least 1".into());
+    }
+    if deadline_ms <= heartbeat_ms {
+        return Err(format!(
+            "--deadline-ms ({deadline_ms}) must exceed --heartbeat-ms ({heartbeat_ms}), \
+             or every healthy worker looks hung"
+        ));
+    }
+    Ok(SolveArgs {
+        topo: parse_topo(preset, factor, seed, cache, dests)?,
+        workers,
+        block_size,
+        threads,
+        out,
+        state,
+        resume,
+        heartbeat_ms,
+        deadline_ms,
+        respawn,
+        verify,
+        quiet,
+        chaos_kill_after,
+        chaos_stop_after,
+    })
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("{flag}: cannot parse {s:?}"))
+}
+
+/// Run the coordinator verb. Returns the human-readable report.
+pub fn run_solve(args: &[String]) -> Result<String, String> {
+    let a = parse_solve(args)?;
+    let topo = a.topo.spec.build()?;
+    let dests = sample_dests(topo.num_nodes(), a.topo.dests);
+    let state_dir = a.state.clone().unwrap_or_else(|| {
+        let mut s = a.out.as_os_str().to_owned();
+        s.push(".state");
+        PathBuf::from(s)
+    });
+    // Divide the machine between workers unless told otherwise.
+    let threads = if a.threads > 0 {
+        a.threads
+    } else {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        (cores / a.workers).max(1)
+    };
+
+    let program = std::env::current_exe()
+        .map_err(|e| format!("cannot locate the miro binary for worker spawns: {e}"))?;
+    let mut worker_args = vec!["shard-worker".to_string()];
+    worker_args.extend(a.topo.spec.to_args());
+    worker_args.extend([
+        "--dests".into(),
+        a.topo.dests.to_string(),
+        "--threads".into(),
+        threads.to_string(),
+        "--heartbeat-ms".into(),
+        a.heartbeat_ms.to_string(),
+    ]);
+    let mut spawner = ProcessSpawner { program, args: worker_args };
+
+    let spec = JobSpec {
+        dests,
+        num_nodes: topo.num_nodes() as u32,
+        num_edges: topo.num_edges() as u32,
+        block_size: a.block_size,
+        workers: a.workers,
+        state_dir,
+        out_path: a.out.clone(),
+        resume: a.resume,
+        heartbeat_deadline: Duration::from_millis(a.deadline_ms),
+        respawn_budget: a.respawn.unwrap_or(a.workers),
+        chaos_kill_after: a.chaos_kill_after,
+        chaos_stop_after: a.chaos_stop_after,
+        progress: if a.quiet {
+            None
+        } else {
+            Some(Box::new(move |done, total| {
+                eprintln!("shard-solve: {done}/{total} blocks");
+                let _ = (done, total);
+            }))
+        },
+    };
+
+    let report = coordinator::run(&spec, &mut spawner)?;
+    let mut text = String::new();
+    let secs = report.elapsed.as_secs_f64().max(1e-9);
+    let dests_done = spec.dests.len();
+    text.push_str(&format!(
+        "shard-solve: {} blocks ({} resumed) over {} workers in {:.2}s\n",
+        report.blocks, report.resumed, a.workers, secs
+    ));
+    text.push_str(&format!(
+        "  dests: {dests_done}  nodes: {}  throughput: {:.0} dests/s\n",
+        spec.num_nodes,
+        dests_done as f64 / secs
+    ));
+    text.push_str(&format!(
+        "  dispatches: {}  deaths: {}  respawns: {}  deadline kills: {}  corrupt frames: {}\n",
+        report.dispatches, report.deaths, report.respawns, report.deadline_kills, report.corrupt_events
+    ));
+    text.push_str(&format!("  merged: {} ({} bytes)\n", a.out.display(), report.merged_bytes));
+
+    if a.verify {
+        let reference = RouteTableSet::from_solves(&topo, &spec.dests, threads * a.workers).encode();
+        let merged = std::fs::read(&a.out).map_err(|e| format!("cannot re-read {:?}: {e}", a.out))?;
+        if merged != reference {
+            return Err(format!(
+                "VERIFY FAILED: merged table ({} bytes) differs from single-process solve ({} bytes)",
+                merged.len(),
+                reference.len()
+            ));
+        }
+        text.push_str("  verify: merged table matches single-process solve\n");
+    }
+    Ok(text)
+}
+
+/// Run the hidden worker verb over this process's stdin/stdout.
+pub fn run_worker(args: &[String]) -> Result<(), String> {
+    let (mut preset, mut factor, mut seed, mut cache) = (None, None, None, None);
+    let mut dests = 0usize;
+    let mut threads = 1usize;
+    let mut heartbeat_ms = 250u64;
+    let mut worker_id = 0u32;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut val = || {
+            it.next().cloned().ok_or_else(|| format!("{arg} needs a value"))
+        };
+        match arg.as_str() {
+            "--preset" => preset = Some(val()?),
+            "--factor" => factor = Some(parse_num(&val()?, "--factor")?),
+            "--seed" => seed = Some(parse_num(&val()?, "--seed")?),
+            "--cache" => cache = Some(val()?),
+            "--dests" => dests = parse_num(&val()?, "--dests")?,
+            "--threads" => threads = parse_num(&val()?, "--threads")?,
+            "--heartbeat-ms" => heartbeat_ms = parse_num(&val()?, "--heartbeat-ms")?,
+            "--worker-id" => worker_id = parse_num(&val()?, "--worker-id")?,
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    let topo = parse_topo(preset, factor, seed, cache, dests)?;
+    let graph = topo.spec.build()?;
+    let dest_list = sample_dests(graph.num_nodes(), topo.dests);
+    let cfg = WorkerConfig {
+        worker: worker_id,
+        threads: threads.max(1),
+        heartbeat: Duration::from_millis(heartbeat_ms.max(1)),
+    };
+    worker::run(&graph, &dest_list, cfg, std::io::stdin().lock(), std::io::stdout())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(args: &[&str]) -> Vec<String> {
+        args.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn solve_args_parse_and_validate() {
+        let a = parse_solve(&s(&[
+            "--preset", "gao2005", "--factor", "0.05", "--workers", "3", "--block-size", "16",
+            "--dests", "100", "--out", "/tmp/t.mirt", "--resume", "--verify",
+        ]))
+        .unwrap();
+        assert_eq!(a.workers, 3);
+        assert_eq!(a.block_size, 16);
+        assert!(a.resume && a.verify);
+        assert_eq!(a.topo.dests, 100);
+        assert!(matches!(a.topo.spec, TopoSpec::Preset { ref preset, .. } if preset == "gao2005"));
+
+        assert!(parse_solve(&s(&["--workers", "0"])).unwrap_err().contains("--workers"));
+        assert!(parse_solve(&s(&["--bogus"])).unwrap_err().contains("unknown option"));
+        assert!(parse_solve(&s(&["--cache", "x.json", "--preset", "gao2005"]))
+            .unwrap_err()
+            .contains("mutually exclusive"));
+        assert!(parse_solve(&s(&["--heartbeat-ms", "500", "--deadline-ms", "100"]))
+            .unwrap_err()
+            .contains("must exceed"));
+    }
+
+    #[test]
+    fn default_state_dir_rides_next_to_the_output() {
+        let a = parse_solve(&s(&["--out", "/tmp/xyz.mirt"])).unwrap();
+        assert!(a.state.is_none());
+        // run_solve derives <out>.state; mirror that derivation here.
+        let mut s = a.out.as_os_str().to_owned();
+        s.push(".state");
+        assert_eq!(PathBuf::from(s), PathBuf::from("/tmp/xyz.mirt.state"));
+    }
+}

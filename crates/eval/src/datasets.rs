@@ -84,8 +84,8 @@ impl Dataset {
     pub fn load_cache(path: &str) -> Result<Dataset, String> {
         let json = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read cache {path:?}: {e}"))?;
-        let cache: miro_topology::io::stream::IngestCache = serde_json::from_str(&json)
-            .map_err(|e| format!("cache {path:?} is not an ingest cache: {e}"))?;
+        let cache = miro_topology::io::stream::IngestCache::from_json(&json)
+            .map_err(|e| format!("cache {path:?}: {e}"))?;
         let topo = cache
             .topology
             .build()

@@ -30,5 +30,6 @@ pub mod inbound;
 pub mod report;
 pub mod resilience;
 pub mod routes;
+pub mod whole_table;
 
 pub use datasets::{Dataset, EvalConfig};

@@ -14,6 +14,7 @@
 //!   fig7-1     Convergence gadget, Figure 7.1
 //!   fig7-2     Convergence gadget, Figure 7.2
 //!   failures   Single-link failure sweep (incremental delta engine)
+//!   whole-table  Summarize a `miro shard-solve` result table (needs --table)
 //!   all        Everything above
 //!
 //! Options:
@@ -24,6 +25,7 @@
 //!   --threads N   Worker threads                     [default: CPUs]
 //!   --dataset S   Restrict to one dataset (gao2000|gao2003|gao2005|agarwal2004)
 //!   --cache P     Run on a `miro ingest` JSON cache instead of generated presets
+//!   --table P     RouteTableSet file for the `whole-table` command
 //! ```
 
 use miro_eval::datasets::{fig5_1, table5_1, Dataset, EvalConfig};
@@ -47,6 +49,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut command: Option<String> = None;
     let mut only: Option<DatasetPreset> = None;
     let mut cache: Option<String> = None;
+    let mut table: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut next = |name: &str| {
@@ -68,6 +71,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 })
             }
             "--cache" => cache = Some(next("--cache")?),
+            "--table" => table = Some(next("--table")?),
             "--help" | "-h" => command = Some("help".to_string()),
             c if !c.starts_with('-') && command.is_none() => command = Some(c.to_string()),
             other => return Err(format!("unknown argument {other:?}")),
@@ -88,8 +92,8 @@ fn run(args: &[String]) -> Result<(), String> {
     match command.as_str() {
         "help" | "--help" | "-h" => {
             println!("miro-eval: regenerate the MIRO paper's tables and figures");
-            println!("commands: table5-1 fig5-1 fig5-2 table5-2 table5-3 fig5-4 fig5-6 fig7-1 fig7-2 failures ablations dynamics all");
-            println!("options: --scale F --seed N --dests N --srcs N --threads N --dataset S --cache P");
+            println!("commands: table5-1 fig5-1 fig5-2 table5-2 table5-3 fig5-4 fig5-6 fig7-1 fig7-2 failures ablations dynamics whole-table all");
+            println!("options: --scale F --seed N --dests N --srcs N --threads N --dataset S --cache P --table P");
         }
         "table5-1" => cmd_table5_1(&build(&presets)?),
         "fig5-1" => cmd_fig5_1(&build(&presets)?),
@@ -103,6 +107,10 @@ fn run(args: &[String]) -> Result<(), String> {
         "failures" => cmd_failures(&build(&presets)?, &cfg),
         "ablations" => cmd_ablations(&build(&presets)?, &cfg),
         "dynamics" => cmd_dynamics(&cfg, only.unwrap_or(DatasetPreset::Gao2005)),
+        "whole-table" => {
+            let path = table.ok_or("whole-table needs --table FILE (a `miro shard-solve` output)")?;
+            print!("{}", miro_eval::whole_table::run_file(&path)?);
+        }
         "all" => {
             let ds = build(&presets)?;
             cmd_table5_1(&ds);
@@ -423,12 +431,12 @@ mod tests {
         use miro_topology::io::stream::{IngestCache, ParseStats};
         use miro_topology::io::TopologyDoc;
         let topo = DatasetPreset::Gao2000.params(0.012, 7).generate();
-        let cache = IngestCache {
-            name: "unit-cache".into(),
-            source: "test".into(),
-            stats: ParseStats::default(),
-            topology: TopologyDoc::of(&topo),
-        };
+        let cache = IngestCache::new(
+            "unit-cache".into(),
+            "test".into(),
+            ParseStats::default(),
+            TopologyDoc::of(&topo),
+        );
         let path = std::env::temp_dir().join("miro_eval_cache_test.json");
         std::fs::write(&path, serde_json::to_string(&cache).unwrap()).unwrap();
         assert!(run(&args(&format!(

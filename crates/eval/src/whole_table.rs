@@ -1,0 +1,177 @@
+//! Whole-table summary: decode a merged [`RouteTableSet`] (the output of
+//! `miro shard-solve`) and report aggregate routing statistics —
+//! reachability, AS-hop path-length distribution, and the business-class
+//! mix of the chosen routes.
+//!
+//! This closes the loop on the sharded solve service: the binary tables
+//! it produces are not just an artifact to diff, they feed analysis. The
+//! summary treats the file as ground truth — decode re-verifies every
+//! per-row checksum, so a summary is also an integrity check of the
+//! merge.
+
+use miro_shard::format::RouteTableSet;
+
+/// Aggregate statistics over every (source AS, destination) cell of a
+/// route table set. The destination's own row entry (hops 0, pointing at
+/// itself) is excluded so the numbers describe actual forwarding state.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TableSummary {
+    pub num_nodes: u32,
+    pub num_dests: usize,
+    /// Off-destination cells with a route.
+    pub routed: u64,
+    /// Off-destination cells with no route (partition or policy).
+    pub unrouted: u64,
+    /// Routed cells per first-hop business class: `[customer, peer, provider]`.
+    pub class_mix: [u64; 3],
+    /// Routed cells per AS-hop count, `hop_hist[h]` = cells at `h` hops.
+    pub hop_hist: Vec<u64>,
+    pub mean_hops: f64,
+    pub max_hops: u16,
+}
+
+impl TableSummary {
+    pub fn reachable_frac(&self) -> f64 {
+        let cells = self.routed + self.unrouted;
+        if cells == 0 {
+            return 0.0;
+        }
+        self.routed as f64 / cells as f64
+    }
+}
+
+/// Scan every row of `set` and fold the per-cell statistics.
+pub fn summarize(set: &RouteTableSet) -> Result<TableSummary, String> {
+    let mut s = TableSummary {
+        num_nodes: set.num_nodes(),
+        num_dests: set.dests().len(),
+        routed: 0,
+        unrouted: 0,
+        class_mix: [0; 3],
+        hop_hist: Vec::new(),
+        mean_hops: 0.0,
+        max_hops: 0,
+    };
+    let mut hop_total: u64 = 0;
+    for (i, &dest) in set.dests().iter().enumerate() {
+        let (next, hops, class) = set.row(i);
+        for x in 0..set.num_nodes() as usize {
+            if x as u32 == dest {
+                continue; // the destination's self-entry carries no route
+            }
+            if next[x] == miro_bgp::solver::UNROUTED_NEXT {
+                s.unrouted += 1;
+                continue;
+            }
+            s.routed += 1;
+            let h = hops[x];
+            if s.hop_hist.len() <= h as usize {
+                s.hop_hist.resize(h as usize + 1, 0);
+            }
+            s.hop_hist[h as usize] += 1;
+            hop_total += h as u64;
+            s.max_hops = s.max_hops.max(h);
+            let c = class[x] as usize;
+            if c >= 3 {
+                return Err(format!(
+                    "destination {dest}: AS {x} is routed but carries class code {c}"
+                ));
+            }
+            s.class_mix[c] += 1;
+        }
+    }
+    if s.routed > 0 {
+        s.mean_hops = hop_total as f64 / s.routed as f64;
+    }
+    Ok(s)
+}
+
+/// Render a summary in the report style the other eval commands use.
+pub fn render(s: &TableSummary) -> String {
+    let mut out = String::new();
+    out.push_str("Whole-table summary (merged RouteTableSet)\n\n");
+    out.push_str(&format!(
+        "  topology: {} ASes, {} destinations ({} route cells)\n",
+        s.num_nodes,
+        s.num_dests,
+        s.routed + s.unrouted
+    ));
+    out.push_str(&format!(
+        "  reachability: {:.2}% ({} routed, {} unrouted)\n",
+        100.0 * s.reachable_frac(),
+        s.routed,
+        s.unrouted
+    ));
+    out.push_str(&format!(
+        "  path length: mean {:.2} AS hops, max {}\n",
+        s.mean_hops, s.max_hops
+    ));
+    let total = s.class_mix.iter().sum::<u64>().max(1) as f64;
+    out.push_str(&format!(
+        "  first-hop class mix: customer {:.1}% | peer {:.1}% | provider {:.1}%\n",
+        100.0 * s.class_mix[0] as f64 / total,
+        100.0 * s.class_mix[1] as f64 / total,
+        100.0 * s.class_mix[2] as f64 / total,
+    ));
+    out.push_str("\n  hops  cells\n");
+    for (h, &n) in s.hop_hist.iter().enumerate() {
+        if n > 0 {
+            out.push_str(&format!("  {h:>4}  {n}\n"));
+        }
+    }
+    out
+}
+
+/// Decode the table at `path` and return the rendered summary.
+pub fn run_file(path: &str) -> Result<String, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let set = RouteTableSet::decode(&bytes)?;
+    Ok(render(&summarize(&set)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miro_topology::GenParams;
+
+    #[test]
+    fn summary_matches_direct_solves() {
+        let t = GenParams::tiny(7).generate();
+        let dests = miro_shard::sample_dests(t.num_nodes(), 10);
+        let set = RouteTableSet::from_solves(&t, &dests, 2);
+        let s = summarize(&set).expect("valid table");
+
+        assert_eq!(s.num_nodes, t.num_nodes() as u32);
+        assert_eq!(s.num_dests, dests.len());
+        // Every off-destination cell is counted exactly once.
+        assert_eq!(
+            s.routed + s.unrouted,
+            dests.len() as u64 * (t.num_nodes() as u64 - 1)
+        );
+        // Gao-style generated graphs are connected enough that routes exist.
+        assert!(s.routed > 0, "expected at least one routed pair");
+        assert_eq!(s.class_mix.iter().sum::<u64>(), s.routed);
+        assert_eq!(s.hop_hist.iter().sum::<u64>(), s.routed);
+        // Cross-check the mean against the histogram.
+        let total: u64 = s.hop_hist.iter().enumerate().map(|(h, &n)| h as u64 * n).sum();
+        assert!((s.mean_hops - total as f64 / s.routed as f64).abs() < 1e-12);
+        assert!(s.max_hops >= 1);
+    }
+
+    #[test]
+    fn run_file_round_trips_through_disk() {
+        let t = GenParams::tiny(3).generate();
+        let dests = miro_shard::sample_dests(t.num_nodes(), 6);
+        let set = RouteTableSet::from_solves(&t, &dests, 1);
+        let path = std::env::temp_dir().join(format!("miro_wt_{}.mirt", std::process::id()));
+        std::fs::write(&path, set.encode()).unwrap();
+        let report = run_file(path.to_str().unwrap()).expect("summarizes");
+        let _ = std::fs::remove_file(&path);
+        assert!(report.contains("Whole-table summary"));
+        assert!(report.contains(&format!("{} ASes", t.num_nodes())));
+        assert!(report.contains("reachability:"));
+
+        let err = run_file("/nonexistent/table.mirt").unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
+    }
+}

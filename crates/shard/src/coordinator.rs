@@ -1,0 +1,528 @@
+//! The shard coordinator: crash-tolerant block dispatch over a fleet of
+//! workers, with checkpoint/resume and a deterministic merge.
+//!
+//! The coordinator is written against two small traits ([`Spawner`],
+//! [`WorkerLink`]) rather than `std::process` directly: production uses
+//! [`ProcessSpawner`] (real subprocesses over stdin/stdout pipes), tests
+//! use in-process workers with scripted failures — same dispatch state
+//! machine, same protocol, milliseconds instead of process spawns.
+//!
+//! Per-worker lifecycle, as the dispatch loop sees it:
+//!
+//! ```text
+//!             Hello                    Assign
+//!   spawned ────────► idle ──────────────────────► working
+//!      ▲               ▲                              │
+//!      │respawn        │ BlockResult (validated,      │ EOF / corrupt frame /
+//!      │(budget        │ spooled, manifest C line)    │ heartbeat deadline /
+//!      │ permitting)   └──────────────────────────────┤ bad block
+//!      │                                              ▼
+//!      └───────────────────────────────────────────  dead
+//!                      (in-flight block → front of queue, D line on redispatch)
+//! ```
+//!
+//! Every completed block is spooled to `state_dir/block_NNNNNN.bin`
+//! (written to a temp name, then renamed) *before* its `C` line is
+//! appended to the manifest, so a manifest claim is never ahead of the
+//! data. The final merge reads only the spool, in canonical block order —
+//! which workers produced which blocks, in what order, with how many
+//! deaths in between, cannot affect the output bytes.
+
+use crate::format::{RouteTableSet, TABLE_FORMAT_VERSION};
+use crate::manifest::{self, JobFingerprint, ManifestWriter};
+use crate::protocol::{read_frame, write_frame, FrameError, Msg, PROTOCOL_VERSION};
+use miro_bgp::engine::dest_blocks;
+use miro_topology::NodeId;
+use std::collections::{HashMap, VecDeque};
+use std::io::Read;
+use std::path::{Path, PathBuf};
+use std::sync::mpsc::{RecvTimeoutError, Sender};
+use std::time::{Duration, Instant};
+
+/// What a worker's event stream can deliver to the dispatch loop.
+#[derive(Debug)]
+pub enum EventKind {
+    /// A well-formed frame.
+    Frame(Msg),
+    /// A frame that failed checksum/shape validation; the stream is
+    /// unrecoverable past it.
+    Corrupt(String),
+    /// The stream ended (worker exited or was killed).
+    Closed,
+}
+
+/// One event, tagged with the coordinator-side worker id.
+#[derive(Debug)]
+pub struct Event {
+    pub worker: u32,
+    pub kind: EventKind,
+}
+
+/// Coordinator's handle to one live worker.
+pub trait WorkerLink: Send {
+    /// Deliver a message to the worker's stdin.
+    fn send(&mut self, msg: &Msg) -> std::io::Result<()>;
+    /// Forcibly terminate the worker (SIGKILL for subprocesses). Must be
+    /// safe to call more than once and on an already-dead worker.
+    fn kill(&mut self);
+}
+
+/// Spawns workers and wires their output into the event channel.
+pub trait Spawner {
+    fn spawn(&mut self, worker: u32, events: Sender<Event>) -> Result<Box<dyn WorkerLink>, String>;
+}
+
+/// Pump one worker's output stream into the event channel until EOF or
+/// corruption. Both the process spawner and test harnesses use this, so
+/// "what counts as corrupt" is decided in exactly one place.
+pub fn pump_events(worker: u32, mut stream: impl Read, events: &Sender<Event>) {
+    loop {
+        let kind = match read_frame(&mut stream) {
+            Ok(msg) => EventKind::Frame(msg),
+            Err(FrameError::Eof) => EventKind::Closed,
+            Err(FrameError::Corrupt(why)) => EventKind::Corrupt(why),
+            Err(FrameError::Io(e)) => EventKind::Corrupt(format!("read error: {e}")),
+        };
+        let stop = !matches!(kind, EventKind::Frame(_));
+        if events.send(Event { worker, kind }).is_err() || stop {
+            return;
+        }
+    }
+}
+
+/// Spawn real worker subprocesses: `program args.. --worker-id N` with
+/// piped stdin/stdout (stderr passes through for diagnostics).
+pub struct ProcessSpawner {
+    pub program: PathBuf,
+    pub args: Vec<String>,
+}
+
+struct ProcessLink {
+    stdin: Option<std::process::ChildStdin>,
+    child: std::process::Child,
+}
+
+impl WorkerLink for ProcessLink {
+    fn send(&mut self, msg: &Msg) -> std::io::Result<()> {
+        match self.stdin.as_mut() {
+            Some(stdin) => write_frame(stdin, msg),
+            None => Err(std::io::Error::new(std::io::ErrorKind::BrokenPipe, "stdin closed")),
+        }
+    }
+
+    fn kill(&mut self) {
+        self.stdin = None;
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for ProcessLink {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+impl Spawner for ProcessSpawner {
+    fn spawn(&mut self, worker: u32, events: Sender<Event>) -> Result<Box<dyn WorkerLink>, String> {
+        let mut child = std::process::Command::new(&self.program)
+            .args(&self.args)
+            .arg("--worker-id")
+            .arg(worker.to_string())
+            .stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .map_err(|e| format!("cannot spawn worker {worker} ({:?}): {e}", self.program))?;
+        let stdout = child.stdout.take().expect("piped stdout");
+        std::thread::spawn(move || pump_events(worker, stdout, &events));
+        Ok(Box::new(ProcessLink { stdin: child.stdin.take(), child }))
+    }
+}
+
+/// Everything that defines one shard job.
+pub struct JobSpec {
+    /// Canonical destination list (see [`crate::sample_dests`]).
+    pub dests: Vec<NodeId>,
+    /// Topology shape, for the job fingerprint.
+    pub num_nodes: u32,
+    pub num_edges: u32,
+    /// Destinations per dispatch block.
+    pub block_size: usize,
+    /// Worker fleet size.
+    pub workers: usize,
+    /// Spool + manifest directory.
+    pub state_dir: PathBuf,
+    /// Where the merged table lands.
+    pub out_path: PathBuf,
+    /// Trust a pre-existing manifest and skip verified blocks.
+    pub resume: bool,
+    /// A worker silent for this long is declared hung and killed.
+    pub heartbeat_deadline: Duration,
+    /// How many replacement workers may be spawned over the job's life.
+    pub respawn_budget: usize,
+    /// Fault injection: SIGKILL the first-spawned worker right after its
+    /// N-th completed block (exercises reassignment end to end).
+    pub chaos_kill_after: Option<u32>,
+    /// Fault injection: abort the coordinator (workers killed, state
+    /// checkpointed, error return) once N blocks are done — the setup
+    /// half of a `--resume` test.
+    pub chaos_stop_after: Option<u32>,
+    /// Progress hook, called with `(blocks_done, blocks_total)` once at
+    /// startup and after every completed block.
+    pub progress: Option<Box<dyn Fn(usize, usize)>>,
+}
+
+/// What a finished job looked like.
+#[derive(Clone, Debug, Default)]
+pub struct JobReport {
+    pub blocks: usize,
+    /// Blocks skipped because a resumed manifest + spool already had them.
+    pub resumed: usize,
+    /// Assignments sent (= manifest `D` lines written by this run).
+    pub dispatches: usize,
+    pub deaths: usize,
+    pub respawns: usize,
+    pub deadline_kills: usize,
+    pub corrupt_events: usize,
+    pub merged_bytes: usize,
+    pub elapsed: Duration,
+}
+
+fn dests_fingerprint(dests: &[NodeId]) -> u64 {
+    let mut bytes = Vec::with_capacity(dests.len() * 4);
+    for &d in dests {
+        bytes.extend_from_slice(&d.to_le_bytes());
+    }
+    crate::fnv1a(&bytes)
+}
+
+fn spool_path(state_dir: &Path, block: u32) -> PathBuf {
+    state_dir.join(format!("block_{block:06}.bin"))
+}
+
+/// Write-then-rename so a crash can never leave a half-written file under
+/// the final name the manifest vouches for.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), String> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, bytes).map_err(|e| format!("cannot write {tmp:?}: {e}"))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("cannot rename {tmp:?}: {e}"))
+}
+
+struct WorkerState {
+    link: Box<dyn WorkerLink>,
+    assigned: Option<u32>,
+    last_seen: Instant,
+    blocks_done: u32,
+    /// The first-spawned worker is the chaos-kill victim.
+    first: bool,
+}
+
+/// Run a shard job to completion (or checkpointed abort). On success the
+/// merged [`RouteTableSet`] is at `spec.out_path` and the report says how
+/// rough the ride was.
+pub fn run(spec: &JobSpec, spawner: &mut dyn Spawner) -> Result<JobReport, String> {
+    let t0 = Instant::now();
+    if spec.workers == 0 {
+        return Err("a shard job needs at least one worker".to_string());
+    }
+    if spec.dests.is_empty() {
+        return Err("a shard job needs at least one destination".to_string());
+    }
+    std::fs::create_dir_all(&spec.state_dir)
+        .map_err(|e| format!("cannot create state dir {:?}: {e}", spec.state_dir))?;
+
+    let blocks: Vec<std::ops::Range<usize>> =
+        dest_blocks(spec.dests.len(), spec.block_size).collect();
+    let nblocks = blocks.len();
+    let fingerprint = JobFingerprint {
+        table_format: TABLE_FORMAT_VERSION,
+        num_nodes: spec.num_nodes,
+        num_edges: spec.num_edges,
+        num_dests: spec.dests.len() as u32,
+        block_size: spec.block_size.max(1) as u32,
+        dests_fnv: dests_fingerprint(&spec.dests),
+    };
+
+    let manifest_path = spec.state_dir.join("manifest.log");
+    let mut report = JobReport { blocks: nblocks, ..JobReport::default() };
+    let mut done = vec![false; nblocks];
+
+    // Resume: trust the manifest only as far as the spool backs it up.
+    let mut writer = if spec.resume && manifest_path.exists() {
+        let state = manifest::read(&manifest_path)?;
+        fingerprint.ensure_matches(&state.job)?;
+        for (&block, &(bytes, checksum)) in &state.completed {
+            let b = block as usize;
+            if b >= nblocks {
+                continue;
+            }
+            let ok = std::fs::read(spool_path(&spec.state_dir, block))
+                .map(|data| data.len() as u64 == bytes && crate::fnv1a(&data) == checksum)
+                .unwrap_or(false);
+            if ok {
+                done[b] = true;
+                report.resumed += 1;
+            }
+        }
+        ManifestWriter::append(&manifest_path)
+            .map_err(|e| format!("cannot reopen manifest {manifest_path:?}: {e}"))?
+    } else {
+        ManifestWriter::create(&manifest_path, &fingerprint)
+            .map_err(|e| format!("cannot create manifest {manifest_path:?}: {e}"))?
+    };
+
+    let mut pending: VecDeque<u32> =
+        (0..nblocks as u32).filter(|&b| !done[b as usize]).collect();
+    let mut done_count = nblocks - pending.len();
+
+    let (tx, rx) = std::sync::mpsc::channel::<Event>();
+    let mut fleet: HashMap<u32, WorkerState> = HashMap::new();
+    let mut next_worker_id = 0u32;
+
+    let spawn_one = |spawner: &mut dyn Spawner,
+                         fleet: &mut HashMap<u32, WorkerState>,
+                         next_worker_id: &mut u32,
+                         first: bool|
+     -> Result<(), String> {
+        let id = *next_worker_id;
+        *next_worker_id += 1;
+        let link = spawner.spawn(id, tx.clone())?;
+        fleet.insert(
+            id,
+            WorkerState { link, assigned: None, last_seen: Instant::now(), blocks_done: 0, first },
+        );
+        Ok(())
+    };
+
+    if let Some(progress) = &spec.progress {
+        progress(done_count, nblocks);
+    }
+    if done_count < nblocks {
+        for i in 0..spec.workers.min(pending.len()) {
+            spawn_one(spawner, &mut fleet, &mut next_worker_id, i == 0)?;
+        }
+    }
+
+    let tick = (spec.heartbeat_deadline / 4).clamp(Duration::from_millis(10), Duration::from_millis(500));
+    let mut chaos_killed = false;
+
+    // One worker's death: requeue its block, replace it if the budget
+    // allows. Returns the requeued block, if any.
+    fn bury(
+        report: &mut JobReport,
+        pending: &mut VecDeque<u32>,
+        fleet: &mut HashMap<u32, WorkerState>,
+        worker: u32,
+    ) {
+        let Some(mut st) = fleet.remove(&worker) else { return };
+        st.link.kill();
+        report.deaths += 1;
+        if let Some(block) = st.assigned {
+            pending.push_front(block);
+        }
+    }
+
+    while done_count < nblocks {
+        // Replace the fallen while the budget lasts. The fleet is sized to
+        // the remaining work (pending + in flight), capped at the
+        // configured worker count, so draining a short tail never burns
+        // respawn budget on workers with nothing to do.
+        let in_flight = fleet.values().filter(|st| st.assigned.is_some()).count();
+        let desired = spec.workers.min(pending.len() + in_flight).max(1);
+        while fleet.len() < desired && report.respawns < spec.respawn_budget {
+            spawn_one(spawner, &mut fleet, &mut next_worker_id, false)?;
+            report.respawns += 1;
+        }
+        if fleet.is_empty() {
+            return Err(format!(
+                "all workers dead with {} block(s) unfinished (respawn budget {} exhausted); \
+                 state checkpointed in {:?} — re-run with --resume",
+                nblocks - done_count,
+                spec.respawn_budget,
+                spec.state_dir
+            ));
+        }
+
+        let event = match rx.recv_timeout(tick) {
+            Ok(ev) => Some(ev),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => {
+                return Err("event channel closed with work outstanding".to_string())
+            }
+        };
+
+        // Deadline scan runs every iteration, not just on timeouts — a
+        // chatty healthy worker delivering events faster than the tick
+        // must not keep the loop from noticing a silent one.
+        let overdue: Vec<u32> = fleet
+            .iter()
+            .filter(|(_, st)| st.last_seen.elapsed() > spec.heartbeat_deadline)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in overdue {
+            report.deadline_kills += 1;
+            bury(&mut report, &mut pending, &mut fleet, id);
+        }
+
+        match event {
+            None => {}
+            Some(Event { worker, kind }) => {
+                if !fleet.contains_key(&worker) {
+                    continue; // stragglers from already-buried workers
+                }
+                match kind {
+                    EventKind::Frame(Msg::Hello { protocol, worker: claimed }) => {
+                        if protocol != PROTOCOL_VERSION || claimed != worker {
+                            report.corrupt_events += 1;
+                            bury(&mut report, &mut pending, &mut fleet, worker);
+                            continue;
+                        }
+                        let st = fleet.get_mut(&worker).expect("checked above");
+                        st.last_seen = Instant::now();
+                        assign(&mut report, &mut writer, &mut pending, &blocks, &done, st, worker)?;
+                    }
+                    EventKind::Frame(Msg::Heartbeat { .. }) => {
+                        let st = fleet.get_mut(&worker).expect("checked above");
+                        st.last_seen = Instant::now();
+                        // An idle heartbeat is also a work request: a block
+                        // requeued by a deadline kill after this worker
+                        // drained the queue would otherwise never be
+                        // dispatched again.
+                        assign(&mut report, &mut writer, &mut pending, &blocks, &done, st, worker)?;
+                    }
+                    EventKind::Frame(Msg::BlockResult { block, table }) => {
+                        let st = fleet.get_mut(&worker).expect("checked above");
+                        st.last_seen = Instant::now();
+                        let b = block as usize;
+                        let expected: Option<&[NodeId]> =
+                            blocks.get(b).map(|r| &spec.dests[r.clone()]);
+                        let valid = expected.is_some_and(|want| {
+                            RouteTableSet::decode(&table).is_ok_and(|t| {
+                                t.num_nodes() == spec.num_nodes && t.dests() == want
+                            })
+                        });
+                        if !valid {
+                            report.corrupt_events += 1;
+                            bury(&mut report, &mut pending, &mut fleet, worker);
+                            continue;
+                        }
+                        if st.assigned == Some(block) {
+                            st.assigned = None;
+                        }
+                        st.blocks_done += 1;
+                        let (first, worker_done) = (st.first, st.blocks_done);
+                        if !done[b] {
+                            write_atomic(&spool_path(&spec.state_dir, block), &table)?;
+                            writer
+                                .complete(block, table.len() as u64, crate::fnv1a(&table))
+                                .map_err(|e| format!("cannot append manifest: {e}"))?;
+                            done[b] = true;
+                            done_count += 1;
+                            if let Some(progress) = &spec.progress {
+                                progress(done_count, nblocks);
+                            }
+                        }
+                        if let Some(n) = spec.chaos_kill_after {
+                            if first && !chaos_killed && worker_done >= n {
+                                chaos_killed = true;
+                                bury(&mut report, &mut pending, &mut fleet, worker);
+                                continue;
+                            }
+                        }
+                        if let Some(n) = spec.chaos_stop_after {
+                            if done_count >= n as usize && done_count < nblocks {
+                                for (_, st) in fleet.iter_mut() {
+                                    st.link.kill();
+                                }
+                                return Err(format!(
+                                    "aborted by --chaos-stop-after {n}: {done_count}/{nblocks} \
+                                     blocks checkpointed in {:?}",
+                                    spec.state_dir
+                                ));
+                            }
+                        }
+                        let st = fleet.get_mut(&worker).expect("still here");
+                        assign(&mut report, &mut writer, &mut pending, &blocks, &done, st, worker)?;
+                    }
+                    EventKind::Frame(Msg::Bye { .. }) => {
+                        // Clean exits only happen after Shutdown, which is
+                        // only sent after all blocks are done.
+                        fleet.remove(&worker);
+                    }
+                    EventKind::Frame(other) => {
+                        // A worker speaking coordinator verbs is confused.
+                        let _ = other;
+                        report.corrupt_events += 1;
+                        bury(&mut report, &mut pending, &mut fleet, worker);
+                    }
+                    EventKind::Corrupt(_why) => {
+                        report.corrupt_events += 1;
+                        bury(&mut report, &mut pending, &mut fleet, worker);
+                    }
+                    EventKind::Closed => {
+                        bury(&mut report, &mut pending, &mut fleet, worker);
+                    }
+                }
+            }
+        }
+    }
+
+    for (_, st) in fleet.iter_mut() {
+        let _ = st.link.send(&Msg::Shutdown);
+    }
+    drop(fleet); // kills any worker that ignores the drain
+
+    // Deterministic merge straight from the spool.
+    let mut parts = Vec::with_capacity(nblocks);
+    for b in 0..nblocks as u32 {
+        let path = spool_path(&spec.state_dir, b);
+        let bytes =
+            std::fs::read(&path).map_err(|e| format!("spool file {path:?} vanished: {e}"))?;
+        parts.push(
+            RouteTableSet::decode(&bytes).map_err(|e| format!("spool file {path:?}: {e}"))?,
+        );
+    }
+    let merged = RouteTableSet::merge(spec.num_nodes, &spec.dests, parts)?;
+    let encoded = merged.encode();
+    write_atomic(&spec.out_path, &encoded)?;
+    report.merged_bytes = encoded.len();
+    report.elapsed = t0.elapsed();
+    Ok(report)
+}
+
+/// Hand the next pending block to an idle worker. A killed worker's block
+/// can get requeued after a twin finished it (kill race); those are
+/// dropped here so a finished block is never re-dispatched.
+fn assign(
+    report: &mut JobReport,
+    writer: &mut ManifestWriter,
+    pending: &mut VecDeque<u32>,
+    blocks: &[std::ops::Range<usize>],
+    done: &[bool],
+    st: &mut WorkerState,
+    worker: u32,
+) -> Result<(), String> {
+    if st.assigned.is_some() {
+        return Ok(());
+    }
+    let block = loop {
+        let Some(block) = pending.pop_front() else { return Ok(()) };
+        if !done[block as usize] {
+            break block;
+        }
+    };
+    writer
+        .dispatch(block, worker)
+        .map_err(|e| format!("cannot append manifest: {e}"))?;
+    report.dispatches += 1;
+    st.assigned = Some(block);
+    let range = &blocks[block as usize];
+    // The send can fail if the worker died between events; the reader
+    // thread's Closed event will then requeue the block.
+    let _ = st.link.send(&Msg::Assign {
+        block,
+        start: range.start as u32,
+        len: range.len() as u32,
+    });
+    Ok(())
+}

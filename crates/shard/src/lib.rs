@@ -1,0 +1,169 @@
+//! Sharded whole-table solve service.
+//!
+//! [`miro_bgp::engine::par_over_dests`] parallelizes a whole-network
+//! solve *within* one process; this crate is the layer above it — the
+//! batch service that turns "solve every destination of a 70k-AS graph"
+//! into work a fleet of worker processes can chew through, survive
+//! crashes during, and resume after a coordinator restart.
+//!
+//! The shape is deliberately boring: a coordinator partitions the
+//! destination space into fixed-size blocks ([`miro_bgp::engine::dest_blocks`]),
+//! spawns N worker subprocesses, and speaks a small length-prefixed
+//! framed protocol ([`protocol`]) over each worker's stdin/stdout. Every
+//! completed block lands in a spool directory and is recorded in an
+//! append-only [`manifest`]; the final merge assembles the spool into one
+//! columnar [`format::RouteTableSet`] whose bytes are identical no matter
+//! how many blocks, workers, or worker deaths the run saw.
+//!
+//! Robustness is first-class, not bolted on:
+//!
+//! * a worker that **crashes** (stdout EOF) gets its in-flight block
+//!   pushed back to the front of the queue and is replaced while the
+//!   respawn budget lasts;
+//! * a worker that **hangs** past the heartbeat deadline is killed and
+//!   treated as crashed;
+//! * a worker that returns a **corrupt frame** (checksum mismatch) or a
+//!   block that fails validation is killed and treated as crashed;
+//! * a coordinator that dies mid-run leaves a valid manifest behind —
+//!   `--resume` re-verifies every checkpointed block against its spool
+//!   file and re-dispatches only what is missing.
+
+pub mod coordinator;
+pub mod format;
+pub mod manifest;
+pub mod protocol;
+pub mod worker;
+
+use miro_topology::gen::DatasetPreset;
+use miro_topology::{NodeId, Topology};
+
+/// 64-bit FNV-1a: the checksum used by the wire frames, the spool
+/// manifest, and the route-table format. Not cryptographic — it guards
+/// against truncation, bit rot, and torn writes, which is what a batch
+/// service on one machine actually faces.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The destination sample a job solves: every node when `sample == 0` or
+/// `sample >= num_nodes`, otherwise `sample` destinations spread evenly
+/// by stride. Coordinator and workers both derive the list from this one
+/// function (it is part of the job fingerprint), so a block's
+/// `(start, len)` indices mean the same destinations everywhere.
+pub fn sample_dests(num_nodes: usize, sample: usize) -> Vec<NodeId> {
+    if sample == 0 || sample >= num_nodes {
+        return (0..num_nodes as NodeId).collect();
+    }
+    let stride = num_nodes / sample;
+    (0..num_nodes as NodeId).step_by(stride.max(1)).take(sample).collect()
+}
+
+/// How a worker obtains the topology the coordinator is sharding: both
+/// sides rebuild it independently (generation is deterministic and the
+/// ingest cache is on shared disk), so the protocol never has to move a
+/// 350k-edge graph through a pipe.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TopoSpec {
+    /// A generated preset: name as accepted by [`parse_preset`], scale
+    /// factor, and seed.
+    Preset { preset: String, factor: f64, seed: u64 },
+    /// A `miro ingest` JSON cache on disk.
+    Cache { path: String },
+}
+
+/// Preset names as spelled on the `miro` command line.
+pub fn parse_preset(name: &str) -> Result<DatasetPreset, String> {
+    Ok(match name {
+        "gao2000" => DatasetPreset::Gao2000,
+        "gao2003" => DatasetPreset::Gao2003,
+        "gao2005" => DatasetPreset::Gao2005,
+        "agarwal2004" => DatasetPreset::Agarwal2004,
+        "internet" => DatasetPreset::InternetScale,
+        other => {
+            return Err(format!(
+                "unknown preset {other:?} (expected gao2000|gao2003|gao2005|agarwal2004|internet)"
+            ))
+        }
+    })
+}
+
+impl TopoSpec {
+    /// Build the topology this spec describes.
+    pub fn build(&self) -> Result<Topology, String> {
+        match self {
+            TopoSpec::Preset { preset, factor, seed } => {
+                Ok(parse_preset(preset)?.params(*factor, *seed).generate())
+            }
+            TopoSpec::Cache { path } => {
+                let json = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read cache {path:?}: {e}"))?;
+                let cache = miro_topology::io::stream::IngestCache::from_json(&json)
+                    .map_err(|e| format!("cache {path:?}: {e}"))?;
+                cache
+                    .topology
+                    .build()
+                    .map_err(|e| format!("cache {path:?} holds an invalid topology: {e}"))
+            }
+        }
+    }
+
+    /// The argv fragment that makes `miro shard-worker` rebuild the same
+    /// topology.
+    pub fn to_args(&self) -> Vec<String> {
+        match self {
+            TopoSpec::Preset { preset, factor, seed } => vec![
+                "--preset".into(),
+                preset.clone(),
+                "--factor".into(),
+                factor.to_string(),
+                "--seed".into(),
+                seed.to_string(),
+            ],
+            TopoSpec::Cache { path } => vec!["--cache".into(), path.clone()],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable_and_input_sensitive() {
+        // Pinned: these values are baked into on-disk artifacts.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"miro"), fnv1a(b"miro"));
+        assert_ne!(fnv1a(b"miro"), fnv1a(b"mirp"));
+    }
+
+    #[test]
+    fn sample_dests_covers_and_strides() {
+        assert_eq!(sample_dests(5, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(sample_dests(5, 9), vec![0, 1, 2, 3, 4]);
+        let s = sample_dests(100, 10);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s[0], 0);
+        assert_eq!(s[1], 10);
+    }
+
+    #[test]
+    fn preset_spec_round_trips_and_builds() {
+        let spec =
+            TopoSpec::Preset { preset: "gao2005".into(), factor: 0.01, seed: 42 };
+        let t = spec.build().expect("preset builds");
+        assert_eq!(t.num_nodes(), 209);
+        assert_eq!(
+            spec.to_args(),
+            vec!["--preset", "gao2005", "--factor", "0.01", "--seed", "42"]
+        );
+        assert!(TopoSpec::Preset { preset: "nope".into(), factor: 1.0, seed: 1 }
+            .build()
+            .unwrap_err()
+            .contains("unknown preset"));
+    }
+}

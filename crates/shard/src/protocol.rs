@@ -1,0 +1,287 @@
+//! The coordinator↔worker wire protocol: length-prefixed, checksummed
+//! frames over the worker's stdin/stdout.
+//!
+//! Frame layout (all little-endian):
+//!
+//! ```text
+//! u32  payload length N (kind byte + body)
+//! u8   message kind        ┐
+//! ...  body (N-1 bytes)    ┘ payload
+//! u64  FNV-1a checksum of the payload
+//! ```
+//!
+//! A frame whose checksum does not match, whose kind is unknown, or whose
+//! body does not parse exactly is a [`FrameError::Corrupt`] — the
+//! coordinator treats a worker that sends one as crashed (kill, reassign
+//! its block). Clean EOF between frames is [`FrameError::Eof`]; EOF *in*
+//! a frame is corruption (a torn write). The length field is capped by
+//! [`MAX_FRAME`] so a corrupted length cannot make the reader allocate
+//! gigabytes.
+
+use crate::fnv1a;
+use std::io::{Read, Write};
+
+/// Protocol revision spoken in [`Msg::Hello`]; both sides must agree.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Largest acceptable payload: a block result is the dominant frame, and
+/// 256 MiB of columnar rows is ~38k destinations of a 70k-AS table —
+/// far above any sane block size.
+pub const MAX_FRAME: u32 = 256 << 20;
+
+/// One protocol message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Msg {
+    /// Worker → coordinator, once at startup.
+    Hello { protocol: u32, worker: u32 },
+    /// Coordinator → worker: solve destinations `start..start+len` (block
+    /// indices into the job's canonical destination list).
+    Assign { block: u32, start: u32, len: u32 },
+    /// Worker → coordinator, periodically: still alive; `block` is the
+    /// assignment in progress (`u32::MAX` when idle).
+    Heartbeat { worker: u32, block: u32 },
+    /// Worker → coordinator: one completed block, as an encoded
+    /// [`crate::format::RouteTableSet`] restricted to the block's dests.
+    BlockResult { block: u32, table: Vec<u8> },
+    /// Coordinator → worker: drain and exit.
+    Shutdown,
+    /// Worker → coordinator: clean exit acknowledgement.
+    Bye { worker: u32, blocks_done: u32 },
+}
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Clean end of stream between frames (worker exited / closed pipe).
+    Eof,
+    /// The stream broke mid-frame or the bytes fail validation.
+    Corrupt(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Eof => write!(f, "end of stream"),
+            FrameError::Corrupt(why) => write!(f, "corrupt frame: {why}"),
+            FrameError::Io(e) => write!(f, "frame read error: {e}"),
+        }
+    }
+}
+
+const KIND_HELLO: u8 = 1;
+const KIND_ASSIGN: u8 = 2;
+const KIND_HEARTBEAT: u8 = 3;
+const KIND_BLOCK_RESULT: u8 = 4;
+const KIND_SHUTDOWN: u8 = 5;
+const KIND_BYE: u8 = 6;
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Serialize one message as a frame.
+pub fn encode_frame(msg: &Msg) -> Vec<u8> {
+    let mut payload = Vec::new();
+    match msg {
+        Msg::Hello { protocol, worker } => {
+            payload.push(KIND_HELLO);
+            push_u32(&mut payload, *protocol);
+            push_u32(&mut payload, *worker);
+        }
+        Msg::Assign { block, start, len } => {
+            payload.push(KIND_ASSIGN);
+            push_u32(&mut payload, *block);
+            push_u32(&mut payload, *start);
+            push_u32(&mut payload, *len);
+        }
+        Msg::Heartbeat { worker, block } => {
+            payload.push(KIND_HEARTBEAT);
+            push_u32(&mut payload, *worker);
+            push_u32(&mut payload, *block);
+        }
+        Msg::BlockResult { block, table } => {
+            payload.reserve(5 + table.len());
+            payload.push(KIND_BLOCK_RESULT);
+            push_u32(&mut payload, *block);
+            payload.extend_from_slice(table);
+        }
+        Msg::Shutdown => payload.push(KIND_SHUTDOWN),
+        Msg::Bye { worker, blocks_done } => {
+            payload.push(KIND_BYE);
+            push_u32(&mut payload, *worker);
+            push_u32(&mut payload, *blocks_done);
+        }
+    }
+    let mut out = Vec::with_capacity(12 + payload.len());
+    push_u32(&mut out, payload.len() as u32);
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+    out
+}
+
+/// Write one message as a frame and flush (frames carry control flow, so
+/// they must not sit in a BufWriter).
+pub fn write_frame<W: Write>(w: &mut W, msg: &Msg) -> std::io::Result<()> {
+    w.write_all(&encode_frame(msg))?;
+    w.flush()
+}
+
+fn read_exact_or(r: &mut impl Read, buf: &mut [u8], start_of_frame: bool) -> Result<(), FrameError> {
+    let mut at = 0;
+    while at < buf.len() {
+        match r.read(&mut buf[at..]) {
+            Ok(0) => {
+                return Err(if start_of_frame && at == 0 {
+                    FrameError::Eof
+                } else {
+                    FrameError::Corrupt("stream ended mid-frame".to_string())
+                });
+            }
+            Ok(n) => at += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+fn body_u32(body: &[u8], at: usize) -> Result<u32, FrameError> {
+    body.get(at..at + 4)
+        .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+        .ok_or_else(|| FrameError::Corrupt("short body".to_string()))
+}
+
+/// Read one message. Blocks until a full frame (or EOF) arrives.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Msg, FrameError> {
+    let mut len4 = [0u8; 4];
+    read_exact_or(r, &mut len4, true)?;
+    let len = u32::from_le_bytes(len4);
+    if len == 0 {
+        return Err(FrameError::Corrupt("zero-length payload".to_string()));
+    }
+    if len > MAX_FRAME {
+        return Err(FrameError::Corrupt(format!("{len}-byte payload exceeds MAX_FRAME")));
+    }
+    let mut payload = vec![0u8; len as usize];
+    read_exact_or(r, &mut payload, false)?;
+    let mut sum8 = [0u8; 8];
+    read_exact_or(r, &mut sum8, false)?;
+    if fnv1a(&payload) != u64::from_le_bytes(sum8) {
+        return Err(FrameError::Corrupt("checksum mismatch".to_string()));
+    }
+    let (kind, body) = (payload[0], &payload[1..]);
+    let fixed = |want: usize| -> Result<(), FrameError> {
+        (body.len() == want)
+            .then_some(())
+            .ok_or_else(|| FrameError::Corrupt(format!("kind {kind}: bad body length")))
+    };
+    match kind {
+        KIND_HELLO => {
+            fixed(8)?;
+            Ok(Msg::Hello { protocol: body_u32(body, 0)?, worker: body_u32(body, 4)? })
+        }
+        KIND_ASSIGN => {
+            fixed(12)?;
+            Ok(Msg::Assign {
+                block: body_u32(body, 0)?,
+                start: body_u32(body, 4)?,
+                len: body_u32(body, 8)?,
+            })
+        }
+        KIND_HEARTBEAT => {
+            fixed(8)?;
+            Ok(Msg::Heartbeat { worker: body_u32(body, 0)?, block: body_u32(body, 4)? })
+        }
+        KIND_BLOCK_RESULT => {
+            if body.len() < 4 {
+                return Err(FrameError::Corrupt("block result without header".to_string()));
+            }
+            Ok(Msg::BlockResult { block: body_u32(body, 0)?, table: body[4..].to_vec() })
+        }
+        KIND_SHUTDOWN => {
+            fixed(0)?;
+            Ok(Msg::Shutdown)
+        }
+        KIND_BYE => {
+            fixed(8)?;
+            Ok(Msg::Bye { worker: body_u32(body, 0)?, blocks_done: body_u32(body, 4)? })
+        }
+        other => Err(FrameError::Corrupt(format!("unknown message kind {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_msgs() -> Vec<Msg> {
+        vec![
+            Msg::Hello { protocol: PROTOCOL_VERSION, worker: 3 },
+            Msg::Assign { block: 7, start: 448, len: 64 },
+            Msg::Heartbeat { worker: 3, block: u32::MAX },
+            Msg::BlockResult { block: 7, table: vec![1, 2, 3, 250, 0, 9] },
+            Msg::Shutdown,
+            Msg::Bye { worker: 3, blocks_done: 12 },
+        ]
+    }
+
+    #[test]
+    fn frames_round_trip_back_to_back() {
+        let msgs = all_msgs();
+        let mut stream = Vec::new();
+        for m in &msgs {
+            write_frame(&mut stream, m).unwrap();
+        }
+        let mut r = &stream[..];
+        for m in &msgs {
+            assert_eq!(&read_frame(&mut r).unwrap(), m);
+        }
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Eof)));
+    }
+
+    #[test]
+    fn corruption_truncation_and_oversize_are_rejected() {
+        let good = encode_frame(&Msg::Assign { block: 1, start: 2, len: 3 });
+
+        // Bit flip in the body → checksum mismatch.
+        let mut bad = good.clone();
+        bad[6] ^= 0x01;
+        let err = read_frame(&mut &bad[..]).unwrap_err();
+        assert!(matches!(err, FrameError::Corrupt(ref w) if w.contains("checksum")), "{err}");
+
+        // Bit flip in the trailing checksum itself.
+        let mut bad = good.clone();
+        *bad.last_mut().unwrap() ^= 0x80;
+        assert!(matches!(read_frame(&mut &bad[..]).unwrap_err(), FrameError::Corrupt(_)));
+
+        // Torn mid-frame: corruption, not clean EOF.
+        let err = read_frame(&mut &good[..good.len() - 2]).unwrap_err();
+        assert!(matches!(err, FrameError::Corrupt(ref w) if w.contains("mid-frame")), "{err}");
+
+        // Absurd length prefix refuses before allocating.
+        let mut bad = good.clone();
+        bad[..4].copy_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        let err = read_frame(&mut &bad[..]).unwrap_err();
+        assert!(matches!(err, FrameError::Corrupt(ref w) if w.contains("MAX_FRAME")), "{err}");
+
+        // Unknown kind (re-checksummed so only the kind is wrong).
+        let mut payload = vec![99u8];
+        payload.extend_from_slice(&[0; 12]);
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bad.extend_from_slice(&payload);
+        bad.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        let err = read_frame(&mut &bad[..]).unwrap_err();
+        assert!(matches!(err, FrameError::Corrupt(ref w) if w.contains("unknown message kind")), "{err}");
+
+        // A wrong body length for a known kind.
+        let payload = vec![KIND_SHUTDOWN, 0xAB];
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bad.extend_from_slice(&payload);
+        bad.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        assert!(matches!(read_frame(&mut &bad[..]).unwrap_err(), FrameError::Corrupt(_)));
+    }
+}

@@ -1,0 +1,192 @@
+//! The shard worker: the subprocess end of the protocol.
+//!
+//! A worker rebuilds the job's topology from its argv spec, says
+//! [`Msg::Hello`], and then loops: take a block assignment, solve it with
+//! [`RouteTableSet::from_solves`] (which reuses per-thread scratch arenas
+//! via `par_over_dests`), send the encoded block back, repeat until
+//! [`Msg::Shutdown`] or the coordinator's pipe closes. A background
+//! thread heartbeats the whole time — including *during* a long solve —
+//! so the coordinator can tell "still grinding block 17" from "hung".
+//! Both threads write frames through one mutex so heartbeats never tear a
+//! block-result frame.
+
+use crate::format::RouteTableSet;
+use crate::protocol::{read_frame, write_frame, FrameError, Msg, PROTOCOL_VERSION};
+use miro_topology::{NodeId, Topology};
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Heartbeat block id meaning "idle".
+pub const IDLE_BLOCK: u32 = u32::MAX;
+
+/// Per-worker settings, fixed for the worker's lifetime.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkerConfig {
+    /// Id the coordinator assigned (echoed in every heartbeat).
+    pub worker: u32,
+    /// Solver threads inside this worker.
+    pub threads: usize,
+    /// Interval between heartbeats.
+    pub heartbeat: Duration,
+}
+
+/// Run the worker loop over `input`/`output` until shutdown or EOF.
+/// `dests` is the job's canonical destination list — assignments index
+/// into it, so it must match the coordinator's (both sides derive it with
+/// [`crate::sample_dests`] from the same spec).
+pub fn run<R, W>(
+    topo: &Topology,
+    dests: &[NodeId],
+    cfg: WorkerConfig,
+    mut input: R,
+    output: W,
+) -> Result<(), String>
+where
+    R: Read,
+    W: Write + Send + 'static,
+{
+    let output = Arc::new(Mutex::new(output));
+    let current = Arc::new(AtomicU32::new(IDLE_BLOCK));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    {
+        let mut out = output.lock().expect("worker stdout mutex");
+        write_frame(&mut *out, &Msg::Hello { protocol: PROTOCOL_VERSION, worker: cfg.worker })
+            .map_err(|e| format!("worker {}: cannot greet coordinator: {e}", cfg.worker))?;
+    }
+
+    let beat = {
+        let (output, current, stop) = (output.clone(), current.clone(), stop.clone());
+        let (worker, interval) = (cfg.worker, cfg.heartbeat);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(interval);
+                let msg = Msg::Heartbeat { worker, block: current.load(Ordering::Relaxed) };
+                let mut out = output.lock().expect("worker stdout mutex");
+                if write_frame(&mut *out, &msg).is_err() {
+                    break; // coordinator is gone; the main loop will see EOF
+                }
+            }
+        })
+    };
+
+    let mut blocks_done = 0u32;
+    let result = loop {
+        match read_frame(&mut input) {
+            Ok(Msg::Assign { block, start, len }) => {
+                let (start, len) = (start as usize, len as usize);
+                if start + len > dests.len() || len == 0 {
+                    break Err(format!(
+                        "worker {}: assignment {block} covers {start}..{} of {} dests",
+                        cfg.worker,
+                        start + len,
+                        dests.len()
+                    ));
+                }
+                current.store(block, Ordering::Relaxed);
+                let table =
+                    RouteTableSet::from_solves(topo, &dests[start..start + len], cfg.threads);
+                current.store(IDLE_BLOCK, Ordering::Relaxed);
+                let msg = Msg::BlockResult { block, table: table.encode() };
+                let mut out = output.lock().expect("worker stdout mutex");
+                if let Err(e) = write_frame(&mut *out, &msg) {
+                    break Err(format!("worker {}: cannot send block {block}: {e}", cfg.worker));
+                }
+                blocks_done += 1;
+            }
+            Ok(Msg::Shutdown) => {
+                let mut out = output.lock().expect("worker stdout mutex");
+                let _ = write_frame(&mut *out, &Msg::Bye { worker: cfg.worker, blocks_done });
+                break Ok(());
+            }
+            // Coordinator exited (cleanly or not): nothing left to do.
+            Err(FrameError::Eof) => break Ok(()),
+            Err(e) => break Err(format!("worker {}: {e}", cfg.worker)),
+            Ok(other) => {
+                break Err(format!("worker {}: unexpected message {other:?}", cfg.worker))
+            }
+        }
+    };
+    stop.store(true, Ordering::Relaxed);
+    let _ = beat.join();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miro_topology::GenParams;
+
+    /// Drive a worker end-to-end over in-memory byte streams.
+    #[test]
+    fn worker_solves_blocks_and_drains() {
+        let topo = GenParams::tiny(5).generate();
+        let dests = crate::sample_dests(topo.num_nodes(), 10);
+        let mut script = Vec::new();
+        write_frame(&mut script, &Msg::Assign { block: 0, start: 0, len: 4 }).unwrap();
+        write_frame(&mut script, &Msg::Assign { block: 1, start: 4, len: 6 }).unwrap();
+        write_frame(&mut script, &Msg::Shutdown).unwrap();
+
+        let out: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let cfg = WorkerConfig { worker: 9, threads: 2, heartbeat: Duration::from_millis(5) };
+        run(&topo, &dests, cfg, &script[..], Shared(out.clone())).expect("worker runs");
+
+        let replies = out.lock().unwrap();
+        let mut r = &replies[..];
+        let mut results = Vec::new();
+        let mut heartbeats = 0;
+        let mut said_hello = false;
+        let mut said_bye = false;
+        loop {
+            match read_frame(&mut r) {
+                Ok(Msg::Hello { protocol, worker }) => {
+                    assert_eq!((protocol, worker), (PROTOCOL_VERSION, 9));
+                    said_hello = true;
+                }
+                Ok(Msg::Heartbeat { worker, .. }) => {
+                    assert_eq!(worker, 9);
+                    heartbeats += 1;
+                }
+                Ok(Msg::BlockResult { block, table }) => {
+                    results.push((block, RouteTableSet::decode(&table).expect("block decodes")));
+                }
+                Ok(Msg::Bye { worker, blocks_done }) => {
+                    assert_eq!((worker, blocks_done), (9, 2));
+                    said_bye = true;
+                }
+                Err(FrameError::Eof) => break,
+                other => panic!("unexpected worker output: {other:?}"),
+            }
+        }
+        assert!(said_hello && said_bye, "hello={said_hello} bye={said_bye}");
+        let _ = heartbeats; // interval-dependent; zero is legal on a fast machine
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].1.dests(), &dests[0..4]);
+        assert_eq!(results[1].1.dests(), &dests[4..10]);
+        let reference = RouteTableSet::from_solves(&topo, &dests[0..4], 1);
+        assert_eq!(results[0].1, reference, "worker block matches direct solve");
+    }
+
+    #[test]
+    fn out_of_range_assignment_is_fatal() {
+        let topo = GenParams::tiny(5).generate();
+        let dests = crate::sample_dests(topo.num_nodes(), 4);
+        let mut script = Vec::new();
+        write_frame(&mut script, &Msg::Assign { block: 0, start: 2, len: 10 }).unwrap();
+        let cfg = WorkerConfig { worker: 0, threads: 1, heartbeat: Duration::from_secs(10) };
+        let err = run(&topo, &dests, cfg, &script[..], Vec::new()).unwrap_err();
+        assert!(err.contains("covers"), "{err}");
+    }
+}

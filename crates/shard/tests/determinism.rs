@@ -1,0 +1,415 @@
+//! Coordinator-level tests with an in-process worker fleet.
+//!
+//! The fleet runs the *real* [`miro_shard::worker::run`] loop over
+//! in-memory byte pipes, wired into the coordinator through the same
+//! [`Spawner`]/[`WorkerLink`] traits the subprocess spawner uses — so the
+//! dispatch state machine, protocol, manifest, and merge are exercised
+//! end to end without any process spawning. Misbehaving workers
+//! (mid-job death, hangs, garbage frames) are scripted doubles.
+//!
+//! The headline property (ISSUE 5 satellite): the merged table's bytes
+//! are identical to a single-process `par_over_dests` reference no matter
+//! how the destination space is blocked, how many workers run, or whether
+//! one of them dies mid-job.
+
+use miro_shard::coordinator::{self, Event, JobSpec, Spawner, WorkerLink};
+use miro_shard::format::RouteTableSet;
+use miro_shard::protocol::{read_frame, write_frame, FrameError, Msg, PROTOCOL_VERSION};
+use miro_shard::worker::{self, WorkerConfig};
+use miro_shard::{manifest, sample_dests};
+use miro_topology::{GenParams, NodeId, Topology};
+use proptest::prelude::*;
+use std::io::{Read, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::time::Duration;
+
+// ---------------------------------------------------------------- pipes
+
+/// One half-duplex in-memory pipe: `Write` end feeds chunks to a `Read`
+/// end over a channel; dropping the writer is EOF, dropping the reader
+/// makes writes fail like a broken pipe (exactly what a killed process
+/// does to whoever holds its stdin).
+fn pipe() -> (PipeWriter, PipeReader) {
+    let (tx, rx) = std::sync::mpsc::channel::<Vec<u8>>();
+    (PipeWriter { tx }, PipeReader { rx, buf: Vec::new(), at: 0 })
+}
+
+struct PipeWriter {
+    tx: Sender<Vec<u8>>,
+}
+
+impl Write for PipeWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.tx
+            .send(buf.to_vec())
+            .map_err(|_| std::io::Error::new(std::io::ErrorKind::BrokenPipe, "reader gone"))?;
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+struct PipeReader {
+    rx: Receiver<Vec<u8>>,
+    buf: Vec<u8>,
+    at: usize,
+}
+
+impl Read for PipeReader {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        while self.at == self.buf.len() {
+            match self.rx.recv() {
+                Ok(chunk) => {
+                    self.buf = chunk;
+                    self.at = 0;
+                }
+                Err(_) => return Ok(0), // all writers dropped: EOF
+            }
+        }
+        let n = (self.buf.len() - self.at).min(out.len());
+        out[..n].copy_from_slice(&self.buf[self.at..self.at + n]);
+        self.at += n;
+        Ok(n)
+    }
+}
+
+// ---------------------------------------------------------- worker fleet
+
+/// What the n-th spawned worker does with its life.
+#[derive(Clone, Copy, Debug)]
+enum Behavior {
+    /// Run the real worker loop.
+    Good,
+    /// Solve N blocks correctly, then crash holding the next assignment
+    /// (drop both pipes mid-block), forcing a reassignment.
+    DieAfter(u32),
+    /// Say hello, accept an assignment, then go silent — no result, no
+    /// heartbeat. Only the deadline scan can clear this one.
+    Hang,
+    /// Say hello, then write garbage bytes instead of a frame.
+    Garbage,
+}
+
+struct LocalSpawner {
+    topo: Arc<Topology>,
+    dests: Arc<Vec<NodeId>>,
+    /// Behavior per spawn order; spawns past the end are `Good`.
+    behaviors: Vec<Behavior>,
+    spawned: usize,
+    /// Set once any `DieAfter` worker has been *sent* its fatal
+    /// assignment — from then on a death is guaranteed observable (the
+    /// job cannot finish without that block being reassigned), so tests
+    /// can assert on `report.deaths` without racing the scheduler.
+    victim_armed: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl LocalSpawner {
+    fn new(topo: &Arc<Topology>, dests: &Arc<Vec<NodeId>>, behaviors: Vec<Behavior>) -> Self {
+        LocalSpawner {
+            topo: topo.clone(),
+            dests: dests.clone(),
+            behaviors,
+            spawned: 0,
+            victim_armed: Arc::new(std::sync::atomic::AtomicBool::new(false)),
+        }
+    }
+}
+
+struct LocalLink {
+    stdin: Option<PipeWriter>,
+    /// `Some(counter)` for `DieAfter(n)` workers: flips `victim_armed`
+    /// once the n+1-th assignment (the fatal one) has been sent.
+    arm_after: Option<(u32, Arc<std::sync::atomic::AtomicBool>)>,
+    assigns_sent: u32,
+}
+
+impl WorkerLink for LocalLink {
+    fn send(&mut self, msg: &Msg) -> std::io::Result<()> {
+        if matches!(msg, Msg::Assign { .. }) {
+            self.assigns_sent += 1;
+            if let Some((fatal, armed)) = &self.arm_after {
+                if self.assigns_sent > *fatal {
+                    armed.store(true, Ordering::SeqCst);
+                }
+            }
+        }
+        match self.stdin.as_mut() {
+            Some(w) => write_frame(w, msg),
+            None => Err(std::io::Error::new(std::io::ErrorKind::BrokenPipe, "stdin closed")),
+        }
+    }
+    fn kill(&mut self) {
+        self.stdin = None;
+    }
+}
+
+/// A worker that solves correctly but crashes after `n` blocks.
+fn die_after(
+    topo: &Topology,
+    dests: &[NodeId],
+    worker: u32,
+    n: u32,
+    mut input: PipeReader,
+    mut output: PipeWriter,
+) {
+    let _ = write_frame(&mut output, &Msg::Hello { protocol: PROTOCOL_VERSION, worker });
+    let mut done = 0;
+    loop {
+        match read_frame(&mut input) {
+            Ok(Msg::Assign { block, start, len }) => {
+                if done == n {
+                    // Crash with the assignment in flight: both pipes drop,
+                    // the coordinator must requeue this block.
+                    return;
+                }
+                let (start, len) = (start as usize, len as usize);
+                let table = RouteTableSet::from_solves(topo, &dests[start..start + len], 1);
+                if write_frame(&mut output, &Msg::BlockResult { block, table: table.encode() })
+                    .is_err()
+                {
+                    return;
+                }
+                done += 1;
+            }
+            _ => return,
+        }
+    }
+}
+
+/// A worker that takes an assignment and then never says anything again
+/// (until its stdin is closed by the kill).
+fn hang(worker: u32, mut input: PipeReader, mut output: PipeWriter) {
+    let _ = write_frame(&mut output, &Msg::Hello { protocol: PROTOCOL_VERSION, worker });
+    let _ = read_frame(&mut input); // the assignment
+    loop {
+        match read_frame(&mut input) {
+            Err(FrameError::Eof) => return,
+            Err(_) => return,
+            Ok(_) => {}
+        }
+    }
+}
+
+fn garbage(worker: u32, mut input: PipeReader, mut output: PipeWriter) {
+    let _ = write_frame(&mut output, &Msg::Hello { protocol: PROTOCOL_VERSION, worker });
+    let _ = output.write_all(&[0xde, 0xad, 0xbe, 0xef, 0x00, 0x01, 0x02, 0x03, 0x04, 0x05]);
+    loop {
+        match read_frame(&mut input) {
+            Err(_) => return,
+            Ok(Msg::Shutdown) => return,
+            Ok(_) => {}
+        }
+    }
+}
+
+impl Spawner for LocalSpawner {
+    fn spawn(&mut self, worker: u32, events: Sender<Event>) -> Result<Box<dyn WorkerLink>, String> {
+        let behavior = self.behaviors.get(self.spawned).copied().unwrap_or(Behavior::Good);
+        self.spawned += 1;
+        let (stdin_w, stdin_r) = pipe();
+        let (stdout_w, stdout_r) = pipe();
+        let topo = self.topo.clone();
+        let dests = self.dests.clone();
+        std::thread::spawn(move || match behavior {
+            Behavior::Good => {
+                let cfg =
+                    WorkerConfig { worker, threads: 1, heartbeat: Duration::from_millis(20) };
+                let _ = worker::run(&topo, &dests, cfg, stdin_r, stdout_w);
+            }
+            Behavior::DieAfter(n) => die_after(&topo, &dests, worker, n, stdin_r, stdout_w),
+            Behavior::Hang => hang(worker, stdin_r, stdout_w),
+            Behavior::Garbage => garbage(worker, stdin_r, stdout_w),
+        });
+        std::thread::spawn(move || coordinator::pump_events(worker, stdout_r, &events));
+        let arm_after = match behavior {
+            Behavior::DieAfter(n) => Some((n, self.victim_armed.clone())),
+            _ => None,
+        };
+        Ok(Box::new(LocalLink { stdin: Some(stdin_w), arm_after, assigns_sent: 0 }))
+    }
+}
+
+// ------------------------------------------------------------- helpers
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir()
+        .join(format!("miro_shard_test_{}_{tag}_{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn spec(dests: &[NodeId], topo: &Topology, block_size: usize, workers: usize, dir: &std::path::Path) -> JobSpec {
+    JobSpec {
+        dests: dests.to_vec(),
+        num_nodes: topo.num_nodes() as u32,
+        num_edges: topo.num_edges() as u32,
+        block_size,
+        workers,
+        state_dir: dir.join("state"),
+        out_path: dir.join("table.mirt"),
+        resume: false,
+        heartbeat_deadline: Duration::from_millis(400),
+        respawn_budget: 4,
+        chaos_kill_after: None,
+        chaos_stop_after: None,
+        progress: None,
+    }
+}
+
+// --------------------------------------------------------------- tests
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// ISSUE 5 satellite: sharded solves split into 1, 2, and 8 blocks —
+    /// with varying fleet sizes and optionally one worker dying mid-job —
+    /// produce byte-identical output to the unsharded reference.
+    #[test]
+    fn sharded_solve_bytes_match_unsharded_reference(
+        nblocks in (0usize..3).prop_map(|i| [1usize, 2, 8][i]),
+        workers in 1usize..4,
+        death in any::<bool>(),
+        seed in 0u64..4,
+    ) {
+        let topo = Arc::new(GenParams::tiny(seed).generate());
+        let dests = Arc::new(sample_dests(topo.num_nodes(), 24));
+        let reference =
+            RouteTableSet::from_solves(&topo, &dests, 2).encode();
+
+        let block_size = dests.len().div_ceil(nblocks);
+        let dir = fresh_dir("prop");
+        let mut job = spec(&dests, &topo, block_size, workers, &dir);
+        // A death only demonstrates reassignment if someone else can pick
+        // the block up (or a respawn can) — the budget covers both.
+        let behaviors = if death {
+            vec![Behavior::DieAfter(1)]
+        } else {
+            Vec::new()
+        };
+        // The single-worker + death case leans on the respawn budget.
+        job.respawn_budget = 4;
+        let mut spawner = LocalSpawner::new(&topo, &dests, behaviors);
+        let report = coordinator::run(&job, &mut spawner).expect("job finishes");
+
+        let merged = std::fs::read(&job.out_path).unwrap();
+        prop_assert_eq!(&merged, &reference, "merged bytes differ from unsharded reference");
+        prop_assert_eq!(report.blocks, dests.len().div_ceil(block_size));
+        // If the victim was sent its fatal assignment, the job cannot have
+        // finished without observing the crash and reassigning the block.
+        if death && spawner.victim_armed.load(Ordering::SeqCst) {
+            prop_assert!(report.deaths >= 1, "the scripted death was never observed");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// A hung worker (no heartbeats, no result) is cleared by the deadline
+/// scan and its block finishes elsewhere.
+#[test]
+fn hung_worker_is_deadline_killed_and_job_completes() {
+    let topo = Arc::new(GenParams::tiny(11).generate());
+    let dests = Arc::new(sample_dests(topo.num_nodes(), 16));
+    let reference = RouteTableSet::from_solves(&topo, &dests, 2).encode();
+
+    let dir = fresh_dir("hang");
+    let mut job = spec(&dests, &topo, 4, 2, &dir);
+    job.heartbeat_deadline = Duration::from_millis(150);
+    let mut spawner = LocalSpawner::new(&topo, &dests, vec![Behavior::Hang]);
+    let report = coordinator::run(&job, &mut spawner).expect("job survives the hang");
+
+    assert!(report.deadline_kills >= 1, "deadline scan never fired: {report:?}");
+    assert_eq!(std::fs::read(&job.out_path).unwrap(), reference);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A worker that emits garbage bytes is treated as crashed (corrupt
+/// event), not trusted, and the job still completes correctly.
+#[test]
+fn garbage_frames_mean_death_not_bad_data() {
+    let topo = Arc::new(GenParams::tiny(13).generate());
+    let dests = Arc::new(sample_dests(topo.num_nodes(), 16));
+    let reference = RouteTableSet::from_solves(&topo, &dests, 2).encode();
+
+    let dir = fresh_dir("garbage");
+    let job = spec(&dests, &topo, 4, 2, &dir);
+    let mut spawner = LocalSpawner::new(&topo, &dests, vec![Behavior::Garbage]);
+    let report = coordinator::run(&job, &mut spawner).expect("job survives garbage");
+
+    assert!(report.corrupt_events >= 1, "garbage went unnoticed: {report:?}");
+    assert_eq!(std::fs::read(&job.out_path).unwrap(), reference);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Checkpoint/resume: abort mid-job via chaos_stop_after, then resume.
+/// The resumed run must (a) skip every checkpointed block — proven by the
+/// manifest's per-block dispatch counters not growing — and (b) produce
+/// the same bytes as the unsharded reference.
+#[test]
+fn resume_skips_checkpointed_blocks() {
+    let topo = Arc::new(GenParams::tiny(17).generate());
+    let dests = Arc::new(sample_dests(topo.num_nodes(), 24));
+    let reference = RouteTableSet::from_solves(&topo, &dests, 2).encode();
+
+    let dir = fresh_dir("resume");
+    let mut job = spec(&dests, &topo, 3, 1, &dir);
+    job.chaos_stop_after = Some(3);
+    let mut spawner = LocalSpawner::new(&topo, &dests, Vec::new());
+    let err = coordinator::run(&job, &mut spawner).expect_err("chaos stop aborts the run");
+    assert!(err.contains("chaos-stop-after"), "{err}");
+
+    let manifest_path = job.state_dir.join("manifest.log");
+    let before = manifest::read(&manifest_path).expect("manifest readable after abort");
+    let checkpointed: Vec<u32> = before.completed.keys().copied().collect();
+    assert!(checkpointed.len() >= 3, "abort happened before 3 checkpoints: {before:?}");
+
+    job.chaos_stop_after = None;
+    job.resume = true;
+    let mut spawner = LocalSpawner::new(&topo, &dests, Vec::new());
+    let report = coordinator::run(&job, &mut spawner).expect("resume finishes");
+    assert_eq!(report.resumed, checkpointed.len(), "resume trusted a different block set");
+
+    let after = manifest::read(&manifest_path).unwrap();
+    for b in &checkpointed {
+        assert_eq!(
+            after.dispatches.get(b),
+            before.dispatches.get(b),
+            "block {b} was re-dispatched after resume"
+        );
+    }
+    assert_eq!(
+        report.dispatches,
+        report.blocks - checkpointed.len(),
+        "resumed run dispatched more than the unfinished blocks"
+    );
+    assert_eq!(std::fs::read(&job.out_path).unwrap(), reference);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Resume refuses a manifest from a different job (changed block size).
+#[test]
+fn resume_rejects_foreign_manifest() {
+    let topo = Arc::new(GenParams::tiny(19).generate());
+    let dests = Arc::new(sample_dests(topo.num_nodes(), 12));
+
+    let dir = fresh_dir("foreign");
+    let mut job = spec(&dests, &topo, 3, 1, &dir);
+    job.chaos_stop_after = Some(1);
+    let mut spawner = LocalSpawner::new(&topo, &dests, Vec::new());
+    let _ = coordinator::run(&job, &mut spawner).expect_err("chaos stop");
+
+    job.chaos_stop_after = None;
+    job.resume = true;
+    job.block_size = 5; // different partition ⇒ different job
+    let mut spawner = LocalSpawner::new(&topo, &dests, Vec::new());
+    let err = coordinator::run(&job, &mut spawner).expect_err("fingerprint mismatch");
+    assert!(err.contains("different job"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -113,10 +113,19 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// On-disk format version of [`IngestCache`] documents. Version 1 is the
+/// original unstamped layout (files without a `format_version` field read
+/// as 1); bump this whenever the cache schema changes shape. Loaders must
+/// reject any other version — a stale cache silently reinterpreted is a
+/// corrupted experiment, and the fix (re-run `miro ingest`) is cheap.
+pub const CACHE_FORMAT_VERSION: u32 = 2;
+
 /// The JSON cache `miro ingest` writes and `miro-eval --cache` loads:
 /// the parsed topology plus enough provenance to label result tables.
 #[derive(Serialize, Deserialize, Clone, Debug)]
 pub struct IngestCache {
+    /// Schema version ([`CACHE_FORMAT_VERSION`] at write time).
+    pub format_version: u32,
     /// Dataset label (defaults to the source file name).
     pub name: String,
     /// Where the snapshot came from.
@@ -125,6 +134,40 @@ pub struct IngestCache {
     pub stats: ParseStats,
     /// The annotated graph itself.
     pub topology: TopologyDoc,
+}
+
+impl IngestCache {
+    /// Assemble a cache stamped with the current format version.
+    pub fn new(name: String, source: String, stats: ParseStats, topology: TopologyDoc) -> Self {
+        IngestCache { format_version: CACHE_FORMAT_VERSION, name, source, stats, topology }
+    }
+
+    /// Parse a cache document, enforcing the format version *before*
+    /// touching the rest of the schema: a version mismatch must report
+    /// itself as such, not as whatever missing-field error the schema
+    /// drift happens to trip first.
+    pub fn from_json(json: &str) -> Result<IngestCache, String> {
+        let value: serde::Value =
+            serde_json::from_str(json).map_err(|e| format!("not an ingest cache: {e}"))?;
+        let version = match &value {
+            serde::Value::Obj(map) => match map.get("format_version") {
+                Some(serde::Value::Num(n)) if n.fract() == 0.0 && *n >= 0.0 => *n as u32,
+                Some(other) => {
+                    return Err(format!("format_version is not a number (found {other:?})"))
+                }
+                // Pre-versioning caches carried no stamp at all.
+                None => 1,
+            },
+            _ => return Err("not an ingest cache: top level is not an object".to_string()),
+        };
+        if version != CACHE_FORMAT_VERSION {
+            return Err(format!(
+                "cache format version {version}, but this build reads version \
+                 {CACHE_FORMAT_VERSION} — re-run `miro ingest` to regenerate it"
+            ));
+        }
+        serde::Deserialize::from_value(&value).map_err(|e| format!("not an ingest cache: {e}"))
+    }
 }
 
 /// Parse a snapshot from any buffered reader. Returns the validated
@@ -500,17 +543,47 @@ mod tests {
     #[test]
     fn ingest_cache_round_trips_through_json() {
         let (t, stats) = parse_str("1 2 c\n2 3 e\n").unwrap();
-        let cache = IngestCache {
-            name: "sample".to_string(),
-            source: "unit test".to_string(),
-            stats,
-            topology: TopologyDoc::of(&t),
-        };
+        let cache =
+            IngestCache::new("sample".to_string(), "unit test".to_string(), stats, TopologyDoc::of(&t));
+        assert_eq!(cache.format_version, CACHE_FORMAT_VERSION);
         let json = serde_json::to_string(&cache).unwrap();
-        let back: IngestCache = serde_json::from_str(&json).unwrap();
+        let back = IngestCache::from_json(&json).unwrap();
         assert_eq!(back.name, "sample");
         assert_eq!(back.stats, stats);
+        assert_eq!(back.format_version, CACHE_FORMAT_VERSION);
         let u = back.topology.build().unwrap();
         assert_eq!(to_text(&t), to_text(&u));
+    }
+
+    #[test]
+    fn ingest_cache_rejects_mismatched_format_versions() {
+        let (t, stats) = parse_str("1 2 c\n").unwrap();
+        let cache =
+            IngestCache::new("v".to_string(), "unit test".to_string(), stats, TopologyDoc::of(&t));
+        let json = serde_json::to_string(&cache).unwrap();
+
+        // A future version must be refused, not guessed at.
+        let newer = json.replace(
+            &format!("\"format_version\":{CACHE_FORMAT_VERSION}"),
+            &format!("\"format_version\":{}", CACHE_FORMAT_VERSION + 7),
+        );
+        assert_ne!(newer, json, "replacement found the version field");
+        let err = IngestCache::from_json(&newer).unwrap_err();
+        assert!(err.contains(&format!("cache format version {}", CACHE_FORMAT_VERSION + 7)), "{err}");
+        assert!(err.contains("re-run `miro ingest`"), "{err}");
+
+        // A pre-versioning cache (no stamp at all) reads as version 1.
+        let unstamped = json.replace(&format!("\"format_version\":{CACHE_FORMAT_VERSION},"), "");
+        assert_ne!(unstamped, json);
+        let err = IngestCache::from_json(&unstamped).unwrap_err();
+        assert!(err.contains("cache format version 1"), "{err}");
+
+        // Garbage in the field is its own error, not a silent default.
+        let garbage = json.replace(
+            &format!("\"format_version\":{CACHE_FORMAT_VERSION}"),
+            "\"format_version\":\"two\"",
+        );
+        let err = IngestCache::from_json(&garbage).unwrap_err();
+        assert!(err.contains("format_version is not a number"), "{err}");
     }
 }
