@@ -8,10 +8,21 @@
 //! Work is claimed one destination at a time off an atomic cursor, which
 //! load-balances the skewed solve times of high-degree destinations.
 //!
+//! Dispatch is **degree-descending by default**: the claim schedule sorts
+//! destination indices by descending degree (ties by index), so the
+//! slow, high-degree destinations start first and the end of the run
+//! drains over cheap stub ASes instead of stalling every thread behind
+//! one late tier-1 solve. The merge is by original index, so the
+//! schedule never changes the output — byte-identical across thread
+//! counts and orderings (see [`DestOrder`]).
+//!
 //! Each worker also owns one [`SolveScratch`] arena for its whole run, so
 //! after the first destination a worker allocates nothing per solve: the
 //! routing table, stamps, and bucket storage are recycled between
 //! destinations (generation-stamped, so there is no O(V) clear either).
+//! A [`ScratchPool`] extends that reuse across *calls*: shard workers
+//! solving many blocks against one topology park their per-thread arenas
+//! in the pool between blocks instead of reallocating them.
 //!
 //! [`par_over_dests_whatif`] layers the what-if cache on top: each worker
 //! additionally owns a [`DeltaScratch`], and the per-destination closure
@@ -20,7 +31,9 @@
 
 use crate::solver::{DeltaScratch, FailedLink, RoutingState, SolveScratch};
 use miro_topology::{NodeId, Topology};
+use std::cmp::Reverse;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Counters for one destination's what-if sweep (see [`WhatIf`]).
 #[derive(Clone, Copy, Default, Debug)]
@@ -103,6 +116,85 @@ pub fn dest_blocks(
     (0..blocks).map(move |b| (b * bs)..((b + 1) * bs).min(num_dests))
 }
 
+/// Block-granularity counterpart of [`DestOrder::DegreeDescending`]:
+/// the [`dest_blocks`] ids reordered so the blocks with the most total
+/// adjacency (the slow ones) dispatch first, ties by block id. Feeding
+/// this to the shard coordinator keeps the last assignments of a job
+/// cheap, so a straggling worker holds up the tail as little as
+/// possible. Block *extents* are unchanged — only dispatch order moves —
+/// so the assembled table is identical.
+pub fn heavy_blocks_first(topo: &Topology, dests: &[NodeId], block_size: usize) -> Vec<u32> {
+    let mut ids: Vec<u32> = (0..dest_blocks(dests.len(), block_size).len() as u32).collect();
+    let weight: Vec<usize> = dest_blocks(dests.len(), block_size)
+        .map(|r| r.map(|i| topo.degree(dests[i])).sum())
+        .collect();
+    ids.sort_by_key(|&b| (Reverse(weight[b as usize]), b));
+    ids
+}
+
+/// How a parallel whole-table solve orders destination *dispatch*.
+/// Purely a scheduling knob: results always merge back in slice order,
+/// so the output is byte-identical under every variant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DestOrder {
+    /// Claim destinations in slice order.
+    Natural,
+    /// Claim high-degree (slow) destinations first, ties by index — the
+    /// default, so the tail of the run never straggles behind one
+    /// late-dispatched tier-1 solve.
+    DegreeDescending,
+}
+
+/// The claim schedule for `order`: `schedule[k]` is the destination
+/// index the `k`-th claim takes. `None` means claim in slice order.
+fn claim_schedule(topo: &Topology, dests: &[NodeId], order: DestOrder) -> Option<Vec<u32>> {
+    match order {
+        DestOrder::Natural => None,
+        DestOrder::DegreeDescending => {
+            let mut idx: Vec<u32> = (0..dests.len() as u32).collect();
+            idx.sort_by_key(|&i| (Reverse(topo.degree(dests[i as usize])), i));
+            Some(idx)
+        }
+    }
+}
+
+/// Pool of per-thread solve arenas shared across whole-table calls.
+///
+/// A single [`par_over_dests`] call already reuses one scratch per
+/// thread for its whole run; a `ScratchPool` extends that reuse across
+/// calls against the same topology — a shard worker solving hundreds of
+/// blocks parks its arenas here between blocks, so the steady state of a
+/// long job allocates nothing at all. Arenas are presized to the
+/// topology ([`SolveScratch::for_nodes`]), so even the pool's first use
+/// is allocation-free inside the solve loop.
+pub struct ScratchPool {
+    nodes: usize,
+    slots: Mutex<Vec<(SolveScratch, DeltaScratch)>>,
+}
+
+impl ScratchPool {
+    /// An empty pool for an `n`-node topology.
+    pub fn for_nodes(nodes: usize) -> ScratchPool {
+        ScratchPool { nodes, slots: Mutex::new(Vec::new()) }
+    }
+
+    /// Arenas currently parked in the pool.
+    pub fn parked(&self) -> usize {
+        self.slots.lock().expect("scratch pool poisoned").len()
+    }
+
+    fn take(&self) -> (SolveScratch, DeltaScratch) {
+        if let Some(pair) = self.slots.lock().expect("scratch pool poisoned").pop() {
+            return pair;
+        }
+        (SolveScratch::for_nodes(self.nodes), DeltaScratch::for_nodes(self.nodes))
+    }
+
+    fn give(&self, pair: (SolveScratch, DeltaScratch)) {
+        self.slots.lock().expect("scratch pool poisoned").push(pair);
+    }
+}
+
 /// Solve each destination's routing state and map `f` over them; results
 /// come back in destination order regardless of thread count or schedule.
 pub fn par_over_dests<T, F>(topo: &Topology, dests: &[NodeId], threads: usize, f: F) -> Vec<T>
@@ -111,6 +203,24 @@ where
     F: Fn(NodeId, &RoutingState<'_>) -> T + Sync,
 {
     par_over_dests_whatif(topo, dests, threads, |d, wi| f(d, wi.base()))
+}
+
+/// [`par_over_dests`] drawing per-thread arenas from (and returning them
+/// to) `pool`: the shard-worker fast path, allocation-free across blocks.
+pub fn par_over_dests_pooled<T, F>(
+    topo: &Topology,
+    dests: &[NodeId],
+    threads: usize,
+    pool: &ScratchPool,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(NodeId, &RoutingState<'_>) -> T + Sync,
+{
+    par_over_dests_scheduled(topo, dests, threads, DestOrder::DegreeDescending, Some(pool), |d, wi| {
+        f(d, wi.base())
+    })
 }
 
 /// [`par_over_dests`] with the what-if cache: `f` gets a mutable
@@ -126,11 +236,39 @@ where
     T: Send,
     F: Fn(NodeId, &mut WhatIf<'_, '_>) -> T + Sync,
 {
+    par_over_dests_scheduled(topo, dests, threads, DestOrder::DegreeDescending, None, f)
+}
+
+/// The fully-general engine entry: explicit dispatch [`DestOrder`] and an
+/// optional [`ScratchPool`]. The determinism suite drives this directly
+/// to prove the schedule never leaks into the output.
+pub fn par_over_dests_scheduled<T, F>(
+    topo: &Topology,
+    dests: &[NodeId],
+    threads: usize,
+    order: DestOrder,
+    pool: Option<&ScratchPool>,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(NodeId, &mut WhatIf<'_, '_>) -> T + Sync,
+{
+    let take = |n: usize| match pool {
+        Some(p) => p.take(),
+        None => (SolveScratch::for_nodes(n), DeltaScratch::for_nodes(n)),
+    };
+    let park = |pair: (SolveScratch, DeltaScratch)| {
+        if let Some(p) = pool {
+            p.give(pair);
+        }
+    };
+    let n = topo.num_nodes();
+
     let threads = threads.max(1).min(dests.len().max(1));
     if threads == 1 {
-        let mut scratch = SolveScratch::new();
-        let mut delta = DeltaScratch::new();
-        return dests
+        let (mut scratch, mut delta) = take(n);
+        let out = dests
             .iter()
             .map(|&d| {
                 let st = RoutingState::solve_into(topo, d, &mut scratch);
@@ -140,27 +278,34 @@ where
                 out
             })
             .collect();
+        park((scratch, delta));
+        return out;
     }
 
+    let schedule = claim_schedule(topo, dests, order);
     let next = AtomicUsize::new(0);
     let buffers: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
                     let mut local: Vec<(usize, T)> = Vec::new();
-                    let mut scratch = SolveScratch::new();
-                    let mut delta = DeltaScratch::new();
+                    let (mut scratch, mut delta) = take(n);
                     loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= dests.len() {
+                        let claim = next.fetch_add(1, Ordering::Relaxed);
+                        if claim >= dests.len() {
                             break;
                         }
+                        let i = match &schedule {
+                            Some(s) => s[claim] as usize,
+                            None => claim,
+                        };
                         let d = dests[i];
                         let st = RoutingState::solve_into(topo, d, &mut scratch);
                         let mut wi = WhatIf::new(st, &mut delta);
                         local.push((i, f(d, &mut wi)));
                         wi.into_base().recycle(&mut scratch);
                     }
+                    park((scratch, delta));
                     local
                 })
             })
@@ -171,7 +316,8 @@ where
             .collect()
     });
 
-    // Deterministic merge: every index is produced exactly once.
+    // Deterministic merge: every index is produced exactly once,
+    // regardless of which thread claimed it or in what order.
     let mut slots: Vec<Option<T>> = Vec::with_capacity(dests.len());
     slots.resize_with(dests.len(), || None);
     for buf in buffers {
@@ -307,5 +453,80 @@ mod tests {
         assert_eq!(out[0].what_ifs, 1);
         assert_eq!(out[0].skipped, 1);
         assert_eq!(out[0].recomputed, 0);
+    }
+
+    /// The full route table for every destination: the byte-for-byte
+    /// signature the scheduling policy must never change.
+    fn full_tables(
+        t: &Topology,
+        dests: &[NodeId],
+        threads: usize,
+        order: DestOrder,
+        pool: Option<&ScratchPool>,
+    ) -> Vec<Vec<Option<crate::solver::BestRoute>>> {
+        par_over_dests_scheduled(t, dests, threads, order, pool, |_, st| {
+            t.nodes().map(|x| st.base().best(x)).collect()
+        })
+    }
+
+    #[test]
+    fn schedule_and_threads_never_change_the_table() {
+        let t = GenParams::tiny(13).generate();
+        let dests: Vec<NodeId> = t.nodes().take(24).collect();
+        let base = full_tables(&t, &dests, 1, DestOrder::Natural, None);
+        let pool = ScratchPool::for_nodes(t.num_nodes());
+        for threads in [1, 2, 8] {
+            for order in [DestOrder::Natural, DestOrder::DegreeDescending] {
+                assert_eq!(
+                    full_tables(&t, &dests, threads, order, None),
+                    base,
+                    "{threads} threads / {order:?} diverged"
+                );
+                assert_eq!(
+                    full_tables(&t, &dests, threads, order, Some(&pool)),
+                    base,
+                    "{threads} threads / {order:?} (pooled) diverged"
+                );
+            }
+        }
+        // The pool really parked scratch for reuse across those runs.
+        assert!(pool.parked() >= 1, "pool never parked a scratch pair");
+    }
+
+    #[test]
+    fn degree_descending_schedule_is_a_permutation_by_degree() {
+        let t = GenParams::tiny(14).generate();
+        let dests: Vec<NodeId> = t.nodes().take(16).collect();
+        let sched = claim_schedule(&t, &dests, DestOrder::DegreeDescending)
+            .expect("degree order has a schedule");
+        let mut seen = sched.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..dests.len() as u32).collect::<Vec<_>>());
+        for w in sched.windows(2) {
+            let (a, b) = (dests[w[0] as usize], dests[w[1] as usize]);
+            assert!(
+                t.degree(a) > t.degree(b) || (t.degree(a) == t.degree(b) && w[0] < w[1]),
+                "schedule not degree-descending with index tie-break"
+            );
+        }
+        assert!(claim_schedule(&t, &dests, DestOrder::Natural).is_none());
+    }
+
+    #[test]
+    fn heavy_blocks_first_is_a_weight_ordered_permutation() {
+        let t = GenParams::tiny(15).generate();
+        let dests: Vec<NodeId> = t.nodes().take(21).collect();
+        let order = heavy_blocks_first(&t, &dests, 4);
+        assert_eq!(order.len(), dest_blocks(dests.len(), 4).len());
+        let mut seen = order.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..order.len() as u32).collect::<Vec<_>>());
+        let weight: Vec<usize> = dest_blocks(dests.len(), 4)
+            .map(|r| r.map(|i| t.degree(dests[i])).sum())
+            .collect();
+        for w in order.windows(2) {
+            let (a, b) = (weight[w[0] as usize], weight[w[1] as usize]);
+            assert!(a > b || (a == b && w[0] < w[1]), "blocks not heaviest-first");
+        }
     }
 }

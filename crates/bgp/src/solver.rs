@@ -29,17 +29,31 @@
 //! while settling hop level `L` lands at level `L+1`, so levels can be
 //! processed strictly in order and each sweep is O(V + E) instead of
 //! O(E log E). Within one level, the heap's `(len, asn, node, next)`
-//! ordering reduces to "the offer with the lowest next-hop AS number wins",
-//! which a linear pass over the bucket computes exactly — the bucket engine
-//! is bit-for-bit equivalent to the heap (property-tested against the
-//! retained [`reference`] implementation below).
+//! ordering reduces to "the offer with the lowest next-hop AS number wins"
+//! — the bucket engine is bit-for-bit equivalent to the heap
+//! (property-tested against the retained [`reference`] implementation
+//! below).
+//!
+//! The frontier is **packed**: a bucket holds one `u32` node id per
+//! pending node, not one `(to, from)` pair per edge-offer. The winning
+//! offerer is folded eagerly into a per-node slot table ([`Slot`]: level
+//! tag, best offerer ASN, next hop, generation stamp — 16 bytes) at
+//! offer-generation time, so a node a dozen neighbors race for costs one
+//! bucket entry instead of twelve, the offerer's ASN is read once per
+//! settled node instead of once per offer, and settling a bucket is a
+//! single pass (the two-pass lowest-ASN scan disappears — the slot
+//! already holds the winner). Co-locating the stamp with the pending
+//! offer means the hot loop's per-neighbor probe ("settled? fold the
+//! offer.") touches exactly one cache line per node, not two arrays.
 //!
 //! All per-solve state lives in a reusable [`SolveScratch`] arena:
 //! assignment is generation-stamped, so starting the next destination is
 //! O(1) rather than an O(V) clear, and the bucket storage keeps its
 //! capacity across solves. Whole-network solves reuse one scratch per
 //! worker thread via [`RoutingState::solve_into`] /
-//! [`RoutingState::recycle`] and allocate nothing in the steady state.
+//! [`RoutingState::recycle`] and allocate nothing in the steady state;
+//! [`SolveScratch::for_nodes`] presizes the arena so even the first
+//! solve of a pooled worker thread allocates nothing.
 
 use crate::route::{CandidateRoute, ExportScope};
 use miro_topology::{NodeId, Rel, RouteClass, Topology};
@@ -79,92 +93,168 @@ pub fn route_class_code(c: RouteClass) -> u8 {
     }
 }
 
+/// Bits of a [`Slot`] tag reserved for the hop level. [`BestRoute::len`]
+/// is a `u16`, so 16 bits cover every representable hop count; the
+/// remaining 16 bits count sweep rounds, with an O(V) tag clear when the
+/// round counter wraps (every ~65k sweeps — see [`next_round`]).
+const LVL_BITS: u32 = 16;
+const LVL_MASK: u32 = (1 << LVL_BITS) - 1;
+const MAX_ROUND: u32 = u32::MAX >> LVL_BITS;
+
+/// Per-node solver slot: the pending offer *and* the generation stamp,
+/// co-located so the hot loop's per-neighbor probe is one cache line.
+///
+/// `tag` is `(round << LVL_BITS) | level`: a pending offer is live for
+/// the current sweep iff `tag >> LVL_BITS` equals the sweep's round, and
+/// the level part says which bucket holds the node. `asn`/`next` are the
+/// lowest-ASN offerer seen so far at that level — the tie-break winner is
+/// folded here at offer time, so a bucket stores each pending node once
+/// and settling needs no second pass. `stamp` marks the node settled for
+/// the owning state's generation (`best[x]` is assigned iff
+/// `slots[x].stamp == gen`).
+#[derive(Clone, Copy)]
+struct Slot {
+    tag: u32,
+    asn: u32,
+    next: NodeId,
+    stamp: u32,
+}
+
+/// Empty slot: round 0 never runs (rounds are pre-incremented), so a
+/// zero tag can never match a live sweep; stamp 0 never matches a live
+/// generation (generations are pre-incremented too).
+const SLOT_EMPTY: Slot = Slot { tag: 0, asn: 0, next: 0, stamp: 0 };
+
+/// A pending `u -> v` route candidate, pre-tagged by the offerer.
+#[derive(Clone, Copy)]
+struct Offer {
+    tag: u32,
+    asn: u32,
+    next: NodeId,
+}
+
+/// Open the next sweep round: every live offer tag from earlier rounds
+/// goes stale at once. When the 16-bit round counter would wrap, pay one
+/// O(V) tag clear so a stale tag can never alias a future round.
+#[inline]
+fn next_round(round: &mut u32, slots: &mut [Slot]) -> u32 {
+    *round += 1;
+    if *round > MAX_ROUND {
+        for s in slots.iter_mut() {
+            s.tag = 0;
+        }
+        *round = 1;
+    }
+    *round
+}
+
+/// Fold `offer` (a pre-tagged `u -> v` candidate) into `v`'s slot,
+/// pushing `v` onto the frontier on first touch (per level). The caller
+/// builds `offer.tag` once per offerer, so the level comparisons here
+/// are plain tag comparisons: within one round a numerically larger tag
+/// is a *worse* (deeper) level and is dropped (v settles sooner anyway);
+/// an equal tag means the same level, where the lowest-ASN offerer wins;
+/// a smaller tag is a *better* level — the slot is retagged and `v` is
+/// pushed again, and the stale entry in the deeper bucket is skipped at
+/// settle time.
+#[inline]
+fn push_offer(slots: &mut [Slot], buckets: &mut Vec<Vec<NodeId>>, live: &mut usize, v: NodeId, offer: Offer) {
+    let vi = v as usize;
+    let have = slots[vi].tag;
+    if have >> LVL_BITS == offer.tag >> LVL_BITS {
+        if offer.tag > have {
+            return;
+        }
+        if offer.tag == have {
+            if offer.asn < slots[vi].asn {
+                slots[vi].asn = offer.asn;
+                slots[vi].next = offer.next;
+            }
+            return;
+        }
+    }
+    slots[vi].tag = offer.tag;
+    slots[vi].asn = offer.asn;
+    slots[vi].next = offer.next;
+    let lvl = (offer.tag & LVL_MASK) as usize;
+    if buckets.len() <= lvl {
+        buckets.resize_with(lvl + 1, Vec::new);
+    }
+    buckets[lvl].push(v);
+    *live += 1;
+}
+
 /// Reusable per-thread solve arena.
 ///
-/// Holds the routing table, its generation stamps, the bucket queue, and
-/// the per-bucket tie-break state. A scratch can be reused across any
-/// sequence of solves (it resizes itself when the topology changes); reuse
-/// via [`RoutingState::solve_into`] + [`RoutingState::recycle`] makes the
-/// steady-state cost of a solve allocation-free and skips the O(V)
-/// routing-table clear between destinations.
+/// Holds the routing table, the per-node slot table (stamps + pending
+/// offers), and the packed bucket queue. A scratch can be reused across
+/// any sequence of solves (it resizes itself when the topology changes);
+/// reuse via [`RoutingState::solve_into`] + [`RoutingState::recycle`]
+/// makes the steady-state cost of a solve allocation-free and skips the
+/// O(V) routing-table clear between destinations.
 pub struct SolveScratch {
     best: Vec<BestRoute>,
-    stamp: Vec<u32>,
+    /// Per-node stamp + pending offer (see [`Slot`]).
+    slots: Vec<Slot>,
     gen: u32,
     /// Nodes in assignment order: dest, then sweep-1, -2, -3 winners.
     routed: Vec<NodeId>,
-    /// Bucket queue: `buckets[len]` holds `(to, from)` offers at hop `len`.
-    buckets: Vec<Vec<(NodeId, NodeId)>>,
-    /// Offers outstanding across all buckets.
+    /// Packed bucket queue: `buckets[len]` holds each node with a live
+    /// pending offer at hop `len` (once — the winner lives in its slot).
+    buckets: Vec<Vec<NodeId>>,
+    /// Frontier entries outstanding across all buckets.
     live: usize,
-    /// Per-bucket pending winner per node, stamped by `pend_gen`.
-    pend_asn: Vec<u32>,
-    pend_next: Vec<NodeId>,
-    pend_stamp: Vec<u32>,
-    pend_gen: u32,
-    /// Nodes first seen in the bucket being settled.
-    winners: Vec<NodeId>,
+    /// Sweep counter: bumped once per sweep so stale offer tags die
+    /// without a clear. Travels with `slots` into the [`RoutingState`]
+    /// (delta re-solves keep bumping it there) and is folded back by
+    /// [`RoutingState::recycle`], so it never falls behind a tag in the
+    /// slot table it is used with.
+    round: u32,
 }
 
 impl SolveScratch {
     pub fn new() -> SolveScratch {
         SolveScratch {
             best: Vec::new(),
-            stamp: Vec::new(),
+            slots: Vec::new(),
             gen: 0,
             routed: Vec::new(),
             buckets: Vec::new(),
             live: 0,
-            pend_asn: Vec::new(),
-            pend_next: Vec::new(),
-            pend_stamp: Vec::new(),
-            pend_gen: 0,
-            winners: Vec::new(),
+            round: 0,
         }
+    }
+
+    /// Presized arena for an `n`-node topology: the first solve through
+    /// this scratch already allocates nothing. Pooled whole-table workers
+    /// build their per-thread scratches this way.
+    pub fn for_nodes(n: usize) -> SolveScratch {
+        let mut s = SolveScratch::new();
+        s.best.resize(n, UNROUTED);
+        s.slots.resize(n, SLOT_EMPTY);
+        s
     }
 
     /// Resize to topology size `n` and open a fresh generation.
     fn begin(&mut self, n: usize) -> u32 {
-        if self.stamp.len() != n {
+        if self.slots.len() != n {
             self.best.clear();
             self.best.resize(n, UNROUTED);
-            self.stamp.clear();
-            self.stamp.resize(n, 0);
-            self.pend_asn.clear();
-            self.pend_asn.resize(n, 0);
-            self.pend_next.clear();
-            self.pend_next.resize(n, 0);
-            self.pend_stamp.clear();
-            self.pend_stamp.resize(n, 0);
+            self.slots.clear();
+            self.slots.resize(n, SLOT_EMPTY);
             self.gen = 0;
-            self.pend_gen = 0;
         }
         self.gen = self.gen.wrapping_add(1);
         if self.gen == 0 {
             // u32 wrap after ~4e9 solves on one scratch: pay one clear.
-            self.stamp.fill(0);
+            for s in self.slots.iter_mut() {
+                s.stamp = 0;
+            }
             self.gen = 1;
         }
         self.routed.clear();
         self.live = 0;
         self.gen
-    }
-
-    /// Size the offer/tie-break machinery for topology size `n` without
-    /// touching the routing table or its generation. Delta re-solves run
-    /// against a table owned by an existing [`RoutingState`]; only the
-    /// bucket queue and per-bucket pending state are borrowed from here.
-    fn begin_aux(&mut self, n: usize) {
-        if self.pend_asn.len() != n {
-            self.pend_asn.clear();
-            self.pend_asn.resize(n, 0);
-            self.pend_next.clear();
-            self.pend_next.resize(n, 0);
-            self.pend_stamp.clear();
-            self.pend_stamp.resize(n, 0);
-            self.pend_gen = 0;
-        }
-        self.routed.clear();
     }
 }
 
@@ -172,11 +262,12 @@ impl SolveScratch {
 /// ([`RoutingState::with_failed_link`]).
 ///
 /// Layers on [`SolveScratch`]: the inner scratch provides the bucket
-/// queue and tie-break arenas (its own routing table stays empty — delta
-/// sweeps run against the table owned by the base state), and the undo
-/// log records every invalidated node's base assignment so the guard can
-/// restore the base solve in O(cone). Consecutive deltas against one
-/// base reuse all storage and allocate nothing in the steady state.
+/// queue and routed-order arena (delta sweeps run against the table and
+/// slot table owned by the base state — the inner scratch's own stay
+/// empty), and the undo log records every invalidated node's base
+/// assignment so the guard can restore the base solve in O(cone).
+/// Consecutive deltas against one base reuse all storage and allocate
+/// nothing in the steady state.
 pub struct DeltaScratch {
     /// `(node, base assignment)` for every changed node: the cone in BFS
     /// order, then any downstream nodes reached by the improvement wave.
@@ -197,6 +288,15 @@ impl DeltaScratch {
         }
     }
 
+    /// Presized arena for an `n`-node topology (see
+    /// [`SolveScratch::for_nodes`]). Delta sweeps borrow the slot table
+    /// from the base state, so only the undo-dedup column needs sizing.
+    pub fn for_nodes(n: usize) -> DeltaScratch {
+        let mut s = DeltaScratch::new();
+        s.logged.resize(n, 0);
+        s
+    }
+
     /// Open a fresh undo generation sized for `n` nodes.
     fn begin(&mut self, n: usize) {
         self.undo.clear();
@@ -210,7 +310,7 @@ impl DeltaScratch {
             self.logged.fill(0);
             self.logged_gen = 1;
         }
-        self.inner.begin_aux(n);
+        self.inner.routed.clear();
     }
 
     /// Record `v`'s pre-delta assignment (once) so the guard can restore it.
@@ -270,15 +370,11 @@ struct Sweep<'a> {
     banned: Option<(NodeId, NodeId)>,
     gen: u32,
     best: &'a mut [BestRoute],
-    stamp: &'a mut [u32],
+    slots: &'a mut [Slot],
     routed: &'a mut Vec<NodeId>,
-    buckets: &'a mut Vec<Vec<(NodeId, NodeId)>>,
+    buckets: &'a mut Vec<Vec<NodeId>>,
     live: usize,
-    pend_asn: &'a mut [u32],
-    pend_next: &'a mut [NodeId],
-    pend_stamp: &'a mut [u32],
-    pend_gen: &'a mut u32,
-    winners: &'a mut Vec<NodeId>,
+    round: &'a mut u32,
 }
 
 impl Sweep<'_> {
@@ -287,17 +383,36 @@ impl Sweep<'_> {
         self.banned == Some((x.min(y), x.max(y)))
     }
 
+    /// Open a fresh round: every live offer tag from earlier sweeps (or
+    /// earlier solves sharing this slot table) goes stale at once.
+    fn new_round(&mut self) {
+        next_round(self.round, self.slots);
+    }
+
     /// Offer `u`'s route (extended by one hop) to its `edges` neighbors
-    /// that are still unrouted.
+    /// that are still unrouted. The offerer's ASN is read once here, not
+    /// once per offer at settle time; the no-mask case (every whole-table
+    /// solve) skips the banned test in the inner loop entirely.
     fn offer_from(&mut self, u: NodeId, edges: Edges) {
         let lvl = self.best[u as usize].len as usize + 1;
-        for &v in edges.slice(self.topo, u) {
-            if self.stamp[v as usize] != self.gen && !self.is_banned(u, v) {
-                if self.buckets.len() <= lvl {
-                    self.buckets.resize_with(lvl + 1, Vec::new);
+        debug_assert!(lvl <= LVL_MASK as usize, "hop level exceeds the 16-bit tag field");
+        let offer = Offer {
+            tag: (*self.round << LVL_BITS) | lvl as u32,
+            asn: self.topo.asn(u).0,
+            next: u,
+        };
+        let neigh = edges.slice(self.topo, u);
+        if self.banned.is_none() {
+            for &v in neigh {
+                if self.slots[v as usize].stamp != self.gen {
+                    push_offer(self.slots, self.buckets, &mut self.live, v, offer);
                 }
-                self.buckets[lvl].push((v, u));
-                self.live += 1;
+            }
+        } else {
+            for &v in neigh {
+                if self.slots[v as usize].stamp != self.gen && !self.is_banned(u, v) {
+                    push_offer(self.slots, self.buckets, &mut self.live, v, offer);
+                }
             }
         }
     }
@@ -310,31 +425,35 @@ impl Sweep<'_> {
     /// updated assignment, matching what the full run would deliver.
     fn seed(&mut self, cone: &[(NodeId, BestRoute)], from: impl Fn(Rel, BestRoute) -> bool) {
         for &(v, _) in cone {
-            if self.stamp[v as usize] == self.gen {
+            if self.slots[v as usize].stamp == self.gen {
                 continue; // re-settled by an earlier delta sweep
             }
             for &(u, rel) in self.topo.neighbors(v) {
-                if self.stamp[u as usize] == self.gen
+                if self.slots[u as usize].stamp == self.gen
                     && from(rel, self.best[u as usize])
                     && !self.is_banned(u, v)
                 {
                     let lvl = self.best[u as usize].len as usize + 1;
-                    if self.buckets.len() <= lvl {
-                        self.buckets.resize_with(lvl + 1, Vec::new);
-                    }
-                    self.buckets[lvl].push((v, u));
-                    self.live += 1;
+                    let offer = Offer {
+                        tag: (*self.round << LVL_BITS) | lvl as u32,
+                        asn: self.topo.asn(u).0,
+                        next: u,
+                    };
+                    push_offer(self.slots, self.buckets, &mut self.live, v, offer);
                 }
             }
         }
     }
 
-    /// Settle all outstanding offers in hop order, assigning `class` and
+    /// Settle the frontier in hop order, assigning `class` and
     /// propagating over `edges`. Equivalent to popping a heap ordered by
     /// `(len, asn(next), node, next)`: buckets are settled in level order
-    /// (offers from level `L` only ever land at `L+1`), and within one
-    /// bucket the winner for a node is its lowest-ASN offerer.
+    /// (offers from level `L` only ever land at `L+1`), and the winner
+    /// for a node — its lowest-ASN offerer at its best pending level —
+    /// was already folded into the node's slot at offer time, so settling
+    /// is a single pass over each bucket.
     fn drain(&mut self, class: RouteClass, edges: Edges) {
+        let round = *self.round;
         let mut lvl = 1;
         while self.live > 0 {
             debug_assert!(lvl < self.buckets.len(), "live offers beyond last bucket");
@@ -344,46 +463,23 @@ impl Sweep<'_> {
             }
             let mut bucket = std::mem::take(&mut self.buckets[lvl]);
             self.live -= bucket.len();
-
-            // Pass 1: per target node, keep the lowest-ASN offerer.
-            *self.pend_gen = self.pend_gen.wrapping_add(1);
-            if *self.pend_gen == 0 {
-                self.pend_stamp.fill(0);
-                *self.pend_gen = 1;
-            }
-            let pg = *self.pend_gen;
-            self.winners.clear();
-            for &(v, u) in &bucket {
+            for &v in &bucket {
                 let vi = v as usize;
-                if self.stamp[vi] == self.gen {
-                    continue; // settled at a shorter length
+                if self.slots[vi].stamp == self.gen {
+                    continue; // settled at a shorter length (retagged entry)
                 }
-                let asn = self.topo.asn(u).0;
-                if self.pend_stamp[vi] != pg {
-                    self.pend_stamp[vi] = pg;
-                    self.pend_asn[vi] = asn;
-                    self.pend_next[vi] = u;
-                    self.winners.push(v);
-                } else if asn < self.pend_asn[vi] {
-                    self.pend_asn[vi] = asn;
-                    self.pend_next[vi] = u;
-                }
-            }
-            bucket.clear();
-            self.buckets[lvl] = bucket; // return storage to the arena
-
-            // Pass 2: assign and generate next-level offers.
-            for i in 0..self.winners.len() {
-                let v = self.winners[i];
-                self.stamp[v as usize] = self.gen;
-                self.best[v as usize] = BestRoute {
-                    class,
-                    len: lvl as u16,
-                    next: self.pend_next[v as usize],
-                };
+                debug_assert_eq!(
+                    self.slots[vi].tag,
+                    (round << LVL_BITS) | lvl as u32,
+                    "frontier entry must carry a live tag for its bucket"
+                );
+                self.slots[vi].stamp = self.gen;
+                self.best[vi] = BestRoute { class, len: lvl as u16, next: self.slots[vi].next };
                 self.routed.push(v);
                 self.offer_from(v, edges);
             }
+            bucket.clear();
+            self.buckets[lvl] = bucket; // return storage to the arena
             lvl += 1;
         }
     }
@@ -406,9 +502,13 @@ pub struct RoutingState<'t> {
     topo: &'t Topology,
     dest: NodeId,
     best: Vec<BestRoute>,
-    /// `best[x]` is assigned iff `stamp[x] == gen`.
-    stamp: Vec<u32>,
+    /// `best[x]` is assigned iff `slots[x].stamp == gen`.
+    slots: Vec<Slot>,
     gen: u32,
+    /// Sweep-round counter paired with `slots` (delta re-solves keep
+    /// bumping it); folded back into the scratch by
+    /// [`RoutingState::recycle`].
+    round: u32,
     /// Administratively failed link this state was solved without
     /// (normalized low-high); candidates over it are suppressed too.
     banned: Option<(NodeId, NodeId)>,
@@ -459,7 +559,11 @@ impl<'t> RoutingState<'t> {
     /// [`RoutingState::solve_into`] reuses it without reallocating.
     pub fn recycle(self, scratch: &mut SolveScratch) {
         scratch.best = self.best;
-        scratch.stamp = self.stamp;
+        scratch.slots = self.slots;
+        // Delta re-solves bump the state's round past the scratch's;
+        // fold it back so no live tag in the slot table can outrun the
+        // counter it is next used with.
+        scratch.round = scratch.round.max(self.round);
     }
 
     fn solve_masked(
@@ -471,10 +575,10 @@ impl<'t> RoutingState<'t> {
         let n = topo.num_nodes();
         let gen = scratch.begin(n);
         let mut best = std::mem::take(&mut scratch.best);
-        let mut stamp = std::mem::take(&mut scratch.stamp);
+        let mut slots = std::mem::take(&mut scratch.slots);
 
         best[dest as usize] = BestRoute { class: RouteClass::Customer, len: 0, next: dest };
-        stamp[dest as usize] = gen;
+        slots[dest as usize].stamp = gen;
         scratch.routed.push(dest);
 
         {
@@ -483,19 +587,16 @@ impl<'t> RoutingState<'t> {
                 banned,
                 gen,
                 best: &mut best,
-                stamp: &mut stamp,
+                slots: &mut slots,
                 routed: &mut scratch.routed,
                 buckets: &mut scratch.buckets,
                 live: 0,
-                pend_asn: &mut scratch.pend_asn,
-                pend_next: &mut scratch.pend_next,
-                pend_stamp: &mut scratch.pend_stamp,
-                pend_gen: &mut scratch.pend_gen,
-                winners: &mut scratch.winners,
+                round: &mut scratch.round,
             };
 
             // --- Sweep 1: customer-class routes -------------------------
             // Climb provider and sibling links from the destination.
+            sw.new_round();
             sw.offer_from(dest, Edges::Up);
             sw.drain(RouteClass::Customer, Edges::Up);
             let customer_routed = sw.routed.len();
@@ -504,6 +605,7 @@ impl<'t> RoutingState<'t> {
             // Seed: one peer hop off a customer-routed AS (peers export
             // only customer routes), then propagate along sibling links.
             debug_assert_eq!(sw.live, 0);
+            sw.new_round();
             for i in 0..customer_routed {
                 let p = sw.routed[i];
                 sw.offer_from(p, Edges::Peer);
@@ -516,6 +618,7 @@ impl<'t> RoutingState<'t> {
             // (everything is exportable to customers); then propagate down
             // customer links and across sibling links among the unrouted.
             debug_assert_eq!(sw.live, 0);
+            sw.new_round();
             for i in 0..routed {
                 let x = sw.routed[i];
                 sw.offer_from(x, Edges::Customer);
@@ -523,7 +626,7 @@ impl<'t> RoutingState<'t> {
             sw.drain(RouteClass::Provider, Edges::Down);
         }
 
-        RoutingState { topo, dest, best, stamp, gen, banned }
+        RoutingState { topo, dest, best, slots, gen, round: scratch.round, banned }
     }
 
     /// The destination this state routes toward.
@@ -539,7 +642,7 @@ impl<'t> RoutingState<'t> {
     /// The selected route of `x`, if `x` can reach the destination.
     #[inline]
     pub fn best(&self, x: NodeId) -> Option<BestRoute> {
-        (self.stamp[x as usize] == self.gen).then(|| self.best[x as usize])
+        (self.slots[x as usize].stamp == self.gen).then(|| self.best[x as usize])
     }
 
     /// The selected AS path of `x` (next hop first, destination last;
@@ -620,7 +723,7 @@ impl<'t> RoutingState<'t> {
 
     /// Number of ASes that can reach the destination.
     pub fn reachable_count(&self) -> usize {
-        self.stamp.iter().filter(|&&s| s == self.gen).count()
+        self.slots.iter().filter(|s| s.stamp == self.gen).count()
     }
 
     /// Extract this solve as one route-table row: for every AS `x`, its
@@ -698,9 +801,9 @@ fn delta_apply(
     // unchanged — the mask set above suppresses candidates over the dead
     // session, which is all `solve_without_link` would differ by.
     let gen = st.gen;
-    let child = if st.stamp[a as usize] == gen && st.best[a as usize].next == b {
+    let child = if st.slots[a as usize].stamp == gen && st.best[a as usize].next == b {
         a
-    } else if st.stamp[b as usize] == gen && st.best[b as usize].next == a {
+    } else if st.slots[b as usize].stamp == gen && st.best[b as usize].next == a {
         b
     } else {
         return 0;
@@ -714,15 +817,15 @@ fn delta_apply(
     // node by aging its stamp (any value != gen reads as unrouted).
     let dead = gen.wrapping_sub(1);
     scratch.log(child, st.best[child as usize]);
-    st.stamp[child as usize] = dead;
+    st.slots[child as usize].stamp = dead;
     let mut head = 0;
     while head < scratch.undo.len() {
         let (x, _) = scratch.undo[head];
         head += 1;
         for &(v, _) in st.topo.neighbors(x) {
-            if st.stamp[v as usize] == gen && st.best[v as usize].next == x {
+            if st.slots[v as usize].stamp == gen && st.best[v as usize].next == x {
                 scratch.log(v, st.best[v as usize]);
-                st.stamp[v as usize] = dead;
+                st.slots[v as usize].stamp = dead;
             }
         }
     }
@@ -740,20 +843,17 @@ fn delta_apply(
         banned: st.banned,
         gen,
         best: &mut st.best,
-        stamp: &mut st.stamp,
+        slots: &mut st.slots,
         routed: &mut inner.routed,
         buckets: &mut inner.buckets,
         live: 0,
-        pend_asn: &mut inner.pend_asn,
-        pend_next: &mut inner.pend_next,
-        pend_stamp: &mut inner.pend_stamp,
-        pend_gen: &mut inner.pend_gen,
-        winners: &mut inner.winners,
+        round: &mut st.round,
     };
 
     // Sweep 1: every customer-routed AS climbs provider/sibling links, so
     // a settled u offers into cone node v iff u is v's customer or
     // sibling and holds a customer-class route.
+    sw.new_round();
     sw.seed(undo, |rel, bu| {
         matches!(rel, Rel::Customer | Rel::Sibling) && bu.class == RouteClass::Customer
     });
@@ -761,6 +861,7 @@ fn delta_apply(
 
     // Sweep 2: customer-routed ASes offer one peer hop; peer-class routes
     // then propagate along sibling links.
+    sw.new_round();
     sw.seed(undo, |rel, bu| match rel {
         Rel::Peer => bu.class == RouteClass::Customer,
         Rel::Sibling => bu.class == RouteClass::Peer,
@@ -770,6 +871,7 @@ fn delta_apply(
 
     // Sweep 3: every routed AS offers to its customers (any class);
     // provider-class routes then descend customer and sibling links.
+    sw.new_round();
     sw.seed(undo, |rel, bu| match rel {
         Rel::Provider => true,
         Rel::Sibling => bu.class == RouteClass::Provider,
@@ -805,35 +907,34 @@ fn improve_wave(st: &mut RoutingState<'_>, scratch: &mut DeltaScratch) {
 
     // A node can take a sweep-3 offer at level `lvl` only if it already
     // holds a provider-class route no shorter than `lvl`.
-    let eligible = |best: &[BestRoute], stamp: &[u32], x: NodeId, lvl: usize| {
-        stamp[x as usize] == gen
+    let eligible = |best: &[BestRoute], slots: &[Slot], x: NodeId, lvl: usize| {
+        slots[x as usize].stamp == gen
             && best[x as usize].class == RouteClass::Provider
             && best[x as usize].len as usize >= lvl
     };
 
     let DeltaScratch { undo, logged, logged_gen, inner } = scratch;
+    let round = next_round(&mut st.round, &mut st.slots);
     let mut live = 0usize;
 
     // Seeds: the sweep-3 deliveries of every re-settled cone node — to
     // its customers at any class, to its siblings when provider-class.
-    // Deliveries identical to the base solve's are rejected by the beat
-    // test below, so seeding unconditionally is safe.
+    // Deliveries identical to the base solve's are rejected by the
+    // incumbent test at settle time, so seeding unconditionally is safe.
     for i in 0..inner.routed.len() {
         let v = inner.routed[i];
         let bv = st.best[v as usize];
         let lvl = bv.len as usize + 1;
+        let asn_v = topo.asn(v).0;
         for &(x, rel) in topo.neighbors(v) {
             let delivers = match rel {
                 Rel::Customer => true, // x is v's customer
                 Rel::Sibling => bv.class == RouteClass::Provider,
                 _ => false,
             };
-            if delivers && !is_banned(v, x) && eligible(&st.best, &st.stamp, x, lvl) {
-                if inner.buckets.len() <= lvl {
-                    inner.buckets.resize_with(lvl + 1, Vec::new);
-                }
-                inner.buckets[lvl].push((x, v));
-                live += 1;
+            if delivers && !is_banned(v, x) && eligible(&st.best, &st.slots, x, lvl) {
+                let offer = Offer { tag: (round << LVL_BITS) | lvl as u32, asn: asn_v, next: v };
+                push_offer(&mut st.slots, &mut inner.buckets, &mut live, x, offer);
             }
         }
     }
@@ -847,54 +948,21 @@ fn improve_wave(st: &mut RoutingState<'_>, scratch: &mut DeltaScratch) {
         }
         let mut bucket = std::mem::take(&mut inner.buckets[lvl]);
         live -= bucket.len();
-
-        // Pass 1: per target, the lowest-ASN offerer must also beat the
-        // incumbent route — which competes on ASN when it has this exact
-        // length (the full run's bucket would contain it too).
-        inner.pend_gen = inner.pend_gen.wrapping_add(1);
-        if inner.pend_gen == 0 {
-            inner.pend_stamp.fill(0);
-            inner.pend_gen = 1;
-        }
-        let pg = inner.pend_gen;
-        inner.winners.clear();
-        for &(x, u) in &bucket {
+        let tag = (round << LVL_BITS) | lvl as u32;
+        for &x in &bucket {
             let xi = x as usize;
-            if !eligible(&st.best, &st.stamp, x, lvl) {
-                continue; // stale offer: x already improved past this level
+            if !eligible(&st.best, &st.slots, x, lvl) {
+                continue; // stale: x already improved past this level
             }
-            let asn = topo.asn(u).0;
-            if inner.pend_stamp[xi] != pg {
-                let bx = st.best[xi];
-                let (inc_asn, inc_next) = if bx.len as usize == lvl {
-                    (topo.asn(bx.next).0, bx.next)
-                } else {
-                    (u32::MAX, bx.next)
-                };
-                inner.pend_stamp[xi] = pg;
-                inner.winners.push(x);
-                if asn < inc_asn {
-                    inner.pend_asn[xi] = asn;
-                    inner.pend_next[xi] = u;
-                } else {
-                    inner.pend_asn[xi] = inc_asn;
-                    inner.pend_next[xi] = inc_next;
-                }
-            } else if asn < inner.pend_asn[xi] {
-                inner.pend_asn[xi] = asn;
-                inner.pend_next[xi] = u;
+            if st.slots[xi].tag != tag {
+                continue; // superseded by an earlier-level entry
             }
-        }
-        bucket.clear();
-        inner.buckets[lvl] = bucket;
-
-        // Pass 2: apply improvements; strictly shorter routes propagate.
-        for i in 0..inner.winners.len() {
-            let x = inner.winners[i];
-            let xi = x as usize;
+            // The lowest-ASN offerer (already folded into the slot)
+            // must also beat the incumbent route — which competes on ASN
+            // when it has this exact length (the full run's bucket would
+            // contain it too) and wins ties.
             let bx = st.best[xi];
-            let next = inner.pend_next[xi];
-            if next == bx.next && bx.len as usize == lvl {
+            if bx.len as usize == lvl && topo.asn(bx.next).0 <= st.slots[xi].asn {
                 continue; // the incumbent won
             }
             if logged[xi] != *logged_gen {
@@ -902,24 +970,30 @@ fn improve_wave(st: &mut RoutingState<'_>, scratch: &mut DeltaScratch) {
                 undo.push((x, bx));
             }
             let shortened = bx.len as usize > lvl;
-            st.best[xi] =
-                BestRoute { class: RouteClass::Provider, len: lvl as u16, next };
+            st.best[xi] = BestRoute {
+                class: RouteClass::Provider,
+                len: lvl as u16,
+                next: st.slots[xi].next,
+            };
             if shortened {
                 let nxt = lvl + 1;
+                let offer = Offer {
+                    tag: (round << LVL_BITS) | nxt as u32,
+                    asn: topo.asn(x).0,
+                    next: x,
+                };
                 for &(y, rel) in topo.neighbors(x) {
                     if matches!(rel, Rel::Customer | Rel::Sibling)
                         && !is_banned(x, y)
-                        && eligible(&st.best, &st.stamp, y, nxt)
+                        && eligible(&st.best, &st.slots, y, nxt)
                     {
-                        if inner.buckets.len() <= nxt {
-                            inner.buckets.resize_with(nxt + 1, Vec::new);
-                        }
-                        inner.buckets[nxt].push((y, x));
-                        live += 1;
+                        push_offer(&mut st.slots, &mut inner.buckets, &mut live, y, offer);
                     }
                 }
             }
         }
+        bucket.clear();
+        inner.buckets[lvl] = bucket;
         lvl += 1;
     }
 }
@@ -966,7 +1040,7 @@ impl Drop for FailedLink<'_, '_> {
         let gen = self.st.gen;
         for &(v, old) in &self.scratch.undo {
             self.st.best[v as usize] = old;
-            self.st.stamp[v as usize] = gen;
+            self.st.slots[v as usize].stamp = gen;
         }
         self.scratch.undo.clear();
         self.st.banned = None;
@@ -1108,9 +1182,12 @@ pub mod reference {
         }
 
         // Convert to the stamped representation the queries read.
-        let stamp: Vec<u32> = best.iter().map(|b| u32::from(b.is_some())).collect();
+        let slots: Vec<super::Slot> = best
+            .iter()
+            .map(|b| super::Slot { stamp: u32::from(b.is_some()), ..super::SLOT_EMPTY })
+            .collect();
         let best: Vec<BestRoute> = best.into_iter().map(|b| b.unwrap_or(UNROUTED)).collect();
-        RoutingState { topo, dest, best, stamp, gen: 1, banned }
+        RoutingState { topo, dest, best, slots, gen: 1, round: 0, banned }
     }
 }
 

@@ -139,4 +139,36 @@ proptest! {
             }
         }
     }
+
+    /// Parallel whole-table determinism: the merged table is
+    /// byte-identical whatever the thread count and whatever the claim
+    /// schedule (natural vs degree-descending, pooled or not). This is
+    /// the guardrail behind running the bench parallel-by-default.
+    #[test]
+    fn parallel_schedule_is_invisible_in_the_table(seed in 0u64..60, ndests in 1usize..24) {
+        use miro_bgp::engine::{
+            par_over_dests_scheduled, DestOrder, ScratchPool,
+        };
+        let t = GenParams::tiny(seed).generate();
+        let dests: Vec<_> = t.nodes().take(ndests).collect();
+        let tables = |threads: usize, order: DestOrder, pool: Option<&ScratchPool>| {
+            par_over_dests_scheduled(&t, &dests, threads, order, pool, |_, wi| {
+                t.nodes().map(|x| wi.base().best(x)).collect::<Vec<_>>()
+            })
+        };
+        let base = tables(1, DestOrder::Natural, None);
+        let pool = ScratchPool::for_nodes(t.num_nodes());
+        for threads in [1usize, 2, 8] {
+            for order in [DestOrder::Natural, DestOrder::DegreeDescending] {
+                prop_assert_eq!(
+                    &tables(threads, order, None), &base,
+                    "{} threads / {:?} diverged", threads, order
+                );
+                prop_assert_eq!(
+                    &tables(threads, order, Some(&pool)), &base,
+                    "{} threads / {:?} pooled diverged", threads, order
+                );
+            }
+        }
+    }
 }

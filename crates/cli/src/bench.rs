@@ -10,11 +10,19 @@
 //! * **heap** — the retained [`miro_bgp::solver::reference`] engine,
 //!   driven the way the pre-CSR code drove it: a fresh `BinaryHeap` and
 //!   routing table allocated per destination, results pushed through a
-//!   shared `Mutex<Vec>`.
+//!   shared `Mutex<Vec>`, always at 1 thread (it is the fixed historical
+//!   baseline, and may be stride-sampled — comparisons against it are
+//!   per-destination-normalized and labeled `heap_sampled`).
 //!
-//! Both runs use the same thread count, and the bench asserts their
-//! outputs agree before reporting. Results are written to
-//! `BENCH_solver.json` (see `--out`) so CI can track the perf trajectory.
+//! The bucket engine runs once per entry in the `--threads` list
+//! (default `1,2,4,8,16`), producing one thread-scaling row each:
+//! `threads`, wall `ms`, `speedup_vs_1t`, and parallel `efficiency`
+//! (speedup over the thread count, capped at the machine's available
+//! parallelism so a core-starved host isn't blamed for not scaling).
+//! The bench asserts every engine/thread-count combination agrees before
+//! reporting. Results are written to `BENCH_solver.json` (see `--out`)
+//! so CI can track the perf trajectory; `--check-scaling F` turns the
+//! multi-thread efficiency rows into a hard CI gate.
 //!
 //! The `delta` suite times the what-if workload on top: for each sampled
 //! destination, one cached base solve plus N random single-link tree
@@ -103,6 +111,12 @@ const SCALES: &[Scale] = &[
 /// Generation seed: fixed so runs are comparable across machines and PRs.
 const SEED: u64 = 42;
 
+/// One bucket-engine timing at one thread count.
+struct ThreadRow {
+    threads: usize,
+    wall: Duration,
+}
+
 struct ScaleRow {
     name: &'static str,
     preset: &'static str,
@@ -110,21 +124,56 @@ struct ScaleRow {
     reps: u32,
     nodes: usize,
     edges: usize,
-    bucket: Duration,
+    /// Thread-scaling rows, one per `--threads` entry, in list order.
+    rows: Vec<ThreadRow>,
     /// Destinations the heap baseline actually solved (== `nodes` when
-    /// `heap_stride` is 1).
+    /// `heap_stride` is 1; fewer means the baseline was stride-sampled).
     heap_dests: usize,
     heap: Duration,
 }
 
 impl ScaleRow {
-    /// Per-destination speedup, so sampled heap rows compare fairly
-    /// against the full bucket sweep. Collapses to total/total when the
-    /// heap ran every destination.
-    fn speedup(&self) -> f64 {
-        let heap_per = self.heap.as_secs_f64() / self.heap_dests.max(1) as f64;
-        let bucket_per = self.bucket.as_secs_f64() / self.nodes.max(1) as f64;
-        heap_per / bucket_per.max(1e-12)
+    /// The 1-thread bucket wall time, if the ladder included one — the
+    /// reference `speedup_vs_1t`/`efficiency` are computed against.
+    fn t1(&self) -> Option<Duration> {
+        self.rows.iter().find(|r| r.threads == 1).map(|r| r.wall)
+    }
+
+    /// Was the heap baseline stride-sampled rather than a full sweep?
+    fn heap_sampled(&self) -> bool {
+        self.heap_dests != self.nodes
+    }
+
+    fn heap_ms_per_dest(&self) -> f64 {
+        self.heap.as_secs_f64() * 1e3 / self.heap_dests.max(1) as f64
+    }
+
+    /// 1-thread bucket ms per destination (the single-solve latency the
+    /// frontier packing attacks). Falls back to the first row when the
+    /// ladder skipped 1 thread.
+    fn bucket_ms_per_dest(&self) -> f64 {
+        let wall = self.t1().unwrap_or_else(|| self.rows[0].wall);
+        wall.as_secs_f64() * 1e3 / self.nodes.max(1) as f64
+    }
+
+    /// Per-destination heap/bucket speedup: the honest apples-to-apples
+    /// figure whatever the sampling (`heap_ms_per_dest / bucket_ms_per_dest`).
+    fn speedup_per_dest(&self) -> f64 {
+        self.heap_ms_per_dest() / self.bucket_ms_per_dest().max(1e-12)
+    }
+
+    fn speedup_vs_1t(&self, row: &ThreadRow) -> Option<f64> {
+        self.t1().map(|t1| t1.as_secs_f64() / row.wall.as_secs_f64().max(1e-12))
+    }
+
+    /// Parallel efficiency: `speedup_vs_1t / min(threads, cores)`. The
+    /// denominator is capped at the machine's available parallelism so
+    /// rows measured on a core-starved host (or oversubscribed thread
+    /// counts) are judged against what the hardware could ever deliver.
+    fn efficiency(&self, row: &ThreadRow) -> Option<f64> {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let ideal = row.threads.min(cores).max(1) as f64;
+        self.speedup_vs_1t(row).map(|s| s / ideal)
     }
 }
 
@@ -155,6 +204,9 @@ impl DeltaRow {
 struct ShardRow {
     name: &'static str,
     workers: usize,
+    /// Solver threads each worker subprocess runs with (the thread
+    /// budget split across workers).
+    threads_per_worker: usize,
     dests: usize,
     blocks: usize,
     deaths: usize,
@@ -173,14 +225,16 @@ impl ShardRow {
 /// `std::thread::scope` would happily spawn them all.
 const MAX_THREADS: usize = 1024;
 
-/// Entry point for `miro bench-solver [--scale S] [--threads N] [--out P]
-/// [--check-delta-speedup F] [--list]`. Returns the human-readable
-/// report; the JSON lands in `--out` (default `BENCH_solver.json`).
+/// Entry point for `miro bench-solver [--scale S] [--threads LIST]
+/// [--out P] [--check-delta-speedup F] [--check-scaling F] [--list]`.
+/// Returns the human-readable report; the JSON lands in `--out` (default
+/// `BENCH_solver.json`).
 pub fn run(args: &[String]) -> Result<String, String> {
     let mut scale = "all".to_string();
-    let mut threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut threads_list = "1,2,4,8,16".to_string();
     let mut out_path = "BENCH_solver.json".to_string();
     let mut check_delta: Option<f64> = None;
+    let mut check_scaling: Option<f64> = None;
     let mut shard_workers = 0usize;
     let mut list = false;
     let mut it = args.iter();
@@ -191,15 +245,16 @@ pub fn run(args: &[String]) -> Result<String, String> {
         match arg.as_str() {
             "--list" => list = true,
             "--scale" => scale = val("--scale")?,
-            "--threads" => {
-                threads = val("--threads")?
-                    .parse()
-                    .map_err(|_| "--threads needs a number".to_string())?;
-            }
+            "--threads" => threads_list = val("--threads")?,
             "--out" => out_path = val("--out")?,
             "--check-delta-speedup" => {
                 check_delta = Some(val("--check-delta-speedup")?.parse().map_err(|_| {
                     "--check-delta-speedup needs a number".to_string()
+                })?);
+            }
+            "--check-scaling" => {
+                check_scaling = Some(val("--check-scaling")?.parse().map_err(|_| {
+                    "--check-scaling needs a number".to_string()
                 })?);
             }
             "--shard-workers" => {
@@ -210,12 +265,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
             other => return Err(format!("unknown option {other:?}")),
         }
     }
-    if threads == 0 {
-        return Err("--threads must be at least 1".to_string());
-    }
-    if threads > MAX_THREADS {
-        return Err(format!("--threads {threads} is absurd (max {MAX_THREADS})"));
-    }
+    let thread_counts = select_threads(&threads_list)?;
 
     if list {
         let mut out = String::from("bench-solver scales:\n");
@@ -231,20 +281,40 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 sc.heap_stride
             );
         }
+        out.push_str("row schemas:\n");
+        out.push_str(
+            "  scales[]       = {scale, preset, preset_scale, nodes, edges, dests, reps, \
+             rows[], heap{}, bucket_ms_per_dest, heap_ms_per_dest, speedup_per_dest}\n",
+        );
+        out.push_str("  scales[].rows[] = {threads, ms, speedup_vs_1t, efficiency}\n");
+        out.push_str(
+            "  scales[].heap   = {threads, dests, sampled, ms, ms_per_dest}\n",
+        );
+        out.push_str(
+            "  delta[]        = {scale, threads, dests, events, mean_cone, incremental_ms, \
+             full_ms, delta_speedup}\n",
+        );
+        out.push_str(
+            "  shard[]        = {scale, workers, threads_per_worker, dests, blocks, deaths, \
+             table_bytes, sharded_ms, single_ms, shard_speedup}\n",
+        );
         return Ok(out);
     }
 
     let selected = select_scales(&scale)?;
 
-    let mut report = format!("bench-solver: whole-network solves, {threads} thread(s)\n");
+    let mut report = format!(
+        "bench-solver: whole-network solves, threads {}\n",
+        thread_counts.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(",")
+    );
     let mut rows = Vec::new();
     let mut delta_rows = Vec::new();
     let mut shard_rows = Vec::new();
     for sc in selected {
         let topo = sc.preset.params(sc.factor, SEED).generate();
         let dests: Vec<NodeId> = topo.nodes().collect();
-        let (bucket, heap, heap_dests) =
-            time_engines(&topo, &dests, threads, sc.reps, sc.heap_stride);
+        let (thread_rows, heap, heap_dests) =
+            time_engines(&topo, &dests, &thread_counts, sc.reps, sc.heap_stride);
         let row = ScaleRow {
             name: sc.name,
             preset: preset_slug(sc.preset),
@@ -252,26 +322,40 @@ pub fn run(args: &[String]) -> Result<String, String> {
             reps: sc.reps,
             nodes: topo.num_nodes(),
             edges: topo.num_edges(),
-            bucket,
+            rows: thread_rows,
             heap_dests,
             heap,
         };
-        let sampled = if heap_dests == row.nodes {
-            String::new()
-        } else {
+        let sampled = if row.heap_sampled() {
             format!(" (heap sampled {heap_dests} dests)")
+        } else {
+            String::new()
         };
         let _ = writeln!(
             report,
-            "  {:<8} {:>6} nodes {:>6} links | bucket {:>9.2} ms | heap {:>9.2} ms | {:.2}x{}",
+            "  {:<8} {:>6} nodes {:>6} links | heap(1t) {:>9.2} ms | {:.2}x per dest{}",
             row.name,
             row.nodes,
             row.edges,
-            row.bucket.as_secs_f64() * 1e3,
             row.heap.as_secs_f64() * 1e3,
-            row.speedup(),
+            row.speedup_per_dest(),
             sampled
         );
+        for tr in &row.rows {
+            let vs = row
+                .speedup_vs_1t(tr)
+                .map_or("     -".to_string(), |s| format!("{s:5.2}x"));
+            let eff = row
+                .efficiency(tr)
+                .map_or("   -".to_string(), |e| format!("{e:4.2}"));
+            let _ = writeln!(
+                report,
+                "  {:<8}   bucket {:>2}t | {:>9.2} ms | vs 1t {vs} | eff {eff}",
+                row.name,
+                tr.threads,
+                tr.wall.as_secs_f64() * 1e3,
+            );
+        }
         rows.push(row);
 
         let drow = time_delta_suite(sc.name, &topo, sc.reps);
@@ -289,7 +373,8 @@ pub fn run(args: &[String]) -> Result<String, String> {
         delta_rows.push(drow);
 
         if shard_workers > 0 {
-            let srow = time_shard_suite(sc, &topo, shard_workers, threads)?;
+            let budget = thread_counts.iter().copied().max().unwrap_or(1);
+            let srow = time_shard_suite(sc, &topo, shard_workers, budget)?;
             let _ = writeln!(
                 report,
                 "  {:<8} shard: {} dests / {} blocks over {} workers | sharded {:>9.2} ms | single {:>9.2} ms | {:.2}x | deaths {}",
@@ -306,7 +391,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         }
     }
 
-    let json = to_json(threads, &rows, &delta_rows, &shard_rows);
+    let json = to_json(&rows, &delta_rows, &shard_rows);
     std::fs::write(&out_path, &json).map_err(|e| format!("cannot write {out_path:?}: {e}"))?;
     let _ = writeln!(report, "wrote {out_path}");
 
@@ -321,7 +406,59 @@ pub fn run(args: &[String]) -> Result<String, String> {
             }
         }
     }
+    if let Some(floor) = check_scaling {
+        let mut gated = 0;
+        for r in &rows {
+            if r.t1().is_none() {
+                return Err(
+                    "--check-scaling needs a 1-thread reference row (include 1 in --threads)"
+                        .to_string(),
+                );
+            }
+            for tr in r.rows.iter().filter(|tr| tr.threads > 1) {
+                gated += 1;
+                let eff = r.efficiency(tr).expect("1t row exists");
+                if eff < floor {
+                    return Err(format!(
+                        "parallel efficiency regression at scale {:?}, {} threads: \
+                         {eff:.2} < required {floor}",
+                        r.name, tr.threads
+                    ));
+                }
+            }
+        }
+        if gated == 0 {
+            return Err(
+                "--check-scaling gated nothing: include a multi-thread count in --threads"
+                    .to_string(),
+            );
+        }
+    }
     Ok(report)
+}
+
+/// Resolve `--threads`: a comma-separated list of thread counts, run in
+/// order (the same dedupe-but-reject-unknowns contract as `--scale`):
+/// repeats collapse, while a zero, unparsable, or absurd entry anywhere
+/// in the list is an error even alongside valid ones.
+fn select_threads(list: &str) -> Result<Vec<usize>, String> {
+    let mut counts: Vec<usize> = Vec::new();
+    for part in list.split(',') {
+        let t: usize = part
+            .trim()
+            .parse()
+            .map_err(|_| format!("--threads: {part:?} is not a thread count"))?;
+        if t == 0 {
+            return Err("--threads must be at least 1".to_string());
+        }
+        if t > MAX_THREADS {
+            return Err(format!("--threads {t} is absurd (max {MAX_THREADS})"));
+        }
+        if !counts.contains(&t) {
+            counts.push(t);
+        }
+    }
+    Ok(counts)
 }
 
 /// Resolve `--scale`: a comma-separated list of scale names, where `all`
@@ -364,34 +501,51 @@ fn preset_slug(preset: DatasetPreset) -> &'static str {
     }
 }
 
-/// Time both engines; the bucket engine always sweeps every destination,
-/// the heap baseline solves every `heap_stride`-th one. Returns the
-/// best-of-`reps` wall times plus how many destinations the heap run
-/// covered, and panics if the engines disagree on any destination both
-/// solved.
+/// Time the bucket engine once per thread count in `thread_counts`
+/// (best-of-`reps` each), plus the 1-thread heap baseline over every
+/// `heap_stride`-th destination. Returns the thread-scaling rows, the
+/// heap wall time, and how many destinations the heap run covered.
+/// Panics if any engine/thread-count combination disagrees with another
+/// on a destination both solved.
 fn time_engines(
     topo: &Topology,
     dests: &[NodeId],
-    threads: usize,
+    thread_counts: &[usize],
     reps: u32,
     heap_stride: usize,
-) -> (Duration, Duration, usize) {
+) -> (Vec<ThreadRow>, Duration, usize) {
     let heap_dests: Vec<NodeId> =
         dests.iter().copied().step_by(heap_stride.max(1)).collect();
-    let mut bucket = Duration::MAX;
+
+    let mut rows = Vec::with_capacity(thread_counts.len());
+    let mut reference: Option<Vec<usize>> = None;
+    for &threads in thread_counts {
+        let mut wall = Duration::MAX;
+        let mut fast: Vec<usize> = Vec::new();
+        for _ in 0..reps.max(1) {
+            let t0 = Instant::now();
+            fast = par_over_dests(topo, dests, threads, |_, st| st.reachable_count());
+            wall = wall.min(t0.elapsed());
+        }
+        match &reference {
+            None => reference = Some(fast),
+            Some(want) => assert_eq!(
+                &fast, want,
+                "bucket engine at {threads} threads diverged from {} threads",
+                thread_counts[0]
+            ),
+        }
+        rows.push(ThreadRow { threads, wall });
+    }
+    let fast = reference.expect("at least one thread count");
+
     let mut heap = Duration::MAX;
-    let mut check: Option<(Vec<usize>, Vec<usize>)> = None;
+    let mut slow: Vec<usize> = Vec::new();
     for _ in 0..reps.max(1) {
         let t0 = Instant::now();
-        let fast = par_over_dests(topo, dests, threads, |_, st| st.reachable_count());
-        bucket = bucket.min(t0.elapsed());
-
-        let t0 = Instant::now();
-        let slow = heap_whole_network(topo, &heap_dests, threads);
+        slow = heap_whole_network(topo, &heap_dests, 1);
         heap = heap.min(t0.elapsed());
-        check = Some((fast, slow));
     }
-    let (fast, slow) = check.expect("at least one rep");
     for (i, s) in slow.iter().enumerate() {
         let full_idx = i * heap_stride.max(1);
         assert_eq!(
@@ -399,7 +553,7 @@ fn time_engines(
             "bucket and heap engines disagreed at destination index {full_idx}"
         );
     }
-    (bucket, heap, heap_dests.len())
+    (rows, heap, heap_dests.len())
 }
 
 /// The pre-CSR driver shape: heap solver, fresh allocations per solve,
@@ -556,6 +710,7 @@ fn time_shard_suite(
     let sample = SHARD_DESTS.min(topo.num_nodes());
     let dests = miro_shard::sample_dests(topo.num_nodes(), sample);
     let block_size = dests.len().div_ceil(workers * 4).max(1);
+    let threads_per_worker = (threads / workers).max(1);
     let spec_args = miro_shard::TopoSpec::Preset {
         preset: preset_slug_cli(sc.preset).to_string(),
         factor: sc.factor,
@@ -569,7 +724,7 @@ fn time_shard_suite(
         "--dests".into(),
         sample.to_string(),
         "--threads".into(),
-        (threads / workers).max(1).to_string(),
+        threads_per_worker.to_string(),
         "--heartbeat-ms".into(),
         "250".into(),
     ]);
@@ -580,6 +735,7 @@ fn time_shard_suite(
         num_nodes: topo.num_nodes() as u32,
         num_edges: topo.num_edges() as u32,
         block_size,
+        block_order: Some(miro_bgp::engine::heavy_blocks_first(topo, &dests, block_size)),
         workers,
         state_dir: dir.join("state"),
         out_path: dir.join("table.mirt"),
@@ -613,6 +769,7 @@ fn time_shard_suite(
     Ok(ShardRow {
         name: sc.name,
         workers,
+        threads_per_worker,
         dests: dests.len(),
         blocks: rep.blocks,
         deaths: rep.deaths,
@@ -632,39 +789,57 @@ fn preset_slug_cli(preset: DatasetPreset) -> &'static str {
     }
 }
 
-fn to_json(
-    threads: usize,
-    rows: &[ScaleRow],
-    delta_rows: &[DeltaRow],
-    shard_rows: &[ShardRow],
-) -> String {
+/// Render an optional float as a JSON number or `null` (rows measured
+/// without a 1-thread reference have no speedup/efficiency).
+fn json_opt(v: Option<f64>) -> String {
+    v.map_or("null".to_string(), |v| format!("{v:.2}"))
+}
+
+fn to_json(rows: &[ScaleRow], delta_rows: &[DeltaRow], shard_rows: &[ShardRow]) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"bench\": \"solver-whole-network\",");
-    let _ = writeln!(out, "  \"engine\": \"csr-bucket-queue\",");
-    let _ = writeln!(out, "  \"baseline\": \"heap-per-solve-alloc\",");
+    let _ = writeln!(out, "  \"engine\": \"csr-bucket-queue-packed-frontier\",");
+    let _ = writeln!(out, "  \"baseline\": \"heap-per-solve-alloc (1 thread, stride-sampled)\",");
     let _ = writeln!(out, "  \"seed\": {SEED},");
-    let _ = writeln!(out, "  \"threads\": {threads},");
     let _ = writeln!(out, "  \"scales\": [");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
         let _ = writeln!(
             out,
             "    {{\"scale\": \"{}\", \"preset\": \"{}\", \"preset_scale\": {}, \
-             \"nodes\": {}, \"edges\": {}, \
-             \"dests\": {}, \"heap_dests\": {}, \"reps\": {}, \
-             \"bucket_ms\": {:.3}, \"heap_ms\": {:.3}, \
-             \"speedup\": {:.2}}}{comma}",
-            r.name,
-            r.preset,
-            r.factor,
-            r.nodes,
-            r.edges,
-            r.nodes,
+             \"nodes\": {}, \"edges\": {}, \"dests\": {}, \"reps\": {},",
+            r.name, r.preset, r.factor, r.nodes, r.edges, r.nodes, r.reps,
+        );
+        let _ = writeln!(out, "     \"rows\": [");
+        for (j, tr) in r.rows.iter().enumerate() {
+            let tcomma = if j + 1 < r.rows.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "       {{\"threads\": {}, \"ms\": {:.3}, \"speedup_vs_1t\": {}, \
+                 \"efficiency\": {}}}{tcomma}",
+                tr.threads,
+                tr.wall.as_secs_f64() * 1e3,
+                json_opt(r.speedup_vs_1t(tr)),
+                json_opt(r.efficiency(tr)),
+            );
+        }
+        let _ = writeln!(out, "     ],");
+        let _ = writeln!(
+            out,
+            "     \"heap\": {{\"threads\": 1, \"dests\": {}, \"sampled\": {}, \
+             \"ms\": {:.3}, \"ms_per_dest\": {:.4}}},",
             r.heap_dests,
-            r.reps,
-            r.bucket.as_secs_f64() * 1e3,
+            r.heap_sampled(),
             r.heap.as_secs_f64() * 1e3,
-            r.speedup()
+            r.heap_ms_per_dest(),
+        );
+        let _ = writeln!(
+            out,
+            "     \"bucket_ms_per_dest\": {:.4}, \"heap_ms_per_dest\": {:.4}, \
+             \"speedup_per_dest\": {:.2}}}{comma}",
+            r.bucket_ms_per_dest(),
+            r.heap_ms_per_dest(),
+            r.speedup_per_dest(),
         );
     }
     let _ = writeln!(out, "  ],");
@@ -673,7 +848,7 @@ fn to_json(
         let comma = if i + 1 < delta_rows.len() { "," } else { "" };
         let _ = writeln!(
             out,
-            "    {{\"scale\": \"{}\", \"dests\": {}, \"events\": {}, \
+            "    {{\"scale\": \"{}\", \"threads\": 1, \"dests\": {}, \"events\": {}, \
              \"mean_cone\": {:.2}, \"incremental_ms\": {:.3}, \"full_ms\": {:.3}, \
              \"delta_speedup\": {:.2}}}{comma}",
             r.name,
@@ -691,11 +866,13 @@ fn to_json(
         let comma = if i + 1 < shard_rows.len() { "," } else { "" };
         let _ = writeln!(
             out,
-            "    {{\"scale\": \"{}\", \"workers\": {}, \"dests\": {}, \"blocks\": {}, \
+            "    {{\"scale\": \"{}\", \"workers\": {}, \"threads_per_worker\": {}, \
+             \"dests\": {}, \"blocks\": {}, \
              \"deaths\": {}, \"table_bytes\": {}, \"sharded_ms\": {:.3}, \"single_ms\": {:.3}, \
              \"shard_speedup\": {:.2}}}{comma}",
             r.name,
             r.workers,
+            r.threads_per_worker,
             r.dests,
             r.blocks,
             r.deaths,
@@ -721,18 +898,45 @@ mod tests {
             "--scale".into(),
             "tiny".into(),
             "--threads".into(),
-            "2".into(),
+            "1,2".into(),
             "--out".into(),
             out_path.display().to_string(),
         ];
         let report = run(&args).expect("bench runs");
         assert!(report.contains("tiny"), "{report}");
         assert!(report.contains("delta:"), "{report}");
+        assert!(report.contains("bucket  1t"), "{report}");
+        assert!(report.contains("bucket  2t"), "{report}");
         let json = std::fs::read_to_string(&out_path).expect("json written");
-        assert!(json.contains("\"speedup\""), "{json}");
         assert!(json.contains("\"nodes\": 209"), "{json}");
-        assert!(json.contains("\"delta_speedup\""), "{json}");
-        assert!(json.contains("\"mean_cone\""), "{json}");
+        assert!(json.contains("\"threads\": 1"), "{json}");
+        assert!(json.contains("\"threads\": 2"), "{json}");
+        assert!(json.contains("\"speedup_vs_1t\""), "{json}");
+        assert!(json.contains("\"efficiency\""), "{json}");
+        assert!(json.contains("\"heap_ms_per_dest\""), "{json}");
+        assert!(json.contains("\"bucket_ms_per_dest\""), "{json}");
+        assert!(json.contains("\"speedup_per_dest\""), "{json}");
+        assert!(json.contains("\"sampled\": false"), "{json}");
+        // The stale whole-file thread count is gone: `threads` now lives
+        // inside each suite's rows.
+        assert!(!json.contains("\n  \"threads\""), "{json}");
+    }
+
+    #[test]
+    fn no_1t_row_reports_null_speedups() {
+        let out_path = std::env::temp_dir().join("miro_bench_solver_no1t_test.json");
+        let args: Vec<String> = vec![
+            "--scale".into(),
+            "tiny".into(),
+            "--threads".into(),
+            "2".into(),
+            "--out".into(),
+            out_path.display().to_string(),
+        ];
+        run(&args).expect("bench runs");
+        let json = std::fs::read_to_string(&out_path).expect("json written");
+        assert!(json.contains("\"speedup_vs_1t\": null"), "{json}");
+        assert!(json.contains("\"efficiency\": null"), "{json}");
     }
 
     #[test]
@@ -744,6 +948,27 @@ mod tests {
         assert!(report.contains("internet"), "{report}");
         assert!(report.contains("internet70k"), "{report}");
         assert!(report.contains("heap_stride=64"), "{report}");
+        // The row schemas are part of the contract: CI greps for them.
+        assert!(report.contains("row schemas:"), "{report}");
+        assert!(report.contains("speedup_vs_1t"), "{report}");
+        assert!(report.contains("efficiency"), "{report}");
+        assert!(report.contains("threads_per_worker"), "{report}");
+        assert!(report.contains("ms_per_dest"), "{report}");
+    }
+
+    #[test]
+    fn thread_lists_dedupe_but_still_reject_bad_entries() {
+        assert_eq!(select_threads("1,2,4").unwrap(), vec![1, 2, 4]);
+        // Repeats collapse, first occurrence wins the position.
+        assert_eq!(select_threads("2,1,2,8,1").unwrap(), vec![2, 1, 8]);
+        assert_eq!(select_threads(" 1 , 2 ").unwrap(), vec![1, 2]);
+        // A bad entry is an error even when valid counts surround it.
+        let err = select_threads("1,0,2").unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        let err = select_threads("1,65536").unwrap_err();
+        assert!(err.contains("absurd"), "{err}");
+        let err = select_threads("1,two").unwrap_err();
+        assert!(err.contains("not a thread count"), "{err}");
     }
 
     #[test]
@@ -804,5 +1029,56 @@ mod tests {
         ];
         let err = run(&args).unwrap_err();
         assert!(err.contains("delta speedup regression"), "{err}");
+    }
+
+    #[test]
+    fn check_scaling_needs_a_1t_reference() {
+        let out_path = std::env::temp_dir().join("miro_bench_scaling_no1t.json");
+        let args: Vec<String> = vec![
+            "--scale".into(),
+            "tiny".into(),
+            "--threads".into(),
+            "2,4".into(),
+            "--out".into(),
+            out_path.display().to_string(),
+            "--check-scaling".into(),
+            "0.0".into(),
+        ];
+        let err = run(&args).unwrap_err();
+        assert!(err.contains("1-thread reference"), "{err}");
+    }
+
+    #[test]
+    fn check_scaling_needs_a_parallel_row() {
+        let out_path = std::env::temp_dir().join("miro_bench_scaling_only1t.json");
+        let args: Vec<String> = vec![
+            "--scale".into(),
+            "tiny".into(),
+            "--threads".into(),
+            "1".into(),
+            "--out".into(),
+            out_path.display().to_string(),
+            "--check-scaling".into(),
+            "0.0".into(),
+        ];
+        let err = run(&args).unwrap_err();
+        assert!(err.contains("gated nothing"), "{err}");
+    }
+
+    #[test]
+    fn unreachable_scaling_floor_fails_the_gate() {
+        let out_path = std::env::temp_dir().join("miro_bench_scaling_gate.json");
+        let args: Vec<String> = vec![
+            "--scale".into(),
+            "tiny".into(),
+            "--threads".into(),
+            "1,2".into(),
+            "--out".into(),
+            out_path.display().to_string(),
+            "--check-scaling".into(),
+            "1e9".into(),
+        ];
+        let err = run(&args).unwrap_err();
+        assert!(err.contains("parallel efficiency regression"), "{err}");
     }
 }

@@ -13,6 +13,7 @@
 //!     --dests 2048 --block-size 64 --out table.mirt --verify
 //! ```
 
+use miro_bgp::engine::heavy_blocks_first;
 use miro_shard::coordinator::{self, JobSpec, ProcessSpawner};
 use miro_shard::format::RouteTableSet;
 use miro_shard::worker::{self, WorkerConfig};
@@ -179,11 +180,15 @@ pub fn run_solve(args: &[String]) -> Result<String, String> {
     ]);
     let mut spawner = ProcessSpawner { program, args: worker_args };
 
+    // Heavy blocks first: the expensive assignments go out early so the
+    // job's tail drains over cheap ones (output bytes are unaffected).
+    let block_order = Some(heavy_blocks_first(&topo, &dests, a.block_size));
     let spec = JobSpec {
         dests,
         num_nodes: topo.num_nodes() as u32,
         num_edges: topo.num_edges() as u32,
         block_size: a.block_size,
+        block_order,
         workers: a.workers,
         state_dir,
         out_path: a.out.clone(),

@@ -148,6 +148,13 @@ pub struct JobSpec {
     pub num_edges: u32,
     /// Destinations per dispatch block.
     pub block_size: usize,
+    /// Dispatch order over block ids (e.g.
+    /// [`miro_bgp::engine::heavy_blocks_first`], so the expensive blocks
+    /// go out first); `None` dispatches in canonical ascending order.
+    /// Must be a permutation of the block ids. Purely a scheduling knob:
+    /// the merge reads the spool in canonical order, so dispatch order
+    /// can never affect the output bytes.
+    pub block_order: Option<Vec<u32>>,
     /// Worker fleet size.
     pub workers: usize,
     /// Spool + manifest directory.
@@ -271,8 +278,25 @@ pub fn run(spec: &JobSpec, spawner: &mut dyn Spawner) -> Result<JobReport, Strin
             .map_err(|e| format!("cannot create manifest {manifest_path:?}: {e}"))?
     };
 
-    let mut pending: VecDeque<u32> =
-        (0..nblocks as u32).filter(|&b| !done[b as usize]).collect();
+    let order: Vec<u32> = match &spec.block_order {
+        Some(order) => {
+            if order.len() != nblocks {
+                return Err(format!(
+                    "block_order lists {} block(s), job has {nblocks}",
+                    order.len()
+                ));
+            }
+            let mut seen = vec![false; nblocks];
+            for &b in order {
+                if b as usize >= nblocks || std::mem::replace(&mut seen[b as usize], true) {
+                    return Err(format!("block_order is not a permutation: block {b}"));
+                }
+            }
+            order.clone()
+        }
+        None => (0..nblocks as u32).collect(),
+    };
+    let mut pending: VecDeque<u32> = order.into_iter().filter(|&b| !done[b as usize]).collect();
     let mut done_count = nblocks - pending.len();
 
     let (tx, rx) = std::sync::mpsc::channel::<Event>();

@@ -27,7 +27,7 @@
 //! and encodes once.
 
 use crate::fnv1a;
-use miro_bgp::engine::par_over_dests;
+use miro_bgp::engine::{par_over_dests, par_over_dests_pooled, ScratchPool};
 use miro_bgp::solver::RoutingState;
 use miro_topology::{NodeId, Topology};
 
@@ -68,6 +68,29 @@ impl RouteTableSet {
     pub fn from_solves(topo: &Topology, dests: &[NodeId], threads: usize) -> RouteTableSet {
         let v = topo.num_nodes();
         let rows = par_over_dests(topo, dests, threads, |_, st: &RoutingState<'_>| {
+            let (mut next, mut hops, mut class) = (vec![0u32; v], vec![0u16; v], vec![0u8; v]);
+            st.write_table_row(&mut next, &mut hops, &mut class);
+            (next, hops, class)
+        });
+        let mut set = RouteTableSet::with_dests(v as u32, dests.to_vec());
+        for (i, (next, hops, class)) in rows.into_iter().enumerate() {
+            set.set_row(i, &next, &hops, &class);
+        }
+        set
+    }
+
+    /// [`RouteTableSet::from_solves`] drawing per-thread solve arenas
+    /// from `pool` — the shard-worker path, where one pool spans every
+    /// block of a job so the steady state allocates no scratch at all.
+    /// Byte-identical to `from_solves` by construction.
+    pub fn from_solves_pooled(
+        topo: &Topology,
+        dests: &[NodeId],
+        threads: usize,
+        pool: &ScratchPool,
+    ) -> RouteTableSet {
+        let v = topo.num_nodes();
+        let rows = par_over_dests_pooled(topo, dests, threads, pool, |_, st: &RoutingState<'_>| {
             let (mut next, mut hops, mut class) = (vec![0u32; v], vec![0u16; v], vec![0u8; v]);
             st.write_table_row(&mut next, &mut hops, &mut class);
             (next, hops, class)

@@ -2,9 +2,11 @@
 //!
 //! A worker rebuilds the job's topology from its argv spec, says
 //! [`Msg::Hello`], and then loops: take a block assignment, solve it with
-//! [`RouteTableSet::from_solves`] (which reuses per-thread scratch arenas
-//! via `par_over_dests`), send the encoded block back, repeat until
-//! [`Msg::Shutdown`] or the coordinator's pipe closes. A background
+//! [`RouteTableSet::from_solves_pooled`] against one [`ScratchPool`] held
+//! for the worker's whole life — per-thread solve arenas survive from
+//! block to block, so after the first block a worker allocates no scratch
+//! at all — send the encoded block back, repeat until [`Msg::Shutdown`]
+//! or the coordinator's pipe closes. A background
 //! thread heartbeats the whole time — including *during* a long solve —
 //! so the coordinator can tell "still grinding block 17" from "hung".
 //! Both threads write frames through one mutex so heartbeats never tear a
@@ -12,6 +14,7 @@
 
 use crate::format::RouteTableSet;
 use crate::protocol::{read_frame, write_frame, FrameError, Msg, PROTOCOL_VERSION};
+use miro_bgp::engine::ScratchPool;
 use miro_topology::{NodeId, Topology};
 use std::io::{Read, Write};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
@@ -72,6 +75,7 @@ where
         })
     };
 
+    let pool = ScratchPool::for_nodes(topo.num_nodes());
     let mut blocks_done = 0u32;
     let result = loop {
         match read_frame(&mut input) {
@@ -86,8 +90,12 @@ where
                     ));
                 }
                 current.store(block, Ordering::Relaxed);
-                let table =
-                    RouteTableSet::from_solves(topo, &dests[start..start + len], cfg.threads);
+                let table = RouteTableSet::from_solves_pooled(
+                    topo,
+                    &dests[start..start + len],
+                    cfg.threads,
+                    &pool,
+                );
                 current.store(IDLE_BLOCK, Ordering::Relaxed);
                 let msg = Msg::BlockResult { block, table: table.encode() };
                 let mut out = output.lock().expect("worker stdout mutex");

@@ -252,6 +252,7 @@ fn spec(dests: &[NodeId], topo: &Topology, block_size: usize, workers: usize, di
         num_nodes: topo.num_nodes() as u32,
         num_edges: topo.num_edges() as u32,
         block_size,
+        block_order: None,
         workers,
         state_dir: dir.join("state"),
         out_path: dir.join("table.mirt"),
@@ -269,15 +270,19 @@ fn spec(dests: &[NodeId], topo: &Topology, block_size: usize, workers: usize, di
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
-    /// ISSUE 5 satellite: sharded solves split into 1, 2, and 8 blocks —
-    /// with varying fleet sizes and optionally one worker dying mid-job —
-    /// produce byte-identical output to the unsharded reference.
+    /// ISSUE 5 satellite (extended in ISSUE 6): sharded solves split into
+    /// 1, 2, and 8 blocks — with varying fleet sizes, optionally one
+    /// worker dying mid-job, and an arbitrary `block_order` dispatch
+    /// permutation — produce byte-identical output to the unsharded
+    /// reference. The fleet runs the real worker loop, so this also pins
+    /// the pooled-scratch solve path ([`RouteTableSet::from_solves_pooled`]).
     #[test]
     fn sharded_solve_bytes_match_unsharded_reference(
         nblocks in (0usize..3).prop_map(|i| [1usize, 2, 8][i]),
         workers in 1usize..4,
         death in any::<bool>(),
         seed in 0u64..4,
+        order_seed in 0usize..4,
     ) {
         let topo = Arc::new(GenParams::tiny(seed).generate());
         let dests = Arc::new(sample_dests(topo.num_nodes(), 24));
@@ -287,6 +292,14 @@ proptest! {
         let block_size = dests.len().div_ceil(nblocks);
         let dir = fresh_dir("prop");
         let mut job = spec(&dests, &topo, block_size, workers, &dir);
+        // Dispatch in a scrambled (rotated, maybe reversed) block order:
+        // scheduling must never leak into the merged bytes.
+        let n = dests.len().div_ceil(block_size) as u32;
+        let mut order: Vec<u32> = (0..n).map(|b| (b + order_seed as u32) % n).collect();
+        if order_seed % 2 == 1 {
+            order.reverse();
+        }
+        job.block_order = Some(order);
         // A death only demonstrates reassignment if someone else can pick
         // the block up (or a respawn can) — the budget covers both.
         let behaviors = if death {
@@ -390,6 +403,29 @@ fn resume_skips_checkpointed_blocks() {
         "resumed run dispatched more than the unfinished blocks"
     );
     assert_eq!(std::fs::read(&job.out_path).unwrap(), reference);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A `block_order` that is not a permutation of the job's blocks is
+/// rejected up front, before any worker spawns.
+#[test]
+fn bad_block_order_is_rejected() {
+    let topo = Arc::new(GenParams::tiny(23).generate());
+    let dests = Arc::new(sample_dests(topo.num_nodes(), 12));
+    let dir = fresh_dir("order");
+
+    for (order, want) in [
+        (vec![0u32, 1, 2], "block_order lists 3 block(s)"),
+        (vec![0, 1, 2, 9], "not a permutation"),
+        (vec![0, 1, 2, 2], "not a permutation"),
+    ] {
+        // 12 dests / block_size 3 = 4 blocks.
+        let mut job = spec(&dests, &topo, 3, 1, &dir);
+        job.block_order = Some(order);
+        let mut spawner = LocalSpawner::new(&topo, &dests, Vec::new());
+        let err = coordinator::run(&job, &mut spawner).expect_err("bad order rejected");
+        assert!(err.contains(want), "{err}");
+    }
     let _ = std::fs::remove_dir_all(&dir);
 }
 
