@@ -5,7 +5,8 @@
 //! Benchmark: `miro bench-solver [--scale tiny|small|medium|large|internet|all]
 //! [--threads N] [--out BENCH_solver.json] [--list]`.
 //! Robustness: `miro resilience [--seed N] [--scale F] [--pairs N]
-//! [--out RESILIENCE.json] [--check-floor PCT]`.
+//! [--outage-ticks N] [--out RESILIENCE.json] [--check-floor PCT]
+//! [--check-recovery-floor PCT]`.
 //! Ingest: `miro ingest <file> [--out cache.json] [--name LABEL] [--check]`.
 
 use std::io::{BufRead, Write};

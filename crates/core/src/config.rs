@@ -1,0 +1,65 @@
+//! Typed validation errors for the control-plane knob structs.
+//!
+//! Both [`crate::chan::FaultConfig`] and
+//! [`crate::reliable::ReliabilityConfig`] are plain-old-data bags of
+//! public fields, so nothing stops a caller from building a config that
+//! silently misbehaves (a keepalive timeout shorter than the interval
+//! flaps every tunnel; `max_retries == 0` gives up before the first
+//! retransmit). Construction-time validation turns those into typed,
+//! testable errors instead.
+
+use std::fmt;
+
+/// Why a configuration was rejected at construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A probability knob exceeds 1000‰.
+    PermilleOutOfRange { knob: &'static str, value: u32 },
+    /// `delay_min > delay_max`: the delay range is empty.
+    DelayRange { min: u64, max: u64 },
+    /// An outage window with `end <= start` spans nothing.
+    EmptyOutage { start: u64, end: u64 },
+    /// `keepalive_timeout <= keepalive_interval`: every tunnel would
+    /// expire between its own heartbeats.
+    KeepaliveTimeout { interval: u64, timeout: u64 },
+    /// `max_retries == 0`: the handshake would give up before the first
+    /// retransmission, defeating the reliability layer entirely.
+    ZeroMaxRetries,
+    /// `rto_initial == 0`: a zero timer retransmits every tick.
+    ZeroInitialRto,
+    /// `rto_min > rto_max`: the adaptive-RTO clamp range is empty.
+    RtoRange { min: u64, max: u64 },
+    /// `retry_base == 0` or `retry_base > retry_cap`: the decorrelated
+    /// jitter schedule would be degenerate.
+    RetryRange { base: u64, cap: u64 },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ConfigError::PermilleOutOfRange { knob, value } => {
+                write!(f, "per-mille knob {knob} = {value} must be <= 1000")
+            }
+            ConfigError::DelayRange { min, max } => {
+                write!(f, "delay_min {min} must be <= delay_max {max}")
+            }
+            ConfigError::EmptyOutage { start, end } => {
+                write!(f, "outage window {start}..{end} is empty")
+            }
+            ConfigError::KeepaliveTimeout { interval, timeout } => write!(
+                f,
+                "keepalive_timeout {timeout} must exceed keepalive_interval {interval}"
+            ),
+            ConfigError::ZeroMaxRetries => write!(f, "max_retries must be at least 1"),
+            ConfigError::ZeroInitialRto => write!(f, "rto_initial must be at least 1 tick"),
+            ConfigError::RtoRange { min, max } => {
+                write!(f, "rto_min {min} must be <= rto_max {max}")
+            }
+            ConfigError::RetryRange { base, cap } => {
+                write!(f, "retry_base {base} must be in 1..=retry_cap {cap}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}

@@ -28,18 +28,25 @@
 //! handlers, and graceful fallback to the BGP default path.
 
 pub mod chan;
+pub mod config;
 pub mod endpoint;
 pub mod export;
 pub mod negotiate;
 pub mod node;
 pub mod reliable;
+pub mod rto;
 pub mod strategy;
 pub mod tunnel;
 pub mod wire;
 
 pub use chan::{ChannelStats, Envelope, FaultConfig, FaultyChannel};
+pub use config::ConfigError;
 pub use export::{ExportPolicy, Offer};
 pub use negotiate::{Constraint, NegotiationError, NegotiationId};
-pub use reliable::{FailReason, FallbackEvent, NegotiationOutcome, ReliabilityConfig, ReliableNet};
+pub use reliable::{
+    FailReason, FallbackEvent, NegotiationOutcome, ReliabilityConfig, ReliableNet, RtoMode,
+    RtoSnapshot, Stage,
+};
+pub use rto::RtoEstimator;
 pub use strategy::{AvoidOutcome, TargetStrategy};
 pub use tunnel::{TunnelId, TunnelManager};

@@ -3,52 +3,100 @@
 //!
 //! [`MiroNetwork`](crate::node::MiroNetwork) delivers every message
 //! instantly and exactly once; this module reruns the same protocol over a
-//! [`FaultyChannel`] that drops, duplicates, reorders, and delays. The
-//! reliability layer on top is deliberately classical:
+//! [`FaultyChannel`] that drops, duplicates, reorders, delays — and, since
+//! the lifecycle-resilience work, blacks out entire windows and survives a
+//! responder crash-restart. The reliability layer on top is classical:
 //!
 //! * **sequence numbers** — every transmission carries a fresh sequence
 //!   number; receivers suppress exact duplicates (the channel's
 //!   duplication fault) while retransmissions get new numbers and are
 //!   absorbed by idempotent handlers instead;
-//! * **retransmit timers with exponential backoff** — the requester
-//!   re-sends `Request`/`Accept`, the responder re-sends `Established`,
-//!   each up to [`ReliabilityConfig::max_retries`] times with the interval
-//!   doubling from [`ReliabilityConfig::retransmit_base`];
+//! * **adaptive retransmission timers** — each Seq→Ack exchange of the
+//!   handshake (`Request`→`Offers`, `Accept`→`Established`,
+//!   `Established`→`Ack`) is an RTT echo on the virtual clock. Per-peer
+//!   [`RtoEstimator`]s fold the unambiguous echoes (Karn's algorithm:
+//!   retransmitted exchanges never feed the estimator) into RFC 6298
+//!   SRTT/RTTVAR, and fresh sends start their backoff from the learned
+//!   RTO instead of a static base. Retries still double the timer, now
+//!   clamped to [`ReliabilityConfig::rto_max`];
+//!   [`RtoMode::StaticLadder`] recovers the old fixed ladder for A/B runs;
 //! * **idempotent handlers** — a replayed `Accept` never allocates a
 //!   second tunnel (the responder replays the recorded `Established`), a
 //!   replayed `Established` is re-`Ack`ed, and a replayed `Teardown` is a
 //!   no-op;
-//! * **graceful fallback** — when retries are exhausted the requester
-//!   surfaces a typed [`FailReason::RetriesExhausted`] outcome and
-//!   *degrades to the BGP default path* (the paper's core guarantee: MIRO
-//!   only ever adds to BGP, so losing a negotiation costs nothing but the
-//!   alternate). Every fallback is recorded as a [`FallbackEvent`].
+//! * **graceful fallback with paced re-negotiation** — when retries are
+//!   exhausted, or an established tunnel's session later dies, the
+//!   requester degrades to the BGP default path (the paper's core
+//!   guarantee: MIRO only ever adds to BGP) and records a
+//!   [`FallbackEvent`]. Channel-caused fallbacks are then *retried* on a
+//!   decorrelated-jitter schedule — sleep `min(cap, rand(base, 3·prev))`
+//!   — up to [`ReliabilityConfig::retry_budget`] attempts, so a transient
+//!   outage is healed without a thundering herd. Recovery is written back
+//!   onto the original event (`recovered_at`); semantic failures
+//!   (`Rejected`, `NoneAcceptable`) are never retried — no schedule can
+//!   change a policy answer.
 //!
 //! Keepalives ride the same lossy bus: each side of a live tunnel
 //! heartbeats the other every [`ReliabilityConfig::keepalive_interval`]
 //! ticks and expires it after [`ReliabilityConfig::keepalive_timeout`]
-//! ticks of silence — the timeout exceeds three intervals, so a tunnel
-//! survives transient loss but dies cleanly under a sustained outage, on
-//! both sides, with a best-effort `Teardown` to hurry the peer along.
+//! ticks of silence. A keepalive for a tunnel the receiver does not hold —
+//! the receiver crashed, or already expired it — is answered with a
+//! `Teardown`, so a restarted responder kills its peers' stale tunnels
+//! within one heartbeat round instead of a full soft-state timeout
+//! ([`ReliableNet::crash_restart`] models the crash itself: the whole
+//! session table and tunnel table vanish, the id allocator survives as a
+//! boot-epoch-prefixed id space).
 //!
 //! Orphan safety: if the responder establishes but the requester has
 //! already fallen back (or its `Ack` never lands), the orphan tunnel is
 //! reaped by soft-state expiry — exactly the "idle tunnels in the
-//! downstream ASes" scenario §4.3 designed for.
+//! downstream ASes" scenario §4.3 designed for. [`ReliableNet::orphan_count`]
+//! measures the invariant directly.
 
 use crate::chan::{Envelope, FaultConfig, FaultyChannel};
+use crate::config::ConfigError;
 use crate::negotiate::{Constraint, Message, NegotiationError, NegotiationId, RejectReason};
 use crate::node::{choose_offer, responder_offers, Lease, ResponderConfig};
+use crate::rto::RtoEstimator;
 use crate::tunnel::{Tunnel, TunnelId, TunnelManager};
 use miro_bgp::solver::RoutingState;
 use miro_topology::{NodeId, Topology};
 use std::collections::{BTreeMap, HashSet};
 
+/// Finalizer of the splitmix64 generator — one well-mixed word per input,
+/// used to derive retry-schedule jitter as a pure function of
+/// (seed, episode, attempt).
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// How retransmission timeouts are chosen.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RtoMode {
+    /// Per-peer RFC 6298 SRTT/RTTVAR estimation seeded from handshake
+    /// echoes; fresh sends start at the learned RTO.
+    Adaptive,
+    /// The legacy fixed ladder: every fresh send starts at
+    /// [`ReliabilityConfig::rto_initial`] and doubles. Kept for A/B
+    /// comparison runs.
+    StaticLadder,
+}
+
 /// Timer constants of the reliability layer, in virtual ticks.
 #[derive(Clone, Copy, Debug)]
 pub struct ReliabilityConfig {
-    /// Ticks before the first retransmission; doubles on every retry.
-    pub retransmit_base: u64,
+    /// RTO before any RTT sample exists (and always, under
+    /// [`RtoMode::StaticLadder`]); doubles on every retry.
+    pub rto_initial: u64,
+    /// Lower clamp of the adaptive RTO.
+    pub rto_min: u64,
+    /// Upper clamp of the adaptive RTO *and* of the doubling backoff.
+    pub rto_max: u64,
+    /// Adaptive estimation or the legacy static ladder.
+    pub rto_mode: RtoMode,
     /// Retransmissions per handshake stage before giving up.
     pub max_retries: u32,
     /// Keepalive period per tunnel side.
@@ -57,16 +105,54 @@ pub struct ReliabilityConfig {
     /// `keepalive_interval` (it defaults to 3.5x) so a tunnel survives
     /// transient keepalive loss.
     pub keepalive_timeout: u64,
+    /// Floor of the decorrelated-jitter re-negotiation sleep.
+    pub retry_base: u64,
+    /// Ceiling of the decorrelated-jitter re-negotiation sleep.
+    pub retry_cap: u64,
+    /// Re-negotiation attempts per fallback episode before giving up for
+    /// good. `0` disables paced re-negotiation entirely.
+    pub retry_budget: u32,
 }
 
 impl Default for ReliabilityConfig {
     fn default() -> Self {
         ReliabilityConfig {
-            retransmit_base: 4,
+            rto_initial: 4,
+            rto_min: 2,
+            rto_max: 128,
+            rto_mode: RtoMode::Adaptive,
             max_retries: 5,
             keepalive_interval: 10,
             keepalive_timeout: 35,
+            retry_base: 16,
+            retry_cap: 256,
+            retry_budget: 6,
         }
+    }
+}
+
+impl ReliabilityConfig {
+    /// Reject configurations that would silently misbehave.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.rto_initial == 0 {
+            return Err(ConfigError::ZeroInitialRto);
+        }
+        if self.rto_min > self.rto_max {
+            return Err(ConfigError::RtoRange { min: self.rto_min, max: self.rto_max });
+        }
+        if self.max_retries == 0 {
+            return Err(ConfigError::ZeroMaxRetries);
+        }
+        if self.keepalive_interval > 0 && self.keepalive_timeout <= self.keepalive_interval {
+            return Err(ConfigError::KeepaliveTimeout {
+                interval: self.keepalive_interval,
+                timeout: self.keepalive_timeout,
+            });
+        }
+        if self.retry_base == 0 || self.retry_base > self.retry_cap {
+            return Err(ConfigError::RetryRange { base: self.retry_base, cap: self.retry_cap });
+        }
+        Ok(())
     }
 }
 
@@ -87,16 +173,30 @@ pub enum Stage {
     Accept,
 }
 
-/// Why a negotiation over the unreliable channel did not produce a tunnel.
+/// Why a negotiation over the unreliable channel did not produce a tunnel
+/// (or stopped providing one).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FailReason {
     /// The responder said no (semantic failure, same as the synchronous
-    /// harness).
+    /// harness). Never retried.
     Rejected(RejectReason),
-    /// Offers arrived but none fit the budget.
+    /// Offers arrived but none fit the budget. Never retried.
     NoneAcceptable,
-    /// The channel ate our retries at the given stage.
+    /// The channel ate our retries at the given stage. Retried on the
+    /// jitter schedule.
     RetriesExhausted(Stage),
+    /// An *established* tunnel's session died after the fact — soft-state
+    /// expiry or a peer `Teardown` (e.g. the responder crash-restarted).
+    /// Retried on the jitter schedule.
+    SessionDied,
+}
+
+impl FailReason {
+    /// Whether paced re-negotiation can plausibly help: channel failures
+    /// yes, policy answers no.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, FailReason::RetriesExhausted(_) | FailReason::SessionDied)
+    }
 }
 
 /// Terminal record of one negotiation attempt.
@@ -122,6 +222,13 @@ impl NegotiationOutcome {
 }
 
 /// Observability record: a requester fell back to its BGP default path.
+///
+/// Retryable episodes are updated in place as the pacing machinery works:
+/// `retry_attempts` counts launched re-negotiations, `recovered_at` is set
+/// when one of them lands a tunnel again. An event with
+/// `retry_of == Some(origin)` is a *chained* record — one failed attempt
+/// within the origin episode — and should be excluded when counting
+/// distinct outage episodes.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FallbackEvent {
     pub id: NegotiationId,
@@ -133,6 +240,46 @@ pub struct FallbackEvent {
     /// negotiated or not, and nothing MIRO can make worse).
     pub default_path: Vec<NodeId>,
     pub at: u64,
+    /// When a paced re-negotiation restored a tunnel for this episode.
+    pub recovered_at: Option<u64>,
+    /// Re-negotiation attempts launched for this episode so far.
+    pub retry_attempts: u32,
+    /// `Some(origin)` when this event records a failed retry attempt of an
+    /// earlier episode rather than a fresh episode.
+    pub retry_of: Option<NegotiationId>,
+}
+
+impl FallbackEvent {
+    /// Ticks from fallback to recovery, when recovery happened.
+    pub fn recovery_ticks(&self) -> Option<u64> {
+        self.recovered_at.map(|r| r - self.at)
+    }
+}
+
+/// Pacing state threaded through the retry attempts of one episode.
+#[derive(Clone, Copy, Debug)]
+struct RetryCtx {
+    /// Index of the origin [`FallbackEvent`] in the fallbacks log.
+    fallback: usize,
+    /// Previous sleep, for the decorrelated-jitter recurrence (0 = none
+    /// yet).
+    prev_sleep: u64,
+    /// Attempts launched so far for this episode.
+    attempts: u32,
+    /// Negotiation id of the origin episode.
+    origin: NegotiationId,
+}
+
+/// A re-negotiation waiting for its jittered launch time.
+#[derive(Clone, Debug)]
+struct PendingRetry {
+    ctx: RetryCtx,
+    requester: NodeId,
+    responder: NodeId,
+    dest: NodeId,
+    constraints: Vec<Constraint>,
+    max_price: u32,
+    next_at: u64,
 }
 
 #[derive(Clone, Debug)]
@@ -143,6 +290,10 @@ enum ReqState {
     /// Terminal failure; the reason lives in the recorded
     /// [`NegotiationOutcome`].
     Failed,
+    /// Was `Done`, but the tunnel's session later died (expiry or peer
+    /// teardown). Terminal for this session; recovery happens in a *new*
+    /// session launched by the pacing machinery.
+    Lost,
 }
 
 struct ReqSession {
@@ -150,6 +301,7 @@ struct ReqSession {
     requester: NodeId,
     responder: NodeId,
     dest: NodeId,
+    constraints: Vec<Constraint>,
     max_price: u32,
     state: ReqState,
     /// What to retransmit (the last handshake message we sent).
@@ -159,6 +311,8 @@ struct ReqSession {
     backoff: u64,
     retransmits_total: u32,
     started_at: u64,
+    /// `Some` when this session *is* a paced retry of an earlier episode.
+    retry: Option<RetryCtx>,
 }
 
 #[derive(Clone, Debug)]
@@ -183,6 +337,24 @@ struct RespSession {
     last_send: u64,
     retries: u32,
     backoff: u64,
+    /// Times `last_reply` was replayed — a replayed exchange is ambiguous
+    /// as an RTT echo (Karn), so `replays > 0` disables sampling on it.
+    replays: u32,
+}
+
+/// Aggregate view of the per-peer RTO estimators, for metrics exports.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RtoSnapshot {
+    /// Directed peer pairs with at least one RTT sample.
+    pub peers: usize,
+    /// Total RTT samples folded in across all pairs.
+    pub samples: u64,
+    /// Mean smoothed RTT across sampled pairs (0.0 when none).
+    pub srtt_mean: f64,
+    /// Mean current RTO across sampled pairs (0.0 when none).
+    pub rto_mean: f64,
+    /// Highest RTO any estimator ever reported (0 when none sampled).
+    pub rto_peak: u64,
 }
 
 /// The whole-network harness over the unreliable bus. One instance drives
@@ -208,6 +380,15 @@ pub struct ReliableNet<'t> {
     seen: Vec<HashSet<u64>>,
     /// Channel-duplicated transmissions suppressed by sequence numbers.
     pub duplicates_suppressed: usize,
+    /// Per-directed-pair RTT estimators, keyed (local, peer).
+    rtt: BTreeMap<(NodeId, NodeId), RtoEstimator>,
+    /// Seed for the retry-schedule jitter. Sleeps are a pure hash of
+    /// (seed, episode origin, attempt) — independent of the channel's
+    /// fault dice so pacing does not perturb the loss pattern, and
+    /// identical across [`RtoMode`]s so recovery-time comparisons isolate
+    /// the timer policy.
+    jitter_seed: u64,
+    pending_retries: Vec<PendingRetry>,
     outcomes: Vec<NegotiationOutcome>,
     fallbacks: Vec<FallbackEvent>,
     /// Transcript of every message handed to the bus (pre-fault).
@@ -219,17 +400,32 @@ impl<'t> ReliableNet<'t> {
         Self::with_reliability(topo, fault, seed, ReliabilityConfig::default())
     }
 
+    /// Panicking constructor; see [`ReliableNet::try_with_reliability`]
+    /// for the fallible form.
     pub fn with_reliability(
         topo: &'t Topology,
         fault: FaultConfig,
         seed: u64,
         rel: ReliabilityConfig,
     ) -> Self {
+        Self::try_with_reliability(topo, fault, seed, rel).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Build a network, rejecting invalid fault or reliability knobs with
+    /// a typed error instead of latent misbehaviour.
+    pub fn try_with_reliability(
+        topo: &'t Topology,
+        fault: FaultConfig,
+        seed: u64,
+        rel: ReliabilityConfig,
+    ) -> Result<Self, ConfigError> {
+        rel.validate()?;
+        let bus = FaultyChannel::try_new(seed, fault)?;
         let n = topo.num_nodes();
-        ReliableNet {
+        Ok(ReliableNet {
             topo,
             clock: 0,
-            bus: FaultyChannel::new(seed, fault),
+            bus,
             rel,
             configs: vec![ResponderConfig::default(); n],
             managers: (0..n).map(|_| TunnelManager::new()).collect(),
@@ -241,10 +437,13 @@ impl<'t> ReliableNet<'t> {
             next_seq: 0,
             seen: vec![HashSet::new(); n],
             duplicates_suppressed: 0,
+            rtt: BTreeMap::new(),
+            jitter_seed: seed ^ 0x9e37_79b9_7f4a_7c15,
+            pending_retries: Vec::new(),
             outcomes: Vec::new(),
             fallbacks: Vec::new(),
             log: Vec::new(),
-        }
+        })
     }
 
     /// Replace one AS's responder configuration.
@@ -256,6 +455,13 @@ impl<'t> ReliableNet<'t> {
     /// establishment).
     pub fn set_fault(&mut self, fault: FaultConfig) {
         self.bus.set_fault(fault);
+    }
+
+    /// Black out the channel completely for `start..end` (virtual ticks):
+    /// every send inside the window is dropped, on top of whatever the
+    /// steady-state fault model does outside it.
+    pub fn schedule_outage(&mut self, start: u64, end: u64) -> Result<(), ConfigError> {
+        self.bus.schedule_outage(start, end)
     }
 
     /// Channel accounting (drops, duplicates, reorders, in-flight).
@@ -278,9 +484,15 @@ impl<'t> ReliableNet<'t> {
         &self.outcomes
     }
 
-    /// Every recorded degrade-to-default event.
+    /// Every recorded degrade-to-default event (origin episodes and
+    /// chained retry failures; filter on `retry_of` to tell them apart).
     pub fn fallbacks(&self) -> &[FallbackEvent] {
         &self.fallbacks
+    }
+
+    /// Re-negotiations currently waiting for their jittered launch tick.
+    pub fn pending_retry_count(&self) -> usize {
+        self.pending_retries.len()
     }
 
     /// Number of negotiations that allocated more than one tunnel — the
@@ -289,9 +501,68 @@ impl<'t> ReliableNet<'t> {
         self.session_tunnels.values().filter(|v| v.len() > 1).count()
     }
 
+    /// Live tunnels whose peer does not hold the matching record — the
+    /// quantity crash-restart teardown exists to drive to zero. Only
+    /// meaningful at quiescence over a healed channel: mid-outage, a
+    /// half-expired tunnel is legitimately one-sided for a few ticks.
+    pub fn orphan_count(&self) -> usize {
+        let mut orphans = 0;
+        for n in 0..self.managers.len() {
+            for t in self.managers[n].iter() {
+                match self.managers[t.peer as usize].get(t.id) {
+                    Some(peer_side) if peer_side.peer == n as NodeId => {}
+                    _ => orphans += 1,
+                }
+            }
+        }
+        orphans
+    }
+
+    /// Aggregate view of every per-peer RTO estimator.
+    pub fn rto_snapshot(&self) -> RtoSnapshot {
+        let sampled: Vec<&RtoEstimator> =
+            self.rtt.values().filter(|e| e.samples() > 0).collect();
+        if sampled.is_empty() {
+            return RtoSnapshot { peers: 0, samples: 0, srtt_mean: 0.0, rto_mean: 0.0, rto_peak: 0 };
+        }
+        let n = sampled.len() as f64;
+        RtoSnapshot {
+            peers: sampled.len(),
+            samples: sampled.iter().map(|e| e.samples()).sum(),
+            srtt_mean: sampled.iter().map(|e| e.srtt()).sum::<f64>() / n,
+            rto_mean: sampled.iter().map(|e| e.rto() as f64).sum::<f64>() / n,
+            rto_peak: sampled.iter().map(|e| e.peak()).max().unwrap_or(0),
+        }
+    }
+
     /// The topology this network runs over.
     pub fn topology(&self) -> &'t Topology {
         self.topo
+    }
+
+    /// The node's process restarts: tunnel table, teardown history,
+    /// responder sessions, and the duplicate-suppression window all
+    /// vanish (soft state is exactly the state you may lose). In-flight
+    /// *requester* sessions of the node die silently — the process that
+    /// cared about them is gone, so no outcome is recorded. The tunnel id
+    /// allocator survives (boot-epoch-prefixed id space), so post-restart
+    /// establishments never collide with ids peers still hold. Returns
+    /// the tunnel ids that were live here. Peers discover the crash via
+    /// keepalives: the restarted node answers heartbeats for unknown
+    /// tunnels with `Teardown`, which marks the peer's session dead and
+    /// feeds the paced re-negotiation machinery.
+    pub fn crash_restart(&mut self, node: NodeId) -> Vec<TunnelId> {
+        let lost = self.managers[node as usize].crash();
+        self.seen[node as usize].clear();
+        self.resp_sessions.retain(|_, s| s.responder != node);
+        for s in self.req_sessions.iter_mut().filter(|s| s.requester == node) {
+            if matches!(s.state, ReqState::AwaitOffers | ReqState::AwaitEstablished) {
+                s.state = ReqState::Failed;
+            }
+        }
+        self.pending_retries.retain(|p| p.requester != node);
+        self.rtt.retain(|(local, _), _| *local != node);
+        lost
     }
 
     fn post(&mut self, from: NodeId, to: NodeId, msg: Message) {
@@ -299,6 +570,32 @@ impl<'t> ReliableNet<'t> {
         self.next_seq += 1;
         self.log.push((from, to, msg.clone()));
         self.bus.send(self.clock, from, to, SeqMessage { seq, msg });
+    }
+
+    /// The RTO a fresh exchange from `local` to `peer` should start at.
+    fn rto_for(&self, local: NodeId, peer: NodeId) -> u64 {
+        match self.rel.rto_mode {
+            RtoMode::StaticLadder => self.rel.rto_initial,
+            RtoMode::Adaptive => self
+                .rtt
+                .get(&(local, peer))
+                .map(|e| e.rto())
+                .unwrap_or(self.rel.rto_initial),
+        }
+    }
+
+    /// Fold one unambiguous RTT echo into the (local, peer) estimator.
+    /// Callers enforce Karn's algorithm: only exchanges that were never
+    /// retransmitted/replayed reach this.
+    fn sample_rtt(&mut self, local: NodeId, peer: NodeId, rtt: u64) {
+        if self.rel.rto_mode == RtoMode::StaticLadder {
+            return;
+        }
+        let (initial, min, max) = (self.rel.rto_initial, self.rel.rto_min, self.rel.rto_max);
+        self.rtt
+            .entry((local, peer))
+            .or_insert_with(|| RtoEstimator::new(initial, min, max))
+            .sample(rtt);
     }
 
     /// Begin a negotiation (Figure 4.2 step 1) for `st.dest()`. The
@@ -315,42 +612,67 @@ impl<'t> ReliableNet<'t> {
         if requester == responder {
             return Err(NegotiationError::SelfNegotiation);
         }
+        Ok(self.launch(st.dest(), requester, responder, constraints, max_price, None))
+    }
+
+    /// Create and send a fresh `Request` session (initial or paced retry).
+    fn launch(
+        &mut self,
+        dest: NodeId,
+        requester: NodeId,
+        responder: NodeId,
+        constraints: Vec<Constraint>,
+        max_price: u32,
+        retry: Option<RetryCtx>,
+    ) -> NegotiationId {
         let id = NegotiationId(self.next_neg);
         self.next_neg += 1;
-        let msg = Message::Request { id, dest: st.dest(), constraints };
+        let msg = Message::Request { id, dest, constraints: constraints.clone() };
         self.post(requester, responder, msg.clone());
+        let backoff = self.rto_for(requester, responder);
         self.req_sessions.push(ReqSession {
             id,
             requester,
             responder,
-            dest: st.dest(),
+            dest,
+            constraints,
             max_price,
             state: ReqState::AwaitOffers,
             last_msg: msg,
             last_send: self.clock,
             retries: 0,
-            backoff: self.rel.retransmit_base,
+            backoff,
             retransmits_total: 0,
             started_at: self.clock,
+            retry,
         });
-        Ok(id)
+        id
     }
 
     /// All handshakes (both sides) have reached a terminal state. Tunnel
-    /// soft state may still be live — keepalives keep flowing.
+    /// soft state may still be live — keepalives keep flowing — and paced
+    /// re-negotiations may still be pending (see
+    /// [`ReliableNet::quiescent`]).
     pub fn handshakes_settled(&self) -> bool {
-        self.req_sessions
-            .iter()
-            .all(|s| matches!(s.state, ReqState::Done(_) | ReqState::Failed))
-            && self
-                .resp_sessions
-                .values()
-                .all(|s| matches!(s.state, RespState::Offered | RespState::Closed))
+        self.req_sessions.iter().all(|s| {
+            matches!(s.state, ReqState::Done(_) | ReqState::Failed | ReqState::Lost)
+        }) && self
+            .resp_sessions
+            .values()
+            .all(|s| matches!(s.state, RespState::Offered | RespState::Closed))
             && self.bus.is_idle()
     }
 
+    /// Settled *and* no re-negotiation is waiting to launch: nothing will
+    /// change again without external input.
+    pub fn quiescent(&self) -> bool {
+        self.handshakes_settled() && self.pending_retries.is_empty()
+    }
+
     /// Tick until every handshake settles (or `max_ticks` elapse); returns
-    /// the number of ticks consumed.
+    /// the number of ticks consumed. Pending paced retries do NOT hold
+    /// this loop open — use [`ReliableNet::run_until_quiescent`] to also
+    /// drain the recovery machinery.
     pub fn run_until_settled(&mut self, st: &RoutingState<'_>, max_ticks: u64) -> u64 {
         let start = self.clock;
         while !self.handshakes_settled() && self.clock - start < max_ticks {
@@ -359,9 +681,19 @@ impl<'t> ReliableNet<'t> {
         self.clock - start
     }
 
+    /// Tick until [`ReliableNet::quiescent`] (or `max_ticks` elapse);
+    /// returns the number of ticks consumed.
+    pub fn run_until_quiescent(&mut self, st: &RoutingState<'_>, max_ticks: u64) -> u64 {
+        let start = self.clock;
+        while !self.quiescent() && self.clock - start < max_ticks {
+            self.tick(st);
+        }
+        self.clock - start
+    }
+
     /// One tick of virtual time: deliver due messages (duplicate-
-    /// suppressed), run retransmit timers, heartbeat live tunnels, expire
-    /// stale soft state.
+    /// suppressed), run retransmit timers, launch due re-negotiations,
+    /// heartbeat live tunnels, expire stale soft state.
     pub fn tick(&mut self, st: &RoutingState<'_>) {
         self.clock += 1;
         let due = self.bus.deliver_due(self.clock);
@@ -374,8 +706,9 @@ impl<'t> ReliableNet<'t> {
         }
         self.requester_timers(st);
         self.responder_timers();
+        self.pace_retries();
         self.heartbeat();
-        self.expire_soft_state();
+        self.expire_soft_state(st);
     }
 
     fn handle(&mut self, st: &RoutingState<'_>, from: NodeId, to: NodeId, msg: Message) {
@@ -390,25 +723,63 @@ impl<'t> ReliableNet<'t> {
             Message::Ack { id } => {
                 if let Some(sess) = self.resp_sessions.get_mut(&id) {
                     if sess.responder == to {
-                        sess.state = RespState::Closed;
+                        // Established→Ack is the responder's RTT echo
+                        // (Karn: only when Established was never resent).
+                        if matches!(sess.state, RespState::Established(_)) && sess.retries == 0 {
+                            let (requester, rtt) =
+                                (sess.requester, self.clock - sess.last_send);
+                            sess.state = RespState::Closed;
+                            self.sample_rtt(to, requester, rtt);
+                        } else {
+                            sess.state = RespState::Closed;
+                        }
                     }
                 }
             }
             Message::Keepalive { tunnel } => {
                 // Refresh on *receipt* only: a heartbeat that the channel
                 // eats refreshes nobody, which is the whole point.
-                self.managers[to as usize].keepalive(tunnel, self.clock);
+                if !self.managers[to as usize].keepalive(tunnel, self.clock) {
+                    // The peer pings state we do not hold — we crashed, or
+                    // already expired it. Answer with Teardown so the peer
+                    // learns of the death within one heartbeat round
+                    // instead of a full soft-state timeout. Exception: a
+                    // handshake with this peer is still in flight, so the
+                    // tunnel may be adopted a tick from now.
+                    if !self.handshake_pending(to, from) {
+                        self.post(to, from, Message::Teardown { tunnel });
+                    }
+                }
             }
             Message::Teardown { tunnel } => {
                 // Idempotent: unknown or replayed ids are a no-op.
+                let held_peer =
+                    self.managers[to as usize].get(tunnel).map(|t| t.peer);
                 self.managers[to as usize].teardown(tunnel);
                 self.leases.retain(|l| {
                     !(l.id == tunnel
                         && ((l.downstream == from && l.upstream == to)
                             || (l.downstream == to && l.upstream == from)))
                 });
+                // If that tunnel backed one of our Done requester
+                // sessions, the session is dead: fall back and enter the
+                // paced re-negotiation machinery.
+                if held_peer == Some(from) {
+                    self.note_session_death(st, to, from, tunnel);
+                }
             }
         }
+    }
+
+    /// Any requester-side handshake between `local` and `peer` still in
+    /// flight? Used to suppress the keepalive-death fast path while an
+    /// `Established` may legitimately still be on the wire.
+    fn handshake_pending(&self, local: NodeId, peer: NodeId) -> bool {
+        self.req_sessions.iter().any(|s| {
+            s.requester == local
+                && s.responder == peer
+                && matches!(s.state, ReqState::AwaitOffers | ReqState::AwaitEstablished)
+        })
     }
 
     /// Responder, step 1 -> 2: answer a `Request` with `Offers` or
@@ -424,8 +795,9 @@ impl<'t> ReliableNet<'t> {
         constraints: &[Constraint],
     ) {
         debug_assert_eq!(dest, st.dest(), "one ReliableNet drives one destination");
-        if let Some(sess) = self.resp_sessions.get(&id) {
+        if let Some(sess) = self.resp_sessions.get_mut(&id) {
             if sess.responder == to {
+                sess.replays += 1; // Karn: this exchange is now ambiguous
                 let replay = sess.last_reply.clone();
                 self.post(to, from, replay);
             }
@@ -444,6 +816,7 @@ impl<'t> ReliableNet<'t> {
             Ok(offers) => Message::Offers { id, offers },
             Err(reason) => Message::Reject { id, reason },
         };
+        let backoff = self.rto_for(to, from);
         self.resp_sessions.insert(id, RespSession {
             id,
             requester: from,
@@ -452,7 +825,8 @@ impl<'t> ReliableNet<'t> {
             last_reply: reply.clone(),
             last_send: self.clock,
             retries: 0,
-            backoff: self.rel.retransmit_base,
+            backoff,
+            replays: 0,
         });
         self.post(to, from, reply);
     }
@@ -475,17 +849,24 @@ impl<'t> ReliableNet<'t> {
             // retransmit timer (or the established tunnel) covers us.
             return;
         }
+        // Request→Offers is the requester's first RTT echo (Karn: only
+        // when the Request was never retransmitted).
+        if self.req_sessions[i].retries == 0 {
+            let rtt = self.clock - self.req_sessions[i].last_send;
+            self.sample_rtt(to, from, rtt);
+        }
         let max_price = self.req_sessions[i].max_price;
         match choose_offer(&offers, max_price) {
             Some(choice) => {
                 let msg = Message::Accept { id, choice };
                 self.post(to, from, msg.clone());
+                let backoff = self.rto_for(to, from);
                 let s = &mut self.req_sessions[i];
                 s.state = ReqState::AwaitEstablished;
                 s.last_msg = msg;
                 s.last_send = self.clock;
                 s.retries = 0;
-                s.backoff = self.rel.retransmit_base;
+                s.backoff = backoff;
             }
             None => {
                 // Semantic failure: budget too small. No retry can fix it.
@@ -499,8 +880,18 @@ impl<'t> ReliableNet<'t> {
         else {
             return;
         };
-        if matches!(self.req_sessions[i].state, ReqState::Done(_) | ReqState::Failed) {
+        if !matches!(self.req_sessions[i].state, ReqState::AwaitOffers | ReqState::AwaitEstablished)
+        {
             return;
+        }
+        // A Reject answers our Request just as an Offers would: still an
+        // RTT echo when unretransmitted.
+        if matches!(self.req_sessions[i].state, ReqState::AwaitOffers)
+            && self.req_sessions[i].retries == 0
+        {
+            let (responder, rtt) =
+                (self.req_sessions[i].responder, self.clock - self.req_sessions[i].last_send);
+            self.sample_rtt(to, responder, rtt);
         }
         self.fail_requester(i, FailReason::Rejected(reason), Some(st));
     }
@@ -525,6 +916,7 @@ impl<'t> ReliableNet<'t> {
             // (if any) is reported again with the SAME id — never a new
             // allocation.
             RespState::Established(tid) => {
+                self.resp_sessions.get_mut(&id).expect("session exists").replays += 1;
                 self.post(to, from, Message::Established { id, tunnel: tid });
                 return;
             }
@@ -536,7 +928,14 @@ impl<'t> ReliableNet<'t> {
             }
             RespState::Offered => {}
         }
+        // Offers→Accept is the responder's RTT echo (Karn: only when the
+        // Offers was never replayed).
+        if sess.replays == 0 {
+            let rtt = self.clock - sess.last_send;
+            self.sample_rtt(to, from, rtt);
+        }
         // State is Offered: the first Accept to arrive wins.
+        let sess = self.resp_sessions.get(&id).expect("session exists");
         let Message::Offers { offers, .. } = sess.last_reply.clone() else {
             // Session was rejected; a (stale) Accept replays the Reject.
             let replay = sess.last_reply.clone();
@@ -571,12 +970,13 @@ impl<'t> ReliableNet<'t> {
             constraints: Vec::new(),
         });
         let reply = Message::Established { id, tunnel: tid };
+        let backoff = self.rto_for(to, from);
         let sess = self.resp_sessions.get_mut(&id).expect("session exists");
         sess.state = RespState::Established(tid);
         sess.last_reply = reply.clone();
         sess.last_send = now;
         sess.retries = 0;
-        sess.backoff = self.rel.retransmit_base;
+        sess.backoff = backoff;
         self.post(to, from, reply);
     }
 
@@ -607,11 +1007,17 @@ impl<'t> ReliableNet<'t> {
                 }
                 return;
             }
-            ReqState::Failed => {
+            ReqState::Failed | ReqState::Lost => {
                 self.post(to, from, Message::Teardown { tunnel });
                 return;
             }
             ReqState::AwaitOffers => return, // impossible per causality; ignore
+        }
+        // Accept→Established is the requester's second RTT echo (Karn:
+        // only when the Accept was never retransmitted).
+        if self.req_sessions[i].retries == 0 {
+            let rtt = self.clock - self.req_sessions[i].last_send;
+            self.sample_rtt(to, from, rtt);
         }
         // Find what was sold from the responder's lease record.
         let lease = self
@@ -645,15 +1051,23 @@ impl<'t> ReliableNet<'t> {
             finished_at: self.clock,
             retransmits: s.retransmits_total,
         };
+        // A successful paced retry closes its origin episode; the session
+        // then carries no retry context forward — if this tunnel dies
+        // later, that is a fresh episode with a fresh budget.
+        if let Some(ctx) = s.retry.take() {
+            self.fallbacks[ctx.fallback].recovered_at = Some(self.clock);
+        }
         self.outcomes.push(outcome);
         self.post(to, from, Message::Ack { id });
     }
 
     /// Terminal failure on the requester side: record the outcome and the
-    /// graceful degrade to the BGP default path.
+    /// graceful degrade to the BGP default path; channel failures are
+    /// handed to the pacing machinery for a jittered re-negotiation.
     fn fail_requester(&mut self, i: usize, reason: FailReason, st: Option<&RoutingState<'_>>) {
         let s = &mut self.req_sessions[i];
         s.state = ReqState::Failed;
+        let retry_ctx = s.retry.take();
         let outcome = NegotiationOutcome {
             id: s.id,
             requester: s.requester,
@@ -671,14 +1085,153 @@ impl<'t> ReliableNet<'t> {
             reason,
             default_path: st.and_then(|st| st.path(s.requester)).unwrap_or_default(),
             at: self.clock,
+            recovered_at: None,
+            retry_attempts: 0,
+            retry_of: retry_ctx.map(|c| c.origin),
         };
+        let (requester, responder, dest, constraints, max_price, session_id) = (
+            s.requester,
+            s.responder,
+            s.dest,
+            s.constraints.clone(),
+            s.max_price,
+            s.id,
+        );
         self.outcomes.push(outcome);
         self.fallbacks.push(fallback);
+        if !reason.is_retryable() {
+            return;
+        }
+        // RFC 6298 §5.7: after enough timeouts to kill the session, the
+        // learned SRTT/RTTVAR are likely bogus — drop them so the retry
+        // handshake probes from the configured initial RTO.
+        self.clear_estimators(requester, responder);
+        // A failed fresh episode opens a retry budget; a failed retry
+        // attempt continues spending its origin's.
+        let ctx = retry_ctx.unwrap_or(RetryCtx {
+            fallback: self.fallbacks.len() - 1,
+            prev_sleep: 0,
+            attempts: 0,
+            origin: session_id,
+        });
+        self.schedule_retry(ctx, requester, responder, dest, constraints, max_price);
+    }
+
+    /// An established tunnel's session died under `local` (peer teardown
+    /// or soft-state expiry): mark the session Lost, record the fallback,
+    /// and enter the paced re-negotiation machinery.
+    fn note_session_death(
+        &mut self,
+        st: &RoutingState<'_>,
+        local: NodeId,
+        peer: NodeId,
+        tunnel: TunnelId,
+    ) {
+        let Some(i) = self.req_sessions.iter().position(|s| {
+            s.requester == local
+                && s.responder == peer
+                && matches!(s.state, ReqState::Done(t) if t == tunnel)
+        }) else {
+            return;
+        };
+        let s = &mut self.req_sessions[i];
+        s.state = ReqState::Lost;
+        let retry_ctx = s.retry.take();
+        let fallback = FallbackEvent {
+            id: s.id,
+            requester: s.requester,
+            dest: s.dest,
+            reason: FailReason::SessionDied,
+            default_path: st.path(s.requester).unwrap_or_default(),
+            at: self.clock,
+            recovered_at: None,
+            retry_attempts: 0,
+            retry_of: retry_ctx.map(|c| c.origin),
+        };
+        let (requester, responder, dest, constraints, max_price, session_id) = (
+            s.requester,
+            s.responder,
+            s.dest,
+            s.constraints.clone(),
+            s.max_price,
+            s.id,
+        );
+        self.fallbacks.push(fallback);
+        // The peer went silent long enough to expire soft state: whatever
+        // the estimators learned predates the disruption (RFC 6298 §5.7).
+        self.clear_estimators(requester, responder);
+        let ctx = retry_ctx.unwrap_or(RetryCtx {
+            fallback: self.fallbacks.len() - 1,
+            prev_sleep: 0,
+            attempts: 0,
+            origin: session_id,
+        });
+        self.schedule_retry(ctx, requester, responder, dest, constraints, max_price);
+    }
+
+    /// Forget both directions' RTT state for a peer pair whose session
+    /// just died — stale estimates must not pace the recovery handshake.
+    fn clear_estimators(&mut self, a: NodeId, b: NodeId) {
+        self.rtt.remove(&(a, b));
+        self.rtt.remove(&(b, a));
+    }
+
+    /// Queue the next attempt of an episode on the decorrelated-jitter
+    /// schedule, unless its budget is spent.
+    fn schedule_retry(
+        &mut self,
+        mut ctx: RetryCtx,
+        requester: NodeId,
+        responder: NodeId,
+        dest: NodeId,
+        constraints: Vec<Constraint>,
+        max_price: u32,
+    ) {
+        if ctx.attempts >= self.rel.retry_budget {
+            return; // budget spent (or pacing disabled): stay on default
+        }
+        let base = self.rel.retry_base;
+        let prev = if ctx.prev_sleep == 0 { base } else { ctx.prev_sleep };
+        let hi = prev.saturating_mul(3).min(self.rel.retry_cap).max(base);
+        let dice = splitmix64(
+            self.jitter_seed ^ (ctx.origin.0 << 8) ^ u64::from(ctx.attempts),
+        );
+        let sleep = base + dice % (hi - base + 1);
+        ctx.prev_sleep = sleep;
+        self.pending_retries.push(PendingRetry {
+            ctx,
+            requester,
+            responder,
+            dest,
+            constraints,
+            max_price,
+            next_at: self.clock + sleep,
+        });
+    }
+
+    /// Launch every paced re-negotiation whose jittered sleep elapsed.
+    fn pace_retries(&mut self) {
+        if self.pending_retries.is_empty() {
+            return;
+        }
+        let now = self.clock;
+        let (due, rest): (Vec<PendingRetry>, Vec<PendingRetry>) =
+            std::mem::take(&mut self.pending_retries)
+                .into_iter()
+                .partition(|p| p.next_at <= now);
+        self.pending_retries = rest;
+        for p in due {
+            let mut ctx = p.ctx;
+            ctx.attempts += 1;
+            self.fallbacks[ctx.fallback].retry_attempts = ctx.attempts;
+            self.launch(p.dest, p.requester, p.responder, p.constraints, p.max_price, Some(ctx));
+        }
     }
 
     fn requester_timers(&mut self, st: &RoutingState<'_>) {
         let now = self.clock;
         let max_retries = self.rel.max_retries;
+        let rto_max = self.rel.rto_max;
         let mut resend: Vec<(NodeId, NodeId, Message)> = Vec::new();
         let mut exhausted: Vec<usize> = Vec::new();
         for (i, s) in self.req_sessions.iter_mut().enumerate() {
@@ -694,7 +1247,7 @@ impl<'t> ReliableNet<'t> {
             }
             s.retries += 1;
             s.retransmits_total += 1;
-            s.backoff *= 2;
+            s.backoff = (s.backoff * 2).min(rto_max);
             s.last_send = now;
             resend.push((s.requester, s.responder, s.last_msg.clone()));
         }
@@ -713,6 +1266,7 @@ impl<'t> ReliableNet<'t> {
     fn responder_timers(&mut self) {
         let now = self.clock;
         let max_retries = self.rel.max_retries;
+        let rto_max = self.rel.rto_max;
         let mut resend: Vec<(NodeId, NodeId, Message)> = Vec::new();
         for s in self.resp_sessions.values_mut() {
             let RespState::Established(tid) = s.state else { continue };
@@ -726,7 +1280,7 @@ impl<'t> ReliableNet<'t> {
                 continue;
             }
             s.retries += 1;
-            s.backoff *= 2;
+            s.backoff = (s.backoff * 2).min(rto_max);
             s.last_send = now;
             resend.push((s.responder, s.requester, Message::Established { id: s.id, tunnel: tid }));
         }
@@ -757,7 +1311,7 @@ impl<'t> ReliableNet<'t> {
         }
     }
 
-    fn expire_soft_state(&mut self) {
+    fn expire_soft_state(&mut self, st: &RoutingState<'_>) {
         let now = self.clock;
         let timeout = self.rel.keepalive_timeout;
         let mut teardowns: Vec<(NodeId, NodeId, TunnelId)> = Vec::new();
@@ -785,6 +1339,8 @@ impl<'t> ReliableNet<'t> {
                     && ((l.downstream == from && l.upstream == to)
                         || (l.downstream == to && l.upstream == from)))
             });
+            // Expiry on the requester's own side kills its session too.
+            self.note_session_death(st, from, to, id);
         }
     }
 }
@@ -849,10 +1405,12 @@ mod tests {
         );
         assert!(net.fallbacks().is_empty());
         assert_eq!(net.double_establish_count(), 0);
+        assert_eq!(net.orphan_count(), 0);
     }
 
     /// Semantic rejections surface the same reasons as the synchronous
-    /// harness, now as typed outcomes with a recorded fallback.
+    /// harness, now as typed outcomes with a recorded fallback — and are
+    /// never fed to the pacing machinery (no schedule fixes policy).
     #[test]
     fn rejections_record_fallback_to_default_path() {
         let (t, [a, b, _c, d, e, f]) = setup();
@@ -878,10 +1436,13 @@ mod tests {
             "the requester degrades to its BGP default path"
         );
         assert!(net.leases().is_empty());
+        assert_eq!(net.pending_retry_count(), 0, "semantic failures are never retried");
     }
 
     /// A channel that eats everything: retries back off, then the
-    /// requester gives up and falls back. Nothing is ever established.
+    /// requester gives up and falls back. Nothing is ever established,
+    /// and — with no RTT echo ever arriving — Karn keeps the estimator
+    /// empty, so the timing is exactly the static initial-RTO ladder.
     #[test]
     fn total_blackout_exhausts_retries_and_falls_back() {
         let (t, [a, b, _c, _d, e, f]) = setup();
@@ -900,8 +1461,10 @@ mod tests {
         );
         assert_eq!(net.outcomes()[0].retransmits, 5);
         assert_eq!(net.fallbacks().len(), 1);
+        assert_eq!(net.rto_snapshot().samples, 0, "Karn: no echo, no sample");
         assert!(net.leases().is_empty());
         assert!(net.tunnels(a).is_empty() && net.tunnels(b).is_empty());
+        assert_eq!(net.pending_retry_count(), 1, "the episode queued a paced retry");
     }
 
     /// Moderate loss: retransmits push the handshake through.
@@ -970,7 +1533,8 @@ mod tests {
         assert_eq!(net.leases().len(), 1, "tunnel survives transient loss");
         assert!(net.tunnels(a).get(tid).is_some());
         assert!(net.tunnels(b).get(tid).is_some());
-        // Total outage: both sides expire their soft state.
+        // Total outage: both sides expire their soft state. (Paced
+        // re-negotiations launch but die against the same blackout.)
         net.set_fault(FaultConfig { drop_permille: 1000, ..FaultConfig::PERFECT });
         for _ in 0..100 {
             net.tick(&st);
@@ -978,19 +1542,29 @@ mod tests {
         assert!(net.leases().is_empty(), "ledger reaped");
         assert!(net.tunnels(a).get(tid).is_none(), "upstream expired");
         assert!(net.tunnels(b).get(tid).is_none(), "downstream expired");
+        let died: Vec<_> = net
+            .fallbacks()
+            .iter()
+            .filter(|f| f.reason == FailReason::SessionDied)
+            .collect();
+        assert_eq!(died.len(), 1, "the death was recorded as a fallback episode");
+        assert_eq!(died[0].recovered_at, None, "nothing recovers under blackout");
     }
 
     /// A late `Established` after the requester already fell back is
-    /// declined with a `Teardown`: no half-open tunnel survives.
+    /// declined with a `Teardown`: no half-open tunnel survives. Pacing is
+    /// disabled so the cleanup window stays quiet.
     #[test]
     fn late_established_after_fallback_is_torn_down() {
         let (t, [a, b, _c, _d, e, f]) = setup();
         let st = RoutingState::solve(&t, f);
         // Fast-exhausting requester so the race is easy to hit: one retry,
-        // 1-tick base.
+        // 1-tick initial RTO, no paced re-negotiation.
         let rel = ReliabilityConfig {
-            retransmit_base: 1,
+            rto_initial: 1,
+            rto_min: 1,
             max_retries: 1,
+            retry_budget: 0,
             ..Default::default()
         };
         let mut hit = false;
@@ -1017,6 +1591,7 @@ mod tests {
                 assert!(net.tunnels(a).is_empty(), "seed {seed}: requester clean");
                 assert!(net.tunnels(b).is_empty(), "seed {seed}: orphan reaped");
                 assert!(net.leases().is_empty(), "seed {seed}: ledger clean");
+                assert_eq!(net.orphan_count(), 0, "seed {seed}");
             }
         }
         assert!(hit, "the fallback-vs-established race was actually exercised");
@@ -1032,5 +1607,236 @@ mod tests {
             net.start(&st, a, a, vec![], 100),
             Err(NegotiationError::SelfNegotiation)
         );
+    }
+
+    /// Construction-time validation rejects degenerate knobs with typed
+    /// errors instead of latent misbehaviour.
+    #[test]
+    fn config_validation_rejects_nonsense() {
+        let (t, _) = setup();
+        let bad = |rel: ReliabilityConfig| {
+            ReliableNet::try_with_reliability(&t, FaultConfig::PERFECT, 0, rel).err().unwrap()
+        };
+        assert_eq!(
+            bad(ReliabilityConfig { max_retries: 0, ..Default::default() }),
+            ConfigError::ZeroMaxRetries
+        );
+        assert_eq!(
+            bad(ReliabilityConfig { rto_initial: 0, ..Default::default() }),
+            ConfigError::ZeroInitialRto
+        );
+        assert_eq!(
+            bad(ReliabilityConfig { rto_min: 9, rto_max: 3, ..Default::default() }),
+            ConfigError::RtoRange { min: 9, max: 3 }
+        );
+        assert_eq!(
+            bad(ReliabilityConfig {
+                keepalive_interval: 10,
+                keepalive_timeout: 10,
+                ..Default::default()
+            }),
+            ConfigError::KeepaliveTimeout { interval: 10, timeout: 10 }
+        );
+        assert_eq!(
+            bad(ReliabilityConfig { retry_base: 0, ..Default::default() }),
+            ConfigError::RetryRange { base: 0, cap: 256 }
+        );
+        assert_eq!(
+            bad(ReliabilityConfig { retry_base: 64, retry_cap: 8, ..Default::default() }),
+            ConfigError::RetryRange { base: 64, cap: 8 }
+        );
+        // Invalid FaultConfig also surfaces through the same constructor.
+        assert_eq!(
+            ReliableNet::try_with_reliability(
+                &t,
+                FaultConfig { drop_permille: 1500, ..FaultConfig::PERFECT },
+                0,
+                ReliabilityConfig::default(),
+            )
+            .err()
+            .unwrap(),
+            ConfigError::PermilleOutOfRange { knob: "drop_permille", value: 1500 }
+        );
+    }
+
+    /// Handshake echoes feed the per-peer estimators; on a short-RTT
+    /// channel the learned RTO undercuts the static initial value.
+    #[test]
+    fn adaptive_rto_learns_the_channel() {
+        let (t, [a, b, _c, _d, e, f]) = setup();
+        let st = RoutingState::solve(&t, f);
+        let mut net = ReliableNet::new(&t, FaultConfig::PERFECT, 13);
+        net.start(&st, a, b, vec![Constraint::AvoidAs(e)], 250).unwrap();
+        net.run_until_settled(&st, 50);
+        let snap = net.rto_snapshot();
+        assert!(snap.peers >= 2, "both directions sampled: {}", snap.peers);
+        assert!(snap.samples >= 3, "3 echoes in one clean handshake: {}", snap.samples);
+        assert!(
+            (snap.srtt_mean - 2.0).abs() < 1e-6,
+            "perfect channel: one tick each way, srtt {}",
+            snap.srtt_mean
+        );
+        // First sample R=2: RTO = 2 + 4·1 = 6; the second tightens it.
+        // Either way the timer now reflects the measured channel, bounded
+        // well under the doubling ladder's reach.
+        assert!(
+            snap.rto_mean >= 2.0 && snap.rto_mean <= 6.0,
+            "learned RTO tracks the 2-tick RTT: {}",
+            snap.rto_mean
+        );
+        assert!(snap.rto_peak <= 6, "peak stays near the measurement: {}", snap.rto_peak);
+    }
+
+    /// StaticLadder mode never samples: the A/B baseline really is the
+    /// legacy fixed ladder.
+    #[test]
+    fn static_ladder_mode_disables_estimation() {
+        let (t, [a, b, _c, _d, e, f]) = setup();
+        let st = RoutingState::solve(&t, f);
+        let rel = ReliabilityConfig { rto_mode: RtoMode::StaticLadder, ..Default::default() };
+        let mut net = ReliableNet::with_reliability(&t, FaultConfig::PERFECT, 13, rel);
+        net.start(&st, a, b, vec![Constraint::AvoidAs(e)], 250).unwrap();
+        net.run_until_settled(&st, 50);
+        assert_eq!(net.rto_snapshot().samples, 0);
+        assert!(net.outcomes()[0].result.is_ok());
+    }
+
+    /// A scheduled outage long enough to expire the soft state: the
+    /// session dies, the paced re-negotiation machinery retries through
+    /// the healed channel, and the original episode records its recovery.
+    #[test]
+    fn paced_retry_recovers_after_scheduled_outage() {
+        let (t, [a, b, _c, _d, e, f]) = setup();
+        let st = RoutingState::solve(&t, f);
+        let mut net = ReliableNet::new(&t, FaultConfig::PERFECT, 17);
+        net.schedule_outage(10, 70).unwrap();
+        net.start(&st, a, b, vec![Constraint::AvoidAs(e)], 250).unwrap();
+        net.run_until_settled(&st, 50);
+        let first_tid = net.outcomes()[0].result.expect("establishes before the outage");
+        // Drive time through the outage window (the net is quiescent until
+        // the missing keepalives kill the session), then drain recovery.
+        while net.clock < 75 {
+            net.tick(&st);
+        }
+        let ticks = net.run_until_quiescent(&st, 2_000);
+        assert!(ticks < 2_000, "recovery quiesces well inside the budget");
+        // The outage (60 ticks > keepalive_timeout 35) killed the tunnel…
+        assert!(net.tunnels(a).get(first_tid).is_none());
+        let origin: Vec<_> = net
+            .fallbacks()
+            .iter()
+            .filter(|fb| fb.retry_of.is_none() && fb.reason == FailReason::SessionDied)
+            .collect();
+        assert_eq!(origin.len(), 1, "exactly one fresh outage episode");
+        // …and a paced retry brought service back on the original record.
+        assert!(origin[0].recovered_at.is_some(), "episode recovered: {:?}", origin[0]);
+        assert!(origin[0].retry_attempts >= 1);
+        let new_tid = net
+            .outcomes()
+            .iter()
+            .rev()
+            .find_map(|o| o.result.ok())
+            .expect("a retry re-established");
+        assert_ne!(new_tid, first_tid, "fresh allocation, no id reuse");
+        assert!(net.tunnels(a).get(new_tid).is_some());
+        assert!(net.tunnels(b).get(new_tid).is_some());
+        assert_eq!(net.leases().len(), 1);
+        assert_eq!(net.orphan_count(), 0);
+        assert_eq!(net.double_establish_count(), 0);
+    }
+
+    /// Under a permanent blackout the retry budget bounds the pacing
+    /// machinery: a fixed number of attempts, then quiescence on the
+    /// default path, with the episode left unrecovered.
+    #[test]
+    fn retry_budget_bounds_give_up_under_permanent_outage() {
+        let (t, [a, b, _c, _d, e, f]) = setup();
+        let st = RoutingState::solve(&t, f);
+        let rel = ReliabilityConfig {
+            rto_initial: 1,
+            rto_min: 1,
+            max_retries: 2,
+            retry_base: 4,
+            retry_cap: 8,
+            retry_budget: 2,
+            ..Default::default()
+        };
+        let mut net = ReliableNet::with_reliability(&t, FaultConfig::PERFECT, 23, rel);
+        net.start(&st, a, b, vec![Constraint::AvoidAs(e)], 250).unwrap();
+        net.run_until_settled(&st, 50);
+        net.outcomes()[0].result.expect("establishes before the blackout");
+        net.set_fault(FaultConfig { drop_permille: 1000, ..FaultConfig::PERFECT });
+        // Tick until the keepalive silence kills the session, then drain.
+        while net.fallbacks().is_empty() && net.clock < 200 {
+            net.tick(&st);
+        }
+        assert!(!net.fallbacks().is_empty(), "the blackout killed the session");
+        let ticks = net.run_until_quiescent(&st, 2_000);
+        assert!(ticks < 2_000, "the budget actually bounds the machinery: {ticks}");
+        assert_eq!(net.pending_retry_count(), 0, "gave up for good");
+        let origin: Vec<_> =
+            net.fallbacks().iter().filter(|fb| fb.retry_of.is_none()).collect();
+        assert_eq!(origin.len(), 1);
+        assert_eq!(origin[0].reason, FailReason::SessionDied);
+        assert_eq!(origin[0].retry_attempts, 2, "exactly the budget was spent");
+        assert_eq!(origin[0].recovered_at, None);
+        let chained: Vec<_> =
+            net.fallbacks().iter().filter(|fb| fb.retry_of.is_some()).collect();
+        assert_eq!(chained.len(), 2, "each failed attempt left a chained record");
+        assert!(chained
+            .iter()
+            .all(|fb| fb.retry_of == Some(origin[0].id)
+                && fb.reason == FailReason::RetriesExhausted(Stage::Request)));
+    }
+
+    /// Responder crash-restart: the requester detects the death via the
+    /// keepalive/Teardown fast path, re-negotiates through pacing, and the
+    /// restarted responder allocates a *fresh* id (boot-epoch allocator).
+    #[test]
+    fn crash_restart_renegotiates_with_fresh_id() {
+        let (t, [a, b, _c, _d, e, f]) = setup();
+        let st = RoutingState::solve(&t, f);
+        let mut net = ReliableNet::new(&t, FaultConfig::PERFECT, 29);
+        net.start(&st, a, b, vec![Constraint::AvoidAs(e)], 250).unwrap();
+        net.run_until_settled(&st, 50);
+        let first_tid = net.outcomes()[0].result.expect("established");
+        let lost = net.crash_restart(b);
+        assert_eq!(lost, vec![first_tid], "the responder lost its only tunnel");
+        assert!(net.tunnels(b).is_empty());
+        assert!(net.tunnels(a).get(first_tid).is_some(), "requester still believes");
+        // Tick until the keepalive/Teardown exchange surfaces the death,
+        // then drain the paced recovery.
+        while net.fallbacks().is_empty() && net.clock < 100 {
+            net.tick(&st);
+        }
+        assert!(!net.fallbacks().is_empty(), "the crash was detected");
+        let ticks = net.run_until_quiescent(&st, 2_000);
+        assert!(ticks < 2_000);
+        // Death detection beat the 35-tick soft-state timeout: the next
+        // keepalive (≤10 ticks out) was answered with Teardown.
+        let origin: Vec<_> = net
+            .fallbacks()
+            .iter()
+            .filter(|fb| fb.retry_of.is_none() && fb.reason == FailReason::SessionDied)
+            .collect();
+        assert_eq!(origin.len(), 1);
+        assert!(
+            origin[0].at <= net.outcomes()[0].finished_at + net.rel.keepalive_interval + 2,
+            "keepalive/Teardown detected the crash within one heartbeat round: {}",
+            origin[0].at
+        );
+        assert!(origin[0].recovered_at.is_some(), "re-negotiation healed it");
+        let new_tid = net
+            .outcomes()
+            .iter()
+            .rev()
+            .find_map(|o| o.result.ok())
+            .expect("re-established");
+        assert_ne!(new_tid, first_tid, "restart never re-issues a pre-crash id");
+        assert!(net.tunnels(a).get(first_tid).is_none(), "stale tunnel torn down");
+        assert!(net.tunnels(a).get(new_tid).is_some());
+        assert!(net.tunnels(b).get(new_tid).is_some());
+        assert_eq!(net.leases().len(), 1, "ledger reflects exactly the new tunnel");
+        assert_eq!(net.orphan_count(), 0, "zero orphans at quiescence");
     }
 }

@@ -1,0 +1,142 @@
+//! RFC 6298-style retransmission-timeout estimation on the virtual clock.
+//!
+//! Every Seq→Ack exchange of the reliability layer (`Request`→`Offers`,
+//! `Accept`→`Established`, `Established`→`Ack`) is an RTT echo: the
+//! sender knows when it posted the message and when the reply landed.
+//! [`RtoEstimator`] folds those samples into the classic smoothed
+//! estimate,
+//!
+//! ```text
+//!   first sample R:   SRTT = R            RTTVAR = R / 2
+//!   later samples:    RTTVAR = 3/4·RTTVAR + 1/4·|SRTT − R|
+//!                     SRTT   = 7/8·SRTT   + 1/8·R
+//!   RTO = clamp(SRTT + max(G, 4·RTTVAR), rto_min, rto_max)
+//! ```
+//!
+//! with clock granularity `G = 1` tick. Karn's algorithm is the caller's
+//! job: a reply to an exchange that was *retransmitted* is ambiguous (it
+//! may answer any copy) and must never be fed to [`RtoEstimator::sample`].
+//! Until the first sample arrives the estimator reports the configured
+//! initial RTO, per RFC 6298 §2.1.
+
+/// Per-peer SRTT/RTTVAR state and the clamped RTO derived from it.
+#[derive(Clone, Copy, Debug)]
+pub struct RtoEstimator {
+    srtt: f64,
+    rttvar: f64,
+    samples: u64,
+    rto: u64,
+    /// Highest RTO ever reported, backoff excluded — the trajectory's peak.
+    peak: u64,
+    min: u64,
+    max: u64,
+}
+
+impl RtoEstimator {
+    /// An estimator with no samples yet: reports `initial` until the
+    /// first RTT measurement, then clamps to `min..=max`.
+    pub fn new(initial: u64, min: u64, max: u64) -> RtoEstimator {
+        RtoEstimator {
+            srtt: 0.0,
+            rttvar: 0.0,
+            samples: 0,
+            rto: initial,
+            peak: initial,
+            min,
+            max,
+        }
+    }
+
+    /// Fold one RTT measurement (virtual ticks) into the estimate. The
+    /// caller must enforce Karn's algorithm: never sample a retransmitted
+    /// exchange.
+    pub fn sample(&mut self, rtt: u64) {
+        let r = rtt as f64;
+        if self.samples == 0 {
+            self.srtt = r;
+            self.rttvar = r / 2.0;
+        } else {
+            self.rttvar = 0.75 * self.rttvar + 0.25 * (self.srtt - r).abs();
+            self.srtt = 0.875 * self.srtt + 0.125 * r;
+        }
+        self.samples += 1;
+        let raw = (self.srtt + (4.0 * self.rttvar).max(1.0)).ceil() as u64;
+        self.rto = raw.clamp(self.min, self.max);
+        self.peak = self.peak.max(self.rto);
+    }
+
+    /// The current retransmission timeout in ticks (pre-backoff).
+    pub fn rto(&self) -> u64 {
+        self.rto
+    }
+
+    /// Smoothed RTT; 0.0 before the first sample.
+    pub fn srtt(&self) -> f64 {
+        self.srtt
+    }
+
+    /// RTT samples folded in so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Highest RTO this estimator ever reported.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_initial_until_first_sample() {
+        let e = RtoEstimator::new(4, 2, 128);
+        assert_eq!(e.rto(), 4);
+        assert_eq!(e.samples(), 0);
+    }
+
+    #[test]
+    fn first_sample_follows_rfc_6298() {
+        let mut e = RtoEstimator::new(4, 1, 128);
+        e.sample(8);
+        // SRTT = 8, RTTVAR = 4, RTO = 8 + 16 = 24.
+        assert_eq!(e.srtt(), 8.0);
+        assert_eq!(e.rto(), 24);
+    }
+
+    #[test]
+    fn steady_rtt_converges_toward_min() {
+        let mut e = RtoEstimator::new(4, 2, 128);
+        for _ in 0..64 {
+            e.sample(1);
+        }
+        // RTTVAR decays geometrically with constant RTT; the clamp floor
+        // and the G=1 granularity term keep RTO at min.
+        assert_eq!(e.rto(), 2, "constant 1-tick RTT pins RTO at rto_min");
+        assert!((e.srtt() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn variance_widens_the_timer_and_peak_tracks_it() {
+        let mut e = RtoEstimator::new(4, 2, 128);
+        for r in [1u64, 9, 1, 9, 1, 9] {
+            e.sample(r);
+        }
+        assert!(e.rto() > 8, "oscillating RTT inflates RTO: {}", e.rto());
+        assert!(e.peak() >= e.rto());
+    }
+
+    #[test]
+    fn rto_is_clamped_both_ways() {
+        let mut e = RtoEstimator::new(4, 2, 16);
+        e.sample(100);
+        assert_eq!(e.rto(), 16, "upper clamp");
+        let mut e = RtoEstimator::new(4, 3, 16);
+        for _ in 0..32 {
+            e.sample(0);
+        }
+        assert_eq!(e.rto(), 3, "lower clamp");
+    }
+}

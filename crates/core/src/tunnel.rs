@@ -175,6 +175,21 @@ impl TunnelManager {
         dead
     }
 
+    /// The process behind this table crashed: every live tunnel and the
+    /// teardown history vanish without ceremony (soft state is exactly
+    /// the state you are allowed to lose). The id allocator survives —
+    /// it models a boot-epoch-prefixed id space, so a restarted
+    /// responder never re-issues an id a peer may still be holding from
+    /// before the crash. Returns the ids that were live, for callers
+    /// that account for the wreckage.
+    pub fn crash(&mut self) -> Vec<TunnelId> {
+        let mut lost: Vec<TunnelId> = self.live.keys().copied().collect();
+        lost.sort_unstable();
+        self.live.clear();
+        self.torn_down.clear();
+        lost
+    }
+
     /// Peer-requested teardown.
     pub fn teardown(&mut self, id: TunnelId) -> bool {
         if self.live.remove(&id).is_some() {
@@ -296,6 +311,19 @@ mod tests {
         assert!(m.adopt(t.clone()));
         assert!(!m.adopt(t));
         assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn crash_wipes_state_but_not_the_id_allocator() {
+        let mut m = mgr_with_two();
+        let first = m.iter().next().unwrap().id;
+        m.teardown(first);
+        let lost = m.crash();
+        assert_eq!(lost, vec![TunnelId(1)], "the surviving tunnel was lost");
+        assert!(m.is_empty());
+        assert!(m.torn_down.is_empty(), "a crash loses the history too");
+        let id = m.establish(1, 9, vec![9], 0, 0);
+        assert_eq!(id, TunnelId(2), "post-restart ids never collide with pre-crash ones");
     }
 
     #[test]

@@ -3,10 +3,13 @@
 //! completes, no negotiation ever owns two tunnels, and the requester and
 //! responder tunnel tables agree at quiescence.
 //!
-//! Loss is excluded on purpose: with `drop_permille: 0` retries cannot
-//! exhaust, so completion is a *hard* invariant rather than a
-//! probability; the lossy regimes are covered by seeded unit tests in
-//! `miro_core::reliable` and the `miro resilience` sweep.
+//! Loss is excluded from the *completion* property on purpose: with
+//! `drop_permille: 0` retries cannot exhaust, so completion is a *hard*
+//! invariant rather than a probability; the lossy regimes are covered by
+//! seeded unit tests in `miro_core::reliable` and the `miro resilience`
+//! sweep. The crash-restart property below does include loss — its
+//! invariants (ledger/table agreement, zero orphans) must hold whether or
+//! not any individual re-negotiation survives.
 
 use miro_bgp::solver::RoutingState;
 use miro_core::chan::FaultConfig;
@@ -76,6 +79,78 @@ proptest! {
         prop_assert!(
             !net.tunnels(a).get(tid_a).unwrap().path.contains(&e),
             "AvoidAs constraint honored"
+        );
+    }
+
+    /// Crash-restart safety under arbitrary faults (loss included): after
+    /// the shared responder loses all soft state, keepalive-death
+    /// detection plus paced re-negotiation must drain to quiescence with
+    /// zero orphaned tunnels, no double-established negotiations, and the
+    /// lease ledger in exact agreement with both endpoint tables — no
+    /// tunnel anywhere may reference a session the restarted process no
+    /// longer knows about.
+    #[test]
+    fn crash_restart_never_leaves_orphans_or_dead_session_refs(
+        seed in 0u64..200,
+        drop in 0u32..301,
+        dup in 0u32..301,
+        reorder in 0u32..301,
+        delay_max in 0u64..4,
+    ) {
+        let (t, [a, b, _c, _d, e, f]) = figure_1_1();
+        let st = RoutingState::solve(&t, f);
+        let fault = FaultConfig {
+            drop_permille: drop,
+            dup_permille: dup,
+            reorder_permille: reorder,
+            delay_min: 0,
+            delay_max,
+        };
+        let mut net = ReliableNet::new(&t, fault, seed);
+        net.start(&st, a, b, vec![Constraint::AvoidAs(e)], 250).unwrap();
+        net.start(&st, e, b, vec![], 250).unwrap();
+        net.run_until_settled(&st, 5_000);
+
+        // The responder's process restarts: every tunnel it held is gone,
+        // but its peers still hold theirs and keep heartbeating.
+        net.crash_restart(b);
+        // Detection runs over the still-faulty channel for a while...
+        for _ in 0..100 {
+            net.tick(&st);
+        }
+        // ...then the channel heals. Tick through several keepalive
+        // rounds explicitly (quiescence alone does not wait for the next
+        // heartbeat interval), then drain the recovery machinery.
+        net.set_fault(FaultConfig::PERFECT);
+        for _ in 0..200 {
+            net.tick(&st);
+        }
+        net.run_until_quiescent(&st, 20_000);
+        prop_assert!(net.quiescent(), "recovery machinery must drain");
+
+        prop_assert_eq!(net.orphan_count(), 0, "no one-sided tunnels at quiescence");
+        prop_assert_eq!(net.double_establish_count(), 0);
+
+        // Ledger <-> table agreement: every lease is held by both sides
+        // with matching records...
+        for l in net.leases() {
+            let up = net.tunnels(l.upstream).get(l.id);
+            let down = net.tunnels(l.downstream).get(l.id);
+            prop_assert!(up.is_some() && down.is_some(), "lease {:?} one-sided", l.id);
+            let (up, down) = (up.unwrap(), down.unwrap());
+            prop_assert_eq!(up.peer, l.downstream);
+            prop_assert_eq!(down.peer, l.upstream);
+            prop_assert_eq!(&up.path, &down.path);
+            prop_assert_eq!(up.price, down.price);
+        }
+        // ...and every live tunnel anywhere is backed by a lease: the
+        // only nodes that can hold tunnels are the two requesters and the
+        // responder, and each lease accounts for exactly two records.
+        let live: usize = [a, b, e].iter().map(|&n| net.tunnels(n).len()).sum();
+        prop_assert_eq!(
+            live,
+            2 * net.leases().len(),
+            "a tunnel outlived its session (dead-session reference)"
         );
     }
 }
