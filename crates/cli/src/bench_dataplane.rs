@@ -1,0 +1,760 @@
+//! `miro bench-dataplane` — burst-mode forwarding engine timing at
+//! packets-per-second scale.
+//!
+//! Builds a forwarding engine from *solved* route tables: a preset
+//! topology is generated, every destination's stable state is solved with
+//! the bucket engine, and the vantage AS's best next hops become LPM
+//! entries (one /20 per destination AS). Four MIRO tunnels are installed
+//! on top — two driven directly by destination-prefix classifier rules,
+//! two behind a hash-split group keyed by the TOS marking of section 3.5.
+//!
+//! Four synthesized streams then exercise one pipeline stage each, with
+//! Zipf-skewed destinations so batches carry the duplicate flows real
+//! traffic does:
+//!
+//! * **forward** — plain destination-based forwarding (LPM + TTL rewrite);
+//! * **encap**   — tunnel-bound traffic (classifier → template stamp);
+//! * **decap**   — tunnel traffic arriving at the local endpoint;
+//! * **split**   — TOS-marked flows fanned across the 2-tunnel group.
+//!
+//! Each stream is timed through [`Engine::forward_burst`] at every
+//! `--batch` size and through the packet-at-a-time [`Engine::forward_one`]
+//! baseline (reported as `batch: 1, baseline: true`). A per-packet
+//! checksum of every verdict (next hops, tunnel ids, output lengths) must
+//! agree across all batch sizes *and* the baseline before anything is
+//! reported, and a prefix of each stream is compared byte-for-byte.
+//!
+//! The LPM amortization is also measured in isolation: one pass of
+//! per-packet [`PrefixTrie::lookup`] against [`lookup_batch_copied`] over
+//! the same destination sequence. `--check-batch-speedup F` turns that
+//! ratio into a hard CI gate — it compares two single-threaded code paths
+//! on the same host, so it holds on 1-CPU runners too. `--capture FILE`
+//! writes a sample of the encapsulated output packets as pcapng for
+//! Wireshark inspection. Results land in `BENCH_dataplane.json`.
+//!
+//! [`Engine::forward_burst`]: miro_dataplane::burst::Engine::forward_burst
+//! [`Engine::forward_one`]: miro_dataplane::burst::Engine::forward_one
+//! [`PrefixTrie::lookup`]: miro_dataplane::lpm::PrefixTrie::lookup
+//! [`lookup_batch_copied`]: miro_dataplane::lpm::PrefixTrie::lookup_batch_copied
+
+use bytes::Bytes;
+use miro_bgp::engine::par_over_dests;
+use miro_dataplane::burst::{BurstScratch, Engine, OneVerdict, TunnelSpec, Verdict};
+use miro_dataplane::classifier::{Action, Classifier, HashSplitter, Match};
+use miro_dataplane::encap;
+use miro_dataplane::ipv4::{Ipv4Addr4, Ipv4Header};
+use miro_dataplane::lpm::{LookupScratch, Prefix, PrefixTrie};
+use miro_dataplane::pcapng;
+use miro_topology::gen::DatasetPreset;
+use miro_topology::NodeId;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Generation seed: fixed so runs are comparable across machines and PRs.
+const SEED: u64 = 42;
+
+/// The engine's local tunnel-endpoint address. Destination prefixes are
+/// `node_id << 12` (/20 per AS), so anything under 200.0.0.0 is spoken
+/// for only up to ~800k nodes — far above every preset scale here.
+const LOCAL: Ipv4Addr4 = Ipv4Addr4([200, 0, 0, 1]);
+
+/// Virtual tunnel id the split group answers to.
+const GROUP: u32 = 1000;
+
+/// Topology scales (the route table is the solved preset at the vantage).
+struct Scale {
+    name: &'static str,
+    preset: DatasetPreset,
+    factor: f64,
+}
+
+const SCALES: &[Scale] = &[
+    Scale { name: "tiny", preset: DatasetPreset::Gao2005, factor: 0.01 },
+    Scale { name: "small", preset: DatasetPreset::Gao2005, factor: 0.05 },
+    Scale { name: "medium", preset: DatasetPreset::Gao2005, factor: 0.5 },
+];
+
+/// One timing row: a stage at a batch size (or the baseline).
+struct StageRow {
+    stage: &'static str,
+    batch: usize,
+    baseline: bool,
+    wall: Duration,
+    packets: usize,
+}
+
+impl StageRow {
+    fn mpps(&self) -> f64 {
+        self.packets as f64 / self.wall.as_secs_f64().max(1e-12) / 1e6
+    }
+
+    fn ns_per_pkt(&self) -> f64 {
+        self.wall.as_secs_f64() * 1e9 / self.packets.max(1) as f64
+    }
+}
+
+/// The isolated LPM A/B result.
+struct LookupRow {
+    packets: usize,
+    batch: usize,
+    single: Duration,
+    batched: Duration,
+    descents: usize,
+    reused: usize,
+}
+
+impl LookupRow {
+    fn speedup(&self) -> f64 {
+        self.single.as_secs_f64() / self.batched.as_secs_f64().max(1e-12)
+    }
+
+    fn reused_frac(&self) -> f64 {
+        self.reused as f64 / (self.descents + self.reused).max(1) as f64
+    }
+}
+
+/// Entry point for `miro bench-dataplane [--scale S] [--flows N]
+/// [--packets N] [--batch LIST] [--reps N] [--out P] [--capture FILE]
+/// [--check-batch-speedup F] [--list]`.
+pub fn run(args: &[String]) -> Result<String, String> {
+    let mut scale = "small".to_string();
+    let mut flows = 4096usize;
+    let mut packets = 131_072usize;
+    let mut batch_list = "8,64,512,4096".to_string();
+    let mut reps = 2u32;
+    let mut out_path = "BENCH_dataplane.json".to_string();
+    let mut capture: Option<String> = None;
+    let mut check_speedup: Option<f64> = None;
+    let mut list = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut val = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or(format!("{name} needs a value"))
+        };
+        let num = |name: &str, v: String| -> Result<usize, String> {
+            v.parse().map_err(|_| format!("{name} needs a number"))
+        };
+        match arg.as_str() {
+            "--list" => list = true,
+            "--scale" => scale = val("--scale")?,
+            "--flows" => flows = num("--flows", val("--flows")?)?,
+            "--packets" => packets = num("--packets", val("--packets")?)?,
+            "--batch" => batch_list = val("--batch")?,
+            "--reps" => reps = num("--reps", val("--reps")?)?.max(1) as u32,
+            "--out" => out_path = val("--out")?,
+            "--capture" => capture = Some(val("--capture")?),
+            "--check-batch-speedup" => {
+                check_speedup = Some(val("--check-batch-speedup")?.parse().map_err(|_| {
+                    "--check-batch-speedup needs a number".to_string()
+                })?);
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+
+    if list {
+        let mut out = String::from("bench-dataplane stages:\n");
+        out.push_str("  forward  plain LPM forwarding (TTL rewrite, no tunnel)\n");
+        out.push_str("  encap    classifier-directed tunnel entry (template stamp)\n");
+        out.push_str("  decap    tunnel exit at the local endpoint (outer+shim strip)\n");
+        out.push_str("  split    TOS-marked flows hashed across a 2-tunnel group\n");
+        out.push_str("scales:\n");
+        for sc in SCALES {
+            let _ = writeln!(out, "  {:<8} gao2005 factor={}", sc.name, sc.factor);
+        }
+        out.push_str("row schemas:\n");
+        out.push_str(
+            "  stages[] = {stage, batch, baseline, ms, mpps, ns_per_pkt}\n",
+        );
+        out.push_str(
+            "  lookup   = {packets, batch, single_ms, batched_ms, speedup, \
+             descents, reused, reused_frac}\n",
+        );
+        return Ok(out);
+    }
+
+    if flows == 0 || packets == 0 {
+        return Err("--flows and --packets must be at least 1".to_string());
+    }
+    let batches = select_batches(&batch_list)?;
+    let sc = SCALES
+        .iter()
+        .find(|s| s.name == scale)
+        .ok_or(format!("unknown scale {scale:?} (try --list)"))?;
+
+    // ---- Route table from the solved topology -------------------------
+    let topo = sc.preset.params(sc.factor, SEED).generate();
+    let vantage: NodeId = topo
+        .nodes()
+        .max_by_key(|&n| topo.neighbors(n).len())
+        .ok_or("empty topology")?;
+    let dests: Vec<NodeId> = topo.nodes().filter(|&d| d != vantage).collect();
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get()).min(8);
+    let next_hops = par_over_dests(&topo, &dests, threads, move |d, st| {
+        st.best(vantage).map(|b| (d, b.next))
+    });
+    let mut lpm: PrefixTrie<u32> = PrefixTrie::new();
+    let mut routable: Vec<NodeId> = Vec::new();
+    for (d, next) in next_hops.into_iter().flatten() {
+        lpm.insert(dest_prefix(d), next);
+        routable.push(d);
+    }
+    if routable.len() < 8 {
+        return Err(format!(
+            "vantage AS{} reaches only {} destinations — topology too small",
+            topo.asn(vantage),
+            routable.len()
+        ));
+    }
+
+    // ---- Tunnels, classifier, split group -----------------------------
+    // Endpoints live inside routed destination prefixes, so their next
+    // hops resolve; t1/t2 are entered by destination rule, t3/t4 by the
+    // split group.
+    let tunnel_dests = [routable[0], routable[1], routable[2], routable[3]];
+    let tunnels: Vec<TunnelSpec> = tunnel_dests
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| TunnelSpec {
+            id: i as u32 + 1,
+            ingress: LOCAL,
+            endpoint: Ipv4Addr4::from_u32((d << 12) | 0x123),
+        })
+        .collect();
+    let classifier = Classifier::new(vec![
+        (
+            Match { dst: Some(dest_prefix(tunnel_dests[0])), ..Default::default() },
+            Action::Tunnel(1),
+        ),
+        (
+            Match { dst: Some(dest_prefix(tunnel_dests[1])), ..Default::default() },
+            Action::Tunnel(2),
+        ),
+        (Match { tos: Some(0xb8), ..Default::default() }, Action::Tunnel(GROUP)),
+    ]);
+    let splitter = HashSplitter::new(vec![(1, 3), (1, 4)]);
+    let eng = Engine::new(LOCAL, lpm, classifier, tunnels, vec![(GROUP, splitter)]);
+
+    // ---- Streams ------------------------------------------------------
+    // `forward`/`split` draw Zipf-skewed destinations from the routable
+    // set (minus the rule-matched prefixes); `encap` dwells entirely in
+    // them; `decap` is pre-encapsulated traffic addressed to us.
+    let mut rng = Rng::new(SEED);
+    let plain_dests: Vec<NodeId> =
+        routable.iter().copied().filter(|d| *d != tunnel_dests[0] && *d != tunnel_dests[1]).collect();
+    let streams: Vec<(&'static str, Vec<Bytes>)> = vec![
+        ("forward", synth_stream(&mut rng, &plain_dests, flows, packets, 0x00, None)),
+        (
+            "encap",
+            synth_stream(&mut rng, &tunnel_dests[..2], flows, packets, 0x00, None),
+        ),
+        (
+            "decap",
+            synth_stream(&mut rng, &plain_dests, flows, packets, 0x00, Some(&eng)),
+        ),
+        ("split", synth_stream(&mut rng, &plain_dests, flows, packets, 0xb8, None)),
+    ];
+
+    // ---- Equivalence pin before any timing ----------------------------
+    for (stage, frames) in &streams {
+        let n = frames.len().min(4096);
+        verify_equivalence(&eng, &frames[..n]).map_err(|e| format!("stage {stage}: {e}"))?;
+    }
+
+    // ---- Timing -------------------------------------------------------
+    let mut report = format!(
+        "bench-dataplane: {} nodes, {} routed /20s, {} flows x {} packets per stage\n",
+        topo.num_nodes(),
+        routable.len(),
+        flows,
+        packets
+    );
+    let mut rows: Vec<StageRow> = Vec::new();
+    for (stage, frames) in &streams {
+        let views: Vec<&[u8]> = frames.iter().map(|f| &f[..]).collect();
+        let mut sinks: Vec<u64> = Vec::new();
+        for &batch in &batches {
+            let (wall, sink) = time_burst(&eng, &views, batch, reps);
+            sinks.push(sink);
+            rows.push(StageRow { stage, batch, baseline: false, wall, packets: frames.len() });
+        }
+        let (wall, sink) = time_single(&eng, frames, reps);
+        sinks.push(sink);
+        rows.push(StageRow { stage, batch: 1, baseline: true, wall, packets: frames.len() });
+        // Every batch size and the baseline must have produced identical
+        // verdict streams (checksummed over next hops, tunnels, lengths).
+        if sinks.windows(2).any(|w| w[0] != w[1]) {
+            return Err(format!("stage {stage}: verdict checksums diverge: {sinks:?}"));
+        }
+        for r in rows.iter().rev().take(batches.len() + 1).collect::<Vec<_>>().into_iter().rev() {
+            let tag = if r.baseline { "single" } else { " burst" };
+            let _ = writeln!(
+                report,
+                "  {:<8} {tag} batch {:>4} | {:>8.2} ms | {:>6.2} Mpps | {:>6.1} ns/pkt",
+                r.stage,
+                r.batch,
+                r.wall.as_secs_f64() * 1e3,
+                r.mpps(),
+                r.ns_per_pkt(),
+            );
+        }
+    }
+
+    // ---- Isolated LPM A/B ---------------------------------------------
+    let lookup = time_lookup(&eng, &streams[0].1, batches.iter().copied().max().unwrap_or(8), reps);
+    let _ = writeln!(
+        report,
+        "  lookup   single {:>8.2} ms | batched {:>8.2} ms | {:.2}x | walk reuse {:.0}%",
+        lookup.single.as_secs_f64() * 1e3,
+        lookup.batched.as_secs_f64() * 1e3,
+        lookup.speedup(),
+        lookup.reused_frac() * 100.0,
+    );
+
+    // ---- Optional pcapng capture of encapsulated output ---------------
+    if let Some(path) = &capture {
+        let written = capture_encap(&eng, &streams[1].1, path)
+            .map_err(|e| format!("cannot write capture {path:?}: {e}"))?;
+        let _ = writeln!(report, "  captured {written} encapsulated packets to {path}");
+    }
+
+    let json = to_json(sc, &topo, routable.len(), flows, packets, &rows, &lookup);
+    std::fs::write(&out_path, &json).map_err(|e| format!("cannot write {out_path:?}: {e}"))?;
+    let _ = writeln!(report, "wrote {out_path}");
+
+    if let Some(floor) = check_speedup {
+        if lookup.speedup() < floor {
+            return Err(format!(
+                "batched lookup regression: {:.2}x < required {floor}x",
+                lookup.speedup()
+            ));
+        }
+    }
+    Ok(report)
+}
+
+/// Destination AS -> its /20 (dense node ids keep this collision-free).
+fn dest_prefix(d: NodeId) -> Prefix {
+    Prefix::new(Ipv4Addr4::from_u32(d << 12), 20)
+}
+
+/// Resolve `--batch`: comma-separated burst sizes, deduped in order;
+/// zero or junk anywhere is an error (the bench-solver `--threads`
+/// contract).
+fn select_batches(list: &str) -> Result<Vec<usize>, String> {
+    let mut out: Vec<usize> = Vec::new();
+    for part in list.split(',') {
+        let b: usize = part
+            .trim()
+            .parse()
+            .map_err(|_| format!("--batch: {part:?} is not a batch size"))?;
+        if b == 0 {
+            return Err("--batch must be at least 1".to_string());
+        }
+        if b > 1 << 20 {
+            return Err(format!("--batch {b} is absurd (max {})", 1 << 20));
+        }
+        if !out.contains(&b) {
+            out.push(b);
+        }
+    }
+    if out.is_empty() {
+        return Err("--batch needs at least one size".to_string());
+    }
+    Ok(out)
+}
+
+/// xorshift64* — the repo's deterministic traffic PRNG.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+/// Zipf(1.0) sampler over `n` ranks: weight 1/(rank+1), cumulative
+/// table, binary search. Skew makes bursts carry duplicate flows, which
+/// is what the flow cache and the sorted batch lookup amortize.
+struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize) -> Zipf {
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            acc += 1.0 / (i + 1) as f64;
+            cumulative.push(acc);
+        }
+        Zipf { cumulative }
+    }
+
+    fn sample(&self, rng: &mut Rng) -> usize {
+        let total = *self.cumulative.last().expect("nonempty");
+        let u = (rng.next() >> 11) as f64 / (1u64 << 53) as f64 * total;
+        self.cumulative.partition_point(|&c| c < u).min(self.cumulative.len() - 1)
+    }
+}
+
+/// Synthesize one stream: `flows` distinct flow keys over `dests`
+/// (Zipf-ranked), then `packets` frames sampling those flows Zipf-style.
+/// `tos` marks every packet (0xb8 triggers the split group). With
+/// `encap_for` the stream is the *decap* workload: each frame is wrapped
+/// toward that engine's local endpoint.
+fn synth_stream(
+    rng: &mut Rng,
+    dests: &[NodeId],
+    flows: usize,
+    packets: usize,
+    tos: u8,
+    encap_for: Option<&Engine>,
+) -> Vec<Bytes> {
+    let dest_zipf = Zipf::new(dests.len());
+    let mut flow_frames: Vec<Bytes> = Vec::with_capacity(flows);
+    for _ in 0..flows {
+        let d = dests[dest_zipf.sample(rng)];
+        let dst = Ipv4Addr4::from_u32((d << 12) | (rng.next() as u32 & 0xfff));
+        let src = Ipv4Addr4::from_u32(0xC801_0000 | (rng.next() as u32 & 0xffff));
+        let sport = (rng.next() as u16) | 1024;
+        let dport = 443u16;
+        let mut payload = Vec::with_capacity(26);
+        payload.extend_from_slice(&sport.to_be_bytes());
+        payload.extend_from_slice(&dport.to_be_bytes());
+        payload.extend_from_slice(&[0xAB; 22]);
+        let mut h = Ipv4Header::new(src, dst, 6, payload.len() as u16);
+        h.dscp_ecn = tos;
+        let frame = h.emit_with_payload(&payload);
+        let frame = match encap_for {
+            None => frame,
+            Some(eng) => {
+                let remote = Ipv4Addr4::from_u32((d << 12) | 0x123);
+                encap::encapsulate(&frame, remote, eng.local(), 1 + (rng.next() as u32 % 4))
+                    .expect("small inner fits")
+            }
+        };
+        flow_frames.push(frame);
+    }
+    let flow_zipf = Zipf::new(flows);
+    (0..packets).map(|_| flow_frames[flow_zipf.sample(rng)].clone()).collect()
+}
+
+/// Fold a verdict into a stream checksum: next hops, tunnel ids, error
+/// discriminants and output lengths all contribute, so two runs agree iff
+/// they made the same per-packet choices.
+fn sink_verdict(v: &Verdict) -> u64 {
+    match *v {
+        Verdict::Forward { next_hop, out } => 1 + next_hop as u64 * 31 + out.len as u64 * 7,
+        Verdict::Encap { tunnel, next_hop, out } => {
+            2 + tunnel as u64 * 131 + next_hop as u64 * 31 + out.len as u64 * 7
+        }
+        Verdict::Decap { tunnel, out } => 3 + tunnel as u64 * 131 + out.len as u64 * 7,
+        Verdict::Drop => 4,
+        Verdict::NoRoute => 5,
+        Verdict::TtlExpired => 6,
+        Verdict::Malformed(_) => 7,
+    }
+}
+
+fn sink_one(v: &OneVerdict) -> u64 {
+    match v {
+        OneVerdict::Forward { next_hop, packet } => {
+            1 + *next_hop as u64 * 31 + packet.len() as u64 * 7
+        }
+        OneVerdict::Encap { tunnel, next_hop, packet } => {
+            2 + *tunnel as u64 * 131 + *next_hop as u64 * 31 + packet.len() as u64 * 7
+        }
+        OneVerdict::Decap { tunnel, packet } => {
+            3 + *tunnel as u64 * 131 + packet.len() as u64 * 7
+        }
+        OneVerdict::Drop => 4,
+        OneVerdict::NoRoute => 5,
+        OneVerdict::TtlExpired => 6,
+        OneVerdict::Malformed(_) => 7,
+    }
+}
+
+/// Time the burst pipeline over `views` in chunks of `batch` (best-of
+/// `reps`); returns the wall time and the verdict checksum.
+fn time_burst(eng: &Engine, views: &[&[u8]], batch: usize, reps: u32) -> (Duration, u64) {
+    let mut scratch = BurstScratch::new();
+    let mut best = Duration::MAX;
+    let mut sink = 0u64;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let mut s = 0u64;
+        for chunk in views.chunks(batch) {
+            eng.forward_burst(chunk, &mut scratch);
+            for v in scratch.verdicts() {
+                s = s.wrapping_add(sink_verdict(v));
+            }
+        }
+        best = best.min(start.elapsed());
+        sink = s;
+    }
+    (best, sink)
+}
+
+/// Time the packet-at-a-time baseline over the same stream.
+fn time_single(eng: &Engine, frames: &[Bytes], reps: u32) -> (Duration, u64) {
+    let mut best = Duration::MAX;
+    let mut sink = 0u64;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let mut s = 0u64;
+        for frame in frames {
+            s = s.wrapping_add(sink_one(&eng.forward_one(frame)));
+        }
+        best = best.min(start.elapsed());
+        sink = s;
+    }
+    (best, sink)
+}
+
+/// Per-packet `lookup` vs `lookup_batch_copied` over the stream's
+/// destination sequence — the isolated figure `--check-batch-speedup`
+/// gates on.
+fn time_lookup(eng: &Engine, frames: &[Bytes], batch: usize, reps: u32) -> LookupRow {
+    let dsts: Vec<Ipv4Addr4> = frames
+        .iter()
+        .map(|f| Ipv4Addr4([f[16], f[17], f[18], f[19]]))
+        .collect();
+    let lpm = eng.lpm();
+    let mut single = Duration::MAX;
+    let mut hits_single = 0usize;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let mut hits = 0usize;
+        for &d in &dsts {
+            if lpm.lookup(d).is_some() {
+                hits += 1;
+            }
+        }
+        single = single.min(start.elapsed());
+        hits_single = hits;
+    }
+    let mut batched = Duration::MAX;
+    let mut hits_batched = 0usize;
+    let mut descents = 0usize;
+    let mut reused = 0usize;
+    let mut scratch = LookupScratch::new();
+    let mut out: Vec<Option<u32>> = Vec::new();
+    for _ in 0..reps {
+        let start = Instant::now();
+        let mut hits = 0usize;
+        let (mut de, mut re) = (0usize, 0usize);
+        for chunk in dsts.chunks(batch) {
+            let stats = lpm.lookup_batch_copied(chunk, &mut scratch, &mut out);
+            hits += out.iter().filter(|o| o.is_some()).count();
+            de += stats.descents;
+            re += stats.reused;
+        }
+        batched = batched.min(start.elapsed());
+        hits_batched = hits;
+        descents = de;
+        reused = re;
+    }
+    assert_eq!(hits_single, hits_batched, "lookup paths disagree");
+    LookupRow { packets: dsts.len(), batch, single, batched, descents, reused }
+}
+
+/// Byte-for-byte equivalence of the two paths over a stream prefix.
+fn verify_equivalence(eng: &Engine, frames: &[Bytes]) -> Result<(), String> {
+    let views: Vec<&[u8]> = frames.iter().map(|f| &f[..]).collect();
+    let mut scratch = BurstScratch::new();
+    eng.forward_burst(&views, &mut scratch);
+    for (i, frame) in frames.iter().enumerate() {
+        let one = eng.forward_one(frame);
+        let batched = scratch.verdicts()[i];
+        let same = match (&one, batched) {
+            (OneVerdict::Forward { next_hop: n1, packet }, Verdict::Forward { next_hop, out }) => {
+                *n1 == next_hop && &packet[..] == scratch.out_bytes(out)
+            }
+            (
+                OneVerdict::Encap { tunnel: t1, next_hop: n1, packet },
+                Verdict::Encap { tunnel, next_hop, out },
+            ) => *t1 == tunnel && *n1 == next_hop && &packet[..] == scratch.out_bytes(out),
+            (OneVerdict::Decap { tunnel: t1, packet }, Verdict::Decap { tunnel, out }) => {
+                *t1 == tunnel && &packet[..] == scratch.out_bytes(out)
+            }
+            (OneVerdict::Drop, Verdict::Drop)
+            | (OneVerdict::NoRoute, Verdict::NoRoute)
+            | (OneVerdict::TtlExpired, Verdict::TtlExpired) => true,
+            (OneVerdict::Malformed(e1), Verdict::Malformed(e2)) => *e1 == e2,
+            _ => false,
+        };
+        if !same {
+            return Err(format!(
+                "packet {i}: burst {batched:?} != single-packet {one:?}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Write up to 256 encapsulated output packets to a pcapng file.
+fn capture_encap(eng: &Engine, frames: &[Bytes], path: &str) -> std::io::Result<u64> {
+    let n = frames.len().min(256);
+    let views: Vec<&[u8]> = frames[..n].iter().map(|f| &f[..]).collect();
+    let mut scratch = BurstScratch::new();
+    eng.forward_burst(&views, &mut scratch);
+    let mut w = pcapng::create(path)?;
+    for (i, v) in scratch.verdicts().iter().enumerate() {
+        if let Verdict::Encap { out, .. } = v {
+            w.write_packet(i as u64, scratch.out_bytes(*out))?;
+        }
+    }
+    let written = w.packets();
+    w.finish()?;
+    Ok(written)
+}
+
+fn to_json(
+    sc: &Scale,
+    topo: &miro_topology::Topology,
+    prefixes: usize,
+    flows: usize,
+    packets: usize,
+    rows: &[StageRow],
+    lookup: &LookupRow,
+) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"dataplane-burst\",");
+    let _ = writeln!(
+        out,
+        "  \"engine\": \"burst-preparse-batch-lpm-flow-cache-arena\","
+    );
+    let _ = writeln!(out, "  \"baseline\": \"forward_one-per-packet-alloc\",");
+    let _ = writeln!(out, "  \"seed\": {SEED},");
+    let _ = writeln!(
+        out,
+        "  \"scale\": \"{}\", \"nodes\": {}, \"prefixes\": {}, \"tunnels\": 4, \
+         \"flows\": {}, \"packets\": {},",
+        sc.name,
+        topo.num_nodes(),
+        prefixes,
+        flows,
+        packets
+    );
+    let _ = writeln!(out, "  \"stages\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"stage\": \"{}\", \"batch\": {}, \"baseline\": {}, \"ms\": {:.3}, \
+             \"mpps\": {:.3}, \"ns_per_pkt\": {:.1}}}{comma}",
+            r.stage,
+            r.batch,
+            r.baseline,
+            r.wall.as_secs_f64() * 1e3,
+            r.mpps(),
+            r.ns_per_pkt(),
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(
+        out,
+        "  \"lookup\": {{\"packets\": {}, \"batch\": {}, \"single_ms\": {:.3}, \
+         \"batched_ms\": {:.3}, \"speedup\": {:.2}, \"descents\": {}, \"reused\": {}, \
+         \"reused_frac\": {:.3}}}",
+        lookup.packets,
+        lookup.batch,
+        lookup.single.as_secs_f64() * 1e3,
+        lookup.batched.as_secs_f64() * 1e3,
+        lookup.speedup(),
+        lookup.descents,
+        lookup.reused,
+        lookup.reused_frac(),
+    );
+    out.push('}');
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const STAGES: &[&str] = &["forward", "encap", "decap", "split"];
+
+    fn arg(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn list_prints_stages_and_schemas() {
+        let out = run(&arg("--list")).unwrap();
+        for stage in STAGES {
+            assert!(out.contains(stage), "{stage} in {out}");
+        }
+        assert!(out.contains("row schemas:"), "{out}");
+        assert!(out.contains("stages[] = {stage, batch, baseline, ms, mpps, ns_per_pkt}"));
+        assert!(out.contains("lookup   = {packets, batch, single_ms"));
+    }
+
+    #[test]
+    fn bad_options_are_rejected() {
+        assert!(run(&arg("--frobnicate")).is_err());
+        assert!(run(&arg("--scale nosuch")).unwrap_err().contains("unknown scale"));
+        assert!(run(&arg("--batch 0")).is_err());
+        assert!(run(&arg("--batch 4,x")).is_err());
+        assert!(run(&arg("--packets")).unwrap_err().contains("needs a value"));
+    }
+
+    #[test]
+    fn batch_list_dedupes_but_rejects_junk() {
+        assert_eq!(select_batches("8,64,8,512").unwrap(), vec![8, 64, 512]);
+        assert!(select_batches("8,,64").is_err());
+        assert!(select_batches(&format!("{}", (1usize << 20) + 1)).is_err());
+    }
+
+    #[test]
+    fn tiny_bench_end_to_end() {
+        let out_path = std::env::temp_dir().join("miro_bench_dataplane_test.json");
+        let cap_path = std::env::temp_dir().join("miro_bench_dataplane_test.pcapng");
+        let report = run(&arg(&format!(
+            "--scale tiny --flows 256 --packets 4000 --batch 4,32 --reps 1 \
+             --out {} --capture {}",
+            out_path.display(),
+            cap_path.display()
+        )))
+        .unwrap();
+        for stage in STAGES {
+            assert!(report.contains(stage), "{stage} row present: {report}");
+        }
+        assert!(report.contains("Mpps"), "{report}");
+        assert!(report.contains("captured"), "{report}");
+        let json = std::fs::read_to_string(&out_path).unwrap();
+        let v: serde_json::JsonValue = serde_json::from_str(&json).expect("valid JSON");
+        let serde_json::JsonValue::Obj(top) = &v else { panic!("top-level object") };
+        let serde_json::JsonValue::Arr(stages) = &top["stages"] else {
+            panic!("stages array")
+        };
+        // 4 stages x (2 batch sizes + baseline).
+        assert_eq!(stages.len(), 4 * 3);
+        for s in stages {
+            let serde_json::JsonValue::Obj(row) = s else { panic!("stage row object") };
+            let serde_json::JsonValue::Num(mpps) = row["mpps"] else { panic!("mpps") };
+            assert!(mpps > 0.0);
+        }
+        let serde_json::JsonValue::Obj(lookup) = &top["lookup"] else {
+            panic!("lookup object")
+        };
+        let serde_json::JsonValue::Num(speedup) = lookup["speedup"] else {
+            panic!("speedup")
+        };
+        assert!(speedup > 0.0);
+        // The capture is a readable pcapng: SHB magic first.
+        let cap = std::fs::read(&cap_path).unwrap();
+        assert_eq!(&cap[..4], &0x0A0D_0D0Au32.to_le_bytes());
+        assert!(cap.len() > 48, "has packet blocks beyond the preamble");
+    }
+}

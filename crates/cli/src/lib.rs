@@ -21,6 +21,7 @@
 //! the tests drive it directly.
 
 pub mod bench;
+pub mod bench_dataplane;
 pub mod ingest;
 pub mod shard_cmd;
 

@@ -4,6 +4,9 @@
 //! Interactive: `miro`. Scripted: `miro scenario.txt` or `miro < script`.
 //! Benchmark: `miro bench-solver [--scale tiny|small|medium|large|internet|all]
 //! [--threads N] [--out BENCH_solver.json] [--list]`.
+//! Data plane: `miro bench-dataplane [--scale tiny|small|medium] [--flows N]
+//! [--packets N] [--batch LIST] [--out BENCH_dataplane.json] [--capture FILE]
+//! [--check-batch-speedup F] [--list]`.
 //! Robustness: `miro resilience [--seed N] [--scale F] [--pairs N]
 //! [--outage-ticks N] [--out RESILIENCE.json] [--check-floor PCT]
 //! [--check-recovery-floor PCT]`.
@@ -21,6 +24,15 @@ fn main() {
                 Ok(report) => print!("{report}"),
                 Err(e) => {
                     eprintln!("bench-solver: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        [cmd, rest @ ..] if cmd == "bench-dataplane" => {
+            match miro_cli::bench_dataplane::run(rest) {
+                Ok(report) => print!("{report}"),
+                Err(e) => {
+                    eprintln!("bench-dataplane: {e}");
                     std::process::exit(2);
                 }
             }
@@ -70,8 +82,8 @@ fn main() {
         _ => {
             eprintln!(
                 "usage: miro [script-file | bench-solver [options] | \
-                 resilience [options] | ingest <file> [options] | \
-                 shard-solve [options]]"
+                 bench-dataplane [options] | resilience [options] | \
+                 ingest <file> [options] | shard-solve [options]]"
             );
             std::process::exit(2);
         }

@@ -53,22 +53,93 @@ impl Match {
     }
 }
 
+/// A [`Match`] compiled down to pure integer compares: prefix masks are
+/// expanded once, wildcards become all-pass masks and full ranges. The
+/// per-packet cost is six branch-free comparisons instead of re-deriving
+/// `!0 << (32 - len)` masks and `RangeInclusive` state per rule per packet.
+#[derive(Clone, Copy, Debug)]
+struct CompiledMatch {
+    src_net: u32,
+    src_mask: u32,
+    dst_net: u32,
+    dst_mask: u32,
+    port_lo: u16,
+    port_hi: u16,
+    proto_val: u8,
+    proto_mask: u8,
+    tos_val: u8,
+    tos_mask: u8,
+}
+
+impl CompiledMatch {
+    fn compile(m: &Match) -> CompiledMatch {
+        let net = |p: Option<Prefix>| -> (u32, u32) {
+            match p {
+                None => (0, 0),
+                Some(p) => {
+                    let mask = if p.len == 0 { 0 } else { !0u32 << (32 - p.len) };
+                    (p.addr.to_u32() & mask, mask)
+                }
+            }
+        };
+        let (src_net, src_mask) = net(m.src);
+        let (dst_net, dst_mask) = net(m.dst);
+        let (port_lo, port_hi) = m.dst_port.unwrap_or((0, u16::MAX));
+        let (proto_val, proto_mask) = m.protocol.map_or((0, 0), |p| (p, 0xff));
+        let (tos_val, tos_mask) = m.tos.map_or((0, 0), |t| (t, 0xff));
+        CompiledMatch {
+            src_net,
+            src_mask,
+            dst_net,
+            dst_mask,
+            port_lo,
+            port_hi,
+            proto_val,
+            proto_mask,
+            tos_val,
+            tos_mask,
+        }
+    }
+
+    #[inline]
+    fn matches(&self, k: &FlowKey) -> bool {
+        (k.src.to_u32() & self.src_mask) == self.src_net
+            && (k.dst.to_u32() & self.dst_mask) == self.dst_net
+            && self.port_lo <= k.dst_port
+            && k.dst_port <= self.port_hi
+            && (k.protocol & self.proto_mask) == self.proto_val
+            && (k.tos & self.tos_mask) == self.tos_val
+    }
+}
+
 /// An ordered rule list; first match wins, default action if none match.
+/// Rules are compiled to mask/range form once at construction —
+/// [`Classifier::classify`] is allocation-free and derivation-free.
 pub struct Classifier {
     rules: Vec<(Match, Action)>,
+    compiled: Vec<(CompiledMatch, Action)>,
 }
 
 impl Classifier {
     pub fn new(rules: Vec<(Match, Action)>) -> Self {
-        Classifier { rules }
+        let compiled = rules
+            .iter()
+            .map(|(m, a)| (CompiledMatch::compile(m), *a))
+            .collect();
+        Classifier { rules, compiled }
     }
 
     pub fn classify(&self, k: &FlowKey) -> Action {
-        self.rules
+        self.compiled
             .iter()
             .find(|(m, _)| m.matches(k))
             .map(|&(_, a)| a)
             .unwrap_or(Action::Default)
+    }
+
+    /// The source rules as given (the compiled form is an internal detail).
+    pub fn rules(&self) -> &[(Match, Action)] {
+        &self.rules
     }
 
     pub fn len(&self) -> usize {
@@ -217,5 +288,45 @@ mod tests {
     #[should_panic(expected = "positive weight")]
     fn zero_weight_splitter_rejected() {
         let _ = HashSplitter::new(vec![(0, 1)]);
+    }
+
+    #[test]
+    fn compiled_rules_agree_with_interpreted_matches() {
+        // Every wildcard combination, swept over a deterministic key mix:
+        // the compiled mask form must agree with `Match::matches` exactly.
+        let mut rng = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        for trial in 0..2000u32 {
+            let m = Match {
+                src: (trial & 1 != 0)
+                    .then(|| Prefix::new(Ipv4Addr4::from_u32(next() as u32), (next() % 33) as u8)),
+                dst: (trial & 2 != 0)
+                    .then(|| Prefix::new(Ipv4Addr4::from_u32(next() as u32), (next() % 33) as u8)),
+                dst_port: (trial & 4 != 0).then(|| {
+                    let a = next() as u16;
+                    let b = next() as u16;
+                    (a.min(b), a.max(b))
+                }),
+                protocol: (trial & 8 != 0).then(|| next() as u8),
+                tos: (trial & 16 != 0).then(|| next() as u8),
+            };
+            let compiled = CompiledMatch::compile(&m);
+            for _ in 0..8 {
+                let k = FlowKey {
+                    src: Ipv4Addr4::from_u32(next() as u32),
+                    dst: Ipv4Addr4::from_u32(next() as u32),
+                    src_port: next() as u16,
+                    dst_port: next() as u16,
+                    protocol: next() as u8,
+                    tos: next() as u8,
+                };
+                assert_eq!(compiled.matches(&k), m.matches(&k), "{m:?} on {k:?}");
+            }
+        }
     }
 }

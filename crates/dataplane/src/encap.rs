@@ -65,50 +65,83 @@ impl MiroShim {
     }
 
     pub fn parse(data: &mut Bytes) -> Result<MiroShim, EncapError> {
+        let shim = Self::parse_slice(data)?;
+        data.advance(Self::LEN);
+        Ok(shim)
+    }
+
+    /// Zero-copy parse of the shim at the head of `data` (no cursor).
+    pub fn parse_slice(data: &[u8]) -> Result<MiroShim, EncapError> {
         if data.len() < Self::LEN {
             return Err(EncapError::BadShim);
         }
-        let magic = data.get_u8();
-        let version = data.get_u8();
-        let flags = data.get_u8();
-        let _reserved = data.get_u8();
-        let tunnel_id = data.get_u32();
-        if magic != Self::MAGIC || version != Self::VERSION {
+        if data[0] != Self::MAGIC || data[1] != Self::VERSION {
             return Err(EncapError::BadShim);
         }
-        Ok(MiroShim { tunnel_id, flags })
+        Ok(MiroShim {
+            tunnel_id: u32::from_be_bytes([data[4], data[5], data[6], data[7]]),
+            flags: data[2],
+        })
     }
 }
 
 /// Wrap `inner` (a complete IPv4 packet) for tunnel `tunnel_id` toward
 /// `endpoint`, sourced from `ingress`.
+///
+/// Allocates a fresh buffer per call; hot paths should hold a scratch
+/// `BytesMut` and use [`encapsulate_into`] instead.
 pub fn encapsulate(
     inner: &Bytes,
     ingress: Ipv4Addr4,
     endpoint: Ipv4Addr4,
     tunnel_id: u32,
 ) -> Result<Bytes, EncapError> {
+    let mut buf = BytesMut::with_capacity(Ipv4Header::LEN + MiroShim::LEN + inner.len());
+    encapsulate_into(inner, ingress, endpoint, tunnel_id, &mut buf)?;
+    Ok(buf.freeze())
+}
+
+/// [`encapsulate`] into caller-owned scratch: appends the encapsulated
+/// packet (outer header, shim, inner bytes) to `out` without allocating.
+/// `out` is not cleared — the burst engine packs many packets into one
+/// arena and slices them back out by offset.
+pub fn encapsulate_into(
+    inner: &[u8],
+    ingress: Ipv4Addr4,
+    endpoint: Ipv4Addr4,
+    tunnel_id: u32,
+    out: &mut BytesMut,
+) -> Result<(), EncapError> {
     let payload_len = MiroShim::LEN + inner.len();
     if payload_len > (u16::MAX as usize) - Ipv4Header::LEN {
         return Err(EncapError::TooLarge);
     }
     let outer = Ipv4Header::new(ingress, endpoint, PROTO_MIRO, payload_len as u16);
-    let mut buf = BytesMut::with_capacity(Ipv4Header::LEN + payload_len);
-    outer.emit(&mut buf);
-    MiroShim { tunnel_id, flags: 0 }.emit(&mut buf);
-    buf.put_slice(inner);
-    Ok(buf.freeze())
+    outer.emit(out);
+    MiroShim { tunnel_id, flags: 0 }.emit(out);
+    out.put_slice(inner);
+    Ok(())
 }
 
 /// Strip the outer header and shim; returns (outer header, shim, inner
 /// packet bytes).
 pub fn decapsulate(packet: Bytes) -> Result<(Ipv4Header, MiroShim, Bytes), EncapError> {
-    let (outer, mut payload) = Ipv4Header::parse(packet)?;
+    let (outer, shim, inner) = decapsulate_slice(&packet)?;
+    let start = Ipv4Header::LEN + MiroShim::LEN;
+    let inner = packet.slice(start..start + inner.len());
+    Ok((outer, shim, inner))
+}
+
+/// Zero-copy [`decapsulate`]: validates in place and returns the inner
+/// packet as a borrowed view, so a batch can decapsulate without touching
+/// a refcount or allocating.
+pub fn decapsulate_slice(packet: &[u8]) -> Result<(Ipv4Header, MiroShim, &[u8]), EncapError> {
+    let (outer, payload) = Ipv4Header::parse_slice(packet)?;
     if outer.protocol != PROTO_MIRO {
         return Err(EncapError::NotMiro);
     }
-    let shim = MiroShim::parse(&mut payload)?;
-    Ok((outer, shim, payload))
+    let shim = MiroShim::parse_slice(payload)?;
+    Ok((outer, shim, &payload[MiroShim::LEN..]))
 }
 
 /// The three ways a downstream AS can name its tunnel endpoint

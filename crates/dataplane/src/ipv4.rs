@@ -4,7 +4,7 @@
 //! offsets, a real ones-complement checksum, and hard errors on malformed
 //! input. Only what MIRO's tunnels need: no options, no fragmentation.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{BufMut, Bytes, BytesMut};
 
 /// IP protocol number for IP-in-IP (RFC 2003) — the encapsulation of
 /// section 4.2.
@@ -131,49 +131,60 @@ impl Ipv4Header {
 
     /// Parse and validate a header; returns the header and the payload
     /// bytes that follow it.
-    pub fn parse(mut data: Bytes) -> Result<(Ipv4Header, Bytes), Ipv4Error> {
+    pub fn parse(data: Bytes) -> Result<(Ipv4Header, Bytes), Ipv4Error> {
+        let (header, payload) = Self::parse_slice(&data)?;
+        let start = Self::LEN;
+        let payload = data.slice(start..start + payload.len());
+        Ok((header, payload))
+    }
+
+    /// Zero-copy parse: validate a header in place and return it together
+    /// with a borrowed payload view. This is the burst engine's preparse
+    /// primitive — no `Bytes` refcount traffic, no allocation.
+    pub fn parse_slice(data: &[u8]) -> Result<(Ipv4Header, &[u8]), Ipv4Error> {
         if data.len() < Self::LEN {
             return Err(Ipv4Error::Truncated);
         }
         if checksum(&data[..Self::LEN]) != 0 {
             return Err(Ipv4Error::BadChecksum);
         }
-        let vihl = data.get_u8();
+        let vihl = data[0];
         if vihl >> 4 != 4 {
             return Err(Ipv4Error::BadVersion);
         }
         if vihl & 0x0f != 5 {
             return Err(Ipv4Error::BadHeaderLen);
         }
-        let dscp_ecn = data.get_u8();
-        let total = data.get_u16();
-        let identification = data.get_u16();
-        let _flags_frag = data.get_u16();
-        let ttl = data.get_u8();
-        let protocol = data.get_u8();
-        let _cksum = data.get_u16();
-        let mut src = [0u8; 4];
-        data.copy_to_slice(&mut src);
-        let mut dst = [0u8; 4];
-        data.copy_to_slice(&mut dst);
-        if (total as usize) < Self::LEN || (total as usize) - Self::LEN > data.len() {
+        let total = u16::from_be_bytes([data[2], data[3]]);
+        let rest = data.len() - Self::LEN;
+        if (total as usize) < Self::LEN || (total as usize) - Self::LEN > rest {
             return Err(Ipv4Error::BadTotalLen);
         }
         let payload_len = total - Self::LEN as u16;
-        let payload = data.slice(..payload_len as usize);
-        Ok((
-            Ipv4Header {
-                dscp_ecn,
-                identification,
-                ttl,
-                protocol,
-                src: Ipv4Addr4(src),
-                dst: Ipv4Addr4(dst),
-                payload_len,
-            },
-            payload,
-        ))
+        let header = Ipv4Header {
+            dscp_ecn: data[1],
+            identification: u16::from_be_bytes([data[4], data[5]]),
+            ttl: data[8],
+            protocol: data[9],
+            src: Ipv4Addr4([data[12], data[13], data[14], data[15]]),
+            dst: Ipv4Addr4([data[16], data[17], data[18], data[19]]),
+            payload_len,
+        };
+        Ok((header, &data[Self::LEN..Self::LEN + payload_len as usize]))
     }
+}
+
+/// Decrement the TTL of a valid 20-byte header in place and recompute its
+/// checksum (the per-hop rewrite of the forwarding fast path). The caller
+/// has already rejected `ttl <= 1` packets; a full 10-word recompute keeps
+/// the bytes identical to a fresh [`Ipv4Header::emit`] of the same fields.
+pub fn decrement_ttl_in_place(header: &mut [u8]) {
+    debug_assert!(header.len() >= Ipv4Header::LEN);
+    header[8] -= 1;
+    header[10] = 0;
+    header[11] = 0;
+    let cksum = checksum(&header[..Ipv4Header::LEN]);
+    header[10..12].copy_from_slice(&cksum.to_be_bytes());
 }
 
 /// RFC 1071 ones-complement checksum over `data` (zero over a buffer that

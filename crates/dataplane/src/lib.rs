@@ -14,6 +14,12 @@
 //! * [`classifier`] - the traffic-splitting policies of section 3.5:
 //!   header-field classifiers directing a subset of traffic into tunnels,
 //!   and hash-based flow splitting across paths;
+//! * [`burst`] - the burst-mode forwarding engine: batched preparse,
+//!   key-sorted LPM amortization, per-unique-flow tunnel/split decisions,
+//!   and arena-packed encap output — the Mpps-scale fast path over the
+//!   modules above, proptest-pinned byte-identical to them;
+//! * [`pcapng`] - a dependency-free pcapng writer so tunnel traffic can
+//!   be inspected in Wireshark;
 //! * [`intra`] - the intra-AS architecture of section 4.1: ASes with
 //!   multiple edge routers, iBGP dissemination, IGP distances driving
 //!   steps 5-7 of the decision process, directed forwarding at egress
@@ -25,15 +31,18 @@
 //! exercised in-memory (encode -> forward -> decapsulate) which drives the
 //! same code paths a TUN/TAP deployment would.
 
+pub mod burst;
 pub mod classifier;
 pub mod fault;
 pub mod encap;
 pub mod intra;
 pub mod ipv4;
 pub mod lpm;
+pub mod pcapng;
 pub mod rcp;
 pub mod trace;
 
+pub use burst::{BurstScratch, Engine, TunnelSpec, Verdict};
 pub use encap::{EncapError, EndpointScheme, MiroShim};
 pub use ipv4::{Ipv4Addr4, Ipv4Header, PROTO_IPIP, PROTO_MIRO};
 pub use lpm::PrefixTrie;

@@ -47,6 +47,121 @@ struct Node<T> {
     value: Option<T>,
 }
 
+/// Counters from one [`PrefixTrie::lookup_batch`] call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct BatchStats {
+    /// Full trie descents performed.
+    pub descents: usize,
+    /// Lookups answered by reusing the previous walk.
+    pub reused: usize,
+}
+
+/// Reusable scratch for the batched lookups. Holds the packed
+/// `(address << 32) | input-index` sort keys and the radix scatter
+/// buffer; reusing one scratch across bursts keeps the hot path
+/// allocation-free.
+#[derive(Default)]
+pub struct LookupScratch {
+    packed: Vec<u64>,
+    tmp: Vec<u64>,
+}
+
+impl LookupScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Batches at or above this size are sorted with the byte-wise radix
+/// sort; below it, `sort_unstable` on the packed keys wins.
+const RADIX_MIN: usize = 128;
+
+/// State a sorted batch walk carries from one address to the next:
+/// `(address bits, bits consumed, stopped at a childless leaf, best match)`.
+type PrevWalk<'a, T> = (u32, u8, bool, Option<(u8, &'a T)>);
+
+/// LSD radix sort of packed `(address << 32) | index` words by the
+/// address bits only (passes over the index half would be wasted work —
+/// equal addresses need no particular order).
+///
+/// Two tricks keep the per-packet cost low enough to beat `sort_unstable`
+/// on burst-sized inputs. First, `varying` (an OR/AND prescan the caller
+/// computes while packing — address half, pre-shifted) gives the span of
+/// address bits that differ at all, and the byte passes are aligned to
+/// that span — route tables cover a sliver of the 32-bit space, so bursts
+/// typically need two or three passes instead of four. Second, each
+/// pass's histogram is built inside the *previous* pass's scatter loop
+/// (LSD counts are order-independent), so after the first histogram every
+/// sweep over the data does scatter work.
+fn radix_sort_by_addr(data: &mut Vec<u64>, tmp: &mut Vec<u64>, varying: u64) {
+    if varying == 0 {
+        return; // every address in the batch is identical
+    }
+    let lo = varying.trailing_zeros();
+    let hi = 63 - varying.leading_zeros();
+    let span = (hi - lo + 1) as usize;
+    tmp.clear();
+    tmp.resize(data.len(), 0);
+    // Narrow spans — the normal case once host bits below the deepest
+    // prefix are masked off — sort in a single counting pass: one
+    // histogram sweep, one scatter sweep, done.
+    if span <= 11 {
+        let shift = 32 + lo;
+        let buckets = 1usize << span;
+        let mask = (buckets - 1) as u64;
+        let mut counts = [0u32; 2048];
+        for &v in data.iter() {
+            counts[((v >> shift) & mask) as usize] += 1;
+        }
+        let mut acc = 0u32;
+        for c in counts[..buckets].iter_mut() {
+            let start = acc;
+            acc += *c;
+            *c = start;
+        }
+        for &v in data.iter() {
+            let b = ((v >> shift) & mask) as usize;
+            tmp[counts[b] as usize] = v;
+            counts[b] += 1;
+        }
+        std::mem::swap(data, tmp);
+        return;
+    }
+    let passes = span.div_ceil(8);
+    let mut hist = [[0u32; 256]; 2];
+    for &v in data.iter() {
+        hist[0][((v >> (32 + lo)) & 0xff) as usize] += 1;
+    }
+    let mut src_is_data = true;
+    for p in 0..passes {
+        let shift = 32 + lo + 8 * p as u32;
+        let more = p + 1 < passes;
+        // Prefix sums of this pass's (pre-built) histogram.
+        let mut offs = [0u32; 256];
+        let mut acc = 0u32;
+        for b in 0..256 {
+            offs[b] = acc;
+            acc += hist[p & 1][b];
+        }
+        hist[(p + 1) & 1] = [0u32; 256];
+        let next_hist = &mut hist[(p + 1) & 1];
+        let (src, dst): (&Vec<u64>, &mut Vec<u64>) =
+            if src_is_data { (data, tmp) } else { (tmp, data) };
+        for &v in src.iter() {
+            if more {
+                next_hist[((v >> (shift + 8)) & 0xff) as usize] += 1;
+            }
+            let b = ((v >> shift) & 0xff) as usize;
+            dst[offs[b] as usize] = v;
+            offs[b] += 1;
+        }
+        src_is_data = !src_is_data;
+    }
+    if !src_is_data {
+        std::mem::swap(data, tmp);
+    }
+}
+
 /// A binary trie keyed by IPv4 prefixes.
 ///
 /// ```
@@ -64,11 +179,19 @@ struct Node<T> {
 pub struct PrefixTrie<T> {
     root: Node<T>,
     len: usize,
+    /// Longest prefix length ever inserted — an upper bound on walk
+    /// depth (removals leave it alone; it is a perf heuristic for the
+    /// batched lookups, never a correctness input).
+    max_len: u8,
 }
 
 impl<T> Default for PrefixTrie<T> {
     fn default() -> Self {
-        PrefixTrie { root: Node { children: [None, None], value: None }, len: 0 }
+        PrefixTrie {
+            root: Node { children: [None, None], value: None },
+            len: 0,
+            max_len: 0,
+        }
     }
 }
 
@@ -90,6 +213,7 @@ impl<T> PrefixTrie<T> {
     /// value if the prefix was already present.
     pub fn insert(&mut self, prefix: Prefix, value: T) -> Option<T> {
         let bits = prefix.addr.to_u32();
+        self.max_len = self.max_len.max(prefix.len);
         let mut node = &mut self.root;
         for i in 0..prefix.len {
             let b = ((bits >> (31 - i)) & 1) as usize;
@@ -136,6 +260,153 @@ impl<T> PrefixTrie<T> {
             }
         }
         best.map(|(len, v)| (Prefix::new(addr, len), v))
+    }
+
+    /// Batched longest-prefix match over `addrs`, equivalent to calling
+    /// [`lookup`](Self::lookup) per address but amortizing trie work:
+    /// indices are sorted by destination so equal and near-equal addresses
+    /// become adjacent, and a walk is reused whenever the previous walk's
+    /// outcome provably applies — the two addresses share every bit the
+    /// previous descent consumed *including* the branch bit it stopped on,
+    /// so the trie would visit the identical node sequence. On a
+    /// Zipf-skewed burst most packets hit the reuse path and the trie is
+    /// descended once per distinct destination run.
+    ///
+    /// `scratch` is caller scratch (reused across bursts); `out[i]`
+    /// receives the result for `addrs[i]`. Returns descent/reuse counters
+    /// so benches can report the amortization.
+    pub fn lookup_batch<'a>(
+        &'a self,
+        addrs: &[Ipv4Addr4],
+        scratch: &mut LookupScratch,
+        out: &mut Vec<Option<(Prefix, &'a T)>>,
+    ) -> BatchStats {
+        out.clear();
+        out.resize(addrs.len(), None);
+        self.batch_walk(addrs, scratch, |i, addr, best| {
+            out[i] = best.map(|(len, v)| (Prefix::new(addr, len), v));
+        })
+    }
+
+    /// Shared core of the batched lookups: packs each address with its
+    /// input index into one `u64` (the address is computed once, not per
+    /// comparison), sorts the packed words — radix sort for large batches,
+    /// `sort_unstable` below [`RADIX_MIN`] — then walks in sorted order
+    /// with walk reuse, handing each result to `sink` in input index
+    /// order (of delivery — not of iteration).
+    fn batch_walk<'a>(
+        &'a self,
+        addrs: &[Ipv4Addr4],
+        scratch: &mut LookupScratch,
+        mut sink: impl FnMut(usize, Ipv4Addr4, Option<(u8, &'a T)>),
+    ) -> BatchStats {
+        let packed = &mut scratch.packed;
+        packed.clear();
+        packed.reserve(addrs.len());
+        // Pack each address with its input index; the OR/AND prescan the
+        // radix sort needs rides along in the same sweep.
+        let mut all_or = 0u64;
+        let mut all_and = !0u64;
+        for (i, a) in addrs.iter().enumerate() {
+            let word = (u64::from(a.to_u32()) << 32) | i as u64;
+            all_or |= word;
+            all_and &= word;
+            packed.push(word);
+        }
+        if packed.len() >= RADIX_MIN {
+            // Bits below the deepest stored prefix can never influence a
+            // walk, so grouping by them is wasted sort work — reuse
+            // soundness is re-checked against the full addresses anyway.
+            let depth_mask = if self.max_len == 0 {
+                0
+            } else {
+                u64::from(!0u32 << (32 - self.max_len))
+            };
+            let varying = ((all_or & !all_and) >> 32) & depth_mask;
+            radix_sort_by_addr(packed, &mut scratch.tmp, varying);
+        } else {
+            packed.sort_unstable();
+        }
+
+        let mut stats = BatchStats { descents: 0, reused: 0 };
+        // The previous walk: its address bits, how many bits the descent
+        // consumed before stopping, whether it stopped at a childless
+        // leaf, and the best (len, value) it found.
+        let mut prev: Option<PrevWalk<'a, T>> = None;
+        for &word in packed.iter() {
+            let i = word as u32;
+            let bits = (word >> 32) as u32;
+            // The packed word already holds the address — rebuilding it
+            // beats a random-access load of `addrs[i]` per packet.
+            let addr = Ipv4Addr4::from_u32(bits);
+            let best = match prev {
+                // Reuse is sound when the addresses agree on every bit the
+                // walk consumed plus the branch bit it stopped on (a
+                // differing bit at 'depth' could find a child the old walk
+                // never probed). When the walk ended at a *childless* node
+                // no branch bit was consulted at all, so agreement on the
+                // consumed bits alone is enough — on tables of uniform
+                // leaf prefixes this makes every same-prefix packet a
+                // reuse, not a coin flip on the next bit. A full 32-bit
+                // walk reuses only on equality.
+                Some((pbits, pdepth, pleaf, pbest))
+                    if {
+                        let shared = (pbits ^ bits).leading_zeros() as u8;
+                        shared == 32
+                            || shared > pdepth
+                            || (pleaf && shared == pdepth)
+                    } =>
+                {
+                    stats.reused += 1;
+                    pbest
+                }
+                _ => {
+                    stats.descents += 1;
+                    let mut node = &self.root;
+                    let mut best: Option<(u8, &T)> =
+                        node.value.as_ref().map(|v| (0, v));
+                    let mut depth = 0u8;
+                    while depth < 32 {
+                        let b = ((bits >> (31 - depth)) & 1) as usize;
+                        match node.children[b].as_deref() {
+                            Some(next) => {
+                                node = next;
+                                depth += 1;
+                                if let Some(v) = node.value.as_ref() {
+                                    best = Some((depth, v));
+                                }
+                            }
+                            None => break,
+                        }
+                    }
+                    let leaf = node.children[0].is_none() && node.children[1].is_none();
+                    prev = Some((bits, depth, leaf, best));
+                    best
+                }
+            };
+            sink(i as usize, addr, best);
+        }
+        stats
+    }
+
+    /// [`lookup_batch`](Self::lookup_batch) for `Copy` values: matched
+    /// values are copied out instead of borrowed, so results can live in
+    /// long-lived scratch (the burst engine's forward lane) without tying
+    /// it to the trie's lifetime.
+    pub fn lookup_batch_copied(
+        &self,
+        addrs: &[Ipv4Addr4],
+        scratch: &mut LookupScratch,
+        out: &mut Vec<Option<T>>,
+    ) -> BatchStats
+    where
+        T: Copy,
+    {
+        out.clear();
+        out.resize(addrs.len(), None);
+        self.batch_walk(addrs, scratch, |i, _addr, best| {
+            out[i] = best.map(|(_, &v)| v);
+        })
     }
 
     /// Exact-match lookup.
@@ -216,6 +487,52 @@ mod tests {
         t.insert(p(12, 34, 56, 0, 24), "specific");
         t.remove(p(12, 34, 56, 0, 24));
         assert_eq!(*t.lookup(Ipv4Addr4::new(12, 34, 56, 78)).unwrap().1, "general");
+    }
+
+    #[test]
+    fn batch_lookup_agrees_with_single_lookups() {
+        let mut t = PrefixTrie::new();
+        for i in 0u32..200 {
+            let pr = Prefix::new(Ipv4Addr4::from_u32(i << 22), (8 + (i % 17)) as u8);
+            t.insert(pr, i);
+        }
+        // Probes deliberately mix duplicates, near-neighbors (exercising
+        // the shared-walk reuse), and scattered addresses.
+        let mut probes = Vec::new();
+        for probe in (0u32..=u32::MAX).step_by(0x0123_4567) {
+            probes.push(Ipv4Addr4::from_u32(probe));
+            probes.push(Ipv4Addr4::from_u32(probe)); // exact duplicate
+            probes.push(Ipv4Addr4::from_u32(probe ^ 1)); // near-neighbor
+            probes.push(Ipv4Addr4::from_u32(probe.wrapping_add(0x8000_0000)));
+        }
+        let mut scratch = LookupScratch::new();
+        let mut out = Vec::new();
+        let stats = t.lookup_batch(&probes, &mut scratch, &mut out);
+        assert_eq!(out.len(), probes.len());
+        assert!(stats.reused > 0, "duplicate-heavy batch must reuse walks");
+        assert_eq!(stats.descents + stats.reused, probes.len());
+        for (i, &a) in probes.iter().enumerate() {
+            assert_eq!(
+                out[i].map(|(p, &v)| (p, v)),
+                t.lookup(a).map(|(p, &v)| (p, v)),
+                "batch diverged at probe {a}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_lookup_empty_and_single() {
+        let mut t = PrefixTrie::new();
+        t.insert(p(10, 0, 0, 0, 8), "ten");
+        let mut scratch = LookupScratch::new();
+        let mut out = Vec::new();
+        let stats = t.lookup_batch(&[], &mut scratch, &mut out);
+        assert_eq!(out.len(), 0);
+        assert_eq!(stats, BatchStats::default());
+        let one = [Ipv4Addr4::new(10, 1, 2, 3)];
+        let stats = t.lookup_batch(&one, &mut scratch, &mut out);
+        assert_eq!(stats.descents, 1);
+        assert_eq!(out[0].map(|(_, &v)| v), Some("ten"));
     }
 
     #[test]

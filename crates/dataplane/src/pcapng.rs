@@ -1,0 +1,137 @@
+//! Self-contained pcapng writer (no dependencies), so tunnel traffic —
+//! outer IPv4 plus the MIRO shim — can be captured from the bench and
+//! inspected in Wireshark when debugging encapsulation.
+//!
+//! Writes the minimal conforming file: one Section Header Block, one
+//! Interface Description Block with `LINKTYPE_RAW` (packets begin at the
+//! IPv4 header, no link-layer framing), then one Enhanced Packet Block
+//! per packet. Little-endian; the byte-order magic tells readers.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// LINKTYPE_RAW: packet data starts directly at the IP header.
+const LINKTYPE_RAW: u16 = 101;
+
+const SHB_TYPE: u32 = 0x0A0D_0D0A;
+const BYTE_ORDER_MAGIC: u32 = 0x1A2B_3C4D;
+const IDB_TYPE: u32 = 0x0000_0001;
+const EPB_TYPE: u32 = 0x0000_0006;
+
+/// A pcapng stream over any writer. Construction emits the section and
+/// interface headers; each [`write_packet`](Self::write_packet) appends
+/// one Enhanced Packet Block.
+pub struct PcapngWriter<W: Write> {
+    w: W,
+    packets: u64,
+}
+
+impl<W: Write> PcapngWriter<W> {
+    pub fn new(mut w: W) -> io::Result<PcapngWriter<W>> {
+        // Section Header Block: 28 bytes total.
+        w.write_all(&SHB_TYPE.to_le_bytes())?;
+        w.write_all(&28u32.to_le_bytes())?;
+        w.write_all(&BYTE_ORDER_MAGIC.to_le_bytes())?;
+        w.write_all(&1u16.to_le_bytes())?; // major version
+        w.write_all(&0u16.to_le_bytes())?; // minor version
+        w.write_all(&u64::MAX.to_le_bytes())?; // section length: unknown
+        w.write_all(&28u32.to_le_bytes())?;
+        // Interface Description Block: 20 bytes total.
+        w.write_all(&IDB_TYPE.to_le_bytes())?;
+        w.write_all(&20u32.to_le_bytes())?;
+        w.write_all(&LINKTYPE_RAW.to_le_bytes())?;
+        w.write_all(&0u16.to_le_bytes())?; // reserved
+        w.write_all(&0u32.to_le_bytes())?; // snaplen: unlimited
+        w.write_all(&20u32.to_le_bytes())?;
+        Ok(PcapngWriter { w, packets: 0 })
+    }
+
+    /// Append one packet with a microsecond timestamp (the IDB's default
+    /// 10^-6 resolution).
+    pub fn write_packet(&mut self, ts_us: u64, data: &[u8]) -> io::Result<()> {
+        let caplen = data.len() as u32;
+        let pad = (4 - (data.len() % 4)) % 4;
+        let total = 32 + data.len() as u32 + pad as u32;
+        self.w.write_all(&EPB_TYPE.to_le_bytes())?;
+        self.w.write_all(&total.to_le_bytes())?;
+        self.w.write_all(&0u32.to_le_bytes())?; // interface id
+        self.w.write_all(&((ts_us >> 32) as u32).to_le_bytes())?;
+        self.w.write_all(&(ts_us as u32).to_le_bytes())?;
+        self.w.write_all(&caplen.to_le_bytes())?;
+        self.w.write_all(&caplen.to_le_bytes())?; // original length
+        self.w.write_all(data)?;
+        self.w.write_all(&[0u8; 3][..pad])?;
+        self.w.write_all(&total.to_le_bytes())?;
+        self.packets += 1;
+        Ok(())
+    }
+
+    /// Packets written so far.
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    /// Flush and return the underlying writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.w.flush()?;
+        Ok(self.w)
+    }
+}
+
+/// Open `path` for writing and emit the pcapng preamble.
+pub fn create<P: AsRef<Path>>(path: P) -> io::Result<PcapngWriter<BufWriter<File>>> {
+    PcapngWriter::new(BufWriter::new(File::create(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn le32(b: &[u8]) -> u32 {
+        u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+    }
+
+    #[test]
+    fn preamble_is_pinned() {
+        let w = PcapngWriter::new(Vec::new()).unwrap();
+        let bytes = w.finish().unwrap();
+        assert_eq!(bytes.len(), 48, "SHB (28) + IDB (20)");
+        assert_eq!(le32(&bytes[0..]), SHB_TYPE);
+        assert_eq!(le32(&bytes[4..]), 28);
+        assert_eq!(le32(&bytes[8..]), BYTE_ORDER_MAGIC);
+        assert_eq!(&bytes[12..14], &1u16.to_le_bytes());
+        assert_eq!(le32(&bytes[24..]), 28, "SHB trailing length");
+        assert_eq!(le32(&bytes[28..]), IDB_TYPE);
+        assert_eq!(le32(&bytes[32..]), 20);
+        assert_eq!(&bytes[36..38], &LINKTYPE_RAW.to_le_bytes());
+        assert_eq!(le32(&bytes[44..]), 20, "IDB trailing length");
+    }
+
+    #[test]
+    fn packet_blocks_pad_to_four_and_match_lengths() {
+        let mut w = PcapngWriter::new(Vec::new()).unwrap();
+        w.write_packet(7, &[0xAA; 5]).unwrap(); // 5 bytes -> 3 pad
+        w.write_packet(u64::from(u32::MAX) + 9, &[0xBB; 8]).unwrap(); // no pad
+        assert_eq!(w.packets(), 2);
+        let bytes = w.finish().unwrap();
+        let epb1 = &bytes[48..];
+        assert_eq!(le32(&epb1[0..]), EPB_TYPE);
+        let total1 = le32(&epb1[4..]);
+        assert_eq!(total1, 32 + 5 + 3);
+        assert_eq!(le32(&epb1[12..]), 0, "ts high");
+        assert_eq!(le32(&epb1[16..]), 7, "ts low");
+        assert_eq!(le32(&epb1[20..]), 5, "captured len");
+        assert_eq!(le32(&epb1[24..]), 5, "original len");
+        assert_eq!(&epb1[28..33], &[0xAA; 5]);
+        assert_eq!(&epb1[33..36], &[0; 3], "padding");
+        assert_eq!(le32(&epb1[36..]), total1, "trailing length");
+        let epb2 = &epb1[total1 as usize..];
+        let total2 = le32(&epb2[4..]);
+        assert_eq!(total2, 32 + 8);
+        assert_eq!(le32(&epb2[12..]), 1, "ts high carries bit 32");
+        assert_eq!(le32(&epb2[16..]), 8, "ts low wraps");
+        assert_eq!(le32(&epb2[total2 as usize - 4..]), total2);
+        assert_eq!(bytes.len(), 48 + total1 as usize + total2 as usize);
+    }
+}

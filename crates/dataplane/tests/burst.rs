@@ -1,0 +1,270 @@
+//! Property tests pinning the burst engine to the packet-at-a-time path:
+//! over random route tables, classifier rules, tunnels, split groups, and
+//! packet mixes (malformed frames included), `Engine::forward_burst` must
+//! produce the same verdict per packet as `Engine::forward_one` — same
+//! next hop, same tunnel choice, and byte-identical output packets.
+
+use bytes::Bytes;
+use miro_dataplane::burst::{lpm_from, BurstScratch, Engine, OneVerdict, TunnelSpec, Verdict};
+use miro_dataplane::classifier::{Action, Classifier, HashSplitter, Match};
+use miro_dataplane::encap;
+use miro_dataplane::ipv4::{Ipv4Addr4, Ipv4Header};
+use miro_dataplane::lpm::Prefix;
+use proptest::prelude::*;
+
+const LOCAL: Ipv4Addr4 = Ipv4Addr4([10, 0, 0, 1]);
+/// Split-group virtual id (classifier actions may name it).
+const GROUP: u32 = 100;
+
+/// Addresses are drawn from a handful of /16s so random tables actually
+/// cover random destinations, and random packets share flows.
+fn arb_dst() -> impl Strategy<Value = Ipv4Addr4> {
+    (0u8..6, any::<u8>(), any::<u8>())
+        .prop_map(|(net, c, d)| Ipv4Addr4::new(12, 30 + net, c, d))
+}
+
+fn arb_prefix() -> impl Strategy<Value = (Prefix, u32)> {
+    (arb_dst(), 8u8..29, 1u32..1000)
+        .prop_map(|(a, len, nh)| (Prefix::new(a, len), nh))
+}
+
+fn arb_tunnels() -> impl Strategy<Value = Vec<TunnelSpec>> {
+    // Ids 1..=4; endpoints inside the routed space (sometimes routable)
+    // or far outside it (never routable).
+    proptest::collection::vec(
+        (1u32..5, prop_oneof![arb_dst(), Just(Ipv4Addr4::new(250, 0, 0, 1))]),
+        0..4,
+    )
+    .prop_map(|raw| {
+        let mut specs: Vec<TunnelSpec> = Vec::new();
+        for (id, endpoint) in raw {
+            if specs.iter().all(|t| t.id != id) {
+                specs.push(TunnelSpec { id, ingress: LOCAL, endpoint });
+            }
+        }
+        specs
+    })
+}
+
+fn arb_rules() -> impl Strategy<Value = Vec<(Match, Action)>> {
+    let action = prop_oneof![
+        Just(Action::Default),
+        Just(Action::Drop),
+        (1u32..5).prop_map(Action::Tunnel),
+        Just(Action::Tunnel(GROUP)),
+        Just(Action::Tunnel(999)), // never installed
+    ];
+    let rule = (
+        proptest::option::of((arb_dst(), 8u8..33).prop_map(|(a, l)| Prefix::new(a, l))),
+        proptest::option::of((any::<u16>(), any::<u16>()).prop_map(|(a, b)| (a.min(b), a.max(b)))),
+        proptest::option::of(prop_oneof![Just(6u8), Just(17u8), any::<u8>()]),
+        proptest::option::of(prop_oneof![Just(0u8), Just(0xb8u8)]),
+        action,
+    )
+        .prop_map(|(dst, dst_port, protocol, tos, a)| {
+            (Match { src: None, dst, dst_port, protocol, tos }, a)
+        });
+    proptest::collection::vec(rule, 0..5)
+}
+
+/// A well-formed frame: random addresses within the routed space, TCP /
+/// UDP / ICMP, TTLs that exercise expiry, optional trailing link padding.
+fn plain_frame() -> impl Strategy<Value = Bytes> {
+    (
+        arb_dst(),
+        arb_dst(),
+        prop_oneof![Just(6u8), Just(17u8), Just(1u8)],
+        prop_oneof![Just(0u8), Just(0xb8u8)],
+        prop_oneof![Just(64u8), Just(2u8), Just(1u8)],
+        proptest::collection::vec(any::<u8>(), 0..64),
+        0usize..8, // trailing link padding
+    )
+        .prop_map(|(src, dst, proto, tos, ttl, payload, pad)| {
+            let mut h = Ipv4Header::new(src, dst, proto, payload.len() as u16);
+            h.dscp_ecn = tos;
+            h.ttl = ttl;
+            let pkt = h.emit_with_payload(&payload);
+            let mut v = pkt.to_vec();
+            v.extend_from_slice(&[0u8; 8][..pad]);
+            Bytes::from(v)
+        })
+}
+
+/// One frame of the mix: mostly valid packets, some encapsulated toward
+/// the local endpoint, some corrupted or truncated.
+fn arb_frame() -> impl Strategy<Value = Bytes> {
+    prop_oneof![
+        4 => plain_frame(),
+        // Encapsulated toward the local endpoint (decap lane).
+        1 => (plain_frame(), 1u32..6).prop_map(|(inner, tid)| {
+            encap::encapsulate(&inner, Ipv4Addr4::new(99, 9, 9, 9), LOCAL, tid)
+                .expect("small inner fits")
+        }),
+        // Bit-flipped somewhere in the first 20 bytes, or truncated.
+        1 => (plain_frame(), 0usize..20, 0u8..8, any::<bool>()).prop_map(
+            |(good, byte, bit, cut)| {
+                let mut v = good.to_vec();
+                if cut {
+                    v.truncate(byte);
+                } else {
+                    v[byte] ^= 1 << bit;
+                }
+                Bytes::from(v)
+            },
+        ),
+    ]
+}
+
+/// Assert one batched verdict equals the packet-at-a-time one, bytes
+/// included.
+fn assert_same(i: usize, one: &OneVerdict, batched: Verdict, scratch: &BurstScratch) {
+    match (one, batched) {
+        (OneVerdict::Forward { next_hop: n1, packet }, Verdict::Forward { next_hop, out }) => {
+            assert_eq!(*n1, next_hop, "pkt {i}: next hop");
+            assert_eq!(&packet[..], scratch.out_bytes(out), "pkt {i}: forward bytes");
+        }
+        (
+            OneVerdict::Encap { tunnel: t1, next_hop: n1, packet },
+            Verdict::Encap { tunnel, next_hop, out },
+        ) => {
+            assert_eq!(*t1, tunnel, "pkt {i}: tunnel choice");
+            assert_eq!(*n1, next_hop, "pkt {i}: next hop");
+            assert_eq!(&packet[..], scratch.out_bytes(out), "pkt {i}: encap bytes");
+        }
+        (OneVerdict::Decap { tunnel: t1, packet }, Verdict::Decap { tunnel, out }) => {
+            assert_eq!(*t1, tunnel, "pkt {i}: decap tunnel");
+            assert_eq!(&packet[..], scratch.out_bytes(out), "pkt {i}: decap bytes");
+        }
+        (OneVerdict::Drop, Verdict::Drop)
+        | (OneVerdict::NoRoute, Verdict::NoRoute)
+        | (OneVerdict::TtlExpired, Verdict::TtlExpired) => {}
+        (OneVerdict::Malformed(e1), Verdict::Malformed(e2)) => {
+            assert_eq!(*e1, e2, "pkt {i}: error kind");
+        }
+        (one, batched) => panic!("pkt {i}: single-packet {one:?} vs batched {batched:?}"),
+    }
+}
+
+proptest! {
+    /// The tentpole pin: for random engines and random frame mixes, the
+    /// burst pipeline is byte-identical to the single-packet path and
+    /// makes identical path choices, whatever the batch size.
+    #[test]
+    fn burst_equals_packet_at_a_time(
+        table in proptest::collection::vec(arb_prefix(), 1..20),
+        tunnels in arb_tunnels(),
+        rules in arb_rules(),
+        frames in proptest::collection::vec(arb_frame(), 1..40),
+        group_members in proptest::collection::vec((1u32..5, 1u32..4), 1..4),
+    ) {
+        let splitter = HashSplitter::new(
+            group_members.iter().map(|&(id, w)| (w, id)).collect(),
+        );
+        let eng = Engine::new(
+            LOCAL,
+            lpm_from(&table),
+            Classifier::new(rules),
+            tunnels,
+            vec![(GROUP, splitter)],
+        );
+        let views: Vec<&[u8]> = frames.iter().map(|f| &f[..]).collect();
+        let mut scratch = BurstScratch::new();
+        eng.forward_burst(&views, &mut scratch);
+        prop_assert_eq!(scratch.verdicts().len(), frames.len());
+        for (i, frame) in frames.iter().enumerate() {
+            assert_same(i, &eng.forward_one(frame), scratch.verdicts()[i], &scratch);
+        }
+    }
+
+    /// Scratch reuse across bursts leaks nothing: running a second,
+    /// different burst through the same scratch gives the same answers as
+    /// a fresh scratch would.
+    #[test]
+    fn scratch_reuse_is_stateless(
+        table in proptest::collection::vec(arb_prefix(), 1..10),
+        first in proptest::collection::vec(arb_frame(), 1..20),
+        second in proptest::collection::vec(arb_frame(), 1..20),
+    ) {
+        let eng = Engine::new(
+            LOCAL,
+            lpm_from(&table),
+            Classifier::new(vec![]),
+            vec![TunnelSpec { id: 1, ingress: LOCAL, endpoint: Ipv4Addr4::new(12, 31, 0, 1) }],
+            vec![],
+        );
+        let views1: Vec<&[u8]> = first.iter().map(|f| &f[..]).collect();
+        let views2: Vec<&[u8]> = second.iter().map(|f| &f[..]).collect();
+        let mut reused = BurstScratch::new();
+        eng.forward_burst(&views1, &mut reused);
+        eng.forward_burst(&views2, &mut reused);
+        let mut fresh = BurstScratch::new();
+        eng.forward_burst(&views2, &mut fresh);
+        prop_assert_eq!(reused.verdicts().len(), fresh.verdicts().len());
+        for i in 0..fresh.verdicts().len() {
+            let (a, b) = (reused.verdicts()[i], fresh.verdicts()[i]);
+            prop_assert_eq!(
+                std::mem::discriminant(&a),
+                std::mem::discriminant(&b),
+                "pkt {}: {:?} vs {:?}", i, a, b
+            );
+            // Ranges may differ (different arena layout) but bytes must not.
+            match (a, b) {
+                (Verdict::Forward { out: ra, next_hop: na }, Verdict::Forward { out: rb, next_hop: nb }) => {
+                    prop_assert_eq!(na, nb);
+                    prop_assert_eq!(reused.out_bytes(ra), fresh.out_bytes(rb));
+                }
+                (Verdict::Encap { out: ra, tunnel: ta, next_hop: na },
+                 Verdict::Encap { out: rb, tunnel: tb, next_hop: nb }) => {
+                    prop_assert_eq!((ta, na), (tb, nb));
+                    prop_assert_eq!(reused.out_bytes(ra), fresh.out_bytes(rb));
+                }
+                (Verdict::Decap { out: ra, tunnel: ta }, Verdict::Decap { out: rb, tunnel: tb }) => {
+                    prop_assert_eq!(ta, tb);
+                    prop_assert_eq!(reused.out_bytes(ra), fresh.out_bytes(rb));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Every batch size slices the same stream identically: forwarding a
+    /// stream in chunks of `n` gives the same per-packet bytes as one big
+    /// burst (batch of 1 included — `n` starts there).
+    #[test]
+    fn batch_size_is_invisible(
+        table in proptest::collection::vec(arb_prefix(), 1..10),
+        frames in proptest::collection::vec(arb_frame(), 1..30),
+        n in 1usize..8,
+    ) {
+        let eng = Engine::new(
+            LOCAL,
+            lpm_from(&table),
+            Classifier::new(vec![]),
+            vec![],
+            vec![],
+        );
+        let views: Vec<&[u8]> = frames.iter().map(|f| &f[..]).collect();
+        let mut whole = BurstScratch::new();
+        eng.forward_burst(&views, &mut whole);
+        let mut chunked = BurstScratch::new();
+        let mut offset = 0;
+        for chunk in views.chunks(n) {
+            eng.forward_burst(chunk, &mut chunked);
+            for (j, &v) in chunked.verdicts().iter().enumerate() {
+                let w = whole.verdicts()[offset + j];
+                match (v, w) {
+                    (Verdict::Forward { out: ra, next_hop: na }, Verdict::Forward { out: rb, next_hop: nb }) => {
+                        prop_assert_eq!(na, nb);
+                        prop_assert_eq!(chunked.out_bytes(ra), whole.out_bytes(rb));
+                    }
+                    (a, b) => prop_assert_eq!(
+                        std::mem::discriminant(&a),
+                        std::mem::discriminant(&b),
+                        "pkt {}: {:?} vs {:?}", offset + j, a, b
+                    ),
+                }
+            }
+            offset += chunk.len();
+        }
+    }
+}

@@ -159,6 +159,22 @@ impl BytesMut {
     pub fn extend_from_slice(&mut self, s: &[u8]) {
         self.data.extend_from_slice(s);
     }
+
+    /// Empty the buffer, keeping its allocation (upstream `BytesMut::clear`).
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Shorten to `len` bytes, keeping the allocation (upstream
+    /// `BytesMut::truncate`; a no-op when already shorter).
+    pub fn truncate(&mut self, len: usize) {
+        self.data.truncate(len);
+    }
+
+    /// Reserve capacity for `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
 }
 
 impl From<&[u8]> for BytesMut {

@@ -1,9 +1,9 @@
 //! Offline shim for `proptest`.
 //!
 //! Implements the subset this workspace's property tests use: integer-range
-//! and `any::<T>()` strategies, tuples, `collection::vec`, `prop_map`,
-//! simple `"[class]{m,n}"` string patterns, and the `proptest!` /
-//! `prop_assert*` macros. Cases are generated from a deterministic RNG
+//! and `any::<T>()` strategies, tuples, `collection::vec`, `option::of`,
+//! `prop_map`, weighted `prop_oneof!`, simple `"[class]{m,n}"` string
+//! patterns, and the `proptest!` / `prop_assert*` macros. Cases are generated from a deterministic RNG
 //! seeded by the test's module path; there is **no shrinking** — a failing
 //! case panics with the plain assertion message.
 
@@ -198,6 +198,69 @@ impl_tuple_strategy! {
     (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10, L.11)
 }
 
+/// Weighted choice among strategies of one value type; backs
+/// [`prop_oneof!`]. Arms are boxed because each arm is its own concrete
+/// strategy type.
+pub struct Union<T> {
+    arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    pub fn empty() -> Union<T> {
+        Union { arms: Vec::new(), total: 0 }
+    }
+
+    /// Add one weighted arm (builder-style, so the macro can chain calls
+    /// and type inference pins `T` from each arm's `Strategy::Value`).
+    pub fn arm(mut self, weight: u32, s: impl Strategy<Value = T> + 'static) -> Union<T> {
+        self.arms.push((weight, Box::new(s)));
+        self.total += u64::from(weight);
+        self
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        assert!(self.total > 0, "prop_oneof needs a positive total weight");
+        let mut slot = rng.next_u64() % self.total;
+        for (w, s) in &self.arms {
+            if slot < u64::from(*w) {
+                return s.new_value(rng);
+            }
+            slot -= u64::from(*w);
+        }
+        unreachable!("slot within total weight")
+    }
+}
+
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy returned by [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 1 == 0 {
+                None
+            } else {
+                Some(self.inner.new_value(rng))
+            }
+        }
+    }
+
+    /// `Option<T>` strategy: `None` half the time (upstream's default
+    /// probability), else a value from `element`.
+    pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+        OptionStrategy { inner: element }
+    }
+}
+
 pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
@@ -314,6 +377,18 @@ macro_rules! prop_assert_ne {
     ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
 }
 
+/// Choose among strategies, optionally weighted (`w => strategy`). All
+/// arms must produce the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::Union::empty()$(.arm($weight as u32, $strategy))+
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strategy),+]
+    };
+}
+
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -360,8 +435,8 @@ macro_rules! __proptest_fns {
 
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, Just,
-        ProptestConfig, Strategy, TestCaseError,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        Just, ProptestConfig, Strategy, TestCaseError, Union,
     };
 }
 
@@ -404,5 +479,22 @@ mod tests {
             w.push(1);
             prop_assert!(w.iter().all(|&x| (1..4).contains(&x)));
         }
+
+        #[test]
+        fn oneof_picks_only_listed_arms(
+            x in prop_oneof![1 => Just(1u32), 1 => Just(5u32), 2 => 10u32..20],
+            o in crate::option::of(3u8..6),
+        ) {
+            prop_assert!(x == 1 || x == 5 || (10..20).contains(&x));
+            prop_assert!(o.is_none() || (3..6).contains(&o.unwrap()));
+        }
+    }
+
+    #[test]
+    fn oneof_respects_weights_roughly() {
+        let s = prop_oneof![9 => Just(true), 1 => Just(false)];
+        let mut rng = crate::test_rng("oneof-weights");
+        let hits = (0..1000).filter(|_| Strategy::new_value(&s, &mut rng)).count();
+        assert!((800..1000).contains(&hits), "9:1 weighting should dominate: {hits}");
     }
 }
