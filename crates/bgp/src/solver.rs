@@ -93,6 +93,17 @@ pub fn route_class_code(c: RouteClass) -> u8 {
     }
 }
 
+/// Inverse of [`route_class_code`] for table readers: `None` for the
+/// [`UNROUTED_CLASS`] sentinel or any byte outside the encoding.
+pub fn route_class_from_code(code: u8) -> Option<RouteClass> {
+    match code {
+        0 => Some(RouteClass::Customer),
+        1 => Some(RouteClass::Peer),
+        2 => Some(RouteClass::Provider),
+        _ => None,
+    }
+}
+
 /// Bits of a [`Slot`] tag reserved for the hop level. [`BestRoute::len`]
 /// is a `u16`, so 16 bits cover every representable hop count; the
 /// remaining 16 bits count sweep rounds, with an O(V) tag clear when the

@@ -1,0 +1,642 @@
+//! `miro bench-query` — concurrent-client throughput/latency of the
+//! query serving plane.
+//!
+//! Two modes:
+//!
+//! * **Self-hosted** (`--scale`): generate the preset topology, solve a
+//!   destination sample into a real on-disk table, memory-map it, start
+//!   an in-process [`miro_serve::server::Server`] on a loopback port,
+//!   and drive it — the whole serving stack (mmap, first-touch
+//!   checksums, cache stripes, wire codec, TCP) on one machine.
+//! * **External** (`--addr`): drive an already-running `miro serve`
+//!   daemon. The client learns the servable ASNs from the wire
+//!   `Universe` message, so it needs no topology flags. `--shutdown`
+//!   sends the daemon a clean stop afterwards (the CI smoke uses this).
+//!
+//! Each round spawns `--conns` client connections; every connection
+//! issues its share of `--queries` serially (request → response, like a
+//! real resolver), drawing Zipf-skewed (src, dest) pairs and a fixed
+//! 60/30/10 next-hop/path/alternate mix. Latency is measured per query
+//! and merged across connections; the hot-cache hit rate per round comes
+//! from differencing the daemon's `Stats` before and after. Results land
+//! in `BENCH_query.json`; `--check-qps F` turns the best round's
+//! throughput into a hard CI gate.
+
+use miro_serve::wire::{read_msg, write_msg, WireMsg, QUERY_PROTOCOL_VERSION};
+use miro_shard::format::RouteTableSet;
+use miro_shard::{parse_preset, sample_dests};
+use std::fmt::Write as _;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Instant;
+
+/// Generation seed default: fixed so runs are comparable across PRs.
+const SEED: u64 = 42;
+
+/// Query mix per 10 queries: 6 next-hop, 3 path, 1 alternate.
+const MIX: &[QueryKind] = &[
+    QueryKind::NextHop,
+    QueryKind::Path,
+    QueryKind::NextHop,
+    QueryKind::NextHop,
+    QueryKind::Alternate,
+    QueryKind::Path,
+    QueryKind::NextHop,
+    QueryKind::NextHop,
+    QueryKind::Path,
+    QueryKind::NextHop,
+];
+
+#[derive(Clone, Copy, PartialEq)]
+enum QueryKind {
+    NextHop,
+    Path,
+    Alternate,
+}
+
+struct Scale {
+    name: &'static str,
+    preset: &'static str,
+    factor: f64,
+}
+
+const SCALES: &[Scale] = &[
+    Scale { name: "tiny", preset: "gao2005", factor: 0.01 },
+    Scale { name: "small", preset: "gao2005", factor: 0.05 },
+    Scale { name: "medium", preset: "gao2005", factor: 0.5 },
+    Scale { name: "large", preset: "gao2005", factor: 1.0 },
+    Scale { name: "internet", preset: "internet", factor: 1.0 },
+];
+
+struct BenchArgs {
+    scale: String,
+    addr: Option<String>,
+    sample: usize,
+    conns_list: Vec<usize>,
+    queries: usize,
+    seed: u64,
+    out: String,
+    check_qps: Option<f64>,
+    shutdown: bool,
+    stripes: usize,
+    cache_slots: usize,
+}
+
+fn parse(args: &[String]) -> Result<(BenchArgs, bool), String> {
+    let mut a = BenchArgs {
+        scale: "small".to_string(),
+        addr: None,
+        sample: 256,
+        conns_list: vec![4, 16, 64],
+        queries: 20_000,
+        seed: SEED,
+        out: "BENCH_query.json".to_string(),
+        check_qps: None,
+        shutdown: false,
+        stripes: 16,
+        cache_slots: 1024,
+    };
+    let mut list = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut val = || it.next().cloned().ok_or_else(|| format!("{arg} needs a value"));
+        match arg.as_str() {
+            "--list" => list = true,
+            "--scale" => a.scale = val()?,
+            "--addr" => a.addr = Some(val()?),
+            "--sample" => a.sample = num(&val()?, "--sample")?,
+            "--conns" => {
+                a.conns_list = val()?
+                    .split(',')
+                    .map(|p| num::<usize>(p.trim(), "--conns"))
+                    .collect::<Result<_, _>>()?;
+                if a.conns_list.is_empty() || a.conns_list.contains(&0) {
+                    return Err("--conns needs positive connection counts".into());
+                }
+            }
+            "--queries" => a.queries = num(&val()?, "--queries")?,
+            "--seed" => a.seed = num(&val()?, "--seed")?,
+            "--out" => a.out = val()?,
+            "--check-qps" => a.check_qps = Some(num(&val()?, "--check-qps")?),
+            "--shutdown" => a.shutdown = true,
+            "--stripes" => a.stripes = num(&val()?, "--stripes")?,
+            "--cache-slots" => a.cache_slots = num(&val()?, "--cache-slots")?,
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    if a.queries == 0 {
+        return Err("--queries must be at least 1".into());
+    }
+    Ok((a, list))
+}
+
+fn num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("{flag}: cannot parse {s:?}"))
+}
+
+/// One connection's take-home: latencies and answer-kind tallies.
+#[derive(Default)]
+struct ClientTally {
+    latencies_us: Vec<u64>,
+    unrouted: u64,
+    no_alternate: u64,
+    errors: u64,
+}
+
+/// One round's merged result.
+struct Round {
+    conns: usize,
+    queries: usize,
+    wall_ms: f64,
+    qps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    hit_rate: f64,
+    unrouted: u64,
+    no_alternate: u64,
+}
+
+pub fn run(args: &[String]) -> Result<String, String> {
+    let (a, list) = parse(args)?;
+    if list {
+        let mut out = String::from("bench-query scales (self-hosted mode):\n");
+        for sc in SCALES {
+            let _ = writeln!(out, "  {:<8} preset={} factor={}", sc.name, sc.preset, sc.factor);
+        }
+        out.push_str("modes:\n");
+        out.push_str("  --scale S   solve a sample, serve it in-process, drive loopback TCP\n");
+        out.push_str("  --addr A    drive a running `miro serve` daemon (--shutdown stops it)\n");
+        out.push_str("mix: 60% next-hop, 30% path, 10% alternate (Zipf-skewed src/dest)\n");
+        out.push_str("row schema:\n");
+        out.push_str(
+            "  rows[] = {conns, queries, wall_ms, qps, p50_us, p99_us, hit_rate, \
+             unrouted, no_alternate}\n",
+        );
+        return Ok(out);
+    }
+
+    // ---- Get a server address: external, or spin up the full stack ----
+    let mut report;
+    let addr: SocketAddr;
+    let mut hosted: Option<HostedServer> = None;
+    match &a.addr {
+        Some(s) => {
+            addr = s
+                .parse()
+                .map_err(|_| format!("--addr: cannot parse {s:?} as host:port"))?;
+            report = format!("bench-query: external daemon at {addr}\n");
+        }
+        None => {
+            let sc = SCALES
+                .iter()
+                .find(|s| s.name == a.scale)
+                .ok_or(format!("unknown scale {:?} (try --list)", a.scale))?;
+            let h = HostedServer::start(sc, &a)?;
+            addr = h.addr;
+            report = format!(
+                "bench-query: {} ({} nodes, {} dests solved in {:.2}s, {} byte table) on {addr}\n",
+                sc.name, h.nodes, h.dests, h.solve_secs, h.table_bytes
+            );
+            hosted = Some(h);
+        }
+    }
+
+    // ---- Learn the query universe from the daemon itself --------------
+    let mut control = Client::connect(addr)?;
+    let (src_asns, dest_asns) = control.universe()?;
+    if src_asns.is_empty() || dest_asns.is_empty() {
+        return Err("daemon serves an empty universe".into());
+    }
+
+    // ---- Rounds -------------------------------------------------------
+    let mut rounds: Vec<Round> = Vec::new();
+    for &conns in &a.conns_list {
+        let per_conn = (a.queries / conns).max(1);
+        let total = per_conn * conns;
+        let before = control.stats()?;
+        let start = Instant::now();
+        let tallies: Vec<Result<ClientTally, String>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..conns)
+                .map(|c| {
+                    let (srcs, dests) = (&src_asns, &dest_asns);
+                    let seed = a.seed ^ (conns as u64) << 32 ^ c as u64;
+                    scope.spawn(move || drive_connection(addr, srcs, dests, per_conn, seed))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+        });
+        let wall = start.elapsed();
+        let after = control.stats()?;
+
+        let mut merged = ClientTally::default();
+        for t in tallies {
+            let t = t?;
+            merged.latencies_us.extend_from_slice(&t.latencies_us);
+            merged.unrouted += t.unrouted;
+            merged.no_alternate += t.no_alternate;
+            merged.errors += t.errors;
+        }
+        if merged.errors > 0 {
+            return Err(format!(
+                "{} queries came back RErr — universe-sourced operands must all resolve",
+                merged.errors
+            ));
+        }
+        merged.latencies_us.sort_unstable();
+        let pct = |p: f64| -> f64 {
+            let n = merged.latencies_us.len();
+            merged.latencies_us[((n as f64 * p) as usize).min(n - 1)] as f64
+        };
+        let (dh, dm) = (after.0 - before.0, after.1 - before.1);
+        let round = Round {
+            conns,
+            queries: total,
+            wall_ms: wall.as_secs_f64() * 1e3,
+            qps: total as f64 / wall.as_secs_f64().max(1e-9),
+            p50_us: pct(0.50),
+            p99_us: pct(0.99),
+            hit_rate: if dh + dm == 0 { 0.0 } else { dh as f64 / (dh + dm) as f64 },
+            unrouted: merged.unrouted,
+            no_alternate: merged.no_alternate,
+        };
+        let _ = writeln!(
+            report,
+            "  {:>3} conns | {:>7} q | {:>9.0} q/s | p50 {:>6.0} us | p99 {:>6.0} us | \
+             cache {:>4.0}% | {} unrouted",
+            round.conns,
+            round.queries,
+            round.qps,
+            round.p50_us,
+            round.p99_us,
+            round.hit_rate * 100.0,
+            round.unrouted,
+        );
+        rounds.push(round);
+    }
+
+    // ---- Wind down ----------------------------------------------------
+    let final_stats = control.stats()?;
+    if a.shutdown || hosted.is_some() {
+        control.shutdown()?;
+    }
+    drop(control);
+    let (nodes, dests, scale_name, mode) = match hosted {
+        Some(h) => {
+            let (n, d) = (h.nodes, h.dests);
+            h.finish()?;
+            (n, d, a.scale.as_str(), "self-hosted")
+        }
+        None => (0, dest_asns.len(), "external", "external"),
+    };
+
+    let json = to_json(&a, mode, scale_name, nodes, dests, &rounds, final_stats);
+    std::fs::write(&a.out, &json).map_err(|e| format!("cannot write {:?}: {e}", a.out))?;
+    let _ = writeln!(report, "wrote {}", a.out);
+
+    if let Some(floor) = a.check_qps {
+        let best = rounds.iter().map(|r| r.qps).fold(0.0f64, f64::max);
+        if best < floor {
+            return Err(format!("qps regression: best round {best:.0} q/s < required {floor}"));
+        }
+        let _ = writeln!(report, "check-qps: best {:.0} >= {floor} ok", best);
+    }
+    Ok(report)
+}
+
+// ------------------------------------------------------------- clients
+
+/// A blocking protocol client over one TCP connection.
+struct Client {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Result<Client, String> {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        stream.set_nodelay(true).ok();
+        let mut c = Client { stream, next_id: 0 };
+        c.send(&WireMsg::Hello { protocol: QUERY_PROTOCOL_VERSION })?;
+        match c.recv()? {
+            WireMsg::Welcome { .. } => Ok(c),
+            WireMsg::RBye => Err("daemon refused the connection (protocol mismatch)".into()),
+            other => Err(format!("expected Welcome, got {other:?}")),
+        }
+    }
+
+    fn send(&mut self, msg: &WireMsg) -> Result<(), String> {
+        write_msg(&mut self.stream, msg).map_err(|e| format!("send failed: {e}"))
+    }
+
+    fn recv(&mut self) -> Result<WireMsg, String> {
+        read_msg(&mut self.stream).map_err(|e| format!("recv failed: {e:?}"))
+    }
+
+    fn id(&mut self) -> u64 {
+        self.next_id += 1;
+        self.next_id
+    }
+
+    fn universe(&mut self) -> Result<(Vec<u32>, Vec<u32>), String> {
+        let id = self.id();
+        self.send(&WireMsg::Universe { id })?;
+        match self.recv()? {
+            WireMsg::RUniverse { src_asns, dest_asns, .. } => Ok((src_asns, dest_asns)),
+            other => Err(format!("expected RUniverse, got {other:?}")),
+        }
+    }
+
+    /// (cache_hits, cache_misses, queries) snapshot.
+    fn stats(&mut self) -> Result<(u64, u64, u64), String> {
+        let id = self.id();
+        self.send(&WireMsg::Stats { id })?;
+        match self.recv()? {
+            WireMsg::RStats { cache_hits, cache_misses, queries, .. } => {
+                Ok((cache_hits, cache_misses, queries))
+            }
+            other => Err(format!("expected RStats, got {other:?}")),
+        }
+    }
+
+    fn shutdown(&mut self) -> Result<(), String> {
+        self.send(&WireMsg::Shutdown)?;
+        match self.recv()? {
+            WireMsg::RBye => Ok(()),
+            other => Err(format!("expected RBye, got {other:?}")),
+        }
+    }
+}
+
+/// One benchmark connection: `count` serial queries, Zipf operands.
+fn drive_connection(
+    addr: SocketAddr,
+    src_asns: &[u32],
+    dest_asns: &[u32],
+    count: usize,
+    seed: u64,
+) -> Result<ClientTally, String> {
+    let mut c = Client::connect(addr)?;
+    let mut rng = Rng::new(seed);
+    let src_zipf = Zipf::new(src_asns.len());
+    let dest_zipf = Zipf::new(dest_asns.len());
+    let mut tally = ClientTally { latencies_us: Vec::with_capacity(count), ..Default::default() };
+    for i in 0..count {
+        let src = src_asns[src_zipf.sample(&mut rng)];
+        let dest = dest_asns[dest_zipf.sample(&mut rng)];
+        let id = c.id();
+        let msg = match MIX[i % MIX.len()] {
+            QueryKind::NextHop => WireMsg::NextHop { id, src, dest },
+            QueryKind::Path => WireMsg::Path { id, src, dest },
+            QueryKind::Alternate => {
+                // Avoid a random AS that is not the source (avoiding the
+                // source is a defined client error we don't want to time).
+                let mut avoid = src_asns[src_zipf.sample(&mut rng)];
+                while avoid == src {
+                    avoid = src_asns[(rng.next() as usize) % src_asns.len()];
+                }
+                WireMsg::Alternate { id, src, dest, avoid }
+            }
+        };
+        let start = Instant::now();
+        c.send(&msg)?;
+        let reply = c.recv()?;
+        tally.latencies_us.push(start.elapsed().as_micros() as u64);
+        match reply {
+            WireMsg::RNextHop { id: rid, .. }
+            | WireMsg::RPath { id: rid, .. }
+            | WireMsg::RAlternate { id: rid, .. } => {
+                if rid != id {
+                    return Err(format!("response id {rid} for request {id}"));
+                }
+            }
+            WireMsg::RUnrouted { .. } => tally.unrouted += 1,
+            WireMsg::RNoAlternate { .. } => tally.no_alternate += 1,
+            WireMsg::RErr { .. } => tally.errors += 1,
+            other => return Err(format!("unexpected reply {other:?}")),
+        }
+    }
+    Ok(tally)
+}
+
+// -------------------------------------------------- self-hosted server
+
+/// The in-process serving stack: solved table on disk, mmap'd, served.
+struct HostedServer {
+    addr: SocketAddr,
+    nodes: usize,
+    dests: usize,
+    table_bytes: usize,
+    solve_secs: f64,
+    table_path: std::path::PathBuf,
+    daemon: std::thread::JoinHandle<std::io::Result<miro_serve::server::ServeReport>>,
+}
+
+impl HostedServer {
+    fn start(sc: &Scale, a: &BenchArgs) -> Result<HostedServer, String> {
+        use miro_serve::cache::ShardedCache;
+        use miro_serve::mmap::MappedTable;
+        use miro_serve::query::Engine;
+        use miro_serve::server::Server;
+
+        let topo = parse_preset(sc.preset)?.params(sc.factor, a.seed).generate();
+        let nodes = topo.num_nodes();
+        let dests = sample_dests(topo.num_nodes(), a.sample);
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let t0 = Instant::now();
+        let set = RouteTableSet::from_solves(&topo, &dests, threads);
+        let solve_secs = t0.elapsed().as_secs_f64();
+        let bytes = set.encode();
+        let table_path = std::env::temp_dir()
+            .join(format!("miro_bench_query_{}_{}.mirt", sc.name, std::process::id()));
+        std::fs::write(&table_path, &bytes)
+            .map_err(|e| format!("cannot write {table_path:?}: {e}"))?;
+        let table_bytes = bytes.len();
+        drop(bytes);
+        drop(set);
+
+        let table = MappedTable::open(&table_path)?;
+        let engine =
+            Engine::new(table, topo, Some(ShardedCache::new(a.stripes, a.cache_slots)))?;
+        let server = Server::bind("127.0.0.1:0", engine)
+            .map_err(|e| format!("cannot bind loopback: {e}"))?;
+        let addr = server.local_addr().map_err(|e| e.to_string())?;
+        let daemon = std::thread::spawn(move || server.run());
+        Ok(HostedServer {
+            addr,
+            nodes,
+            dests: dests.len(),
+            table_bytes,
+            solve_secs,
+            table_path,
+            daemon,
+        })
+    }
+
+    /// Join the daemon (a `Shutdown` must already have been sent) and
+    /// remove the table file.
+    fn finish(self) -> Result<(), String> {
+        let report =
+            self.daemon.join().map_err(|_| "daemon thread panicked".to_string())?;
+        report.map_err(|e| format!("daemon failed: {e}"))?;
+        std::fs::remove_file(&self.table_path).ok();
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------- misc
+
+/// xorshift64* — the repo's deterministic traffic PRNG.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+/// Zipf(1.0) sampler (cumulative table + binary search), same shape as
+/// the dataplane bench's traffic skew.
+struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize) -> Zipf {
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            acc += 1.0 / (i + 1) as f64;
+            cumulative.push(acc);
+        }
+        Zipf { cumulative }
+    }
+
+    fn sample(&self, rng: &mut Rng) -> usize {
+        let total = *self.cumulative.last().expect("nonempty");
+        let u = (rng.next() >> 11) as f64 / (1u64 << 53) as f64 * total;
+        self.cumulative.partition_point(|&c| c < u).min(self.cumulative.len() - 1)
+    }
+}
+
+fn to_json(
+    a: &BenchArgs,
+    mode: &str,
+    scale: &str,
+    nodes: usize,
+    dests: usize,
+    rounds: &[Round],
+    final_stats: (u64, u64, u64),
+) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"query-serve\",");
+    let _ = writeln!(
+        out,
+        "  \"engine\": \"mmap-table-striped-cache-thread-per-conn\","
+    );
+    let _ = writeln!(out, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(
+        out,
+        "  \"scale\": \"{scale}\", \"nodes\": {nodes}, \"dests\": {dests}, \"seed\": {},",
+        a.seed
+    );
+    let _ = writeln!(
+        out,
+        "  \"mix\": {{\"next_hop\": 0.6, \"path\": 0.3, \"alternate\": 0.1}},"
+    );
+    let _ = writeln!(
+        out,
+        "  \"cache\": {{\"stripes\": {}, \"slots_per_stripe\": {}}},",
+        a.stripes, a.cache_slots
+    );
+    let _ = writeln!(out, "  \"rows\": [");
+    for (i, r) in rounds.iter().enumerate() {
+        let comma = if i + 1 < rounds.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"conns\": {}, \"queries\": {}, \"wall_ms\": {:.3}, \"qps\": {:.0}, \
+             \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"hit_rate\": {:.4}, \"unrouted\": {}, \
+             \"no_alternate\": {}}}{comma}",
+            r.conns,
+            r.queries,
+            r.wall_ms,
+            r.qps,
+            r.p50_us,
+            r.p99_us,
+            r.hit_rate,
+            r.unrouted,
+            r.no_alternate,
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(
+        out,
+        "  \"totals\": {{\"queries\": {}, \"cache_hits\": {}, \"cache_misses\": {}}}",
+        final_stats.2, final_stats.0, final_stats.1
+    );
+    out.push('}');
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arg(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn list_prints_scales_modes_and_schema() {
+        let out = run(&arg("--list")).unwrap();
+        for sc in SCALES {
+            assert!(out.contains(sc.name), "{} in {out}", sc.name);
+        }
+        assert!(out.contains("--addr"), "{out}");
+        assert!(out.contains(
+            "rows[] = {conns, queries, wall_ms, qps, p50_us, p99_us, hit_rate"
+        ));
+    }
+
+    #[test]
+    fn bad_options_are_rejected() {
+        assert!(run(&arg("--frobnicate")).is_err());
+        assert!(run(&arg("--scale nosuch")).unwrap_err().contains("unknown scale"));
+        assert!(run(&arg("--conns 0")).is_err());
+        assert!(run(&arg("--conns 4,x")).is_err());
+        assert!(run(&arg("--queries 0")).unwrap_err().contains("--queries"));
+        assert!(run(&arg("--addr notanaddr")).unwrap_err().contains("--addr"));
+    }
+
+    #[test]
+    fn tiny_self_hosted_bench_end_to_end() {
+        let out_path = std::env::temp_dir().join("miro_bench_query_test.json");
+        let report = run(&arg(&format!(
+            "--scale tiny --sample 32 --conns 2,4 --queries 600 --out {}",
+            out_path.display()
+        )))
+        .unwrap();
+        assert!(report.contains("q/s"), "{report}");
+        let json = std::fs::read_to_string(&out_path).unwrap();
+        let v: serde_json::JsonValue = serde_json::from_str(&json).expect("valid JSON");
+        let serde_json::JsonValue::Obj(top) = &v else { panic!("top-level object") };
+        let serde_json::JsonValue::Arr(rows) = &top["rows"] else { panic!("rows array") };
+        assert_eq!(rows.len(), 2);
+        for r in rows {
+            let serde_json::JsonValue::Obj(row) = r else { panic!("row object") };
+            let serde_json::JsonValue::Num(qps) = row["qps"] else { panic!("qps") };
+            assert!(qps > 0.0);
+            let serde_json::JsonValue::Num(p99) = row["p99_us"] else { panic!("p99_us") };
+            let serde_json::JsonValue::Num(p50) = row["p50_us"] else { panic!("p50_us") };
+            assert!(p99 >= p50);
+        }
+        std::fs::remove_file(&out_path).ok();
+    }
+}

@@ -22,7 +22,9 @@
 
 pub mod bench;
 pub mod bench_dataplane;
+pub mod bench_query;
 pub mod ingest;
+pub mod serve_cmd;
 pub mod shard_cmd;
 
 use miro_bgp::show;

@@ -11,6 +11,11 @@
 //! [--outage-ticks N] [--out RESILIENCE.json] [--check-floor PCT]
 //! [--check-recovery-floor PCT]`.
 //! Ingest: `miro ingest <file> [--out cache.json] [--name LABEL] [--check]`.
+//! Serving: `miro serve <table> (--preset P --factor F --seed S | --cache C)
+//! [--addr HOST:PORT] [--port-file P] [--stripes N] [--cache-slots N]
+//! [--no-verify-file]`, and `miro bench-query [--scale S | --addr A]
+//! [--sample N] [--conns LIST] [--queries N] [--out BENCH_query.json]
+//! [--check-qps F] [--shutdown] [--list]`.
 
 use std::io::{BufRead, Write};
 
@@ -63,6 +68,24 @@ fn main() {
                 std::process::exit(3);
             }
         }
+        [cmd, rest @ ..] if cmd == "serve" => {
+            match miro_cli::serve_cmd::run(rest) {
+                Ok(report) => print!("{report}"),
+                Err(e) => {
+                    eprintln!("serve: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        [cmd, rest @ ..] if cmd == "bench-query" => {
+            match miro_cli::bench_query::run(rest) {
+                Ok(report) => print!("{report}"),
+                Err(e) => {
+                    eprintln!("bench-query: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
         [cmd, rest @ ..] if cmd == "resilience" => {
             match miro_eval::resilience::run(rest) {
                 Ok(report) => print!("{report}"),
@@ -82,8 +105,9 @@ fn main() {
         _ => {
             eprintln!(
                 "usage: miro [script-file | bench-solver [options] | \
-                 bench-dataplane [options] | resilience [options] | \
-                 ingest <file> [options] | shard-solve [options]]"
+                 bench-dataplane [options] | bench-query [options] | \
+                 resilience [options] | ingest <file> [options] | \
+                 shard-solve [options] | serve <table> [options]]"
             );
             std::process::exit(2);
         }

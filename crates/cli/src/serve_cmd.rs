@@ -1,0 +1,157 @@
+//! `miro serve` — the route-query daemon over a solved table.
+//!
+//! ```text
+//! miro serve table.mirt --preset gao2005 --factor 0.05 --seed 42 \
+//!     --addr 127.0.0.1:0 --port-file serve.port
+//! ```
+//!
+//! The table is memory-mapped ([`miro_serve::mmap::MappedTable`]) and
+//! must have been solved over exactly the topology given by
+//! `--preset/--factor/--seed` (or `--cache`) — the same flags
+//! `shard-solve` took, because the daemon needs the adjacency and
+//! business relationships to answer alternate-path queries, and the
+//! table file stores only routes. `--port-file` publishes the bound
+//! address (useful with port 0) so scripts don't have to parse logs.
+
+use miro_serve::cache::ShardedCache;
+use miro_serve::mmap::MappedTable;
+use miro_serve::query::Engine;
+use miro_serve::server::Server;
+use miro_shard::TopoSpec;
+use std::path::PathBuf;
+
+#[derive(Debug)]
+struct ServeArgs {
+    table: PathBuf,
+    spec: TopoSpec,
+    addr: String,
+    port_file: Option<PathBuf>,
+    stripes: usize,
+    cache_slots: usize,
+    verify_file: bool,
+    quiet: bool,
+}
+
+fn parse(args: &[String]) -> Result<ServeArgs, String> {
+    let mut table = None;
+    let (mut preset, mut factor, mut seed, mut cache) = (None, None, None, None);
+    let mut addr = "127.0.0.1:4179".to_string(); // 4179: BGP's 179, one plane up
+    let mut port_file = None;
+    let mut stripes = 16usize;
+    let mut cache_slots = 1024usize;
+    let mut verify_file = true;
+    let mut quiet = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut val = || it.next().cloned().ok_or_else(|| format!("{arg} needs a value"));
+        match arg.as_str() {
+            "--preset" => preset = Some(val()?),
+            "--factor" => factor = Some(num(&val()?, "--factor")?),
+            "--seed" => seed = Some(num(&val()?, "--seed")?),
+            "--cache" => cache = Some(val()?),
+            "--addr" => addr = val()?,
+            "--port-file" => port_file = Some(PathBuf::from(val()?)),
+            "--stripes" => stripes = num(&val()?, "--stripes")?,
+            "--cache-slots" => cache_slots = num(&val()?, "--cache-slots")?,
+            "--no-verify-file" => verify_file = false,
+            "--quiet" => quiet = true,
+            other if !other.starts_with('-') && table.is_none() => {
+                table = Some(PathBuf::from(other));
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    let table = table.ok_or("serve needs a table file (from shard-solve)")?;
+    let spec = match (cache, preset) {
+        (Some(_), Some(_)) => return Err("--cache and --preset are mutually exclusive".into()),
+        (Some(path), None) => {
+            if factor.is_some() || seed.is_some() {
+                return Err("--factor/--seed only apply to --preset topologies".into());
+            }
+            TopoSpec::Cache { path }
+        }
+        (None, preset) => TopoSpec::Preset {
+            preset: preset.unwrap_or_else(|| "gao2005".into()),
+            factor: factor.unwrap_or(1.0),
+            seed: seed.unwrap_or(42),
+        },
+    };
+    Ok(ServeArgs { table, spec, addr, port_file, stripes, cache_slots, verify_file, quiet })
+}
+
+fn num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("{flag}: cannot parse {s:?}"))
+}
+
+/// Run the daemon until a wire `Shutdown` arrives. Returns the lifetime
+/// report.
+pub fn run(args: &[String]) -> Result<String, String> {
+    let a = parse(args)?;
+    let table = if a.verify_file {
+        MappedTable::open(&a.table)?
+    } else {
+        MappedTable::open_unverified(&a.table)?
+    };
+    let bytes = table.file_bytes();
+    let dests = miro_serve::TableSource::dests(&table).len();
+    let topo = a.spec.build()?;
+    let engine = Engine::new(table, topo, Some(ShardedCache::new(a.stripes, a.cache_slots)))?;
+    let server = Server::bind(a.addr.as_str(), engine)
+        .map_err(|e| format!("cannot bind {}: {e}", a.addr))?;
+    let addr = server.local_addr().map_err(|e| format!("cannot read bound address: {e}"))?;
+    if let Some(path) = &a.port_file {
+        std::fs::write(path, format!("{addr}\n"))
+            .map_err(|e| format!("cannot write port file {path:?}: {e}"))?;
+    }
+    if !a.quiet {
+        eprintln!(
+            "serve: {} ({bytes} bytes, {dests} dests) on {addr}, cache {}x{} slots",
+            a.table.display(),
+            a.stripes,
+            a.cache_slots
+        );
+    }
+    let report = server.run().map_err(|e| format!("serve loop failed: {e}"))?;
+    Ok(format!(
+        "serve: done — {} connections, {} queries\n",
+        report.connections, report.queries
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(args: &[&str]) -> Vec<String> {
+        args.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn args_parse_and_validate() {
+        let a = parse(&s(&[
+            "t.mirt", "--preset", "gao2005", "--factor", "0.05", "--addr", "127.0.0.1:0",
+            "--port-file", "p.txt", "--stripes", "8", "--cache-slots", "256",
+            "--no-verify-file",
+        ]))
+        .unwrap();
+        assert_eq!(a.table, PathBuf::from("t.mirt"));
+        assert_eq!(a.addr, "127.0.0.1:0");
+        assert_eq!((a.stripes, a.cache_slots), (8, 256));
+        assert!(!a.verify_file);
+        assert!(matches!(a.spec, TopoSpec::Preset { ref preset, .. } if preset == "gao2005"));
+
+        assert!(parse(&s(&[])).unwrap_err().contains("needs a table"));
+        assert!(parse(&s(&["t.mirt", "--cache", "c.json", "--preset", "gao2005"]))
+            .unwrap_err()
+            .contains("mutually exclusive"));
+        assert!(parse(&s(&["t.mirt", "--bogus"])).unwrap_err().contains("unknown option"));
+    }
+
+    #[test]
+    fn missing_table_file_is_a_clean_error() {
+        let err = run(&s(&["/nonexistent/t.mirt", "--preset", "gao2005", "--factor", "0.01"]))
+            .unwrap_err();
+        assert!(err.contains("cannot open table"), "{err}");
+    }
+}

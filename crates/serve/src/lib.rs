@@ -1,0 +1,102 @@
+//! The route-query serving plane: MIRO's offline-solve / online-serve
+//! split.
+//!
+//! The sharded solver ([`miro-shard`]) turns a topology into a
+//! checksummed columnar [`RouteTableSet`] on disk. This crate is the
+//! *read path* over that artifact:
+//!
+//! * [`mmap::MappedTable`] — a zero-copy memory-mapped reader
+//!   (validate once at open, borrow rows from the map, per-row FNV
+//!   verification on first touch);
+//! * [`query::Engine`] — the query semantics: next-hop, full-path, and
+//!   alternate-path-avoiding-AS answers over any [`TableSource`], with
+//!   a [`cache::ShardedCache`] in front of the expensive kinds;
+//! * [`wire`] — the length-prefixed query protocol, framed by the same
+//!   FNV codec the shard service speaks
+//!   ([`miro_shard::protocol::read_raw_frame`]);
+//! * [`server`] — the TCP daemon behind `miro serve`.
+//!
+//! The split matters because MIRO's economics assume alternate-path
+//! lookups are *cheap at query time*: an AS solves policy-compliant
+//! routing offline (minutes, sharded, checkpointed) and then answers
+//! "give me the default route / give me an alternate avoiding AS X"
+//! online in microseconds, for millions of users, from one immutable
+//! artifact.
+//!
+//! [`RouteTableSet`]: miro_shard::format::RouteTableSet
+
+pub mod cache;
+pub mod mmap;
+pub mod query;
+pub mod server;
+pub mod wire;
+
+use miro_shard::format::RouteTableSet;
+use miro_topology::NodeId;
+
+/// Read access to one destination's route row: for each AS `x`, the
+/// next hop, AS-hop count, and business-class code of `x`'s installed
+/// route toward the row's destination ([`miro_bgp::solver`]'s
+/// `UNROUTED_*` sentinels mark unreachable ASes).
+pub trait RowRead {
+    fn next(&self, x: usize) -> u32;
+    fn hops(&self, x: usize) -> u16;
+    fn class(&self, x: usize) -> u8;
+}
+
+/// A solved whole-table artifact the query engine can serve: the mmap'd
+/// file ([`mmap::MappedTable`]) in production, the in-memory
+/// [`RouteTableSet`] as the equivalence oracle in tests. `row` may fail
+/// (first-touch checksum mismatch on a corrupt file), and the engine
+/// surfaces that as a per-query error rather than dying.
+pub trait TableSource {
+    type Row<'a>: RowRead
+    where
+        Self: 'a;
+
+    fn num_nodes(&self) -> u32;
+    fn dests(&self) -> &[NodeId];
+    fn row(&self, i: usize) -> Result<Self::Row<'_>, String>;
+
+    /// How many rows have passed first-touch checksum verification (0
+    /// for sources without lazy verification, e.g. the in-memory set).
+    fn rows_verified(&self) -> u64 {
+        0
+    }
+}
+
+impl TableSource for RouteTableSet {
+    type Row<'a> = (&'a [u32], &'a [u16], &'a [u8]);
+
+    fn num_nodes(&self) -> u32 {
+        self.num_nodes()
+    }
+
+    fn dests(&self) -> &[NodeId] {
+        self.dests()
+    }
+
+    fn row(&self, i: usize) -> Result<Self::Row<'_>, String> {
+        if i >= self.dests().len() {
+            return Err(format!("row {i} out of range ({} rows)", self.dests().len()));
+        }
+        Ok(RouteTableSet::row(self, i))
+    }
+}
+
+impl RowRead for (&[u32], &[u16], &[u8]) {
+    #[inline]
+    fn next(&self, x: usize) -> u32 {
+        self.0[x]
+    }
+
+    #[inline]
+    fn hops(&self, x: usize) -> u16 {
+        self.1[x]
+    }
+
+    #[inline]
+    fn class(&self, x: usize) -> u8 {
+        self.2[x]
+    }
+}

@@ -1,0 +1,333 @@
+//! Zero-copy memory-mapped [`RouteTableSet`] reader.
+//!
+//! [`miro_shard::format::RouteTableSet::decode`] is the batch reader: it
+//! copies every row into owned columns and verifies everything up front —
+//! right for a merge step, wrong for a serving daemon that holds a
+//! multi-gigabyte table and answers point queries. [`MappedTable`] maps
+//! the file read-only and *borrows* rows straight out of the map:
+//!
+//! * **At open**: magic, version, and geometry are validated, the
+//!   destination index (a few KiB) is decoded into an owned lookup
+//!   table, and — by default — one sequential pass verifies the
+//!   whole-file FNV-1a checksum. [`MappedTable::open_unverified`] skips
+//!   that pass for tables too large to page in eagerly; the per-row
+//!   checksums below still guard every byte that is actually served.
+//! * **On first touch of a row**: the row's bytes are checksummed
+//!   against the per-row FNV-1a table once, then a per-row "verified"
+//!   bit (an atomic bitmap, safe under concurrent readers) marks it
+//!   trusted. Verified rows are served with no further copying or
+//!   hashing — [`Row`] is a borrowed byte view that decodes cells with
+//!   `from_le_bytes` on access, so row starts need no alignment (a row
+//!   is `7 * num_nodes` bytes; odd `num_nodes` would misalign any
+//!   borrowed `&[u32]`).
+//!
+//! Why validate-once-then-borrow is safe: the mapping is private and
+//! read-only, the daemon never writes the table, and every answer is
+//! derived from bytes that passed either the whole-file pass or the
+//! row's own checksum. A table corrupted *between* solve and open is
+//! rejected; a row corrupted on disk before open is rejected the first
+//! time a query lands on it (checksum mismatch → the query errors, the
+//! daemon keeps serving other rows).
+
+use std::fs::File;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use miro_shard::fnv1a;
+use miro_shard::format::{TABLE_FORMAT_VERSION, TABLE_MAGIC};
+use miro_topology::NodeId;
+
+use crate::{RowRead, TableSource};
+
+// ---------------------------------------------------------------- mmap
+
+/// A read-only memory mapping (unix `mmap(2)` via direct libc FFI — no
+/// external crate; the toolchain links libc anyway). On non-unix hosts
+/// the "map" degrades to reading the file into an owned buffer, which
+/// keeps every caller portable at the cost of the zero-copy property.
+#[cfg(unix)]
+mod map {
+    use std::fs::File;
+    use std::os::unix::io::AsRawFd;
+
+    #[allow(non_camel_case_types)]
+    type c_int = i32;
+    extern "C" {
+        fn mmap(
+            addr: *mut u8,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut u8;
+        fn munmap(addr: *mut u8, len: usize) -> c_int;
+    }
+    const PROT_READ: c_int = 1;
+    const MAP_PRIVATE: c_int = 2;
+    const MAP_FAILED: *mut u8 = usize::MAX as *mut u8;
+
+    pub struct Map {
+        ptr: *mut u8,
+        len: usize,
+    }
+
+    // The mapping is immutable (PROT_READ, never remapped) for the life
+    // of the Map, so shared references to its bytes are safe to send.
+    unsafe impl Send for Map {}
+    unsafe impl Sync for Map {}
+
+    impl Map {
+        pub fn of(file: &File, len: usize) -> std::io::Result<Map> {
+            if len == 0 {
+                // mmap(2) rejects zero-length maps; callers reject empty
+                // files before getting here, but keep the error clean.
+                return Err(std::io::Error::other("cannot map an empty file"));
+            }
+            let ptr = unsafe {
+                mmap(std::ptr::null_mut(), len, PROT_READ, MAP_PRIVATE, file.as_raw_fd(), 0)
+            };
+            if ptr == MAP_FAILED || ptr.is_null() {
+                return Err(std::io::Error::last_os_error());
+            }
+            Ok(Map { ptr, len })
+        }
+
+        pub fn bytes(&self) -> &[u8] {
+            unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        }
+    }
+
+    impl Drop for Map {
+        fn drop(&mut self) {
+            unsafe {
+                munmap(self.ptr, self.len);
+            }
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod map {
+    use std::fs::File;
+    use std::io::Read;
+
+    pub struct Map {
+        buf: Vec<u8>,
+    }
+
+    impl Map {
+        pub fn of(file: &File, len: usize) -> std::io::Result<Map> {
+            let mut buf = Vec::with_capacity(len);
+            let mut f = file;
+            f.read_to_end(&mut buf)?;
+            Ok(Map { buf })
+        }
+
+        pub fn bytes(&self) -> &[u8] {
+            &self.buf
+        }
+    }
+}
+
+// --------------------------------------------------------- MappedTable
+
+/// A [`RouteTableSet`] file served in place.
+///
+/// [`miro_shard::format::RouteTableSet`]'s layout, recalled:
+///
+/// ```text
+/// 0        magic "MIRT"
+/// 4        format version (u32)
+/// 8        num_nodes V (u32)
+/// 12       num_dests D (u32)
+/// 16       destination ids          u32 × D
+/// 16+4D    per-row checksums        u64 × D
+/// 16+12D   rows:                    next u32 × V | hops u16 × V | class u8 × V
+/// end-8    whole-file checksum      u64
+/// ```
+pub struct MappedTable {
+    map: map::Map,
+    num_nodes: u32,
+    /// Decoded destination index (the only copied region: `4D` bytes of
+    /// lookup structure, not row data).
+    dests: Vec<NodeId>,
+    sums_at: usize,
+    rows_at: usize,
+    row_bytes: usize,
+    /// One bit per row, set once that row's checksum has been verified.
+    verified: Vec<AtomicU64>,
+    rows_verified: AtomicU64,
+}
+
+impl MappedTable {
+    /// Open and fully validate: header, geometry, destination index, and
+    /// the whole-file checksum (one sequential pass). Rows additionally
+    /// verify their own checksum on first touch, which catches bytes
+    /// that rot *after* this pass (or a checksum table that lied).
+    pub fn open(path: &std::path::Path) -> Result<MappedTable, String> {
+        Self::open_with(path, true)
+    }
+
+    /// Open without the whole-file pass: header, geometry, and the
+    /// destination index are still validated eagerly (they are decoded
+    /// anyway), but row bytes are only paged in — and checksummed — when
+    /// a query first touches them. This is the mode for tables much
+    /// larger than memory.
+    pub fn open_unverified(path: &std::path::Path) -> Result<MappedTable, String> {
+        Self::open_with(path, false)
+    }
+
+    fn open_with(path: &std::path::Path, verify_whole_file: bool) -> Result<MappedTable, String> {
+        let file =
+            File::open(path).map_err(|e| format!("cannot open table {path:?}: {e}"))?;
+        let len = file
+            .metadata()
+            .map_err(|e| format!("cannot stat table {path:?}: {e}"))?
+            .len() as usize;
+        if len < 24 {
+            return Err(format!(
+                "table {path:?} is {len} bytes — too short for even an empty RouteTableSet"
+            ));
+        }
+        let map = map::Map::of(&file, len).map_err(|e| format!("cannot map {path:?}: {e}"))?;
+        let bytes = map.bytes();
+
+        if bytes[..4] != TABLE_MAGIC[..] {
+            return Err(format!("table {path:?}: bad magic (not a RouteTableSet)"));
+        }
+        let u32_at =
+            |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+        let version = u32_at(4);
+        if version != TABLE_FORMAT_VERSION {
+            return Err(format!(
+                "table {path:?}: format version {version}, but this build reads version \
+                 {TABLE_FORMAT_VERSION}"
+            ));
+        }
+        let v = u32_at(8) as usize;
+        let d = u32_at(12) as usize;
+        if d == 0 {
+            return Err(format!("table {path:?} holds zero destinations — nothing to serve"));
+        }
+        if v == 0 {
+            return Err(format!("table {path:?} claims a zero-node topology"));
+        }
+        let row_bytes = 7 * v;
+        let expect = (16usize)
+            .checked_add(d.checked_mul(12).ok_or("geometry overflow")?)
+            .and_then(|n| n.checked_add(d.checked_mul(row_bytes)?))
+            .and_then(|n| n.checked_add(8))
+            .ok_or(format!("table {path:?}: geometry overflow"))?;
+        if len != expect {
+            return Err(format!(
+                "table {path:?}: wrong length: {len} bytes, geometry says {expect}"
+            ));
+        }
+        if verify_whole_file {
+            let want = u64::from_le_bytes(bytes[len - 8..].try_into().unwrap());
+            if fnv1a(&bytes[..len - 8]) != want {
+                return Err(format!("table {path:?}: whole-file checksum mismatch"));
+            }
+        }
+        let mut dests = Vec::with_capacity(d);
+        for i in 0..d {
+            dests.push(u32_at(16 + 4 * i));
+        }
+        Ok(MappedTable {
+            map,
+            num_nodes: v as u32,
+            dests,
+            sums_at: 16 + 4 * d,
+            rows_at: 16 + 12 * d,
+            row_bytes,
+            verified: (0..d.div_ceil(64)).map(|_| AtomicU64::new(0)).collect(),
+            rows_verified: AtomicU64::new(0),
+        })
+    }
+
+    /// Total mapped size in bytes.
+    pub fn file_bytes(&self) -> usize {
+        self.map.bytes().len()
+    }
+
+    /// How many rows have passed their first-touch checksum so far.
+    pub fn rows_verified(&self) -> u64 {
+        self.rows_verified.load(Ordering::Relaxed)
+    }
+
+    /// Borrow row `i`, checksumming it on first touch. Concurrent first
+    /// touches may both verify (harmless — verification is idempotent
+    /// and the bitmap is monotonic); a mismatch fails every touch, set
+    /// bit or not, because the bit is only set after success.
+    fn checked_row(&self, i: usize) -> Result<MappedRow<'_>, String> {
+        let at = self.rows_at + i * self.row_bytes;
+        let row = &self.map.bytes()[at..at + self.row_bytes];
+        let (word, bit) = (i / 64, 1u64 << (i % 64));
+        if self.verified[word].load(Ordering::Acquire) & bit == 0 {
+            let want = u64::from_le_bytes(
+                self.map.bytes()[self.sums_at + 8 * i..self.sums_at + 8 * (i + 1)]
+                    .try_into()
+                    .unwrap(),
+            );
+            if fnv1a(row) != want {
+                return Err(format!(
+                    "row {i} (destination {}) checksum mismatch — table corrupt on disk",
+                    self.dests[i]
+                ));
+            }
+            self.verified[word].fetch_or(bit, Ordering::AcqRel);
+            self.rows_verified.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(MappedRow { bytes: row, v: self.num_nodes as usize })
+    }
+}
+
+impl TableSource for MappedTable {
+    type Row<'a> = MappedRow<'a>;
+
+    fn num_nodes(&self) -> u32 {
+        self.num_nodes
+    }
+
+    fn dests(&self) -> &[NodeId] {
+        &self.dests
+    }
+
+    fn row(&self, i: usize) -> Result<MappedRow<'_>, String> {
+        if i >= self.dests.len() {
+            return Err(format!("row {i} out of range ({} rows)", self.dests.len()));
+        }
+        self.checked_row(i)
+    }
+
+    fn rows_verified(&self) -> u64 {
+        MappedTable::rows_verified(self)
+    }
+}
+
+/// One destination's columns, borrowed from the map. Cells decode on
+/// access with `from_le_bytes`, so the view needs no alignment and no
+/// materialization.
+#[derive(Clone, Copy)]
+pub struct MappedRow<'a> {
+    bytes: &'a [u8],
+    v: usize,
+}
+
+impl RowRead for MappedRow<'_> {
+    #[inline]
+    fn next(&self, x: usize) -> u32 {
+        u32::from_le_bytes(self.bytes[4 * x..4 * x + 4].try_into().unwrap())
+    }
+
+    #[inline]
+    fn hops(&self, x: usize) -> u16 {
+        let at = 4 * self.v + 2 * x;
+        u16::from_le_bytes(self.bytes[at..at + 2].try_into().unwrap())
+    }
+
+    #[inline]
+    fn class(&self, x: usize) -> u8 {
+        self.bytes[6 * self.v + x]
+    }
+}

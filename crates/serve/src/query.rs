@@ -1,0 +1,453 @@
+//! Query semantics over a solved route table: next-hop, full-path, and
+//! alternate-path-avoiding-AS.
+//!
+//! The table stores, per destination row, every AS's *installed* route
+//! (next hop, hop count, business class). The three query kinds are:
+//!
+//! * **next-hop** — one cell probe: `row[dest][src]`.
+//! * **path** — chase next hops from the source to the destination. The
+//!   chain is finite in a well-formed table (rows are routing trees); a
+//!   hop budget of `num_nodes` turns a corrupt table's cycle into a
+//!   clean per-query error.
+//! * **alternate avoiding AS X** — the MIRO §2 question, answered from
+//!   precomputed state. If the default path already avoids X, it *is*
+//!   the answer. Otherwise the engine walks the default path's prefix
+//!   (the ASes before the first occurrence of X — exactly the on-path
+//!   ASes a MIRO source would negotiate with, in contact order) and
+//!   looks for the first neighbor `n` of an on-path AS `v` such that
+//!
+//!   1. `n`'s installed route toward the destination avoids X,
+//!   2. `n` would actually export that route to `v` under the
+//!      Gao-Rexford export rule ([`ExportScope::allows`], using the
+//!      class byte stored in the table), and
+//!   3. the splice `src → … → v → n → … → dest` is loop-free.
+//!
+//!   The first `(v, n)` in path-then-adjacency order wins, so answers
+//!   are deterministic for a given table + topology. This is the
+//!   serving-plane analogue of the offline negotiation experiments in
+//!   `miro-eval::avoid`: those enumerate full candidate sets per
+//!   responder; the serving plane answers from installed routes only,
+//!   which is what a precomputed-alternates daemon can promise in
+//!   microseconds. Tail-avoidance is memoized per query in a
+//!   generation-stamped [`QueryScratch`], so the worst case is O(V)
+//!   once, not per candidate.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use miro_bgp::route::ExportScope;
+use miro_bgp::solver::{route_class_from_code, UNROUTED_NEXT};
+use miro_topology::{NodeId, Topology};
+
+use crate::cache::ShardedCache;
+use crate::{RowRead, TableSource};
+
+/// One route query, in node-id terms (the wire layer maps ASNs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Query {
+    /// The installed next hop of `src` toward `dest`.
+    NextHop { src: NodeId, dest: NodeId },
+    /// The full installed AS path `src … dest`.
+    Path { src: NodeId, dest: NodeId },
+    /// An alternate path from `src` to `dest` that does not traverse
+    /// `avoid`.
+    Alternate { src: NodeId, dest: NodeId, avoid: NodeId },
+}
+
+impl Query {
+    /// Stable 64-bit key for the hot cache (FNV-1a over the packed
+    /// discriminant + operands).
+    pub fn cache_hash(&self) -> u64 {
+        let (kind, a, b, c): (u8, u32, u32, u32) = match *self {
+            Query::NextHop { src, dest } => (1, src, dest, 0),
+            Query::Path { src, dest } => (2, src, dest, 0),
+            Query::Alternate { src, dest, avoid } => (3, src, dest, avoid),
+        };
+        let mut bytes = [0u8; 13];
+        bytes[0] = kind;
+        bytes[1..5].copy_from_slice(&a.to_le_bytes());
+        bytes[5..9].copy_from_slice(&b.to_le_bytes());
+        bytes[9..13].copy_from_slice(&c.to_le_bytes());
+        miro_shard::fnv1a(&bytes)
+    }
+}
+
+/// A query's answer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Answer {
+    /// Next-hop probe: the raw table cell.
+    NextHop { next: NodeId, hops: u16, class: u8 },
+    /// Full installed path, source first, destination last
+    /// (`[src]` alone when source *is* the destination).
+    Path { path: Vec<NodeId> },
+    /// An avoiding path. `via: None` means the default path already
+    /// avoids the AS; `via: Some((v, n))` means the path deviates from
+    /// the default at on-path AS `v` through its neighbor `n`.
+    Alternate { via: Option<(NodeId, NodeId)>, path: Vec<NodeId> },
+    /// The source has no installed route toward the destination.
+    Unrouted,
+    /// No policy-compliant alternate avoiding the AS exists in the
+    /// served table (MIRO would have to negotiate deeper state than
+    /// installed routes to do better).
+    NoAlternate,
+}
+
+/// Why a query could not be answered.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// The destination has no row in the served table.
+    UnknownDest(NodeId),
+    /// A query operand is not a node of the served topology.
+    NodeOutOfRange(NodeId),
+    /// Asking to avoid the source itself is meaningless.
+    AvoidIsSource,
+    /// The table failed validation under this query (first-touch row
+    /// checksum mismatch, or a next-hop chain that cycles).
+    Corrupt(String),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::UnknownDest(d) => {
+                write!(f, "destination {d} has no row in the served table")
+            }
+            QueryError::NodeOutOfRange(n) => write!(f, "node {n} is not in the topology"),
+            QueryError::AvoidIsSource => write!(f, "cannot avoid the source AS itself"),
+            QueryError::Corrupt(why) => write!(f, "table corrupt: {why}"),
+        }
+    }
+}
+
+/// Per-thread query scratch: generation-stamped memo tables sized to the
+/// topology, so steady-state queries allocate nothing (the repo's
+/// `SolveScratch` idiom).
+#[derive(Default)]
+pub struct QueryScratch {
+    gen: u32,
+    /// Tail-avoidance memo: `tail_ok[x]` is valid iff `tail_stamp[x] == gen`.
+    tail_stamp: Vec<u32>,
+    tail_ok: Vec<bool>,
+    /// Splice-prefix membership: `on_prefix[x] == gen` iff `x` is on the
+    /// default path's kept prefix.
+    on_prefix: Vec<u32>,
+    /// Chase buffer for tail walks.
+    walk: Vec<NodeId>,
+}
+
+impl QueryScratch {
+    pub fn new() -> QueryScratch {
+        QueryScratch::default()
+    }
+
+    fn begin(&mut self, nodes: usize) -> u32 {
+        if self.tail_stamp.len() < nodes {
+            self.tail_stamp.resize(nodes, 0);
+            self.tail_ok.resize(nodes, false);
+            self.on_prefix.resize(nodes, 0);
+        }
+        if self.gen == u32::MAX {
+            self.tail_stamp.iter_mut().for_each(|s| *s = 0);
+            self.on_prefix.iter_mut().for_each(|s| *s = 0);
+            self.gen = 0;
+        }
+        self.gen += 1;
+        self.gen
+    }
+}
+
+/// Served-query counters (all relaxed: they are metrics, not locks).
+#[derive(Default)]
+pub struct EngineStats {
+    pub next_hop: AtomicU64,
+    pub path: AtomicU64,
+    pub alternate: AtomicU64,
+    pub errors: AtomicU64,
+}
+
+impl EngineStats {
+    pub fn queries(&self) -> u64 {
+        self.next_hop.load(Ordering::Relaxed)
+            + self.path.load(Ordering::Relaxed)
+            + self.alternate.load(Ordering::Relaxed)
+    }
+}
+
+/// The query engine: a [`TableSource`], the topology it was solved over
+/// (adjacency + export relationships for alternate queries), and an
+/// optional hot cache in front of the two non-trivial query kinds
+/// (next-hop probes are a single cell read — caching them through a
+/// mutex stripe would cost more than the probe).
+pub struct Engine<T: TableSource> {
+    table: T,
+    topo: Topology,
+    dest_index: HashMap<NodeId, usize>,
+    cache: Option<ShardedCache>,
+    pub stats: EngineStats,
+}
+
+impl<T: TableSource> Engine<T> {
+    /// Build an engine. The topology must be the one the table was
+    /// solved over; node-count agreement is the (necessary) cheap check
+    /// — serving a table against the wrong topology of the same size is
+    /// the operator's footgun, and documented as such.
+    pub fn new(table: T, topo: Topology, cache: Option<ShardedCache>) -> Result<Engine<T>, String> {
+        if table.num_nodes() as usize != topo.num_nodes() {
+            return Err(format!(
+                "table solved over {} nodes, topology has {} — wrong topology for this table",
+                table.num_nodes(),
+                topo.num_nodes()
+            ));
+        }
+        let dest_index =
+            table.dests().iter().enumerate().map(|(i, &d)| (d, i)).collect();
+        Ok(Engine { table, topo, dest_index, cache, stats: EngineStats::default() })
+    }
+
+    pub fn table(&self) -> &T {
+        &self.table
+    }
+
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    pub fn cache(&self) -> Option<&ShardedCache> {
+        self.cache.as_ref()
+    }
+
+    /// Answer one query. `scratch` is per-thread state; answers are a
+    /// pure function of (table, topology, query).
+    pub fn answer(&self, q: Query, scratch: &mut QueryScratch) -> Result<Answer, QueryError> {
+        let out = self.answer_uncounted(q, scratch);
+        match (&out, q) {
+            (Err(_), _) => self.stats.errors.fetch_add(1, Ordering::Relaxed),
+            (Ok(_), Query::NextHop { .. }) => self.stats.next_hop.fetch_add(1, Ordering::Relaxed),
+            (Ok(_), Query::Path { .. }) => self.stats.path.fetch_add(1, Ordering::Relaxed),
+            (Ok(_), Query::Alternate { .. }) => {
+                self.stats.alternate.fetch_add(1, Ordering::Relaxed)
+            }
+        };
+        out
+    }
+
+    fn answer_uncounted(
+        &self,
+        q: Query,
+        scratch: &mut QueryScratch,
+    ) -> Result<Answer, QueryError> {
+        match q {
+            Query::NextHop { src, dest } => {
+                let row = self.dest_row(dest)?;
+                self.check_node(src)?;
+                let r = self.row(row)?;
+                let next = r.next(src as usize);
+                if next == UNROUTED_NEXT {
+                    return Ok(Answer::Unrouted);
+                }
+                Ok(Answer::NextHop { next, hops: r.hops(src as usize), class: r.class(src as usize) })
+            }
+            Query::Path { .. } | Query::Alternate { .. } => {
+                if let Some(cache) = &self.cache {
+                    if let Some(hit) = cache.get(&q) {
+                        return Ok(hit);
+                    }
+                }
+                let computed = match q {
+                    Query::Path { src, dest } => self.full_path(src, dest),
+                    Query::Alternate { src, dest, avoid } => {
+                        self.alternate(src, dest, avoid, scratch)
+                    }
+                    Query::NextHop { .. } => unreachable!(),
+                }?;
+                if let Some(cache) = &self.cache {
+                    cache.put(&q, computed.clone());
+                }
+                Ok(computed)
+            }
+        }
+    }
+
+    fn check_node(&self, n: NodeId) -> Result<(), QueryError> {
+        if (n as usize) < self.topo.num_nodes() {
+            Ok(())
+        } else {
+            Err(QueryError::NodeOutOfRange(n))
+        }
+    }
+
+    fn dest_row(&self, dest: NodeId) -> Result<usize, QueryError> {
+        self.check_node(dest)?;
+        self.dest_index.get(&dest).copied().ok_or(QueryError::UnknownDest(dest))
+    }
+
+    fn row(&self, i: usize) -> Result<T::Row<'_>, QueryError> {
+        self.table.row(i).map_err(QueryError::Corrupt)
+    }
+
+    /// Chase installed next hops from `src` to `dest`, source first.
+    fn chase(
+        &self,
+        row: &T::Row<'_>,
+        src: NodeId,
+        dest: NodeId,
+    ) -> Result<Option<Vec<NodeId>>, QueryError> {
+        if row.next(src as usize) == UNROUTED_NEXT {
+            return Ok(None);
+        }
+        let mut path = Vec::with_capacity(row.hops(src as usize) as usize + 1);
+        let mut at = src;
+        path.push(at);
+        while at != dest {
+            if path.len() > self.topo.num_nodes() {
+                return Err(QueryError::Corrupt(format!(
+                    "next-hop chain from {src} toward {dest} cycles"
+                )));
+            }
+            at = row.next(at as usize);
+            if at == UNROUTED_NEXT {
+                return Err(QueryError::Corrupt(format!(
+                    "next-hop chain from {src} toward {dest} dead-ends at an unrouted AS"
+                )));
+            }
+            self.check_node(at).map_err(|_| {
+                QueryError::Corrupt(format!(
+                    "next-hop chain from {src} toward {dest} leaves the topology"
+                ))
+            })?;
+            path.push(at);
+        }
+        Ok(Some(path))
+    }
+
+    fn full_path(&self, src: NodeId, dest: NodeId) -> Result<Answer, QueryError> {
+        let row = self.dest_row(dest)?;
+        self.check_node(src)?;
+        let r = self.row(row)?;
+        match self.chase(&r, src, dest)? {
+            None => Ok(Answer::Unrouted),
+            Some(path) => Ok(Answer::Path { path }),
+        }
+    }
+
+    /// Does the installed tail from `n` to the row's destination avoid
+    /// `avoid`? Memoized in `scratch` under the current generation: a
+    /// verdict learned on one chase answers every node of that chase.
+    fn tail_avoids(
+        &self,
+        r: &T::Row<'_>,
+        n: NodeId,
+        dest: NodeId,
+        avoid: NodeId,
+        scratch: &mut QueryScratch,
+        gen: u32,
+    ) -> Result<bool, QueryError> {
+        scratch.walk.clear();
+        let mut at = n;
+        let verdict = loop {
+            if at == avoid {
+                break false;
+            }
+            if scratch.tail_stamp[at as usize] == gen {
+                break scratch.tail_ok[at as usize];
+            }
+            scratch.walk.push(at);
+            if at == dest {
+                break true;
+            }
+            if scratch.walk.len() > self.topo.num_nodes() {
+                return Err(QueryError::Corrupt(format!(
+                    "next-hop chain from {n} toward {dest} cycles"
+                )));
+            }
+            let next = r.next(at as usize);
+            if next == UNROUTED_NEXT || next as usize >= self.topo.num_nodes() {
+                break false;
+            }
+            at = next;
+        };
+        // Every node walked before the verdict point shares the verdict:
+        // their tails all run through `at`.
+        for &x in &scratch.walk {
+            scratch.tail_stamp[x as usize] = gen;
+            scratch.tail_ok[x as usize] = verdict;
+        }
+        Ok(verdict)
+    }
+
+    /// The alternate-path search described in the module docs.
+    fn alternate(
+        &self,
+        src: NodeId,
+        dest: NodeId,
+        avoid: NodeId,
+        scratch: &mut QueryScratch,
+    ) -> Result<Answer, QueryError> {
+        let row = self.dest_row(dest)?;
+        self.check_node(src)?;
+        self.check_node(avoid)?;
+        if avoid == src {
+            return Err(QueryError::AvoidIsSource);
+        }
+        if avoid == dest {
+            // Every path to the destination "traverses" it.
+            return Ok(Answer::NoAlternate);
+        }
+        let r = self.row(row)?;
+        let Some(default) = self.chase(&r, src, dest)? else {
+            return Ok(Answer::Unrouted);
+        };
+        let offender = default.iter().position(|&x| x == avoid);
+        let Some(offender) = offender else {
+            return Ok(Answer::Alternate { via: None, path: default });
+        };
+
+        let gen = scratch.begin(self.topo.num_nodes());
+        // Contact the on-path ASes before the offender, in path order —
+        // the MIRO source's negotiation order.
+        for vi in 0..offender {
+            let v = default[vi];
+            scratch.on_prefix[v as usize] = gen;
+            for &(n, _) in self.topo.neighbors(v) {
+                if n == avoid || scratch.on_prefix[n as usize] == gen {
+                    continue;
+                }
+                let n_class = r.class(n as usize);
+                let Some(class) = route_class_from_code(n_class) else {
+                    continue; // unrouted neighbor (or sentinel)
+                };
+                // Would n export its installed route to v at all?
+                let Some(rel_vn) = self.topo.rel(n, v) else { continue };
+                if !ExportScope::allows(class, rel_vn) {
+                    continue;
+                }
+                if !self.tail_avoids(&r, n, dest, avoid, scratch, gen)? {
+                    continue;
+                }
+                // Loop check: the tail must not re-enter the kept prefix.
+                let mut tail = Vec::with_capacity(r.hops(n as usize) as usize + 1);
+                let mut at = n;
+                let mut looped = false;
+                loop {
+                    tail.push(at);
+                    if at == dest {
+                        break;
+                    }
+                    at = r.next(at as usize);
+                    if scratch.on_prefix[at as usize] == gen {
+                        looped = true;
+                        break;
+                    }
+                }
+                if looped {
+                    continue;
+                }
+                let mut path = Vec::with_capacity(vi + 1 + tail.len());
+                path.extend_from_slice(&default[..=vi]);
+                path.extend_from_slice(&tail);
+                return Ok(Answer::Alternate { via: Some((v, n)), path });
+            }
+        }
+        Ok(Answer::NoAlternate)
+    }
+}

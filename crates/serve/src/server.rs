@@ -1,0 +1,425 @@
+//! The TCP daemon behind `miro serve`: thread-per-connection over a
+//! shared [`Engine`], speaking the [`wire`](crate::wire) protocol.
+//!
+//! The engine (table + topology + cache) is immutable after startup, so
+//! connection threads share one `Arc` and contend only on the cache's
+//! mutex stripes. Each thread owns its [`QueryScratch`], so the hot
+//! query path allocates nothing beyond the answer vectors themselves.
+//!
+//! Shutdown is cooperative: an `AtomicBool` stop flag, a nonblocking
+//! accept loop that polls it, and per-connection read timeouts so every
+//! thread re-checks the flag a few times a second. A wire `Shutdown`
+//! message (used by CI and `bench-query --shutdown`) sets the flag; so
+//! can the embedding process via [`Server::stop_handle`].
+
+use std::io::{ErrorKind, Read};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use miro_shard::protocol::FrameError;
+use miro_topology::AsId;
+
+use crate::query::{Answer, Engine, Query, QueryScratch};
+use crate::wire::{read_msg, write_msg, WireMsg, QUERY_PROTOCOL_VERSION};
+use crate::TableSource;
+
+/// How long a connection read blocks before re-checking the stop flag.
+const READ_POLL: Duration = Duration::from_millis(250);
+
+/// How long the accept loop sleeps between polls when idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// What the daemon did over its lifetime, returned by [`Server::run`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServeReport {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Queries answered (successfully or as `RErr`), across connections.
+    pub queries: u64,
+}
+
+struct Shared<T: TableSource> {
+    engine: Engine<T>,
+    stop: Arc<AtomicBool>,
+    connections: AtomicU64,
+}
+
+/// A bound, not-yet-running query daemon.
+pub struct Server<T: TableSource> {
+    listener: TcpListener,
+    shared: Arc<Shared<T>>,
+}
+
+/// A `Read` adapter that converts the stream's read-timeout expiries
+/// into "check the stop flag and keep waiting", so `read_exact` inside
+/// the frame codec can never desynchronize on a mid-frame timeout: the
+/// only errors that escape are real ones (or the stop sentinel).
+struct PatientReader<'a> {
+    stream: &'a TcpStream,
+    stop: &'a AtomicBool,
+}
+
+impl Read for PatientReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        loop {
+            match Read::read(&mut &*self.stream, buf) {
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    if self.stop.load(Ordering::Relaxed) {
+                        return Err(std::io::Error::new(
+                            ErrorKind::ConnectionAborted,
+                            "server stopping",
+                        ));
+                    }
+                }
+                other => return other,
+            }
+        }
+    }
+}
+
+impl<T: TableSource + Send + Sync + 'static> Server<T> {
+    /// Bind the daemon. `addr` may use port 0; [`Server::local_addr`]
+    /// reports the kernel's pick.
+    pub fn bind<A: ToSocketAddrs>(addr: A, engine: Engine<T>) -> std::io::Result<Server<T>> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                engine,
+                stop: Arc::new(AtomicBool::new(false)),
+                connections: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle the embedding process can use to stop the daemon (the
+    /// wire `Shutdown` message sets the same flag).
+    pub fn stop_handle(&self) -> Arc<AtomicBool> {
+        self.shared.stop.clone()
+    }
+
+    /// Run the accept loop until the stop flag is set, then join every
+    /// connection thread and report.
+    pub fn run(self) -> std::io::Result<ServeReport> {
+        self.listener.set_nonblocking(true)?;
+        let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !self.shared.stop.load(Ordering::Relaxed) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    self.shared.connections.fetch_add(1, Ordering::Relaxed);
+                    let shared = self.shared.clone();
+                    handles.push(std::thread::spawn(move || {
+                        // A connection failing (broken pipe, corrupt
+                        // frame) must not take the daemon down.
+                        let _ = serve_connection(stream, &shared);
+                    }));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+            // Reap finished threads so a long-lived daemon doesn't
+            // accumulate handles.
+            handles.retain(|h| !h.is_finished());
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+        Ok(ServeReport {
+            connections: self.shared.connections.load(Ordering::Relaxed),
+            queries: self.shared.engine.stats.queries()
+                + self.shared.engine.stats.errors.load(Ordering::Relaxed),
+        })
+    }
+}
+
+/// Serve one connection to completion. Any returned error just drops
+/// the connection — the daemon keeps running.
+fn serve_connection<T: TableSource>(
+    stream: TcpStream,
+    shared: &Shared<T>,
+) -> Result<(), FrameError> {
+    stream.set_read_timeout(Some(READ_POLL)).map_err(FrameError::Io)?;
+    stream.set_nodelay(true).ok();
+    let engine = &shared.engine;
+    let mut writer = &stream;
+    let mut reader = PatientReader { stream: &stream, stop: &shared.stop };
+    let mut scratch = QueryScratch::new();
+
+    // Handshake: the first frame must be a version-matching Hello.
+    match read_msg(&mut reader)? {
+        WireMsg::Hello { protocol } if protocol == QUERY_PROTOCOL_VERSION => {
+            write_msg(
+                &mut writer,
+                &WireMsg::Welcome {
+                    protocol: QUERY_PROTOCOL_VERSION,
+                    num_nodes: engine.table().num_nodes(),
+                    num_dests: engine.table().dests().len() as u32,
+                },
+            )
+            .map_err(FrameError::Io)?;
+        }
+        WireMsg::Hello { .. } => {
+            // Version mismatch: refuse politely so old clients get a
+            // parseable goodbye instead of a dropped socket.
+            let _ = write_msg(&mut writer, &WireMsg::RBye);
+            return Ok(());
+        }
+        _ => return Err(FrameError::Corrupt("expected Hello".to_string())),
+    }
+
+    loop {
+        let msg = match read_msg(&mut reader) {
+            Ok(m) => m,
+            Err(FrameError::Eof) => return Ok(()), // client hung up cleanly
+            Err(e) => return Err(e),
+        };
+        match msg {
+            WireMsg::Shutdown => {
+                shared.stop.store(true, Ordering::Relaxed);
+                let _ = write_msg(&mut writer, &WireMsg::RBye);
+                return Ok(());
+            }
+            WireMsg::Universe { id } => {
+                let topo = engine.topology();
+                let src_asns: Vec<u32> =
+                    (0..topo.num_nodes() as u32).map(|n| topo.asn(n).0).collect();
+                let dest_asns: Vec<u32> =
+                    engine.table().dests().iter().map(|&d| topo.asn(d).0).collect();
+                write_msg(&mut writer, &WireMsg::RUniverse { id, src_asns, dest_asns })
+                    .map_err(FrameError::Io)?;
+            }
+            WireMsg::Stats { id } => {
+                let cache = engine.cache();
+                write_msg(
+                    &mut writer,
+                    &WireMsg::RStats {
+                        id,
+                        queries: engine.stats.queries(),
+                        cache_hits: cache.map_or(0, |c| c.stats.hits.load(Ordering::Relaxed)),
+                        cache_misses: cache.map_or(0, |c| c.stats.misses.load(Ordering::Relaxed)),
+                        cache_evictions: cache
+                            .map_or(0, |c| c.stats.evictions.load(Ordering::Relaxed)),
+                        rows_verified: engine.table().rows_verified(),
+                        connections: shared.connections.load(Ordering::Relaxed),
+                    },
+                )
+                .map_err(FrameError::Io)?;
+            }
+            WireMsg::NextHop { id, src, dest } => {
+                let reply = answer_query(engine, &mut scratch, id, src, dest, None, QueryKind::NextHop);
+                write_msg(&mut writer, &reply).map_err(FrameError::Io)?;
+            }
+            WireMsg::Path { id, src, dest } => {
+                let reply = answer_query(engine, &mut scratch, id, src, dest, None, QueryKind::Path);
+                write_msg(&mut writer, &reply).map_err(FrameError::Io)?;
+            }
+            WireMsg::Alternate { id, src, dest, avoid } => {
+                let reply =
+                    answer_query(engine, &mut scratch, id, src, dest, Some(avoid), QueryKind::Alternate);
+                write_msg(&mut writer, &reply).map_err(FrameError::Io)?;
+            }
+            other => {
+                // A reply kind (or second Hello) from a client is a
+                // protocol violation; tell it and drop the connection.
+                let _ = write_msg(
+                    &mut writer,
+                    &WireMsg::RErr { id: 0, msg: format!("unexpected message: {other:?}") },
+                );
+                return Ok(());
+            }
+        }
+    }
+}
+
+enum QueryKind {
+    NextHop,
+    Path,
+    Alternate,
+}
+
+/// Translate ASN operands, run the query, translate the answer back.
+fn answer_query<T: TableSource>(
+    engine: &Engine<T>,
+    scratch: &mut QueryScratch,
+    id: u64,
+    src_asn: u32,
+    dest_asn: u32,
+    avoid_asn: Option<u32>,
+    kind: QueryKind,
+) -> WireMsg {
+    let topo = engine.topology();
+    let node = |asn: u32| topo.node(AsId(asn));
+    let Some(src) = node(src_asn) else {
+        return WireMsg::RErr { id, msg: format!("unknown source AS {src_asn}") };
+    };
+    let Some(dest) = node(dest_asn) else {
+        return WireMsg::RErr { id, msg: format!("unknown destination AS {dest_asn}") };
+    };
+    let q = match kind {
+        QueryKind::NextHop => Query::NextHop { src, dest },
+        QueryKind::Path => Query::Path { src, dest },
+        QueryKind::Alternate => {
+            let avoid_asn = avoid_asn.expect("alternate carries avoid");
+            let Some(avoid) = node(avoid_asn) else {
+                return WireMsg::RErr { id, msg: format!("unknown AS to avoid {avoid_asn}") };
+            };
+            Query::Alternate { src, dest, avoid }
+        }
+    };
+    let asn = |n: miro_topology::NodeId| topo.asn(n).0;
+    match engine.answer(q, scratch) {
+        Err(e) => WireMsg::RErr { id, msg: e.to_string() },
+        Ok(Answer::Unrouted) => WireMsg::RUnrouted { id },
+        Ok(Answer::NoAlternate) => WireMsg::RNoAlternate { id },
+        Ok(Answer::NextHop { next, hops, class }) => {
+            WireMsg::RNextHop { id, next: asn(next), hops, class }
+        }
+        Ok(Answer::Path { path }) => {
+            WireMsg::RPath { id, path: path.into_iter().map(asn).collect() }
+        }
+        Ok(Answer::Alternate { via, path }) => {
+            let path: Vec<u32> = path.into_iter().map(asn).collect();
+            match via {
+                Some((v, n)) => WireMsg::RAlternate {
+                    id,
+                    deviates: true,
+                    splice_at: asn(v),
+                    via: asn(n),
+                    path,
+                },
+                None => WireMsg::RAlternate { id, deviates: false, splice_at: 0, via: 0, path },
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::ShardedCache;
+    use miro_shard::format::RouteTableSet;
+    use miro_topology::GenParams;
+    use std::net::TcpStream;
+
+    /// End-to-end over a real socket: handshake, one of each query,
+    /// stats, shutdown. The correctness torture lives in the crate's
+    /// integration tests; this pins the protocol choreography.
+    #[test]
+    fn serves_queries_over_tcp_and_shuts_down() {
+        let topo = GenParams::tiny(7).generate();
+        let dests: Vec<u32> = (0..topo.num_nodes() as u32).collect();
+        let table = RouteTableSet::from_solves(&topo, &dests, 2);
+        let engine =
+            Engine::new(table, topo.clone(), Some(ShardedCache::new(4, 64))).unwrap();
+        let server = Server::bind("127.0.0.1:0", engine).unwrap();
+        let addr = server.local_addr().unwrap();
+        let daemon = std::thread::spawn(move || server.run().unwrap());
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut w = &stream;
+        let mut r = &stream;
+        write_msg(&mut w, &WireMsg::Hello { protocol: QUERY_PROTOCOL_VERSION }).unwrap();
+        let WireMsg::Welcome { protocol, num_nodes, num_dests } = read_msg(&mut r).unwrap()
+        else {
+            panic!("expected Welcome")
+        };
+        assert_eq!(protocol, QUERY_PROTOCOL_VERSION);
+        assert_eq!(num_nodes as usize, topo.num_nodes());
+        assert_eq!(num_dests as usize, topo.num_nodes());
+
+        // Universe gives us servable ASNs to query with.
+        write_msg(&mut w, &WireMsg::Universe { id: 1 }).unwrap();
+        let WireMsg::RUniverse { id: 1, src_asns, dest_asns } = read_msg(&mut r).unwrap()
+        else {
+            panic!("expected RUniverse")
+        };
+        let (src, dest) = (src_asns[0], dest_asns[dest_asns.len() / 2]);
+
+        write_msg(&mut w, &WireMsg::Path { id: 2, src, dest }).unwrap();
+        let path = match read_msg(&mut r).unwrap() {
+            WireMsg::RPath { id: 2, path } => {
+                assert_eq!(path.first(), Some(&src));
+                assert_eq!(path.last(), Some(&dest));
+                path
+            }
+            WireMsg::RUnrouted { id: 2 } => vec![],
+            other => panic!("unexpected: {other:?}"),
+        };
+
+        write_msg(&mut w, &WireMsg::NextHop { id: 3, src, dest }).unwrap();
+        match read_msg(&mut r).unwrap() {
+            WireMsg::RNextHop { id: 3, next, .. } => {
+                assert_eq!(Some(&next), path.get(1).or(Some(&src)));
+            }
+            WireMsg::RUnrouted { id: 3 } => assert!(path.is_empty()),
+            other => panic!("unexpected: {other:?}"),
+        }
+
+        // Alternates and errors.
+        if path.len() >= 3 {
+            let avoid = path[1];
+            write_msg(&mut w, &WireMsg::Alternate { id: 4, src, dest, avoid }).unwrap();
+            match read_msg(&mut r).unwrap() {
+                WireMsg::RAlternate { id: 4, deviates, path: alt, .. } => {
+                    assert!(deviates);
+                    assert!(!alt.contains(&avoid));
+                    assert_eq!(alt.first(), Some(&src));
+                    assert_eq!(alt.last(), Some(&dest));
+                }
+                WireMsg::RNoAlternate { id: 4 } => {}
+                other => panic!("unexpected: {other:?}"),
+            }
+        }
+        write_msg(&mut w, &WireMsg::NextHop { id: 5, src: 999_999_999, dest }).unwrap();
+        let WireMsg::RErr { id: 5, msg } = read_msg(&mut r).unwrap() else {
+            panic!("expected RErr for unknown source AS")
+        };
+        assert!(msg.contains("unknown source AS"), "{msg}");
+
+        write_msg(&mut w, &WireMsg::Stats { id: 6 }).unwrap();
+        let WireMsg::RStats { id: 6, queries, connections, .. } = read_msg(&mut r).unwrap()
+        else {
+            panic!("expected RStats")
+        };
+        assert!(queries >= 2);
+        assert_eq!(connections, 1);
+
+        write_msg(&mut w, &WireMsg::Shutdown).unwrap();
+        assert_eq!(read_msg(&mut r).unwrap(), WireMsg::RBye);
+        let report = daemon.join().unwrap();
+        assert_eq!(report.connections, 1);
+    }
+
+    /// A version-mismatched Hello gets a polite RBye, not a dropped
+    /// socket, and the daemon keeps serving afterwards.
+    #[test]
+    fn version_mismatch_is_refused_politely() {
+        let topo = GenParams::tiny(8).generate();
+        let dests: Vec<u32> = vec![0, 1, 2];
+        let table = RouteTableSet::from_solves(&topo, &dests, 1);
+        let engine = Engine::new(table, topo, None).unwrap();
+        let server = Server::bind("127.0.0.1:0", engine).unwrap();
+        let addr = server.local_addr().unwrap();
+        let stop = server.stop_handle();
+        let daemon = std::thread::spawn(move || server.run().unwrap());
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut w = &stream;
+        let mut r = &stream;
+        write_msg(&mut w, &WireMsg::Hello { protocol: 999 }).unwrap();
+        assert_eq!(read_msg(&mut r).unwrap(), WireMsg::RBye);
+        assert!(matches!(read_msg(&mut r), Err(FrameError::Eof)));
+
+        stop.store(true, Ordering::Relaxed);
+        daemon.join().unwrap();
+    }
+}

@@ -1,0 +1,466 @@
+//! The query-serving wire protocol: ASN-keyed request/response messages
+//! over the same length-prefixed FNV-framed codec the shard service
+//! speaks ([`miro_shard::protocol::read_raw_frame`] /
+//! [`write_raw_frame`] — one framing layer, one fuzz surface, two
+//! message sets).
+//!
+//! Requests carry a client-chosen `id` that the matching response echoes
+//! (the daemon answers in order per connection, but ids make client
+//! pipelining and logging unambiguous). All operands are **AS numbers**,
+//! not node ids: the daemon translates at the edge, so clients never see
+//! the table's internal interning.
+//!
+//! Kind bytes live in a disjoint range (32+) from the shard protocol's
+//! (1–6): a frame from the wrong service decodes to a clean
+//! `unknown message kind`, not a confused parse.
+//!
+//! [`write_raw_frame`]: miro_shard::protocol::write_raw_frame
+
+use miro_shard::protocol::{encode_raw_frame, read_raw_frame, FrameError};
+use std::io::{Read, Write};
+
+/// Protocol revision spoken in `Hello`/`Welcome`; both sides must agree.
+pub const QUERY_PROTOCOL_VERSION: u32 = 1;
+
+/// One protocol message (either direction; `R`-prefixed = server reply).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireMsg {
+    /// Client → server, once per connection.
+    Hello { protocol: u32 },
+    /// Server → client: connection accepted; the served table's shape.
+    Welcome { protocol: u32, num_nodes: u32, num_dests: u32 },
+    /// The query universe: which source/destination ASNs are servable.
+    Universe { id: u64 },
+    RUniverse { id: u64, src_asns: Vec<u32>, dest_asns: Vec<u32> },
+    /// Next-hop probe.
+    NextHop { id: u64, src: u32, dest: u32 },
+    RNextHop { id: u64, next: u32, hops: u16, class: u8 },
+    /// Full installed path.
+    Path { id: u64, src: u32, dest: u32 },
+    RPath { id: u64, path: Vec<u32> },
+    /// Alternate path avoiding an AS.
+    Alternate { id: u64, src: u32, dest: u32, avoid: u32 },
+    /// `splice_at`/`via` are meaningful iff `deviates` (the default path
+    /// already avoided the AS otherwise).
+    RAlternate { id: u64, deviates: bool, splice_at: u32, via: u32, path: Vec<u32> },
+    /// Source has no route to the destination.
+    RUnrouted { id: u64 },
+    /// No policy-compliant avoiding alternate exists in the table.
+    RNoAlternate { id: u64 },
+    /// Serving counters snapshot.
+    Stats { id: u64 },
+    RStats {
+        id: u64,
+        queries: u64,
+        cache_hits: u64,
+        cache_misses: u64,
+        cache_evictions: u64,
+        rows_verified: u64,
+        connections: u64,
+    },
+    /// The query failed (unknown ASN, corrupt row, …). `msg` is
+    /// human-readable; the connection stays up.
+    RErr { id: u64, msg: String },
+    /// Client → server: stop the daemon (acked with `RBye`, then the
+    /// accept loop drains and exits). The serve daemon is an
+    /// experiment-harness component, so shutdown is a first-class
+    /// message rather than a signal dance.
+    Shutdown,
+    /// Server → client: goodbye (shutdown ack, or a hello the server
+    /// refuses after version mismatch).
+    RBye,
+}
+
+const KIND_HELLO: u8 = 32;
+const KIND_WELCOME: u8 = 33;
+const KIND_UNIVERSE: u8 = 34;
+const KIND_R_UNIVERSE: u8 = 35;
+const KIND_NEXT_HOP: u8 = 36;
+const KIND_R_NEXT_HOP: u8 = 37;
+const KIND_PATH: u8 = 38;
+const KIND_R_PATH: u8 = 39;
+const KIND_ALTERNATE: u8 = 40;
+const KIND_R_ALTERNATE: u8 = 41;
+const KIND_R_UNROUTED: u8 = 42;
+const KIND_R_NO_ALTERNATE: u8 = 43;
+const KIND_STATS: u8 = 44;
+const KIND_R_STATS: u8 = 45;
+const KIND_R_ERR: u8 = 46;
+const KIND_SHUTDOWN: u8 = 47;
+const KIND_R_BYE: u8 = 48;
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_vec(out: &mut Vec<u8>, v: &[u32]) {
+    push_u32(out, v.len() as u32);
+    for &x in v {
+        push_u32(out, x);
+    }
+}
+
+/// Serialize one message as a payload (no framing).
+pub fn encode_payload(msg: &WireMsg) -> Vec<u8> {
+    let mut p = Vec::new();
+    match msg {
+        WireMsg::Hello { protocol } => {
+            p.push(KIND_HELLO);
+            push_u32(&mut p, *protocol);
+        }
+        WireMsg::Welcome { protocol, num_nodes, num_dests } => {
+            p.push(KIND_WELCOME);
+            push_u32(&mut p, *protocol);
+            push_u32(&mut p, *num_nodes);
+            push_u32(&mut p, *num_dests);
+        }
+        WireMsg::Universe { id } => {
+            p.push(KIND_UNIVERSE);
+            push_u64(&mut p, *id);
+        }
+        WireMsg::RUniverse { id, src_asns, dest_asns } => {
+            p.reserve(17 + 4 * (src_asns.len() + dest_asns.len()));
+            p.push(KIND_R_UNIVERSE);
+            push_u64(&mut p, *id);
+            push_vec(&mut p, src_asns);
+            push_vec(&mut p, dest_asns);
+        }
+        WireMsg::NextHop { id, src, dest } => {
+            p.push(KIND_NEXT_HOP);
+            push_u64(&mut p, *id);
+            push_u32(&mut p, *src);
+            push_u32(&mut p, *dest);
+        }
+        WireMsg::RNextHop { id, next, hops, class } => {
+            p.push(KIND_R_NEXT_HOP);
+            push_u64(&mut p, *id);
+            push_u32(&mut p, *next);
+            p.extend_from_slice(&hops.to_le_bytes());
+            p.push(*class);
+        }
+        WireMsg::Path { id, src, dest } => {
+            p.push(KIND_PATH);
+            push_u64(&mut p, *id);
+            push_u32(&mut p, *src);
+            push_u32(&mut p, *dest);
+        }
+        WireMsg::RPath { id, path } => {
+            p.push(KIND_R_PATH);
+            push_u64(&mut p, *id);
+            push_vec(&mut p, path);
+        }
+        WireMsg::Alternate { id, src, dest, avoid } => {
+            p.push(KIND_ALTERNATE);
+            push_u64(&mut p, *id);
+            push_u32(&mut p, *src);
+            push_u32(&mut p, *dest);
+            push_u32(&mut p, *avoid);
+        }
+        WireMsg::RAlternate { id, deviates, splice_at, via, path } => {
+            p.push(KIND_R_ALTERNATE);
+            push_u64(&mut p, *id);
+            p.push(*deviates as u8);
+            push_u32(&mut p, *splice_at);
+            push_u32(&mut p, *via);
+            push_vec(&mut p, path);
+        }
+        WireMsg::RUnrouted { id } => {
+            p.push(KIND_R_UNROUTED);
+            push_u64(&mut p, *id);
+        }
+        WireMsg::RNoAlternate { id } => {
+            p.push(KIND_R_NO_ALTERNATE);
+            push_u64(&mut p, *id);
+        }
+        WireMsg::Stats { id } => {
+            p.push(KIND_STATS);
+            push_u64(&mut p, *id);
+        }
+        WireMsg::RStats {
+            id,
+            queries,
+            cache_hits,
+            cache_misses,
+            cache_evictions,
+            rows_verified,
+            connections,
+        } => {
+            p.push(KIND_R_STATS);
+            push_u64(&mut p, *id);
+            push_u64(&mut p, *queries);
+            push_u64(&mut p, *cache_hits);
+            push_u64(&mut p, *cache_misses);
+            push_u64(&mut p, *cache_evictions);
+            push_u64(&mut p, *rows_verified);
+            push_u64(&mut p, *connections);
+        }
+        WireMsg::RErr { id, msg } => {
+            p.push(KIND_R_ERR);
+            push_u64(&mut p, *id);
+            p.extend_from_slice(msg.as_bytes());
+        }
+        WireMsg::Shutdown => p.push(KIND_SHUTDOWN),
+        WireMsg::RBye => p.push(KIND_R_BYE),
+    }
+    p
+}
+
+/// Write one message as a frame and flush.
+pub fn write_msg<W: Write>(w: &mut W, msg: &WireMsg) -> std::io::Result<()> {
+    w.write_all(&encode_raw_frame(&encode_payload(msg)))?;
+    w.flush()
+}
+
+/// Read one message. Blocks until a full frame (or EOF) arrives.
+pub fn read_msg<R: Read>(r: &mut R) -> Result<WireMsg, FrameError> {
+    decode_payload(&read_raw_frame(r)?)
+}
+
+struct Body<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Body<'a> {
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        let b = self
+            .bytes
+            .get(self.at..self.at + 4)
+            .ok_or_else(|| FrameError::Corrupt("short body".to_string()))?;
+        self.at += 4;
+        Ok(u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        let b = self
+            .bytes
+            .get(self.at..self.at + 8)
+            .ok_or_else(|| FrameError::Corrupt("short body".to_string()))?;
+        self.at += 8;
+        Ok(u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn u16(&mut self) -> Result<u16, FrameError> {
+        let b = self
+            .bytes
+            .get(self.at..self.at + 2)
+            .ok_or_else(|| FrameError::Corrupt("short body".to_string()))?;
+        self.at += 2;
+        Ok(u16::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        let b = self
+            .bytes
+            .get(self.at)
+            .ok_or_else(|| FrameError::Corrupt("short body".to_string()))?;
+        self.at += 1;
+        Ok(*b)
+    }
+
+    /// A `u32` count followed by that many `u32`s. The count is bounded
+    /// by the bytes actually present, so a corrupt length cannot force
+    /// an over-allocation beyond the (already frame-capped) payload.
+    fn vec(&mut self) -> Result<Vec<u32>, FrameError> {
+        let n = self.u32()? as usize;
+        let remaining = (self.bytes.len() - self.at) / 4;
+        if n > remaining {
+            return Err(FrameError::Corrupt(format!(
+                "vector claims {n} entries, body holds {remaining}"
+            )));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.u32()?);
+        }
+        Ok(out)
+    }
+
+    fn rest_utf8(&mut self) -> Result<String, FrameError> {
+        let s = std::str::from_utf8(&self.bytes[self.at..])
+            .map_err(|_| FrameError::Corrupt("error text is not UTF-8".to_string()))?
+            .to_string();
+        self.at = self.bytes.len();
+        Ok(s)
+    }
+
+    fn done(self, kind: u8) -> Result<(), FrameError> {
+        if self.at == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(FrameError::Corrupt(format!("kind {kind}: bad body length")))
+        }
+    }
+}
+
+/// Parse one verified frame payload. Every message must consume its body
+/// exactly — trailing bytes are corruption, same as the shard codec.
+pub fn decode_payload(payload: &[u8]) -> Result<WireMsg, FrameError> {
+    if payload.is_empty() {
+        return Err(FrameError::Corrupt("zero-length payload".to_string()));
+    }
+    let kind = payload[0];
+    let mut b = Body { bytes: &payload[1..], at: 0 };
+    let msg = match kind {
+        KIND_HELLO => WireMsg::Hello { protocol: b.u32()? },
+        KIND_WELCOME => WireMsg::Welcome {
+            protocol: b.u32()?,
+            num_nodes: b.u32()?,
+            num_dests: b.u32()?,
+        },
+        KIND_UNIVERSE => WireMsg::Universe { id: b.u64()? },
+        KIND_R_UNIVERSE => {
+            WireMsg::RUniverse { id: b.u64()?, src_asns: b.vec()?, dest_asns: b.vec()? }
+        }
+        KIND_NEXT_HOP => WireMsg::NextHop { id: b.u64()?, src: b.u32()?, dest: b.u32()? },
+        KIND_R_NEXT_HOP => WireMsg::RNextHop {
+            id: b.u64()?,
+            next: b.u32()?,
+            hops: b.u16()?,
+            class: b.u8()?,
+        },
+        KIND_PATH => WireMsg::Path { id: b.u64()?, src: b.u32()?, dest: b.u32()? },
+        KIND_R_PATH => WireMsg::RPath { id: b.u64()?, path: b.vec()? },
+        KIND_ALTERNATE => WireMsg::Alternate {
+            id: b.u64()?,
+            src: b.u32()?,
+            dest: b.u32()?,
+            avoid: b.u32()?,
+        },
+        KIND_R_ALTERNATE => {
+            let id = b.u64()?;
+            let deviates = match b.u8()? {
+                0 => false,
+                1 => true,
+                other => {
+                    return Err(FrameError::Corrupt(format!(
+                        "alternate deviates flag must be 0/1, got {other}"
+                    )))
+                }
+            };
+            WireMsg::RAlternate {
+                id,
+                deviates,
+                splice_at: b.u32()?,
+                via: b.u32()?,
+                path: b.vec()?,
+            }
+        }
+        KIND_R_UNROUTED => WireMsg::RUnrouted { id: b.u64()? },
+        KIND_R_NO_ALTERNATE => WireMsg::RNoAlternate { id: b.u64()? },
+        KIND_STATS => WireMsg::Stats { id: b.u64()? },
+        KIND_R_STATS => WireMsg::RStats {
+            id: b.u64()?,
+            queries: b.u64()?,
+            cache_hits: b.u64()?,
+            cache_misses: b.u64()?,
+            cache_evictions: b.u64()?,
+            rows_verified: b.u64()?,
+            connections: b.u64()?,
+        },
+        KIND_R_ERR => WireMsg::RErr { id: b.u64()?, msg: b.rest_utf8()? },
+        KIND_SHUTDOWN => WireMsg::Shutdown,
+        KIND_R_BYE => WireMsg::RBye,
+        other => return Err(FrameError::Corrupt(format!("unknown message kind {other}"))),
+    };
+    b.done(kind)?;
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One of every message — the round-trip pin the satellite asks for.
+    pub fn all_msgs() -> Vec<WireMsg> {
+        vec![
+            WireMsg::Hello { protocol: QUERY_PROTOCOL_VERSION },
+            WireMsg::Welcome { protocol: QUERY_PROTOCOL_VERSION, num_nodes: 70_000, num_dests: 512 },
+            WireMsg::Universe { id: 1 },
+            WireMsg::RUniverse { id: 1, src_asns: vec![100, 103, 106], dest_asns: vec![106] },
+            WireMsg::NextHop { id: 2, src: 100, dest: 106 },
+            WireMsg::RNextHop { id: 2, next: 103, hops: 2, class: 1 },
+            WireMsg::Path { id: 3, src: 100, dest: 106 },
+            WireMsg::RPath { id: 3, path: vec![100, 103, 106] },
+            WireMsg::Alternate { id: 4, src: 100, dest: 106, avoid: 103 },
+            WireMsg::RAlternate {
+                id: 4,
+                deviates: true,
+                splice_at: 100,
+                via: 109,
+                path: vec![100, 109, 106],
+            },
+            WireMsg::RAlternate { id: 5, deviates: false, splice_at: 0, via: 0, path: vec![100] },
+            WireMsg::RUnrouted { id: 6 },
+            WireMsg::RNoAlternate { id: 7 },
+            WireMsg::Stats { id: 8 },
+            WireMsg::RStats {
+                id: 8,
+                queries: 9000,
+                cache_hits: 7000,
+                cache_misses: 2000,
+                cache_evictions: 3,
+                rows_verified: 512,
+                connections: 64,
+            },
+            WireMsg::RErr { id: 9, msg: "destination 9999 has no row".to_string() },
+            WireMsg::Shutdown,
+            WireMsg::RBye,
+        ]
+    }
+
+    #[test]
+    fn every_message_round_trips_back_to_back() {
+        let msgs = all_msgs();
+        let mut stream = Vec::new();
+        for m in &msgs {
+            write_msg(&mut stream, m).unwrap();
+        }
+        let mut r = &stream[..];
+        for m in &msgs {
+            assert_eq!(&read_msg(&mut r).unwrap(), m);
+        }
+        assert!(matches!(read_msg(&mut r), Err(FrameError::Eof)));
+    }
+
+    #[test]
+    fn trailing_bytes_and_bad_flags_are_corrupt() {
+        // A Shutdown with a stray byte must not decode.
+        let mut p = encode_payload(&WireMsg::Shutdown);
+        p.push(0);
+        assert!(matches!(decode_payload(&p), Err(FrameError::Corrupt(_))));
+
+        // A deviates flag outside 0/1.
+        let mut p = encode_payload(&WireMsg::RAlternate {
+            id: 1,
+            deviates: true,
+            splice_at: 2,
+            via: 3,
+            path: vec![4],
+        });
+        p[9] = 7; // kind(1) + id(8) → flag byte
+        assert!(matches!(decode_payload(&p), Err(FrameError::Corrupt(_))));
+
+        // A vector length claiming more entries than the body holds.
+        let mut p = encode_payload(&WireMsg::RPath { id: 1, path: vec![1, 2, 3] });
+        let at = 1 + 8; // kind + id → count
+        p[at..at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = decode_payload(&p).unwrap_err();
+        assert!(matches!(err, FrameError::Corrupt(ref w) if w.contains("entries")), "{err}");
+
+        // Non-UTF-8 error text.
+        let mut p = encode_payload(&WireMsg::RErr { id: 1, msg: "x".to_string() });
+        *p.last_mut().unwrap() = 0xFF;
+        assert!(matches!(decode_payload(&p), Err(FrameError::Corrupt(_))));
+
+        // Unknown kind.
+        assert!(matches!(decode_payload(&[200u8]), Err(FrameError::Corrupt(_))));
+
+        // Empty payload.
+        assert!(matches!(decode_payload(&[]), Err(FrameError::Corrupt(_))));
+    }
+}

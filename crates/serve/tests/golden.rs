@@ -1,0 +1,153 @@
+//! Golden serving-plane fixture: solve the repository's synthetic CAIDA
+//! snapshot (`data/caida_sample.txt`), serve it over a real TCP daemon,
+//! and pin exact answers — next hop, full path, and alternates — for
+//! hand-checked (src, dst, avoid) triples, in AS-number terms.
+//!
+//! The fixture's shape (tier-1 clique 1/2/3; transits 10, 20, 30 with
+//! 10–20 peering and 10/11 siblings; tier-3 transit 100; stubs, two of
+//! them multi-homed) is small enough to reason about by hand, so any
+//! drift in solver preference, table encoding, mmap decoding, engine
+//! semantics, ASN translation, or wire framing lands here as a concrete
+//! wrong path.
+
+use miro_serve::cache::ShardedCache;
+use miro_serve::mmap::MappedTable;
+use miro_serve::query::Engine;
+use miro_serve::server::Server;
+use miro_serve::wire::{read_msg, write_msg, WireMsg, QUERY_PROTOCOL_VERSION};
+use miro_shard::format::RouteTableSet;
+use miro_topology::io::stream;
+use std::net::TcpStream;
+
+/// Start the full serving stack over the solved fixture; returns the
+/// connected client stream.
+fn serve_fixture() -> (TcpStream, std::thread::JoinHandle<()>, std::path::PathBuf) {
+    let text = std::fs::read_to_string(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../data/caida_sample.txt"),
+    )
+    .expect("fixture file");
+    let (topo, _stats) = stream::parse_str(&text).expect("fixture parses");
+    let dests: Vec<u32> = (0..topo.num_nodes() as u32).collect();
+    let set = RouteTableSet::from_solves(&topo, &dests, 2);
+    let path = std::env::temp_dir().join(format!(
+        "miro_golden_{}_{:?}.mirt",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::write(&path, set.encode()).unwrap();
+
+    let table = MappedTable::open(&path).unwrap();
+    let engine = Engine::new(table, topo, Some(ShardedCache::new(2, 32))).unwrap();
+    let server = Server::bind("127.0.0.1:0", engine).unwrap();
+    let addr = server.local_addr().unwrap();
+    let daemon = std::thread::spawn(move || {
+        server.run().unwrap();
+    });
+
+    let stream = TcpStream::connect(addr).unwrap();
+    write_msg(&mut (&stream), &WireMsg::Hello { protocol: QUERY_PROTOCOL_VERSION }).unwrap();
+    let WireMsg::Welcome { num_nodes, num_dests, .. } = read_msg(&mut (&stream)).unwrap()
+    else {
+        panic!("expected Welcome")
+    };
+    // 16 ASes survive the fixture's planted duplicate + self-loop.
+    assert_eq!((num_nodes, num_dests), (16, 16));
+    (stream, daemon, path)
+}
+
+fn ask(stream: &TcpStream, msg: WireMsg) -> WireMsg {
+    write_msg(&mut (&*stream), &msg).unwrap();
+    read_msg(&mut (&*stream)).unwrap()
+}
+
+#[test]
+fn golden_answers_over_tcp() {
+    let (stream, daemon, path) = serve_fixture();
+    let s = &stream;
+
+    // ---- next hops ----------------------------------------------------
+    // Stub 400 reaches everything through its only provider, 100.
+    assert_eq!(
+        ask(s, WireMsg::NextHop { id: 1, src: 400, dest: 500 }),
+        WireMsg::RNextHop { id: 1, next: 100, hops: 5, class: 2 } // provider route
+    );
+    // 20 reaches 101 directly: 101 is its own customer (class 0).
+    assert_eq!(
+        ask(s, WireMsg::NextHop { id: 2, src: 20, dest: 101 }),
+        WireMsg::RNextHop { id: 2, next: 101, hops: 1, class: 0 }
+    );
+    // 10 reaches 200 over its peering with 20 (class 1).
+    assert_eq!(
+        ask(s, WireMsg::NextHop { id: 3, src: 10, dest: 200 }),
+        WireMsg::RNextHop { id: 3, next: 20, hops: 2, class: 1 }
+    );
+
+    // ---- full paths ---------------------------------------------------
+    // Stub-to-stub across the hierarchy: up to 100/10, across the
+    // 10–20 peering, down to 200.
+    assert_eq!(
+        ask(s, WireMsg::Path { id: 4, src: 400, dest: 200 }),
+        WireMsg::RPath { id: 4, path: vec![400, 100, 10, 20, 200] }
+    );
+    // Multi-homed stub 101 prefers its direct provider 20 for 200.
+    assert_eq!(
+        ask(s, WireMsg::Path { id: 5, src: 101, dest: 200 }),
+        WireMsg::RPath { id: 5, path: vec![101, 20, 200] }
+    );
+    // Source == destination pins the one-node path.
+    assert_eq!(
+        ask(s, WireMsg::Path { id: 6, src: 30, dest: 30 }),
+        WireMsg::RPath { id: 6, path: vec![30] }
+    );
+
+    // ---- alternates ---------------------------------------------------
+    // A real deviation: multi-homed 101's default to 300 runs
+    // 101-10-1-30-300; avoiding 10 forces the splice onto its other
+    // provider, 20, whose installed route climbs to tier-1 3 instead.
+    assert_eq!(
+        ask(s, WireMsg::Alternate { id: 7, src: 101, dest: 300, avoid: 10 }),
+        WireMsg::RAlternate {
+            id: 7,
+            deviates: true,
+            splice_at: 101,
+            via: 20,
+            path: vec![101, 20, 3, 30, 300],
+        }
+    );
+    // 400 sits under single-homed 100, whose only upstream is 10 — no
+    // path out of that subtree can avoid 10, even with negotiation.
+    assert_eq!(
+        ask(s, WireMsg::Alternate { id: 12, src: 400, dest: 200, avoid: 10 }),
+        WireMsg::RNoAlternate { id: 12 }
+    );
+    // Default already avoids: 101 -> 200 never touches 30.
+    assert_eq!(
+        ask(s, WireMsg::Alternate { id: 8, src: 101, dest: 200, avoid: 30 }),
+        WireMsg::RAlternate { id: 8, deviates: false, splice_at: 0, via: 0, path: vec![101, 20, 200] }
+    );
+    // 200 is single-homed behind 20: nothing can avoid 20.
+    assert_eq!(
+        ask(s, WireMsg::Alternate { id: 9, src: 101, dest: 200, avoid: 20 }),
+        WireMsg::RNoAlternate { id: 9 }
+    );
+    // Avoiding the destination itself is defined as NoAlternate.
+    assert_eq!(
+        ask(s, WireMsg::Alternate { id: 10, src: 400, dest: 200, avoid: 200 }),
+        WireMsg::RNoAlternate { id: 10 }
+    );
+    // Multi-homed 301 (customers of 30 and of 10's sibling 11): an
+    // alternate from 400 avoiding 30 must exist.
+    match ask(s, WireMsg::Alternate { id: 11, src: 400, dest: 301, avoid: 30 }) {
+        WireMsg::RAlternate { id: 11, deviates, path, .. } => {
+            assert!(!path.contains(&30), "path avoids 30: {path:?}");
+            assert_eq!(path.last(), Some(&301));
+            let _ = deviates;
+        }
+        other => panic!("unexpected: {other:?}"),
+    }
+
+    // ---- shutdown -----------------------------------------------------
+    assert_eq!(ask(s, WireMsg::Shutdown), WireMsg::RBye);
+    daemon.join().unwrap();
+    std::fs::remove_file(&path).ok();
+}

@@ -17,6 +17,12 @@
 //! a frame is corruption (a torn write). The length field is capped by
 //! [`MAX_FRAME`] so a corrupted length cannot make the reader allocate
 //! gigabytes.
+//!
+//! The framing itself (length prefix + FNV-1a trailer) is message-set
+//! agnostic and split out as [`encode_raw_frame`] / [`write_raw_frame`] /
+//! [`read_raw_frame`]: the shard [`Msg`] codec here and the route-query
+//! serving protocol in `miro-serve` both speak it, so one fuzz corpus
+//! covers both wire formats' framing.
 
 use crate::fnv1a;
 use std::io::{Read, Write};
@@ -81,6 +87,46 @@ fn push_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
+/// Wrap an opaque payload as a frame: `u32` length, the payload, an
+/// FNV-1a trailer. The message-set-agnostic half of the codec.
+pub fn encode_raw_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12 + payload.len());
+    push_u32(&mut out, payload.len() as u32);
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&fnv1a(payload).to_le_bytes());
+    out
+}
+
+/// Write one payload as a frame and flush (frames carry control flow, so
+/// they must not sit in a BufWriter).
+pub fn write_raw_frame<W: Write>(w: &mut W, payload: &[u8]) -> std::io::Result<()> {
+    w.write_all(&encode_raw_frame(payload))?;
+    w.flush()
+}
+
+/// Read one frame's payload, verifying the length cap and the FNV-1a
+/// trailer. Blocks until a full frame (or EOF) arrives. The payload is
+/// returned unparsed — message-set decoding is the caller's layer.
+pub fn read_raw_frame<R: Read>(r: &mut R) -> Result<Vec<u8>, FrameError> {
+    let mut len4 = [0u8; 4];
+    read_exact_or(r, &mut len4, true)?;
+    let len = u32::from_le_bytes(len4);
+    if len == 0 {
+        return Err(FrameError::Corrupt("zero-length payload".to_string()));
+    }
+    if len > MAX_FRAME {
+        return Err(FrameError::Corrupt(format!("{len}-byte payload exceeds MAX_FRAME")));
+    }
+    let mut payload = vec![0u8; len as usize];
+    read_exact_or(r, &mut payload, false)?;
+    let mut sum8 = [0u8; 8];
+    read_exact_or(r, &mut sum8, false)?;
+    if fnv1a(&payload) != u64::from_le_bytes(sum8) {
+        return Err(FrameError::Corrupt("checksum mismatch".to_string()));
+    }
+    Ok(payload)
+}
+
 /// Serialize one message as a frame.
 pub fn encode_frame(msg: &Msg) -> Vec<u8> {
     let mut payload = Vec::new();
@@ -114,11 +160,7 @@ pub fn encode_frame(msg: &Msg) -> Vec<u8> {
             push_u32(&mut payload, *blocks_done);
         }
     }
-    let mut out = Vec::with_capacity(12 + payload.len());
-    push_u32(&mut out, payload.len() as u32);
-    out.extend_from_slice(&payload);
-    out.extend_from_slice(&fnv1a(&payload).to_le_bytes());
-    out
+    encode_raw_frame(&payload)
 }
 
 /// Write one message as a frame and flush (frames carry control flow, so
@@ -155,21 +197,14 @@ fn body_u32(body: &[u8], at: usize) -> Result<u32, FrameError> {
 
 /// Read one message. Blocks until a full frame (or EOF) arrives.
 pub fn read_frame<R: Read>(r: &mut R) -> Result<Msg, FrameError> {
-    let mut len4 = [0u8; 4];
-    read_exact_or(r, &mut len4, true)?;
-    let len = u32::from_le_bytes(len4);
-    if len == 0 {
+    decode_payload(&read_raw_frame(r)?)
+}
+
+/// Parse one verified frame payload into a [`Msg`]. Split from
+/// [`read_frame`] so fuzzers can hit the parser without the framing.
+pub fn decode_payload(payload: &[u8]) -> Result<Msg, FrameError> {
+    if payload.is_empty() {
         return Err(FrameError::Corrupt("zero-length payload".to_string()));
-    }
-    if len > MAX_FRAME {
-        return Err(FrameError::Corrupt(format!("{len}-byte payload exceeds MAX_FRAME")));
-    }
-    let mut payload = vec![0u8; len as usize];
-    read_exact_or(r, &mut payload, false)?;
-    let mut sum8 = [0u8; 8];
-    read_exact_or(r, &mut sum8, false)?;
-    if fnv1a(&payload) != u64::from_le_bytes(sum8) {
-        return Err(FrameError::Corrupt("checksum mismatch".to_string()));
     }
     let (kind, body) = (payload[0], &payload[1..]);
     let fixed = |want: usize| -> Result<(), FrameError> {
