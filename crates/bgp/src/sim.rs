@@ -251,6 +251,73 @@ impl<'t, P: RankPolicy> Sim<'t, P> {
         }
     }
 
+    /// Restore a previously failed link: the sessions come back and both
+    /// endpoints immediately re-advertise their current selections across
+    /// it (a BGP session re-establish replays the full Adj-RIB-Out).
+    pub fn restore_link(&mut self, a: NodeId, b: NodeId) {
+        if self.failed.remove(&(a.min(b), a.max(b))) && self.topo.rel(a, b).is_some() {
+            self.deliver(a, b);
+            self.deliver(b, a);
+        }
+    }
+
+    /// Is the link between `a` and `b` currently failed?
+    pub fn link_is_failed(&self, a: NodeId, b: NodeId) -> bool {
+        self.failed.contains(&(a.min(b), a.max(b)))
+    }
+
+    /// Deliver `x`'s current selection (or withdrawal) to the single
+    /// neighbor `y`, as [`Sim::announce`] would across a live session.
+    fn deliver(&mut self, x: NodeId, y: NodeId) {
+        let sel = self.selected[x as usize].clone();
+        let advertise = match &sel {
+            Some(p) => self.policy.export(self.topo, x, y, p),
+            None => true, // withdraw
+        };
+        let slot = self
+            .topo
+            .neighbors(y)
+            .iter()
+            .position(|&(n, _)| n == x)
+            .expect("adjacency is symmetric");
+        let entry = if advertise {
+            sel.as_ref().map(|p| {
+                let mut v = Vec::with_capacity(p.len() + 1);
+                v.push(x);
+                v.extend_from_slice(p);
+                v
+            })
+        } else {
+            None
+        };
+        if self.rib_in[y as usize][slot] != entry {
+            self.rib_in[y as usize][slot] = entry;
+            self.mark_dirty(y);
+        }
+    }
+
+    /// The origin withdraws its prefix (an UPDATE-firehose withdraw event):
+    /// the withdrawal propagates and every node ends routeless.
+    pub fn withdraw_origin(&mut self) {
+        if self.selected[self.dest as usize].is_some() {
+            self.selected[self.dest as usize] = None;
+            self.announce(self.dest);
+        }
+    }
+
+    /// The origin (re-)announces its prefix after a withdrawal.
+    pub fn announce_origin(&mut self) {
+        if self.selected[self.dest as usize].is_none() {
+            self.selected[self.dest as usize] = Some(Vec::new());
+            self.announce(self.dest);
+        }
+    }
+
+    /// Is the origin currently announcing its prefix?
+    pub fn origin_announced(&self) -> bool {
+        self.selected[self.dest as usize].is_some()
+    }
+
     /// The currently selected path of `x` (next hop first, destination
     /// last; empty for the destination itself).
     pub fn selected(&self, x: NodeId) -> Option<&[NodeId]> {
@@ -413,6 +480,111 @@ mod tests {
         assert!(sim.run(4, 10_000).converged());
         assert_eq!(sim.selected(n1), None);
         assert_eq!(sim.selected(n2), None);
+    }
+
+    #[test]
+    fn restore_link_returns_to_the_base_state() {
+        let (t, nodes) = miro_topology::gen::figure_1_1();
+        let [_a, b, _c, _d, e, f] = nodes;
+        let mut sim = Sim::new(&t, GaoRexford, f);
+        assert!(sim.run(21, 100_000).converged());
+        let base: Vec<_> = t.nodes().map(|x| sim.selected(x).map(|p| p.to_vec())).collect();
+
+        sim.fail_link(e, f);
+        assert!(sim.run(22, 100_000).converged());
+        assert_ne!(sim.selected(b).unwrap(), &[e, f], "failure must move B off E");
+        assert!(sim.link_is_failed(e, f));
+
+        sim.restore_link(e, f);
+        assert!(sim.run(23, 100_000).converged());
+        assert!(!sim.link_is_failed(e, f));
+        for x in t.nodes() {
+            assert_eq!(
+                sim.selected(x).map(|p| p.to_vec()),
+                base[x as usize],
+                "restore did not return node {x} to the base state"
+            );
+        }
+    }
+
+    #[test]
+    fn origin_withdraw_and_reannounce_propagate() {
+        let (t, nodes) = miro_topology::gen::figure_1_1();
+        let f = nodes[5];
+        let mut sim = Sim::new(&t, GaoRexford, f);
+        assert!(sim.run(31, 100_000).converged());
+        let base: Vec<_> = t.nodes().map(|x| sim.selected(x).map(|p| p.to_vec())).collect();
+
+        sim.withdraw_origin();
+        assert!(!sim.origin_announced());
+        assert!(sim.run(32, 100_000).converged());
+        for x in t.nodes() {
+            if x != f {
+                assert_eq!(sim.selected(x), None, "node {x} kept a withdrawn prefix");
+            }
+        }
+
+        sim.announce_origin();
+        assert!(sim.origin_announced());
+        assert!(sim.run(33, 100_000).converged());
+        for x in t.nodes() {
+            assert_eq!(sim.selected(x).map(|p| p.to_vec()), base[x as usize]);
+        }
+    }
+
+    /// Drive the same churn script through the simulator and the batched
+    /// delta engine: after every reconvergence the sim's selected paths
+    /// must match the engine's table exactly — two independent
+    /// implementations of "the stable state under this failed set".
+    #[test]
+    fn churn_script_matches_batched_delta_engine() {
+        use crate::solver::multi::{LinkEvent, MultiFailState};
+        use crate::solver::{DeltaScratch, SolveScratch};
+
+        let t = GenParams::tiny(13).generate();
+        let n = t.num_nodes() as u32;
+        let d = t.nodes().next().unwrap();
+        let mut sim = Sim::new(&t, GaoRexford, d);
+        assert!(sim.run(41, 10_000_000).converged());
+        let mut mfs = MultiFailState::solve(&t, d, &mut SolveScratch::new());
+        let mut scratch = DeltaScratch::new();
+
+        // A deterministic little script: downs, a flap, restorations.
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut downs: Vec<(NodeId, NodeId)> = Vec::new();
+        for step in 0..12u32 {
+            let batch: Vec<LinkEvent> = if step % 3 == 2 && !downs.is_empty() {
+                let l = downs.swap_remove(rng.gen_range(0..downs.len()));
+                vec![LinkEvent::Up(l.0, l.1)]
+            } else {
+                let a = rng.gen_range(0..n);
+                let neigh = t.neighbors(a);
+                if neigh.is_empty() {
+                    continue;
+                }
+                let b = neigh[rng.gen_range(0..neigh.len())].0;
+                if mfs.is_failed(a, b) {
+                    continue;
+                }
+                downs.push((a.min(b), a.max(b)));
+                vec![LinkEvent::Down(a, b)]
+            };
+            for &ev in &batch {
+                match ev {
+                    LinkEvent::Down(a, b) => sim.fail_link(a, b),
+                    LinkEvent::Up(a, b) => sim.restore_link(a, b),
+                }
+            }
+            assert!(sim.run(100 + step as u64, 10_000_000).converged());
+            mfs.apply(&batch, &mut scratch);
+            for x in t.nodes() {
+                assert_eq!(
+                    sim.selected(x).map(|p| p.to_vec()),
+                    mfs.path(x),
+                    "sim and batched engine disagree at node {x} after step {step}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -58,6 +58,8 @@
 use crate::route::{CandidateRoute, ExportScope};
 use miro_topology::{NodeId, Rel, RouteClass, Topology};
 
+pub mod multi;
+
 /// The route an AS selected: class, hop count, and next-hop AS.
 /// The full path is recovered by chasing next hops (paths are ~4 hops, so
 /// this is cheap and keeps the per-destination state at 16 bytes per AS).
@@ -346,6 +348,45 @@ impl Default for SolveScratch {
     }
 }
 
+/// The set of links a sweep must treat as administratively dead. The
+/// single-failure paths ([`RoutingState::solve_without_link`],
+/// [`RoutingState::with_failed_link`]) mask `None` or `One`; the batched
+/// churn engine ([`multi::MultiFailState`]) masks a whole sorted,
+/// low-high-normalized set.
+#[derive(Clone, Copy)]
+pub(crate) enum Mask<'m> {
+    None,
+    One((NodeId, NodeId)),
+    Many(&'m [(NodeId, NodeId)]),
+}
+
+impl Mask<'_> {
+    /// Is the link between `x` and `y` masked out?
+    #[inline]
+    pub(crate) fn banned(&self, x: NodeId, y: NodeId) -> bool {
+        match *self {
+            Mask::None => false,
+            Mask::One(l) => l == (x.min(y), x.max(y)),
+            Mask::Many(set) => set.binary_search(&(x.min(y), x.max(y))).is_ok(),
+        }
+    }
+
+    /// Does the mask provably suppress nothing?
+    #[inline]
+    fn is_empty(&self) -> bool {
+        matches!(self, Mask::None) || matches!(self, Mask::Many(s) if s.is_empty())
+    }
+}
+
+/// The mask equivalent of an optional single failed link.
+#[inline]
+fn mask_of(banned: Option<(NodeId, NodeId)>) -> Mask<'static> {
+    match banned {
+        None => Mask::None,
+        Some(l) => Mask::One(l),
+    }
+}
+
 /// Which CSR partition a sweep propagates over (see
 /// [`Topology::up_neighbors`] and friends).
 #[derive(Clone, Copy)]
@@ -378,7 +419,7 @@ impl Edges {
 /// One in-flight solve: scratch fields borrowed disjointly.
 struct Sweep<'a> {
     topo: &'a Topology,
-    banned: Option<(NodeId, NodeId)>,
+    mask: Mask<'a>,
     gen: u32,
     best: &'a mut [BestRoute],
     slots: &'a mut [Slot],
@@ -391,7 +432,7 @@ struct Sweep<'a> {
 impl Sweep<'_> {
     #[inline]
     fn is_banned(&self, x: NodeId, y: NodeId) -> bool {
-        self.banned == Some((x.min(y), x.max(y)))
+        self.mask.banned(x, y)
     }
 
     /// Open a fresh round: every live offer tag from earlier sweeps (or
@@ -413,7 +454,7 @@ impl Sweep<'_> {
             next: u,
         };
         let neigh = edges.slice(self.topo, u);
-        if self.banned.is_none() {
+        if self.mask.is_empty() {
             for &v in neigh {
                 if self.slots[v as usize].stamp != self.gen {
                     push_offer(self.slots, self.buckets, &mut self.live, v, offer);
@@ -583,6 +624,20 @@ impl<'t> RoutingState<'t> {
         banned: Option<(NodeId, NodeId)>,
         scratch: &mut SolveScratch,
     ) -> RoutingState<'t> {
+        Self::solve_core(topo, dest, mask_of(banned), banned, scratch)
+    }
+
+    /// The three-sweep solve under an arbitrary link mask. `banned` is
+    /// what the returned state *records* (the single-failure API);
+    /// [`multi::MultiFailState`] passes `Mask::Many` with `banned: None`
+    /// and immediately disassembles the state into its own storage.
+    pub(crate) fn solve_core(
+        topo: &'t Topology,
+        dest: NodeId,
+        mask: Mask<'_>,
+        banned: Option<(NodeId, NodeId)>,
+        scratch: &mut SolveScratch,
+    ) -> RoutingState<'t> {
         let n = topo.num_nodes();
         let gen = scratch.begin(n);
         let mut best = std::mem::take(&mut scratch.best);
@@ -595,7 +650,7 @@ impl<'t> RoutingState<'t> {
         {
             let mut sw = Sweep {
                 topo,
-                banned,
+                mask,
                 gen,
                 best: &mut best,
                 slots: &mut slots,
@@ -820,23 +875,65 @@ fn delta_apply(
         return 0;
     };
 
+    redrain_cones(
+        st.topo,
+        gen,
+        mask_of(st.banned),
+        &mut st.round,
+        &mut st.best,
+        &mut st.slots,
+        scratch,
+        &[child],
+    )
+}
+
+/// The delta-engine core, shared by the single-link what-if
+/// ([`RoutingState::with_failed_link`]) and the batched churn engine
+/// ([`multi::MultiFailState`]): invalidate the routing subtrees hanging
+/// under `children` (nodes whose next-hop link just died), re-drain the
+/// three sweeps inside the union cone against the intact boundary, then
+/// relax the provider-class improvement wave. Every change is logged to
+/// `scratch.undo` (caller decides whether that log is an undo log or
+/// just a changed-set record). Returns how many cone nodes lost
+/// reachability.
+///
+/// Batching is what makes `children` a slice: co-temporal link failures
+/// whose cones overlap are invalidated and re-drained **once**, where
+/// serial application would re-settle the shared subtree per event. With
+/// disjoint cones the union re-drain degenerates to exactly the serial
+/// work (each seed only reaches its own cone), so batching never costs
+/// correctness — only the per-event sweep setup is amortized.
+#[allow(clippy::too_many_arguments)]
+fn redrain_cones(
+    topo: &Topology,
+    gen: u32,
+    mask: Mask<'_>,
+    round: &mut u32,
+    best: &mut [BestRoute],
+    slots: &mut [Slot],
+    scratch: &mut DeltaScratch,
+    children: &[NodeId],
+) -> usize {
     // --- Cone discovery -------------------------------------------------
-    // The invalidated cone is the routing subtree rooted at `child`: a
-    // node loses its route iff its next-hop chain crosses the dead link.
-    // Walk parent pointers breadth-first (v joins the cone iff its next
-    // hop already did), logging each base assignment and un-assigning the
-    // node by aging its stamp (any value != gen reads as unrouted).
+    // The invalidated cone is the union of the routing subtrees rooted at
+    // the children: a node loses its route iff its next-hop chain crosses
+    // a dead link. Walk parent pointers breadth-first (v joins the cone
+    // iff its next hop already did), logging each base assignment and
+    // un-assigning the node by aging its stamp (any value != gen reads as
+    // unrouted).
     let dead = gen.wrapping_sub(1);
-    scratch.log(child, st.best[child as usize]);
-    st.slots[child as usize].stamp = dead;
+    for &child in children {
+        scratch.log(child, best[child as usize]);
+        slots[child as usize].stamp = dead;
+    }
     let mut head = 0;
     while head < scratch.undo.len() {
         let (x, _) = scratch.undo[head];
         head += 1;
-        for &(v, _) in st.topo.neighbors(x) {
-            if st.slots[v as usize].stamp == gen && st.best[v as usize].next == x {
-                scratch.log(v, st.best[v as usize]);
-                st.slots[v as usize].stamp = dead;
+        for &(v, _) in topo.neighbors(x) {
+            if slots[v as usize].stamp == gen && best[v as usize].next == x {
+                scratch.log(v, best[v as usize]);
+                slots[v as usize].stamp = dead;
             }
         }
     }
@@ -850,15 +947,15 @@ fn delta_apply(
     let cone = scratch.undo.len();
     let (undo, inner) = (&scratch.undo, &mut scratch.inner);
     let mut sw = Sweep {
-        topo: st.topo,
-        banned: st.banned,
+        topo,
+        mask,
         gen,
-        best: &mut st.best,
-        slots: &mut st.slots,
+        best,
+        slots,
         routed: &mut inner.routed,
         buckets: &mut inner.buckets,
         live: 0,
-        round: &mut st.round,
+        round,
     };
 
     // Sweep 1: every customer-routed AS climbs provider/sibling links, so
@@ -902,20 +999,26 @@ fn delta_apply(
     // peer-class levels derive from them — so the wave is exactly a
     // bucket-queue relaxation of provider-class routes down customer and
     // sibling links, seeded by every re-settled cone node and propagated
-    // from every node whose route got strictly shorter.
-    improve_wave(st, scratch);
+    // from every node whose route got strictly shorter. The argument only
+    // uses that the edge set *shrank*, so it holds verbatim for a batch
+    // of simultaneous failures.
+    improve_wave(topo, gen, mask, round, best, slots, scratch);
 
     disconnected
 }
 
 /// Phase 2 of the delta re-solve: relax provider-class improvements down
-/// customer/sibling links, starting from the re-settled cone nodes.
-fn improve_wave(st: &mut RoutingState<'_>, scratch: &mut DeltaScratch) {
-    let topo = st.topo;
-    let gen = st.gen;
-    let banned = st.banned;
-    let is_banned = |x: NodeId, y: NodeId| banned == Some((x.min(y), x.max(y)));
-
+/// customer/sibling links, starting from the re-settled cone nodes
+/// (`scratch.inner.routed`).
+fn improve_wave(
+    topo: &Topology,
+    gen: u32,
+    mask: Mask<'_>,
+    round: &mut u32,
+    best: &mut [BestRoute],
+    slots: &mut [Slot],
+    scratch: &mut DeltaScratch,
+) {
     // A node can take a sweep-3 offer at level `lvl` only if it already
     // holds a provider-class route no shorter than `lvl`.
     let eligible = |best: &[BestRoute], slots: &[Slot], x: NodeId, lvl: usize| {
@@ -925,7 +1028,7 @@ fn improve_wave(st: &mut RoutingState<'_>, scratch: &mut DeltaScratch) {
     };
 
     let DeltaScratch { undo, logged, logged_gen, inner } = scratch;
-    let round = next_round(&mut st.round, &mut st.slots);
+    let round = next_round(round, slots);
     let mut live = 0usize;
 
     // Seeds: the sweep-3 deliveries of every re-settled cone node — to
@@ -934,7 +1037,7 @@ fn improve_wave(st: &mut RoutingState<'_>, scratch: &mut DeltaScratch) {
     // incumbent test at settle time, so seeding unconditionally is safe.
     for i in 0..inner.routed.len() {
         let v = inner.routed[i];
-        let bv = st.best[v as usize];
+        let bv = best[v as usize];
         let lvl = bv.len as usize + 1;
         let asn_v = topo.asn(v).0;
         for &(x, rel) in topo.neighbors(v) {
@@ -943,9 +1046,9 @@ fn improve_wave(st: &mut RoutingState<'_>, scratch: &mut DeltaScratch) {
                 Rel::Sibling => bv.class == RouteClass::Provider,
                 _ => false,
             };
-            if delivers && !is_banned(v, x) && eligible(&st.best, &st.slots, x, lvl) {
+            if delivers && !mask.banned(v, x) && eligible(best, slots, x, lvl) {
                 let offer = Offer { tag: (round << LVL_BITS) | lvl as u32, asn: asn_v, next: v };
-                push_offer(&mut st.slots, &mut inner.buckets, &mut live, x, offer);
+                push_offer(slots, &mut inner.buckets, &mut live, x, offer);
             }
         }
     }
@@ -962,18 +1065,18 @@ fn improve_wave(st: &mut RoutingState<'_>, scratch: &mut DeltaScratch) {
         let tag = (round << LVL_BITS) | lvl as u32;
         for &x in &bucket {
             let xi = x as usize;
-            if !eligible(&st.best, &st.slots, x, lvl) {
+            if !eligible(best, slots, x, lvl) {
                 continue; // stale: x already improved past this level
             }
-            if st.slots[xi].tag != tag {
+            if slots[xi].tag != tag {
                 continue; // superseded by an earlier-level entry
             }
             // The lowest-ASN offerer (already folded into the slot)
             // must also beat the incumbent route — which competes on ASN
             // when it has this exact length (the full run's bucket would
             // contain it too) and wins ties.
-            let bx = st.best[xi];
-            if bx.len as usize == lvl && topo.asn(bx.next).0 <= st.slots[xi].asn {
+            let bx = best[xi];
+            if bx.len as usize == lvl && topo.asn(bx.next).0 <= slots[xi].asn {
                 continue; // the incumbent won
             }
             if logged[xi] != *logged_gen {
@@ -981,10 +1084,10 @@ fn improve_wave(st: &mut RoutingState<'_>, scratch: &mut DeltaScratch) {
                 undo.push((x, bx));
             }
             let shortened = bx.len as usize > lvl;
-            st.best[xi] = BestRoute {
+            best[xi] = BestRoute {
                 class: RouteClass::Provider,
                 len: lvl as u16,
-                next: st.slots[xi].next,
+                next: slots[xi].next,
             };
             if shortened {
                 let nxt = lvl + 1;
@@ -995,10 +1098,10 @@ fn improve_wave(st: &mut RoutingState<'_>, scratch: &mut DeltaScratch) {
                 };
                 for &(y, rel) in topo.neighbors(x) {
                     if matches!(rel, Rel::Customer | Rel::Sibling)
-                        && !is_banned(x, y)
-                        && eligible(&st.best, &st.slots, y, nxt)
+                        && !mask.banned(x, y)
+                        && eligible(best, slots, y, nxt)
                     {
-                        push_offer(&mut st.slots, &mut inner.buckets, &mut live, y, offer);
+                        push_offer(slots, &mut inner.buckets, &mut live, y, offer);
                     }
                 }
             }

@@ -1,0 +1,602 @@
+//! Batched multi-link delta engine — the churn-replay workhorse.
+//!
+//! [`RoutingState::with_failed_link`] answers one what-if at a time and
+//! undoes it; a churn stream is the opposite shape: an open-ended
+//! sequence of link events whose effects must *persist*, arriving in
+//! co-temporal bursts (a router reboot takes every session on the box
+//! down in one tick; a flap announces and withdraws faster than the
+//! control plane reacts). [`MultiFailState`] owns a routing table that
+//! tracks an arbitrary failed-link set and applies whole event batches:
+//!
+//! * **Coalescing** — events are netted per link first, so a flap that
+//!   cancels within a batch (down then up, or up then down on a dead
+//!   link) costs nothing at all. This is where batching beats serial
+//!   replay even before any cone overlap.
+//! * **Batched failures** — all net link-downs are applied as one
+//!   union-cone invalidation and a single boundary-seeded re-drain
+//!   ([`super::redrain_cones`]): overlapping cones are recomputed once
+//!   instead of once per event, and disjoint cones degenerate to
+//!   exactly the serial work.
+//! * **Restorations** — a link coming back *up* is not a monotone
+//!   improvement under Gao-Rexford preference: class outranks length,
+//!   so an endpoint that upgrades (say peer@2 to customer@9) makes
+//!   every route through it *longer* while better in class, worsening
+//!   its customers' routes. A relaxation that only ever improves nodes
+//!   is therefore unsound for restorations. Instead the engine runs an
+//!   exact **endpoint stability test**: a restored link changes the
+//!   stable state iff one of its endpoints would change its selection
+//!   (candidate sets elsewhere depend only on neighbor selections, so
+//!   if both endpoints hold, the old state is still a stable state —
+//!   and Gao-Rexford stable states are unique, so it is *the* state).
+//!   Off-tree restorations — the overwhelming majority under random
+//!   churn — are thus free; a restoration that does shift an endpoint
+//!   pays one full masked re-solve for the whole batch.
+//!
+//! The equivalence contract (proptest-pinned below): after any sequence
+//! of batches, the table is bit-for-bit identical to (a) applying the
+//! same events one at a time, and (b) a from-scratch solve of a
+//! topology rebuilt without the currently-failed links.
+
+use super::{
+    redrain_cones, route_class_code, BestRoute, DeltaScratch, Mask, RoutingState, Slot,
+    SolveScratch, UNROUTED_CLASS, UNROUTED_HOPS, UNROUTED_NEXT,
+};
+use crate::route::ExportScope;
+use miro_topology::{NodeId, Topology};
+
+/// One link-state transition in a churn stream. Endpoints are dense
+/// node ids; order does not matter (links are normalized low-high).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LinkEvent {
+    /// The link between the two ASes went down.
+    Down(NodeId, NodeId),
+    /// The link between the two ASes came back up.
+    Up(NodeId, NodeId),
+}
+
+impl LinkEvent {
+    /// `(normalized link, is-down)` — `None` for a degenerate self-loop.
+    #[inline]
+    fn norm(self) -> Option<((NodeId, NodeId), bool)> {
+        let (a, b, down) = match self {
+            LinkEvent::Down(a, b) => (a, b, true),
+            LinkEvent::Up(a, b) => (a, b, false),
+        };
+        (a != b).then_some(((a.min(b), a.max(b)), down))
+    }
+}
+
+/// What one [`MultiFailState::apply`] call did.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ApplyStats {
+    /// Net link failures applied (after coalescing).
+    pub downs: usize,
+    /// Net link restorations applied (after coalescing).
+    pub ups: usize,
+    /// Links whose events netted out against the current state — flap
+    /// pairs that cancel inside the batch, repeated downs of a dead
+    /// link, ups of a live one. Skipped entirely.
+    pub cancelled: usize,
+    /// Events naming self-loops or links absent from the topology.
+    pub ignored: usize,
+    /// Nodes whose table entry the engine rewrote: invalidated-cone +
+    /// improvement-wave nodes, or the whole table on a full re-solve.
+    pub recomputed: usize,
+    /// Cone nodes that lost reachability in the failure phase (before
+    /// any restoration processing).
+    pub disconnected: usize,
+    /// Did a restoration shift an endpoint's selection and force a full
+    /// masked re-solve?
+    pub full_resolve: bool,
+}
+
+/// A persistent routing table for one destination under an evolving
+/// failed-link set. See the module docs for the batching strategy and
+/// the equivalence contract.
+pub struct MultiFailState<'t> {
+    topo: &'t Topology,
+    dest: NodeId,
+    best: Vec<BestRoute>,
+    /// `best[x]` is assigned iff `slots[x].stamp == gen`.
+    slots: Vec<Slot>,
+    gen: u32,
+    round: u32,
+    /// Currently failed links, sorted, low-high normalized.
+    failed: Vec<(NodeId, NodeId)>,
+}
+
+impl<'t> MultiFailState<'t> {
+    /// Solve the all-links-up base state for `dest`, taking ownership of
+    /// the table (the scratch is drained and will re-grow on next use).
+    pub fn solve(topo: &'t Topology, dest: NodeId, scratch: &mut SolveScratch) -> Self {
+        let st = RoutingState::solve_into(topo, dest, scratch);
+        let RoutingState { best, slots, gen, round, .. } = st;
+        MultiFailState { topo, dest, best, slots, gen, round, failed: Vec::new() }
+    }
+
+    /// The destination this table routes toward.
+    pub fn dest(&self) -> NodeId {
+        self.dest
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &'t Topology {
+        self.topo
+    }
+
+    /// The currently failed links (sorted, low-high normalized).
+    pub fn failed_links(&self) -> &[(NodeId, NodeId)] {
+        &self.failed
+    }
+
+    /// Is the link between `a` and `b` currently failed?
+    #[inline]
+    pub fn is_failed(&self, a: NodeId, b: NodeId) -> bool {
+        self.failed.binary_search(&(a.min(b), a.max(b))).is_ok()
+    }
+
+    /// The selected route of `x`, if `x` can currently reach the
+    /// destination.
+    #[inline]
+    pub fn best(&self, x: NodeId) -> Option<BestRoute> {
+        (self.slots[x as usize].stamp == self.gen).then(|| self.best[x as usize])
+    }
+
+    /// The selected AS path of `x` (next hop first, destination last).
+    pub fn path(&self, x: NodeId) -> Option<Vec<NodeId>> {
+        let mut b = self.best(x)?;
+        let mut out = Vec::with_capacity(b.len as usize);
+        let mut at = x;
+        while at != self.dest {
+            at = b.next;
+            out.push(at);
+            b = self.best(at).expect("next hop of a routed AS is routed");
+        }
+        Some(out)
+    }
+
+    /// Number of ASes that can currently reach the destination.
+    pub fn reachable_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.stamp == self.gen).count()
+    }
+
+    /// Order-independent FNV-1a digest of the whole table (per-node
+    /// class/hops/next, unrouted as sentinels) — what the churn bench
+    /// compares across serial and batched replays.
+    pub fn table_fnv(&self) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |byte: u8| {
+            h ^= byte as u64;
+            h = h.wrapping_mul(PRIME);
+        };
+        for x in 0..self.best.len() {
+            let (c, l, nx) = match self.best(x as NodeId) {
+                Some(b) => (route_class_code(b.class), b.len, b.next),
+                None => (UNROUTED_CLASS, UNROUTED_HOPS, UNROUTED_NEXT),
+            };
+            eat(c);
+            l.to_le_bytes().into_iter().for_each(&mut eat);
+            nx.to_le_bytes().into_iter().for_each(&mut eat);
+        }
+        h
+    }
+
+    /// Apply one co-temporal batch of link events. Serial replay is the
+    /// `events.len() == 1` special case; any grouping of the same event
+    /// sequence into batches yields the identical table.
+    pub fn apply(&mut self, events: &[LinkEvent], scratch: &mut DeltaScratch) -> ApplyStats {
+        let mut stats = ApplyStats::default();
+
+        // --- Net effect -------------------------------------------------
+        // Last event per link wins within the batch; a final state equal
+        // to the current one nets out and is skipped entirely.
+        let mut finals: Vec<((NodeId, NodeId), bool)> = Vec::with_capacity(events.len());
+        for &ev in events {
+            let Some((key, down)) = ev.norm() else {
+                stats.ignored += 1;
+                continue;
+            };
+            if self.topo.rel(key.0, key.1).is_none() {
+                stats.ignored += 1;
+                continue;
+            }
+            match finals.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, d)) => *d = down,
+                None => finals.push((key, down)),
+            }
+        }
+        let mut net_downs: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut net_ups: Vec<(NodeId, NodeId)> = Vec::new();
+        for (key, down) in finals {
+            if down == self.failed.binary_search(&key).is_ok() {
+                stats.cancelled += 1;
+            } else if down {
+                net_downs.push(key);
+            } else {
+                net_ups.push(key);
+            }
+        }
+        stats.downs = net_downs.len();
+        stats.ups = net_ups.len();
+
+        // --- Failures: one union-cone recomputation ---------------------
+        if !net_downs.is_empty() {
+            for &key in &net_downs {
+                let at = self.failed.binary_search(&key).unwrap_err();
+                self.failed.insert(at, key);
+            }
+            // The child endpoint of a dead link is the one routing
+            // *through* it (at most one per link: the parent's own path
+            // never descends back into the subtree).
+            let gen = self.gen;
+            let mut children: Vec<NodeId> = Vec::new();
+            for &(a, b) in &net_downs {
+                for (c, p) in [(a, b), (b, a)] {
+                    if self.slots[c as usize].stamp == gen && self.best[c as usize].next == p {
+                        children.push(c);
+                    }
+                }
+            }
+            if !children.is_empty() {
+                scratch.begin(self.topo.num_nodes());
+                stats.disconnected = redrain_cones(
+                    self.topo,
+                    self.gen,
+                    Mask::Many(&self.failed),
+                    &mut self.round,
+                    &mut self.best,
+                    &mut self.slots,
+                    scratch,
+                    &children,
+                );
+                stats.recomputed = scratch.undo.len();
+            }
+        }
+
+        // --- Restorations: stability test, then pay once or not at all --
+        if !net_ups.is_empty() {
+            for &key in &net_ups {
+                let at = self.failed.binary_search(&key).expect("net-up of a failed link");
+                self.failed.remove(at);
+            }
+            let shifted = net_ups
+                .iter()
+                .any(|&(a, b)| self.selection_shifts(a) || self.selection_shifts(b));
+            if shifted {
+                self.resolve_full(scratch);
+                stats.full_resolve = true;
+                stats.recomputed = self.best.len();
+            }
+        }
+
+        stats
+    }
+
+    /// Would `x` pick a different route than its current one, given its
+    /// neighbors' current selections and the current failed set? Exact:
+    /// reproduces the stable-state selection rule (export scope, loop
+    /// rejection, class > length > lowest-ASN preference).
+    fn selection_shifts(&self, x: NodeId) -> bool {
+        if x == self.dest {
+            return false; // the origin never re-selects
+        }
+        self.best_candidate(x) != self.best(x)
+    }
+
+    /// The route `x` would select from its neighbors' current routes.
+    fn best_candidate(&self, x: NodeId) -> Option<BestRoute> {
+        let mut won: Option<(BestRoute, u32)> = None;
+        for &(n, rel_nx) in self.topo.neighbors(x) {
+            if self.is_failed(x, n) {
+                continue; // session down
+            }
+            let Some(bn) = self.best(n) else { continue };
+            // n's export decision is keyed on what *x* is to n.
+            if !ExportScope::allows(bn.class, rel_nx.reverse()) {
+                continue;
+            }
+            if self.chain_passes(n, x) {
+                continue; // loop: x already on n's path
+            }
+            let cand = BestRoute {
+                class: ExportScope::received_class(bn.class, rel_nx),
+                len: bn.len + 1,
+                next: n,
+            };
+            let asn = self.topo.asn(n).0;
+            let better = won.is_none_or(|(w, wasn)| {
+                (cand.class, cand.len, asn) < (w.class, w.len, wasn)
+            });
+            if better {
+                won = Some((cand, asn));
+            }
+        }
+        won.map(|(w, _)| w)
+    }
+
+    /// Does `n`'s selected next-hop chain pass through `x`?
+    fn chain_passes(&self, n: NodeId, x: NodeId) -> bool {
+        let mut at = n;
+        while at != self.dest {
+            at = self.best[at as usize].next;
+            if at == x {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Full three-sweep re-solve under the current failed set, in place.
+    fn resolve_full(&mut self, scratch: &mut DeltaScratch) {
+        let inner = &mut scratch.inner;
+        inner.best = std::mem::take(&mut self.best);
+        inner.slots = std::mem::take(&mut self.slots);
+        inner.gen = self.gen;
+        // No live slot tag may outrun the round counter it is used with.
+        inner.round = inner.round.max(self.round);
+        let st =
+            RoutingState::solve_core(self.topo, self.dest, Mask::Many(&self.failed), None, inner);
+        let RoutingState { best, slots, gen, round, .. } = st;
+        self.best = best;
+        self.slots = slots;
+        self.gen = gen;
+        self.round = round;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miro_topology::{gen::figure_1_1, AsId, Rel, TopologyBuilder};
+
+    /// Down then up of an on-tree link inside one batch must cancel to a
+    /// provable no-op, and the table must stay the base solve.
+    #[test]
+    fn intra_batch_flap_cancels() {
+        let (topo, [a, b, _c, _d, e, f]) = figure_1_1();
+        let mut st = MultiFailState::solve(&topo, f, &mut SolveScratch::new());
+        let base = st.table_fnv();
+        let mut scratch = DeltaScratch::new();
+        let stats = st.apply(&[LinkEvent::Down(b, e), LinkEvent::Up(b, e)], &mut scratch);
+        assert_eq!(stats.cancelled, 1);
+        assert_eq!(stats.downs + stats.ups + stats.recomputed, 0);
+        assert!(!stats.full_resolve);
+        assert_eq!(st.table_fnv(), base);
+        assert_eq!(st.path(a), Some(vec![b, e, f]));
+    }
+
+    /// A failure followed (in a later batch) by the restoration must
+    /// return the table bit-for-bit to the base solve.
+    #[test]
+    fn down_then_up_round_trips() {
+        let (topo, [a, b, c, _d, e, f]) = figure_1_1();
+        let mut st = MultiFailState::solve(&topo, f, &mut SolveScratch::new());
+        let base = st.table_fnv();
+        let mut scratch = DeltaScratch::new();
+
+        let stats = st.apply(&[LinkEvent::Down(b, e)], &mut scratch);
+        assert_eq!(stats.downs, 1);
+        assert!(stats.recomputed > 0, "an on-tree failure rewrites its cone");
+        assert_eq!(st.failed_links(), &[(b.min(e), b.max(e))]);
+        // B falls back to its peer route through C; A keeps B on the
+        // lowest-ASN tie-break, so A now reaches F via B -> C.
+        assert_eq!(st.path(a), Some(vec![b, c, f]));
+
+        let stats = st.apply(&[LinkEvent::Up(b, e)], &mut scratch);
+        assert_eq!(stats.ups, 1);
+        assert!(stats.full_resolve, "restoring an adopted link shifts its endpoint");
+        assert!(st.failed_links().is_empty());
+        assert_eq!(st.table_fnv(), base);
+        assert_eq!(st.path(a), Some(vec![b, e, f]));
+    }
+
+    /// Off-tree events — and restorations no endpoint wants — are free.
+    #[test]
+    fn off_tree_events_are_noops() {
+        // dest -- x (customer chain), plus a peer link x -- y where y has
+        // its own customer path to dest: the peer link is never adopted.
+        let mut b = TopologyBuilder::new();
+        let (dest, x, y) = (AsId(1), AsId(2), AsId(3));
+        b.intern_as(dest);
+        b.intern_as(x);
+        b.intern_as(y);
+        b.link(dest, x, Rel::Provider); // x is dest's provider
+        b.link(dest, y, Rel::Provider);
+        b.link(x, y, Rel::Peer);
+        let topo = b.build().unwrap();
+        let d = topo.node(dest).unwrap();
+        let (xn, yn) = (topo.node(x).unwrap(), topo.node(y).unwrap());
+
+        let mut st = MultiFailState::solve(&topo, d, &mut SolveScratch::new());
+        let base = st.table_fnv();
+        let mut scratch = DeltaScratch::new();
+
+        let stats = st.apply(&[LinkEvent::Down(xn, yn)], &mut scratch);
+        assert_eq!((stats.downs, stats.recomputed), (1, 0));
+        assert_eq!(st.table_fnv(), base, "off-tree failure leaves the table alone");
+
+        let stats = st.apply(&[LinkEvent::Up(xn, yn)], &mut scratch);
+        assert_eq!(stats.ups, 1);
+        assert!(!stats.full_resolve, "unwanted restoration must not re-solve");
+        assert_eq!(st.table_fnv(), base);
+    }
+
+    /// Self-loops and links absent from the topology are counted and
+    /// skipped, never applied.
+    #[test]
+    fn bogus_events_are_ignored() {
+        let (topo, [_a, _b, _c, _d, e, f]) = figure_1_1();
+        let mut st = MultiFailState::solve(&topo, f, &mut SolveScratch::new());
+        let mut scratch = DeltaScratch::new();
+        let stats = st.apply(
+            &[LinkEvent::Down(e, e), LinkEvent::Down(0, 5), LinkEvent::Up(1, 4)],
+            &mut scratch,
+        );
+        // (e,e) is a self-loop, (0,5) = A--F does not exist in Figure
+        // 1.1, and (1,4) = B--E exists but is already up (nets out).
+        assert_eq!(stats.ignored, 2);
+        assert_eq!(stats.cancelled, 1);
+        assert!(st.failed_links().is_empty());
+    }
+}
+
+#[cfg(test)]
+mod equivalence {
+    use super::*;
+    use miro_topology::{AsId, Rel, TopologyBuilder};
+    use proptest::prelude::*;
+
+    const N: u32 = 24;
+
+    fn build(edges: Vec<(u32, u32, u8)>) -> Topology {
+        let mut b = TopologyBuilder::new();
+        for n in 0..N {
+            b.intern_as(AsId(100 + n));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for (x, y, r) in edges {
+            if x == y || !seen.insert((x.min(y), x.max(y))) {
+                continue;
+            }
+            let rel = match r {
+                0 => Rel::Customer,
+                1 => Rel::Provider,
+                2 => Rel::Peer,
+                _ => Rel::Sibling,
+            };
+            b.link(AsId(100 + x), AsId(100 + y), rel);
+        }
+        b.build().expect("constructed edges are consistent")
+    }
+
+    /// The strongest oracle: physically rebuild the topology without the
+    /// failed links (same interning order, so node ids align) and solve
+    /// from scratch.
+    fn rebuilt_without(t: &Topology, failed: &[(NodeId, NodeId)]) -> Topology {
+        let mut b = TopologyBuilder::new();
+        for x in t.nodes() {
+            b.intern_as(t.asn(x));
+        }
+        for x in t.nodes() {
+            for &(y, rel) in t.neighbors(x) {
+                if x < y && failed.binary_search(&(x, y)).is_err() {
+                    b.link(t.asn(x), t.asn(y), rel);
+                }
+            }
+        }
+        b.build().expect("subgraph of a consistent topology")
+    }
+
+    fn assert_matches_oracles(st: &MultiFailState<'_>, t: &Topology, dest: NodeId) {
+        // Oracle 1: from-scratch solve of the physically pruned graph.
+        let pruned = rebuilt_without(t, st.failed_links());
+        let oracle = RoutingState::solve(&pruned, dest);
+        // Oracle 2: full masked solve over the original graph — pins the
+        // Mask::Many fast path against the rebuild at the same time.
+        let masked = RoutingState::solve_core(
+            t,
+            dest,
+            Mask::Many(st.failed_links()),
+            None,
+            &mut SolveScratch::new(),
+        );
+        for x in t.nodes() {
+            assert_eq!(st.best(x), oracle.best(x), "pruned-rebuild diverged at node {x}");
+            assert_eq!(st.best(x), masked.best(x), "masked solve diverged at node {x}");
+        }
+    }
+
+    /// Strategy: a churn script over the node-pair space, plus how to
+    /// chop it into co-temporal batches. Down/up pairs over the same
+    /// links recur with high probability at this range, so cancelling
+    /// flaps (the acceptance-criteria case) are exercised constantly.
+    type ChurnScript = (Vec<(u32, u32, u8)>, u32, Vec<(u32, u32, u8)>, Vec<u8>);
+
+    fn script() -> impl Strategy<Value = ChurnScript> {
+        (
+            proptest::collection::vec((0u32..N, 0u32..N, 0u8..4), 0..90),
+            0u32..N,
+            proptest::collection::vec((0u32..N, 0u32..N, 0u8..2), 0..24),
+            proptest::collection::vec(1u8..6, 0..12),
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// Batched application over arbitrary event interleavings —
+        /// including flap sequences that cancel out — is byte-identical
+        /// to serial one-event-at-a-time application, to a from-scratch
+        /// solve of the pruned topology, and to a full Mask::Many solve,
+        /// after every single batch.
+        #[test]
+        fn batched_equals_serial_and_oracles((edges, dest_raw, script, cuts) in script()) {
+            let t = build(edges);
+            let dest = dest_raw % t.num_nodes() as u32;
+            let events: Vec<LinkEvent> = script
+                .iter()
+                .map(|&(a, b, down)| {
+                    let (a, b) = (a % t.num_nodes() as u32, b % t.num_nodes() as u32);
+                    if down == 1 { LinkEvent::Down(a, b) } else { LinkEvent::Up(a, b) }
+                })
+                .collect();
+
+            let mut solve = SolveScratch::new();
+            let mut batched = MultiFailState::solve(&t, dest, &mut solve);
+            let mut serial = MultiFailState::solve(&t, dest, &mut solve);
+            let mut sb = DeltaScratch::new();
+            let mut ss = DeltaScratch::new();
+
+            // Chop the script into batches along the `cuts` sizes
+            // (cycling), so batch boundaries are arbitrary.
+            let mut at = 0usize;
+            let mut cut_i = 0usize;
+            while at < events.len() {
+                let take = if cuts.is_empty() { 3 } else { cuts[cut_i % cuts.len()] as usize };
+                cut_i += 1;
+                let batch = &events[at..(at + take).min(events.len())];
+                at += batch.len();
+
+                batched.apply(batch, &mut sb);
+                for &ev in batch {
+                    serial.apply(std::slice::from_ref(&ev), &mut ss);
+                }
+
+                prop_assert_eq!(batched.failed_links(), serial.failed_links());
+                for x in t.nodes() {
+                    prop_assert_eq!(batched.best(x), serial.best(x), "serial diverged at {}", x);
+                }
+                prop_assert_eq!(batched.table_fnv(), serial.table_fnv());
+                assert_matches_oracles(&batched, &t, dest);
+            }
+        }
+
+        /// An explicit cancellation storm: every event is immediately
+        /// contradicted inside the same batch, so whole batches must net
+        /// to zero work and the base table must survive untouched.
+        #[test]
+        fn cancelling_flaps_are_free(
+            edges in proptest::collection::vec((0u32..N, 0u32..N, 0u8..4), 0..90),
+            dest_raw in 0u32..N,
+            flaps in proptest::collection::vec((0u32..N, 0u32..N), 1..10),
+        ) {
+            let t = build(edges);
+            let dest = dest_raw % t.num_nodes() as u32;
+            let mut st = MultiFailState::solve(&t, dest, &mut SolveScratch::new());
+            let base = st.table_fnv();
+            let mut scratch = DeltaScratch::new();
+
+            let mut batch = Vec::new();
+            for &(a, b) in &flaps {
+                batch.push(LinkEvent::Down(a, b));
+                batch.push(LinkEvent::Up(a, b));
+            }
+            let stats = st.apply(&batch, &mut scratch);
+            prop_assert_eq!(stats.downs + stats.ups + stats.recomputed, 0);
+            prop_assert!(!stats.full_resolve);
+            prop_assert_eq!(st.table_fnv(), base);
+            prop_assert!(st.failed_links().is_empty());
+        }
+    }
+}

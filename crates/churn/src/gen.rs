@@ -1,0 +1,241 @@
+//! Seeded churn generation.
+//!
+//! The generator reproduces the three statistical signatures of a real
+//! RouteViews UPDATE feed that matter to a control plane:
+//!
+//! * **Heavy-tailed inter-arrival times.** Gaps between events are drawn
+//!   from a Pareto distribution (shape 1.5), so most events arrive in
+//!   rapid clusters punctuated by long quiet stretches. On top of that, a
+//!   configurable fraction of events are *co-temporal* (delta 0 ms) —
+//!   these are what the batched delta engine coalesces into one cone
+//!   recomputation.
+//! * **Flapping links.** A small set of dedicated flapper links supplies
+//!   a disproportionate share of session up/down events, mirroring the
+//!   classic observation that a handful of unstable sessions dominate
+//!   update volume. Toggles are state-consistent: a link only goes down
+//!   while up and vice versa, so flap pairs that cancel inside one batch
+//!   arise naturally rather than by construction.
+//! * **Skewed origin churn.** Announce/withdraw events pick their origin
+//!   AS from a Zipf-like distribution over the node list, so a few
+//!   "popular prefixes" churn constantly while the tail barely moves.
+//!
+//! Everything is driven by one [`rand::rngs::StdRng`]; equal seeds give
+//! byte-identical traces, which the golden fixture under `data/` pins.
+
+use crate::trace::{Event, EventKind, Trace};
+use miro_topology::{io as topo_io, Topology};
+use rand::{rngs::StdRng, Rng, RngCore, SeedableRng};
+use std::collections::HashMap;
+
+/// Knobs for [`generate`].
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    /// RNG seed; equal seeds give byte-identical traces.
+    pub seed: u64,
+    /// Total events to emit.
+    pub events: usize,
+    /// Mean gap between non-burst events, in milliseconds.
+    pub mean_gap_ms: u64,
+    /// Fraction of events that are co-temporal with their predecessor
+    /// (delta 0 ms) — the batching opportunity.
+    pub burst_fraction: f64,
+    /// Number of dedicated flapping links.
+    pub flappers: usize,
+    /// Fraction of *link* events aimed at a flapper link.
+    pub flap_fraction: f64,
+    /// Fraction of events that are origin announce/withdraw churn.
+    pub origin_fraction: f64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            seed: 42,
+            events: 10_000,
+            mean_gap_ms: 80,
+            burst_fraction: 0.35,
+            flappers: 4,
+            flap_fraction: 0.5,
+            origin_fraction: 0.15,
+        }
+    }
+}
+
+/// Uniform f64 in `[0, 1)` with 53 mantissa bits (the shim's `gen_bool`
+/// construction, exposed for the Pareto/Zipf draws).
+fn unit(rng: &mut StdRng) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Generate a churn trace over `topo`. Deterministic in `cfg.seed`.
+pub fn generate(topo: &Topology, cfg: &GenConfig) -> Trace {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // All links as normalized ASN pairs, in deterministic (sorted) order.
+    let mut links: Vec<(u32, u32)> = Vec::with_capacity(topo.num_edges());
+    for x in topo.nodes() {
+        for &(y, _) in topo.neighbors(x) {
+            let (a, b) = (topo.asn(x).0, topo.asn(y).0);
+            if a < b {
+                links.push((a, b));
+            }
+        }
+    }
+    links.sort_unstable();
+
+    // Flapper set: a seeded sample of the link list.
+    let mut pool = links.clone();
+    let mut flappers: Vec<(u32, u32)> = Vec::with_capacity(cfg.flappers.min(pool.len()));
+    while flappers.len() < cfg.flappers && !pool.is_empty() {
+        flappers.push(pool.swap_remove(rng.gen_range(0..pool.len())));
+    }
+
+    // Origin candidates, highest degree first, so the Zipf head lands on
+    // well-connected ASes ("popular prefixes").
+    let mut origins: Vec<u32> = topo.nodes().map(|x| topo.asn(x).0).collect();
+    origins.sort_by_key(|&a| {
+        let x = topo.node(miro_topology::AsId(a)).unwrap();
+        (std::cmp::Reverse(topo.degree(x)), a)
+    });
+
+    let mut link_down: HashMap<(u32, u32), bool> = HashMap::new();
+    let mut origin_down: HashMap<u32, bool> = HashMap::new();
+
+    let mut events = Vec::with_capacity(cfg.events);
+    let mut now = 0u64;
+    for i in 0..cfg.events {
+        if i > 0 && !rng.gen_bool(cfg.burst_fraction.clamp(0.0, 1.0)) {
+            // Pareto(shape 1.5) gap, normalized so the mean of the
+            // non-burst gaps is `mean_gap_ms` (E[u^-1/a - 1] = 2 at
+            // a = 1.5), capped to keep a single draw from eating the
+            // whole timeline.
+            let u = unit(&mut rng).max(1e-9);
+            let gap = (cfg.mean_gap_ms as f64 / 2.0) * (u.powf(-1.0 / 1.5) - 1.0);
+            now += (gap as u64).min(cfg.mean_gap_ms.saturating_mul(1000)).max(1);
+        }
+
+        let kind = if !origins.is_empty() && rng.gen_bool(cfg.origin_fraction.clamp(0.0, 1.0)) {
+            // Zipf-ish rank: floor(N * u^3) concentrates on rank 0.
+            let rank = ((origins.len() as f64) * unit(&mut rng).powi(3)) as usize;
+            let asn = origins[rank.min(origins.len() - 1)];
+            let down = origin_down.entry(asn).or_insert(false);
+            *down = !*down;
+            if *down {
+                EventKind::Withdraw(asn)
+            } else {
+                EventKind::Announce(asn)
+            }
+        } else if !links.is_empty() {
+            let link = if !flappers.is_empty()
+                && rng.gen_bool(cfg.flap_fraction.clamp(0.0, 1.0))
+            {
+                flappers[rng.gen_range(0..flappers.len())]
+            } else {
+                links[rng.gen_range(0..links.len())]
+            };
+            let down = link_down.entry(link).or_insert(false);
+            *down = !*down;
+            if *down {
+                EventKind::LinkDown(link.0, link.1)
+            } else {
+                EventKind::LinkUp(link.0, link.1)
+            }
+        } else {
+            // Degenerate topology with no links at all: nothing but
+            // origin churn is possible; flip the first AS.
+            let asn = origins[0];
+            let down = origin_down.entry(asn).or_insert(false);
+            *down = !*down;
+            if *down {
+                EventKind::Withdraw(asn)
+            } else {
+                EventKind::Announce(asn)
+            }
+        };
+
+        events.push(Event { at_ms: now, kind });
+    }
+
+    Trace { topo_text: topo_io::to_text(topo), events }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miro_topology::gen as topo_gen;
+
+    fn medium_topo() -> Topology {
+        topo_gen::GenParams::tiny(7).generate()
+    }
+
+    #[test]
+    fn equal_seeds_give_identical_traces() {
+        let topo = medium_topo();
+        let cfg = GenConfig { events: 2_000, ..GenConfig::default() };
+        let a = generate(&topo, &cfg);
+        let b = generate(&topo, &cfg);
+        assert_eq!(a, b);
+        let c = generate(&topo, &GenConfig { seed: 43, ..cfg });
+        assert_ne!(a.events, c.events, "different seeds must differ");
+    }
+
+    #[test]
+    fn traces_round_trip_and_stay_sorted() {
+        let topo = medium_topo();
+        let t = generate(&topo, &GenConfig { events: 3_000, ..GenConfig::default() });
+        assert_eq!(t.events.len(), 3_000);
+        assert!(t.events.windows(2).all(|w| w[0].at_ms <= w[1].at_ms));
+        let back = Trace::decode(&t.encode().unwrap()).unwrap();
+        assert_eq!(back, t);
+        back.topology().unwrap();
+    }
+
+    #[test]
+    fn bursts_produce_cotemporal_batches() {
+        let topo = medium_topo();
+        let t = generate(
+            &topo,
+            &GenConfig { events: 4_000, burst_fraction: 0.5, ..GenConfig::default() },
+        );
+        let batches = t.batches().count();
+        assert!(
+            batches < t.events.len() * 4 / 5,
+            "expected multi-event batches, got {batches} batches for {} events",
+            t.events.len()
+        );
+        let biggest = t.batches().map(|b| b.len()).max().unwrap();
+        assert!(biggest >= 3, "burst fraction 0.5 should chain, got max {biggest}");
+    }
+
+    #[test]
+    fn link_toggles_are_state_consistent() {
+        let topo = medium_topo();
+        let t = generate(&topo, &GenConfig { events: 5_000, ..GenConfig::default() });
+        let mut down = std::collections::HashMap::new();
+        for e in &t.events {
+            match e.kind {
+                EventKind::LinkDown(a, b) => {
+                    assert!(!down.insert((a, b), true).unwrap_or(false), "double down {a}-{b}");
+                }
+                EventKind::LinkUp(a, b) => {
+                    assert!(down.insert((a, b), false).unwrap_or(false), "up of live {a}-{b}");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn mix_respects_fractions_roughly() {
+        let topo = medium_topo();
+        let t = generate(
+            &topo,
+            &GenConfig { events: 10_000, origin_fraction: 0.3, ..GenConfig::default() },
+        );
+        let (downs, ups, withdraws, announces) = t.kind_counts();
+        let origin = withdraws + announces;
+        let link = downs + ups;
+        assert!(origin > 2_000 && origin < 4_000, "origin mix off: {origin}");
+        assert_eq!(origin + link, 10_000);
+    }
+}

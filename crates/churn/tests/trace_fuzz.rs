@@ -1,0 +1,122 @@
+//! Fuzz the `MCT1` churn trace codec the same way the shard codec is
+//! fuzzed: arbitrary byte soup, single-byte flips, and truncation at
+//! every cut must surface as clean [`TraceError`]s — never a panic,
+//! never a fabricated trace — and every well-formed trace must
+//! round-trip byte-exactly.
+
+use miro_churn::gen::{generate, GenConfig};
+use miro_churn::trace::{Event, EventKind, Trace, TraceError};
+use miro_topology::gen as topo_gen;
+use proptest::prelude::*;
+
+fn fixture(events: usize, seed: u64) -> Trace {
+    let (topo, _) = topo_gen::figure_1_1();
+    generate(
+        &topo,
+        &GenConfig { seed, events, flappers: 2, ..GenConfig::default() },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Byte soup into the decoder: a clean error or — for the rare soup
+    /// that happens to be a valid trace — a value that re-encodes to the
+    /// exact input. Never a panic.
+    #[test]
+    fn byte_soup_decodes_or_fails_cleanly(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        if let Ok(t) = Trace::decode(&bytes) {
+            prop_assert_eq!(t.encode().unwrap(), bytes);
+        }
+    }
+
+    /// Byte soup behind a valid magic exercises the frame and payload
+    /// parsers; same contract.
+    #[test]
+    fn magic_prefixed_soup_fails_cleanly(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let mut input = miro_churn::MAGIC.to_vec();
+        input.extend_from_slice(&bytes);
+        match Trace::decode(&input) {
+            Ok(t) => prop_assert_eq!(t.encode().unwrap(), input),
+            Err(TraceError::BadMagic) => prop_assert!(false, "magic was valid"),
+            Err(_) => {}
+        }
+    }
+
+    /// One flipped byte anywhere in an encoded trace is caught — by the
+    /// magic check, the FNV frame checksums, or the payload validators —
+    /// or, if it decodes at all, decodes to something that re-encodes to
+    /// the flipped bytes (the flip landed on a don't-care it cannot,
+    /// since the format has no padding; assert it anyway).
+    #[test]
+    fn single_byte_flip_is_always_caught(
+        events in 1usize..40,
+        seed in any::<u64>(),
+        pick in any::<u32>(),
+        flip in 0u8..255,
+    ) {
+        let flip = flip.wrapping_add(1); // 1..=255: never a no-op
+        let bytes = fixture(events, seed).encode().unwrap();
+        let mut bad = bytes.clone();
+        let at = pick as usize % bad.len();
+        bad[at] ^= flip;
+        if let Ok(t) = Trace::decode(&bad) {
+            prop_assert_eq!(t.encode().unwrap(), bad, "flip at {} survived", at);
+        }
+    }
+
+    /// Generated traces of any size round-trip byte-exactly.
+    #[test]
+    fn generated_traces_round_trip(events in 0usize..200, seed in any::<u64>()) {
+        let t = fixture(events, seed);
+        let bytes = t.encode().unwrap();
+        let back = Trace::decode(&bytes).unwrap();
+        prop_assert_eq!(&back, &t);
+        prop_assert_eq!(back.encode().unwrap(), bytes);
+    }
+}
+
+#[test]
+fn truncation_at_every_cut_errors_cleanly() {
+    let mut t = fixture(25, 7);
+    // Ensure a multi-chunk layout is NOT in play here (25 events fit one
+    // chunk); the multi-chunk boundary case is covered below.
+    let bytes = t.encode().unwrap();
+    for cut in 0..bytes.len() {
+        if let Ok(got) = Trace::decode(&bytes[..cut]) {
+            panic!("cut {cut}: decoded {} events from a truncated trace", got.events.len());
+        }
+    }
+
+    // Truncation exactly at a chunk-frame boundary: framing sees a clean
+    // Eof, so only the header's event count can (and must) object.
+    t.events = (0..(miro_churn::trace::CHUNK_EVENTS as u64 + 10))
+        .map(|i| Event {
+            at_ms: i,
+            kind: if i % 2 == 0 { EventKind::LinkDown(2, 5) } else { EventKind::LinkUp(2, 5) },
+        })
+        .collect();
+    let bytes = t.encode().unwrap();
+    // Walk frames to find the end of the first chunk.
+    let header_len = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as usize;
+    let first_chunk_start = 4 + 4 + header_len + 8;
+    let chunk_len =
+        u32::from_le_bytes(bytes[first_chunk_start..first_chunk_start + 4].try_into().unwrap())
+            as usize;
+    let boundary = first_chunk_start + 4 + chunk_len + 8;
+    assert!(boundary < bytes.len(), "fixture must have a second chunk");
+    match Trace::decode(&bytes[..boundary]) {
+        Err(TraceError::Truncated { expected, got }) => {
+            assert_eq!(expected, t.events.len() as u64);
+            assert_eq!(got, miro_churn::trace::CHUNK_EVENTS as u64);
+        }
+        other => panic!("frame-boundary cut: unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn empty_input_is_bad_magic() {
+    assert!(matches!(Trace::decode(&[]), Err(TraceError::BadMagic)));
+    assert!(matches!(Trace::decode(b"MCT"), Err(TraceError::BadMagic)));
+    assert!(matches!(Trace::decode(b"MCT2____"), Err(TraceError::BadMagic)));
+}

@@ -12,6 +12,11 @@
 //! `--check` parses and validates without writing anything, which is what
 //! CI wants: prove the golden fixture still ingests cleanly, leave no
 //! artifacts behind.
+//!
+//! `MCT1` churn traces are sniffed by magic: a trace embeds its topology
+//! in the same text format, so `miro ingest trace.mct` decodes the trace
+//! (checksums and all) and streams the embedded topology through the
+//! exact same parser — one ingest verb for snapshots and churn workloads.
 
 use miro_topology::io::stream::{self, IngestCache};
 use miro_topology::io::TopologyDoc;
@@ -48,15 +53,39 @@ pub fn run(args: &[String]) -> Result<String, String> {
     }
     let path = file.ok_or(USAGE.to_string())?;
 
-    let f = std::fs::File::open(&path).map_err(|e| format!("cannot open {path:?}: {e}"))?;
-    let (topo, stats) =
-        stream::parse(BufReader::new(f)).map_err(|e| format!("{path}: {e}"))?;
+    // Sniff the churn-trace magic; everything else goes straight to the
+    // line-oriented streaming parser.
+    let bytes = std::fs::read(&path).map_err(|e| format!("cannot open {path:?}: {e}"))?;
+    let trace_events = if bytes.starts_with(&miro_churn::MAGIC) {
+        Some(
+            miro_churn::Trace::decode(&bytes)
+                .map_err(|e| format!("{path}: {e}"))?,
+        )
+    } else {
+        None
+    };
+    let (topo, stats) = match &trace_events {
+        Some(trace) => stream::parse(BufReader::new(trace.topo_text.as_bytes()))
+            .map_err(|e| format!("{path} (embedded topology): {e}"))?,
+        None => stream::parse(BufReader::new(&bytes[..]))
+            .map_err(|e| format!("{path}: {e}"))?,
+    };
 
     let census = miro_topology::stats::link_census(&topo);
-    let mut report = format!(
-        "ingested {path}: {} lines ({} comments/blanks), {} bytes\n",
-        stats.lines, stats.comments, stats.bytes
-    );
+    let mut report = match &trace_events {
+        Some(trace) => format!(
+            "ingested {path}: MCT1 churn trace, {} events over {} ms; embedded topology: \
+             {} lines, {} bytes\n",
+            trace.events.len(),
+            trace.duration_ms(),
+            stats.lines,
+            stats.bytes
+        ),
+        None => format!(
+            "ingested {path}: {} lines ({} comments/blanks), {} bytes\n",
+            stats.lines, stats.comments, stats.bytes
+        ),
+    };
     let _ = writeln!(
         report,
         "  accepted {} edges over {} ASes; dropped {} duplicate(s), {} self-loop(s)",
@@ -143,6 +172,33 @@ mod tests {
         let err = run(&[input.display().to_string()]).unwrap_err();
         assert!(err.contains("line 2"), "{err}");
         assert!(err.contains("relationship code 7"), "{err}");
+    }
+
+    #[test]
+    fn churn_traces_are_sniffed_and_their_topology_ingested() {
+        let (topo, _) = miro_topology::gen::figure_1_1();
+        let trace = miro_churn::gen::generate(
+            &topo,
+            &miro_churn::gen::GenConfig { seed: 3, events: 100, ..Default::default() },
+        );
+        let p = std::env::temp_dir().join("miro_ingest_trace.mct");
+        std::fs::write(&p, trace.encode().unwrap()).expect("tmp write");
+        let report =
+            run(&[p.display().to_string(), "--check".into()]).expect("trace ingests");
+        assert!(report.contains("MCT1 churn trace, 100 events"), "{report}");
+        assert!(report.contains("accepted 8 edges over 6 ASes"), "{report}");
+        assert!(report.contains("check ok"), "{report}");
+
+        // A corrupt trace must fail the checksum, not parse as text.
+        let mut bad = std::fs::read(&p).unwrap();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x40;
+        std::fs::write(&p, &bad).unwrap();
+        let err = run(&[p.display().to_string(), "--check".into()]).unwrap_err();
+        assert!(
+            err.contains("checksum") || err.contains("malformed") || err.contains("truncated"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -23,6 +23,7 @@
 pub mod bench;
 pub mod bench_dataplane;
 pub mod bench_query;
+pub mod churn_cmd;
 pub mod ingest;
 pub mod serve_cmd;
 pub mod shard_cmd;

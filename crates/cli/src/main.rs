@@ -10,7 +10,12 @@
 //! Robustness: `miro resilience [--seed N] [--scale F] [--pairs N]
 //! [--outage-ticks N] [--out RESILIENCE.json] [--check-floor PCT]
 //! [--check-recovery-floor PCT]`.
-//! Ingest: `miro ingest <file> [--out cache.json] [--name LABEL] [--check]`.
+//! Ingest: `miro ingest <file> [--out cache.json] [--name LABEL] [--check]`
+//! (`.mct` churn traces are sniffed by magic; their embedded topology is
+//! ingested).
+//! Churn: `miro churn <gen|dump|replay> [options]` and `miro bench-churn
+//! [--scale S] [--events N] [--dests N] [--out BENCH_churn.json]
+//! [--check-events-rate F] [--check-speedup F] [--list]`.
 //! Serving: `miro serve <table> (--preset P --factor F --seed S | --cache C)
 //! [--addr HOST:PORT] [--port-file P] [--stripes N] [--cache-slots N]
 //! [--no-verify-file]`, and `miro bench-query [--scale S | --addr A]
@@ -38,6 +43,24 @@ fn main() {
                 Ok(report) => print!("{report}"),
                 Err(e) => {
                     eprintln!("bench-dataplane: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        [cmd, rest @ ..] if cmd == "churn" => {
+            match miro_cli::churn_cmd::run_churn(rest) {
+                Ok(report) => print!("{report}"),
+                Err(e) => {
+                    eprintln!("churn: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        [cmd, rest @ ..] if cmd == "bench-churn" => {
+            match miro_cli::churn_cmd::run_bench(rest) {
+                Ok(report) => print!("{report}"),
+                Err(e) => {
+                    eprintln!("bench-churn: {e}");
                     std::process::exit(2);
                 }
             }
@@ -106,6 +129,7 @@ fn main() {
             eprintln!(
                 "usage: miro [script-file | bench-solver [options] | \
                  bench-dataplane [options] | bench-query [options] | \
+                 bench-churn [options] | churn <gen|dump|replay> [options] | \
                  resilience [options] | ingest <file> [options] | \
                  shard-solve [options] | serve <table> [options]]"
             );

@@ -113,9 +113,13 @@ pub fn run(args: &[String]) -> Result<String, String> {
         );
     }
     let report = server.run().map_err(|e| format!("serve loop failed: {e}"))?;
+    let lookups = report.cache_hits + report.cache_misses;
+    let hit_pct = if lookups == 0 { 0.0 } else { report.cache_hits as f64 * 100.0 / lookups as f64 };
     Ok(format!(
-        "serve: done — {} connections, {} queries\n",
-        report.connections, report.queries
+        "serve: done — {} connections, {} queries; cache: {} hits, {} misses, \
+         {} evictions ({hit_pct:.1}% hit rate)\n",
+        report.connections, report.queries, report.cache_hits, report.cache_misses,
+        report.cache_evictions
     ))
 }
 

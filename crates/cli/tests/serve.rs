@@ -124,6 +124,16 @@ fn daemon_serves_bench_query_and_shuts_down_cleanly() {
     daemon.stdout.take().unwrap().read_to_string(&mut daemon_out).unwrap();
     assert!(daemon_out.contains("serve: done — 3 connections"), "{daemon_out}");
 
+    // The lifetime report surfaces the ShardedCache counters. 400
+    // queries over a 32-dest sample must both hit and miss: the first
+    // touch of each (src, dest) pair misses, repeats hit.
+    assert!(daemon_out.contains("cache:"), "{daemon_out}");
+    assert!(daemon_out.contains("hits"), "{daemon_out}");
+    assert!(daemon_out.contains("misses"), "{daemon_out}");
+    assert!(daemon_out.contains("evictions"), "{daemon_out}");
+    assert!(daemon_out.contains("% hit rate"), "{daemon_out}");
+    assert!(!daemon_out.contains("cache: 0 hits"), "{daemon_out}");
+
     // The written report has the pinned schema.
     let json = std::fs::read_to_string(&out_json).unwrap();
     for key in [

@@ -175,6 +175,40 @@ impl TunnelManager {
         dead
     }
 
+    /// Link churn hit the tunnel table: tear down every tunnel whose
+    /// negotiated path crosses a currently-failed link (section 4.3 under
+    /// a RouteViews-style firehose — a tunnel dies the moment any hop of
+    /// the path it was sold on loses its session). `owner` is the AS
+    /// holding this table: the implicit first hop `owner -> path[0]` is
+    /// checked too, since `Tunnel::path` starts at the downstream's next
+    /// hop. Returns the torn-down ids (sorted), recorded as
+    /// [`TeardownReason::RouteChange`].
+    pub fn sweep_failed_links(
+        &mut self,
+        owner: NodeId,
+        mut is_down: impl FnMut(NodeId, NodeId) -> bool,
+    ) -> Vec<TunnelId> {
+        let mut dead: Vec<TunnelId> = self
+            .live
+            .values()
+            .filter(|t| {
+                let mut at = owner;
+                t.path.iter().any(|&hop| {
+                    let cut = is_down(at, hop);
+                    at = hop;
+                    cut
+                })
+            })
+            .map(|t| t.id)
+            .collect();
+        for id in &dead {
+            self.live.remove(id);
+            self.torn_down.push((*id, TeardownReason::RouteChange));
+        }
+        dead.sort_unstable();
+        dead
+    }
+
     /// The process behind this table crashed: every live tunnel and the
     /// teardown history vanish without ceremony (soft state is exactly
     /// the state you are allowed to lose). The id allocator survives —
@@ -286,6 +320,30 @@ mod tests {
         assert_eq!(dead.len(), 2);
         assert!(dead.contains(&a));
         assert!(m.get(c).is_some());
+    }
+
+    #[test]
+    fn sweep_failed_links_kills_only_tunnels_crossing_the_cut() {
+        let mut m = TunnelManager::new();
+        // Owner is AS 1. Tunnel a: 1 -> 2 -> 9; tunnel b: 1 -> 3 -> 9;
+        // tunnel c: 1 -> 3 -> 8.
+        let a = m.establish(7, 9, vec![2, 9], 0, 0);
+        let b = m.establish(7, 9, vec![3, 9], 0, 0);
+        let c = m.establish(7, 8, vec![3, 8], 0, 0);
+
+        // Link 3--9 fails: only tunnel b crosses it.
+        let dead = m.sweep_failed_links(1, |x, y| (x.min(y), x.max(y)) == (3, 9));
+        assert_eq!(dead, vec![b]);
+        assert_eq!(m.torn_down, vec![(b, TeardownReason::RouteChange)]);
+        assert!(m.get(a).is_some() && m.get(c).is_some());
+
+        // The implicit first hop matters: owner 1 loses its link to 3.
+        let dead = m.sweep_failed_links(1, |x, y| (x.min(y), x.max(y)) == (1, 3));
+        assert_eq!(dead, vec![c]);
+
+        // No failed links: nothing to do.
+        assert!(m.sweep_failed_links(1, |_, _| false).is_empty());
+        assert!(m.get(a).is_some());
     }
 
     #[test]

@@ -38,6 +38,13 @@ pub struct ServeReport {
     pub connections: u64,
     /// Queries answered (successfully or as `RErr`), across connections.
     pub queries: u64,
+    /// [`ShardedCache`](crate::cache::ShardedCache) hits (0 when the
+    /// engine runs cacheless).
+    pub cache_hits: u64,
+    /// Cache misses.
+    pub cache_misses: u64,
+    /// Cache evictions (slot reuse under pressure).
+    pub cache_evictions: u64,
 }
 
 struct Shared<T: TableSource> {
@@ -133,10 +140,14 @@ impl<T: TableSource + Send + Sync + 'static> Server<T> {
         for h in handles {
             let _ = h.join();
         }
+        let cache = self.shared.engine.cache();
         Ok(ServeReport {
             connections: self.shared.connections.load(Ordering::Relaxed),
             queries: self.shared.engine.stats.queries()
                 + self.shared.engine.stats.errors.load(Ordering::Relaxed),
+            cache_hits: cache.map_or(0, |c| c.stats.hits.load(Ordering::Relaxed)),
+            cache_misses: cache.map_or(0, |c| c.stats.misses.load(Ordering::Relaxed)),
+            cache_evictions: cache.map_or(0, |c| c.stats.evictions.load(Ordering::Relaxed)),
         })
     }
 }
